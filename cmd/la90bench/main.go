@@ -1,0 +1,144 @@
+// la90bench reproduces the paper's Example 3 (Figure 3): it solves the
+// same random N×N system once through the explicit F77 interface and once
+// through the simplified F90 interface, timing both — the only performance
+// measurement in the paper, whose point is that the convenience layer
+// costs (almost) nothing.
+//
+//	la90bench -example3            # the paper's N=500, NRHS=2 run
+//	la90bench -sweep               # wrapper-overhead sweep across N
+//	la90bench -n 800 -nrhs 4       # custom single run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/f77"
+	"repro/internal/lapack"
+	"repro/la"
+)
+
+var (
+	example3 = flag.Bool("example3", false, "run exactly the paper's Example 3 (N=500, NRHS=2)")
+	sweep    = flag.Bool("sweep", false, "sweep N and print the wrapper-overhead table")
+	nFlag    = flag.Int("n", 500, "matrix order")
+	nrhsFlag = flag.Int("nrhs", 2, "number of right-hand sides")
+	reps     = flag.Int("reps", 3, "repetitions (minimum time reported)")
+)
+
+func main() {
+	flag.Parse()
+	switch {
+	case *sweep:
+		runSweep()
+	default:
+		n, nrhs := *nFlag, *nrhsFlag
+		if *example3 {
+			n, nrhs = 500, 2
+		}
+		runExample3(n, nrhs)
+	}
+}
+
+// runExample3 mirrors Figure 3 line by line: allocate, fill with
+// RANDOM_NUMBER, build B from row sums, time F77GESV, then time F90GESV.
+func runExample3(n, nrhs int) {
+	rng := lapack.NewRng([4]int{1998, 3, 28, 2})
+	a := make([]float64, n*n)
+	lapack.Larnv(1, rng, n*n, a)
+	b := make([]float64, n*nrhs)
+	for j := 0; j < nrhs; j++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a[i+k*n]
+			}
+			b[i+j*n] = s * float64(j+1)
+		}
+	}
+
+	// Interleave the two measurements and keep the minimum of several
+	// repetitions each, so frequency scaling and allocator noise cancel
+	// rather than bias one side (the paper's single CPU_TIME pair is far
+	// too noisy on a modern machine).
+	reps := max(*reps, 5)
+	run77 := func() time.Duration {
+		a77 := append([]float64(nil), a...)
+		b77 := append([]float64(nil), b...)
+		ipiv := make([]int, n)
+		t0 := time.Now()
+		f77.GESV(n, nrhs, a77, n, ipiv, b77, n)
+		return time.Since(t0)
+	}
+	run90 := func() time.Duration {
+		a90 := la.NewMatrix[float64](n, n)
+		copy(a90.Data, a)
+		b90 := la.NewMatrix[float64](n, nrhs)
+		copy(b90.Data, b)
+		t0 := time.Now()
+		la.Must1(la.GESV(a90, b90))
+		return time.Since(t0)
+	}
+	run77() // warm-up
+	run90()
+	var t77, t90 time.Duration
+	for r := 0; r < reps; r++ {
+		if d := run77(); r == 0 || d < t77 {
+			t77 = d
+		}
+		if d := run90(); r == 0 || d < t90 {
+			t90 = d
+		}
+	}
+	fmt.Printf("INFO and CPUTIME of F77GESV  %d  %.6f\n", 0, t77.Seconds())
+	fmt.Printf("CPUTIME of F90GESV  %.6f\n", t90.Seconds())
+	fmt.Printf("wrapper overhead: %+.2f%%\n", 100*(t90.Seconds()-t77.Seconds())/t77.Seconds())
+}
+
+// runSweep prints the overhead of the F90 layer over the F77 layer for
+// GESV across problem sizes (experiment E9 in DESIGN.md).
+func runSweep() {
+	fmt.Println("    N     F77GESV (s)   F90GESV (s)   overhead")
+	for _, n := range []int{10, 25, 50, 100, 200, 500} {
+		rng := lapack.NewRng([4]int{n, 1, 2, 3})
+		a := make([]float64, n*n)
+		lapack.Larnv(1, rng, n*n, a)
+		b := make([]float64, n*2)
+		lapack.Larnv(1, rng, n*2, b)
+
+		iters := max(1, 200000/(n*n))
+		best77 := time.Duration(0)
+		for r := 0; r < *reps; r++ {
+			t0 := time.Now()
+			for it := 0; it < iters; it++ {
+				a77 := append([]float64(nil), a...)
+				b77 := append([]float64(nil), b...)
+				ipiv := make([]int, n)
+				f77.GESV(n, 2, a77, n, ipiv, b77, n)
+			}
+			d := time.Since(t0) / time.Duration(iters)
+			if r == 0 || d < best77 {
+				best77 = d
+			}
+		}
+		best90 := time.Duration(0)
+		for r := 0; r < *reps; r++ {
+			t0 := time.Now()
+			for it := 0; it < iters; it++ {
+				a90 := la.NewMatrix[float64](n, n)
+				copy(a90.Data, a)
+				b90 := la.NewMatrix[float64](n, 2)
+				copy(b90.Data, b)
+				la.Must1(la.GESV(a90, b90))
+			}
+			d := time.Since(t0) / time.Duration(iters)
+			if r == 0 || d < best90 {
+				best90 = d
+			}
+		}
+		fmt.Printf("%5d  %12.6f  %12.6f   %+7.2f%%\n",
+			n, best77.Seconds(), best90.Seconds(),
+			100*(best90.Seconds()-best77.Seconds())/best77.Seconds())
+	}
+}

@@ -1,0 +1,533 @@
+// la90test is the "new series of easy-to-use test programs" of the
+// paper's §6, reproducing the report format of its Appendix F: residual
+// ratio tests on random matrices with a pass/fail threshold, followed by
+// error-exit tests. With the default threshold of 10.0 every test passes
+// (Appendix F, "Test Runs Correctly"); lowering the threshold with -thresh
+// and raising the condition number with -cond reproduces the "Test Partly
+// Fails" report.
+//
+// Usage:
+//
+//	la90test [-driver gesv|posv|sysv|gtsv|gels|syev|gesvd]
+//	         [-thresh 10.0] [-cond 1] [-maxn 300] [-errorexits]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lapack"
+	"repro/internal/matgen"
+	"repro/la"
+)
+
+// Single precision throughout, as in the paper's runs (eps = 0.11921E-06).
+type elem = float32
+
+var (
+	driver   = flag.String("driver", "gesv", "driver to test: gesv, posv, sysv, gtsv, gels, syev, gesvd")
+	thresh   = flag.Float64("thresh", 10.0, "threshold value of the test ratio")
+	cond     = flag.Float64("cond", 1, "condition number of the generated test matrices")
+	maxn     = flag.Int("maxn", 300, "largest matrix order tested")
+	exitOnly = flag.Bool("errorexits", false, "run only the error-exit tests")
+)
+
+func main() {
+	flag.Parse()
+	eps := float64(1.1920929e-07)
+	fmt.Printf("S%s Test Example Program Results.\n", upper(*driver))
+	fmt.Printf("LA_%s LAPACK subroutine %s\n", upper(*driver), purpose(*driver))
+	fmt.Printf("Threshold value of test ratio = %5.2f the machine eps = %10.5E\n", *thresh, eps)
+	fmt.Println("--------------------------------------------------------------")
+
+	passed, failed := 0, 0
+	var matrices, tests int
+	if !*exitOnly {
+		switch *driver {
+		case "gesv":
+			passed, failed, matrices, tests = runGESV(*thresh, *cond, *maxn)
+		case "posv":
+			passed, failed, matrices, tests = runPOSV(*thresh, *cond, *maxn)
+		case "sysv":
+			passed, failed, matrices, tests = runSYSV(*thresh, *maxn)
+		case "gtsv":
+			passed, failed, matrices, tests = runGTSV(*thresh, *maxn)
+		case "gels":
+			passed, failed, matrices, tests = runGELS(*thresh, *maxn)
+		case "syev":
+			passed, failed, matrices, tests = runSYEV(*thresh, *maxn)
+		case "gesvd":
+			passed, failed, matrices, tests = runGESVD(*thresh, *maxn)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown driver %q\n", *driver)
+			os.Exit(2)
+		}
+		fmt.Println("--------------------------------------------------------------")
+		fmt.Printf("%d matrices were tested with %d tests. NRHS was 50 and one.\n", matrices, tests)
+		fmt.Printf("The biggest tested matrix was %d x %d\n", *maxn, *maxn)
+		fmt.Printf("%d tests passed.\n", passed)
+		fmt.Printf("%d tests failed.\n", failed)
+		fmt.Println("--------------------------------------------------------------")
+	}
+
+	ePassed, eFailed := runErrorExits()
+	fmt.Printf("%d error exits tests were ran\n", ePassed+eFailed)
+	fmt.Printf("%d tests passed.\n", ePassed)
+	fmt.Printf("%d tests failed.\n", eFailed)
+	if failed+eFailed > 0 {
+		os.Exit(1)
+	}
+}
+
+func upper(s string) string {
+	out := []byte(s)
+	for i := range out {
+		if out[i] >= 'a' && out[i] <= 'z' {
+			out[i] -= 'a' - 'A'
+		}
+	}
+	return string(out)
+}
+
+func purpose(d string) string {
+	switch d {
+	case "gesv":
+		return "solves a dense general\nlinear system of equations, Ax = b."
+	case "posv":
+		return "solves a dense symmetric positive definite\nlinear system of equations, Ax = b."
+	case "sysv":
+		return "solves a dense symmetric indefinite\nlinear system of equations, Ax = b."
+	case "gtsv":
+		return "solves a general tridiagonal\nlinear system of equations, Ax = b."
+	case "gels":
+		return "solves a full-rank least squares problem, min || b - Ax ||."
+	case "syev":
+		return "computes the spectral decomposition of a symmetric matrix."
+	case "gesvd":
+		return "computes the singular value decomposition of a general matrix."
+	}
+	return ""
+}
+
+// solveRatio is the paper's test ratio
+// ‖B − A·X‖₁ / (‖A‖₁·‖X‖₁·eps), printed in its failure reports.
+func solveRatio(a *la.Matrix[elem], x, b *la.Matrix[elem]) (anorm, xnorm, rnorm, ratio float64) {
+	n, nrhs := a.Rows, x.Cols
+	eps := 1.1920929e-07
+	r := make([]float64, n*nrhs)
+	for j := 0; j < nrhs; j++ {
+		for i := 0; i < n; i++ {
+			s := float64(b.At(i, j))
+			for k := 0; k < n; k++ {
+				s -= float64(a.At(i, k)) * float64(x.At(k, j))
+			}
+			r[i+j*n] = s
+		}
+	}
+	anorm = colSumNorm64(a)
+	xnorm = colSumNorm64(x)
+	for j := 0; j < nrhs; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += abs(r[i+j*n])
+		}
+		if s > rnorm {
+			rnorm = s
+		}
+	}
+	den := anorm * xnorm * eps
+	if den == 0 {
+		den = eps
+	}
+	return anorm, xnorm, rnorm, rnorm / den
+}
+
+func colSumNorm64(m *la.Matrix[elem]) float64 {
+	v := 0.0
+	for j := 0; j < m.Cols; j++ {
+		s := 0.0
+		for i := 0; i < m.Rows; i++ {
+			s += abs(float64(m.At(i, j)))
+		}
+		if s > v {
+			v = s
+		}
+	}
+	return v
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func reportFailure(test int, call string, n, nrhs, info int, anorm, cond, xnorm, rnorm, ratio float64) {
+	fmt.Printf("Test %d -- 'CALL %s', Failed.\n", test, call)
+	fmt.Printf("Matrix %d x %d with %d rhs.\n", n, n, nrhs)
+	fmt.Printf("INFO = %d\n", info)
+	fmt.Printf("|| A ||1 = %12.7G  COND = %12.7G\n", anorm, cond)
+	fmt.Printf("|| X ||1 = %12.7G  || B - AX ||1 = %12.7G\n", xnorm, rnorm)
+	fmt.Printf("ratio = || B - AX || / ( || A ||*|| X ||*eps ) = %12.7G\n", ratio)
+	fmt.Println("--------------------------------------------------------------")
+}
+
+// runGESV runs the Appendix F protocol: 3 matrix sizes × 4 tests, with
+// NRHS = 50 and one.
+func runGESV(thr, cond float64, maxn int) (passed, failed, matrices, tests int) {
+	sizes := []int{maxn / 6, maxn / 2, maxn}
+	matrices, tests = len(sizes), 4
+	testNo := 0
+	for _, n := range sizes {
+		rng := lapack.NewRng([4]int{1998, n, 3, 28})
+		gen := func() *la.Matrix[elem] {
+			a := la.NewMatrix[elem](n, n)
+			if cond > 1 {
+				d := matgen.SingularValues(3, n, cond)
+				matgen.Lagge(rng, n, n, n-1, n-1, d, a.Data, a.Stride)
+			} else {
+				lapack.Larnv(1, rng, n*n, a.Data)
+			}
+			return a
+		}
+		check := func(call string, nrhs, info int, a, x, b *la.Matrix[elem]) {
+			testNo++
+			anorm, xnorm, rnorm, ratio := solveRatio(a, x, b)
+			if info != 0 || ratio > thr {
+				failed++
+				reportFailure(testNo%4+1, call, a.Rows, nrhs, info, anorm, cond, xnorm, rnorm, ratio)
+				return
+			}
+			passed++
+		}
+
+		// Test 1: LA_GESV with NRHS = 50.
+		a := gen()
+		b := la.NewMatrix[elem](n, 50)
+		lapack.Larnv(1, rng, n*50, b.Data)
+		af, bf := a.Clone(), b.Clone()
+		_, err := la.GESV(af, bf)
+		check("LA_GESV( A, B, IPIV, INFO )", 50, infoOf(err), a, bf, b)
+
+		// Test 2: LA_GESV with a single right-hand side vector.
+		a2 := gen()
+		bv := make([]elem, n)
+		lapack.Larnv(1, rng, n, bv)
+		b2 := la.NewMatrix[elem](n, 1)
+		copy(b2.Data, bv)
+		af2 := a2.Clone()
+		_, err = la.GESV1(af2, bv)
+		x2 := la.NewMatrix[elem](n, 1)
+		copy(x2.Data, bv)
+		check("LA_GESV( A, B, IPIV, INFO )", 1, infoOf(err), a2, x2, b2)
+
+		// Test 3: the expert driver LA_GESVX.
+		a3 := gen()
+		b3 := la.NewMatrix[elem](n, 50)
+		lapack.Larnv(1, rng, n*50, b3.Data)
+		res, err := la.GESVX(a3.Clone(), b3.Clone())
+		check("LA_GESVX( A, B, X, ... )", 50, infoOf(err), a3, res.X, b3)
+
+		// Test 4: factor and solve through LA_GETRF + LA_GETRS.
+		a4 := gen()
+		b4 := la.NewMatrix[elem](n, 50)
+		lapack.Larnv(1, rng, n*50, b4.Data)
+		af4 := a4.Clone()
+		ipiv, _, err := la.GETRF(af4)
+		x4 := b4.Clone()
+		if err == nil {
+			err = la.GETRS(af4, ipiv, x4)
+		}
+		check("LA_GETRF + LA_GETRS", 50, infoOf(err), a4, x4, b4)
+	}
+	return passed, failed, matrices, tests
+}
+
+func runPOSV(thr, cond float64, maxn int) (passed, failed, matrices, tests int) {
+	sizes := []int{maxn / 6, maxn / 2, maxn}
+	matrices, tests = len(sizes), 4
+	for _, n := range sizes {
+		rng := lapack.NewRng([4]int{77, n, 1, 1})
+		a := la.NewMatrix[elem](n, n)
+		matgen.RandSPDWithCond(rng, n, cond*10+10, a.Data, a.Stride)
+		for k, nrhs := range []int{50, 1, 50, 1} {
+			b := la.NewMatrix[elem](n, nrhs)
+			lapack.Larnv(1, rng, n*nrhs, b.Data)
+			af, xf := a.Clone(), b.Clone()
+			var err error
+			if k < 2 {
+				err = la.POSV(af, xf)
+			} else {
+				var res *la.ExpertResult[elem]
+				res, err = la.POSVX(af, xf)
+				if err == nil {
+					xf = res.X
+				}
+			}
+			_, _, _, ratio := solveRatio(a, xf, b)
+			if err != nil || ratio > thr {
+				failed++
+				anorm, xnorm, rnorm, ratio := solveRatio(a, xf, b)
+				reportFailure(k+1, "LA_POSV( A, B, INFO )", n, nrhs, infoOf(err), anorm, cond, xnorm, rnorm, ratio)
+			} else {
+				passed++
+			}
+		}
+	}
+	return passed, failed, matrices, tests
+}
+
+func runSYSV(thr float64, maxn int) (passed, failed, matrices, tests int) {
+	sizes := []int{maxn / 6, maxn / 2, maxn}
+	matrices, tests = len(sizes), 4
+	for _, n := range sizes {
+		rng := lapack.NewRng([4]int{55, n, 1, 1})
+		a := la.NewMatrix[elem](n, n)
+		lapack.Larnv(2, rng, n*n, a.Data)
+		for j := 0; j < n; j++ {
+			for i := 0; i < j; i++ {
+				a.Set(j, i, a.At(i, j))
+			}
+		}
+		for k, nrhs := range []int{50, 1, 50, 1} {
+			b := la.NewMatrix[elem](n, nrhs)
+			lapack.Larnv(1, rng, n*nrhs, b.Data)
+			af, xf := a.Clone(), b.Clone()
+			uplo := la.Upper
+			if k%2 == 1 {
+				uplo = la.Lower
+			}
+			_, err := la.SYSV(af, xf, la.WithUpLo(uplo))
+			_, _, _, ratio := solveRatio(a, xf, b)
+			if err != nil || ratio > thr {
+				failed++
+				anorm, xnorm, rnorm, ratio := solveRatio(a, xf, b)
+				reportFailure(k+1, "LA_SYSV( A, B, UPLO, IPIV, INFO )", n, nrhs, infoOf(err), anorm, 1, xnorm, rnorm, ratio)
+			} else {
+				passed++
+			}
+		}
+	}
+	return passed, failed, matrices, tests
+}
+
+func runGTSV(thr float64, maxn int) (passed, failed, matrices, tests int) {
+	sizes := []int{maxn / 6, maxn / 2, maxn}
+	matrices, tests = len(sizes), 4
+	for _, n := range sizes {
+		rng := lapack.NewRng([4]int{33, n, 1, 1})
+		dl := make([]elem, n-1)
+		d := make([]elem, n)
+		du := make([]elem, n-1)
+		lapack.Larnv(2, rng, n-1, dl)
+		lapack.Larnv(2, rng, n-1, du)
+		for i := range d {
+			d[i] = 4
+		}
+		full := la.NewMatrix[elem](n, n)
+		for i := 0; i < n; i++ {
+			full.Set(i, i, d[i])
+			if i < n-1 {
+				full.Set(i+1, i, dl[i])
+				full.Set(i, i+1, du[i])
+			}
+		}
+		for k, nrhs := range []int{50, 1, 50, 1} {
+			b := la.NewMatrix[elem](n, nrhs)
+			lapack.Larnv(1, rng, n*nrhs, b.Data)
+			dlf := append([]elem(nil), dl...)
+			df := append([]elem(nil), d...)
+			duf := append([]elem(nil), du...)
+			xf := b.Clone()
+			err := la.GTSV(dlf, df, duf, xf)
+			_, _, _, ratio := solveRatio(full, xf, b)
+			if err != nil || ratio > thr {
+				failed++
+				anorm, xnorm, rnorm, ratio := solveRatio(full, xf, b)
+				reportFailure(k+1, "LA_GTSV( DL, D, DU, B, INFO )", n, nrhs, infoOf(err), anorm, 1, xnorm, rnorm, ratio)
+			} else {
+				passed++
+			}
+		}
+	}
+	return passed, failed, matrices, tests
+}
+
+func runGELS(thr float64, maxn int) (passed, failed, matrices, tests int) {
+	sizes := []int{maxn / 6, maxn / 2, maxn}
+	matrices, tests = len(sizes), 4
+	eps := 1.1920929e-07
+	for _, m := range sizes {
+		n := m / 2
+		rng := lapack.NewRng([4]int{44, m, 1, 1})
+		for k := 0; k < 4; k++ {
+			a := la.NewMatrix[elem](m, n)
+			lapack.Larnv(2, rng, m*n, a.Data)
+			// Consistent system: the residual must vanish to within eps.
+			x := make([]elem, n)
+			lapack.Larnv(2, rng, n, x)
+			b := make([]elem, m)
+			for i := 0; i < m; i++ {
+				s := 0.0
+				for j := 0; j < n; j++ {
+					s += float64(a.At(i, j)) * float64(x[j])
+				}
+				b[i] = elem(s)
+			}
+			af := a.Clone()
+			bf := append([]elem(nil), b...)
+			err := la.GELS1(af, bf)
+			// Ratio: ‖x − x̂‖/(‖x‖·eps·n).
+			num, den := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				num += abs(float64(bf[j] - x[j]))
+				den += abs(float64(x[j]))
+			}
+			ratio := num / (den * eps * float64(n))
+			if err != nil || ratio > thr {
+				failed++
+				reportFailure(k+1, "LA_GELS( A, B, TRANS, INFO )", m, 1, infoOf(err), 0, 1, den, num, ratio)
+			} else {
+				passed++
+			}
+		}
+	}
+	return passed, failed, matrices, tests
+}
+
+func runSYEV(thr float64, maxn int) (passed, failed, matrices, tests int) {
+	sizes := []int{maxn / 6, maxn / 2, maxn}
+	matrices, tests = len(sizes), 4
+	eps := 1.1920929e-07
+	for _, n := range sizes {
+		rng := lapack.NewRng([4]int{66, n, 1, 1})
+		a := la.NewMatrix[elem](n, n)
+		lapack.Larnv(2, rng, n*n, a.Data)
+		for j := 0; j < n; j++ {
+			for i := 0; i < j; i++ {
+				a.Set(j, i, a.At(i, j))
+			}
+		}
+		for k := 0; k < 4; k++ {
+			z := a.Clone()
+			var w []float64
+			var err error
+			if k%2 == 0 {
+				w, err = la.SYEV(z, la.WithVectors())
+			} else {
+				w, err = la.SYEVD(z, la.WithVectors())
+			}
+			// Ratio: ‖A·Z − Z·Λ‖₁/(‖A‖₁·n·eps).
+			anorm := colSumNorm64(a)
+			rnorm := 0.0
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for i := 0; i < n; i++ {
+					r := -w[j] * float64(z.At(i, j))
+					for l := 0; l < n; l++ {
+						r += float64(a.At(i, l)) * float64(z.At(l, j))
+					}
+					s += abs(r)
+				}
+				if s > rnorm {
+					rnorm = s
+				}
+			}
+			ratio := rnorm / (anorm * float64(n) * eps)
+			if err != nil || ratio > thr {
+				failed++
+				reportFailure(k+1, "LA_SYEV( A, W, JOBZ, UPLO, INFO )", n, 0, infoOf(err), anorm, 1, 0, rnorm, ratio)
+			} else {
+				passed++
+			}
+		}
+	}
+	return passed, failed, matrices, tests
+}
+
+func runGESVD(thr float64, maxn int) (passed, failed, matrices, tests int) {
+	sizes := []int{maxn / 6, maxn / 2, maxn}
+	matrices, tests = len(sizes), 4
+	eps := 1.1920929e-07
+	for _, m := range sizes {
+		n := m * 2 / 3
+		rng := lapack.NewRng([4]int{88, m, 1, 1})
+		for k := 0; k < 4; k++ {
+			a := la.NewMatrix[elem](m, n)
+			lapack.Larnv(2, rng, m*n, a.Data)
+			res, err := la.GESVD(a.Clone())
+			// Ratio: ‖A − U·Σ·Vᴴ‖₁/(‖A‖₁·n·eps).
+			anorm := colSumNorm64(a)
+			rnorm := 0.0
+			mn := min(m, n)
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for i := 0; i < m; i++ {
+					r := float64(a.At(i, j))
+					for l := 0; l < mn; l++ {
+						r -= float64(res.U.At(i, l)) * res.S[l] * float64(res.VT.At(l, j))
+					}
+					s += abs(r)
+				}
+				if s > rnorm {
+					rnorm = s
+				}
+			}
+			ratio := rnorm / (anorm * float64(n) * eps)
+			if err != nil || ratio > thr {
+				failed++
+				reportFailure(k+1, "LA_GESVD( A, S, U, VT, INFO )", m, 0, infoOf(err), anorm, 1, 0, rnorm, ratio)
+			} else {
+				passed++
+			}
+		}
+	}
+	return passed, failed, matrices, tests
+}
+
+func infoOf(err error) int {
+	if err == nil {
+		return 0
+	}
+	var e *la.Error
+	if errors.As(err, &e) {
+		return e.Info
+	}
+	return -999
+}
+
+// runErrorExits performs the paper's 9 error-exit tests: malformed calls
+// that must be rejected with a negative INFO and must not crash.
+func runErrorExits() (passed, failed int) {
+	check := func(err error) {
+		var e *la.Error
+		if errors.As(err, &e) && e.Info < 0 {
+			passed++
+		} else {
+			failed++
+			fmt.Printf("error-exit test did not report an argument error: %v\n", err)
+		}
+	}
+	rect := la.NewMatrix[elem](3, 2)
+	sq := la.NewMatrix[elem](3, 3)
+	b2 := la.NewMatrix[elem](2, 1)
+	b3 := la.NewMatrix[elem](3, 1)
+
+	_, err := la.GESV(rect, b3)
+	check(err)
+	_, err = la.GESV(sq.Clone(), b2)
+	check(err)
+	_, err = la.GESV1(sq.Clone(), make([]elem, 2))
+	check(err)
+	check(la.POSV(rect, b3))
+	check(la.POSV(sq.Clone(), b2))
+	_, err = la.SYSV(sq.Clone(), b2)
+	check(err)
+	check(la.GTSV(make([]elem, 1), make([]elem, 3), make([]elem, 1), b3))
+	check(la.PTSV(make([]float64, 3), make([]elem, 1), b3))
+	check(la.PPSV(make([]elem, 5), b3))
+	return passed, failed
+}

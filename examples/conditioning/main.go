@@ -1,0 +1,88 @@
+// Conditioning demonstrates the expert drivers' error analysis — the
+// LAPACK90 arguments RCOND, FERR, BERR, RCONDE and RCONDV that the simple
+// drivers omit. It solves the notoriously ill-conditioned Hilbert system
+// with LA_GESVX, watches the condition estimate track the known growth,
+// and then inspects eigenvalue sensitivity with LA_GEEVX on a normal
+// versus a defective-ish matrix.
+//
+//	go run ./examples/conditioning
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/la"
+)
+
+func hilbert(n int) *la.Matrix[float64] {
+	h := la.NewMatrix[float64](n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			h.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	return h
+}
+
+func main() {
+	fmt.Println("Hilbert systems through LA_GESVX (x_true = ones):")
+	fmt.Println("  n     RCOND        FERR         true error")
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		h := hilbert(n)
+		b := la.NewMatrix[float64](n, 1)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += h.At(i, j)
+			}
+			b.Set(i, 0, s)
+		}
+		res, err := la.GESVX(h, b)
+		if err != nil {
+			if e, ok := err.(*la.Error); !ok || e.Info != n+1 {
+				panic(err)
+			}
+			// INFO = n+1: singular to working precision — the solution and
+			// bounds are still returned; exactly what we want to see here.
+		}
+		trueErr := 0.0
+		for i := 0; i < n; i++ {
+			trueErr = math.Max(trueErr, math.Abs(res.X.At(i, 0)-1))
+		}
+		fmt.Printf(" %2d  %10.3e  %10.3e  %10.3e\n", n, res.RCond, res.Ferr[0], trueErr)
+	}
+	fmt.Println("RCOND collapses like the known κ(H_n) ≈ e^{3.5n} growth, and")
+	fmt.Println("FERR stays an upper bound on the true error throughout.")
+	fmt.Println()
+
+	// Eigenvalue conditioning: a symmetric matrix has RCONDE = 1 for every
+	// eigenvalue; pushing two eigenvalues together through a large
+	// off-diagonal coupling destroys that.
+	fmt.Println("Eigenvalue condition numbers through LA_GEEVX:")
+	sym := la.MatrixFrom([][]float64{
+		{4, 1, 0},
+		{1, 2, 1},
+		{0, 1, 0},
+	})
+	resS, err := la.GEEVX(sym, la.WithLeft(), la.WithRight())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  symmetric:   RCONDE = %.6f %.6f %.6f (all 1: perfectly conditioned)\n",
+		resS.RCondE[0], resS.RCondE[1], resS.RCondE[2])
+
+	bad := la.MatrixFrom([][]float64{
+		{1.0, 0, 0},
+		{1e7, 1.0001, 0},
+		{0, 0, 5},
+	})
+	resB, err := la.GEEVX(bad, la.WithLeft(), la.WithRight())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  near-defective pair: RCONDE = %.2e %.2e (tiny), isolated eigenvalue RCONDE = %.3f\n",
+		resB.RCondE[0], resB.RCondE[1], resB.RCondE[2])
+	fmt.Printf("  RCONDV (eigenvector sep estimates): %.2e %.2e %.2e\n",
+		resB.RCondV[0], resB.RCondV[1], resB.RCondV[2])
+}

@@ -1,0 +1,54 @@
+// F77interface is the Go rendering of the paper's Example 1 (Figure 1):
+// solving the same system through the explicit F77 interface, with every
+// dimension, leading dimension, pivot array and INFO spelled out by the
+// caller.
+//
+//	go run ./examples/f77interface
+package main
+
+import (
+	"fmt"
+
+	"repro/f77"
+	"repro/internal/lapack"
+)
+
+func main() {
+	// INTEGER :: J, INFO, N, NRHS, LDA, LDB
+	// INTEGER, ALLOCATABLE :: IPIV(:)
+	// REAL(WP), ALLOCATABLE :: A(:,:), B(:,:)
+	n, nrhs := 5, 2
+	lda, ldb := n, n
+	a := make([]float64, lda*n)
+	b := make([]float64, ldb*nrhs)
+	ipiv := make([]int, n)
+
+	// CALL RANDOM_NUMBER(A)
+	rng := lapack.NewRng([4]int{1998, 3, 28, 3})
+	lapack.Larnv(1, rng, lda*n, a)
+
+	// DO J = 1, NRHS; B(:,J) = SUM(A, DIM=2)*J; ENDDO
+	for j := 0; j < nrhs; j++ {
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a[i+k*lda]
+			}
+			b[i+j*ldb] = sum * float64(j+1)
+		}
+	}
+
+	// CALL LA_GESV( N, NRHS, A, LDA, IPIV, B, LDB, INFO )
+	info := f77.GESV(n, nrhs, a, lda, ipiv, b, ldb)
+	fmt.Println("INFO = ", info)
+
+	if nrhs < 6 && n < 11 {
+		fmt.Println("The solution:")
+		for j := 0; j < nrhs; j++ {
+			for i := 0; i < n; i++ {
+				fmt.Printf(" %9.3f", b[i+j*ldb])
+			}
+			fmt.Println()
+		}
+	}
+}

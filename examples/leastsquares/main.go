@@ -1,0 +1,95 @@
+// Leastsquares fits a polynomial to noisy samples three ways — LA_GELS
+// (QR, full rank assumed), LA_GELSS (SVD, rank-revealing) and LA_GELSX
+// (complete orthogonal factorization) — and then solves a constrained fit
+// with LA_GGLSE, exercising the least squares corner of the paper's
+// Appendix G catalogue.
+//
+//	go run ./examples/leastsquares
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lapack"
+	"repro/la"
+)
+
+func main() {
+	// Samples of y = 0.5 − 2·x + 0.25·x³ with mild deterministic "noise".
+	const (
+		m   = 40 // samples
+		deg = 3  // cubic fit: 4 coefficients
+	)
+	xs := make([]float64, m)
+	ys := make([]float64, m)
+	rng := lapack.NewRng([4]int{42, 42, 42, 42})
+	for i := range xs {
+		xs[i] = -2 + 4*float64(i)/(m-1)
+		ys[i] = 0.5 - 2*xs[i] + 0.25*math.Pow(xs[i], 3) + 0.01*rng.Uniform11()
+	}
+
+	vander := func() *la.Matrix[float64] {
+		a := la.NewMatrix[float64](m, deg+1)
+		for i := 0; i < m; i++ {
+			p := 1.0
+			for j := 0; j <= deg; j++ {
+				a.Set(i, j, p)
+				p *= xs[i]
+			}
+		}
+		return a
+	}
+
+	// --- LA_GELS: QR-based fit. ---
+	b := make([]float64, m)
+	copy(b, ys)
+	la.Must(la.GELS1(vander(), b))
+	fmt.Println("LA_GELS coefficients (want ≈ 0.5, -2, 0, 0.25):")
+	fmt.Printf("  %+.4f %+.4f %+.4f %+.4f\n", b[0], b[1], b[2], b[3])
+
+	// --- LA_GELSS: the same fit via the SVD, with the singular values. ---
+	b2 := la.NewMatrix[float64](m, 1)
+	copy(b2.Data, ys)
+	rank, s, err := la.GELSS(vander(), b2)
+	la.Must(err)
+	fmt.Printf("LA_GELSS rank = %d, singular values = %.3f\n", rank, s)
+	fmt.Printf("  %+.4f %+.4f %+.4f %+.4f\n", b2.At(0, 0), b2.At(1, 0), b2.At(2, 0), b2.At(3, 0))
+
+	// --- Rank deficiency: duplicate a column and watch GELSS/GELSX detect
+	// it while still producing the minimum-norm solution. ---
+	adef := la.NewMatrix[float64](m, deg+2)
+	v := vander()
+	for j := 0; j <= deg; j++ {
+		for i := 0; i < m; i++ {
+			adef.Set(i, j, v.At(i, j))
+		}
+	}
+	for i := 0; i < m; i++ {
+		adef.Set(i, deg+1, v.At(i, 1)) // duplicate the linear column
+	}
+	b3 := la.NewMatrix[float64](m, 1)
+	copy(b3.Data, ys)
+	rank3, _, err := la.GELSS(adef.Clone(), b3, la.WithRCond(1e-10))
+	la.Must(err)
+	b4 := la.NewMatrix[float64](m, 1)
+	copy(b4.Data, ys)
+	rank4, _, err := la.GELSX(adef.Clone(), b4, la.WithRCond(1e-10))
+	la.Must(err)
+	fmt.Printf("rank-deficient design: GELSS rank = %d, GELSX rank = %d (columns = %d)\n",
+		rank3, rank4, deg+2)
+	// The minimum-norm solution splits the linear coefficient between the
+	// two identical columns.
+	fmt.Printf("  split linear coefficients: %+.4f and %+.4f (sum ≈ -2)\n",
+		b3.At(1, 0), b3.At(deg+1, 0))
+
+	// --- LA_GGLSE: force the fit through the point (0, 1). ---
+	c := make([]float64, m)
+	copy(c, ys)
+	bc := la.NewMatrix[float64](1, deg+1)
+	bc.Set(0, 0, 1) // constraint row: p(0) = coefficient 0
+	d := []float64{1}
+	x, err := la.GGLSE(vander(), bc, c, d)
+	la.Must(err)
+	fmt.Printf("LA_GGLSE with p(0)=1 pinned: %+.4f %+.4f %+.4f %+.4f\n", x[0], x[1], x[2], x[3])
+}

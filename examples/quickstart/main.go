@@ -1,0 +1,49 @@
+// Quickstart is the Go rendering of the paper's Example 2 (Figure 2): the
+// simplified F90 interface solving a linear system in two statements —
+// allocate and fill A and B, then CALL LA_GESV( A, B ).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/lapack"
+	"repro/la"
+)
+
+func main() {
+	const (
+		n    = 5
+		nrhs = 2
+	)
+	// ALLOCATE( A(N,N), B(N,NRHS) ); CALL RANDOM_NUMBER(A)
+	a := la.NewMatrix[float64](n, n)
+	rng := lapack.NewRng([4]int{1998, 3, 28, 3})
+	lapack.Larnv(1, rng, n*n, a.Data)
+
+	// DO J = 1, NRHS; B(:,J) = SUM(A, DIM=2)*J; ENDDO
+	b := la.NewMatrix[float64](n, nrhs)
+	for j := 0; j < nrhs; j++ {
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a.At(i, k)
+			}
+			b.Set(i, j, sum*float64(j+1))
+		}
+	}
+
+	// CALL LA_GESV( A, B ) — shapes inferred, workspace internal, pivots
+	// returned rather than passed.
+	la.Must1(la.GESV(a, b))
+
+	// IF( NRHS < 6 .AND. N < 11 )THEN WRITE the solution (X(:,j) = j·1).
+	fmt.Println("The solution:")
+	for j := 0; j < nrhs; j++ {
+		for i := 0; i < n; i++ {
+			fmt.Printf(" %9.3f", b.At(i, j))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,162 @@
+package f77_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/f77"
+	"repro/internal/lapack"
+	"repro/la"
+)
+
+// TestExample1Figure1 reproduces the paper's Figure 1 (Example 1): the
+// explicit-argument F77 interface solving A·X = B with N = 5, NRHS = 2,
+// random A and B(:,j) = j·rowsums(A), so X(:,j) = j·ones.
+func TestExample1Figure1(t *testing.T) {
+	n, nrhs := 5, 2
+	rng := lapack.NewRng([4]int{1998, 3, 28, 1})
+	lda, ldb := n, n
+	a := make([]float64, lda*n)
+	lapack.Larnv(1, rng, lda*n, a) // RANDOM_NUMBER: uniform (0,1)
+	b := make([]float64, ldb*nrhs)
+	for j := 0; j < nrhs; j++ {
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a[i+k*lda]
+			}
+			b[i+j*ldb] = sum * float64(j+1)
+		}
+	}
+	ipiv := make([]int, n)
+	info := f77.GESV(n, nrhs, a, lda, ipiv, b, ldb)
+	if info != 0 {
+		t.Fatalf("INFO = %d", info)
+	}
+	for j := 0; j < nrhs; j++ {
+		for i := 0; i < n; i++ {
+			if math.Abs(b[i+j*ldb]-float64(j+1)) > 1e-10 {
+				t.Fatalf("X(%d,%d) = %v, want %d", i, j, b[i+j*ldb], j+1)
+			}
+		}
+	}
+	// IPIV is 1-based as in LAPACK 77.
+	for i, p := range ipiv {
+		if p < 1 || p > n {
+			t.Fatalf("ipiv[%d] = %d not 1-based in range", i, p)
+		}
+	}
+}
+
+// TestF77AgreesWithLA90 checks the paper's Example 3 invariant: the
+// F77 interface and the F90 interface compute identical answers on the
+// same data (they drive the same computational core).
+func TestF77AgreesWithLA90(t *testing.T) {
+	n, nrhs := 50, 3
+	rng := lapack.NewRng([4]int{7, 7, 7, 7})
+	a77 := make([]float64, n*n)
+	lapack.Larnv(1, rng, n*n, a77)
+	b77 := make([]float64, n*nrhs)
+	lapack.Larnv(1, rng, n*nrhs, b77)
+
+	a90 := la.NewMatrix[float64](n, n)
+	copy(a90.Data, a77)
+	b90 := la.NewMatrix[float64](n, nrhs)
+	copy(b90.Data, b77)
+
+	ipiv := make([]int, n)
+	if info := f77.GESV(n, nrhs, a77, n, ipiv, b77, n); info != 0 {
+		t.Fatalf("f77 info=%d", info)
+	}
+	ipiv90, err := la.GESV(a90, b90)
+	if err != nil {
+		t.Fatalf("la: %v", err)
+	}
+	for i := 0; i < n*nrhs; i++ {
+		if b77[i] != b90.Data[i] {
+			t.Fatalf("solutions differ at %d: %v vs %v", i, b77[i], b90.Data[i])
+		}
+	}
+	for i := range ipiv {
+		if ipiv[i] != ipiv90[i]+1 {
+			t.Fatalf("pivots differ at %d: f77 %d vs la %d (0-based)", i, ipiv[i], ipiv90[i])
+		}
+	}
+}
+
+func TestF77Primitives(t *testing.T) {
+	// GETRF + GETRS + GETRI round trip through the F77 signatures.
+	n := 6
+	rng := lapack.NewRng([4]int{2, 4, 6, 8})
+	a := make([]float64, n*n)
+	lapack.Larnv(2, rng, n*n, a)
+	orig := append([]float64(nil), a...)
+	ipiv := make([]int, n)
+	if info := f77.GETRF(n, n, a, n, ipiv); info != 0 {
+		t.Fatalf("getrf info=%d", info)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += orig[i+j*n] * x[j]
+		}
+	}
+	if info := f77.GETRS(f77.NoTrans, n, 1, a, n, ipiv, b, n); info != 0 {
+		t.Fatalf("getrs info=%d", info)
+	}
+	for i := range x {
+		if math.Abs(b[i]-x[i]) > 1e-10 {
+			t.Fatalf("solve error at %d", i)
+		}
+	}
+	work := make([]float64, n*f77.ILAENV(1, "GETRI", n, -1, -1, -1))
+	if info := f77.GETRI(n, a, n, ipiv, work, len(work)); info != 0 {
+		t.Fatalf("getri info=%d", info)
+	}
+	// A·A⁻¹ = I spot check.
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for k := 0; k < n; k++ {
+			s += orig[i+k*n] * a[k+i*n]
+		}
+		if math.Abs(s-1) > 1e-10 {
+			t.Fatalf("inverse diagonal %d: %v", i, s)
+		}
+	}
+
+	// LAMCH matches the paper's machine epsilon for single precision.
+	if eps := f77.LAMCH[float32]('E'); math.Abs(eps-1.1920928955078125e-07) > 0 {
+		t.Fatalf("slamch eps = %v", eps)
+	}
+	if eps := f77.LAMCH[float64]('E'); eps != 0x1p-52 {
+		t.Fatalf("dlamch eps = %v", eps)
+	}
+
+	// SYEV and GESVD through the F77 signatures.
+	h := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			v := orig[i+j*n] + orig[j+i*n]
+			h[i+j*n] = v
+			h[j+i*n] = v
+		}
+	}
+	w := make([]float64, n)
+	if info := f77.SYEV[float64](true, f77.Upper, n, h, n, w); info != 0 {
+		t.Fatalf("syev info=%d", info)
+	}
+	s := make([]float64, n)
+	g := append([]float64(nil), orig...)
+	if info := f77.GESVD('N', 'N', n, n, g, n, s, nil, 1, nil, 1); info != 0 {
+		t.Fatalf("gesvd info=%d", info)
+	}
+	for i := 1; i < n; i++ {
+		if s[i] > s[i-1] {
+			t.Fatal("singular values not sorted")
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package blas
+
+import "repro/internal/core"
+
+// Gemv computes y = alpha*op(A)*x + beta*y where op is selected by trans and
+// A is an m×n column-major matrix.
+func Gemv[T core.Scalar](trans Trans, m, n int, alpha T, a []T, lda int, x []T, incX int, beta T, y []T, incY int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	checkLD(m, lda)
+	checkInc(incX)
+	checkInc(incY)
+	lenY := m
+	if trans != NoTrans {
+		lenY = n
+	}
+	if beta != core.FromFloat[T](1) {
+		if beta == 0 {
+			for i, iy := 0, 0; i < lenY; i, iy = i+1, iy+incY {
+				y[iy] = 0
+			}
+		} else {
+			for i, iy := 0, 0; i < lenY; i, iy = i+1, iy+incY {
+				y[iy] *= beta
+			}
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	switch trans {
+	case NoTrans:
+		// y += alpha * A * x, traversing A by columns.
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			t := alpha * x[jx]
+			if t == 0 {
+				continue
+			}
+			col := a[j*lda:]
+			if incY == 1 {
+				yy := y[:m]
+				for i := range yy {
+					yy[i] += t * col[i]
+				}
+			} else {
+				for i, iy := 0, 0; i < m; i, iy = i+1, iy+incY {
+					y[iy] += t * col[i]
+				}
+			}
+		}
+	case TransT:
+		for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+			col := a[j*lda:]
+			var sum T
+			for i, ix := 0, 0; i < m; i, ix = i+1, ix+incX {
+				sum += col[i] * x[ix]
+			}
+			y[jy] += alpha * sum
+		}
+	case ConjTrans:
+		for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+			col := a[j*lda:]
+			var sum T
+			for i, ix := 0, 0; i < m; i, ix = i+1, ix+incX {
+				sum += core.Conj(col[i]) * x[ix]
+			}
+			y[jy] += alpha * sum
+		}
+	}
+}
+
+// Ger computes the rank-one update A += alpha*x*yᵀ (unconjugated; the
+// reference xGER / xGERU).
+func Ger[T core.Scalar](m, n int, alpha T, x []T, incX int, y []T, incY int, a []T, lda int) {
+	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	checkLD(m, lda)
+	checkInc(incX)
+	checkInc(incY)
+	for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+		t := alpha * y[jy]
+		if t == 0 {
+			continue
+		}
+		col := a[j*lda:]
+		if incX == 1 {
+			for i := 0; i < m; i++ {
+				col[i] += x[i] * t
+			}
+		} else {
+			for i, ix := 0, 0; i < m; i, ix = i+1, ix+incX {
+				col[i] += x[ix] * t
+			}
+		}
+	}
+}
+
+// Gerc computes the conjugated rank-one update A += alpha*x*yᴴ.
+func Gerc[T core.Scalar](m, n int, alpha T, x []T, incX int, y []T, incY int, a []T, lda int) {
+	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	checkLD(m, lda)
+	checkInc(incX)
+	checkInc(incY)
+	for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+		t := alpha * core.Conj(y[jy])
+		if t == 0 {
+			continue
+		}
+		col := a[j*lda:]
+		for i, ix := 0, 0; i < m; i, ix = i+1, ix+incX {
+			col[i] += x[ix] * t
+		}
+	}
+}
+
+// Symv computes y = alpha*A*x + beta*y where A is an n×n symmetric matrix of
+// which only the uplo triangle is referenced.
+func Symv[T core.Scalar](uplo Uplo, n int, alpha T, a []T, lda int, x []T, incX int, beta T, y []T, incY int) {
+	symHemv(uplo, n, alpha, a, lda, x, incX, beta, y, incY, false)
+}
+
+// Hemv computes y = alpha*A*x + beta*y where A is an n×n Hermitian matrix of
+// which only the uplo triangle is referenced; the imaginary parts of the
+// diagonal are assumed zero.
+func Hemv[T core.Scalar](uplo Uplo, n int, alpha T, a []T, lda int, x []T, incX int, beta T, y []T, incY int) {
+	symHemv(uplo, n, alpha, a, lda, x, incX, beta, y, incY, true)
+}
+
+func symHemv[T core.Scalar](uplo Uplo, n int, alpha T, a []T, lda int, x []T, incX int, beta T, y []T, incY int, conj bool) {
+	if n == 0 {
+		return
+	}
+	checkLD(n, lda)
+	checkInc(incX)
+	checkInc(incY)
+	cj := func(v T) T {
+		if conj {
+			return core.Conj(v)
+		}
+		return v
+	}
+	for i, iy := 0, 0; i < n; i, iy = i+1, iy+incY {
+		if beta == 0 {
+			y[iy] = 0
+		} else {
+			y[iy] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	for j, jx, jy := 0, 0, 0; j < n; j, jx, jy = j+1, jx+incX, jy+incY {
+		t1 := alpha * x[jx]
+		var t2 T
+		col := a[j*lda:]
+		if uplo == Upper {
+			for i, ix, iy := 0, 0, 0; i < j; i, ix, iy = i+1, ix+incX, iy+incY {
+				y[iy] += t1 * col[i]
+				t2 += cj(col[i]) * x[ix]
+			}
+			d := col[j]
+			if conj {
+				d = core.FromFloat[T](core.Re(d))
+			}
+			y[jy] += t1*d + alpha*t2
+		} else {
+			d := col[j]
+			if conj {
+				d = core.FromFloat[T](core.Re(d))
+			}
+			y[jy] += t1 * d
+			for i, ix, iy := j+1, (j+1)*incX, (j+1)*incY; i < n; i, ix, iy = i+1, ix+incX, iy+incY {
+				y[iy] += t1 * col[i]
+				t2 += cj(col[i]) * x[ix]
+			}
+			y[jy] += alpha * t2
+		}
+	}
+}
+
+// Syr computes the symmetric rank-one update A += alpha*x*xᵀ on the uplo
+// triangle of A.
+func Syr[T core.Scalar](uplo Uplo, n int, alpha T, x []T, incX int, a []T, lda int) {
+	if n == 0 || alpha == 0 {
+		return
+	}
+	checkLD(n, lda)
+	checkInc(incX)
+	for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+		t := alpha * x[jx]
+		if t == 0 {
+			continue
+		}
+		col := a[j*lda:]
+		if uplo == Upper {
+			for i, ix := 0, 0; i <= j; i, ix = i+1, ix+incX {
+				col[i] += x[ix] * t
+			}
+		} else {
+			for i, ix := j, jx; i < n; i, ix = i+1, ix+incX {
+				col[i] += x[ix] * t
+			}
+		}
+	}
+}
+
+// Her computes the Hermitian rank-one update A += alpha*x*xᴴ with real
+// alpha on the uplo triangle of A.
+func Her[T core.Scalar](uplo Uplo, n int, alpha float64, x []T, incX int, a []T, lda int) {
+	if n == 0 || alpha == 0 {
+		return
+	}
+	checkLD(n, lda)
+	checkInc(incX)
+	al := core.FromFloat[T](alpha)
+	for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+		t := al * core.Conj(x[jx])
+		col := a[j*lda:]
+		if uplo == Upper {
+			for i, ix := 0, 0; i < j; i, ix = i+1, ix+incX {
+				col[i] += x[ix] * t
+			}
+			col[j] = core.FromFloat[T](core.Re(col[j]) + core.Re(x[jx]*t))
+		} else {
+			col[j] = core.FromFloat[T](core.Re(col[j]) + core.Re(x[jx]*t))
+			for i, ix := j+1, jx+incX; i < n; i, ix = i+1, ix+incX {
+				col[i] += x[ix] * t
+			}
+		}
+	}
+}
+
+// Syr2 computes the symmetric rank-two update A += alpha*x*yᵀ + alpha*y*xᵀ
+// on the uplo triangle of A.
+func Syr2[T core.Scalar](uplo Uplo, n int, alpha T, x []T, incX int, y []T, incY int, a []T, lda int) {
+	if n == 0 || alpha == 0 {
+		return
+	}
+	checkLD(n, lda)
+	checkInc(incX)
+	checkInc(incY)
+	for j, jx, jy := 0, 0, 0; j < n; j, jx, jy = j+1, jx+incX, jy+incY {
+		t1 := alpha * y[jy]
+		t2 := alpha * x[jx]
+		col := a[j*lda:]
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		for i, ix, iy := lo, lo*incX, lo*incY; i < hi; i, ix, iy = i+1, ix+incX, iy+incY {
+			col[i] += x[ix]*t1 + y[iy]*t2
+		}
+	}
+}
+
+// Her2 computes the Hermitian rank-two update
+// A += alpha*x*yᴴ + conj(alpha)*y*xᴴ on the uplo triangle of A.
+func Her2[T core.Scalar](uplo Uplo, n int, alpha T, x []T, incX int, y []T, incY int, a []T, lda int) {
+	if n == 0 || alpha == 0 {
+		return
+	}
+	checkLD(n, lda)
+	checkInc(incX)
+	checkInc(incY)
+	for j, jx, jy := 0, 0, 0; j < n; j, jx, jy = j+1, jx+incX, jy+incY {
+		t1 := alpha * core.Conj(y[jy])
+		t2 := core.Conj(alpha) * core.Conj(x[jx])
+		col := a[j*lda:]
+		if uplo == Upper {
+			for i, ix, iy := 0, 0, 0; i < j; i, ix, iy = i+1, ix+incX, iy+incY {
+				col[i] += x[ix]*t1 + y[iy]*t2
+			}
+			col[j] = core.FromFloat[T](core.Re(col[j]) + core.Re(x[jx]*t1+y[jy]*t2))
+		} else {
+			col[j] = core.FromFloat[T](core.Re(col[j]) + core.Re(x[jx]*t1+y[jy]*t2))
+			for i, ix, iy := j+1, jx+incX, jy+incY; i < n; i, ix, iy = i+1, ix+incX, iy+incY {
+				col[i] += x[ix]*t1 + y[iy]*t2
+			}
+		}
+	}
+}
+
+// Trmv computes x = op(A)*x where A is an n×n triangular matrix.
+func Trmv[T core.Scalar](uplo Uplo, trans Trans, diag Diag, n int, a []T, lda int, x []T, incX int) {
+	if n == 0 {
+		return
+	}
+	checkLD(n, lda)
+	checkInc(incX)
+	nonUnit := diag == NonUnit
+	switch {
+	case trans == NoTrans && uplo == Upper:
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			if x[jx] == 0 {
+				continue
+			}
+			t := x[jx]
+			col := a[j*lda:]
+			for i, ix := 0, 0; i < j; i, ix = i+1, ix+incX {
+				x[ix] += t * col[i]
+			}
+			if nonUnit {
+				x[jx] *= col[j]
+			}
+		}
+	case trans == NoTrans && uplo == Lower:
+		for j, jx := n-1, (n-1)*incX; j >= 0; j, jx = j-1, jx-incX {
+			if x[jx] == 0 {
+				continue
+			}
+			t := x[jx]
+			col := a[j*lda:]
+			for i, ix := n-1, (n-1)*incX; i > j; i, ix = i-1, ix-incX {
+				x[ix] += t * col[i]
+			}
+			if nonUnit {
+				x[jx] *= col[j]
+			}
+		}
+	case uplo == Upper: // Trans or ConjTrans
+		for j, jx := n-1, (n-1)*incX; j >= 0; j, jx = j-1, jx-incX {
+			col := a[j*lda:]
+			var t T
+			if trans == ConjTrans {
+				if nonUnit {
+					t = core.Conj(col[j]) * x[jx]
+				} else {
+					t = x[jx]
+				}
+				for i, ix := j-1, jx-incX; i >= 0; i, ix = i-1, ix-incX {
+					t += core.Conj(col[i]) * x[ix]
+				}
+			} else {
+				if nonUnit {
+					t = col[j] * x[jx]
+				} else {
+					t = x[jx]
+				}
+				for i, ix := j-1, jx-incX; i >= 0; i, ix = i-1, ix-incX {
+					t += col[i] * x[ix]
+				}
+			}
+			x[jx] = t
+		}
+	default: // Trans/ConjTrans, Lower
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			col := a[j*lda:]
+			var t T
+			if trans == ConjTrans {
+				if nonUnit {
+					t = core.Conj(col[j]) * x[jx]
+				} else {
+					t = x[jx]
+				}
+				for i, ix := j+1, jx+incX; i < n; i, ix = i+1, ix+incX {
+					t += core.Conj(col[i]) * x[ix]
+				}
+			} else {
+				if nonUnit {
+					t = col[j] * x[jx]
+				} else {
+					t = x[jx]
+				}
+				for i, ix := j+1, jx+incX; i < n; i, ix = i+1, ix+incX {
+					t += col[i] * x[ix]
+				}
+			}
+			x[jx] = t
+		}
+	}
+}
+
+// Trsv solves op(A)*x = b where A is an n×n triangular matrix and b is
+// passed in and overwritten by x.
+func Trsv[T core.Scalar](uplo Uplo, trans Trans, diag Diag, n int, a []T, lda int, x []T, incX int) {
+	if n == 0 {
+		return
+	}
+	checkLD(n, lda)
+	checkInc(incX)
+	nonUnit := diag == NonUnit
+	switch {
+	case trans == NoTrans && uplo == Upper:
+		for j, jx := n-1, (n-1)*incX; j >= 0; j, jx = j-1, jx-incX {
+			col := a[j*lda:]
+			if x[jx] != 0 {
+				if nonUnit {
+					x[jx] = core.Div(x[jx], col[j])
+				}
+				t := x[jx]
+				for i, ix := j-1, jx-incX; i >= 0; i, ix = i-1, ix-incX {
+					x[ix] -= t * col[i]
+				}
+			}
+		}
+	case trans == NoTrans && uplo == Lower:
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			col := a[j*lda:]
+			if x[jx] != 0 {
+				if nonUnit {
+					x[jx] = core.Div(x[jx], col[j])
+				}
+				t := x[jx]
+				for i, ix := j+1, jx+incX; i < n; i, ix = i+1, ix+incX {
+					x[ix] -= t * col[i]
+				}
+			}
+		}
+	case uplo == Upper: // Trans/ConjTrans
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			col := a[j*lda:]
+			t := x[jx]
+			if trans == ConjTrans {
+				for i, ix := 0, 0; i < j; i, ix = i+1, ix+incX {
+					t -= core.Conj(col[i]) * x[ix]
+				}
+				if nonUnit {
+					t = core.Div(t, core.Conj(col[j]))
+				}
+			} else {
+				for i, ix := 0, 0; i < j; i, ix = i+1, ix+incX {
+					t -= col[i] * x[ix]
+				}
+				if nonUnit {
+					t = core.Div(t, col[j])
+				}
+			}
+			x[jx] = t
+		}
+	default: // Trans/ConjTrans, Lower
+		for j, jx := n-1, (n-1)*incX; j >= 0; j, jx = j-1, jx-incX {
+			col := a[j*lda:]
+			t := x[jx]
+			if trans == ConjTrans {
+				for i, ix := n-1, (n-1)*incX; i > j; i, ix = i-1, ix-incX {
+					t -= core.Conj(col[i]) * x[ix]
+				}
+				if nonUnit {
+					t = core.Div(t, core.Conj(col[j]))
+				}
+			} else {
+				for i, ix := n-1, (n-1)*incX; i > j; i, ix = i-1, ix-incX {
+					t -= col[i] * x[ix]
+				}
+				if nonUnit {
+					t = core.Div(t, col[j])
+				}
+			}
+			x[jx] = t
+		}
+	}
+}

@@ -1,0 +1,538 @@
+package blas
+
+import "repro/internal/core"
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C where op(A) is m×k and op(B)
+// is k×n. Loop orders are chosen so the innermost loop always walks down a
+// column (unit stride in column-major storage).
+func Gemm[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	checkLD(m, ldc)
+	rowsA, rowsB := m, k
+	if transA != NoTrans {
+		rowsA = k
+	}
+	if transB != NoTrans {
+		rowsB = n
+	}
+	checkLD(rowsA, lda)
+	checkLD(rowsB, ldb)
+
+	scaleC := func() {
+		for j := 0; j < n; j++ {
+			col := c[j*ldc : j*ldc+m]
+			if beta == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				for i := range col {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		if beta != core.FromFloat[T](1) {
+			scaleC()
+		}
+		return
+	}
+	if beta != core.FromFloat[T](1) {
+		scaleC()
+	}
+
+	cjA := func(v T) T { return v }
+	if transA == ConjTrans {
+		cjA = core.Conj[T]
+	}
+	cjB := func(v T) T { return v }
+	if transB == ConjTrans {
+		cjB = core.Conj[T]
+	}
+
+	switch {
+	case transA == NoTrans && transB == NoTrans:
+		// C(:,j) += alpha * A(:,l) * B(l,j)
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			bcol := b[j*ldb:]
+			for l := 0; l < k; l++ {
+				t := alpha * bcol[l]
+				if t == 0 {
+					continue
+				}
+				acol := a[l*lda : l*lda+m]
+				for i := range acol {
+					ccol[i] += t * acol[i]
+				}
+			}
+		}
+	case transA == NoTrans: // B transposed/conj-transposed: B(l,j) = op at (j,l)
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			for l := 0; l < k; l++ {
+				t := alpha * cjB(b[j+l*ldb])
+				if t == 0 {
+					continue
+				}
+				acol := a[l*lda : l*lda+m]
+				for i := range acol {
+					ccol[i] += t * acol[i]
+				}
+			}
+		}
+	case transB == NoTrans: // A transposed: C(i,j) += alpha * sum_l op(A)(i,l)*B(l,j) with op(A)(i,l)=A(l,i)
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			bcol := b[j*ldb : j*ldb+k]
+			for i := 0; i < m; i++ {
+				acol := a[i*lda : i*lda+k]
+				var sum T
+				if transA == ConjTrans {
+					for l := range acol {
+						sum += core.Conj(acol[l]) * bcol[l]
+					}
+				} else {
+					for l := range acol {
+						sum += acol[l] * bcol[l]
+					}
+				}
+				ccol[i] += alpha * sum
+			}
+		}
+	default: // both transposed
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			for i := 0; i < m; i++ {
+				acol := a[i*lda : i*lda+k]
+				var sum T
+				for l := range acol {
+					sum += cjA(acol[l]) * cjB(b[j+l*ldb])
+				}
+				ccol[i] += alpha * sum
+			}
+		}
+	}
+}
+
+// Symm computes C = alpha*A*B + beta*C (side == Left) or
+// C = alpha*B*A + beta*C (side == Right) where A is symmetric with only the
+// uplo triangle referenced.
+func Symm[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	symHemm(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc, false)
+}
+
+// Hemm is the Hermitian analogue of Symm.
+func Hemm[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	symHemm(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc, true)
+}
+
+func symHemm[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int, conj bool) {
+	if m == 0 || n == 0 {
+		return
+	}
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkLD(na, lda)
+	checkLD(m, ldb)
+	checkLD(m, ldc)
+	sym := func(i, j int) T {
+		var v T
+		if (uplo == Upper) == (i <= j) {
+			v = a[i+j*lda]
+		} else {
+			v = a[j+i*lda]
+			if conj {
+				v = core.Conj(v)
+			}
+		}
+		if conj && i == j {
+			v = core.FromFloat[T](core.Re(v))
+		}
+		return v
+	}
+	for j := 0; j < n; j++ {
+		ccol := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range ccol {
+				ccol[i] = 0
+			}
+		} else if beta != core.FromFloat[T](1) {
+			for i := range ccol {
+				ccol[i] *= beta
+			}
+		}
+		if alpha == 0 {
+			continue
+		}
+		if side == Left {
+			bcol := b[j*ldb : j*ldb+m]
+			for l := 0; l < m; l++ {
+				t := alpha * bcol[l]
+				if t == 0 {
+					continue
+				}
+				for i := 0; i < m; i++ {
+					ccol[i] += t * sym(i, l)
+				}
+			}
+		} else {
+			for l := 0; l < n; l++ {
+				t := alpha * sym(l, j)
+				if t == 0 {
+					continue
+				}
+				bcol := b[l*ldb : l*ldb+m]
+				for i := range bcol {
+					ccol[i] += t * bcol[i]
+				}
+			}
+		}
+	}
+}
+
+// Syrk computes the symmetric rank-k update C = alpha*A*Aᵀ + beta*C
+// (trans == NoTrans) or C = alpha*Aᵀ*A + beta*C on the uplo triangle of C.
+func Syrk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, beta T, c []T, ldc int) {
+	if n == 0 {
+		return
+	}
+	checkLD(n, ldc)
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		ccol := c[j*ldc:]
+		for i := lo; i < hi; i++ {
+			var sum T
+			if trans == NoTrans {
+				for l := 0; l < k; l++ {
+					sum += a[i+l*lda] * a[j+l*lda]
+				}
+			} else {
+				for l := 0; l < k; l++ {
+					sum += a[l+i*lda] * a[l+j*lda]
+				}
+			}
+			if beta == 0 {
+				ccol[i] = alpha * sum
+			} else {
+				ccol[i] = alpha*sum + beta*ccol[i]
+			}
+		}
+	}
+}
+
+// Herk computes the Hermitian rank-k update C = alpha*A*Aᴴ + beta*C
+// (trans == NoTrans) or C = alpha*Aᴴ*A + beta*C, with real alpha and beta,
+// on the uplo triangle of C.
+func Herk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha float64, a []T, lda int, beta float64, c []T, ldc int) {
+	if n == 0 {
+		return
+	}
+	checkLD(n, ldc)
+	al := core.FromFloat[T](alpha)
+	bt := core.FromFloat[T](beta)
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		ccol := c[j*ldc:]
+		for i := lo; i < hi; i++ {
+			var sum T
+			if trans == NoTrans {
+				for l := 0; l < k; l++ {
+					sum += a[i+l*lda] * core.Conj(a[j+l*lda])
+				}
+			} else {
+				for l := 0; l < k; l++ {
+					sum += core.Conj(a[l+i*lda]) * a[l+j*lda]
+				}
+			}
+			v := al * sum
+			if beta != 0 {
+				v += bt * ccol[i]
+			}
+			if i == j {
+				v = core.FromFloat[T](core.Re(v))
+			}
+			ccol[i] = v
+		}
+	}
+}
+
+// Syr2k computes the symmetric rank-2k update
+// C = alpha*A*Bᵀ + alpha*B*Aᵀ + beta*C (NoTrans) or the transposed form.
+func Syr2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	if n == 0 {
+		return
+	}
+	checkLD(n, ldc)
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		ccol := c[j*ldc:]
+		for i := lo; i < hi; i++ {
+			var sum T
+			if trans == NoTrans {
+				for l := 0; l < k; l++ {
+					sum += a[i+l*lda]*b[j+l*ldb] + b[i+l*ldb]*a[j+l*lda]
+				}
+			} else {
+				for l := 0; l < k; l++ {
+					sum += a[l+i*lda]*b[l+j*ldb] + b[l+i*ldb]*a[l+j*lda]
+				}
+			}
+			if beta == 0 {
+				ccol[i] = alpha * sum
+			} else {
+				ccol[i] = alpha*sum + beta*ccol[i]
+			}
+		}
+	}
+}
+
+// Her2k computes the Hermitian rank-2k update
+// C = alpha*A*Bᴴ + conj(alpha)*B*Aᴴ + beta*C (NoTrans) or the conj-
+// transposed form, with real beta.
+func Her2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta float64, c []T, ldc int) {
+	if n == 0 {
+		return
+	}
+	checkLD(n, ldc)
+	bt := core.FromFloat[T](beta)
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		ccol := c[j*ldc:]
+		for i := lo; i < hi; i++ {
+			var sum T
+			if trans == NoTrans {
+				for l := 0; l < k; l++ {
+					sum += alpha*a[i+l*lda]*core.Conj(b[j+l*ldb]) +
+						core.Conj(alpha)*b[i+l*ldb]*core.Conj(a[j+l*lda])
+				}
+			} else {
+				for l := 0; l < k; l++ {
+					sum += alpha*core.Conj(a[l+i*lda])*b[l+j*ldb] +
+						core.Conj(alpha)*core.Conj(b[l+i*ldb])*a[l+j*lda]
+				}
+			}
+			v := sum
+			if beta != 0 {
+				v += bt * ccol[i]
+			}
+			if i == j {
+				v = core.FromFloat[T](core.Re(v))
+			}
+			ccol[i] = v
+		}
+	}
+}
+
+// Trmm computes B = alpha*op(A)*B (side == Left) or B = alpha*B*op(A)
+// (side == Right) where A is triangular.
+func Trmm[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkLD(na, lda)
+	checkLD(m, ldb)
+	if side == Left {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb:]
+			Trmv(uplo, trans, diag, m, a, lda, col, 1)
+			if alpha != core.FromFloat[T](1) {
+				Scal(m, alpha, col, 1)
+			}
+		}
+		return
+	}
+	// Right side: B = alpha * B * op(A). Work row-wise on B via explicit
+	// column combinations; op(A) is na×na.
+	cj := func(v T) T { return v }
+	if trans == ConjTrans {
+		cj = core.Conj[T]
+	}
+	nonUnit := diag == NonUnit
+	if (trans == NoTrans) == (uplo == Upper) {
+		// Columns of the result depend on earlier columns: process j from
+		// high to low for Upper/NoTrans (result col j = sum_{l<=j}).
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			var djj T
+			if trans == NoTrans {
+				djj = a[j+j*lda]
+			} else {
+				djj = cj(a[j+j*lda])
+			}
+			if nonUnit {
+				for i := range bj {
+					bj[i] *= alpha * djj
+				}
+			} else if alpha != core.FromFloat[T](1) {
+				for i := range bj {
+					bj[i] *= alpha
+				}
+			}
+			for l := 0; l < j; l++ {
+				var alj T
+				if trans == NoTrans {
+					alj = a[l+j*lda] // A(l,j), upper
+				} else {
+					alj = cj(a[j+l*lda]) // op(A)(l,j) = conj(A(j,l)), A lower
+				}
+				if alj == 0 {
+					continue
+				}
+				t := alpha * alj
+				bl := b[l*ldb : l*ldb+m]
+				for i := range bj {
+					bj[i] += t * bl[i]
+				}
+			}
+		}
+	} else {
+		// op(A) is lower triangular: result col j = sum_{l>=j}, process j
+		// from low to high.
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			var djj T
+			if trans == NoTrans {
+				djj = a[j+j*lda]
+			} else {
+				djj = cj(a[j+j*lda])
+			}
+			if nonUnit {
+				for i := range bj {
+					bj[i] *= alpha * djj
+				}
+			} else if alpha != core.FromFloat[T](1) {
+				for i := range bj {
+					bj[i] *= alpha
+				}
+			}
+			for l := j + 1; l < n; l++ {
+				var alj T
+				if trans == NoTrans {
+					alj = a[l+j*lda] // A(l,j), lower
+				} else {
+					alj = cj(a[j+l*lda]) // conj(A(j,l)), A upper
+				}
+				if alj == 0 {
+					continue
+				}
+				t := alpha * alj
+				bl := b[l*ldb : l*ldb+m]
+				for i := range bj {
+					bj[i] += t * bl[i]
+				}
+			}
+		}
+	}
+}
+
+// Trsm solves op(A)*X = alpha*B (side == Left) or X*op(A) = alpha*B
+// (side == Right) for X, overwriting B, where A is triangular.
+func Trsm[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkLD(na, lda)
+	checkLD(m, ldb)
+	if side == Left {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb:]
+			if alpha != core.FromFloat[T](1) {
+				Scal(m, alpha, col, 1)
+			}
+			Trsv(uplo, trans, diag, m, a, lda, col, 1)
+		}
+		return
+	}
+	// Right side: X*op(A) = alpha*B  <=>  op(A)ᵀ Xᵀ = alpha Bᵀ. Solve
+	// column by column over the columns of X in dependency order.
+	cj := func(v T) T { return v }
+	if trans == ConjTrans {
+		cj = core.Conj[T]
+	}
+	nonUnit := diag == NonUnit
+	opA := func(i, j int) T {
+		if trans == NoTrans {
+			return a[i+j*lda]
+		}
+		return cj(a[j+i*lda])
+	}
+	opUpper := (trans == NoTrans) == (uplo == Upper)
+	if opUpper {
+		// X(:,j) = (alpha*B(:,j) - sum_{l<j} X(:,l)*opA(l,j)) / opA(j,j)
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			if alpha != core.FromFloat[T](1) {
+				for i := range bj {
+					bj[i] *= alpha
+				}
+			}
+			for l := 0; l < j; l++ {
+				t := opA(l, j)
+				if t == 0 {
+					continue
+				}
+				bl := b[l*ldb : l*ldb+m]
+				for i := range bj {
+					bj[i] -= t * bl[i]
+				}
+			}
+			if nonUnit {
+				d := opA(j, j)
+				for i := range bj {
+					bj[i] = core.Div(bj[i], d)
+				}
+			}
+		}
+	} else {
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			if alpha != core.FromFloat[T](1) {
+				for i := range bj {
+					bj[i] *= alpha
+				}
+			}
+			for l := j + 1; l < n; l++ {
+				t := opA(l, j)
+				if t == 0 {
+					continue
+				}
+				bl := b[l*ldb : l*ldb+m]
+				for i := range bj {
+					bj[i] -= t * bl[i]
+				}
+			}
+			if nonUnit {
+				d := opA(j, j)
+				for i := range bj {
+					bj[i] = core.Div(bj[i], d)
+				}
+			}
+		}
+	}
+}

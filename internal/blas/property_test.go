@@ -1,0 +1,208 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// Property-based tests (testing/quick) of the algebraic invariants the
+// BLAS kernels must satisfy for arbitrary well-formed inputs.
+
+// smallVec draws a bounded random vector so invariant tolerances stay
+// meaningful.
+func smallVec(r *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+func qcfg() *quick.Config {
+	return &quick.Config{MaxCount: 200}
+}
+
+// Axpy must be linear: axpy(a, x, axpy(b, x, y)) == axpy(a+b, x, y).
+func TestQuickAxpyLinearity(t *testing.T) {
+	f := func(seed int64, a, b float64, nRaw uint8) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 8)
+		b = math.Mod(b, 8)
+		n := int(nRaw%32) + 1
+		r := rand.New(rand.NewSource(seed))
+		x := smallVec(r, n)
+		y := smallVec(r, n)
+		y1 := append([]float64(nil), y...)
+		Axpy(n, b, x, 1, y1, 1)
+		Axpy(n, a, x, 1, y1, 1)
+		y2 := append([]float64(nil), y...)
+		Axpy(n, a+b, x, 1, y2, 1)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-12*(1+math.Abs(y2[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The dot product must be symmetric and bilinear against scaling.
+func TestQuickDotSymmetryAndScaling(t *testing.T) {
+	f := func(seed int64, alpha float64, nRaw uint8) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			return true
+		}
+		alpha = math.Mod(alpha, 16)
+		n := int(nRaw%48) + 1
+		r := rand.New(rand.NewSource(seed))
+		x := smallVec(r, n)
+		y := smallVec(r, n)
+		d1 := Dot(n, x, 1, y, 1)
+		d2 := Dot(n, y, 1, x, 1)
+		if math.Abs(d1-d2) > 1e-12*(1+math.Abs(d1)) {
+			return false
+		}
+		xs := append([]float64(nil), x...)
+		Scal(n, alpha, xs, 1)
+		d3 := Dot(n, xs, 1, y, 1)
+		return math.Abs(d3-alpha*d1) <= 1e-10*(1+math.Abs(alpha*d1))
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Nrm2 must satisfy the norm axioms: triangle inequality, absolute
+// homogeneity, and consistency with the dot product.
+func TestQuickNrm2Axioms(t *testing.T) {
+	f := func(seed int64, alpha float64, nRaw uint8) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			return true
+		}
+		alpha = math.Mod(alpha, 32)
+		n := int(nRaw%48) + 1
+		r := rand.New(rand.NewSource(seed))
+		x := smallVec(r, n)
+		y := smallVec(r, n)
+		nx := Nrm2(n, x, 1)
+		ny := Nrm2(n, y, 1)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = x[i] + y[i]
+		}
+		if Nrm2(n, s, 1) > nx+ny+1e-12 {
+			return false
+		}
+		xs := append([]float64(nil), x...)
+		Scal(n, alpha, xs, 1)
+		if math.Abs(Nrm2(n, xs, 1)-math.Abs(alpha)*nx) > 1e-10*(1+math.Abs(alpha)*nx) {
+			return false
+		}
+		return math.Abs(nx*nx-Dot(n, x, 1, x, 1)) <= 1e-10*(1+nx*nx)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Gemv must agree with gemm on a single column, and gemm must be
+// associative-compatible with transposition: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestQuickGemmTransposeIdentity(t *testing.T) {
+	f := func(seed int64, mRaw, nRaw, kRaw uint8) bool {
+		m := int(mRaw%12) + 1
+		n := int(nRaw%12) + 1
+		k := int(kRaw%12) + 1
+		r := rand.New(rand.NewSource(seed))
+		a := smallVec(r, m*k)
+		b := smallVec(r, k*n)
+		c1 := make([]float64, m*n)
+		Gemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, c1, m)
+		// (A·B)ᵀ via transposed operands: C2 = Bᵀ·Aᵀ (n×m).
+		c2 := make([]float64, n*m)
+		Gemm(TransT, TransT, n, m, k, 1, b, k, a, m, 0, c2, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(c1[i+j*m]-c2[j+i*n]) > 1e-11 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Complex kernels: conjugation identities dotc(x,y) == conj(dotc(y,x)) and
+// ‖x‖² == re(dotc(x,x)).
+func TestQuickComplexDotcIdentities(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		r := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			y[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		d1 := Dotc(n, x, 1, y, 1)
+		d2 := Dotc(n, y, 1, x, 1)
+		if core.Abs(d1-complex(real(d2), -imag(d2))) > 1e-11*(1+core.Abs(d1)) {
+			return false
+		}
+		nx := Nrm2(n, x, 1)
+		dd := Dotc(n, x, 1, x, 1)
+		return math.Abs(imag(dd)) <= 1e-12*(1+nx*nx) &&
+			math.Abs(real(dd)-nx*nx) <= 1e-10*(1+nx*nx)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Trsv must invert Trmv for any triangle configuration.
+func TestQuickTrmvTrsvInverse(t *testing.T) {
+	f := func(seed int64, nRaw, cfg uint8) bool {
+		n := int(nRaw%16) + 1
+		uplo := Upper
+		if cfg&1 != 0 {
+			uplo = Lower
+		}
+		trans := NoTrans
+		if cfg&2 != 0 {
+			trans = TransT
+		}
+		diag := NonUnit
+		if cfg&4 != 0 {
+			diag = Unit
+		}
+		r := rand.New(rand.NewSource(seed))
+		a := smallVec(r, n*n)
+		for i := 0; i < n; i++ {
+			a[i+i*n] += 5 // well conditioned
+		}
+		x := smallVec(r, n)
+		x0 := append([]float64(nil), x...)
+		Trmv(uplo, trans, diag, n, a, n, x, 1)
+		Trsv(uplo, trans, diag, n, a, n, x, 1)
+		for i := range x {
+			if math.Abs(x[i]-x0[i]) > 1e-9*(1+math.Abs(x0[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package core provides the scalar-type machinery that gives the rest of the
+// library its four-way genericity over float32, float64, complex64 and
+// complex128 — the Go analogue of the LAPACK90 paper's generic interfaces,
+// in which "no distinction is made between single and double precision or
+// between real and complex data types".
+//
+// Two constraint families are used throughout the module:
+//
+//   - Float  covers the real element types (the LAPACK S and D families).
+//   - Cmplx  covers the complex element types (the LAPACK C and Z families).
+//   - Scalar is their union and is used wherever an algorithm needs only
+//     ring operations (+, -, *) that Go defines natively for all four types.
+//
+// The constraints intentionally do not use ~ (underlying-type) terms: several
+// helpers rely on exact dynamic types for dispatch, and LAPACK-style numeric
+// code has no use for named scalar types.
+package core
+
+import "math"
+
+// Float is the constraint for real element types (LAPACK's S and D types).
+type Float interface {
+	float32 | float64
+}
+
+// Cmplx is the constraint for complex element types (LAPACK's C and Z types).
+type Cmplx interface {
+	complex64 | complex128
+}
+
+// Scalar is the constraint covering every element type the library supports.
+type Scalar interface {
+	float32 | float64 | complex64 | complex128
+}
+
+// Machine-precision constants, following the FORTRAN 90 EPSILON convention
+// used by the paper (EPSILON(1.0) = 2**-23 = 1.1921e-07 for single
+// precision; the paper's Appendix F prints exactly this value).
+const (
+	EpsSingle = 0x1p-23 // 1.1920929e-07
+	EpsDouble = 0x1p-52 // 2.220446049250313e-16
+)
+
+// IsComplex reports whether T is one of the complex element types.
+func IsComplex[T Scalar]() bool {
+	var z T
+	switch any(z).(type) {
+	case complex64, complex128:
+		return true
+	}
+	return false
+}
+
+// Eps returns the machine epsilon (FORTRAN 90 EPSILON convention) of the
+// real type underlying T: 2**-23 for float32/complex64 and 2**-52 for
+// float64/complex128.
+func Eps[T Scalar]() float64 {
+	var z T
+	switch any(z).(type) {
+	case float32, complex64:
+		return EpsSingle
+	}
+	return EpsDouble
+}
+
+// SafeMin returns the smallest positive normalized number of the real type
+// underlying T, the LAPACK xLAMCH('S') value.
+func SafeMin[T Scalar]() float64 {
+	var z T
+	switch any(z).(type) {
+	case float32, complex64:
+		return math.SmallestNonzeroFloat32 * 0x1p23 // 2**-126
+	}
+	return math.SmallestNonzeroFloat64 * 0x1p52 // 2**-1022
+}
+
+// Overflow returns the largest finite number of the real type underlying T,
+// the LAPACK xLAMCH('O') value.
+func Overflow[T Scalar]() float64 {
+	var z T
+	switch any(z).(type) {
+	case float32, complex64:
+		return math.MaxFloat32
+	}
+	return math.MaxFloat64
+}
+
+// Abs returns |x| as a float64: the modulus for complex types and the
+// absolute value for real types.
+func Abs[T Scalar](x T) float64 {
+	switch v := any(x).(type) {
+	case float32:
+		return math.Abs(float64(v))
+	case float64:
+		return math.Abs(v)
+	case complex64:
+		return hypot(float64(real(v)), float64(imag(v)))
+	case complex128:
+		return hypot(real(v), imag(v))
+	}
+	return 0
+}
+
+// Abs1 returns the LAPACK CABS1 measure |re(x)| + |im(x)| used for pivot
+// selection in complex factorizations; for real types it equals |x|.
+func Abs1[T Scalar](x T) float64 {
+	switch v := any(x).(type) {
+	case float32:
+		return math.Abs(float64(v))
+	case float64:
+		return math.Abs(v)
+	case complex64:
+		return math.Abs(float64(real(v))) + math.Abs(float64(imag(v)))
+	case complex128:
+		return math.Abs(real(v)) + math.Abs(imag(v))
+	}
+	return 0
+}
+
+// Conj returns the complex conjugate of x; real values are returned
+// unchanged.
+func Conj[T Scalar](x T) T {
+	switch v := any(x).(type) {
+	case complex64:
+		return any(complex(real(v), -imag(v))).(T)
+	case complex128:
+		return any(complex(real(v), -imag(v))).(T)
+	}
+	return x
+}
+
+// Re returns the real part of x as a float64.
+func Re[T Scalar](x T) float64 {
+	switch v := any(x).(type) {
+	case float32:
+		return float64(v)
+	case float64:
+		return v
+	case complex64:
+		return float64(real(v))
+	case complex128:
+		return real(v)
+	}
+	return 0
+}
+
+// Im returns the imaginary part of x as a float64 (zero for real types).
+func Im[T Scalar](x T) float64 {
+	switch v := any(x).(type) {
+	case complex64:
+		return float64(imag(v))
+	case complex128:
+		return imag(v)
+	}
+	return 0
+}
+
+// FromFloat converts a float64 into the element type T (imaginary part zero
+// for complex T).
+func FromFloat[T Scalar](v float64) T {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return any(float32(v)).(T)
+	case float64:
+		return any(v).(T)
+	case complex64:
+		return any(complex(float32(v), 0)).(T)
+	case complex128:
+		return any(complex(v, 0)).(T)
+	}
+	return z
+}
+
+// FromComplex converts a complex128 into the element type T. For real T the
+// imaginary part is discarded; callers in real code paths only pass real
+// values.
+func FromComplex[T Scalar](v complex128) T {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return any(float32(real(v))).(T)
+	case float64:
+		return any(real(v)).(T)
+	case complex64:
+		return any(complex64(v)).(T)
+	case complex128:
+		return any(v).(T)
+	}
+	return z
+}
+
+// ToComplex converts x to complex128.
+func ToComplex[T Scalar](x T) complex128 {
+	switch v := any(x).(type) {
+	case float32:
+		return complex(float64(v), 0)
+	case float64:
+		return complex(v, 0)
+	case complex64:
+		return complex128(v)
+	case complex128:
+		return v
+	}
+	return 0
+}
+
+// Div returns x/y with the LAPACK xLADIV scaling for complex types, which
+// avoids intermediate overflow for well-scaled operands.
+func Div[T Scalar](x, y T) T {
+	if !IsComplex[T]() {
+		return FromFloat[T](Re(x) / Re(y))
+	}
+	a, b := Re(x), Im(x)
+	c, d := Re(y), Im(y)
+	var p, q float64
+	if math.Abs(d) < math.Abs(c) {
+		e := d / c
+		f := c + d*e
+		p = (a + b*e) / f
+		q = (b - a*e) / f
+	} else {
+		e := c / d
+		f := d + c*e
+		p = (a*e + b) / f
+		q = (b*e - a) / f
+	}
+	return FromComplex[T](complex(p, q))
+}
+
+// hypot is math.Hypot without the special-case overhead for NaN propagation
+// differences; it computes sqrt(a*a + b*b) robustly.
+func hypot(a, b float64) float64 {
+	return math.Hypot(a, b)
+}
+
+// Hypot3 computes sqrt(x*x + y*y + z*z) without destructive underflow or
+// overflow (LAPACK xLAPY3).
+func Hypot3(x, y, z float64) float64 {
+	x, y, z = math.Abs(x), math.Abs(y), math.Abs(z)
+	w := math.Max(x, math.Max(y, z))
+	if w == 0 {
+		return 0
+	}
+	xw, yw, zw := x/w, y/w, z/w
+	return w * math.Sqrt(xw*xw+yw*yw+zw*zw)
+}
+
+// Sign returns the value of a with the sign of b (FORTRAN SIGN intrinsic,
+// used pervasively by LAPACK's Householder and rotation kernels).
+func Sign(a, b float64) float64 {
+	if b >= 0 {
+		return math.Abs(a)
+	}
+	return -math.Abs(a)
+}

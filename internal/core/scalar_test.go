@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestEpsMatchesFortranEpsilonConvention(t *testing.T) {
+	// The paper's Appendix F prints "the machine eps = 0.11921E-06" — the
+	// FORTRAN 90 EPSILON(1.0) value 2^-23 — for single precision.
+	if Eps[float32]() != 0x1p-23 {
+		t.Fatalf("single eps = %v", Eps[float32]())
+	}
+	if Eps[complex64]() != 0x1p-23 {
+		t.Fatalf("complex64 eps = %v", Eps[complex64]())
+	}
+	if Eps[float64]() != 0x1p-52 || Eps[complex128]() != 0x1p-52 {
+		t.Fatal("double eps")
+	}
+	if got := float64(Eps[float32]()); math.Abs(got-1.1920929e-07) > 1e-14 {
+		t.Fatalf("eps print value %v", got)
+	}
+}
+
+func TestIsComplexAndConversions(t *testing.T) {
+	if IsComplex[float32]() || IsComplex[float64]() {
+		t.Fatal("real types flagged complex")
+	}
+	if !IsComplex[complex64]() || !IsComplex[complex128]() {
+		t.Fatal("complex types not flagged")
+	}
+	if v := FromFloat[complex128](2.5); v != complex(2.5, 0) {
+		t.Fatalf("FromFloat complex: %v", v)
+	}
+	if v := FromComplex[float64](complex(3, 99)); v != 3 {
+		t.Fatalf("FromComplex real discards imag: %v", v)
+	}
+	if v := ToComplex[float32](1.5); v != complex(1.5, 0) {
+		t.Fatalf("ToComplex: %v", v)
+	}
+	if Re[complex128](complex(1, 2)) != 1 || Im[complex128](complex(1, 2)) != 2 {
+		t.Fatal("Re/Im")
+	}
+	if Im[float64](7) != 0 {
+		t.Fatal("Im of real")
+	}
+}
+
+func TestConjAbsAbs1(t *testing.T) {
+	z := complex(3.0, -4.0)
+	if Conj[complex128](z) != complex(3, 4) {
+		t.Fatal("conj")
+	}
+	if Conj[float64](-2) != -2 {
+		t.Fatal("real conj must be identity")
+	}
+	if Abs[complex128](z) != 5 {
+		t.Fatalf("abs %v", Abs[complex128](z))
+	}
+	if Abs1[complex128](z) != 7 {
+		t.Fatalf("abs1 %v", Abs1[complex128](z))
+	}
+	if Abs1[float64](-2.5) != 2.5 {
+		t.Fatal("real abs1")
+	}
+}
+
+func TestDivMatchesNativeDivision(t *testing.T) {
+	f := func(ar, ai, br, bi float64) bool {
+		for _, v := range []float64{ar, ai, br, bi} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		b := complex(math.Mod(br, 100), math.Mod(bi, 100))
+		if cmplx.Abs(b) < 1e-3 {
+			return true
+		}
+		a := complex(math.Mod(ar, 100), math.Mod(ai, 100))
+		got := Div[complex128](a, b)
+		want := a / b
+		return cmplx.Abs(got-want) <= 1e-12*(1+cmplx.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Real division path.
+	if Div[float64](6, 3) != 2 {
+		t.Fatal("real div")
+	}
+}
+
+func TestSignAndHypot3(t *testing.T) {
+	if Sign(3, -1) != -3 || Sign(-3, 1) != 3 || Sign(2, 0) != 2 {
+		t.Fatal("FORTRAN SIGN semantics")
+	}
+	if got := Hypot3(2, 3, 6); math.Abs(got-7) > 1e-14 {
+		t.Fatalf("hypot3 %v", got)
+	}
+	if Hypot3(0, 0, 0) != 0 {
+		t.Fatal("hypot3 zero")
+	}
+	// No overflow for huge components.
+	if got := Hypot3(3e300, 4e300, 0); math.Abs(got-5e300) > 1e286 {
+		t.Fatalf("hypot3 overflow handling: %v", got)
+	}
+}
+
+func TestSafeMinOverflow(t *testing.T) {
+	if SafeMin[float64]() != 0x1p-1022 {
+		t.Fatalf("double safmin %v", SafeMin[float64]())
+	}
+	if SafeMin[float32]() != 0x1p-126 {
+		t.Fatalf("single safmin %v", SafeMin[float32]())
+	}
+	if Overflow[float64]() != math.MaxFloat64 || Overflow[complex64]() != math.MaxFloat32 {
+		t.Fatal("overflow thresholds")
+	}
+	// safmin must be the smallest normalized value: 1/safmin finite.
+	if math.IsInf(1/SafeMin[float64](), 0) || math.IsInf(1/SafeMin[float32](), 0) {
+		t.Fatal("1/safmin overflows")
+	}
+}

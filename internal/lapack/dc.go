@@ -1,0 +1,362 @@
+package lapack
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// dcCutoff is the problem size below which the divide & conquer
+// eigensolver falls back to the QL/QR iteration, as LAPACK's SMLSIZ.
+const dcCutoff = 25
+
+// Stedc computes all eigenvalues and eigenvectors of a symmetric
+// tridiagonal matrix by Cuppen's divide & conquer method with deflation
+// and a safeguarded secular-equation solver (xSTEDC). d (n) and e (n-1)
+// are overwritten; on success d holds the eigenvalues ascending. If z is
+// non-nil (n×n) it is multiplied by the tridiagonal eigenvector matrix:
+// pass the identity for the eigenvectors of T itself, or the Sytrd basis
+// from Orgtr for those of the original dense matrix. Returns non-zero if
+// the QL/QR fallback fails on a leaf block.
+func Stedc[T core.Scalar](n int, d, e []float64, z []T, ldz int) int {
+	if n == 0 {
+		return 0
+	}
+	if z == nil {
+		return Sterf(n, d, e)
+	}
+	// Compute the eigenvector matrix of T in float64 and apply it to z.
+	qt := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		qt[i+i*n] = 1
+	}
+	if info := stedcRec(n, d, e, qt, n); info != 0 {
+		return info
+	}
+	// z := z · qt, done in the element type of z.
+	qtT := make([]T, n*n)
+	for i := range qt {
+		qtT[i] = core.FromFloat[T](qt[i])
+	}
+	prod := make([]T, n*n)
+	one := core.FromFloat[T](1)
+	zero := core.FromFloat[T](0)
+	// Use a dense multiply on the full z panel.
+	zcopy := make([]T, n*n)
+	Lacpy('A', n, n, z, ldz, zcopy, n)
+	blas.Gemm(NoTrans, NoTrans, n, n, n, one, zcopy, n, qtT, n, zero, prod, n)
+	Lacpy('A', n, n, prod, n, z, ldz)
+	return 0
+}
+
+// stedcRec is the recursive kernel operating on float64 eigenvector
+// accumulation (q starts as the identity of order n).
+func stedcRec(n int, d, e []float64, q []float64, ldq int) int {
+	if n <= dcCutoff {
+		return Steqr(n, d, e, q, ldq)
+	}
+	m := n / 2
+	rho := e[m-1]
+	// Rank-one tear: T = diag(T1', T2') + |rho|·v·vᵀ with v carrying a
+	// sign on its second half when rho < 0.
+	sgn := 1.0
+	if rho < 0 {
+		sgn = -1
+	}
+	d[m-1] -= math.Abs(rho)
+	d[m] -= math.Abs(rho)
+	// Recurse on the halves, accumulating into the diagonal blocks of q.
+	if info := stedcRec(m, d[:m], e[:m-1], q, ldq); info != 0 {
+		return info
+	}
+	if info := stedcRec(n-m, d[m:], e[m:], q[m+m*ldq:], ldq); info != 0 {
+		return info
+	}
+	// Merge: eigenproblem of D + |rho|·z·zᵀ with
+	// z = [last row of Q1; sgn · first row of Q2].
+	zv := make([]float64, n)
+	for i := 0; i < m; i++ {
+		zv[i] = q[m-1+i*ldq]
+	}
+	for i := m; i < n; i++ {
+		zv[i] = sgn * q[m+i*ldq]
+	}
+	return dcMerge(n, m, math.Abs(rho), d, zv, q, ldq)
+}
+
+// dcMerge solves the rank-one modified diagonal eigenproblem
+// D + rho·z·zᵀ (rho > 0) and updates the eigenvector accumulation q,
+// whose relevant block structure is [Q1 0; 0 Q2] with the split at m.
+func dcMerge(n, m int, rho float64, d, zv []float64, q []float64, ldq int) int {
+	eps := core.EpsDouble
+	// Sort the diagonal entries ascending, permuting z and the q columns.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return d[perm[a]] < d[perm[b]] })
+	ds := make([]float64, n)
+	zs := make([]float64, n)
+	qp := make([]float64, n*n)
+	for k, p := range perm {
+		ds[k] = d[p]
+		zs[k] = zv[p]
+		for i := 0; i < n; i++ {
+			qp[i+k*n] = q[i+p*ldq]
+		}
+	}
+	// Normalize z to unit norm, folding the factor into rho (dlaed2).
+	znorm := blas.Nrm2(n, zs, 1)
+	if znorm > 0 {
+		for i := range zs {
+			zs[i] /= znorm
+		}
+	}
+	rho *= znorm * znorm
+	// Deflation (dlaed2-lite).
+	dmax := 0.0
+	zmax := 0.0
+	for i := 0; i < n; i++ {
+		dmax = math.Max(dmax, math.Abs(ds[i]))
+		zmax = math.Max(zmax, math.Abs(zs[i]))
+	}
+	tol := 8 * eps * math.Max(dmax, zmax)
+	deflated := make([]bool, n)
+	// Rule 1: negligible z component.
+	for i := 0; i < n; i++ {
+		if rho*math.Abs(zs[i]) <= tol {
+			deflated[i] = true
+		}
+	}
+	// Rule 2: nearly equal diagonal entries — rotate one z component away.
+	last := -1
+	for i := 0; i < n; i++ {
+		if deflated[i] {
+			continue
+		}
+		if last >= 0 && math.Abs(ds[i]-ds[last]) <= tol {
+			r := math.Hypot(zs[last], zs[i])
+			c := zs[i] / r
+			s := zs[last] / r
+			// The rotation leaves an off-diagonal coupling of size
+			// (dᵢ − d_last)·c·s, which deflation drops; only do so when it
+			// is negligible (the xLAED2 criterion).
+			if r > 0 && math.Abs((ds[i]-ds[last])*c*s) <= tol {
+				// Rotate columns (last, i) of qp and the z pair so that
+				// zs[last] becomes 0; adjust the diagonal pair.
+				for row := 0; row < n; row++ {
+					x, y := qp[row+last*n], qp[row+i*n]
+					qp[row+last*n] = c*x - s*y
+					qp[row+i*n] = s*x + c*y
+				}
+				dl := ds[last]
+				di := ds[i]
+				ds[last] = dl*c*c + di*s*s
+				ds[i] = dl*s*s + di*c*c
+				zs[i] = r
+				zs[last] = 0
+				deflated[last] = true
+			}
+		}
+		last = i
+	}
+	// Partition into the secular (non-deflated) set and the deflated set.
+	var sec []int
+	var defl []int
+	for i := 0; i < n; i++ {
+		if deflated[i] {
+			defl = append(defl, i)
+		} else {
+			sec = append(sec, i)
+		}
+	}
+	k := len(sec)
+	lam := make([]float64, n)
+	// Deflated eigenpairs pass through unchanged.
+	for _, i := range defl {
+		lam[i] = ds[i]
+	}
+	if k > 0 {
+		dd := make([]float64, k)
+		zz := make([]float64, k)
+		for a, i := range sec {
+			dd[a] = ds[i]
+			zz[a] = zs[i]
+		}
+		lams := make([]float64, k)
+		uhat := make([]float64, k*k)
+		solveSecular(k, rho, dd, zz, lams, uhat)
+		// Scatter back and form the updated eigenvectors:
+		// columns sec of qp combined with uhat.
+		qsec := make([]float64, n*k)
+		for a, i := range sec {
+			copy(qsec[a*n:a*n+n], qp[i*n:i*n+n])
+		}
+		qnew := make([]float64, n*k)
+		blas.Gemm(NoTrans, NoTrans, n, k, k, 1.0, qsec, n, uhat, k, 0.0, qnew, n)
+		for a, i := range sec {
+			lam[i] = lams[a]
+			copy(qp[i*n:i*n+n], qnew[a*n:a*n+n])
+		}
+	}
+	// Final ascending sort of all eigenpairs.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return lam[order[a]] < lam[order[b]] })
+	for i := 0; i < n; i++ {
+		d[i] = lam[order[i]]
+	}
+	for kcol, p := range order {
+		for i := 0; i < n; i++ {
+			q[i+kcol*ldq] = qp[i+p*n]
+		}
+	}
+	return 0
+}
+
+// solveSecular solves the secular equation 1 + rho·Σ zⱼ²/(dⱼ − λ) = 0 for
+// each of its k roots (d ascending, rho > 0, all z non-negligible), and
+// builds the stabilized eigenvectors by the Gu–Eisenstat z-recomputation
+// (xLAED4/xLAED3 roles). u receives the k×k eigenvector matrix of the
+// rank-one update.
+//
+// Each root is computed in the shifted variable τᵢ = λᵢ − dᵢ, so the
+// denominators dⱼ − λᵢ = (dⱼ − dᵢ) − τᵢ are formed from exact differences
+// of the dⱼ and never suffer catastrophic cancellation or exact pole hits
+// (the essential idea of xLAED4).
+func solveSecular(k int, rho float64, d, z []float64, lam []float64, u []float64) {
+	if k == 1 {
+		lam[0] = d[0] + rho*z[0]*z[0]
+		u[0] = 1
+		return
+	}
+	zz := 0.0
+	for j := 0; j < k; j++ {
+		zz += z[j] * z[j]
+	}
+	// denom[j + i*k] = dⱼ − λᵢ, kept in difference form relative to the
+	// anchoring pole so the smallest denominator is always accurate (the
+	// essential device of xLAED4: roots clinging to the right pole of
+	// their interval are shifted from that pole, with negative τ).
+	denom := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		// f(base; τ) = 1 + ρ Σ zⱼ²/((dⱼ−d_base) − τ), increasing in τ
+		// between consecutive poles.
+		f := func(base int, t float64) float64 {
+			s := 1.0
+			for j := 0; j < k; j++ {
+				s += rho * z[j] * z[j] / ((d[j] - d[base]) - t)
+			}
+			return s
+		}
+		base := i
+		var a, b float64
+		if i == k-1 {
+			// Last root lies in (d[k-1], d[k-1] + ρ·Σz²); anchor left.
+			a, b = 0, rho*zz
+		} else {
+			gap := d[i+1] - d[i]
+			if f(i, 0.5*gap) > 0 {
+				// Root in the left half: anchor at dᵢ, τ ∈ (0, gap/2].
+				a, b = 0, 0.5*gap
+			} else {
+				// Root in the right half: anchor at dᵢ₊₁, τ ∈ [−gap/2, 0).
+				base = i + 1
+				a, b = -0.5*gap, 0
+			}
+		}
+		for it := 0; it < 140; it++ {
+			mid := 0.5 * (a + b)
+			if mid <= a || mid >= b {
+				break
+			}
+			if f(base, mid) < 0 {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		tau := 0.5 * (a + b)
+		if tau == 0 {
+			// Keep λ strictly off the pole.
+			tau = math.SmallestNonzeroFloat64
+			if base != i {
+				tau = -tau
+			}
+		}
+		lam[i] = d[base] + tau
+		for j := 0; j < k; j++ {
+			denom[j+i*k] = (d[j] - d[base]) - tau
+		}
+	}
+	// Gu–Eisenstat: recompute ẑ so the eigenvector formula is stable.
+	// (λᵢ − dⱼ) = −denom[j+i*k], exactly the quantities bisection produced.
+	zhat := make([]float64, k)
+	for j := 0; j < k; j++ {
+		p := -denom[j+(k-1)*k] / rho
+		for i := 0; i < k-1; i++ {
+			num := -denom[j+i*k]
+			var den float64
+			if i < j {
+				den = d[i] - d[j]
+			} else {
+				den = d[i+1] - d[j]
+			}
+			p *= num / den
+		}
+		zhat[j] = core.Sign(math.Sqrt(math.Abs(p)), z[j])
+	}
+	// Eigenvectors: u(:,i) ∝ ẑⱼ / (dⱼ − λᵢ).
+	for i := 0; i < k; i++ {
+		nrm := 0.0
+		for j := 0; j < k; j++ {
+			v := zhat[j] / denom[j+i*k]
+			u[j+i*k] = v
+			nrm += v * v
+		}
+		nrm = math.Sqrt(nrm)
+		for j := 0; j < k; j++ {
+			u[j+i*k] /= nrm
+		}
+	}
+}
+
+// Syevd computes all eigenvalues and, optionally, eigenvectors of a
+// symmetric/Hermitian matrix using the divide & conquer algorithm when
+// eigenvectors are wanted (the xSYEVD/xHEEVD driver).
+func Syevd[T core.Scalar](jobz bool, uplo Uplo, n int, a []T, lda int, w []float64) int {
+	if n == 0 {
+		return 0
+	}
+	e := make([]float64, max(0, n-1))
+	tau := make([]T, max(0, n-1))
+	Sytrd(uplo, n, a, lda, w, e, tau)
+	if !jobz {
+		return Sterf(n, w, e)
+	}
+	Orgtr(uplo, n, a, lda, tau)
+	return Stedc(n, w, e, a, lda)
+}
+
+// Stevd computes all eigenvalues and, optionally, eigenvectors of a real
+// symmetric tridiagonal matrix by divide & conquer (the xSTEVD driver).
+func Stevd[T core.Scalar](n int, d, e []float64, z []T, ldz int) int {
+	if n == 0 {
+		return 0
+	}
+	if z == nil {
+		return Sterf(n, d, e)
+	}
+	Laset('A', n, n, core.FromFloat[T](0), core.FromFloat[T](1), z, ldz)
+	return Stedc(n, d, e, z, ldz)
+}
+
+// SolveSecularForTest exposes the secular solver to the package tests,
+// which validate it against brute-force eigensolves.
+func SolveSecularForTest(k int, rho float64, d, z []float64, lam []float64, u []float64) {
+	solveSecular(k, rho, d, z, lam, u)
+}

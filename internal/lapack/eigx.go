@@ -1,0 +1,254 @@
+package lapack
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// EigRange selects which eigenvalues an expert driver computes.
+type EigRange byte
+
+// EigRange values, matching LAPACK's RANGE character.
+const (
+	RangeAll   EigRange = 'A' // all eigenvalues
+	RangeValue EigRange = 'V' // eigenvalues in (vl, vu]
+	RangeIndex EigRange = 'I' // eigenvalues with indices il..iu (1-based)
+)
+
+// sturmCount returns the number of eigenvalues of the symmetric
+// tridiagonal matrix (d, e) that are strictly less than x, via the Sturm
+// sequence of the shifted LDLᵀ factorization.
+func sturmCount(n int, d, e []float64, x float64) int {
+	count := 0
+	pivmin := math.SmallestNonzeroFloat64 * 0x1p52
+	t := d[0] - x
+	if math.Abs(t) < pivmin {
+		t = -pivmin
+	}
+	if t <= 0 {
+		count++
+	}
+	for i := 1; i < n; i++ {
+		t = d[i] - x - e[i-1]*e[i-1]/t
+		if math.Abs(t) < pivmin {
+			t = -pivmin
+		}
+		if t <= 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// Stebz computes selected eigenvalues of a symmetric tridiagonal matrix by
+// bisection (xSTEBZ semantics with a simplified driver). rng selects all,
+// a value interval (vl, vu], or an index range il..iu (1-based, inclusive).
+// abstol <= 0 selects a default tolerance. The eigenvalues are returned in
+// ascending order together with m, their count.
+func Stebz(rng EigRange, n int, vl, vu float64, il, iu int, abstol float64, d, e []float64) (w []float64, m int) {
+	if n == 0 {
+		return nil, 0
+	}
+	// Gershgorin bounds.
+	gl, gu := d[0], d[0]
+	for i := 0; i < n; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(e[i-1])
+		}
+		if i < n-1 {
+			r += math.Abs(e[i])
+		}
+		gl = math.Min(gl, d[i]-r)
+		gu = math.Max(gu, d[i]+r)
+	}
+	span := math.Max(math.Abs(gl), math.Abs(gu))
+	gl -= 2 * core.EpsDouble * span * float64(n)
+	gu += 2 * core.EpsDouble * span * float64(n)
+	if abstol <= 0 {
+		abstol = core.EpsDouble * span * float64(n)
+	}
+	if abstol == 0 {
+		abstol = math.SmallestNonzeroFloat64 * 0x1p52
+	}
+
+	lo, hi := gl, gu
+	ilo, ihi := 1, n
+	switch rng {
+	case RangeValue:
+		lo, hi = vl, vu
+		ilo = sturmCount(n, d, e, lo) + 1
+		ihi = sturmCount(n, d, e, hi)
+	case RangeIndex:
+		ilo, ihi = il, iu
+	}
+	if ihi < ilo {
+		return nil, 0
+	}
+	m = ihi - ilo + 1
+	w = make([]float64, m)
+	// Bisection per eigenvalue index (robust and simple; clusters share
+	// converged bounds through the monotone Sturm counts).
+	for k := 0; k < m; k++ {
+		idx := ilo + k // 1-based index of the wanted eigenvalue
+		a, b := lo, hi
+		if rng != RangeValue {
+			a, b = gl, gu
+		}
+		for b-a > abstol+4*core.EpsDouble*math.Max(math.Abs(a), math.Abs(b)) {
+			mid := 0.5 * (a + b)
+			if sturmCount(n, d, e, mid) >= idx {
+				b = mid
+			} else {
+				a = mid
+			}
+		}
+		w[k] = 0.5 * (a + b)
+	}
+	sort.Float64s(w)
+	return w, m
+}
+
+// Stein computes eigenvectors of a symmetric tridiagonal matrix
+// corresponding to the supplied eigenvalues, by inverse iteration
+// (xSTEIN). z receives the vectors as columns (n×m, stride ldz). Returns
+// the number of vectors that failed to converge (their columns hold the
+// last iterate).
+func Stein[T core.Scalar](n int, d, e []float64, w []float64, z []T, ldz int) int {
+	if n == 0 {
+		return 0
+	}
+	fails := 0
+	rng := NewRng([4]int{2021, 2022, 2023, 2024})
+	eps := core.EpsDouble
+	// Norm scale for perturbation sizes.
+	tnorm := Lanst(OneNorm, n, d, e)
+	if tnorm == 0 {
+		tnorm = 1
+	}
+	sep := 1e-3 * tnorm // cluster threshold for reorthogonalization
+	x := make([]float64, n)
+	dl := make([]float64, max(0, n-1))
+	dd := make([]float64, n)
+	du := make([]float64, max(0, n-1))
+	du2 := make([]float64, max(0, n-2))
+	ipiv := make([]int, n)
+	for k := 0; k < len(w); k++ {
+		// Perturb the shift slightly so (T − λI) is not exactly singular.
+		lambda := w[k]
+		pert := 10 * eps * tnorm
+		lambda += pert * float64(k%3-1) * 0.1
+		// Factor T − λI.
+		copy(dd, d[:n])
+		for i := range dd {
+			dd[i] -= lambda
+		}
+		if n > 1 {
+			copy(dl, e[:n-1])
+			copy(du, e[:n-1])
+		}
+		Gttrf(n, dl, dd, du, du2, ipiv)
+		// Guard exact zero pivots.
+		for i := 0; i < n; i++ {
+			if dd[i] == 0 {
+				dd[i] = eps * tnorm
+			}
+		}
+		// Random start, a few inverse-iteration sweeps.
+		for i := range x {
+			x[i] = rng.Uniform11()
+		}
+		converged := false
+		for it := 0; it < 8; it++ {
+			Gttrs(NoTrans, n, 1, dl, dd, du, du2, ipiv, x, n)
+			// Reorthogonalize within clusters of close eigenvalues.
+			start := k
+			for start > 0 && math.Abs(w[start-1]-w[k]) < sep {
+				start--
+			}
+			if start < k {
+				for p := start; p < k; p++ {
+					dot := 0.0
+					for i := 0; i < n; i++ {
+						dot += core.Re(z[i+p*ldz]) * x[i]
+					}
+					for i := 0; i < n; i++ {
+						x[i] -= dot * core.Re(z[i+p*ldz])
+					}
+				}
+			}
+			nrm := 0.0
+			for _, v := range x {
+				nrm += v * v
+			}
+			nrm = math.Sqrt(nrm)
+			if nrm == 0 {
+				break
+			}
+			for i := range x {
+				x[i] /= nrm
+			}
+			if nrm > 1/(10*eps*float64(n)) || it >= 3 {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			fails++
+		}
+		for i := 0; i < n; i++ {
+			z[i+k*ldz] = core.FromFloat[T](x[i])
+		}
+	}
+	return fails
+}
+
+// SyevxResult carries the outputs of the expert eigendriver Syevx/Heevx.
+type SyevxResult struct {
+	M     int       // number of eigenvalues found
+	W     []float64 // eigenvalues, ascending
+	IFail []int     // 0-based indices of eigenvectors that failed to converge
+	Info  int       // number of convergence failures
+}
+
+// Syevx computes selected eigenvalues and, optionally, eigenvectors of a
+// symmetric/Hermitian matrix (the xSYEVX/xHEEVX expert driver) using
+// tridiagonal reduction, bisection and inverse iteration. If z is non-nil
+// the selected eigenvectors are returned in its first m columns.
+func Syevx[T core.Scalar](jobz bool, rng EigRange, uplo Uplo, n int, a []T, lda int, vl, vu float64, il, iu int, abstol float64, z []T, ldz int) SyevxResult {
+	var res SyevxResult
+	if n == 0 {
+		return res
+	}
+	d := make([]float64, n)
+	e := make([]float64, max(0, n-1))
+	tau := make([]T, max(0, n-1))
+	Sytrd(uplo, n, a, lda, d, e, tau)
+	res.W, res.M = Stebz(rng, n, vl, vu, il, iu, abstol, d, e)
+	if !jobz || res.M == 0 {
+		return res
+	}
+	fails := Stein(n, d, e, res.W, z, ldz)
+	res.Info = fails
+	if fails > 0 {
+		for i := 0; i < res.M; i++ {
+			res.IFail = append(res.IFail, i)
+		}
+	}
+	// Back-transform the tridiagonal eigenvectors: Z := Q·Z.
+	Ormtr(uplo, NoTrans, n, res.M, a, lda, tau, z, ldz)
+	return res
+}
+
+// Stevx computes selected eigenvalues/eigenvectors of a symmetric
+// tridiagonal matrix by bisection and inverse iteration (xSTEVX).
+func Stevx[T core.Scalar](jobz bool, rng EigRange, n int, d, e []float64, vl, vu float64, il, iu int, abstol float64, z []T, ldz int) SyevxResult {
+	var res SyevxResult
+	res.W, res.M = Stebz(rng, n, vl, vu, il, iu, abstol, d, e)
+	if jobz && res.M > 0 {
+		res.Info = Stein(n, d, e, res.W, z, ldz)
+	}
+	return res
+}

@@ -1,0 +1,393 @@
+package lapack
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/core"
+)
+
+// The nonsymmetric eigensolvers compute internally in float64 (real types)
+// or complex128 (complex types); float32/complex64 inputs are promoted on
+// entry and demoted on return (see DESIGN.md). This only ever increases
+// accuracy relative to the reference single-precision paths.
+
+func promoteReal[T core.Scalar](m, n int, a []T, lda int) []float64 {
+	out := make([]float64, m*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			out[i+j*m] = core.Re(a[i+j*lda])
+		}
+	}
+	return out
+}
+
+func demoteReal[T core.Scalar](m, n int, src []float64, a []T, lda int) {
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			a[i+j*lda] = core.FromFloat[T](src[i+j*m])
+		}
+	}
+}
+
+func promoteCmplx[T core.Scalar](m, n int, a []T, lda int) []complex128 {
+	out := make([]complex128, m*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			out[i+j*m] = core.ToComplex(a[i+j*lda])
+		}
+	}
+	return out
+}
+
+func demoteCmplx[T core.Scalar](m, n int, src []complex128, a []T, lda int) {
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			a[i+j*lda] = core.FromComplex[T](src[i+j*m])
+		}
+	}
+}
+
+// Geev computes the eigenvalues and, optionally, the left and/or right
+// eigenvectors of a real general matrix (the xGEEV driver). Eigenvalues
+// are (wr[i], wi[i]); complex pairs occupy consecutive entries with
+// positive imaginary part first. Eigenvectors use the LAPACK real packing
+// (see TrevcRight). a is destroyed. Returns i > 0 if the QR algorithm
+// failed to converge.
+func Geev[T core.Float](jobvl, jobvr bool, n int, a []T, lda int, wr, wi []float64, vl []T, ldvl int, vr []T, ldvr int) int {
+	if n == 0 {
+		return 0
+	}
+	h := promoteReal(n, n, a, lda)
+	scale := make([]float64, n)
+	ilo, ihi := Gebal[float64]('B', n, h, n, scale)
+	tau := make([]float64, max(0, n-1))
+	Gehrd(n, ilo, ihi, h, n, tau)
+	wantv := jobvl || jobvr
+	var z []float64
+	if wantv {
+		z = make([]float64, n*n)
+		Lacpy('A', n, n, h, n, z, n)
+		Orghr(n, ilo, ihi, z, n, tau)
+	}
+	info := Hseqr(wantv, n, ilo, ihi, h, n, wr, wi, z, n)
+	if info != 0 {
+		return info
+	}
+	if jobvr {
+		v := make([]float64, n*n)
+		TrevcRight(n, h, n, wr, wi, z, n, v, n)
+		Gebak[float64]('B', 'R', n, ilo, ihi, scale, n, v, n)
+		normalizeEvecPairs(n, wr, wi, v, n)
+		demoteReal(n, n, v, vr, ldvr)
+	}
+	if jobvl {
+		v := make([]float64, n*n)
+		TrevcLeft(n, h, n, wr, wi, z, n, v, n)
+		Gebak[float64]('B', 'L', n, ilo, ihi, scale, n, v, n)
+		normalizeEvecPairs(n, wr, wi, v, n)
+		demoteReal(n, n, v, vl, ldvl)
+	}
+	demoteReal(n, n, h, a, lda)
+	return 0
+}
+
+// normalizeEvecPairs scales each eigenvector to unit Euclidean norm,
+// treating a (real, imag) column pair as one complex vector, and rotates
+// complex vectors so the largest-magnitude component is real (the xGEEV
+// convention).
+func normalizeEvecPairs(n int, wr, wi []float64, v []float64, ldv int) {
+	for j := 0; j < n; j++ {
+		if wi[j] == 0 {
+			nrm := 0.0
+			for i := 0; i < n; i++ {
+				nrm += v[i+j*ldv] * v[i+j*ldv]
+			}
+			nrm = math.Sqrt(nrm)
+			if nrm > 0 {
+				for i := 0; i < n; i++ {
+					v[i+j*ldv] /= nrm
+				}
+			}
+			continue
+		}
+		// Pair (j, j+1).
+		nrm := 0.0
+		for i := 0; i < n; i++ {
+			nrm += v[i+j*ldv]*v[i+j*ldv] + v[i+(j+1)*ldv]*v[i+(j+1)*ldv]
+		}
+		nrm = math.Sqrt(nrm)
+		var rot complex128 = 1
+		maxa := -1.0
+		for i := 0; i < n; i++ {
+			c := complex(v[i+j*ldv], v[i+(j+1)*ldv])
+			if a := cmplx.Abs(c); a > maxa {
+				maxa = a
+				rot = cmplx.Conj(c) / complex(a, 0)
+			}
+		}
+		for i := 0; i < n; i++ {
+			c := complex(v[i+j*ldv], v[i+(j+1)*ldv]) * rot / complex(nrm, 0)
+			v[i+j*ldv] = real(c)
+			v[i+(j+1)*ldv] = imag(c)
+		}
+		j++
+	}
+}
+
+// GeevC computes the eigenvalues and, optionally, eigenvectors of a
+// complex general matrix (the xGEEV complex driver). w receives the
+// eigenvalues; eigenvectors are returned as complex columns.
+func GeevC[T core.Cmplx](jobvl, jobvr bool, n int, a []T, lda int, w []complex128, vl []T, ldvl int, vr []T, ldvr int) int {
+	if n == 0 {
+		return 0
+	}
+	h := promoteCmplx(n, n, a, lda)
+	scale := make([]float64, n)
+	ilo, ihi := Gebal[complex128]('B', n, h, n, scale)
+	tau := make([]complex128, max(0, n-1))
+	Gehrd(n, ilo, ihi, h, n, tau)
+	wantv := jobvl || jobvr
+	var z []complex128
+	if wantv {
+		z = make([]complex128, n*n)
+		Lacpy('A', n, n, h, n, z, n)
+		Orghr(n, ilo, ihi, z, n, tau)
+	}
+	info := HseqrC(wantv, n, ilo, ihi, h, n, w, z, n)
+	if info != 0 {
+		return info
+	}
+	normC := func(v []complex128) {
+		for j := 0; j < n; j++ {
+			nrm := 0.0
+			maxa := -1.0
+			var rot complex128 = 1
+			for i := 0; i < n; i++ {
+				c := v[i+j*n]
+				nrm += real(c)*real(c) + imag(c)*imag(c)
+				if a := cmplx.Abs(c); a > maxa {
+					maxa = a
+					rot = cmplx.Conj(c) / complex(a, 0)
+				}
+			}
+			nrm = math.Sqrt(nrm)
+			if nrm > 0 {
+				s := rot / complex(nrm, 0)
+				for i := 0; i < n; i++ {
+					v[i+j*n] *= s
+				}
+			}
+		}
+	}
+	if jobvr {
+		v := make([]complex128, n*n)
+		TrevcRightC(n, h, n, z, n, v, n)
+		Gebak[complex128]('B', 'R', n, ilo, ihi, scale, n, v, n)
+		normC(v)
+		demoteCmplx(n, n, v, vr, ldvr)
+	}
+	if jobvl {
+		v := make([]complex128, n*n)
+		TrevcLeftC(n, h, n, z, n, v, n)
+		Gebak[complex128]('B', 'L', n, ilo, ihi, scale, n, v, n)
+		normC(v)
+		demoteCmplx(n, n, v, vl, ldvl)
+	}
+	demoteCmplx(n, n, h, a, lda)
+	return 0
+}
+
+// Gees computes the real Schur factorization A = Z·T·Zᵀ of a real general
+// matrix (the xGEES driver). On return a holds T and, if jobvs, vs holds
+// the orthogonal Schur vectors Z. If sel is non-nil the eigenvalues for
+// which sel returns true are reordered to the top-left of T and sdim
+// reports their count. Returns info > 0 on QR failure.
+func Gees[T core.Float](jobvs bool, sel func(wr, wi float64) bool, n int, a []T, lda int, wr, wi []float64, vs []T, ldvs int) (sdim, info int) {
+	if n == 0 {
+		return 0, 0
+	}
+	h := promoteReal(n, n, a, lda)
+	tau := make([]float64, max(0, n-1))
+	Gehrd(n, 0, n-1, h, n, tau)
+	z := make([]float64, n*n)
+	Lacpy('A', n, n, h, n, z, n)
+	Orghr(n, 0, n-1, z, n, tau)
+	info = Hseqr(true, n, 0, n-1, h, n, wr, wi, z, n)
+	if info != 0 {
+		return 0, info
+	}
+	if sel != nil {
+		sdim = reorderSchur(n, h, n, z, n, wr, wi, sel)
+	}
+	demoteReal(n, n, h, a, lda)
+	if jobvs {
+		demoteReal(n, n, z, vs, ldvs)
+	}
+	return sdim, 0
+}
+
+// GeesC computes the complex Schur factorization A = Z·T·Zᴴ (the complex
+// xGEES driver), with optional eigenvalue reordering by sel.
+func GeesC[T core.Cmplx](jobvs bool, sel func(w complex128) bool, n int, a []T, lda int, w []complex128, vs []T, ldvs int) (sdim, info int) {
+	if n == 0 {
+		return 0, 0
+	}
+	h := promoteCmplx(n, n, a, lda)
+	tau := make([]complex128, max(0, n-1))
+	Gehrd(n, 0, n-1, h, n, tau)
+	z := make([]complex128, n*n)
+	Lacpy('A', n, n, h, n, z, n)
+	Orghr(n, 0, n-1, z, n, tau)
+	info = HseqrC(true, n, 0, n-1, h, n, w, z, n)
+	if info != 0 {
+		return 0, info
+	}
+	if sel != nil {
+		// Selection sort on the diagonal using unitary swaps (xTREXC).
+		for target := 0; target < n; target++ {
+			src := -1
+			for j := target; j < n; j++ {
+				if sel(h[j+j*n]) {
+					src = j
+					break
+				}
+			}
+			if src < 0 {
+				break
+			}
+			for j := src; j > target; j-- {
+				TrexcC(n, h, n, z, n, j, j-1)
+			}
+			sdim++
+		}
+		for i := 0; i < n; i++ {
+			w[i] = h[i+i*n]
+		}
+	}
+	demoteCmplx(n, n, h, a, lda)
+	if jobvs {
+		demoteCmplx(n, n, z, vs, ldvs)
+	}
+	return sdim, 0
+}
+
+// TrexcC swaps adjacent diagonal elements ifst and ilst (|ifst−ilst| = 1)
+// of a complex upper triangular Schur matrix by a unitary similarity
+// transformation, updating q (xTREXC for adjacent positions).
+func TrexcC(n int, t []complex128, ldt int, q []complex128, ldq int, ifst, ilst int) {
+	j := min(ifst, ilst)
+	// Rotation that swaps T(j,j) and T(j+1,j+1).
+	t11 := t[j+j*ldt]
+	t22 := t[j+1+(j+1)*ldt]
+	t12 := t[j+(j+1)*ldt]
+	cs, sn, _ := zlartg(t12, t22-t11)
+	// Apply from the left and right. T(j, j+1) is invariant under this
+	// particular rotation (r·cs = t12), so rows start at column j+2.
+	for k := j + 2; k < n; k++ {
+		x, y := t[j+k*ldt], t[j+1+k*ldt]
+		t[j+k*ldt] = complex(cs, 0)*x + sn*y
+		t[j+1+k*ldt] = complex(cs, 0)*y - cmplx.Conj(sn)*x
+	}
+	for k := 0; k < j; k++ {
+		x, y := t[k+j*ldt], t[k+(j+1)*ldt]
+		t[k+j*ldt] = complex(cs, 0)*x + cmplx.Conj(sn)*y
+		t[k+(j+1)*ldt] = complex(cs, 0)*y - sn*x
+	}
+	t[j+j*ldt] = t22
+	t[j+1+(j+1)*ldt] = t11
+	t[j+1+j*ldt] = 0
+	if q != nil {
+		for k := 0; k < n; k++ {
+			x, y := q[k+j*ldq], q[k+(j+1)*ldq]
+			q[k+j*ldq] = complex(cs, 0)*x + cmplx.Conj(sn)*y
+			q[k+(j+1)*ldq] = complex(cs, 0)*y - sn*x
+		}
+	}
+}
+
+// zlartg generates a complex plane rotation: [cs sn; -conj(sn) cs]·[f; g]
+// = [r; 0] with real cs (xLARTG, complex).
+func zlartg(f, g complex128) (cs float64, sn, r complex128) {
+	if g == 0 {
+		return 1, 0, f
+	}
+	if f == 0 {
+		return 0, cmplx.Conj(g) / complex(cmplx.Abs(g), 0), complex(cmplx.Abs(g), 0)
+	}
+	af, ag := cmplx.Abs(f), cmplx.Abs(g)
+	d := math.Hypot(af, ag)
+	cs = af / d
+	fa := f / complex(af, 0)
+	sn = fa * cmplx.Conj(g) / complex(d, 0)
+	r = fa * complex(d, 0)
+	return cs, sn, r
+}
+
+// reorderSchur moves the eigenvalues selected by sel to the top-left of a
+// real Schur form by repeated adjacent swaps (xTRSEN's reordering, built
+// on Laexc). It returns the number of selected eigenvalues. Complex pairs
+// are kept together.
+func reorderSchur(n int, t []float64, ldt int, q []float64, ldq int, wr, wi []float64, sel func(wr, wi float64) bool) int {
+	// Determine block starts.
+	sdim := 0
+	target := 0
+	for target < n {
+		// Find the next selected block at or after target.
+		src := -1
+		var srcSize int
+		j := target
+		for j < n {
+			size := 1
+			if j < n-1 && t[j+1+j*ldt] != 0 {
+				size = 2
+			}
+			if sel(wr[j], wi[j]) || (size == 2 && sel(wr[j+1], wi[j+1])) {
+				src = j
+				srcSize = size
+				break
+			}
+			j += size
+		}
+		if src < 0 {
+			break
+		}
+		// Bubble the block up to target with adjacent swaps.
+		for src > target {
+			// Block immediately above src.
+			above := src - 1
+			aboveSize := 1
+			if above > 0 && t[above+(above-1)*ldt] != 0 {
+				above--
+				aboveSize = 2
+			}
+			if Laexc(true, n, t, ldt, q, ldq, above, aboveSize, srcSize) != 0 {
+				// Swap too ill-conditioned; give up on this block.
+				break
+			}
+			src = above
+		}
+		// Refresh the eigenvalues from the (possibly modified) T.
+		extractSchurEigenvalues(n, t, ldt, wr, wi)
+		sdim += srcSize
+		target = src + srcSize
+	}
+	extractSchurEigenvalues(n, t, ldt, wr, wi)
+	return sdim
+}
+
+// extractSchurEigenvalues reads the eigenvalues off a real Schur form.
+func extractSchurEigenvalues(n int, t []float64, ldt int, wr, wi []float64) {
+	for i := 0; i < n; {
+		if i < n-1 && t[i+1+i*ldt] != 0 {
+			_, _, _, _, r1r, r1i, r2r, r2i, _, _ := Lanv2(t[i+i*ldt], t[i+(i+1)*ldt], t[i+1+i*ldt], t[i+1+(i+1)*ldt])
+			wr[i], wi[i] = r1r, r1i
+			wr[i+1], wi[i+1] = r2r, r2i
+			i += 2
+		} else {
+			wr[i] = t[i+i*ldt]
+			wi[i] = 0
+			i++
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package lapack_test
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/lapack"
+	"repro/internal/testutil"
+)
+
+// evalPairs converts (wr, wi) into complex eigenvalues.
+func evalPairs(wr, wi []float64) []complex128 {
+	out := make([]complex128, len(wr))
+	for i := range wr {
+		out[i] = complex(wr[i], wi[i])
+	}
+	return out
+}
+
+// checkRightEvecs verifies A·v = λ·v for every eigenpair in LAPACK real
+// packing.
+func checkRightEvecs(t *testing.T, n int, a []float64, wr, wi []float64, vr []float64, tol float64) {
+	t.Helper()
+	anorm := lapack.Lange(lapack.OneNorm, n, n, a, n)
+	for j := 0; j < n; j++ {
+		v := make([]complex128, n)
+		if wi[j] == 0 {
+			for i := 0; i < n; i++ {
+				v[i] = complex(vr[i+j*n], 0)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				v[i] = complex(vr[i+j*n], vr[i+(j+1)*n])
+			}
+		}
+		lambda := complex(wr[j], wi[j])
+		res := 0.0
+		for i := 0; i < n; i++ {
+			var s complex128
+			for k := 0; k < n; k++ {
+				s += complex(a[i+k*n], 0) * v[k]
+			}
+			res = math.Max(res, cmplx.Abs(s-lambda*v[i]))
+		}
+		if res > tol*(anorm+cmplx.Abs(lambda)) {
+			t.Fatalf("right eigenpair %d residual %v (λ=%v)", j, res, lambda)
+		}
+		if wi[j] != 0 {
+			j++
+		}
+	}
+}
+
+func TestGeevReal(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 10, 25, 50} {
+		rng := lapack.NewRng([4]int{n, 3, 3, 3})
+		a := testutil.RandGeneral[float64](rng, n, n, n)
+		ac := append([]float64(nil), a...)
+		wr := make([]float64, n)
+		wi := make([]float64, n)
+		vr := make([]float64, n*n)
+		vl := make([]float64, n*n)
+		if info := lapack.Geev[float64](true, true, n, ac, n, wr, wi, vl, n, vr, n); info != 0 {
+			t.Fatalf("n=%d: geev info=%d", n, info)
+		}
+		checkRightEvecs(t, n, a, wr, wi, vr, 1e-11*float64(n))
+		// Left eigenvectors: uᴴ·A = λ·uᴴ.
+		anorm := lapack.Lange(lapack.OneNorm, n, n, a, n)
+		for j := 0; j < n; j++ {
+			u := make([]complex128, n)
+			if wi[j] == 0 {
+				for i := 0; i < n; i++ {
+					u[i] = complex(vl[i+j*n], 0)
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					u[i] = complex(vl[i+j*n], vl[i+(j+1)*n])
+				}
+			}
+			lambda := complex(wr[j], wi[j])
+			res := 0.0
+			for k := 0; k < n; k++ {
+				var s complex128
+				for i := 0; i < n; i++ {
+					s += cmplx.Conj(u[i]) * complex(a[i+k*n], 0)
+				}
+				res = math.Max(res, cmplx.Abs(s-lambda*cmplx.Conj(u[k])))
+			}
+			if res > 1e-10*float64(n)*(anorm+cmplx.Abs(lambda)) {
+				t.Fatalf("n=%d: left eigenpair %d residual %v", n, j, res)
+			}
+			if wi[j] != 0 {
+				j++
+			}
+		}
+		// Trace invariant.
+		tr := 0.0
+		for i := 0; i < n; i++ {
+			tr += a[i+i*n]
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += wr[i]
+		}
+		if math.Abs(tr-sum) > 1e-10*float64(n)*(1+math.Abs(tr)) {
+			t.Fatalf("n=%d: trace %v vs eigenvalue sum %v", n, tr, sum)
+		}
+	}
+}
+
+func TestGeevRotationMatrix(t *testing.T) {
+	// 2D rotation by θ has eigenvalues cos θ ± i sin θ.
+	th := 0.3
+	a := []float64{math.Cos(th), math.Sin(th), -math.Sin(th), math.Cos(th)}
+	wr := make([]float64, 2)
+	wi := make([]float64, 2)
+	if info := lapack.Geev[float64](false, false, 2, a, 2, wr, wi, nil, 0, nil, 0); info != 0 {
+		t.Fatalf("info=%d", info)
+	}
+	if math.Abs(wr[0]-math.Cos(th)) > 1e-14 || math.Abs(math.Abs(wi[0])-math.Sin(th)) > 1e-14 {
+		t.Fatalf("eigenvalues (%v,%v), (%v,%v)", wr[0], wi[0], wr[1], wi[1])
+	}
+	if wi[0] != -wi[1] {
+		t.Fatalf("pair not conjugate: %v %v", wi[0], wi[1])
+	}
+}
+
+func TestGeevCompanion(t *testing.T) {
+	// Companion matrix of p(x) = x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3).
+	n := 3
+	a := make([]float64, n*n)
+	a[0+2*n] = 6
+	a[1+2*n] = -11
+	a[2+2*n] = 6
+	a[1] = 1
+	a[2+n] = 1
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	if info := lapack.Geev[float64](false, false, n, a, n, wr, wi, nil, 0, nil, 0); info != 0 {
+		t.Fatalf("info=%d", info)
+	}
+	sort.Float64s(wr)
+	for i, want := range []float64{1, 2, 3} {
+		if math.Abs(wr[i]-want) > 1e-10 || math.Abs(wi[i]) > 1e-10 {
+			t.Fatalf("roots %v / %v", wr, wi)
+		}
+	}
+}
+
+func TestGeevComplex(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		rng := lapack.NewRng([4]int{n, 7, 7, 7})
+		a := testutil.RandGeneral[complex128](rng, n, n, n)
+		ac := append([]complex128(nil), a...)
+		w := make([]complex128, n)
+		vr := make([]complex128, n*n)
+		vl := make([]complex128, n*n)
+		if info := lapack.GeevC[complex128](true, true, n, ac, n, w, vl, n, vr, n); info != 0 {
+			t.Fatalf("n=%d: geevc info=%d", n, info)
+		}
+		anorm := lapack.Lange(lapack.OneNorm, n, n, a, n)
+		for j := 0; j < n; j++ {
+			res := 0.0
+			lres := 0.0
+			for i := 0; i < n; i++ {
+				var s, sl complex128
+				for k := 0; k < n; k++ {
+					s += a[i+k*n] * vr[k+j*n]
+					sl += cmplx.Conj(vl[k+j*n]) * a[k+i*n]
+				}
+				res = math.Max(res, cmplx.Abs(s-w[j]*vr[i+j*n]))
+				lres = math.Max(lres, cmplx.Abs(sl-w[j]*cmplx.Conj(vl[i+j*n])))
+			}
+			if res > 1e-11*float64(n)*(anorm+cmplx.Abs(w[j])) {
+				t.Fatalf("n=%d right pair %d residual %v", n, j, res)
+			}
+			if lres > 1e-10*float64(n)*(anorm+cmplx.Abs(w[j])) {
+				t.Fatalf("n=%d left pair %d residual %v", n, j, lres)
+			}
+		}
+	}
+}
+
+func TestGeevFloat32(t *testing.T) {
+	n := 8
+	rng := lapack.NewRng([4]int{8, 8, 8, 8})
+	a := testutil.RandGeneral[float32](rng, n, n, n)
+	a64 := make([]float64, n*n)
+	for i := range a {
+		a64[i] = float64(a[i])
+	}
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	vr := make([]float32, n*n)
+	if info := lapack.Geev[float32](false, true, n, a, n, wr, wi, nil, 0, vr, n); info != 0 {
+		t.Fatalf("info=%d", info)
+	}
+	vr64 := make([]float64, n*n)
+	for i := range vr {
+		vr64[i] = float64(vr[i])
+	}
+	checkRightEvecs(t, n, a64, wr, wi, vr64, 1e-5)
+}
+
+func schurResidual(n int, a, tm, z []float64) float64 {
+	// ‖A − Z·T·Zᵀ‖₁ / (‖A‖₁ n ε)
+	tmp := make([]float64, n*n)
+	rec := make([]float64, n*n)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, z, n, tm, n, 0, tmp, n)
+	blas.Gemm(blas.NoTrans, blas.TransT, n, n, n, 1, tmp, n, z, n, 0, rec, n)
+	for i := range rec {
+		rec[i] -= a[i]
+	}
+	anorm := lapack.Lange(lapack.OneNorm, n, n, a, n)
+	if anorm == 0 {
+		anorm = 1
+	}
+	return lapack.Lange(lapack.OneNorm, n, n, rec, n) / (anorm * float64(n) * core.EpsDouble)
+}
+
+func TestGeesReal(t *testing.T) {
+	for _, n := range []int{1, 2, 6, 20, 40} {
+		rng := lapack.NewRng([4]int{n, 9, 1, 1})
+		a := testutil.RandGeneral[float64](rng, n, n, n)
+		tm := append([]float64(nil), a...)
+		wr := make([]float64, n)
+		wi := make([]float64, n)
+		vs := make([]float64, n*n)
+		_, info := lapack.Gees[float64](true, nil, n, tm, n, wr, wi, vs, n)
+		if info != 0 {
+			t.Fatalf("n=%d gees info=%d", n, info)
+		}
+		if r := testutil.OrthoResidual(n, n, vs, n); r > thresh {
+			t.Fatalf("n=%d Schur vectors orthogonality %v", n, r)
+		}
+		if r := schurResidual(n, a, tm, vs); r > 10*thresh {
+			t.Fatalf("n=%d Schur residual %v", n, r)
+		}
+		// T must be quasi-triangular: nothing below the first subdiagonal,
+		// and no two consecutive nonzero subdiagonals.
+		for j := 0; j < n; j++ {
+			for i := j + 2; i < n; i++ {
+				if tm[i+j*n] != 0 {
+					t.Fatalf("n=%d: T(%d,%d) = %v below subdiagonal", n, i, j, tm[i+j*n])
+				}
+			}
+		}
+		for i := 0; i < n-2; i++ {
+			if tm[i+1+i*n] != 0 && tm[i+2+(i+1)*n] != 0 {
+				t.Fatalf("n=%d: consecutive 2x2 blocks at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestGeesSelect(t *testing.T) {
+	// Reorder eigenvalues with positive real part to the top.
+	for _, n := range []int{4, 9, 16, 25} {
+		rng := lapack.NewRng([4]int{n, 4, 2, 0})
+		a := testutil.RandGeneral[float64](rng, n, n, n)
+		tm := append([]float64(nil), a...)
+		wr := make([]float64, n)
+		wi := make([]float64, n)
+		vs := make([]float64, n*n)
+		sel := func(re, im float64) bool { return re > 0 }
+		sdim, info := lapack.Gees[float64](true, sel, n, tm, n, wr, wi, vs, n)
+		if info != 0 {
+			t.Fatalf("n=%d gees(select) info=%d", n, info)
+		}
+		// Schur form still valid.
+		if r := schurResidual(n, a, tm, vs); r > 20*thresh {
+			t.Fatalf("n=%d reordered Schur residual %v", n, r)
+		}
+		// Count positives and verify they are leading.
+		want := 0
+		for i := 0; i < n; i++ {
+			if wr[i] > 0 {
+				want++
+			}
+		}
+		if sdim != want {
+			t.Fatalf("n=%d sdim=%d want %d (wr=%v)", n, sdim, want, wr)
+		}
+		for i := 0; i < sdim; i++ {
+			if wr[i] <= 0 {
+				t.Fatalf("n=%d: eigenvalue %d (%v) not positive after reorder", n, i, wr[i])
+			}
+		}
+	}
+}
+
+func TestGeesComplex(t *testing.T) {
+	for _, n := range []int{1, 3, 10, 24} {
+		rng := lapack.NewRng([4]int{n, 5, 5, 5})
+		a := testutil.RandGeneral[complex128](rng, n, n, n)
+		tm := append([]complex128(nil), a...)
+		w := make([]complex128, n)
+		vs := make([]complex128, n*n)
+		_, info := lapack.GeesC[complex128](true, nil, n, tm, n, w, vs, n)
+		if info != 0 {
+			t.Fatalf("n=%d geesc info=%d", n, info)
+		}
+		if r := testutil.OrthoResidual(n, n, vs, n); r > thresh {
+			t.Fatalf("n=%d Z orthogonality %v", n, r)
+		}
+		// A = Z·T·Zᴴ.
+		tmp := make([]complex128, n*n)
+		rec := make([]complex128, n*n)
+		blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, vs, n, tm, n, 0, tmp, n)
+		blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, 1, tmp, n, vs, n, 0, rec, n)
+		for i := range rec {
+			rec[i] -= a[i]
+		}
+		anorm := lapack.Lange(lapack.OneNorm, n, n, a, n)
+		if r := lapack.Lange(lapack.OneNorm, n, n, rec, n) / (anorm * float64(n) * core.EpsDouble); r > 10*thresh {
+			t.Fatalf("n=%d complex Schur residual %v", n, r)
+		}
+		// Strictly upper triangular T.
+		for j := 0; j < n; j++ {
+			for i := j + 1; i < n; i++ {
+				if tm[i+j*n] != 0 {
+					t.Fatalf("n=%d: T(%d,%d) nonzero", n, i, j)
+				}
+			}
+		}
+		// Select ordering by |λ| > median-ish cutoff.
+		cutoff := 0.0
+		for _, v := range w {
+			cutoff += cmplx.Abs(v)
+		}
+		cutoff /= float64(n)
+		tm2 := append([]complex128(nil), a...)
+		w2 := make([]complex128, n)
+		vs2 := make([]complex128, n*n)
+		selC := func(z complex128) bool { return cmplx.Abs(z) > cutoff }
+		sdim, info := lapack.GeesC[complex128](true, selC, n, tm2, n, w2, vs2, n)
+		if info != 0 {
+			t.Fatalf("n=%d geesc(select) info=%d", n, info)
+		}
+		for i := 0; i < sdim; i++ {
+			if !selC(w2[i]) {
+				t.Fatalf("n=%d: reordered eigenvalue %d not selected", n, i)
+			}
+		}
+		tmp2 := make([]complex128, n*n)
+		rec2 := make([]complex128, n*n)
+		blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, vs2, n, tm2, n, 0, tmp2, n)
+		blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, 1, tmp2, n, vs2, n, 0, rec2, n)
+		for i := range rec2 {
+			rec2[i] -= a[i]
+		}
+		if r := lapack.Lange(lapack.OneNorm, n, n, rec2, n) / (anorm * float64(n) * core.EpsDouble); r > 20*thresh {
+			t.Fatalf("n=%d reordered complex Schur residual %v", n, r)
+		}
+	}
+}
+
+func TestGebalIdentityInvariance(t *testing.T) {
+	// Balancing must preserve eigenvalues: compare geev on a badly scaled
+	// matrix against the scaled-by-hand version.
+	n := 6
+	rng := lapack.NewRng([4]int{6, 6, 1, 2})
+	a := testutil.RandGeneral[float64](rng, n, n, n)
+	// Bad scaling: D·A·D⁻¹ with D = diag(10^k).
+	b := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			b[i+j*n] = a[i+j*n] * math.Pow(10, float64(i-j))
+		}
+	}
+	wr1 := make([]float64, n)
+	wi1 := make([]float64, n)
+	ac := append([]float64(nil), a...)
+	lapack.Geev[float64](false, false, n, ac, n, wr1, wi1, nil, 0, nil, 0)
+	wr2 := make([]float64, n)
+	wi2 := make([]float64, n)
+	lapack.Geev[float64](false, false, n, b, n, wr2, wi2, nil, 0, nil, 0)
+	sort.Float64s(wr1)
+	sort.Float64s(wr2)
+	for i := range wr1 {
+		if math.Abs(wr1[i]-wr2[i]) > 1e-7*(1+math.Abs(wr1[i])) {
+			t.Fatalf("balanced eigenvalues differ at %d: %v vs %v", i, wr1[i], wr2[i])
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package lapack
+
+import (
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// Getf2 computes the unblocked LU factorization with partial pivoting of an
+// m×n matrix: A = P·L·U (xGETF2). ipiv must have length min(m, n); ipiv[i]
+// is the 0-based row interchanged with row i. The return value is the
+// LAPACK info code: 0 on success, k+1 if U(k,k) is exactly zero (1-based,
+// factorization completed but U is singular).
+func Getf2[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
+	info := 0
+	mn := min(m, n)
+	for j := 0; j < mn; j++ {
+		// Pivot: largest |re|+|im| in column j at or below the diagonal.
+		p := j + blas.Iamax(m-j, a[j+j*lda:], 1)
+		ipiv[j] = p
+		if a[p+j*lda] != 0 {
+			if p != j {
+				blas.Swap(n, a[j:], lda, a[p:], lda)
+			}
+			if j < m-1 {
+				piv := a[j+j*lda]
+				inv := core.Div(core.FromFloat[T](1), piv)
+				blas.Scal(m-j-1, inv, a[j+1+j*lda:], 1)
+			}
+		} else if info == 0 {
+			info = j + 1
+		}
+		if j < mn-1 || n > m {
+			// Trailing update A[j+1:m, j+1:n] -= l_j * u_jᵀ.
+			if j < m-1 && j < n-1 {
+				blas.Ger(m-j-1, n-j-1, core.FromFloat[T](-1),
+					a[j+1+j*lda:], 1, a[j+(j+1)*lda:], lda, a[j+1+(j+1)*lda:], lda)
+			}
+		}
+	}
+	return info
+}
+
+// Getrf computes the LU factorization with partial pivoting of an m×n
+// matrix using the blocked right-looking algorithm (xGETRF). Semantics are
+// identical to Getf2.
+func Getrf[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
+	mn := min(m, n)
+	if mn == 0 {
+		return 0
+	}
+	nb := Ilaenv(1, "GETRF", m, n, -1, -1)
+	if nb <= 1 || nb >= mn {
+		return Getf2(m, n, a, lda, ipiv)
+	}
+	info := 0
+	one := core.FromFloat[T](1)
+	for j := 0; j < mn; j += nb {
+		jb := min(nb, mn-j)
+		// Factor the panel A[j:m, j:j+jb].
+		if iinfo := Getf2(m-j, jb, a[j+j*lda:], lda, ipiv[j:j+jb]); iinfo != 0 && info == 0 {
+			info = iinfo + j
+		}
+		// Convert panel-local pivots to global row indices.
+		for k := j; k < j+jb; k++ {
+			ipiv[k] += j
+		}
+		// Apply interchanges to the columns left of the panel...
+		Laswp(j, a, lda, j, j+jb, ipiv)
+		if j+jb < n {
+			// ...and to the right of the panel.
+			Laswp(n-j-jb, a[(j+jb)*lda:], lda, j, j+jb, ipiv)
+			// U block row: solve L11 * U12 = A12.
+			blas.Trsm(Left, Lower, NoTrans, Unit, jb, n-j-jb, one,
+				a[j+j*lda:], lda, a[j+(j+jb)*lda:], lda)
+			// Trailing submatrix update A22 -= L21 * U12.
+			if j+jb < m {
+				blas.Gemm(NoTrans, NoTrans, m-j-jb, n-j-jb, jb, -one,
+					a[j+jb+j*lda:], lda, a[j+(j+jb)*lda:], lda, one,
+					a[j+jb+(j+jb)*lda:], lda)
+			}
+		}
+	}
+	return info
+}
+
+// Getrs solves op(A)·X = B using the LU factorization from Getrf (xGETRS).
+// B is n×nrhs and is overwritten with X.
+func Getrs[T core.Scalar](trans Trans, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) {
+	if n == 0 || nrhs == 0 {
+		return
+	}
+	one := core.FromFloat[T](1)
+	if trans == NoTrans {
+		Laswp(nrhs, b, ldb, 0, n, ipiv)
+		blas.Trsm(Left, Lower, NoTrans, Unit, n, nrhs, one, a, lda, b, ldb)
+		blas.Trsm(Left, Upper, NoTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+		return
+	}
+	blas.Trsm(Left, Upper, trans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+	blas.Trsm(Left, Lower, trans, Unit, n, nrhs, one, a, lda, b, ldb)
+	LaswpInv(nrhs, b, ldb, 0, n, ipiv)
+}
+
+// Gesv solves A·X = B for a general n×n matrix by LU factorization with
+// partial pivoting (the xGESV driver). On exit a holds the factors and b
+// holds the solution. The info return follows LAPACK: 0 on success, i > 0
+// when U(i,i) is exactly zero so no solution was computed.
+func Gesv[T core.Scalar](n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) int {
+	info := Getrf(n, n, a, lda, ipiv)
+	if info == 0 {
+		Getrs(NoTrans, n, nrhs, a, lda, ipiv, b, ldb)
+	}
+	return info
+}
+
+// Trti2 computes the unblocked inverse of a triangular matrix in place
+// (xTRTI2). Returns i > 0 if the matrix is singular with zero A(i,i).
+func Trti2[T core.Scalar](uplo Uplo, diag Diag, n int, a []T, lda int) int {
+	for j := 0; j < n; j++ {
+		if diag == NonUnit && a[j+j*lda] == 0 {
+			return j + 1
+		}
+	}
+	one := core.FromFloat[T](1)
+	if uplo == Upper {
+		for j := 0; j < n; j++ {
+			var ajj T
+			if diag == NonUnit {
+				a[j+j*lda] = core.Div(one, a[j+j*lda])
+				ajj = -a[j+j*lda]
+			} else {
+				ajj = -one
+			}
+			// Compute elements 0..j-1 of column j.
+			blas.Trmv(Upper, NoTrans, diag, j, a, lda, a[j*lda:], 1)
+			blas.Scal(j, ajj, a[j*lda:], 1)
+		}
+	} else {
+		for j := n - 1; j >= 0; j-- {
+			var ajj T
+			if diag == NonUnit {
+				a[j+j*lda] = core.Div(one, a[j+j*lda])
+				ajj = -a[j+j*lda]
+			} else {
+				ajj = -one
+			}
+			if j < n-1 {
+				blas.Trmv(Lower, NoTrans, diag, n-j-1, a[j+1+(j+1)*lda:], lda, a[j+1+j*lda:], 1)
+				blas.Scal(n-j-1, ajj, a[j+1+j*lda:], 1)
+			}
+		}
+	}
+	return 0
+}
+
+// Trtri inverts a triangular matrix in place (xTRTRI).
+func Trtri[T core.Scalar](uplo Uplo, diag Diag, n int, a []T, lda int) int {
+	return Trti2(uplo, diag, n, a, lda)
+}
+
+// Getri computes the inverse of a matrix from its LU factorization
+// (xGETRI). work must have length at least n. Returns i > 0 if U(i,i) is
+// zero and the inverse could not be computed.
+func Getri[T core.Scalar](n int, a []T, lda int, ipiv []int, work []T) int {
+	if n == 0 {
+		return 0
+	}
+	// Invert U in place.
+	if info := Trtri(Upper, NonUnit, n, a, lda); info != 0 {
+		return info
+	}
+	one := core.FromFloat[T](1)
+	// Solve inv(A)·L = inv(U) column by column, right to left.
+	for j := n - 1; j >= 0; j-- {
+		// Save the strict lower part of column j (the L factors) and zero it.
+		for i := j + 1; i < n; i++ {
+			work[i] = a[i+j*lda]
+			a[i+j*lda] = 0
+		}
+		if j < n-1 {
+			blas.Gemv(NoTrans, n, n-j-1, -one, a[(j+1)*lda:], lda, work[j+1:], 1, one, a[j*lda:], 1)
+		}
+	}
+	// Apply column interchanges: columns are swapped in reverse pivot order.
+	for j := n - 1; j >= 0; j-- {
+		if p := ipiv[j]; p != j {
+			blas.Swap(n, a[j*lda:], 1, a[p*lda:], 1)
+		}
+	}
+	return 0
+}

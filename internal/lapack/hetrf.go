@@ -1,0 +1,398 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// Hetf2 computes the Bunch–Kaufman factorization A = U·D·Uᴴ or A = L·D·Lᴴ
+// of a Hermitian matrix (xHETF2). For real element types it is equivalent
+// to Sytf2. Pivot encoding and the info return follow Sytf2.
+func Hetf2[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
+	info := 0
+	at := func(i, j int) T { return a[i+j*lda] }
+	set := func(i, j int, v T) { a[i+j*lda] = v }
+	setRe := func(i, j int, v float64) { a[i+j*lda] = core.FromFloat[T](v) }
+	if uplo == Upper {
+		for k := n - 1; k >= 0; {
+			kstep := 1
+			kp := k
+			absakk := math.Abs(core.Re(at(k, k)))
+			imax, colmax := 0, 0.0
+			if k > 0 {
+				imax = blas.Iamax(k, a[k*lda:], 1)
+				colmax = core.Abs1(at(imax, k))
+			}
+			if math.Max(absakk, colmax) == 0 {
+				if info == 0 {
+					info = k + 1
+				}
+				setRe(k, k, core.Re(at(k, k)))
+			} else {
+				if absakk >= bkAlpha*colmax {
+					kp = k
+				} else {
+					rowmax := 0.0
+					for j := imax + 1; j <= k; j++ {
+						rowmax = math.Max(rowmax, core.Abs1(at(imax, j)))
+					}
+					if imax > 0 {
+						jmax := blas.Iamax(imax, a[imax*lda:], 1)
+						rowmax = math.Max(rowmax, core.Abs1(at(jmax, imax)))
+					}
+					if absakk >= bkAlpha*colmax*(colmax/rowmax) {
+						kp = k
+					} else if math.Abs(core.Re(at(imax, imax))) >= bkAlpha*rowmax {
+						kp = imax
+					} else {
+						kp = imax
+						kstep = 2
+					}
+				}
+				kk := k - kstep + 1
+				if kp != kk {
+					blas.Swap(kp, a[kk*lda:], 1, a[kp*lda:], 1)
+					for j := kp + 1; j < kk; j++ {
+						t := core.Conj(at(j, kk))
+						set(j, kk, core.Conj(at(kp, j)))
+						set(kp, j, t)
+					}
+					set(kp, kk, core.Conj(at(kp, kk)))
+					r1 := core.Re(at(kk, kk))
+					setRe(kk, kk, core.Re(at(kp, kp)))
+					setRe(kp, kp, r1)
+					if kstep == 2 {
+						setRe(k, k, core.Re(at(k, k)))
+						t := at(k-1, k)
+						set(k-1, k, at(kp, k))
+						set(kp, k, t)
+					}
+				} else {
+					setRe(k, k, core.Re(at(k, k)))
+					if kstep == 2 {
+						setRe(k-1, k-1, core.Re(at(k-1, k-1)))
+					}
+				}
+				if kstep == 1 {
+					r1 := 1 / core.Re(at(k, k))
+					blas.Her(Upper, k, -r1, a[k*lda:], 1, a, lda)
+					blas.ScalReal(k, r1, a[k*lda:], 1)
+				} else if k > 1 {
+					d := core.Abs(at(k-1, k))
+					d22 := core.Re(at(k-1, k-1)) / d
+					d11 := core.Re(at(k, k)) / d
+					tt := 1 / (d11*d22 - 1)
+					d12 := core.FromComplex[T](core.ToComplex(at(k-1, k)) / complex(d, 0))
+					dd := core.FromFloat[T](tt / d)
+					for j := k - 2; j >= 0; j-- {
+						wkm1 := dd * (core.FromFloat[T](d11)*at(j, k-1) - core.Conj(d12)*at(j, k))
+						wk := dd * (core.FromFloat[T](d22)*at(j, k) - d12*at(j, k-1))
+						for i := j; i >= 0; i-- {
+							set(i, j, at(i, j)-at(i, k)*core.Conj(wk)-at(i, k-1)*core.Conj(wkm1))
+						}
+						set(j, k, wk)
+						set(j, k-1, wkm1)
+						setRe(j, j, core.Re(at(j, j)))
+					}
+				}
+			}
+			if kstep == 1 {
+				ipiv[k] = kp
+			} else {
+				ipiv[k] = -(kp + 1)
+				ipiv[k-1] = -(kp + 1)
+			}
+			k -= kstep
+		}
+		return info
+	}
+	// Lower triangle.
+	for k := 0; k < n; {
+		kstep := 1
+		kp := k
+		absakk := math.Abs(core.Re(at(k, k)))
+		imax, colmax := 0, 0.0
+		if k < n-1 {
+			imax = k + 1 + blas.Iamax(n-k-1, a[k+1+k*lda:], 1)
+			colmax = core.Abs1(at(imax, k))
+		}
+		if math.Max(absakk, colmax) == 0 {
+			if info == 0 {
+				info = k + 1
+			}
+			setRe(k, k, core.Re(at(k, k)))
+		} else {
+			if absakk >= bkAlpha*colmax {
+				kp = k
+			} else {
+				rowmax := 0.0
+				for j := k; j < imax; j++ {
+					rowmax = math.Max(rowmax, core.Abs1(at(imax, j)))
+				}
+				if imax < n-1 {
+					jmax := imax + 1 + blas.Iamax(n-imax-1, a[imax+1+imax*lda:], 1)
+					rowmax = math.Max(rowmax, core.Abs1(at(jmax, imax)))
+				}
+				if absakk >= bkAlpha*colmax*(colmax/rowmax) {
+					kp = k
+				} else if math.Abs(core.Re(at(imax, imax))) >= bkAlpha*rowmax {
+					kp = imax
+				} else {
+					kp = imax
+					kstep = 2
+				}
+			}
+			kk := k + kstep - 1
+			if kp != kk {
+				if kp < n-1 {
+					blas.Swap(n-kp-1, a[kp+1+kk*lda:], 1, a[kp+1+kp*lda:], 1)
+				}
+				for j := kk + 1; j < kp; j++ {
+					t := core.Conj(at(j, kk))
+					set(j, kk, core.Conj(at(kp, j)))
+					set(kp, j, t)
+				}
+				set(kp, kk, core.Conj(at(kp, kk)))
+				r1 := core.Re(at(kk, kk))
+				setRe(kk, kk, core.Re(at(kp, kp)))
+				setRe(kp, kp, r1)
+				if kstep == 2 {
+					setRe(k, k, core.Re(at(k, k)))
+					t := at(k+1, k)
+					set(k+1, k, at(kp, k))
+					set(kp, k, t)
+				}
+			} else {
+				setRe(k, k, core.Re(at(k, k)))
+				if kstep == 2 {
+					setRe(k+1, k+1, core.Re(at(k+1, k+1)))
+				}
+			}
+			if kstep == 1 {
+				if k < n-1 {
+					r1 := 1 / core.Re(at(k, k))
+					blas.Her(Lower, n-k-1, -r1, a[k+1+k*lda:], 1, a[k+1+(k+1)*lda:], lda)
+					blas.ScalReal(n-k-1, r1, a[k+1+k*lda:], 1)
+				}
+			} else if k < n-2 {
+				d := core.Abs(at(k+1, k))
+				d11 := core.Re(at(k+1, k+1)) / d
+				d22 := core.Re(at(k, k)) / d
+				tt := 1 / (d11*d22 - 1)
+				d21 := core.FromComplex[T](core.ToComplex(at(k+1, k)) / complex(d, 0))
+				dd := core.FromFloat[T](tt / d)
+				for j := k + 2; j < n; j++ {
+					wk := dd * (core.FromFloat[T](d11)*at(j, k) - d21*at(j, k+1))
+					wkp1 := dd * (core.FromFloat[T](d22)*at(j, k+1) - core.Conj(d21)*at(j, k))
+					for i := j; i < n; i++ {
+						set(i, j, at(i, j)-at(i, k)*core.Conj(wk)-at(i, k+1)*core.Conj(wkp1))
+					}
+					set(j, k, wk)
+					set(j, k+1, wkp1)
+					setRe(j, j, core.Re(at(j, j)))
+				}
+			}
+		}
+		if kstep == 1 {
+			ipiv[k] = kp
+		} else {
+			ipiv[k] = -(kp + 1)
+			ipiv[k+1] = -(kp + 1)
+		}
+		k += kstep
+	}
+	return info
+}
+
+// Hetrf computes the Bunch–Kaufman factorization of a Hermitian matrix
+// (xHETRF; delegates to the unblocked algorithm).
+func Hetrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
+	return Hetf2(uplo, n, a, lda, ipiv)
+}
+
+// Hetrs solves A·X = B using the Hermitian factorization from Hetrf
+// (xHETRS).
+func Hetrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) {
+	if n == 0 || nrhs == 0 {
+		return
+	}
+	one := core.FromFloat[T](1)
+	at := func(i, j int) T { return a[i+j*lda] }
+	conjRow := func(k int) {
+		for j := 0; j < nrhs; j++ {
+			b[k+j*ldb] = core.Conj(b[k+j*ldb])
+		}
+	}
+	if uplo == Upper {
+		for k := n - 1; k >= 0; {
+			if ipiv[k] >= 0 {
+				if kp := ipiv[k]; kp != k {
+					blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+				}
+				blas.Ger(k, nrhs, -one, a[k*lda:], 1, b[k:], ldb, b, ldb)
+				blas.ScalReal(nrhs, 1/core.Re(at(k, k)), b[k:], ldb)
+				k--
+			} else {
+				if kp := -ipiv[k] - 1; kp != k-1 {
+					blas.Swap(nrhs, b[k-1:], ldb, b[kp:], ldb)
+				}
+				blas.Ger(k-1, nrhs, -one, a[k*lda:], 1, b[k:], ldb, b, ldb)
+				blas.Ger(k-1, nrhs, -one, a[(k-1)*lda:], 1, b[k-1:], ldb, b, ldb)
+				akm1k := at(k-1, k)
+				akm1 := core.Div(at(k-1, k-1), akm1k)
+				ak := core.Div(at(k, k), core.Conj(akm1k))
+				denom := akm1*ak - one
+				for j := 0; j < nrhs; j++ {
+					bkm1 := core.Div(b[k-1+j*ldb], akm1k)
+					bk := core.Div(b[k+j*ldb], core.Conj(akm1k))
+					b[k-1+j*ldb] = core.Div(ak*bkm1-bk, denom)
+					b[k+j*ldb] = core.Div(akm1*bk-bkm1, denom)
+				}
+				k -= 2
+			}
+		}
+		for k := 0; k < n; {
+			if ipiv[k] >= 0 {
+				conjRow(k)
+				blas.Gemv(ConjTrans, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
+				conjRow(k)
+				if kp := ipiv[k]; kp != k {
+					blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+				}
+				k++
+			} else {
+				conjRow(k)
+				blas.Gemv(ConjTrans, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
+				conjRow(k)
+				conjRow(k + 1)
+				blas.Gemv(ConjTrans, k, nrhs, -one, b, ldb, a[(k+1)*lda:], 1, one, b[k+1:], ldb)
+				conjRow(k + 1)
+				if kp := -ipiv[k] - 1; kp != k {
+					blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+				}
+				k += 2
+			}
+		}
+		return
+	}
+	// Lower.
+	for k := 0; k < n; {
+		if ipiv[k] >= 0 {
+			if kp := ipiv[k]; kp != k {
+				blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+			}
+			if k < n-1 {
+				blas.Ger(n-k-1, nrhs, -one, a[k+1+k*lda:], 1, b[k:], ldb, b[k+1:], ldb)
+			}
+			blas.ScalReal(nrhs, 1/core.Re(at(k, k)), b[k:], ldb)
+			k++
+		} else {
+			if kp := -ipiv[k] - 1; kp != k+1 {
+				blas.Swap(nrhs, b[k+1:], ldb, b[kp:], ldb)
+			}
+			if k < n-2 {
+				blas.Ger(n-k-2, nrhs, -one, a[k+2+k*lda:], 1, b[k:], ldb, b[k+2:], ldb)
+				blas.Ger(n-k-2, nrhs, -one, a[k+2+(k+1)*lda:], 1, b[k+1:], ldb, b[k+2:], ldb)
+			}
+			akm1k := at(k+1, k)
+			akm1 := core.Div(at(k, k), core.Conj(akm1k))
+			ak := core.Div(at(k+1, k+1), akm1k)
+			denom := akm1*ak - one
+			for j := 0; j < nrhs; j++ {
+				bkm1 := core.Div(b[k+j*ldb], core.Conj(akm1k))
+				bk := core.Div(b[k+1+j*ldb], akm1k)
+				b[k+j*ldb] = core.Div(ak*bkm1-bk, denom)
+				b[k+1+j*ldb] = core.Div(akm1*bk-bkm1, denom)
+			}
+			k += 2
+		}
+	}
+	for k := n - 1; k >= 0; {
+		if ipiv[k] >= 0 {
+			if k < n-1 {
+				conjRow(k)
+				blas.Gemv(ConjTrans, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
+				conjRow(k)
+			}
+			if kp := ipiv[k]; kp != k {
+				blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+			}
+			k--
+		} else {
+			if k < n-1 {
+				conjRow(k)
+				blas.Gemv(ConjTrans, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
+				conjRow(k)
+				conjRow(k - 1)
+				blas.Gemv(ConjTrans, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+(k-1)*lda:], 1, one, b[k-1:], ldb)
+				conjRow(k - 1)
+			}
+			if kp := -ipiv[k] - 1; kp != k {
+				blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+			}
+			k -= 2
+		}
+	}
+}
+
+// Hesv solves A·X = B for a Hermitian indefinite matrix (the xHESV driver).
+func Hesv[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) int {
+	info := Hetrf(uplo, n, a, lda, ipiv)
+	if info == 0 {
+		Hetrs(uplo, n, nrhs, a, lda, ipiv, b, ldb)
+	}
+	return info
+}
+
+// Hecon estimates the reciprocal 1-norm condition number of a Hermitian
+// indefinite matrix from its factorization (xHECON).
+func Hecon[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int, anorm float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	if anorm == 0 {
+		return 0
+	}
+	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
+		Hetrs(uplo, n, 1, a, lda, ipiv, x, n)
+	})
+	if ainvnm == 0 {
+		return 0
+	}
+	return (1 / ainvnm) / anorm
+}
+
+// Herfs iteratively refines the solution of a Hermitian indefinite system
+// and returns error bounds (xHERFS).
+func Herfs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+	rfs(NoTrans, n, nrhs,
+		func(_ Trans, alpha T, x []T, beta T, y []T) {
+			blas.Hemv(uplo, n, alpha, a, lda, x, 1, beta, y, 1)
+		},
+		func(_ Trans, xa, y []float64) { absSymv(uplo, n, a, lda, xa, y) },
+		func(_ Trans, r []T) { Hetrs(uplo, n, 1, af, ldaf, ipiv, r, n) },
+		b, ldb, x, ldx, ferr, berr)
+}
+
+// Hesvx is the expert driver for Hermitian indefinite systems (xHESVX).
+func Hesvx[T core.Scalar](fact Fact, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int) SysvxResult {
+	res := SysvxResult{Ferr: make([]float64, nrhs), Berr: make([]float64, nrhs)}
+	if fact != FactFact {
+		Lacpy('A', n, n, a, lda, af, ldaf)
+		res.Info = Hetrf(uplo, n, af, ldaf, ipiv)
+	}
+	if res.Info > 0 {
+		return res
+	}
+	anorm := Lansy(OneNorm, uplo, n, a, lda)
+	res.RCond = Hecon(uplo, n, af, ldaf, ipiv, anorm)
+	Lacpy('A', n, nrhs, b, ldb, x, ldx)
+	Hetrs(uplo, n, nrhs, af, ldaf, ipiv, x, ldx)
+	Herfs(uplo, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, res.Ferr, res.Berr)
+	if res.RCond < core.Eps[T]() {
+		res.Info = n + 1
+	}
+	return res
+}

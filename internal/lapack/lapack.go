@@ -1,0 +1,92 @@
+// Package lapack is a from-scratch pure-Go implementation of the LAPACK 77
+// computational core that the LAPACK90 interface layer (this module's public
+// la and f77 packages) wraps.
+//
+// It follows the reference LAPACK conventions:
+//
+//   - column-major storage with explicit leading dimensions,
+//   - an integer info return: 0 on success, -i when the i-th argument is
+//     invalid (only checks that cannot be done in the wrapper layer happen
+//     here), +i for numerical failures such as a zero pivot U(i,i)=0 —
+//     reported 1-based exactly as in LAPACK,
+//   - pivot vectors (ipiv) are 0-based Go indices internally; the public
+//     f77 layer converts to LAPACK's 1-based convention.
+//
+// Routines are generic: a single real implementation covers LAPACK's S/D
+// families (instantiated at float32 and float64) and a single complex
+// implementation covers C/Z. Where an algorithm is identical up to
+// conjugation the implementation is shared across all four element types.
+package lapack
+
+import "repro/internal/blas"
+
+// Norm selects which matrix norm a xLANxx routine computes.
+type Norm byte
+
+// Norm values, matching the LAPACK character arguments.
+const (
+	MaxAbs        Norm = 'M' // max |a_ij| (not a consistent norm)
+	OneNorm       Norm = '1' // maximum column sum
+	InfNorm       Norm = 'I' // maximum row sum
+	FrobeniusNorm Norm = 'F' // sqrt of sum of squares
+)
+
+// Valid reports whether n is one of the supported norms.
+func (n Norm) Valid() bool {
+	switch n {
+	case MaxAbs, OneNorm, InfNorm, FrobeniusNorm:
+		return true
+	}
+	return false
+}
+
+// Re-exported storage enums so lapack callers do not need to import blas
+// alongside this package for every call.
+type (
+	// Uplo selects a triangle.
+	Uplo = blas.Uplo
+	// Trans selects an operation applied to a matrix operand.
+	Trans = blas.Trans
+	// Diag marks a unit or non-unit triangular diagonal.
+	Diag = blas.Diag
+	// Side selects a multiplication side.
+	Side = blas.Side
+)
+
+// Enum values re-exported from package blas.
+const (
+	Upper     = blas.Upper
+	Lower     = blas.Lower
+	NoTrans   = blas.NoTrans
+	TransT    = blas.TransT
+	ConjTrans = blas.ConjTrans
+	NonUnit   = blas.NonUnit
+	Unit      = blas.Unit
+	Left      = blas.Left
+	Right     = blas.Right
+)
+
+// Ilaenv returns algorithm tuning parameters, the analogue of LAPACK's
+// ILAENV. ispec 1 requests the optimal block size for the named routine.
+// The values are modest defaults appropriate for the pure-Go kernels; the
+// LA_GETRI wrapper in the paper's Appendix C queries exactly this hook to
+// size its workspace.
+func Ilaenv(ispec int, name string, n1, n2, n3, n4 int) int {
+	switch ispec {
+	case 1: // optimal block size
+		switch name {
+		case "GETRF", "POTRF", "GETRI":
+			return 64
+		case "GEQRF", "GELQF", "ORGQR", "ORMQR":
+			return 32
+		case "SYTRD", "GEBRD", "GEHRD":
+			return 32
+		}
+		return 32
+	case 2: // minimum block size
+		return 2
+	case 3: // crossover point below which unblocked code is used
+		return 128
+	}
+	return 1
+}

@@ -1,0 +1,91 @@
+package lapack
+
+import (
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// Larft forms the triangular factor T of a block reflector
+// H = I − V·T·Vᴴ from k forward, columnwise-stored elementary reflectors
+// (xLARFT with direct='F', storev='C'). v is n×k with the reflectors in
+// its columns (unit diagonal implicit); t is k×k upper triangular output.
+func Larft[T core.Scalar](n, k int, v []T, ldv int, tau []T, t []T, ldt int) {
+	for i := 0; i < k; i++ {
+		if tau[i] == 0 {
+			for j := 0; j <= i; j++ {
+				t[j+i*ldt] = 0
+			}
+			continue
+		}
+		vii := v[i+i*ldv]
+		v[i+i*ldv] = core.FromFloat[T](1)
+		// t(0:i, i) = −tau(i) · V(i:n, 0:i)ᴴ · V(i:n, i)
+		blas.Gemv(ConjTrans, n-i, i, -tau[i], v[i:], ldv, v[i+i*ldv:], 1,
+			core.FromFloat[T](0), t[i*ldt:], 1)
+		v[i+i*ldv] = vii
+		// t(0:i, i) = T(0:i, 0:i) · t(0:i, i)
+		blas.Trmv(Upper, NoTrans, NonUnit, i, t, ldt, t[i*ldt:], 1)
+		t[i+i*ldt] = tau[i]
+	}
+}
+
+// Larfb applies a block reflector H or Hᴴ from the left to an m×n matrix C
+// (xLARFB with side='L', direct='F', storev='C'). v is m×k, t is the k×k
+// factor from Larft; work must have length at least n*k.
+func Larfb[T core.Scalar](trans Trans, m, n, k int, v []T, ldv int, t []T, ldt int, c []T, ldc int, work []T) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	one := core.FromFloat[T](1)
+	ldw := max(1, n)
+	w := work[:ldw*k]
+	// W := C1ᴴ (n×k), where C1 = C(0:k, :).
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			w[i+j*ldw] = core.Conj(c[j+i*ldc])
+		}
+	}
+	// W := W · V1 (V1 unit lower triangular k×k).
+	blas.Trmm(Right, Lower, NoTrans, Unit, n, k, one, v, ldv, w, ldw)
+	if m > k {
+		// W += C2ᴴ · V2.
+		blas.Gemm(ConjTrans, NoTrans, n, k, m-k, one, c[k:], ldc, v[k:], ldv, one, w, ldw)
+	}
+	// W := W · Tᴴ (apply H) or W · T (apply Hᴴ).
+	tt := ConjTrans
+	if trans != NoTrans {
+		tt = NoTrans
+	}
+	blas.Trmm(Right, Upper, tt, NonUnit, n, k, one, t, ldt, w, ldw)
+	// C2 −= V2 · Wᴴ.
+	if m > k {
+		blas.Gemm(NoTrans, ConjTrans, m-k, n, k, -one, v[k:], ldv, w, ldw, one, c[k:], ldc)
+	}
+	// W := W · V1ᴴ.
+	blas.Trmm(Right, Lower, ConjTrans, Unit, n, k, one, v, ldv, w, ldw)
+	// C1 −= Wᴴ.
+	for j := 0; j < n; j++ {
+		for i := 0; i < k; i++ {
+			c[i+j*ldc] -= core.Conj(w[j+i*ldw])
+		}
+	}
+}
+
+// geqrfBlocked is the Level-3 QR factorization (xGEQRF): panels are
+// factored with the unblocked kernel and the trailing matrix is updated
+// with block reflectors.
+func geqrfBlocked[T core.Scalar](m, n int, a []T, lda int, tau []T, nb int) {
+	mn := min(m, n)
+	work := make([]T, max(1, n)*nb)
+	tmat := make([]T, nb*nb)
+	panelWork := make([]T, max(1, n))
+	for j := 0; j < mn; j += nb {
+		jb := min(nb, mn-j)
+		Geqr2(m-j, jb, a[j+j*lda:], lda, tau[j:j+jb], panelWork)
+		if j+jb < n {
+			Larft(m-j, jb, a[j+j*lda:], lda, tau[j:j+jb], tmat, nb)
+			Larfb(ConjTrans, m-j, n-j-jb, jb, a[j+j*lda:], lda, tmat, nb,
+				a[j+(j+jb)*lda:], lda, work)
+		}
+	}
+}

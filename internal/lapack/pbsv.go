@@ -1,0 +1,225 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// Pbtrf computes the Cholesky factorization of a symmetric/Hermitian
+// positive definite band matrix with kd off-diagonals (xPBTRF, unblocked
+// xPBTF2 algorithm). Returns i > 0 if the leading minor of order i is not
+// positive definite.
+func Pbtrf[T core.Scalar](uplo Uplo, n, kd int, ab []T, ldab int) int {
+	kld := max(1, ldab-1)
+	if uplo == Upper {
+		for j := 0; j < n; j++ {
+			ajj := core.Re(ab[kd+j*ldab])
+			if ajj <= 0 || math.IsNaN(ajj) {
+				return j + 1
+			}
+			ajj = math.Sqrt(ajj)
+			ab[kd+j*ldab] = core.FromFloat[T](ajj)
+			kn := min(kd, n-1-j)
+			if kn > 0 {
+				// Row j right of the diagonal, stored with stride ldab-1.
+				row := ab[kd-1+(j+1)*ldab:]
+				blas.ScalReal(kn, 1/ajj, row, kld)
+				lacgv(kn, row, kld)
+				blas.Her(Upper, kn, -1, row, kld, ab[kd+(j+1)*ldab:], kld)
+				lacgv(kn, row, kld)
+			}
+		}
+		return 0
+	}
+	for j := 0; j < n; j++ {
+		ajj := core.Re(ab[j*ldab])
+		if ajj <= 0 || math.IsNaN(ajj) {
+			return j + 1
+		}
+		ajj = math.Sqrt(ajj)
+		ab[j*ldab] = core.FromFloat[T](ajj)
+		kn := min(kd, n-1-j)
+		if kn > 0 {
+			col := ab[1+j*ldab:]
+			blas.ScalReal(kn, 1/ajj, col, 1)
+			blas.Her(Lower, kn, -1, col, 1, ab[(j+1)*ldab:], kld)
+		}
+	}
+	return 0
+}
+
+// Pbtrs solves A·X = B using the band Cholesky factorization from Pbtrf
+// (xPBTRS).
+func Pbtrs[T core.Scalar](uplo Uplo, n, kd, nrhs int, ab []T, ldab int, b []T, ldb int) {
+	for j := 0; j < nrhs; j++ {
+		col := b[j*ldb:]
+		if uplo == Upper {
+			blas.Tbsv(Upper, ConjTrans, NonUnit, n, kd, ab, ldab, col, 1)
+			blas.Tbsv(Upper, NoTrans, NonUnit, n, kd, ab, ldab, col, 1)
+		} else {
+			blas.Tbsv(Lower, NoTrans, NonUnit, n, kd, ab, ldab, col, 1)
+			blas.Tbsv(Lower, ConjTrans, NonUnit, n, kd, ab, ldab, col, 1)
+		}
+	}
+}
+
+// Pbsv solves A·X = B for a positive definite band matrix (the xPBSV
+// driver).
+func Pbsv[T core.Scalar](uplo Uplo, n, kd, nrhs int, ab []T, ldab int, b []T, ldb int) int {
+	info := Pbtrf(uplo, n, kd, ab, ldab)
+	if info == 0 {
+		Pbtrs(uplo, n, kd, nrhs, ab, ldab, b, ldb)
+	}
+	return info
+}
+
+// Pbcon estimates the reciprocal 1-norm condition number of a positive
+// definite band matrix from its Cholesky factorization (xPBCON).
+func Pbcon[T core.Scalar](uplo Uplo, n, kd int, ab []T, ldab int, anorm float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	if anorm == 0 {
+		return 0
+	}
+	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
+		Pbtrs(uplo, n, kd, 1, ab, ldab, x, n)
+	})
+	if ainvnm == 0 {
+		return 0
+	}
+	return (1 / ainvnm) / anorm
+}
+
+func absSbmv[T core.Scalar](uplo Uplo, n, kd int, ab []T, ldab int, xa, y []float64) {
+	at := func(i, j int) float64 {
+		if i > j {
+			i, j = j, i
+		}
+		if j-i > kd {
+			return 0
+		}
+		if uplo == Upper {
+			return core.Abs1(ab[kd+i-j+j*ldab])
+		}
+		return core.Abs1(ab[j-i+i*ldab])
+	}
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for k := max(0, i-kd); k <= min(n-1, i+kd); k++ {
+			s += at(i, k) * xa[k]
+		}
+		y[i] += s
+	}
+}
+
+// Pbrfs iteratively refines the solution of a positive definite band system
+// and returns error bounds (xPBRFS).
+func Pbrfs[T core.Scalar](uplo Uplo, n, kd, nrhs int, ab []T, ldab int, afb []T, ldafb int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+	rfs(NoTrans, n, nrhs,
+		func(_ Trans, alpha T, x []T, beta T, y []T) {
+			if core.IsComplex[T]() {
+				blas.Hbmv(uplo, n, kd, alpha, ab, ldab, x, 1, beta, y, 1)
+			} else {
+				blas.Sbmv(uplo, n, kd, alpha, ab, ldab, x, 1, beta, y, 1)
+			}
+		},
+		func(_ Trans, xa, y []float64) { absSbmv(uplo, n, kd, ab, ldab, xa, y) },
+		func(_ Trans, r []T) { Pbtrs(uplo, n, kd, 1, afb, ldafb, r, n) },
+		b, ldb, x, ldx, ferr, berr)
+}
+
+// Pbsvx is the expert driver for positive definite band systems (xPBSVX).
+func Pbsvx[T core.Scalar](fact Fact, uplo Uplo, n, kd, nrhs int, ab []T, ldab int, afb []T, ldafb int, b []T, ldb int, x []T, ldx int) PosvxResult {
+	res := PosvxResult{
+		Equed: EquedNone,
+		S:     make([]float64, n),
+		Ferr:  make([]float64, nrhs),
+		Berr:  make([]float64, nrhs),
+	}
+	for i := range res.S {
+		res.S[i] = 1
+	}
+	diagIdx := func(j int) int {
+		if uplo == Upper {
+			return kd + j*ldab
+		}
+		return j * ldab
+	}
+	if fact == FactEquilibrate && n > 0 {
+		smin, amax := core.Re(ab[diagIdx(0)]), core.Re(ab[diagIdx(0)])
+		ok := true
+		for i := 0; i < n; i++ {
+			d := core.Re(ab[diagIdx(i)])
+			if d <= 0 {
+				ok = false
+				break
+			}
+			res.S[i] = d
+			smin = math.Min(smin, d)
+			amax = math.Max(amax, d)
+		}
+		if ok && math.Sqrt(smin)/math.Sqrt(amax) < 0.1 {
+			for i := 0; i < n; i++ {
+				res.S[i] = 1 / math.Sqrt(res.S[i])
+			}
+			for j := 0; j < n; j++ {
+				for i := max(0, j-kd); i <= min(n-1, j+kd); i++ {
+					var k int
+					if uplo == Upper {
+						if i > j {
+							continue
+						}
+						k = kd + i - j + j*ldab
+					} else {
+						if i < j {
+							continue
+						}
+						k = i - j + j*ldab
+					}
+					ab[k] *= core.FromFloat[T](res.S[i] * res.S[j])
+				}
+			}
+			res.Equed = EquedBoth
+		} else {
+			for i := range res.S {
+				res.S[i] = 1
+			}
+		}
+	}
+	if res.Equed == EquedBoth {
+		for j := 0; j < nrhs; j++ {
+			for i := 0; i < n; i++ {
+				b[i+j*ldb] *= core.FromFloat[T](res.S[i])
+			}
+		}
+	}
+	if fact != FactFact {
+		// Copy the band into afb.
+		for j := 0; j < n; j++ {
+			copy(afb[j*ldafb:j*ldafb+kd+1], ab[j*ldab:j*ldab+kd+1])
+		}
+		res.Info = Pbtrf(uplo, n, kd, afb, ldafb)
+	}
+	if res.Info > 0 {
+		return res
+	}
+	anorm := Lansb(OneNorm, uplo, n, kd, ab, ldab)
+	res.RCond = Pbcon(uplo, n, kd, afb, ldafb, anorm)
+	Lacpy('A', n, nrhs, b, ldb, x, ldx)
+	Pbtrs(uplo, n, kd, nrhs, afb, ldafb, x, ldx)
+	Pbrfs(uplo, n, kd, nrhs, ab, ldab, afb, ldafb, b, ldb, x, ldx, res.Ferr, res.Berr)
+	if res.Equed == EquedBoth {
+		for j := 0; j < nrhs; j++ {
+			for i := 0; i < n; i++ {
+				x[i+j*ldx] *= core.FromFloat[T](res.S[i])
+			}
+		}
+	}
+	if res.RCond < core.Eps[T]() {
+		res.Info = n + 1
+	}
+	return res
+}

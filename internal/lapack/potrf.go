@@ -1,0 +1,296 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// Potf2 computes the unblocked Cholesky factorization of a symmetric
+// (Hermitian, for complex element types) positive definite matrix:
+// A = Uᴴ·U or A = L·Lᴴ (xPOTF2). Returns i > 0 if the leading minor of
+// order i is not positive definite.
+func Potf2[T core.Scalar](uplo Uplo, n int, a []T, lda int) int {
+	one := core.FromFloat[T](1)
+	if uplo == Upper {
+		for j := 0; j < n; j++ {
+			col := a[j*lda:]
+			ajj := core.Re(col[j]) - core.Re(blas.Dotc(j, col, 1, col, 1))
+			if ajj <= 0 || math.IsNaN(ajj) {
+				col[j] = core.FromFloat[T](ajj)
+				return j + 1
+			}
+			ajj = math.Sqrt(ajj)
+			col[j] = core.FromFloat[T](ajj)
+			if j < n-1 {
+				// Row j of U to the right of the diagonal:
+				// A(j, j+1:) = (A(j, j+1:) - A(0:j, j)ᴴ·A(0:j, j+1:)) / ajj
+				if j > 0 {
+					lacgv(j, a[j*lda:], 1)
+					blas.Gemv(TransT, j, n-j-1, -one, a[(j+1)*lda:], lda, a[j*lda:], 1, one, a[j+(j+1)*lda:], lda)
+					lacgv(j, a[j*lda:], 1)
+				}
+				blas.ScalReal(n-j-1, 1/ajj, a[j+(j+1)*lda:], lda)
+			}
+		}
+		return 0
+	}
+	for j := 0; j < n; j++ {
+		// ajj = A(j,j) - A(j, 0:j)·A(j, 0:j)ᴴ (row of L).
+		rowDot := 0.0
+		for k := 0; k < j; k++ {
+			v := a[j+k*lda]
+			rowDot += core.Re(v)*core.Re(v) + core.Im(v)*core.Im(v)
+		}
+		ajj := core.Re(a[j+j*lda]) - rowDot
+		if ajj <= 0 || math.IsNaN(ajj) {
+			a[j+j*lda] = core.FromFloat[T](ajj)
+			return j + 1
+		}
+		ajj = math.Sqrt(ajj)
+		a[j+j*lda] = core.FromFloat[T](ajj)
+		if j < n-1 {
+			// Column j of L below the diagonal:
+			// A(j+1:, j) = (A(j+1:, j) - A(j+1:, 0:j)·A(j, 0:j)ᴴ) / ajj
+			if j > 0 {
+				lacgv(j, a[j:], lda)
+				blas.Gemv(NoTrans, n-j-1, j, -one, a[j+1:], lda, a[j:], lda, one, a[j+1+j*lda:], 1)
+				lacgv(j, a[j:], lda)
+			}
+			blas.ScalReal(n-j-1, 1/ajj, a[j+1+j*lda:], 1)
+		}
+	}
+	return 0
+}
+
+// lacgv conjugates a vector in place (xLACGV); a no-op for real types.
+func lacgv[T core.Scalar](n int, x []T, incX int) {
+	if !core.IsComplex[T]() {
+		return
+	}
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+incX {
+		x[ix] = core.Conj(x[ix])
+	}
+}
+
+// Potrf computes the blocked Cholesky factorization of a positive definite
+// matrix (xPOTRF). Semantics are identical to Potf2.
+func Potrf[T core.Scalar](uplo Uplo, n int, a []T, lda int) int {
+	nb := Ilaenv(1, "POTRF", n, -1, -1, -1)
+	if nb <= 1 || nb >= n {
+		return Potf2(uplo, n, a, lda)
+	}
+	one := core.FromFloat[T](1)
+	for j := 0; j < n; j += nb {
+		jb := min(nb, n-j)
+		if uplo == Upper {
+			blas.Herk(Upper, ConjTrans, jb, j, -1, a[j*lda:], lda, 1, a[j+j*lda:], lda)
+			if info := Potf2(Upper, jb, a[j+j*lda:], lda); info != 0 {
+				return info + j
+			}
+			if j+jb < n {
+				blas.Gemm(ConjTrans, NoTrans, jb, n-j-jb, j, -one,
+					a[j*lda:], lda, a[(j+jb)*lda:], lda, one, a[j+(j+jb)*lda:], lda)
+				blas.Trsm(Left, Upper, ConjTrans, NonUnit, jb, n-j-jb, one,
+					a[j+j*lda:], lda, a[j+(j+jb)*lda:], lda)
+			}
+		} else {
+			blas.Herk(Lower, NoTrans, jb, j, -1, a[j:], lda, 1, a[j+j*lda:], lda)
+			if info := Potf2(Lower, jb, a[j+j*lda:], lda); info != 0 {
+				return info + j
+			}
+			if j+jb < n {
+				blas.Gemm(NoTrans, ConjTrans, n-j-jb, jb, j, -one,
+					a[j+jb:], lda, a[j:], lda, one, a[j+jb+j*lda:], lda)
+				blas.Trsm(Right, Lower, ConjTrans, NonUnit, n-j-jb, jb, one,
+					a[j+j*lda:], lda, a[j+jb+j*lda:], lda)
+			}
+		}
+	}
+	return 0
+}
+
+// Potrs solves A·X = B using the Cholesky factorization from Potrf
+// (xPOTRS). B is overwritten with the solution.
+func Potrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, b []T, ldb int) {
+	if n == 0 || nrhs == 0 {
+		return
+	}
+	one := core.FromFloat[T](1)
+	if uplo == Upper {
+		blas.Trsm(Left, Upper, ConjTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+		blas.Trsm(Left, Upper, NoTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+	} else {
+		blas.Trsm(Left, Lower, NoTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+		blas.Trsm(Left, Lower, ConjTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+	}
+}
+
+// Posv solves A·X = B for a symmetric/Hermitian positive definite matrix
+// (the xPOSV driver). On exit a holds the Cholesky factor and b the
+// solution.
+func Posv[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, b []T, ldb int) int {
+	info := Potrf(uplo, n, a, lda)
+	if info == 0 {
+		Potrs(uplo, n, nrhs, a, lda, b, ldb)
+	}
+	return info
+}
+
+// Pocon estimates the reciprocal 1-norm condition number of a positive
+// definite matrix from its Cholesky factorization (xPOCON).
+func Pocon[T core.Scalar](uplo Uplo, n int, a []T, lda int, anorm float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	if anorm == 0 {
+		return 0
+	}
+	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
+		// A is Hermitian: both products are the same solve.
+		Potrs(uplo, n, 1, a, lda, x, n)
+	})
+	if ainvnm == 0 {
+		return 0
+	}
+	return (1 / ainvnm) / anorm
+}
+
+// Poequ computes diagonal scalings to equilibrate a positive definite
+// matrix (xPOEQU): s_i = 1/sqrt(A(i,i)). Returns the ratio scond of the
+// smallest to largest scale factor, the maximum diagonal element amax, and
+// info = i > 0 if the i-th diagonal entry is non-positive.
+func Poequ[T core.Scalar](n int, a []T, lda int, s []float64) (scond, amax float64, info int) {
+	if n == 0 {
+		return 1, 0, 0
+	}
+	smin := core.Re(a[0])
+	amax = smin
+	for i := 0; i < n; i++ {
+		d := core.Re(a[i+i*lda])
+		s[i] = d
+		smin = math.Min(smin, d)
+		amax = math.Max(amax, d)
+	}
+	if smin <= 0 {
+		for i := 0; i < n; i++ {
+			if s[i] <= 0 {
+				return 0, amax, i + 1
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		s[i] = 1 / math.Sqrt(s[i])
+	}
+	scond = math.Sqrt(smin) / math.Sqrt(amax)
+	return scond, amax, 0
+}
+
+// absSymv computes y += |A|·xa for a symmetric/Hermitian matrix stored in
+// the uplo triangle.
+func absSymv[T core.Scalar](uplo Uplo, n int, a []T, lda int, xa, y []float64) {
+	at := func(i, j int) float64 {
+		if (uplo == Upper) == (i <= j) {
+			return core.Abs1(a[i+j*lda])
+		}
+		return core.Abs1(a[j+i*lda])
+	}
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for k := 0; k < n; k++ {
+			s += at(i, k) * xa[k]
+		}
+		y[i] += s
+	}
+}
+
+// Porfs iteratively refines the solution of A·X = B for a positive definite
+// matrix and returns error bounds (xPORFS).
+func Porfs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+	rfs(NoTrans, n, nrhs,
+		func(_ Trans, alpha T, x []T, beta T, y []T) {
+			if core.IsComplex[T]() {
+				blas.Hemv(uplo, n, alpha, a, lda, x, 1, beta, y, 1)
+			} else {
+				blas.Symv(uplo, n, alpha, a, lda, x, 1, beta, y, 1)
+			}
+		},
+		func(_ Trans, xa, y []float64) { absSymv(uplo, n, a, lda, xa, y) },
+		func(_ Trans, r []T) { Potrs(uplo, n, 1, af, ldaf, r, n) },
+		b, ldb, x, ldx, ferr, berr)
+}
+
+// PosvxResult carries the outputs of the expert driver Posvx.
+type PosvxResult struct {
+	Equed Equed     // 'Y'-style scaling applied? EquedNone or EquedBoth
+	S     []float64 // diagonal scale factors
+	RCond float64
+	Ferr  []float64
+	Berr  []float64
+	Info  int
+}
+
+// Posvx is the expert driver for positive definite systems (xPOSVX):
+// optional equilibration, Cholesky factorization, solve, refinement, and
+// condition estimation.
+func Posvx[T core.Scalar](fact Fact, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, b []T, ldb int, x []T, ldx int) PosvxResult {
+	res := PosvxResult{
+		Equed: EquedNone,
+		S:     make([]float64, n),
+		Ferr:  make([]float64, nrhs),
+		Berr:  make([]float64, nrhs),
+	}
+	for i := range res.S {
+		res.S[i] = 1
+	}
+	if fact == FactEquilibrate {
+		scond, amax, inf := Poequ(n, a, lda, res.S)
+		if inf == 0 {
+			small := core.SafeMin[T]() / core.Eps[T]()
+			large := 1 / small
+			if scond < 0.1 || amax < small || amax > large {
+				// Scale A on both sides: A := diag(S)·A·diag(S).
+				for j := 0; j < n; j++ {
+					for i := 0; i < n; i++ {
+						if uplo == Upper && i > j || uplo == Lower && i < j {
+							continue
+						}
+						a[i+j*lda] *= core.FromFloat[T](res.S[i] * res.S[j])
+					}
+				}
+				res.Equed = EquedBoth
+			}
+		}
+	}
+	if res.Equed == EquedBoth {
+		for j := 0; j < nrhs; j++ {
+			for i := 0; i < n; i++ {
+				b[i+j*ldb] *= core.FromFloat[T](res.S[i])
+			}
+		}
+	}
+	if fact != FactFact {
+		Lacpy('A', n, n, a, lda, af, ldaf)
+		res.Info = Potrf(uplo, n, af, ldaf)
+	}
+	if res.Info > 0 {
+		return res
+	}
+	anorm := Lansy(OneNorm, uplo, n, a, lda)
+	res.RCond = Pocon(uplo, n, af, ldaf, anorm)
+	Lacpy('A', n, nrhs, b, ldb, x, ldx)
+	Potrs(uplo, n, nrhs, af, ldaf, x, ldx)
+	Porfs(uplo, n, nrhs, a, lda, af, ldaf, b, ldb, x, ldx, res.Ferr, res.Berr)
+	if res.Equed == EquedBoth {
+		for j := 0; j < nrhs; j++ {
+			for i := 0; i < n; i++ {
+				x[i+j*ldx] *= core.FromFloat[T](res.S[i])
+			}
+		}
+	}
+	if res.RCond < core.Eps[T]() {
+		res.Info = n + 1
+	}
+	return res
+}

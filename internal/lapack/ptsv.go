@@ -1,0 +1,158 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Pttrf computes the L·D·Lᴴ factorization of a symmetric/Hermitian positive
+// definite tridiagonal matrix (xPTTRF). d (length n) holds the real
+// diagonal and e (length n-1) the sub-diagonal; on exit d holds the diagonal
+// of D and e the sub-diagonal multipliers of unit L. Returns i > 0 if the
+// leading minor of order i is not positive definite.
+func Pttrf[T core.Scalar](n int, d []float64, e []T) int {
+	for i := 0; i < n-1; i++ {
+		if d[i] <= 0 || math.IsNaN(d[i]) {
+			return i + 1
+		}
+		ei := e[i]
+		e[i] = core.FromComplex[T](core.ToComplex(ei) / complex(d[i], 0))
+		d[i+1] -= core.Re(e[i])*core.Re(ei) + core.Im(e[i])*core.Im(ei)
+	}
+	if n > 0 && d[n-1] <= 0 {
+		return n
+	}
+	return 0
+}
+
+// Pttrs solves A·X = B using the L·D·Lᴴ factorization from Pttrf (xPTTRS).
+func Pttrs[T core.Scalar](n, nrhs int, d []float64, e []T, b []T, ldb int) {
+	for j := 0; j < nrhs; j++ {
+		col := b[j*ldb:]
+		// Forward solve L·y = b.
+		for i := 1; i < n; i++ {
+			col[i] -= e[i-1] * col[i-1]
+		}
+		// Diagonal solve and back substitution Lᴴ·x = D⁻¹·y.
+		col[n-1] = core.FromComplex[T](core.ToComplex(col[n-1]) / complex(d[n-1], 0))
+		for i := n - 2; i >= 0; i-- {
+			col[i] = core.FromComplex[T](core.ToComplex(col[i])/complex(d[i], 0)) - core.Conj(e[i])*col[i+1]
+		}
+	}
+}
+
+// Ptsv solves A·X = B for a positive definite tridiagonal matrix (the
+// xPTSV driver). d and e are overwritten by the factorization.
+func Ptsv[T core.Scalar](n, nrhs int, d []float64, e []T, b []T, ldb int) int {
+	info := Pttrf(n, d, e)
+	if info == 0 {
+		Pttrs(n, nrhs, d, e, b, ldb)
+	}
+	return info
+}
+
+// Ptcon estimates the reciprocal 1-norm condition number of a positive
+// definite tridiagonal matrix from its factorization (xPTCON-style,
+// computed with the norm estimator applied to the factored solves).
+func Ptcon[T core.Scalar](n int, d []float64, e []T, anorm float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	if anorm == 0 {
+		return 0
+	}
+	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
+		Pttrs(n, 1, d, e, x, n)
+	})
+	if ainvnm == 0 {
+		return 0
+	}
+	return (1 / ainvnm) / anorm
+}
+
+// ptmv computes y = alpha·A·x + beta·y for the Hermitian tridiagonal matrix
+// with real diagonal d and sub-diagonal e.
+func ptmv[T core.Scalar](n int, d []float64, e []T, alpha T, x []T, beta T, y []T) {
+	for i := 0; i < n; i++ {
+		s := core.FromFloat[T](d[i]) * x[i]
+		if i > 0 {
+			s += e[i-1] * x[i-1]
+		}
+		if i < n-1 {
+			s += core.Conj(e[i]) * x[i+1]
+		}
+		if beta == 0 {
+			y[i] = alpha * s
+		} else {
+			y[i] = alpha*s + beta*y[i]
+		}
+	}
+}
+
+// Ptrfs iteratively refines the solution of a positive definite tridiagonal
+// system and returns error bounds (xPTRFS). d/e are the original matrix and
+// df/ef its factorization.
+func Ptrfs[T core.Scalar](n, nrhs int, d []float64, e []T, df []float64, ef []T, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+	rfs(NoTrans, n, nrhs,
+		func(_ Trans, alpha T, x []T, beta T, y []T) { ptmv(n, d, e, alpha, x, beta, y) },
+		func(_ Trans, xa, y []float64) {
+			for i := 0; i < n; i++ {
+				s := math.Abs(d[i]) * xa[i]
+				if i > 0 {
+					s += core.Abs1(e[i-1]) * xa[i-1]
+				}
+				if i < n-1 {
+					s += core.Abs1(e[i]) * xa[i+1]
+				}
+				y[i] += s
+			}
+		},
+		func(_ Trans, r []T) { Pttrs(n, 1, df, ef, r, n) },
+		b, ldb, x, ldx, ferr, berr)
+}
+
+// PtsvxResult carries the outputs of Ptsvx.
+type PtsvxResult struct {
+	RCond float64
+	Ferr  []float64
+	Berr  []float64
+	Info  int
+}
+
+// Ptsvx is the expert driver for positive definite tridiagonal systems
+// (xPTSVX): factorization, solve, refinement and condition estimation. df
+// and ef receive the factorization (or supply it when fact is FactFact).
+func Ptsvx[T core.Scalar](fact Fact, n, nrhs int, d []float64, e []T, df []float64, ef []T, b []T, ldb int, x []T, ldx int) PtsvxResult {
+	res := PtsvxResult{Ferr: make([]float64, nrhs), Berr: make([]float64, nrhs)}
+	if fact != FactFact {
+		copy(df[:n], d[:n])
+		if n > 1 {
+			copy(ef[:n-1], e[:n-1])
+		}
+		res.Info = Pttrf(n, df, ef)
+	}
+	if res.Info > 0 {
+		return res
+	}
+	// 1-norm of the Hermitian tridiagonal matrix.
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		s := math.Abs(d[i])
+		if i > 0 {
+			s += core.Abs1(e[i-1])
+		}
+		if i < n-1 {
+			s += core.Abs1(e[i])
+		}
+		anorm = math.Max(anorm, s)
+	}
+	res.RCond = Ptcon(n, df, ef, anorm)
+	Lacpy('A', n, nrhs, b, ldb, x, ldx)
+	Pttrs(n, nrhs, df, ef, x, ldx)
+	Ptrfs(n, nrhs, d, e, df, ef, b, ldb, x, ldx, res.Ferr, res.Berr)
+	if res.RCond < core.Eps[T]() {
+		res.Info = n + 1
+	}
+	return res
+}

@@ -1,0 +1,173 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// Geqpf computes the QR factorization with column pivoting A·P = Q·R
+// (xGEQPF). jpvt has length n; on entry jpvt[j] >= 0 marks a free column
+// (this implementation treats all columns as free). On exit jpvt[j] is the
+// 0-based index of the original column that became column j of A·P.
+func Geqpf[T core.Scalar](m, n int, a []T, lda int, jpvt []int, tau []T) {
+	mn := min(m, n)
+	for j := 0; j < n; j++ {
+		jpvt[j] = j
+	}
+	// Column norms and their running copies for the downdate formula.
+	norms := make([]float64, n)
+	normsExact := make([]float64, n)
+	for j := 0; j < n; j++ {
+		norms[j] = blas.Nrm2(m, a[j*lda:], 1)
+		normsExact[j] = norms[j]
+	}
+	work := make([]T, n)
+	tol3z := math.Sqrt(core.Eps[T]())
+	for i := 0; i < mn; i++ {
+		// Pivot: column with the largest remaining norm.
+		p := i
+		for j := i + 1; j < n; j++ {
+			if norms[j] > norms[p] {
+				p = j
+			}
+		}
+		if p != i {
+			blas.Swap(m, a[i*lda:], 1, a[p*lda:], 1)
+			jpvt[i], jpvt[p] = jpvt[p], jpvt[i]
+			norms[p] = norms[i]
+			normsExact[p] = normsExact[i]
+		}
+		// Generate and apply the reflector.
+		tau[i] = Larfg(m-i, &a[i+i*lda], a[min(i+1, m-1)+i*lda:], 1)
+		if i < n-1 {
+			aii := a[i+i*lda]
+			a[i+i*lda] = core.FromFloat[T](1)
+			Larf(Left, m-i, n-i-1, a[i+i*lda:], 1, core.Conj(tau[i]), a[i+(i+1)*lda:], lda, work)
+			a[i+i*lda] = aii
+		}
+		// Downdate the column norms (xGEQP3 recipe with recompute guard).
+		for j := i + 1; j < n; j++ {
+			if norms[j] == 0 {
+				continue
+			}
+			t := core.Abs(a[i+j*lda]) / norms[j]
+			t = math.Max(0, (1+t)*(1-t))
+			t2 := norms[j] / normsExact[j]
+			if t*(t2*t2) <= tol3z {
+				// Cancellation: recompute exactly.
+				norms[j] = blas.Nrm2(m-i-1, a[i+1+j*lda:], 1)
+				normsExact[j] = norms[j]
+			} else {
+				norms[j] *= math.Sqrt(t)
+			}
+		}
+	}
+}
+
+// Larz applies the elementary reflector H = I − τ·w·wᴴ, where
+// w = [1; 0; …; 0; v] with v of length l occupying the last l positions,
+// to an m×n matrix C from the given side (xLARZ). For side == Right the
+// implicit 1 multiplies column 0 of C and v the last l columns; for Left,
+// row 0 and the last l rows.
+func Larz[T core.Scalar](side Side, m, n, l int, v []T, incV int, tau T, c []T, ldc int, work []T) {
+	if tau == 0 {
+		return
+	}
+	one := core.FromFloat[T](1)
+	if side == Left {
+		// work = conj(row 0 of C)ᴴ-style product: work = C(0,:)ᴴ + C(m-l:,:)ᴴ v.
+		for j := 0; j < n; j++ {
+			work[j] = core.Conj(c[j*ldc])
+		}
+		// work += C(m-l:m, :)ᴴ·v
+		blas.Gemv(ConjTrans, l, n, one, c[m-l:], ldc, v, incV, one, work, 1)
+		// C(0,:) -= τ·conj(work) ; C(m-l:m,:) -= τ·v·workᵀ (unconjugated).
+		for j := 0; j < n; j++ {
+			c[j*ldc] -= tau * core.Conj(work[j])
+		}
+		blas.Ger(l, n, -tau, v, incV, work, 1, c[m-l:], ldc)
+		return
+	}
+	// Right: work = C(:,0) + C(:, n-l:n)·v ; then update.
+	for i := 0; i < m; i++ {
+		work[i] = c[i]
+	}
+	blas.Gemv(NoTrans, m, l, one, c[(n-l)*ldc:], ldc, v, incV, one, work, 1)
+	for i := 0; i < m; i++ {
+		c[i] -= tau * work[i]
+	}
+	blas.Gerc(m, l, -tau, work, 1, v, incV, c[(n-l)*ldc:], ldc)
+}
+
+// Latrz reduces an upper trapezoidal m×n matrix (m <= n) to the form
+// [R 0] by unitary transformations from the right: A = [R 0]·Z (xLATRZ).
+// The reflectors are stored in the last n−m columns and tau.
+func Latrz[T core.Scalar](m, n int, a []T, lda int, tau []T) {
+	l := n - m
+	if l == 0 || m == 0 {
+		for i := 0; i < m; i++ {
+			tau[i] = 0
+		}
+		return
+	}
+	work := make([]T, max(m, n))
+	for i := m - 1; i >= 0; i-- {
+		// Conjugate the row tail so the reflector zeroes A(i, m:n).
+		lacgv(l, a[i+m*lda:], lda)
+		alpha := core.Conj(a[i+i*lda])
+		tau[i] = Larfg(l+1, &alpha, a[i+m*lda:], lda)
+		a[i+i*lda] = core.Conj(alpha)
+		tau[i] = core.Conj(tau[i])
+		// Apply H from the right to rows 0..i-1.
+		if i > 0 {
+			Larz(Right, i, n-i, l, a[i+m*lda:], lda, core.Conj(tau[i]), a[i*lda:], lda, work)
+		}
+	}
+}
+
+// Tzrzf computes the RZ factorization of an upper trapezoidal matrix
+// (xTZRZF; delegates to the unblocked Latrz).
+func Tzrzf[T core.Scalar](m, n int, a []T, lda int, tau []T) {
+	Latrz(m, n, a, lda, tau)
+}
+
+// Ormrz multiplies C by Z or Zᴴ from an RZ factorization (xORMRZ/xUNMRZ),
+// where the k reflectors of length l are stored in the last l columns of
+// rows 0..k-1 of a.
+func Ormrz[T core.Scalar](side Side, trans Trans, m, n, k, l int, a []T, lda int, tau []T, c []T, ldc int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	nq := m
+	if side == Right {
+		nq = n
+	}
+	wlen := n
+	if side == Right {
+		wlen = m
+	}
+	work := make([]T, wlen)
+	notran := trans == NoTrans
+	forward := (side == Left) != notran
+	start, end, step := k-1, -1, -1
+	if forward {
+		start, end, step = 0, k, 1
+	}
+	ja := nq - l // reflectors act on position i and the last l coordinates
+	for i := start; i != end; i += step {
+		taui := tau[i]
+		if !notran {
+			taui = core.Conj(taui)
+		}
+		if side == Left {
+			// Rows i and m-l..m of C.
+			sub := c[i:]
+			Larz(Left, m-i, n, l, a[i+ja*lda:], lda, taui, sub, ldc, work)
+		} else {
+			sub := c[i*ldc:]
+			Larz(Right, m, n-i, l, a[i+ja*lda:], lda, taui, sub, ldc, work)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// Larfg generates an elementary Householder reflector H = I − τ·v·vᴴ such
+// that Hᴴ·[alpha; x] = [beta; 0] with beta real (xLARFG). n is the order of
+// the reflector (alpha plus n−1 elements of x). On return alpha holds beta
+// and x holds the tail of v (v₀ = 1 implicitly).
+func Larfg[T core.Scalar](n int, alpha *T, x []T, incX int) T {
+	var tau T
+	if n <= 0 {
+		return tau
+	}
+	// Note n == 1 is not a quick return for complex element types: a
+	// reflector may still be needed to rotate a complex alpha onto the
+	// real axis (beta is always real).
+	xnorm := blas.Nrm2(n-1, x, incX)
+	alphr, alphi := core.Re(*alpha), core.Im(*alpha)
+	if xnorm == 0 && alphi == 0 {
+		return tau
+	}
+	beta := -core.Sign(core.Hypot3(alphr, alphi, xnorm), alphr)
+	safmin := core.SafeMin[T]() / core.Eps[T]()
+	knt := 0
+	for math.Abs(beta) < safmin && knt < 20 {
+		// Rescale to avoid harmful underflow.
+		knt++
+		blas.ScalReal(n-1, 1/safmin, x, incX)
+		beta /= safmin
+		alphr /= safmin
+		alphi /= safmin
+		xnorm = blas.Nrm2(n-1, x, incX)
+		beta = -core.Sign(core.Hypot3(alphr, alphi, xnorm), alphr)
+	}
+	if core.IsComplex[T]() {
+		tau = core.FromComplex[T](complex((beta-alphr)/beta, -alphi/beta))
+	} else {
+		tau = core.FromFloat[T]((beta - alphr) / beta)
+	}
+	scale := core.Div(core.FromFloat[T](1), core.FromComplex[T](complex(alphr-beta, alphi)))
+	blas.Scal(n-1, scale, x, incX)
+	for k := 0; k < knt; k++ {
+		beta *= safmin
+	}
+	*alpha = core.FromFloat[T](beta)
+	return tau
+}
+
+// Larf applies the elementary reflector H = I − τ·v·vᴴ to an m×n matrix C
+// from the given side (xLARF). work must have length n (Left) or m (Right).
+func Larf[T core.Scalar](side Side, m, n int, v []T, incV int, tau T, c []T, ldc int, work []T) {
+	if tau == 0 {
+		return
+	}
+	one := core.FromFloat[T](1)
+	zero := core.FromFloat[T](0)
+	if side == Left {
+		// w = Cᴴ·v; C -= τ·v·wᴴ.
+		blas.Gemv(ConjTrans, m, n, one, c, ldc, v, incV, zero, work, 1)
+		blas.Gerc(m, n, -tau, v, incV, work, 1, c, ldc)
+		return
+	}
+	// w = C·v; C -= τ·w·vᴴ.
+	blas.Gemv(NoTrans, m, n, one, c, ldc, v, incV, zero, work, 1)
+	blas.Gerc(m, n, -tau, work, 1, v, incV, c, ldc)
+}
+
+// Geqr2 computes the unblocked QR factorization A = Q·R (xGEQR2). tau must
+// have length min(m, n); work length at least n.
+func Geqr2[T core.Scalar](m, n int, a []T, lda int, tau []T, work []T) {
+	for i := 0; i < min(m, n); i++ {
+		tau[i] = Larfg(m-i, &a[i+i*lda], a[min(i+1, m-1)+i*lda:], 1)
+		if i < n-1 {
+			aii := a[i+i*lda]
+			a[i+i*lda] = core.FromFloat[T](1)
+			Larf(Left, m-i, n-i-1, a[i+i*lda:], 1, core.Conj(tau[i]), a[i+(i+1)*lda:], lda, work)
+			a[i+i*lda] = aii
+		}
+	}
+}
+
+// Geqrf computes the QR factorization of an m×n matrix (xGEQRF), using
+// blocked Level-3 updates above the ILAENV crossover.
+func Geqrf[T core.Scalar](m, n int, a []T, lda int, tau []T) {
+	nb := Ilaenv(1, "GEQRF", m, n, -1, -1)
+	if min(m, n) > 2*nb {
+		geqrfBlocked(m, n, a, lda, tau, nb)
+		return
+	}
+	work := make([]T, max(1, n))
+	Geqr2(m, n, a, lda, tau, work)
+}
+
+// Org2r generates the first k columns of the unitary matrix Q from the
+// reflectors returned by Geqr2 (xORG2R/xUNG2R). a is m×n with n <= m.
+func Org2r[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
+	if n <= 0 {
+		return
+	}
+	work := make([]T, n)
+	// Columns k..n-1 start as unit vectors.
+	for j := k; j < n; j++ {
+		for i := 0; i < m; i++ {
+			a[i+j*lda] = 0
+		}
+		a[j+j*lda] = core.FromFloat[T](1)
+	}
+	for i := k - 1; i >= 0; i-- {
+		if i < n-1 {
+			a[i+i*lda] = core.FromFloat[T](1)
+			Larf(Left, m-i, n-i-1, a[i+i*lda:], 1, tau[i], a[i+(i+1)*lda:], lda, work)
+		}
+		if i < m-1 {
+			blas.Scal(m-i-1, -tau[i], a[i+1+i*lda:], 1)
+		}
+		a[i+i*lda] = core.FromFloat[T](1) - tau[i]
+		for j := 0; j < i; j++ {
+			a[j+i*lda] = 0
+		}
+	}
+}
+
+// Orgqr generates the first k columns of Q from a QR factorization
+// (xORGQR/xUNGQR).
+func Orgqr[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
+	Org2r(m, n, k, a, lda, tau)
+}
+
+// Ormqr multiplies C by Q or Qᴴ from a QR factorization (xORMQR/xUNMQR):
+// C := op(Q)·C (Left) or C·op(Q) (Right), where a holds the k reflectors in
+// its first k columns. trans must be NoTrans or ConjTrans (use ConjTrans
+// for Qᵀ in real arithmetic).
+func Ormqr[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, tau []T, c []T, ldc int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	wlen := n
+	if side == Right {
+		wlen = m
+	}
+	work := make([]T, wlen)
+	notran := trans == NoTrans
+	forward := (side == Left) != notran
+	start, end, step := k-1, -1, -1
+	if forward {
+		start, end, step = 0, k, 1
+	}
+	for i := start; i != end; i += step {
+		taui := tau[i]
+		if !notran {
+			taui = core.Conj(taui)
+		}
+		aii := a[i+i*lda]
+		a[i+i*lda] = core.FromFloat[T](1)
+		if side == Left {
+			Larf(Left, m-i, n, a[i+i*lda:], 1, taui, c[i:], ldc, work)
+		} else {
+			Larf(Right, m, n-i, a[i+i*lda:], 1, taui, c[i*ldc:], ldc, work)
+		}
+		a[i+i*lda] = aii
+	}
+}
+
+// Gelq2 computes the unblocked LQ factorization A = L·Q (xGELQ2). tau must
+// have length min(m, n); work length at least m.
+func Gelq2[T core.Scalar](m, n int, a []T, lda int, tau []T, work []T) {
+	for i := 0; i < min(m, n); i++ {
+		lacgv(n-i, a[i+i*lda:], lda)
+		tau[i] = Larfg(n-i, &a[i+i*lda], a[i+min(i+1, n-1)*lda:], lda)
+		if i < m-1 {
+			aii := a[i+i*lda]
+			a[i+i*lda] = core.FromFloat[T](1)
+			Larf(Right, m-i-1, n-i, a[i+i*lda:], lda, tau[i], a[i+1+i*lda:], lda, work)
+			a[i+i*lda] = aii
+		}
+		lacgv(n-i, a[i+i*lda:], lda)
+	}
+}
+
+// Gelqf computes the LQ factorization of an m×n matrix (xGELQF).
+func Gelqf[T core.Scalar](m, n int, a []T, lda int, tau []T) {
+	work := make([]T, max(1, m))
+	Gelq2(m, n, a, lda, tau, work)
+}
+
+// Orgl2 generates the first k rows of the unitary matrix Q from the
+// reflectors returned by Gelq2 (xORGL2/xUNGL2). a is m×n with m <= n.
+func Orgl2[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
+	if m <= 0 {
+		return
+	}
+	work := make([]T, m)
+	for i := k; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a[i+j*lda] = 0
+		}
+		a[i+i*lda] = core.FromFloat[T](1)
+	}
+	for i := k - 1; i >= 0; i-- {
+		if i < n-1 {
+			lacgv(n-i-1, a[i+(i+1)*lda:], lda)
+			if i < m-1 {
+				a[i+i*lda] = core.FromFloat[T](1)
+				Larf(Right, m-i-1, n-i, a[i+i*lda:], lda, core.Conj(tau[i]), a[i+1+i*lda:], lda, work)
+			}
+			blas.Scal(n-i-1, -tau[i], a[i+(i+1)*lda:], lda)
+			lacgv(n-i-1, a[i+(i+1)*lda:], lda)
+		}
+		a[i+i*lda] = core.FromFloat[T](1) - core.Conj(tau[i])
+		for j := 0; j < i; j++ {
+			a[i+j*lda] = 0
+		}
+	}
+}
+
+// Orglq generates the first k rows of Q from an LQ factorization
+// (xORGLQ/xUNGLQ).
+func Orglq[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
+	Orgl2(m, n, k, a, lda, tau)
+}
+
+// Ormlq multiplies C by Q or Qᴴ from an LQ factorization (xORMLQ/xUNMLQ).
+// trans must be NoTrans or ConjTrans.
+func Ormlq[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, tau []T, c []T, ldc int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	wlen := n
+	if side == Right {
+		wlen = m
+	}
+	work := make([]T, wlen)
+	notran := trans == NoTrans
+	// For LQ, Q = H(k)ᴴ…H(1)ᴴ with reflectors stored in rows. Application
+	// order is the mirror of Ormqr.
+	forward := (side == Left) == notran
+	start, end, step := k-1, -1, -1
+	if forward {
+		start, end, step = 0, k, 1
+	}
+	v := make([]T, 0, max(m, n))
+	for i := start; i != end; i += step {
+		var taui T
+		if notran {
+			taui = core.Conj(tau[i])
+		} else {
+			taui = tau[i]
+		}
+		// Row i of A holds vᴴ (conjugated, from Gelq2): reconstruct v.
+		var l int
+		if side == Left {
+			l = m - i
+		} else {
+			l = n - i
+		}
+		v = v[:0]
+		v = append(v, core.FromFloat[T](1))
+		for j := 1; j < l; j++ {
+			v = append(v, core.Conj(a[i+(i+j)*lda]))
+		}
+		if side == Left {
+			Larf(Left, m-i, n, v, 1, taui, c[i:], ldc, work)
+		} else {
+			Larf(Right, m, n-i, v, 1, taui, c[i*ldc:], ldc, work)
+		}
+	}
+}

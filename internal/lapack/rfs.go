@@ -1,0 +1,136 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// rfs is the iterative-refinement engine shared by every xyyRFS routine. It
+// refines X (n×nrhs, ldx) for op(A)·X = B and fills in componentwise
+// backward errors berr and forward error bounds ferr, following the
+// algorithm of xGERFS. The matrix is abstracted through three callbacks:
+//
+//	mv     computes y = alpha·op(A)·x + beta·y,
+//	absmv  computes y += |op(A)|·xa for non-negative xa (componentwise
+//	       absolute values of the matrix),
+//	solve  overwrites r with op(A)⁻¹·r using the precomputed factorization.
+//
+// For symmetric and Hermitian coefficient matrices the trans argument is
+// always NoTrans.
+func rfs[T core.Scalar](trans Trans, n, nrhs int,
+	mv func(trans Trans, alpha T, x []T, beta T, y []T),
+	absmv func(trans Trans, xa, y []float64),
+	solve func(trans Trans, r []T),
+	b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+
+	if n == 0 || nrhs == 0 {
+		for j := 0; j < nrhs; j++ {
+			ferr[j], berr[j] = 0, 0
+		}
+		return
+	}
+	const itmax = 5
+	nz := float64(n + 1)
+	eps := core.Eps[T]()
+	safmin := core.SafeMin[T]()
+	safe1 := nz * safmin
+	safe2 := safe1 / eps
+	transBack := TransT
+	if core.IsComplex[T]() {
+		transBack = ConjTrans
+	}
+	r := make([]T, n)
+	w := make([]float64, n)
+	xa := make([]float64, n)
+	one := core.FromFloat[T](1)
+	for j := 0; j < nrhs; j++ {
+		bj := b[j*ldb:]
+		xj := x[j*ldx:]
+		lstres := 3.0
+		for count := 1; ; count++ {
+			// r = b - op(A)·x
+			blas.Copy(n, bj, 1, r, 1)
+			mv(trans, -one, xj, one, r)
+			// w = |b| + |op(A)|·|x| componentwise.
+			for i := 0; i < n; i++ {
+				w[i] = core.Abs1(bj[i])
+				xa[i] = core.Abs1(xj[i])
+			}
+			absmv(trans, xa, w)
+			s := 0.0
+			for i := 0; i < n; i++ {
+				if w[i] > safe2 {
+					s = math.Max(s, core.Abs1(r[i])/w[i])
+				} else {
+					s = math.Max(s, (core.Abs1(r[i])+safe1)/(w[i]+safe1))
+				}
+			}
+			berr[j] = s
+			if !(berr[j] > eps && 2*berr[j] <= lstres && count <= itmax) {
+				break
+			}
+			solve(trans, r)
+			blas.Axpy(n, one, r, 1, xj, 1)
+			lstres = berr[j]
+		}
+		// Forward error: estimate ||inv(op(A))·diag(w)||_∞ where
+		// w_i = |r_i| + nz·eps·(|op(A)||x| + |b|)_i.
+		for i := 0; i < n; i++ {
+			if w[i] > safe2 {
+				w[i] = core.Abs1(r[i]) + nz*eps*w[i]
+			} else {
+				w[i] = core.Abs1(r[i]) + nz*eps*w[i] + safe1
+			}
+		}
+		ferr[j] = Lacn2(n, func(conjTrans bool, v []T) {
+			if conjTrans {
+				tr := transBack
+				if trans != NoTrans {
+					tr = NoTrans
+				}
+				solve(tr, v)
+				for i := 0; i < n; i++ {
+					v[i] *= core.FromFloat[T](w[i])
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					v[i] *= core.FromFloat[T](w[i])
+				}
+				solve(trans, v)
+			}
+		})
+		lstres = 0
+		for i := 0; i < n; i++ {
+			lstres = math.Max(lstres, core.Abs1(xj[i]))
+		}
+		if lstres != 0 {
+			ferr[j] /= lstres
+		}
+	}
+}
+
+// absGemv computes y += |op(A)|·xa for a dense matrix, the componentwise
+// kernel used by Gerfs.
+func absGemv[T core.Scalar](trans Trans, m, n int, a []T, lda int, xa, y []float64) {
+	if trans == NoTrans {
+		for k := 0; k < n; k++ {
+			xk := xa[k]
+			if xk == 0 {
+				continue
+			}
+			for i := 0; i < m; i++ {
+				y[i] += core.Abs1(a[i+k*lda]) * xk
+			}
+		}
+		return
+	}
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += core.Abs1(a[i+k*lda]) * xa[i]
+		}
+		y[k] += s
+	}
+}

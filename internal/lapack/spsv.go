@@ -1,0 +1,146 @@
+package lapack
+
+import (
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// The packed indefinite routines operate by expanding the packed triangle
+// into a dense scratch triangle, running the dense Bunch–Kaufman kernels,
+// and repacking. This trades the memory advantage of packed storage for a
+// single shared implementation; the computed factors, pivots and info codes
+// are identical to running the dense routines on the expanded matrix (see
+// DESIGN.md, substitutions).
+
+func unpackTri[T core.Scalar](uplo Uplo, n int, ap []T) []T {
+	a := make([]T, n*n)
+	for j := 0; j < n; j++ {
+		if uplo == Upper {
+			for i := 0; i <= j; i++ {
+				a[i+j*n] = ap[blas.PackIdx(Upper, n, i, j)]
+			}
+		} else {
+			for i := j; i < n; i++ {
+				a[i+j*n] = ap[blas.PackIdx(Lower, n, i, j)]
+			}
+		}
+	}
+	return a
+}
+
+func repackTri[T core.Scalar](uplo Uplo, n int, a []T, ap []T) {
+	for j := 0; j < n; j++ {
+		if uplo == Upper {
+			for i := 0; i <= j; i++ {
+				ap[blas.PackIdx(Upper, n, i, j)] = a[i+j*n]
+			}
+		} else {
+			for i := j; i < n; i++ {
+				ap[blas.PackIdx(Lower, n, i, j)] = a[i+j*n]
+			}
+		}
+	}
+}
+
+// Sptrf computes the Bunch–Kaufman factorization of a symmetric matrix in
+// packed storage (xSPTRF).
+func Sptrf[T core.Scalar](uplo Uplo, n int, ap []T, ipiv []int) int {
+	a := unpackTri(uplo, n, ap)
+	info := Sytf2(uplo, n, a, n, ipiv)
+	repackTri(uplo, n, a, ap)
+	return info
+}
+
+// Sptrs solves A·X = B using the packed factorization from Sptrf (xSPTRS).
+func Sptrs[T core.Scalar](uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) {
+	a := unpackTri(uplo, n, ap)
+	Sytrs(uplo, n, nrhs, a, n, ipiv, b, ldb)
+}
+
+// Spsv solves A·X = B for a symmetric indefinite matrix in packed storage
+// (the xSPSV driver).
+func Spsv[T core.Scalar](uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) int {
+	info := Sptrf(uplo, n, ap, ipiv)
+	if info == 0 {
+		Sptrs(uplo, n, nrhs, ap, ipiv, b, ldb)
+	}
+	return info
+}
+
+// Spcon estimates the reciprocal 1-norm condition number from the packed
+// factorization (xSPCON).
+func Spcon[T core.Scalar](uplo Uplo, n int, ap []T, ipiv []int, anorm float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	if anorm == 0 {
+		return 0
+	}
+	a := unpackTri(uplo, n, ap)
+	return Sycon(uplo, n, a, n, ipiv, anorm)
+}
+
+// Sprfs iteratively refines the solution of a packed symmetric indefinite
+// system (xSPRFS).
+func Sprfs[T core.Scalar](uplo Uplo, n, nrhs int, ap, afp []T, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+	af := unpackTri(uplo, n, afp)
+	rfs(NoTrans, n, nrhs,
+		func(_ Trans, alpha T, x []T, beta T, y []T) {
+			blas.Spmv(uplo, n, alpha, ap, x, 1, beta, y, 1)
+		},
+		func(_ Trans, xa, y []float64) { absSpmv(uplo, n, ap, xa, y) },
+		func(_ Trans, r []T) { Sytrs(uplo, n, 1, af, n, ipiv, r, n) },
+		b, ldb, x, ldx, ferr, berr)
+}
+
+// Hptrf computes the Bunch–Kaufman factorization of a Hermitian matrix in
+// packed storage (xHPTRF).
+func Hptrf[T core.Scalar](uplo Uplo, n int, ap []T, ipiv []int) int {
+	a := unpackTri(uplo, n, ap)
+	info := Hetf2(uplo, n, a, n, ipiv)
+	repackTri(uplo, n, a, ap)
+	return info
+}
+
+// Hptrs solves A·X = B using the packed Hermitian factorization from Hptrf
+// (xHPTRS).
+func Hptrs[T core.Scalar](uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) {
+	a := unpackTri(uplo, n, ap)
+	Hetrs(uplo, n, nrhs, a, n, ipiv, b, ldb)
+}
+
+// Hpsv solves A·X = B for a Hermitian indefinite matrix in packed storage
+// (the xHPSV driver).
+func Hpsv[T core.Scalar](uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) int {
+	info := Hptrf(uplo, n, ap, ipiv)
+	if info == 0 {
+		Hptrs(uplo, n, nrhs, ap, ipiv, b, ldb)
+	}
+	return info
+}
+
+// Hpcon estimates the reciprocal 1-norm condition number from the packed
+// Hermitian factorization (xHPCON).
+func Hpcon[T core.Scalar](uplo Uplo, n int, ap []T, ipiv []int, anorm float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	if anorm == 0 {
+		return 0
+	}
+	a := unpackTri(uplo, n, ap)
+	return Hecon(uplo, n, a, n, ipiv, anorm)
+}
+
+// Hprfs iteratively refines the solution of a packed Hermitian indefinite
+// system (xHPRFS).
+func Hprfs[T core.Scalar](uplo Uplo, n, nrhs int, ap, afp []T, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+	af := unpackTri(uplo, n, afp)
+	rfs(NoTrans, n, nrhs,
+		func(_ Trans, alpha T, x []T, beta T, y []T) {
+			blas.Hpmv(uplo, n, alpha, ap, x, 1, beta, y, 1)
+		},
+		func(_ Trans, xa, y []float64) { absSpmv(uplo, n, ap, xa, y) },
+		func(_ Trans, r []T) { Hetrs(uplo, n, 1, af, n, ipiv, r, n) },
+		b, ldb, x, ldx, ferr, berr)
+}

@@ -1,0 +1,394 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// Gebd2 reduces an m×n matrix with m >= n to upper bidiagonal form by
+// unitary transformations Qᴴ·A·P = B (xGEBD2, tall case). d (n) and e
+// (n-1) receive the real diagonal and super-diagonal; tauq/taup the column
+// and row reflector scalars. Only the m >= n path is implemented; Gesvd
+// handles wide matrices by conjugate transposition (see DESIGN.md).
+func Gebd2[T core.Scalar](m, n int, a []T, lda int, d, e []float64, tauq, taup []T) {
+	if m < n {
+		panic("lapack: Gebd2 requires m >= n")
+	}
+	one := core.FromFloat[T](1)
+	work := make([]T, max(m, n))
+	for i := 0; i < n; i++ {
+		// Column reflector annihilating A(i+1:m, i).
+		alpha := a[i+i*lda]
+		tauq[i] = Larfg(m-i, &alpha, a[min(i+1, m-1)+i*lda:], 1)
+		d[i] = core.Re(alpha)
+		a[i+i*lda] = one
+		if i < n-1 {
+			Larf(Left, m-i, n-i-1, a[i+i*lda:], 1, core.Conj(tauq[i]), a[i+(i+1)*lda:], lda, work)
+		}
+		a[i+i*lda] = core.FromFloat[T](d[i])
+		if i < n-1 {
+			// Row reflector annihilating A(i, i+2:n).
+			lacgv(n-i-1, a[i+(i+1)*lda:], lda)
+			alpha = a[i+(i+1)*lda]
+			taup[i] = Larfg(n-i-1, &alpha, a[i+min(i+2, n-1)*lda:], lda)
+			e[i] = core.Re(alpha)
+			a[i+(i+1)*lda] = one
+			Larf(Right, m-i-1, n-i-1, a[i+(i+1)*lda:], lda, taup[i], a[i+1+(i+1)*lda:], lda, work)
+			// Conjugate back so the stored row follows the LQ convention
+			// expected by Orgbr('P')/Orglq.
+			lacgv(n-i-1, a[i+(i+1)*lda:], lda)
+			a[i+(i+1)*lda] = core.FromFloat[T](e[i])
+		} else if i < n {
+			taup[i] = 0
+		}
+	}
+}
+
+// Gebrd reduces a tall matrix to bidiagonal form (xGEBRD; delegates to the
+// unblocked algorithm).
+func Gebrd[T core.Scalar](m, n int, a []T, lda int, d, e []float64, tauq, taup []T) {
+	Gebd2(m, n, a, lda, d, e, tauq, taup)
+}
+
+// Orgbr generates the unitary matrices determined by Gebrd (xORGBR/xUNGBR,
+// tall case): vect 'Q' overwrites a (m×ncols) with the first ncols columns
+// of Q; vect 'P' overwrites a (n×n) with Pᴴ. k is the number of reflectors
+// (n for 'Q', the bidiagonal order for 'P').
+func Orgbr[T core.Scalar](vect byte, m, n, k int, a []T, lda int, tau []T) {
+	if vect == 'Q' {
+		Orgqr(m, n, k, a, lda, tau)
+		return
+	}
+	// Pᴴ of order n from the row reflectors stored in the rows of a above
+	// the diagonal: shift each column's entries one row downward so the
+	// reflectors take the LQ layout in a(1:, 1:), then LQ-generate.
+	for j := 1; j < n; j++ {
+		for i := j - 1; i >= 1; i-- {
+			a[i+j*lda] = a[i-1+j*lda]
+		}
+		a[j*lda] = 0
+	}
+	a[0] = core.FromFloat[T](1)
+	for i := 1; i < n; i++ {
+		a[i] = 0
+	}
+	if n > 1 {
+		Orglq(n-1, n-1, min(k, n-1), a[1+lda:], lda, tau)
+	}
+}
+
+// Bdsqr computes the singular value decomposition of an n×n real upper
+// bidiagonal matrix B = Q·Σ·Pᵀ by the Golub–Reinsch implicit-shift QR
+// algorithm (xBDSQR semantics; see DESIGN.md for the algorithmic
+// substitution). d (n) holds the diagonal and e (n-1) the super-diagonal;
+// on success d holds the singular values in descending order. The
+// accumulated left rotations are applied to the nru×n matrix u and the
+// right rotations to the n×ncvt matrix vt (either may be nil). Returns the
+// number of unconverged superdiagonals (0 on success).
+func Bdsqr[T core.Scalar](n int, d, e []float64, vt []T, ldvt, ncvt int, u []T, ldu, nru int) int {
+	if n == 0 {
+		return 0
+	}
+	const maxit = 60
+	eps := core.EpsDouble
+	// se is the NR-style shifted super-diagonal: se[i] couples d[i-1], d[i].
+	se := make([]float64, n)
+	for i := 1; i < n; i++ {
+		se[i] = e[i-1]
+	}
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		anorm = math.Max(anorm, math.Abs(d[i])+math.Abs(se[i]))
+	}
+	rotU := func(c, s float64, j, i int) {
+		if u == nil {
+			return
+		}
+		cT, sT := core.FromFloat[T](c), core.FromFloat[T](s)
+		for r := 0; r < nru; r++ {
+			y, z := u[r+j*ldu], u[r+i*ldu]
+			u[r+j*ldu] = y*cT + z*sT
+			u[r+i*ldu] = z*cT - y*sT
+		}
+	}
+	rotVT := func(c, s float64, j, i int) {
+		if vt == nil {
+			return
+		}
+		cT, sT := core.FromFloat[T](c), core.FromFloat[T](s)
+		for col := 0; col < ncvt; col++ {
+			x, z := vt[j+col*ldvt], vt[i+col*ldvt]
+			vt[j+col*ldvt] = x*cT + z*sT
+			vt[i+col*ldvt] = z*cT - x*sT
+		}
+	}
+	info := 0
+	for k := n - 1; k >= 0; k-- {
+		converged := false
+		for its := 0; its < maxit; its++ {
+			// Test for splitting.
+			var l int
+			flag := true
+			for l = k; l >= 0; l-- {
+				if l == 0 || math.Abs(se[l]) <= eps*anorm {
+					flag = false
+					se[l] = 0
+					break
+				}
+				if math.Abs(d[l-1]) <= eps*anorm {
+					break
+				}
+			}
+			if flag {
+				// Cancellation: d[l-1] negligible; chase se[l] away.
+				c, s := 0.0, 1.0
+				for i := l; i <= k; i++ {
+					f := s * se[i]
+					se[i] = c * se[i]
+					if math.Abs(f) <= eps*anorm {
+						break
+					}
+					g := d[i]
+					h := math.Hypot(f, g)
+					d[i] = h
+					h = 1 / h
+					c = g * h
+					s = -f * h
+					rotU(c, s, l-1, i)
+				}
+			}
+			z := d[k]
+			if l == k {
+				// Converged; force non-negative singular value.
+				if z < 0 {
+					d[k] = -z
+					if vt != nil {
+						for col := 0; col < ncvt; col++ {
+							vt[k+col*ldvt] = -vt[k+col*ldvt]
+						}
+					}
+				}
+				converged = true
+				break
+			}
+			// Wilkinson-style shift from the bottom 2×2 minor.
+			x := d[l]
+			nm := k - 1
+			y := d[nm]
+			g := se[nm]
+			h := se[k]
+			f := ((y-z)*(y+z) + (g-h)*(g+h)) / (2 * h * y)
+			g = math.Hypot(f, 1)
+			f = ((x-z)*(x+z) + h*(y/(f+core.Sign(g, f))-h)) / x
+			// QR sweep.
+			c, s := 1.0, 1.0
+			for j := l; j <= nm; j++ {
+				i := j + 1
+				g = se[i]
+				y = d[i]
+				h = s * g
+				g = c * g
+				zz := math.Hypot(f, h)
+				se[j] = zz
+				c = f / zz
+				s = h / zz
+				f = x*c + g*s
+				g = -x*s + g*c
+				h = y * s
+				y = y * c
+				rotVT(c, s, j, i)
+				zz = math.Hypot(f, h)
+				d[j] = zz
+				if zz != 0 {
+					zz = 1 / zz
+					c = f * zz
+					s = h * zz
+				}
+				f = c*g + s*y
+				x = -s*g + c*y
+				rotU(c, s, j, i)
+			}
+			se[l] = 0
+			se[k] = f
+			d[k] = x
+		}
+		if !converged {
+			info++
+		}
+	}
+	// Sort singular values into descending order.
+	for i := 0; i < n-1; i++ {
+		kmax := i
+		for j := i + 1; j < n; j++ {
+			if d[j] > d[kmax] {
+				kmax = j
+			}
+		}
+		if kmax != i {
+			d[i], d[kmax] = d[kmax], d[i]
+			if u != nil {
+				blas.Swap(nru, u[i*ldu:], 1, u[kmax*ldu:], 1)
+			}
+			if vt != nil {
+				blas.Swap(ncvt, vt[i:], ldvt, vt[kmax:], ldvt)
+			}
+		}
+	}
+	// Copy the working super-diagonal back for failure diagnostics.
+	for i := 1; i < n; i++ {
+		e[i-1] = se[i]
+	}
+	return info
+}
+
+// SVDJob selects how much of U or Vᴴ Gesvd computes.
+type SVDJob byte
+
+// SVDJob values, matching LAPACK's JOBU/JOBVT characters.
+const (
+	SVDAll  SVDJob = 'A' // all m (or n) columns/rows
+	SVDSome SVDJob = 'S' // the leading min(m,n) columns/rows
+	SVDNone SVDJob = 'N' // not computed
+)
+
+// Gesvd computes the singular value decomposition A = U·Σ·Vᴴ of an m×n
+// matrix (the xGESVD driver). s receives the min(m,n) singular values in
+// descending order. Depending on jobu/jobvt, u (m×m or m×min(m,n)) and vt
+// (n×n or min(m,n)×n) receive the singular vectors. a is destroyed.
+// Returns the Bdsqr failure count (0 on success).
+func Gesvd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
+	mn := min(m, n)
+	if mn == 0 {
+		return 0
+	}
+	if m < n {
+		// Wide case: work on Aᴴ = V·Σ·Uᴴ and swap the roles of U and Vᴴ.
+		ah := make([]T, n*m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				ah[j+i*n] = core.Conj(a[i+j*lda])
+			}
+		}
+		// SVD of Aᴴ (n×m, tall): Aᴴ = U'·Σ·V'ᴴ, so A = V'·Σ·U'ᴴ.
+		urows := n
+		var up, vtp []T
+		var ldup, ldvtp int
+		if jobvt != SVDNone {
+			cols := mn
+			if jobvt == SVDAll {
+				cols = n
+			}
+			up = make([]T, urows*cols)
+			ldup = urows
+		}
+		if jobu != SVDNone {
+			rows := mn
+			if jobu == SVDAll {
+				rows = m
+			}
+			vtp = make([]T, rows*m)
+			ldvtp = rows
+		}
+		info := Gesvd(jobvt, jobu, n, m, ah, n, s, up, ldup, vtp, ldvtp)
+		// U of A = (V'ᴴ)ᴴ: u[i,j] = conj(vtp[j,i]).
+		if jobu != SVDNone {
+			cols := mn
+			if jobu == SVDAll {
+				cols = m
+			}
+			for j := 0; j < cols; j++ {
+				for i := 0; i < m; i++ {
+					u[i+j*ldu] = core.Conj(vtp[j+i*ldvtp])
+				}
+			}
+		}
+		// Vᴴ of A = U'ᴴ: vt[i,j] = conj(up[j,i]).
+		if jobvt != SVDNone {
+			rows := mn
+			if jobvt == SVDAll {
+				rows = n
+			}
+			for j := 0; j < n; j++ {
+				for i := 0; i < rows; i++ {
+					vt[i+j*ldvt] = core.Conj(up[j+i*ldup])
+				}
+			}
+		}
+		return info
+	}
+	// Tall case: bidiagonalize.
+	d := make([]float64, mn)
+	e := make([]float64, max(0, mn-1))
+	tauq := make([]T, mn)
+	taup := make([]T, mn)
+	Gebrd(m, n, a, lda, d, e, tauq, taup)
+	// Form the requested parts of Q and Pᴴ.
+	var uw []T
+	nru := 0
+	if jobu != SVDNone {
+		ucols := mn
+		if jobu == SVDAll {
+			ucols = m
+		}
+		Lacpy('L', m, n, a, lda, u, ldu)
+		Orgbr('Q', m, ucols, n, u, ldu, tauq)
+		uw = u
+		nru = m
+	}
+	var vtw []T
+	ncvt := 0
+	if jobvt != SVDNone {
+		Lacpy('U', min(m, n), n, a, lda, vt, ldvt)
+		Orgbr('P', n, n, n, vt, ldvt, taup)
+		vtw = vt
+		ncvt = n
+	}
+	info := Bdsqr(mn, d, e, vtw, ldvt, ncvt, uw, ldu, nru)
+	copy(s[:mn], d)
+	return info
+}
+
+// Gelss computes the minimum-norm solution to a possibly rank-deficient
+// least squares problem min ‖b − A·x‖₂ using the SVD (the xGELSS driver).
+// B is max(m, n)×nrhs and is overwritten with the solution. s receives the
+// singular values; rank is determined by rcond (σᵢ > rcond·σ₀).
+func Gelss[T core.Scalar](m, n, nrhs int, a []T, lda int, b []T, ldb int, s []float64, rcond float64) (rank, info int) {
+	mn := min(m, n)
+	if mn == 0 {
+		return 0, 0
+	}
+	if rcond < 0 {
+		rcond = core.Eps[T]()
+	}
+	u := make([]T, m*mn)
+	vt := make([]T, mn*n)
+	info = Gesvd(SVDSome, SVDSome, m, n, a, lda, s, u, m, vt, mn)
+	if info != 0 {
+		return 0, info
+	}
+	for i := 0; i < mn; i++ {
+		if s[i] > rcond*s[0] {
+			rank++
+		}
+	}
+	// x = V·Σ⁺·Uᴴ·b column by column.
+	one := core.FromFloat[T](1)
+	zero := core.FromFloat[T](0)
+	w := make([]T, mn)
+	for j := 0; j < nrhs; j++ {
+		bj := b[j*ldb:]
+		blas.Gemv(ConjTrans, m, mn, one, u, m, bj, 1, zero, w, 1)
+		for i := 0; i < rank; i++ {
+			w[i] = core.FromFloat[T](1/s[i]) * w[i]
+		}
+		for i := rank; i < mn; i++ {
+			w[i] = 0
+		}
+		x := make([]T, n)
+		blas.Gemv(ConjTrans, rank, n, one, vt, mn, w, 1, zero, x, 1)
+		copy(bj[:n], x)
+	}
+	return rank, 0
+}

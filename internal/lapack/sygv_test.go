@@ -1,0 +1,224 @@
+package lapack_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/lapack"
+	"repro/internal/testutil"
+)
+
+func testSygv[T core.Scalar](t *testing.T, itype int, uplo lapack.Uplo, n int) {
+	t.Helper()
+	rng := lapack.NewRng([4]int{itype, int(uplo), n, 99})
+	var a []T
+	if core.IsComplex[T]() {
+		a = randHerm[T](rng, n, n)
+	} else {
+		a = randSym[T](rng, n, n)
+	}
+	b := testutil.RandSPD[T](rng, n, n)
+	af := append([]T(nil), a...)
+	bf := append([]T(nil), b...)
+	w := make([]float64, n)
+	if info := lapack.Sygv(itype, true, uplo, n, af, n, bf, n, w); info != 0 {
+		t.Fatalf("sygv info=%d", info)
+	}
+	// Residual per eigenpair depends on itype:
+	//	1: A·x = λ·B·x;  2: A·B·x = λ·x;  3: B·A·x = λ·x.
+	one := core.FromFloat[T](1)
+	zero := core.FromFloat[T](0)
+	fullA := symFull(uplo, n, a, n)
+	fullB := symFull(uplo, n, b, n)
+	for j := 0; j < n; j++ {
+		x := af[j*n : j*n+n]
+		lhs := make([]T, n)
+		rhs := make([]T, n)
+		switch itype {
+		case 1:
+			blas.Gemv(blas.NoTrans, n, n, one, fullA, n, x, 1, zero, lhs, 1)
+			blas.Gemv(blas.NoTrans, n, n, core.FromFloat[T](w[j]), fullB, n, x, 1, zero, rhs, 1)
+		case 2:
+			tmp := make([]T, n)
+			blas.Gemv(blas.NoTrans, n, n, one, fullB, n, x, 1, zero, tmp, 1)
+			blas.Gemv(blas.NoTrans, n, n, one, fullA, n, tmp, 1, zero, lhs, 1)
+			blas.Axpy(n, core.FromFloat[T](w[j]), x, 1, rhs, 1)
+		case 3:
+			tmp := make([]T, n)
+			blas.Gemv(blas.NoTrans, n, n, one, fullA, n, x, 1, zero, tmp, 1)
+			blas.Gemv(blas.NoTrans, n, n, one, fullB, n, tmp, 1, zero, lhs, 1)
+			blas.Axpy(n, core.FromFloat[T](w[j]), x, 1, rhs, 1)
+		}
+		res := 0.0
+		scale := 0.0
+		for i := 0; i < n; i++ {
+			res = math.Max(res, core.Abs(lhs[i]-rhs[i]))
+			scale = math.Max(scale, core.Abs(lhs[i]))
+		}
+		if res > 1e-9*float64(n)*(1+scale)*(1+math.Abs(w[j])) {
+			t.Fatalf("itype=%d uplo=%v n=%d pair %d residual %v (λ=%v)", itype, uplo, n, j, res, w[j])
+		}
+	}
+}
+
+func TestSygv(t *testing.T) {
+	for _, itype := range []int{1, 2, 3} {
+		for _, uplo := range []lapack.Uplo{lapack.Upper, lapack.Lower} {
+			for _, n := range []int{1, 2, 6, 15} {
+				t.Run("float64", func(t *testing.T) { testSygv[float64](t, itype, uplo, n) })
+				t.Run("complex128", func(t *testing.T) { testSygv[complex128](t, itype, uplo, n) })
+			}
+		}
+	}
+}
+
+func TestSygvNotPD(t *testing.T) {
+	n := 3
+	a := randSym[float64](lapack.NewRng([4]int{1, 2, 3, 4}), n, n)
+	b := make([]float64, n*n)
+	b[0], b[1+n], b[2+2*n] = 1, -1, 1 // indefinite B
+	w := make([]float64, n)
+	if info := lapack.Sygv(1, false, lapack.Upper, n, a, n, b, n, w); info != n+2 {
+		t.Fatalf("info=%d, want %d", info, n+2)
+	}
+}
+
+func TestSpgvSbgv(t *testing.T) {
+	n := 10
+	rng := lapack.NewRng([4]int{5, 4, 3, 2})
+	a := randSym[float64](rng, n, n)
+	b := testutil.RandSPD[float64](rng, n, n)
+	// Reference via dense Sygv.
+	aRef := append([]float64(nil), a...)
+	bRef := append([]float64(nil), b...)
+	wRef := make([]float64, n)
+	lapack.Sygv(1, false, lapack.Upper, n, aRef, n, bRef, n, wRef)
+
+	ap := packTri(lapack.Upper, n, a, n)
+	bp := packTri(lapack.Upper, n, b, n)
+	w := make([]float64, n)
+	z := make([]float64, n*n)
+	if info := lapack.Spgv(1, true, lapack.Upper, n, ap, bp, w, z, n); info != 0 {
+		t.Fatalf("spgv info=%d", info)
+	}
+	for i := range w {
+		if math.Abs(w[i]-wRef[i]) > 1e-10*(1+math.Abs(wRef[i])) {
+			t.Fatalf("spgv w[%d]=%v want %v", i, w[i], wRef[i])
+		}
+	}
+
+	// Banded problem: make A and B banded SPD-ish.
+	kd := 2
+	ab := make([]float64, (kd+1)*n)
+	bb := make([]float64, (kd+1)*n)
+	for j := 0; j < n; j++ {
+		ab[kd+j*(kd+1)] = 4 + rng.Uniform()
+		bb[kd+j*(kd+1)] = 3 + rng.Uniform()
+		for i := max(0, j-kd); i < j; i++ {
+			ab[kd+i-j+j*(kd+1)] = rng.Uniform11() * 0.5
+			bb[kd+i-j+j*(kd+1)] = rng.Uniform11() * 0.3
+		}
+	}
+	wb := make([]float64, n)
+	zb := make([]float64, n*n)
+	if info := lapack.Sbgv(true, lapack.Upper, n, kd, kd, ab, kd+1, bb, kd+1, wb, zb, n); info != 0 {
+		t.Fatalf("sbgv info=%d", info)
+	}
+	// Spot-check the generalized residual for the extreme pair.
+	fullA := expandFull(lapack.Upper, n, kd, ab, kd+1)
+	fullB := expandFull(lapack.Upper, n, kd, bb, kd+1)
+	for _, j := range []int{0, n - 1} {
+		res := 0.0
+		for i := 0; i < n; i++ {
+			var sa, sb float64
+			for k := 0; k < n; k++ {
+				sa += fullA[i+k*n] * zb[k+j*n]
+				sb += fullB[i+k*n] * zb[k+j*n]
+			}
+			res = math.Max(res, math.Abs(sa-wb[j]*sb))
+		}
+		if res > 1e-10*float64(n)*(1+math.Abs(wb[j])) {
+			t.Fatalf("sbgv pair %d residual %v", j, res)
+		}
+	}
+}
+
+func expandFull(uplo lapack.Uplo, n, kd int, ab []float64, ldab int) []float64 {
+	f := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := max(0, j-kd); i <= j; i++ {
+			v := ab[kd+i-j+j*ldab]
+			f[i+j*n] = v
+			f[j+i*n] = v
+		}
+	}
+	return f
+}
+
+func TestSpevSbev(t *testing.T) {
+	n := 12
+	rng := lapack.NewRng([4]int{6, 5, 4, 3})
+	a := randHerm[complex128](rng, n, n)
+	// Dense reference.
+	aRef := append([]complex128(nil), a...)
+	wRef := make([]float64, n)
+	lapack.Syev[complex128](false, lapack.Upper, n, aRef, n, wRef)
+
+	ap := packTri(lapack.Upper, n, a, n)
+	w := make([]float64, n)
+	z := make([]complex128, n*n)
+	if info := lapack.Spev(true, lapack.Upper, n, ap, w, z, n); info != 0 {
+		t.Fatalf("spev info=%d", info)
+	}
+	for i := range w {
+		if math.Abs(w[i]-wRef[i]) > 1e-10*(1+math.Abs(wRef[i])) {
+			t.Fatalf("spev w[%d]=%v want %v", i, w[i], wRef[i])
+		}
+	}
+	if r := testutil.OrthoResidual(n, n, z, n); r > thresh {
+		t.Fatalf("spev eigvec orthogonality %v", r)
+	}
+	// Spevx on an index range agrees with the full spectrum.
+	ap2 := packTri(lapack.Upper, n, a, n)
+	zx := make([]complex128, n*3)
+	res := lapack.Spevx(true, lapack.RangeIndex, lapack.Upper, n, ap2, 0, 0, 2, 4, 0, zx, n)
+	if res.M != 3 {
+		t.Fatalf("spevx m=%d", res.M)
+	}
+	for k := 0; k < 3; k++ {
+		if math.Abs(res.W[k]-wRef[k+1]) > 1e-8*(1+math.Abs(wRef[k+1])) {
+			t.Fatalf("spevx w[%d]=%v want %v", k, res.W[k], wRef[k+1])
+		}
+	}
+
+	// Band path against dense on a banded Hermitian matrix.
+	kd := 3
+	ldab := kd + 1
+	ab := make([]complex128, ldab*n)
+	dense := make([]complex128, n*n)
+	for j := 0; j < n; j++ {
+		ab[kd+j*ldab] = complex(2+rng.Uniform(), 0)
+		dense[j+j*n] = ab[kd+j*ldab]
+		for i := max(0, j-kd); i < j; i++ {
+			v := complex(rng.Uniform11(), rng.Uniform11())
+			ab[kd+i-j+j*ldab] = v
+			dense[i+j*n] = v
+			dense[j+i*n] = core.Conj(v)
+		}
+	}
+	wRefB := make([]float64, n)
+	dRef := append([]complex128(nil), dense...)
+	lapack.Syev[complex128](false, lapack.Upper, n, dRef, n, wRefB)
+	wb := make([]float64, n)
+	zb := make([]complex128, n*n)
+	if info := lapack.Sbev(true, lapack.Upper, n, kd, ab, ldab, wb, zb, n); info != 0 {
+		t.Fatalf("sbev info=%d", info)
+	}
+	for i := range wb {
+		if math.Abs(wb[i]-wRefB[i]) > 1e-10*(1+math.Abs(wRefB[i])) {
+			t.Fatalf("sbev w[%d]=%v want %v", i, wb[i], wRefB[i])
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package lapack
+
+import (
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// Sytd2 reduces a symmetric (Hermitian, for complex element types) matrix
+// to real symmetric tridiagonal form by a unitary similarity
+// transformation Qᴴ·A·Q = T (xSYTD2/xHETD2). d and e receive the diagonal
+// and off-diagonal of T; tau the reflector scalars. The reflectors are
+// stored in the triangle of a opposite the diagonal as in LAPACK.
+func Sytd2[T core.Scalar](uplo Uplo, n int, a []T, lda int, d, e []float64, tau []T) {
+	if n == 0 {
+		return
+	}
+	one := core.FromFloat[T](1)
+	zero := core.FromFloat[T](0)
+	half := core.FromFloat[T](0.5)
+	w := make([]T, n)
+	if uplo == Upper {
+		a[n-1+(n-1)*lda] = core.FromFloat[T](core.Re(a[n-1+(n-1)*lda]))
+		for i := n - 2; i >= 0; i-- {
+			// Generate H(i) to annihilate A(0:i-1, i+1).
+			alpha := a[i+(i+1)*lda]
+			taui := Larfg(i+1, &alpha, a[(i+1)*lda:], 1)
+			e[i] = core.Re(alpha)
+			if taui != 0 {
+				a[i+(i+1)*lda] = one
+				// w = τ·A(0:i, 0:i)·v
+				blas.Hemv(Upper, i+1, taui, a, lda, a[(i+1)*lda:], 1, zero, w, 1)
+				// w -= ½·τ·(wᴴ·v)·v
+				alpha = -half * taui * blas.Dotc(i+1, w, 1, a[(i+1)*lda:], 1)
+				blas.Axpy(i+1, alpha, a[(i+1)*lda:], 1, w, 1)
+				// A -= v·wᴴ + w·vᴴ
+				blas.Her2(Upper, i+1, -one, a[(i+1)*lda:], 1, w, 1, a, lda)
+			} else {
+				a[i+i*lda] = core.FromFloat[T](core.Re(a[i+i*lda]))
+			}
+			a[i+(i+1)*lda] = core.FromFloat[T](e[i])
+			d[i+1] = core.Re(a[i+1+(i+1)*lda])
+			tau[i] = taui
+		}
+		d[0] = core.Re(a[0])
+		return
+	}
+	a[0] = core.FromFloat[T](core.Re(a[0]))
+	for i := 0; i < n-1; i++ {
+		alpha := a[i+1+i*lda]
+		taui := Larfg(n-i-1, &alpha, a[min(i+2, n-1)+i*lda:], 1)
+		e[i] = core.Re(alpha)
+		if taui != 0 {
+			a[i+1+i*lda] = one
+			blas.Hemv(Lower, n-i-1, taui, a[i+1+(i+1)*lda:], lda, a[i+1+i*lda:], 1, zero, w, 1)
+			alpha = -half * taui * blas.Dotc(n-i-1, w, 1, a[i+1+i*lda:], 1)
+			blas.Axpy(n-i-1, alpha, a[i+1+i*lda:], 1, w, 1)
+			blas.Her2(Lower, n-i-1, -one, a[i+1+i*lda:], 1, w, 1, a[i+1+(i+1)*lda:], lda)
+		} else {
+			a[i+1+(i+1)*lda] = core.FromFloat[T](core.Re(a[i+1+(i+1)*lda]))
+		}
+		a[i+1+i*lda] = core.FromFloat[T](e[i])
+		d[i] = core.Re(a[i+i*lda])
+		tau[i] = taui
+	}
+	d[n-1] = core.Re(a[n-1+(n-1)*lda])
+}
+
+// Sytrd reduces a symmetric/Hermitian matrix to tridiagonal form
+// (xSYTRD/xHETRD; delegates to the unblocked algorithm).
+func Sytrd[T core.Scalar](uplo Uplo, n int, a []T, lda int, d, e []float64, tau []T) {
+	Sytd2(uplo, n, a, lda, d, e, tau)
+}
+
+// Org2l generates the last n columns of the unitary matrix Q defined as a
+// product of k reflectors stored column-wise QL-style (xORG2L/xUNG2L). a
+// is m×n with n <= m and the reflectors in its last k columns.
+func Org2l[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
+	if n <= 0 {
+		return
+	}
+	work := make([]T, n)
+	// First n-k columns are unit vectors ending at row m-n+j.
+	for j := 0; j < n-k; j++ {
+		for i := 0; i < m; i++ {
+			a[i+j*lda] = 0
+		}
+		a[m-n+j+j*lda] = core.FromFloat[T](1)
+	}
+	for i := 0; i < k; i++ {
+		ii := n - k + i
+		// Apply H(i) to A(0:m-n+ii+1, 0:ii) from the left.
+		a[m-n+ii+ii*lda] = core.FromFloat[T](1)
+		Larf(Left, m-n+ii+1, ii, a[ii*lda:], 1, tau[i], a, lda, work)
+		blas.Scal(m-n+ii, -tau[i], a[ii*lda:], 1)
+		a[m-n+ii+ii*lda] = core.FromFloat[T](1) - tau[i]
+		for l := m - n + ii + 1; l < m; l++ {
+			a[l+ii*lda] = 0
+		}
+	}
+}
+
+// Orgtr generates the unitary matrix Q from the reduction computed by
+// Sytrd (xORGTR/xUNGTR), overwriting a with the n×n Q.
+func Orgtr[T core.Scalar](uplo Uplo, n int, a []T, lda int, tau []T) {
+	if n == 0 {
+		return
+	}
+	if uplo == Upper {
+		// Q = H(n-2)…H(0) with reflector i stored in A(0:i, i+1): shift the
+		// columns left and generate QL-style.
+		for j := 0; j < n-1; j++ {
+			for i := 0; i < j; i++ {
+				a[i+j*lda] = a[i+(j+1)*lda]
+			}
+			a[n-1+j*lda] = 0
+		}
+		for i := 0; i < n-1; i++ {
+			a[i+(n-1)*lda] = 0
+		}
+		a[n-1+(n-1)*lda] = core.FromFloat[T](1)
+		Org2l(n-1, n-1, n-1, a, lda, tau)
+		return
+	}
+	// Lower: Q = H(0)…H(n-2) with reflector i in A(i+2:n, i): shift right.
+	for j := n - 1; j >= 1; j-- {
+		a[j*lda] = 0
+		for i := j + 1; i < n; i++ {
+			a[i+j*lda] = a[i+(j-1)*lda]
+		}
+	}
+	a[0] = core.FromFloat[T](1)
+	for i := 1; i < n; i++ {
+		a[i] = 0
+	}
+	if n > 1 {
+		Org2r(n-1, n-1, n-1, a[1+lda:], lda, tau)
+	}
+}
+
+// Ormtr multiplies C by the unitary Q from Sytrd or its conjugate
+// transpose (xORMTR/xUNMTR). Only side == Left is needed by this library's
+// drivers and implemented.
+func Ormtr[T core.Scalar](uplo Uplo, trans Trans, m, n int, a []T, lda int, tau []T, c []T, ldc int) {
+	if m <= 1 {
+		return
+	}
+	if uplo == Lower {
+		// Q = H(0)…H(m-2), reflectors stored below the first subdiagonal:
+		// exactly the QR layout on the shifted submatrix.
+		Ormqr(Left, trans, m-1, n, m-1, a[1:], lda, tau, c[1:], ldc)
+		return
+	}
+	// Upper: QL-style reflectors in A(0:i, i+1). Apply each explicitly.
+	work := make([]T, n)
+	k := m - 1
+	notran := trans == NoTrans
+	// Q = H(k-1)…H(0) (QL product): Q·C applies H(0) first, so the loop
+	// ascends for NoTrans and descends for the conjugate transpose.
+	start, end, step := k-1, -1, -1
+	if notran {
+		start, end, step = 0, k, 1
+	}
+	v := make([]T, m)
+	for i := start; i != end; i += step {
+		taui := tau[i]
+		if !notran {
+			taui = core.Conj(taui)
+		}
+		// Reflector i: stored tail in A(0:i-1, i+1), implicit 1 at row i,
+		// acting on rows 0..i.
+		for j := 0; j < i; j++ {
+			v[j] = a[j+(i+1)*lda]
+		}
+		v[i] = core.FromFloat[T](1)
+		Larf(Left, i+1, n, v, 1, taui, c, ldc, work)
+	}
+}
+
+// Syev computes all eigenvalues and, optionally, eigenvectors of a
+// symmetric (Hermitian for complex element types) matrix (the xSYEV/xHEEV
+// driver). If jobz is true, a is overwritten with the orthonormal
+// eigenvectors; w receives the eigenvalues in ascending order. Returns the
+// Steqr failure count (0 on success).
+func Syev[T core.Scalar](jobz bool, uplo Uplo, n int, a []T, lda int, w []float64) int {
+	if n == 0 {
+		return 0
+	}
+	e := make([]float64, max(0, n-1))
+	tau := make([]T, max(0, n-1))
+	Sytrd(uplo, n, a, lda, w, e, tau)
+	if !jobz {
+		return Sterf(n, w, e)
+	}
+	Orgtr(uplo, n, a, lda, tau)
+	return Steqr(n, w, e, a, lda)
+}
+
+// Heev is the Hermitian driver name for Syev (xHEEV); for complex element
+// types Syev already performs the Hermitian reduction.
+func Heev[T core.Scalar](jobz bool, uplo Uplo, n int, a []T, lda int, w []float64) int {
+	return Syev(jobz, uplo, n, a, lda, w)
+}
+
+// Stev computes all eigenvalues and, optionally, eigenvectors of a real
+// symmetric tridiagonal matrix (the xSTEV driver). If z is non-nil it is
+// overwritten with the eigenvectors (ldz stride).
+func Stev[T core.Scalar](n int, d, e []float64, z []T, ldz int) int {
+	if n == 0 {
+		return 0
+	}
+	if z == nil {
+		return Sterf(n, d, e)
+	}
+	Laset('A', n, n, core.FromFloat[T](0), core.FromFloat[T](1), z, ldz)
+	return Steqr(n, d, e, z, ldz)
+}

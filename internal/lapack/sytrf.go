@@ -1,0 +1,373 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// bkAlpha is the Bunch–Kaufman pivot threshold (1+sqrt(17))/8.
+var bkAlpha = (1 + math.Sqrt(17)) / 8
+
+// Sytf2 computes the Bunch–Kaufman factorization A = U·D·Uᵀ or A = L·D·Lᵀ
+// of a symmetric matrix (xSYTF2; for complex element types this is the
+// complex-symmetric factorization, not the Hermitian one — see Hetf2).
+//
+// Pivots are encoded in ipiv as in LAPACK, translated to 0-based indices:
+// ipiv[k] >= 0 means a 1×1 pivot with rows/columns k and ipiv[k]
+// interchanged; ipiv[k] = ipiv[k-1] = -(p+1) < 0 (Upper; k and k+1 for
+// Lower) marks a 2×2 pivot block with row p interchanged.
+// Returns k+1 (1-based) if D(k,k) is exactly singular.
+func Sytf2[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
+	info := 0
+	at := func(i, j int) T { return a[i+j*lda] }
+	set := func(i, j int, v T) { a[i+j*lda] = v }
+	one := core.FromFloat[T](1)
+	if uplo == Upper {
+		for k := n - 1; k >= 0; {
+			kstep := 1
+			kp := k
+			absakk := core.Abs1(at(k, k))
+			imax, colmax := 0, 0.0
+			if k > 0 {
+				imax = blas.Iamax(k, a[k*lda:], 1)
+				colmax = core.Abs1(at(imax, k))
+			}
+			if math.Max(absakk, colmax) == 0 {
+				if info == 0 {
+					info = k + 1
+				}
+			} else {
+				if absakk >= bkAlpha*colmax {
+					kp = k
+				} else {
+					rowmax := 0.0
+					for j := imax + 1; j <= k; j++ {
+						rowmax = math.Max(rowmax, core.Abs1(at(imax, j)))
+					}
+					if imax > 0 {
+						jmax := blas.Iamax(imax, a[imax*lda:], 1)
+						rowmax = math.Max(rowmax, core.Abs1(at(jmax, imax)))
+					}
+					if absakk >= bkAlpha*colmax*(colmax/rowmax) {
+						kp = k
+					} else if core.Abs1(at(imax, imax)) >= bkAlpha*rowmax {
+						kp = imax
+					} else {
+						kp = imax
+						kstep = 2
+					}
+				}
+				kk := k - kstep + 1
+				if kp != kk {
+					blas.Swap(kp, a[kk*lda:], 1, a[kp*lda:], 1)
+					blas.Swap(kk-kp-1, a[kp+1+kk*lda:], 1, a[kp+(kp+1)*lda:], lda)
+					t := at(kk, kk)
+					set(kk, kk, at(kp, kp))
+					set(kp, kp, t)
+					if kstep == 2 {
+						t = at(k-1, k)
+						set(k-1, k, at(kp, k))
+						set(kp, k, t)
+					}
+				}
+				if kstep == 1 {
+					r1 := core.Div(one, at(k, k))
+					blas.Syr(Upper, k, -r1, a[k*lda:], 1, a, lda)
+					blas.Scal(k, r1, a[k*lda:], 1)
+				} else if k > 1 {
+					d12 := at(k-1, k)
+					d22 := core.Div(at(k-1, k-1), d12)
+					d11 := core.Div(at(k, k), d12)
+					t := core.Div(one, d11*d22-one)
+					d12 = core.Div(t, d12)
+					for j := k - 2; j >= 0; j-- {
+						wkm1 := d12 * (d11*at(j, k-1) - at(j, k))
+						wk := d12 * (d22*at(j, k) - at(j, k-1))
+						for i := j; i >= 0; i-- {
+							set(i, j, at(i, j)-at(i, k)*wk-at(i, k-1)*wkm1)
+						}
+						set(j, k, wk)
+						set(j, k-1, wkm1)
+					}
+				}
+			}
+			if kstep == 1 {
+				ipiv[k] = kp
+			} else {
+				ipiv[k] = -(kp + 1)
+				ipiv[k-1] = -(kp + 1)
+			}
+			k -= kstep
+		}
+		return info
+	}
+	// Lower triangle.
+	for k := 0; k < n; {
+		kstep := 1
+		kp := k
+		absakk := core.Abs1(at(k, k))
+		imax, colmax := 0, 0.0
+		if k < n-1 {
+			imax = k + 1 + blas.Iamax(n-k-1, a[k+1+k*lda:], 1)
+			colmax = core.Abs1(at(imax, k))
+		}
+		if math.Max(absakk, colmax) == 0 {
+			if info == 0 {
+				info = k + 1
+			}
+		} else {
+			if absakk >= bkAlpha*colmax {
+				kp = k
+			} else {
+				rowmax := 0.0
+				for j := k; j < imax; j++ {
+					rowmax = math.Max(rowmax, core.Abs1(at(imax, j)))
+				}
+				if imax < n-1 {
+					jmax := imax + 1 + blas.Iamax(n-imax-1, a[imax+1+imax*lda:], 1)
+					rowmax = math.Max(rowmax, core.Abs1(at(jmax, imax)))
+				}
+				if absakk >= bkAlpha*colmax*(colmax/rowmax) {
+					kp = k
+				} else if core.Abs1(at(imax, imax)) >= bkAlpha*rowmax {
+					kp = imax
+				} else {
+					kp = imax
+					kstep = 2
+				}
+			}
+			kk := k + kstep - 1
+			if kp != kk {
+				if kp < n-1 {
+					blas.Swap(n-kp-1, a[kp+1+kk*lda:], 1, a[kp+1+kp*lda:], 1)
+				}
+				blas.Swap(kp-kk-1, a[kk+1+kk*lda:], 1, a[kp+(kk+1)*lda:], lda)
+				t := at(kk, kk)
+				set(kk, kk, at(kp, kp))
+				set(kp, kp, t)
+				if kstep == 2 {
+					t = at(k+1, k)
+					set(k+1, k, at(kp, k))
+					set(kp, k, t)
+				}
+			}
+			if kstep == 1 {
+				if k < n-1 {
+					r1 := core.Div(one, at(k, k))
+					blas.Syr(Lower, n-k-1, -r1, a[k+1+k*lda:], 1, a[k+1+(k+1)*lda:], lda)
+					blas.Scal(n-k-1, r1, a[k+1+k*lda:], 1)
+				}
+			} else if k < n-2 {
+				d21 := at(k+1, k)
+				d11 := core.Div(at(k+1, k+1), d21)
+				d22 := core.Div(at(k, k), d21)
+				t := core.Div(one, d11*d22-one)
+				d21 = core.Div(t, d21)
+				for j := k + 2; j < n; j++ {
+					wk := d21 * (d11*at(j, k) - at(j, k+1))
+					wkp1 := d21 * (d22*at(j, k+1) - at(j, k))
+					for i := j; i < n; i++ {
+						set(i, j, at(i, j)-at(i, k)*wk-at(i, k+1)*wkp1)
+					}
+					set(j, k, wk)
+					set(j, k+1, wkp1)
+				}
+			}
+		}
+		if kstep == 1 {
+			ipiv[k] = kp
+		} else {
+			ipiv[k] = -(kp + 1)
+			ipiv[k+1] = -(kp + 1)
+		}
+		k += kstep
+	}
+	return info
+}
+
+// Sytrf computes the Bunch–Kaufman factorization of a symmetric matrix
+// (xSYTRF; delegates to the unblocked algorithm).
+func Sytrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
+	return Sytf2(uplo, n, a, lda, ipiv)
+}
+
+// Sytrs solves A·X = B using the factorization from Sytrf (xSYTRS).
+func Sytrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) {
+	if n == 0 || nrhs == 0 {
+		return
+	}
+	one := core.FromFloat[T](1)
+	at := func(i, j int) T { return a[i+j*lda] }
+	if uplo == Upper {
+		// First solve U·D·x' = b, walking the blocks from the bottom.
+		for k := n - 1; k >= 0; {
+			if ipiv[k] >= 0 {
+				if kp := ipiv[k]; kp != k {
+					blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+				}
+				blas.Ger(k, nrhs, -one, a[k*lda:], 1, b[k:], ldb, b, ldb)
+				blas.Scal(nrhs, core.Div(one, at(k, k)), b[k:], ldb)
+				k--
+			} else {
+				if kp := -ipiv[k] - 1; kp != k-1 {
+					blas.Swap(nrhs, b[k-1:], ldb, b[kp:], ldb)
+				}
+				blas.Ger(k-1, nrhs, -one, a[k*lda:], 1, b[k:], ldb, b, ldb)
+				blas.Ger(k-1, nrhs, -one, a[(k-1)*lda:], 1, b[k-1:], ldb, b, ldb)
+				akm1k := at(k-1, k)
+				akm1 := core.Div(at(k-1, k-1), akm1k)
+				ak := core.Div(at(k, k), akm1k)
+				denom := akm1*ak - one
+				for j := 0; j < nrhs; j++ {
+					bkm1 := core.Div(b[k-1+j*ldb], akm1k)
+					bk := core.Div(b[k+j*ldb], akm1k)
+					b[k-1+j*ldb] = core.Div(ak*bkm1-bk, denom)
+					b[k+j*ldb] = core.Div(akm1*bk-bkm1, denom)
+				}
+				k -= 2
+			}
+		}
+		// Then multiply by inv(Uᵀ), walking the blocks from the top.
+		for k := 0; k < n; {
+			if ipiv[k] >= 0 {
+				blas.Gemv(TransT, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
+				if kp := ipiv[k]; kp != k {
+					blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+				}
+				k++
+			} else {
+				blas.Gemv(TransT, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
+				blas.Gemv(TransT, k, nrhs, -one, b, ldb, a[(k+1)*lda:], 1, one, b[k+1:], ldb)
+				if kp := -ipiv[k] - 1; kp != k {
+					blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+				}
+				k += 2
+			}
+		}
+		return
+	}
+	// Lower: solve L·D·x' = b from the top...
+	for k := 0; k < n; {
+		if ipiv[k] >= 0 {
+			if kp := ipiv[k]; kp != k {
+				blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+			}
+			if k < n-1 {
+				blas.Ger(n-k-1, nrhs, -one, a[k+1+k*lda:], 1, b[k:], ldb, b[k+1:], ldb)
+			}
+			blas.Scal(nrhs, core.Div(one, at(k, k)), b[k:], ldb)
+			k++
+		} else {
+			if kp := -ipiv[k] - 1; kp != k+1 {
+				blas.Swap(nrhs, b[k+1:], ldb, b[kp:], ldb)
+			}
+			if k < n-2 {
+				blas.Ger(n-k-2, nrhs, -one, a[k+2+k*lda:], 1, b[k:], ldb, b[k+2:], ldb)
+				blas.Ger(n-k-2, nrhs, -one, a[k+2+(k+1)*lda:], 1, b[k+1:], ldb, b[k+2:], ldb)
+			}
+			akm1k := at(k+1, k)
+			akm1 := core.Div(at(k, k), akm1k)
+			ak := core.Div(at(k+1, k+1), akm1k)
+			denom := akm1*ak - one
+			for j := 0; j < nrhs; j++ {
+				bkm1 := core.Div(b[k+j*ldb], akm1k)
+				bk := core.Div(b[k+1+j*ldb], akm1k)
+				b[k+j*ldb] = core.Div(ak*bkm1-bk, denom)
+				b[k+1+j*ldb] = core.Div(akm1*bk-bkm1, denom)
+			}
+			k += 2
+		}
+	}
+	// ...then multiply by inv(Lᵀ) from the bottom.
+	for k := n - 1; k >= 0; {
+		if ipiv[k] >= 0 {
+			if k < n-1 {
+				blas.Gemv(TransT, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
+			}
+			if kp := ipiv[k]; kp != k {
+				blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+			}
+			k--
+		} else {
+			// 2×2 block occupying rows k-1 and k.
+			if k < n-1 {
+				blas.Gemv(TransT, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
+				blas.Gemv(TransT, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+(k-1)*lda:], 1, one, b[k-1:], ldb)
+			}
+			if kp := -ipiv[k] - 1; kp != k {
+				blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
+			}
+			k -= 2
+		}
+	}
+}
+
+// Sysv solves A·X = B for a symmetric indefinite matrix (the xSYSV driver).
+func Sysv[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) int {
+	info := Sytrf(uplo, n, a, lda, ipiv)
+	if info == 0 {
+		Sytrs(uplo, n, nrhs, a, lda, ipiv, b, ldb)
+	}
+	return info
+}
+
+// Sycon estimates the reciprocal 1-norm condition number of a symmetric
+// indefinite matrix from its Bunch–Kaufman factorization (xSYCON).
+func Sycon[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int, anorm float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	if anorm == 0 {
+		return 0
+	}
+	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
+		Sytrs(uplo, n, 1, a, lda, ipiv, x, n)
+	})
+	if ainvnm == 0 {
+		return 0
+	}
+	return (1 / ainvnm) / anorm
+}
+
+// Syrfs iteratively refines the solution of a symmetric indefinite system
+// and returns error bounds (xSYRFS).
+func Syrfs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+	rfs(NoTrans, n, nrhs,
+		func(_ Trans, alpha T, x []T, beta T, y []T) {
+			blas.Symv(uplo, n, alpha, a, lda, x, 1, beta, y, 1)
+		},
+		func(_ Trans, xa, y []float64) { absSymv(uplo, n, a, lda, xa, y) },
+		func(_ Trans, r []T) { Sytrs(uplo, n, 1, af, ldaf, ipiv, r, n) },
+		b, ldb, x, ldx, ferr, berr)
+}
+
+// SysvxResult carries the outputs of Sysvx / Hesvx.
+type SysvxResult struct {
+	RCond float64
+	Ferr  []float64
+	Berr  []float64
+	Info  int
+}
+
+// Sysvx is the expert driver for symmetric indefinite systems (xSYSVX).
+func Sysvx[T core.Scalar](fact Fact, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int) SysvxResult {
+	res := SysvxResult{Ferr: make([]float64, nrhs), Berr: make([]float64, nrhs)}
+	if fact != FactFact {
+		Lacpy('A', n, n, a, lda, af, ldaf)
+		res.Info = Sytrf(uplo, n, af, ldaf, ipiv)
+	}
+	if res.Info > 0 {
+		return res
+	}
+	anorm := Lansy(OneNorm, uplo, n, a, lda)
+	res.RCond = Sycon(uplo, n, af, ldaf, ipiv, anorm)
+	Lacpy('A', n, nrhs, b, ldb, x, ldx)
+	Sytrs(uplo, n, nrhs, af, ldaf, ipiv, x, ldx)
+	Syrfs(uplo, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, res.Ferr, res.Berr)
+	if res.RCond < core.Eps[T]() {
+		res.Info = n + 1
+	}
+	return res
+}

@@ -1,0 +1,280 @@
+package lapack_test
+
+import (
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/lapack"
+	"repro/internal/testutil"
+)
+
+// randSym builds a random symmetric (not definite) matrix; for complex T it
+// is complex symmetric (Aᵀ = A).
+func randSym[T core.Scalar](rng *lapack.Rng, n, lda int) []T {
+	a := make([]T, lda*n)
+	col := make([]T, n)
+	for j := 0; j < n; j++ {
+		lapack.Larnv(2, rng, n, col)
+		for i := 0; i <= j; i++ {
+			a[i+j*lda] = col[i]
+			a[j+i*lda] = col[i]
+		}
+	}
+	return a
+}
+
+// randHerm builds a random Hermitian indefinite matrix.
+func randHerm[T core.Scalar](rng *lapack.Rng, n, lda int) []T {
+	a := make([]T, lda*n)
+	col := make([]T, n)
+	for j := 0; j < n; j++ {
+		lapack.Larnv(2, rng, n, col)
+		for i := 0; i < j; i++ {
+			a[i+j*lda] = col[i]
+			a[j+i*lda] = core.Conj(col[i])
+		}
+		a[j+j*lda] = core.FromFloat[T](core.Re(col[j]))
+	}
+	return a
+}
+
+func symMul[T core.Scalar](uplo lapack.Uplo, herm bool, n, nrhs int, a []T, lda int, x []T, ldx int, b []T, ldb int) {
+	if herm {
+		blas.Hemm(blas.Left, blas.Uplo(uplo), n, nrhs, core.FromFloat[T](1), a, lda, x, ldx, core.FromFloat[T](0), b, ldb)
+	} else {
+		blas.Symm(blas.Left, blas.Uplo(uplo), n, nrhs, core.FromFloat[T](1), a, lda, x, ldx, core.FromFloat[T](0), b, ldb)
+	}
+}
+
+func testSysv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int) {
+	t.Helper()
+	nrhs := 2
+	rng := lapack.NewRng([4]int{int(uplo), n, 11, 13})
+	lda := n + 1
+	a := randSym[T](rng, n, lda)
+	xTrue := testutil.RandGeneral[T](rng, n, nrhs, n)
+	b := make([]T, n*nrhs)
+	symMul(uplo, false, n, nrhs, a, lda, xTrue, n, b, n)
+	af := make([]T, lda*n)
+	lapack.Lacpy('A', n, n, a, lda, af, lda)
+	ipiv := make([]int, n)
+	sol := append([]T(nil), b...)
+	if info := lapack.Sysv(uplo, n, nrhs, af, lda, ipiv, sol, n); info != 0 {
+		t.Fatalf("sysv info=%d", info)
+	}
+	if r := testutil.SolveResidual(n, nrhs, symFullSym(uplo, n, a, lda), n, sol, n, b, n); r > thresh {
+		t.Fatalf("sysv residual %v", r)
+	}
+	// Condition estimate and refinement.
+	anorm := lapack.Lansy(lapack.OneNorm, uplo, n, a, lda)
+	if rc := lapack.Sycon(uplo, n, af, lda, ipiv, anorm); rc <= 0 || rc > 1.000001 {
+		t.Fatalf("sycon rcond=%v", rc)
+	}
+	ferr := make([]float64, nrhs)
+	berr := make([]float64, nrhs)
+	lapack.Syrfs(uplo, n, nrhs, a, lda, af, lda, ipiv, b, n, sol, n, ferr, berr)
+	for j := 0; j < nrhs; j++ {
+		if berr[j] > 100*core.Eps[T]() {
+			t.Fatalf("syrfs berr=%v", berr[j])
+		}
+	}
+}
+
+func TestSysv(t *testing.T) {
+	for _, uplo := range []lapack.Uplo{lapack.Upper, lapack.Lower} {
+		for _, n := range []int{1, 2, 3, 8, 25, 60} {
+			t.Run("float64", func(t *testing.T) { testSysv[float64](t, uplo, n) })
+			t.Run("complex128", func(t *testing.T) { testSysv[complex128](t, uplo, n) })
+		}
+		t.Run("float32", func(t *testing.T) { testSysv[float32](t, uplo, 12) })
+	}
+}
+
+func testHesv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int) {
+	t.Helper()
+	nrhs := 2
+	rng := lapack.NewRng([4]int{int(uplo), n, 17, 19})
+	lda := n + 1
+	a := randHerm[T](rng, n, lda)
+	xTrue := testutil.RandGeneral[T](rng, n, nrhs, n)
+	b := make([]T, n*nrhs)
+	symMul(uplo, true, n, nrhs, a, lda, xTrue, n, b, n)
+	af := make([]T, lda*n)
+	lapack.Lacpy('A', n, n, a, lda, af, lda)
+	ipiv := make([]int, n)
+	sol := append([]T(nil), b...)
+	if info := lapack.Hesv(uplo, n, nrhs, af, lda, ipiv, sol, n); info != 0 {
+		t.Fatalf("hesv info=%d", info)
+	}
+	if r := testutil.SolveResidual(n, nrhs, symFull(uplo, n, a, lda), n, sol, n, b, n); r > thresh {
+		t.Fatalf("hesv residual %v", r)
+	}
+	anorm := lapack.Lansy(lapack.OneNorm, uplo, n, a, lda)
+	if rc := lapack.Hecon(uplo, n, af, lda, ipiv, anorm); rc <= 0 || rc > 1.000001 {
+		t.Fatalf("hecon rcond=%v", rc)
+	}
+}
+
+func TestHesv(t *testing.T) {
+	for _, uplo := range []lapack.Uplo{lapack.Upper, lapack.Lower} {
+		for _, n := range []int{1, 2, 3, 8, 25, 60} {
+			t.Run("complex128", func(t *testing.T) { testHesv[complex128](t, uplo, n) })
+		}
+		t.Run("complex64", func(t *testing.T) { testHesv[complex64](t, uplo, 10) })
+		// For real types Hesv must agree with Sysv semantics.
+		t.Run("float64", func(t *testing.T) { testHesv[float64](t, uplo, 14) })
+	}
+}
+
+func TestSysvForces2x2Pivots(t *testing.T) {
+	// A zero-diagonal symmetric matrix forces 2×2 pivot blocks.
+	n := 6
+	a := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			v := float64((i+1)*(j+2)%7 - 3)
+			a[i+j*n] = v
+			a[j+i*n] = v
+		}
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = float64(i) - 2.5
+	}
+	b := make([]float64, n)
+	blas.Symv(blas.Upper, n, 1, a, n, xTrue, 1, 0, b, 1)
+	af := append([]float64(nil), a...)
+	ipiv := make([]int, n)
+	if info := lapack.Sysv(lapack.Upper, n, 1, af, n, ipiv, b, n); info != 0 {
+		t.Fatalf("sysv info=%d", info)
+	}
+	has2x2 := false
+	for _, p := range ipiv {
+		if p < 0 {
+			has2x2 = true
+		}
+	}
+	if !has2x2 {
+		t.Fatal("expected at least one 2x2 pivot")
+	}
+	if d := testutil.MaxDiff(b, xTrue); d > 1e-10 {
+		t.Fatalf("solution error %v", d)
+	}
+}
+
+func TestSysvSingular(t *testing.T) {
+	n := 4
+	a := make([]float64, n*n) // zero matrix
+	ipiv := make([]int, n)
+	b := make([]float64, n)
+	if info := lapack.Sysv(lapack.Upper, n, 1, a, n, ipiv, b, n); info <= 0 {
+		t.Fatalf("expected positive info, got %d", info)
+	}
+}
+
+func TestSysvx(t *testing.T) {
+	n, nrhs := 18, 2
+	rng := lapack.NewRng([4]int{21, 22, 23, 24})
+	a := randSym[float64](rng, n, n)
+	xTrue := testutil.RandGeneral[float64](rng, n, nrhs, n)
+	b := make([]float64, n*nrhs)
+	symMul(lapack.Upper, false, n, nrhs, a, n, xTrue, n, b, n)
+	af := make([]float64, n*n)
+	ipiv := make([]int, n)
+	x := make([]float64, n*nrhs)
+	res := lapack.Sysvx(lapack.FactNone, lapack.Upper, n, nrhs, a, n, af, n, ipiv, b, n, x, n)
+	if res.Info != 0 {
+		t.Fatalf("sysvx info=%d", res.Info)
+	}
+	if d := testutil.MaxDiff(x, xTrue); d > 1e-8 {
+		t.Fatalf("sysvx error %v", d)
+	}
+}
+
+func TestHesvx(t *testing.T) {
+	n, nrhs := 14, 2
+	rng := lapack.NewRng([4]int{31, 32, 33, 34})
+	a := randHerm[complex128](rng, n, n)
+	xTrue := testutil.RandGeneral[complex128](rng, n, nrhs, n)
+	b := make([]complex128, n*nrhs)
+	symMul(lapack.Lower, true, n, nrhs, a, n, xTrue, n, b, n)
+	af := make([]complex128, n*n)
+	ipiv := make([]int, n)
+	x := make([]complex128, n*nrhs)
+	res := lapack.Hesvx(lapack.FactNone, lapack.Lower, n, nrhs, a, n, af, n, ipiv, b, n, x, n)
+	if res.Info != 0 {
+		t.Fatalf("hesvx info=%d", res.Info)
+	}
+	if d := testutil.MaxDiff(x, xTrue); d > 1e-8 {
+		t.Fatalf("hesvx error %v", d)
+	}
+}
+
+func testSpsv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int, herm bool) {
+	t.Helper()
+	nrhs := 2
+	rng := lapack.NewRng([4]int{41, int(uplo), n, 1})
+	var a []T
+	if herm {
+		a = randHerm[T](rng, n, n)
+	} else {
+		a = randSym[T](rng, n, n)
+	}
+	ap := packTri(uplo, n, a, n)
+	xTrue := testutil.RandGeneral[T](rng, n, nrhs, n)
+	b := make([]T, n*nrhs)
+	symMul(uplo, herm, n, nrhs, a, n, xTrue, n, b, n)
+	apf := append([]T(nil), ap...)
+	ipiv := make([]int, n)
+	sol := append([]T(nil), b...)
+	var info int
+	if herm {
+		info = lapack.Hpsv(uplo, n, nrhs, apf, ipiv, sol, n)
+	} else {
+		info = lapack.Spsv(uplo, n, nrhs, apf, ipiv, sol, n)
+	}
+	if info != 0 {
+		t.Fatalf("sp/hpsv info=%d", info)
+	}
+	full := symFullSym(uplo, n, a, n)
+	if herm {
+		full = symFull(uplo, n, a, n)
+	}
+	if r := testutil.SolveResidual(n, nrhs, full, n, sol, n, b, n); r > thresh {
+		t.Fatalf("sp/hpsv residual %v", r)
+	}
+	anorm := lapack.Lansp(lapack.OneNorm, uplo, n, ap)
+	var rc float64
+	if herm {
+		rc = lapack.Hpcon(uplo, n, apf, ipiv, anorm)
+	} else {
+		rc = lapack.Spcon(uplo, n, apf, ipiv, anorm)
+	}
+	if rc <= 0 || rc > 1.000001 {
+		t.Fatalf("sp/hpcon rcond=%v", rc)
+	}
+	// Refinement.
+	ferr := make([]float64, nrhs)
+	berr := make([]float64, nrhs)
+	if herm {
+		lapack.Hprfs(uplo, n, nrhs, ap, apf, ipiv, b, n, sol, n, ferr, berr)
+	} else {
+		lapack.Sprfs(uplo, n, nrhs, ap, apf, ipiv, b, n, sol, n, ferr, berr)
+	}
+	for j := 0; j < nrhs; j++ {
+		if berr[j] > 100*core.Eps[T]() {
+			t.Fatalf("sp/hprfs berr=%v", berr[j])
+		}
+	}
+}
+
+func TestSpsvHpsv(t *testing.T) {
+	for _, uplo := range []lapack.Uplo{lapack.Upper, lapack.Lower} {
+		for _, n := range []int{1, 5, 20} {
+			t.Run("spsv/float64", func(t *testing.T) { testSpsv[float64](t, uplo, n, false) })
+			t.Run("spsv/complex128", func(t *testing.T) { testSpsv[complex128](t, uplo, n, false) })
+			t.Run("hpsv/complex128", func(t *testing.T) { testSpsv[complex128](t, uplo, n, true) })
+		}
+	}
+}

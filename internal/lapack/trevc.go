@@ -1,0 +1,329 @@
+package lapack
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// trevcGuard returns a safe denominator: d if |d| >= smin, else smin with
+// the phase of d (or smin itself when d == 0).
+func trevcGuard(d complex128, smin float64) complex128 {
+	if cmplx.Abs(d) >= smin {
+		return d
+	}
+	if d == 0 {
+		return complex(smin, 0)
+	}
+	return d * complex(smin/cmplx.Abs(d), 0)
+}
+
+// TrevcRight computes the right eigenvectors of a real quasi-triangular
+// Schur matrix T and back-transforms them by z (xTREVC side='R',
+// howmny='B' semantics). The eigenvalues (wr, wi) must come from Hseqr on
+// the same T. On return vr (n×n) holds the eigenvectors in the LAPACK
+// packing: a real eigenvalue's vector occupies one column; a complex
+// conjugate pair (wr±i·wi at columns ki, ki+1) stores the real part in
+// column ki and the imaginary part in column ki+1.
+//
+// The back-substitution is performed in complex arithmetic rather than the
+// reference's paired real solves; results agree to roundoff (see
+// DESIGN.md).
+func TrevcRight(n int, t []float64, ldt int, wr, wi []float64, z []float64, ldz int, vr []float64, ldvr int) {
+	if n == 0 {
+		return
+	}
+	ulp := 0x1p-52
+	smlnum := math.SmallestNonzeroFloat64 * 0x1p52 * float64(n) / ulp
+	x := make([]complex128, n)
+	for ki := n - 1; ki >= 0; ki-- {
+		pair := wi[ki] != 0
+		if pair && wi[ki] > 0 {
+			// Handled when we reach the second member of the pair.
+			continue
+		}
+		lambda := complex(wr[ki], wi[ki])
+		if pair {
+			lambda = complex(wr[ki], -wi[ki]) // use the +wi member
+		}
+		smin := math.Max(ulp*(math.Abs(wr[ki])+math.Abs(wi[ki])), smlnum)
+		for i := range x {
+			x[i] = 0
+		}
+		top := ki // highest index with nonzero component
+		if !pair {
+			x[ki] = 1
+		} else {
+			// Seed from the standardized 2×2 block at (ki-1, ki).
+			b := t[ki-1+ki*ldt]
+			c := t[ki+(ki-1)*ldt]
+			wiP := wi[ki-1] // positive member
+			if math.Abs(b) >= math.Abs(c) {
+				x[ki-1] = 1
+				x[ki] = complex(0, wiP/b)
+			} else {
+				// From c·v1 − i·wi·v2 = 0 with v2 = 1: v1 = i·wi/c.
+				x[ki] = 1
+				x[ki-1] = complex(0, wiP/c)
+			}
+		}
+		lo := ki
+		if pair {
+			lo = ki - 1
+		}
+		// Back-substitution over rows lo-1 .. 0, respecting 2×2 blocks.
+		for j := lo - 1; j >= 0; {
+			// Determine whether row j is the bottom of a 2×2 block.
+			if j > 0 && t[j+(j-1)*ldt] != 0 {
+				// 2×2 block at (j-1, j): solve both components together.
+				var r1, r2 complex128
+				for k := j + 1; k <= top; k++ {
+					r1 += complex(t[j-1+k*ldt], 0) * x[k]
+					r2 += complex(t[j+k*ldt], 0) * x[k]
+				}
+				a11 := complex(t[j-1+(j-1)*ldt], 0) - lambda
+				a12 := complex(t[j-1+j*ldt], 0)
+				a21 := complex(t[j+(j-1)*ldt], 0)
+				a22 := complex(t[j+j*ldt], 0) - lambda
+				det := a11*a22 - a12*a21
+				det = trevcGuard(det, smin*smin)
+				x[j-1] = (-r1*a22 + r2*a12) / det
+				x[j] = (-r2*a11 + r1*a21) / det
+				j -= 2
+			} else {
+				var r complex128
+				for k := j + 1; k <= top; k++ {
+					r += complex(t[j+k*ldt], 0) * x[k]
+				}
+				den := trevcGuard(complex(t[j+j*ldt], 0)-lambda, smin)
+				x[j] = -r / den
+				j--
+			}
+			// Rescale if the solution is growing dangerously.
+			maxx := 0.0
+			for k := 0; k <= top; k++ {
+				maxx = math.Max(maxx, cmplx.Abs(x[k]))
+			}
+			if maxx > 1/smlnum {
+				s := complex(1/maxx, 0)
+				for k := 0; k <= top; k++ {
+					x[k] *= s
+				}
+			}
+		}
+		// Back-transform: v = Z·x over the first top+1 components.
+		if !pair {
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for k := 0; k <= top; k++ {
+					s += z[i+k*ldz] * real(x[k])
+				}
+				vr[i+ki*ldvr] = s
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				var sr, si float64
+				for k := 0; k <= top; k++ {
+					sr += z[i+k*ldz] * real(x[k])
+					si += z[i+k*ldz] * imag(x[k])
+				}
+				vr[i+(ki-1)*ldvr] = sr
+				vr[i+ki*ldvr] = si
+			}
+		}
+	}
+}
+
+// TrevcLeft computes the left eigenvectors uᴴ·A = λ·uᴴ of a real
+// quasi-triangular Schur matrix, back-transformed by z (xTREVC side='L'
+// semantics, same packing as TrevcRight).
+func TrevcLeft(n int, t []float64, ldt int, wr, wi []float64, z []float64, ldz int, vl []float64, ldvl int) {
+	if n == 0 {
+		return
+	}
+	ulp := 0x1p-52
+	smlnum := math.SmallestNonzeroFloat64 * 0x1p52 * float64(n) / ulp
+	y := make([]complex128, n)
+	for ki := 0; ki < n; ki++ {
+		pair := wi[ki] != 0
+		if pair && wi[ki] < 0 {
+			continue // handled with the first member
+		}
+		// Want u = Z·w with wᴴ·T = λ·wᴴ. For real T this is equivalent to
+		// yᵀ·(T − λ̄·I) = 0 for y = conj(w), solved by forward substitution
+		// over components ki..n-1. Use the pair member with wi > 0.
+		lambda := complex(wr[ki], wi[ki])
+		lb := cmplx.Conj(lambda)
+		smin := math.Max(ulp*(math.Abs(wr[ki])+math.Abs(wi[ki])), smlnum)
+		for i := range y {
+			y[i] = 0
+		}
+		bot := ki
+		if !pair {
+			y[ki] = 1
+		} else {
+			// Standardized block B = [a b; c a] at (ki, ki+1), wi = √(−bc):
+			// yᵀ(B − λ̄I) = 0 has solutions (1, −i·wi/c) and (−i·wi/b, 1);
+			// pick the better-scaled one.
+			b := t[ki+(ki+1)*ldt]
+			c := t[ki+1+ki*ldt]
+			wiP := wi[ki]
+			if math.Abs(b) >= math.Abs(c) {
+				y[ki] = complex(0, -wiP/b)
+				y[ki+1] = 1
+			} else {
+				y[ki] = 1
+				y[ki+1] = complex(0, -wiP/c)
+			}
+			bot = ki + 1
+		}
+		for j := bot + 1; j < n; {
+			if j < n-1 && t[j+1+j*ldt] != 0 {
+				// 2×2 block at (j, j+1): solve the row-vector system
+				// (y_j, y_{j+1})·(B − λ̄I) = (−r1, −r2).
+				var r1, r2 complex128
+				for k := ki; k < j; k++ {
+					r1 += complex(t[k+j*ldt], 0) * y[k]
+					r2 += complex(t[k+(j+1)*ldt], 0) * y[k]
+				}
+				a11 := complex(t[j+j*ldt], 0) - lb
+				a12 := complex(t[j+(j+1)*ldt], 0)
+				a21 := complex(t[j+1+j*ldt], 0)
+				a22 := complex(t[j+1+(j+1)*ldt], 0) - lb
+				det := a11*a22 - a12*a21
+				det = trevcGuard(det, smin*smin)
+				y[j] = (-r1*a22 + r2*a21) / det
+				y[j+1] = (-r2*a11 + r1*a12) / det
+				j += 2
+			} else {
+				var r complex128
+				for k := ki; k < j; k++ {
+					r += complex(t[k+j*ldt], 0) * y[k]
+				}
+				den := trevcGuard(complex(t[j+j*ldt], 0)-lb, smin)
+				y[j] = -r / den
+				j++
+			}
+			maxy := 0.0
+			for k := 0; k < n; k++ {
+				maxy = math.Max(maxy, cmplx.Abs(y[k]))
+			}
+			if maxy > 1/smlnum {
+				s := complex(1/maxy, 0)
+				for k := 0; k < n; k++ {
+					y[k] *= s
+				}
+			}
+		}
+		// Left eigenvector of A: with A = Z·T·Zᵀ, uᴴ·A = λ·uᴴ holds for
+		// u = Z·y, since yᵀ(T − λ̄I) = 0 is equivalent to Tᵀ·y = λ̄·y.
+		if !pair {
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for k := ki; k < n; k++ {
+					s += z[i+k*ldz] * real(y[k])
+				}
+				vl[i+ki*ldvl] = s
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				var sr, si float64
+				for k := ki; k < n; k++ {
+					sr += z[i+k*ldz] * real(y[k])
+					si += z[i+k*ldz] * imag(y[k])
+				}
+				vl[i+ki*ldvl] = sr
+				vl[i+(ki+1)*ldvl] = si
+			}
+		}
+	}
+}
+
+// TrevcRightC computes the right eigenvectors of a complex upper
+// triangular Schur matrix T, back-transformed by z (xTREVC complex,
+// side='R', howmny='B').
+func TrevcRightC(n int, t []complex128, ldt int, z []complex128, ldz int, vr []complex128, ldvr int) {
+	if n == 0 {
+		return
+	}
+	ulp := 0x1p-52
+	smlnum := math.SmallestNonzeroFloat64 * 0x1p52 * float64(n) / ulp
+	x := make([]complex128, n)
+	for ki := n - 1; ki >= 0; ki-- {
+		lambda := t[ki+ki*ldt]
+		smin := math.Max(ulp*cmplx.Abs(lambda), smlnum)
+		for i := range x {
+			x[i] = 0
+		}
+		x[ki] = 1
+		for j := ki - 1; j >= 0; j-- {
+			var r complex128
+			for k := j + 1; k <= ki; k++ {
+				r += t[j+k*ldt] * x[k]
+			}
+			den := trevcGuard(t[j+j*ldt]-lambda, smin)
+			x[j] = -r / den
+			maxx := 0.0
+			for k := j; k <= ki; k++ {
+				maxx = math.Max(maxx, cmplx.Abs(x[k]))
+			}
+			if maxx > 1/smlnum {
+				s := complex(1/maxx, 0)
+				for k := j; k <= ki; k++ {
+					x[k] *= s
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			var s complex128
+			for k := 0; k <= ki; k++ {
+				s += z[i+k*ldz] * x[k]
+			}
+			vr[i+ki*ldvr] = s
+		}
+	}
+}
+
+// TrevcLeftC computes the left eigenvectors of a complex upper triangular
+// Schur matrix, back-transformed by z (xTREVC complex, side='L').
+func TrevcLeftC(n int, t []complex128, ldt int, z []complex128, ldz int, vl []complex128, ldvl int) {
+	if n == 0 {
+		return
+	}
+	ulp := 0x1p-52
+	smlnum := math.SmallestNonzeroFloat64 * 0x1p52 * float64(n) / ulp
+	y := make([]complex128, n)
+	for ki := 0; ki < n; ki++ {
+		lambda := t[ki+ki*ldt]
+		smin := math.Max(ulp*cmplx.Abs(lambda), smlnum)
+		for i := range y {
+			y[i] = 0
+		}
+		// wᴴ·T = λ·wᴴ ⇒ conj-linear forward substitution on w.
+		y[ki] = 1
+		for j := ki + 1; j < n; j++ {
+			var r complex128
+			for k := ki; k < j; k++ {
+				r += cmplx.Conj(t[k+j*ldt]) * y[k]
+			}
+			den := trevcGuard(cmplx.Conj(t[j+j*ldt]-lambda), smin)
+			y[j] = -r / den
+			maxy := 0.0
+			for k := ki; k <= j; k++ {
+				maxy = math.Max(maxy, cmplx.Abs(y[k]))
+			}
+			if maxy > 1/smlnum {
+				s := complex(1/maxy, 0)
+				for k := ki; k <= j; k++ {
+					y[k] *= s
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			var s complex128
+			for k := ki; k < n; k++ {
+				s += z[i+k*ldz] * y[k]
+			}
+			vl[i+ki*ldvl] = s
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package matgen provides the test-matrix generators used by the test
+// programs (paper §6) and by the LA_LAGGE wrapper: random matrices with
+// prescribed singular values or condition numbers, built by pre- and
+// post-multiplying a diagonal matrix with random orthogonal (unitary)
+// matrices — the xLAGGE/xLATMS family.
+package matgen
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/lapack"
+)
+
+// Laror overwrites the m×n matrix a with U·A (side 'L'), A·V (side 'R') or
+// U·A·V (side 'B'), where U and V are random orthogonal/unitary matrices
+// (xLAROR semantics, implemented by applying n random Householder
+// reflectors).
+func Laror[T core.Scalar](side byte, rng *lapack.Rng, m, n int, a []T, lda int) {
+	work := make([]T, max(m, n))
+	if side == 'L' || side == 'B' {
+		v := make([]T, m)
+		for k := 0; k < m; k++ {
+			lapack.Larnv(3, rng, m-k, v)
+			tau := lapack.Larfg(m-k, &v[0], v[1:], 1)
+			v[0] = core.FromFloat[T](1)
+			lapack.Larf(lapack.Left, m-k, n, v, 1, tau, a[k:], lda, work)
+		}
+	}
+	if side == 'R' || side == 'B' {
+		v := make([]T, n)
+		for k := 0; k < n; k++ {
+			lapack.Larnv(3, rng, n-k, v)
+			tau := lapack.Larfg(n-k, &v[0], v[1:], 1)
+			v[0] = core.FromFloat[T](1)
+			lapack.Larf(lapack.Right, m, n-k, v, 1, core.Conj(tau), a[k*lda:], lda, work)
+		}
+	}
+}
+
+// Lagge generates an m×n random matrix A = U·D·V with prescribed singular
+// values d and random orthogonal/unitary U, V (xLAGGE). When kl < m-1 or
+// ku < n-1 the result is additionally forced to band form by zeroing
+// outside the band (a documented simplification of the reference's
+// bandwidth-reduction chase: the band profile is exact, the spectrum then
+// only approximate — see DESIGN.md).
+func Lagge[T core.Scalar](rng *lapack.Rng, m, n, kl, ku int, d []float64, a []T, lda int) {
+	lapack.Laset('A', m, n, core.FromFloat[T](0), core.FromFloat[T](0), a, lda)
+	for i := 0; i < min(m, n); i++ {
+		a[i+i*lda] = core.FromFloat[T](d[i])
+	}
+	Laror('B', rng, m, n, a, lda)
+	if kl < m-1 || ku < n-1 {
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				if i-j > kl || j-i > ku {
+					a[i+j*lda] = 0
+				}
+			}
+		}
+	}
+}
+
+// SingularValues returns a descending length-n spectrum for the given
+// distribution mode, mirroring xLATMS:
+//
+//	mode 3: d[i] = cond^(-i/(n-1)) (geometric decay, condition = cond)
+//	mode 4: d[i] = 1 - i/(n-1)·(1 - 1/cond) (arithmetic decay)
+//	mode 1: d[0] = 1, the rest 1/cond
+//	mode 2: all 1 except d[n-1] = 1/cond
+func SingularValues(mode, n int, cond float64) []float64 {
+	d := make([]float64, n)
+	if n == 0 {
+		return d
+	}
+	switch mode {
+	case 1:
+		for i := range d {
+			d[i] = 1 / cond
+		}
+		d[0] = 1
+	case 2:
+		for i := range d {
+			d[i] = 1
+		}
+		d[n-1] = 1 / cond
+	case 4:
+		for i := range d {
+			d[i] = 1 - float64(i)/float64(max(1, n-1))*(1-1/cond)
+		}
+	default: // mode 3
+		for i := range d {
+			d[i] = math.Pow(cond, -float64(i)/float64(max(1, n-1)))
+		}
+	}
+	return d
+}
+
+// Latms generates an n×n random matrix with condition number approximately
+// cond (1-norm condition within a modest factor), using a geometric
+// singular value distribution (xLATMS-lite).
+func Latms[T core.Scalar](rng *lapack.Rng, n int, cond float64, a []T, lda int) {
+	d := SingularValues(3, n, cond)
+	Lagge(rng, n, n, n-1, n-1, d, a, lda)
+}
+
+// RandOrtho fills the n×n matrix q with a Haar-ish random orthogonal
+// (unitary) matrix via QR of a Gaussian matrix.
+func RandOrtho[T core.Scalar](rng *lapack.Rng, n int, q []T, ldq int) {
+	g := make([]T, n*n)
+	lapack.Larnv(3, rng, n*n, g)
+	tau := make([]T, n)
+	lapack.Geqrf(n, n, g, n, tau)
+	lapack.Orgqr(n, n, n, g, n, tau)
+	lapack.Lacpy('A', n, n, g, n, q, ldq)
+}
+
+// RandSPDWithCond generates a symmetric (Hermitian) positive definite
+// matrix with 2-norm condition number cond: Q·diag(λ)·Qᴴ with geometric λ.
+func RandSPDWithCond[T core.Scalar](rng *lapack.Rng, n int, cond float64, a []T, lda int) {
+	q := make([]T, n*n)
+	RandOrtho(rng, n, q, n)
+	d := SingularValues(3, n, cond)
+	// A = Q·D·Qᴴ.
+	qd := make([]T, n*n)
+	for j := 0; j < n; j++ {
+		dj := core.FromFloat[T](d[j])
+		for i := 0; i < n; i++ {
+			qd[i+j*n] = q[i+j*n] * dj
+		}
+	}
+	blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, core.FromFloat[T](1), qd, n, q, n, core.FromFloat[T](0), a, lda)
+	// Force exact Hermitian symmetry.
+	for j := 0; j < n; j++ {
+		a[j+j*lda] = core.FromFloat[T](core.Re(a[j+j*lda]))
+		for i := 0; i < j; i++ {
+			v := a[i+j*lda]
+			a[j+i*lda] = core.Conj(v)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package la_test
+
+import (
+	"testing"
+
+	"repro/la"
+)
+
+// TestAppendixGCoverage is experiment E8: it enumerates the paper's
+// Appendix G catalogue of user-callable LAPACK90 routines and asserts that
+// each is exported by this package by taking its address. A missing
+// routine is a compile error, which is exactly the guarantee the paper's
+// catalogue gives its users. The Hermitian/complex aliases of each generic
+// name are checked through the complex instantiation.
+func TestAppendixGCoverage(t *testing.T) {
+	type f64 = float64
+	type c128 = complex128
+
+	catalogue := map[string]any{
+		// Driver routines for linear equations.
+		"LA_GESV": la.GESV[f64], "LA_GESV(vector B)": la.GESV1[f64],
+		"LA_GBSV": la.GBSV[f64], "LA_GTSV": la.GTSV[f64],
+		"LA_POSV": la.POSV[f64], "LA_PPSV": la.PPSV[f64],
+		"LA_PBSV": la.PBSV[f64], "LA_PTSV": la.PTSV[c128],
+		"LA_SYSV": la.SYSV[f64], "LA_HESV": la.HESV[c128],
+		"LA_SPSV": la.SPSV[f64], "LA_HPSV": la.HPSV[c128],
+		// Expert driver routines for linear equations.
+		"LA_GESVX": la.GESVX[f64], "LA_GBSVX": la.GBSVX[f64],
+		"LA_GTSVX": la.GTSVX[f64], "LA_POSVX": la.POSVX[f64],
+		"LA_PPSVX": la.PPSVX[f64], "LA_PBSVX": la.PBSVX[f64],
+		"LA_PTSVX": la.PTSVX[c128], "LA_SYSVX": la.SYSVX[f64],
+		"LA_HESVX": la.HESVX[c128], "LA_SPSVX": la.SPSVX[f64],
+		"LA_HPSVX": la.HPSVX[c128],
+		// Linear least squares.
+		"LA_GELS": la.GELS[f64], "LA_GELSX": la.GELSX[f64],
+		"LA_GELSS": la.GELSS[f64],
+		// Generalized linear least squares.
+		"LA_GGLSE": la.GGLSE[f64], "LA_GGGLM": la.GGGLM[f64],
+		// Standard eigenvalue and singular value drivers.
+		"LA_SYEV": la.SYEV[f64], "LA_HEEV": la.HEEV[c128],
+		"LA_SPEV": la.SPEV[f64], "LA_HPEV": la.HPEV[c128],
+		"LA_SBEV": la.SBEV[f64], "LA_HBEV": la.HBEV[c128],
+		"LA_STEV": la.STEV[f64],
+		"LA_GEES": la.GEES[f64], "LA_GEEV": la.GEEV[f64],
+		"LA_GESVD": la.GESVD[f64],
+		// Divide and conquer drivers.
+		"LA_SYEVD": la.SYEVD[f64], "LA_HEEVD": la.HEEVD[c128],
+		"LA_SPEVD": la.SPEVD[f64], "LA_HPEVD": la.HPEVD[c128],
+		"LA_SBEVD": la.SBEVD[f64], "LA_HBEVD": la.HBEVD[c128],
+		"LA_STEVD": la.STEVD[f64],
+		// Expert drivers for standard eigenproblems.
+		"LA_SYEVX": la.SYEVX[f64], "LA_HEEVX": la.HEEVX[c128],
+		"LA_SPEVX": la.SPEVX[f64], "LA_HPEVX": la.HPEVX[c128],
+		"LA_SBEVX": la.SBEVX[f64], "LA_HBEVX": la.HBEVX[c128],
+		"LA_STEVX": la.STEVX[f64],
+		"LA_GEESX": la.GEESX[f64], "LA_GEEVX": la.GEEVX[f64],
+		// Generalized eigenvalue and singular value drivers.
+		"LA_SYGV": la.SYGV[f64], "LA_HEGV": la.HEGV[c128],
+		"LA_SPGV": la.SPGV[f64], "LA_HPGV": la.HPGV[c128],
+		"LA_SBGV": la.SBGV[f64], "LA_HBGV": la.HBGV[c128],
+		"LA_GEGS": la.GEGS[f64], "LA_GEGV": la.GEGV[f64],
+		"LA_GGSVD": la.GGSVD[f64],
+		// Computational routines for linear equations.
+		"LA_GETRF": la.GETRF[f64], "LA_GETRS": la.GETRS[f64],
+		"LA_GETRI": la.GETRI[f64], "LA_GERFS": la.GERFS[f64],
+		"LA_GEEQU": la.GEEQU[f64], "LA_POTRF": la.POTRF[f64],
+		// Computational routines for eigenproblems.
+		"LA_SYGST": la.SYGST[f64], "LA_HEGST": la.HEGST[c128],
+		"LA_SYTRD": la.SYTRD[f64], "LA_HETRD": la.HETRD[c128],
+		"LA_ORGTR": la.ORGTR[f64], "LA_UNGTR": la.UNGTR[c128],
+		// Matrix manipulation routines.
+		"LA_LANGE": la.LANGE[f64], "LA_LAGGE": la.LAGGE[f64],
+	}
+	const want = 77
+	if len(catalogue) != want {
+		t.Fatalf("catalogue has %d entries, expected %d", len(catalogue), want)
+	}
+	for name, fn := range catalogue {
+		if fn == nil {
+			t.Fatalf("%s is not exported", name)
+		}
+	}
+}

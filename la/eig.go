@@ -1,0 +1,456 @@
+package la
+
+import "repro/internal/lapack"
+
+// SYEV computes all eigenvalues and, with WithVectors, the orthonormal
+// eigenvectors of a real symmetric matrix — and, by genericity, of a
+// complex Hermitian one (the paper's LA_SYEV / LA_HEEV). Only the
+// WithUpLo triangle of A is referenced; with WithVectors A is overwritten
+// by the eigenvectors. The eigenvalues are returned ascending.
+func SYEV[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
+	const routine = "LA_SYEV"
+	o := apply(opts)
+	if !square(a) {
+		return nil, erinfo(routine, -1, "")
+	}
+	w = make([]float64, a.Rows)
+	info := lapack.Syev[T](o.vectors, o.uplo, a.Rows, a.Data, a.Stride, w)
+	return w, erinfo(routine, info, "the QL/QR iteration failed to converge")
+}
+
+// HEEV is the Hermitian name for SYEV (the paper's LA_HEEV).
+func HEEV[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
+	return SYEV(a, opts...)
+}
+
+// SYEVD computes all eigenvalues and, with WithVectors, eigenvectors of a
+// symmetric/Hermitian matrix using the divide & conquer algorithm (the
+// paper's LA_SYEVD / LA_HEEVD).
+func SYEVD[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
+	const routine = "LA_SYEVD"
+	o := apply(opts)
+	if !square(a) {
+		return nil, erinfo(routine, -1, "")
+	}
+	w = make([]float64, a.Rows)
+	info := lapack.Syevd[T](o.vectors, o.uplo, a.Rows, a.Data, a.Stride, w)
+	return w, erinfo(routine, info, "the divide & conquer iteration failed")
+}
+
+// HEEVD is the Hermitian name for SYEVD (the paper's LA_HEEVD).
+func HEEVD[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
+	return SYEVD(a, opts...)
+}
+
+// EigXResult carries the outputs of the expert eigensolvers (the paper's
+// M, W, Z, IFAIL arguments).
+type EigXResult[T Scalar] struct {
+	M     int        // number of eigenvalues found
+	W     []float64  // the eigenvalues, ascending
+	Z     *Matrix[T] // eigenvectors (first M columns), when requested
+	IFail []int      // indices of eigenvectors that failed to converge
+}
+
+// SYEVX computes selected eigenvalues and, with WithVectors, eigenvectors
+// of a symmetric/Hermitian matrix by bisection and inverse iteration (the
+// paper's LA_SYEVX / LA_HEEVX). Select eigenvalues with WithValueRange or
+// WithIndexRange (default: all); WithAbsTol tunes the bisection tolerance.
+// A is overwritten by its tridiagonal reduction.
+func SYEVX[T Scalar](a *Matrix[T], opts ...Opt) (*EigXResult[T], error) {
+	const routine = "LA_SYEVX"
+	o := apply(opts)
+	if !square(a) {
+		return nil, erinfo(routine, -1, "")
+	}
+	n := a.Rows
+	iu := o.iu
+	if o.rng == lapack.RangeIndex && iu == 0 {
+		iu = n
+	}
+	var z *Matrix[T]
+	var zdata []T
+	ldz := 1
+	if o.vectors {
+		z = NewMatrix[T](n, n)
+		zdata = z.Data
+		ldz = z.Stride
+	}
+	res := lapack.Syevx(o.vectors, o.rng, o.uplo, n, a.Data, a.Stride, o.vl, o.vu, o.il, iu, o.abstol, zdata, ldz)
+	out := &EigXResult[T]{M: res.M, W: res.W, Z: z, IFail: res.IFail}
+	if z != nil {
+		z.Cols = res.M
+	}
+	return out, erinfo(routine, res.Info, "some eigenvectors failed to converge")
+}
+
+// HEEVX is the Hermitian name for SYEVX (the paper's LA_HEEVX).
+func HEEVX[T Scalar](a *Matrix[T], opts ...Opt) (*EigXResult[T], error) {
+	return SYEVX(a, opts...)
+}
+
+// SPEV computes all eigenvalues and, with WithVectors, eigenvectors of a
+// symmetric/Hermitian matrix in packed storage (the paper's LA_SPEV /
+// LA_HPEV). The eigenvectors, when requested, are returned in z.
+func SPEV[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	const routine = "LA_SPEV"
+	o := apply(opts)
+	n := packedOrder(len(ap))
+	if n < 0 {
+		return nil, nil, erinfo(routine, -1, "")
+	}
+	w = make([]float64, n)
+	var zdata []T
+	ldz := 1
+	if o.vectors {
+		z = NewMatrix[T](n, n)
+		zdata = z.Data
+		ldz = z.Stride
+	}
+	info := lapack.Spev(o.vectors, o.uplo, n, ap, w, zdata, ldz)
+	return w, z, erinfo(routine, info, "the QL/QR iteration failed to converge")
+}
+
+// HPEV is the Hermitian name for SPEV (the paper's LA_HPEV).
+func HPEV[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	return SPEV(ap, opts...)
+}
+
+// SPEVD is the divide & conquer variant of SPEV (the paper's LA_SPEVD /
+// LA_HPEVD; the dense D&C kernel runs after unpacking).
+func SPEVD[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	const routine = "LA_SPEVD"
+	o := apply(opts)
+	n := packedOrder(len(ap))
+	if n < 0 {
+		return nil, nil, erinfo(routine, -1, "")
+	}
+	a := NewMatrix[T](n, n)
+	unpackInto(o.uplo, n, ap, a)
+	w = make([]float64, n)
+	info := lapack.Syevd[T](o.vectors, o.uplo, n, a.Data, a.Stride, w)
+	if o.vectors {
+		z = a
+	}
+	return w, z, erinfo(routine, info, "the divide & conquer iteration failed")
+}
+
+// HPEVD is the Hermitian name for SPEVD.
+func HPEVD[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	return SPEVD(ap, opts...)
+}
+
+// SPEVX computes selected eigenvalues/eigenvectors of a packed
+// symmetric/Hermitian matrix (the paper's LA_SPEVX / LA_HPEVX).
+func SPEVX[T Scalar](ap []T, opts ...Opt) (*EigXResult[T], error) {
+	const routine = "LA_SPEVX"
+	o := apply(opts)
+	n := packedOrder(len(ap))
+	if n < 0 {
+		return nil, erinfo(routine, -1, "")
+	}
+	iu := o.iu
+	if o.rng == lapack.RangeIndex && iu == 0 {
+		iu = n
+	}
+	var z *Matrix[T]
+	var zdata []T
+	ldz := 1
+	if o.vectors {
+		z = NewMatrix[T](n, n)
+		zdata = z.Data
+		ldz = z.Stride
+	}
+	res := lapack.Spevx(o.vectors, o.rng, o.uplo, n, ap, o.vl, o.vu, o.il, iu, o.abstol, zdata, ldz)
+	out := &EigXResult[T]{M: res.M, W: res.W, Z: z, IFail: res.IFail}
+	if z != nil {
+		z.Cols = res.M
+	}
+	return out, erinfo(routine, res.Info, "some eigenvectors failed to converge")
+}
+
+// HPEVX is the Hermitian name for SPEVX.
+func HPEVX[T Scalar](ap []T, opts ...Opt) (*EigXResult[T], error) {
+	return SPEVX(ap, opts...)
+}
+
+// SBEV computes all eigenvalues and, with WithVectors, eigenvectors of a
+// symmetric/Hermitian band matrix (the paper's LA_SBEV / LA_HBEV). AB is
+// in symmetric band storage with kd = AB.Rows−1 off-diagonals.
+func SBEV[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	const routine = "LA_SBEV"
+	o := apply(opts)
+	if ab == nil || ab.Rows < 1 {
+		return nil, nil, erinfo(routine, -1, "")
+	}
+	n := ab.Cols
+	kd := ab.Rows - 1
+	w = make([]float64, n)
+	var zdata []T
+	ldz := 1
+	if o.vectors {
+		z = NewMatrix[T](n, n)
+		zdata = z.Data
+		ldz = z.Stride
+	}
+	info := lapack.Sbev(o.vectors, o.uplo, n, kd, ab.Data, ab.Stride, w, zdata, ldz)
+	return w, z, erinfo(routine, info, "the QL/QR iteration failed to converge")
+}
+
+// HBEV is the Hermitian name for SBEV (the paper's LA_HBEV).
+func HBEV[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	return SBEV(ab, opts...)
+}
+
+// SBEVD is the divide & conquer variant of SBEV (the paper's LA_SBEVD /
+// LA_HBEVD).
+func SBEVD[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	const routine = "LA_SBEVD"
+	o := apply(opts)
+	if ab == nil || ab.Rows < 1 {
+		return nil, nil, erinfo(routine, -1, "")
+	}
+	n := ab.Cols
+	kd := ab.Rows - 1
+	a := NewMatrix[T](n, n)
+	expandBandInto(o.uplo, n, kd, ab, a)
+	w = make([]float64, n)
+	info := lapack.Syevd[T](o.vectors, o.uplo, n, a.Data, a.Stride, w)
+	if o.vectors {
+		z = a
+	}
+	return w, z, erinfo(routine, info, "the divide & conquer iteration failed")
+}
+
+// HBEVD is the Hermitian name for SBEVD.
+func HBEVD[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	return SBEVD(ab, opts...)
+}
+
+// SBEVX computes selected eigenvalues/eigenvectors of a band
+// symmetric/Hermitian matrix (the paper's LA_SBEVX / LA_HBEVX).
+func SBEVX[T Scalar](ab *Matrix[T], opts ...Opt) (*EigXResult[T], error) {
+	const routine = "LA_SBEVX"
+	o := apply(opts)
+	if ab == nil || ab.Rows < 1 {
+		return nil, erinfo(routine, -1, "")
+	}
+	n := ab.Cols
+	kd := ab.Rows - 1
+	iu := o.iu
+	if o.rng == lapack.RangeIndex && iu == 0 {
+		iu = n
+	}
+	var z *Matrix[T]
+	var zdata []T
+	ldz := 1
+	if o.vectors {
+		z = NewMatrix[T](n, n)
+		zdata = z.Data
+		ldz = z.Stride
+	}
+	res := lapack.Sbevx(o.vectors, o.rng, o.uplo, n, kd, ab.Data, ab.Stride, o.vl, o.vu, o.il, iu, o.abstol, zdata, ldz)
+	out := &EigXResult[T]{M: res.M, W: res.W, Z: z, IFail: res.IFail}
+	if z != nil {
+		z.Cols = res.M
+	}
+	return out, erinfo(routine, res.Info, "some eigenvectors failed to converge")
+}
+
+// HBEVX is the Hermitian name for SBEVX.
+func HBEVX[T Scalar](ab *Matrix[T], opts ...Opt) (*EigXResult[T], error) {
+	return SBEVX(ab, opts...)
+}
+
+// STEV computes all eigenvalues and, with WithVectors, eigenvectors of a
+// real symmetric tridiagonal matrix (the paper's LA_STEV). d and e are
+// overwritten; on success d holds the eigenvalues ascending.
+func STEV[T Scalar](d, e []float64, opts ...Opt) (z *Matrix[T], err error) {
+	const routine = "LA_STEV"
+	o := apply(opts)
+	n := len(d)
+	if n > 0 && len(e) != n-1 {
+		return nil, erinfo(routine, -2, "")
+	}
+	var zdata []T
+	ldz := 1
+	if o.vectors {
+		z = NewMatrix[T](n, n)
+		zdata = z.Data
+		ldz = z.Stride
+	}
+	info := lapack.Stev(n, d, e, zdata, ldz)
+	return z, erinfo(routine, info, "the QL/QR iteration failed to converge")
+}
+
+// STEVD is the divide & conquer variant of STEV (the paper's LA_STEVD).
+func STEVD[T Scalar](d, e []float64, opts ...Opt) (z *Matrix[T], err error) {
+	const routine = "LA_STEVD"
+	o := apply(opts)
+	n := len(d)
+	if n > 0 && len(e) != n-1 {
+		return nil, erinfo(routine, -2, "")
+	}
+	var zdata []T
+	ldz := 1
+	if o.vectors {
+		z = NewMatrix[T](n, n)
+		zdata = z.Data
+		ldz = z.Stride
+	}
+	info := lapack.Stevd[T](n, d, e, zdata, ldz)
+	return z, erinfo(routine, info, "the divide & conquer iteration failed")
+}
+
+// STEVX computes selected eigenvalues/eigenvectors of a real symmetric
+// tridiagonal matrix by bisection and inverse iteration (the paper's
+// LA_STEVX).
+func STEVX[T Scalar](d, e []float64, opts ...Opt) (*EigXResult[T], error) {
+	const routine = "LA_STEVX"
+	o := apply(opts)
+	n := len(d)
+	if n > 0 && len(e) != n-1 {
+		return nil, erinfo(routine, -2, "")
+	}
+	iu := o.iu
+	if o.rng == lapack.RangeIndex && iu == 0 {
+		iu = n
+	}
+	var z *Matrix[T]
+	var zdata []T
+	ldz := 1
+	if o.vectors {
+		z = NewMatrix[T](n, n)
+		zdata = z.Data
+		ldz = z.Stride
+	}
+	res := lapack.Stevx(o.vectors, o.rng, n, d, e, o.vl, o.vu, o.il, iu, o.abstol, zdata, ldz)
+	out := &EigXResult[T]{M: res.M, W: res.W, Z: z, IFail: res.IFail}
+	if z != nil {
+		z.Cols = res.M
+	}
+	return out, erinfo(routine, res.Info, "some eigenvectors failed to converge")
+}
+
+// unpackInto expands a packed triangle into the uplo triangle of a dense
+// matrix, mirroring it for the drivers that need the full matrix.
+func unpackInto[T Scalar](uplo UpLo, n int, ap []T, a *Matrix[T]) {
+	idx := 0
+	if uplo == Upper {
+		for j := 0; j < n; j++ {
+			for i := 0; i <= j; i++ {
+				a.Set(i, j, ap[idx])
+				idx++
+			}
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			for i := j; i < n; i++ {
+				a.Set(i, j, ap[idx])
+				idx++
+			}
+		}
+	}
+}
+
+// expandBandInto expands symmetric band storage into the uplo triangle of
+// a dense matrix.
+func expandBandInto[T Scalar](uplo UpLo, n, kd int, ab, a *Matrix[T]) {
+	for j := 0; j < n; j++ {
+		if uplo == Upper {
+			for i := max(0, j-kd); i <= j; i++ {
+				a.Set(i, j, ab.Data[kd+i-j+j*ab.Stride])
+			}
+		} else {
+			for i := j; i <= min(n-1, j+kd); i++ {
+				a.Set(i, j, ab.Data[i-j+j*ab.Stride])
+			}
+		}
+	}
+}
+
+// SYGV computes all eigenvalues and, with WithVectors, eigenvectors of a
+// generalized symmetric/Hermitian-definite eigenproblem (the paper's
+// LA_SYGV / LA_HEGV). WithIType selects A·x = λ·B·x (1, default),
+// A·B·x = λ·x (2) or B·A·x = λ·x (3). On exit A holds the eigenvectors
+// (when requested) and B its Cholesky factor. A positive INFO > n in the
+// error means the leading minor of order INFO−n of B is not positive
+// definite.
+func SYGV[T Scalar](a, b *Matrix[T], opts ...Opt) (w []float64, err error) {
+	const routine = "LA_SYGV"
+	o := apply(opts)
+	if !square(a) {
+		return nil, erinfo(routine, -1, "")
+	}
+	if !square(b) || b.Rows != a.Rows {
+		return nil, erinfo(routine, -2, "")
+	}
+	w = make([]float64, a.Rows)
+	info := lapack.Sygv(o.itype, o.vectors, o.uplo, a.Rows, a.Data, a.Stride, b.Data, b.Stride, w)
+	return w, erinfo(routine, info, "B is not positive definite or the reduction failed")
+}
+
+// HEGV is the Hermitian name for SYGV (the paper's LA_HEGV).
+func HEGV[T Scalar](a, b *Matrix[T], opts ...Opt) (w []float64, err error) {
+	return SYGV(a, b, opts...)
+}
+
+// SPGV solves the generalized symmetric-definite eigenproblem in packed
+// storage (the paper's LA_SPGV / LA_HPGV). The eigenvectors, when
+// requested, are returned in z; bp is overwritten with the packed
+// Cholesky factor of B.
+func SPGV[T Scalar](ap, bp []T, opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	const routine = "LA_SPGV"
+	o := apply(opts)
+	n := packedOrder(len(ap))
+	if n < 0 {
+		return nil, nil, erinfo(routine, -1, "")
+	}
+	if packedOrder(len(bp)) != n {
+		return nil, nil, erinfo(routine, -2, "")
+	}
+	w = make([]float64, n)
+	var zdata []T
+	ldz := 1
+	if o.vectors {
+		z = NewMatrix[T](n, n)
+		zdata = z.Data
+		ldz = z.Stride
+	}
+	info := lapack.Spgv(o.itype, o.vectors, o.uplo, n, ap, bp, w, zdata, ldz)
+	return w, z, erinfo(routine, info, "B is not positive definite or the reduction failed")
+}
+
+// HPGV is the Hermitian name for SPGV.
+func HPGV[T Scalar](ap, bp []T, opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	return SPGV(ap, bp, opts...)
+}
+
+// SBGV solves the generalized symmetric-definite banded eigenproblem
+// A·x = λ·B·x (the paper's LA_SBGV / LA_HBGV). AB and BB are in
+// symmetric band storage (ka = AB.Rows−1, kb = BB.Rows−1 off-diagonals).
+func SBGV[T Scalar](ab, bb *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	const routine = "LA_SBGV"
+	o := apply(opts)
+	if ab == nil || ab.Rows < 1 {
+		return nil, nil, erinfo(routine, -1, "")
+	}
+	if bb == nil || bb.Rows < 1 || bb.Cols != ab.Cols {
+		return nil, nil, erinfo(routine, -2, "")
+	}
+	n := ab.Cols
+	w = make([]float64, n)
+	var zdata []T
+	ldz := 1
+	if o.vectors {
+		z = NewMatrix[T](n, n)
+		zdata = z.Data
+		ldz = z.Stride
+	}
+	info := lapack.Sbgv(o.vectors, o.uplo, n, ab.Rows-1, bb.Rows-1, ab.Data, ab.Stride, bb.Data, bb.Stride, w, zdata, ldz)
+	return w, z, erinfo(routine, info, "B is not positive definite or the reduction failed")
+}
+
+// HBGV is the Hermitian name for SBGV.
+func HBGV[T Scalar](ab, bb *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err error) {
+	return SBGV(ab, bb, opts...)
+}

@@ -1,0 +1,135 @@
+package la_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/la"
+)
+
+// TestErrorExits reproduces the paper's error-exit tests (§6: "The
+// programs test the interface routines, the computation, and the error
+// exits"; Appendix F runs 9 of them for LA_GESV). Every malformed call
+// must return a *la.Error with the negative INFO identifying the offending
+// argument, and must not panic.
+func TestErrorExits(t *testing.T) {
+	wantArgError := func(t *testing.T, err error, arg int) {
+		t.Helper()
+		var e *la.Error
+		if !errors.As(err, &e) {
+			t.Fatalf("expected *la.Error, got %v", err)
+		}
+		if e.Info != -arg {
+			t.Fatalf("INFO = %d, want %d (%v)", e.Info, -arg, e)
+		}
+	}
+
+	sq := la.NewMatrix[float64](3, 3)
+	for i := 0; i < 3; i++ {
+		sq.Set(i, i, 1)
+	}
+	rect := la.NewMatrix[float64](3, 2)
+	b3 := la.NewMatrix[float64](3, 1)
+	b2 := la.NewMatrix[float64](2, 1)
+
+	t.Run("GESV non-square A", func(t *testing.T) {
+		_, err := la.GESV(rect, b3)
+		wantArgError(t, err, 1)
+	})
+	t.Run("GESV wrong B rows", func(t *testing.T) {
+		_, err := la.GESV(sq.Clone(), b2)
+		wantArgError(t, err, 2)
+	})
+	t.Run("GESV1 wrong b length", func(t *testing.T) {
+		_, err := la.GESV1(sq.Clone(), make([]float64, 2))
+		wantArgError(t, err, 2)
+	})
+	t.Run("POSV non-square", func(t *testing.T) {
+		err := la.POSV(rect, b3)
+		wantArgError(t, err, 1)
+	})
+	t.Run("POSV wrong B", func(t *testing.T) {
+		err := la.POSV(sq.Clone(), b2)
+		wantArgError(t, err, 2)
+	})
+	t.Run("SYSV wrong B", func(t *testing.T) {
+		_, err := la.SYSV(sq.Clone(), b2)
+		wantArgError(t, err, 2)
+	})
+	t.Run("GTSV inconsistent diagonals", func(t *testing.T) {
+		err := la.GTSV(make([]float64, 1), make([]float64, 3), make([]float64, 1), b3)
+		wantArgError(t, err, 1)
+	})
+	t.Run("PTSV inconsistent e", func(t *testing.T) {
+		err := la.PTSV(make([]float64, 3), make([]float64, 1), b3)
+		wantArgError(t, err, 2)
+	})
+	t.Run("PPSV non-triangular length", func(t *testing.T) {
+		err := la.PPSV(make([]float64, 5), b3)
+		wantArgError(t, err, 1)
+	})
+	t.Run("GELS wrong B rows", func(t *testing.T) {
+		err := la.GELS(rect.Clone(), b2)
+		wantArgError(t, err, 2)
+	})
+	t.Run("SYEV non-square", func(t *testing.T) {
+		_, err := la.SYEV(rect.Clone())
+		wantArgError(t, err, 1)
+	})
+	t.Run("SYGV mismatched B", func(t *testing.T) {
+		_, err := la.SYGV(sq.Clone(), la.NewMatrix[float64](2, 2))
+		wantArgError(t, err, 2)
+	})
+	t.Run("GETRS pivot length", func(t *testing.T) {
+		err := la.GETRS(sq.Clone(), []int{0}, b3)
+		wantArgError(t, err, 2)
+	})
+	t.Run("GEES non-square", func(t *testing.T) {
+		_, _, _, err := la.GEES(rect.Clone())
+		wantArgError(t, err, 1)
+	})
+	t.Run("LANGE bad norm", func(t *testing.T) {
+		_, err := la.LANGE(sq, la.WithNorm('X'))
+		wantArgError(t, err, 2)
+	})
+
+	// Positive-INFO numerical failures must also arrive as *la.Error.
+	t.Run("GESV singular", func(t *testing.T) {
+		z := la.NewMatrix[float64](3, 3)
+		_, err := la.GESV(z, b3.Clone())
+		var e *la.Error
+		if !errors.As(err, &e) || e.Info <= 0 {
+			t.Fatalf("expected positive INFO, got %v", err)
+		}
+	})
+	t.Run("POSV not positive definite", func(t *testing.T) {
+		m := la.MatrixFrom([][]float64{{1, 0}, {0, -1}})
+		err := la.POSV(m, la.NewMatrix[float64](2, 1))
+		var e *la.Error
+		if !errors.As(err, &e) || e.Info != 2 {
+			t.Fatalf("expected INFO=2, got %v", err)
+		}
+	})
+	t.Run("SYGV B indefinite", func(t *testing.T) {
+		a := spdMat[float64](99, 3)
+		b := la.MatrixFrom([][]float64{{1, 0, 0}, {0, -1, 0}, {0, 0, 1}})
+		_, err := la.SYGV(a, b)
+		var e *la.Error
+		if !errors.As(err, &e) || e.Info != 3+2 {
+			t.Fatalf("expected INFO=n+2, got %v", err)
+		}
+	})
+}
+
+// TestErrorMessageFormat checks the ERINFO-style rendering.
+func TestErrorMessageFormat(t *testing.T) {
+	e := &la.Error{Routine: "LA_GESV", Info: -2}
+	want := "LA_GESV: argument 2 had an illegal value (INFO = -2)"
+	if e.Error() != want {
+		t.Fatalf("got %q want %q", e.Error(), want)
+	}
+	e2 := &la.Error{Routine: "LA_POSV", Info: 3, Detail: "matrix is not positive definite"}
+	if e2.Error() != "LA_POSV: matrix is not positive definite (INFO = 3)" {
+		t.Fatalf("got %q", e2.Error())
+	}
+}

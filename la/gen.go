@@ -1,0 +1,273 @@
+package la
+
+import "repro/internal/lapack"
+
+// GegResult carries the outputs of LA_GEGS/LA_GEGV: the generalized
+// eigenvalues λᵢ = Alpha[i]/Beta[i] (the paper's ALPHAR/ALPHAI/BETA or
+// ALPHA/BETA, unified as complex numbers).
+type GegResult struct {
+	Alpha []complex128
+	Beta  []complex128
+}
+
+// GEGS computes the generalized Schur decomposition of the pencil (A, B):
+// A = Q·S·Zᴴ, B = Q·T·Zᴴ (the paper's LA_GEGS). On exit A holds S and B
+// holds T; vsl and vsr receive Q and Z. Requires B nonsingular (the
+// QZ-lite route; see DESIGN.md).
+func GEGS[T Scalar](a, b *Matrix[T]) (res *GegResult, vsl, vsr *Matrix[T], err error) {
+	const routine = "LA_GEGS"
+	if !square(a) {
+		return nil, nil, nil, erinfo(routine, -1, "")
+	}
+	if !square(b) || b.Rows != a.Rows {
+		return nil, nil, nil, erinfo(routine, -2, "")
+	}
+	n := a.Rows
+	res = &GegResult{Alpha: make([]complex128, n), Beta: make([]complex128, n)}
+	vsl = NewMatrix[T](n, n)
+	vsr = NewMatrix[T](n, n)
+	var info int
+	switch ad := any(a.Data).(type) {
+	case []float32:
+		ar, ai, be := make([]float64, n), make([]float64, n), make([]float64, n)
+		info = lapack.Gegs[float32](n, ad, a.Stride, any(b.Data).([]float32), b.Stride, ar, ai, be,
+			any(vsl.Data).([]float32), vsl.Stride, any(vsr.Data).([]float32), vsr.Stride)
+		for i := 0; i < n; i++ {
+			res.Alpha[i] = complex(ar[i], ai[i])
+			res.Beta[i] = complex(be[i], 0)
+		}
+	case []float64:
+		ar, ai, be := make([]float64, n), make([]float64, n), make([]float64, n)
+		info = lapack.Gegs[float64](n, ad, a.Stride, any(b.Data).([]float64), b.Stride, ar, ai, be,
+			any(vsl.Data).([]float64), vsl.Stride, any(vsr.Data).([]float64), vsr.Stride)
+		for i := 0; i < n; i++ {
+			res.Alpha[i] = complex(ar[i], ai[i])
+			res.Beta[i] = complex(be[i], 0)
+		}
+	case []complex64:
+		info = lapack.GegsC[complex64](n, ad, a.Stride, any(b.Data).([]complex64), b.Stride, res.Alpha, res.Beta,
+			any(vsl.Data).([]complex64), vsl.Stride, any(vsr.Data).([]complex64), vsr.Stride)
+	case []complex128:
+		info = lapack.GegsC[complex128](n, ad, a.Stride, any(b.Data).([]complex128), b.Stride, res.Alpha, res.Beta,
+			any(vsl.Data).([]complex128), vsl.Stride, any(vsr.Data).([]complex128), vsr.Stride)
+	}
+	return res, vsl, vsr, erinfo(routine, info, "B is singular or the QR iteration failed")
+}
+
+// GEGV computes the generalized eigenvalues and, with WithLeft/WithRight,
+// the generalized eigenvectors of the pencil (A, B) (the paper's LA_GEGV).
+// Real eigenvectors use the LAPACK real packing (see GEEV). A and B are
+// destroyed. Requires B nonsingular.
+func GEGV[T Scalar](a, b *Matrix[T], opts ...Opt) (res *GegResult, vl, vr *Matrix[T], err error) {
+	const routine = "LA_GEGV"
+	o := apply(opts)
+	if !square(a) {
+		return nil, nil, nil, erinfo(routine, -1, "")
+	}
+	if !square(b) || b.Rows != a.Rows {
+		return nil, nil, nil, erinfo(routine, -2, "")
+	}
+	n := a.Rows
+	res = &GegResult{Alpha: make([]complex128, n), Beta: make([]complex128, n)}
+	if o.left {
+		vl = NewMatrix[T](n, n)
+	}
+	if o.right {
+		vr = NewMatrix[T](n, n)
+	}
+	var info int
+	switch ad := any(a.Data).(type) {
+	case []float32:
+		ar, ai, be := make([]float64, n), make([]float64, n), make([]float64, n)
+		vld, lvl := matData[float32](vl)
+		vrd, lvr := matData[float32](vr)
+		info = lapack.Gegv[float32](o.left, o.right, n, ad, a.Stride, any(b.Data).([]float32), b.Stride, ar, ai, be, vld, lvl, vrd, lvr)
+		for i := 0; i < n; i++ {
+			res.Alpha[i] = complex(ar[i], ai[i])
+			res.Beta[i] = complex(be[i], 0)
+		}
+	case []float64:
+		ar, ai, be := make([]float64, n), make([]float64, n), make([]float64, n)
+		vld, lvl := matData[float64](vl)
+		vrd, lvr := matData[float64](vr)
+		info = lapack.Gegv[float64](o.left, o.right, n, ad, a.Stride, any(b.Data).([]float64), b.Stride, ar, ai, be, vld, lvl, vrd, lvr)
+		for i := 0; i < n; i++ {
+			res.Alpha[i] = complex(ar[i], ai[i])
+			res.Beta[i] = complex(be[i], 0)
+		}
+	case []complex64:
+		vld, lvl := matData[complex64](vl)
+		vrd, lvr := matData[complex64](vr)
+		info = lapack.GegvC[complex64](o.left, o.right, n, ad, a.Stride, any(b.Data).([]complex64), b.Stride, res.Alpha, res.Beta, vld, lvl, vrd, lvr)
+	case []complex128:
+		vld, lvl := matData[complex128](vl)
+		vrd, lvr := matData[complex128](vr)
+		info = lapack.GegvC[complex128](o.left, o.right, n, ad, a.Stride, any(b.Data).([]complex128), b.Stride, res.Alpha, res.Beta, vld, lvl, vrd, lvr)
+	}
+	return res, vl, vr, erinfo(routine, info, "B is singular or the QR iteration failed")
+}
+
+// GGSVDResult carries the outputs of LA_GGSVD (see lapack.GgsvdResult for
+// the decomposition contract).
+type GGSVDResult[T Scalar] struct {
+	K, L  int
+	Alpha []float64
+	Beta  []float64
+	U     *Matrix[T]
+	V     *Matrix[T]
+	Q     *Matrix[T]
+	R     *Matrix[T]
+}
+
+// GGSVD computes the generalized singular value decomposition of the pair
+// (A, B) (the paper's LA_GGSVD): A = U·diag(Alpha)·R·Qᴴ and
+// B = V·diag(Beta)·R·Qᴴ with Alpha² + Beta² = 1. A and B are destroyed.
+func GGSVD[T Scalar](a, b *Matrix[T]) (*GGSVDResult[T], error) {
+	const routine = "LA_GGSVD"
+	if a == nil {
+		return nil, erinfo(routine, -1, "")
+	}
+	if b == nil || b.Cols != a.Cols {
+		return nil, erinfo(routine, -2, "")
+	}
+	m, p, n := a.Rows, b.Rows, a.Cols
+	if m+p < n {
+		return nil, erinfo(routine, -2, "")
+	}
+	u := NewMatrix[T](m, n)
+	v := NewMatrix[T](p, n)
+	q := NewMatrix[T](n, n)
+	r := NewMatrix[T](n, n)
+	res := lapack.Ggsvd(m, p, n, a.Data, a.Stride, b.Data, b.Stride,
+		u.Data, u.Stride, v.Data, v.Stride, q.Data, q.Stride, r.Data, r.Stride)
+	out := &GGSVDResult[T]{K: res.K, L: res.L, Alpha: res.Alpha, Beta: res.Beta, U: u, V: v, Q: q, R: r}
+	return out, erinfo(routine, res.Info, "the stacked matrix is rank deficient or the SVD failed")
+}
+
+// SchurXResult carries the extra outputs of LA_GEESX.
+type SchurXResult[T Scalar] struct {
+	W      []complex128
+	VS     *Matrix[T]
+	SDim   int
+	RCondE float64 // reciprocal condition of the selected cluster average
+	RCondV float64 // sep-based reciprocal condition of the invariant subspace
+}
+
+// GEESX is the expert Schur driver (the paper's LA_GEESX): LA_GEES plus
+// reciprocal condition numbers for the selected eigenvalue cluster and its
+// right invariant subspace. Supply the selection with WithSelect (real) or
+// WithSelectC (complex).
+func GEESX[T Scalar](a *Matrix[T], opts ...Opt) (*SchurXResult[T], error) {
+	const routine = "LA_GEESX"
+	o := apply(opts)
+	if !square(a) {
+		return nil, erinfo(routine, -1, "")
+	}
+	n := a.Rows
+	out := &SchurXResult[T]{W: make([]complex128, n)}
+	vs := NewMatrix[T](n, n)
+	var info int
+	switch ad := any(a.Data).(type) {
+	case []float32:
+		wr, wi := make([]float64, n), make([]float64, n)
+		res := lapack.Geesx[float32](true, o.selReal, n, ad, a.Stride, wr, wi, any(vs.Data).([]float32), vs.Stride)
+		for i := range out.W {
+			out.W[i] = complex(wr[i], wi[i])
+		}
+		out.SDim, out.RCondE, out.RCondV, info = res.SDim, res.RCondE, res.RCondV, res.Info
+	case []float64:
+		wr, wi := make([]float64, n), make([]float64, n)
+		res := lapack.Geesx[float64](true, o.selReal, n, ad, a.Stride, wr, wi, any(vs.Data).([]float64), vs.Stride)
+		for i := range out.W {
+			out.W[i] = complex(wr[i], wi[i])
+		}
+		out.SDim, out.RCondE, out.RCondV, info = res.SDim, res.RCondE, res.RCondV, res.Info
+	case []complex64:
+		sel := selC(o)
+		res := lapack.GeesxC[complex64](true, sel, n, ad, a.Stride, out.W, any(vs.Data).([]complex64), vs.Stride)
+		out.SDim, out.RCondE, out.RCondV, info = res.SDim, res.RCondE, res.RCondV, res.Info
+	case []complex128:
+		sel := selC(o)
+		res := lapack.GeesxC[complex128](true, sel, n, ad, a.Stride, out.W, any(vs.Data).([]complex128), vs.Stride)
+		out.SDim, out.RCondE, out.RCondV, info = res.SDim, res.RCondE, res.RCondV, res.Info
+	}
+	out.VS = vs
+	return out, erinfo(routine, info, "the QR algorithm failed to converge")
+}
+
+func selC(o options) func(complex128) bool {
+	if o.selCmplx != nil {
+		return o.selCmplx
+	}
+	if o.selReal != nil {
+		sr := o.selReal
+		return func(z complex128) bool { return sr(real(z), imag(z)) }
+	}
+	return nil
+}
+
+// EigenXResult carries the extra outputs of LA_GEEVX.
+type EigenXResult[T Scalar] struct {
+	W        []complex128
+	VL, VR   *Matrix[T]
+	ILo, IHi int
+	Scale    []float64
+	ABNrm    float64
+	RCondE   []float64 // per-eigenvalue reciprocal condition numbers
+	RCondV   []float64 // per-eigenvector sep estimates
+}
+
+// GEEVX is the expert eigendriver (the paper's LA_GEEVX): LA_GEEV plus
+// balancing details (ILO, IHI, SCALE, ABNRM) and reciprocal condition
+// numbers for the eigenvalues (RCONDE) and right eigenvectors (RCONDV).
+func GEEVX[T Scalar](a *Matrix[T], opts ...Opt) (*EigenXResult[T], error) {
+	const routine = "LA_GEEVX"
+	o := apply(opts)
+	if !square(a) {
+		return nil, erinfo(routine, -1, "")
+	}
+	n := a.Rows
+	out := &EigenXResult[T]{W: make([]complex128, n)}
+	if o.left {
+		out.VL = NewMatrix[T](n, n)
+	}
+	if o.right {
+		out.VR = NewMatrix[T](n, n)
+	}
+	var info int
+	switch ad := any(a.Data).(type) {
+	case []float32:
+		wr, wi := make([]float64, n), make([]float64, n)
+		vld, lvl := matData[float32](out.VL)
+		vrd, lvr := matData[float32](out.VR)
+		res := lapack.Geevx[float32](o.left, o.right, n, ad, a.Stride, wr, wi, vld, lvl, vrd, lvr)
+		for i := range out.W {
+			out.W[i] = complex(wr[i], wi[i])
+		}
+		out.ILo, out.IHi, out.Scale, out.ABNrm = res.ILo, res.IHi, res.Scale, res.ABNrm
+		out.RCondE, out.RCondV, info = res.RCondE, res.RCondV, res.Info
+	case []float64:
+		wr, wi := make([]float64, n), make([]float64, n)
+		vld, lvl := matData[float64](out.VL)
+		vrd, lvr := matData[float64](out.VR)
+		res := lapack.Geevx[float64](o.left, o.right, n, ad, a.Stride, wr, wi, vld, lvl, vrd, lvr)
+		for i := range out.W {
+			out.W[i] = complex(wr[i], wi[i])
+		}
+		out.ILo, out.IHi, out.Scale, out.ABNrm = res.ILo, res.IHi, res.Scale, res.ABNrm
+		out.RCondE, out.RCondV, info = res.RCondE, res.RCondV, res.Info
+	case []complex64:
+		vld, lvl := matData[complex64](out.VL)
+		vrd, lvr := matData[complex64](out.VR)
+		res := lapack.GeevxC[complex64](o.left, o.right, n, ad, a.Stride, out.W, vld, lvl, vrd, lvr)
+		out.ILo, out.IHi, out.Scale, out.ABNrm = res.ILo, res.IHi, res.Scale, res.ABNrm
+		out.RCondE, out.RCondV, info = res.RCondE, res.RCondV, res.Info
+	case []complex128:
+		vld, lvl := matData[complex128](out.VL)
+		vrd, lvr := matData[complex128](out.VR)
+		res := lapack.GeevxC[complex128](o.left, o.right, n, ad, a.Stride, out.W, vld, lvl, vrd, lvr)
+		out.ILo, out.IHi, out.Scale, out.ABNrm = res.ILo, res.IHi, res.Scale, res.ABNrm
+		out.RCondE, out.RCondV, info = res.RCondE, res.RCondV, res.Info
+	}
+	return out, erinfo(routine, info, "the QR algorithm failed to converge")
+}

@@ -1,0 +1,164 @@
+package la_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/la"
+)
+
+func TestGEGSAndGEGV(t *testing.T) {
+	n := 8
+	a := randMat[float64](51, n, n)
+	b := randMat[float64](52, n, n)
+	for i := 0; i < n; i++ {
+		b.Set(i, i, b.At(i, i)+3)
+	}
+	res, vsl, vsr, err := la.GEGS(a.Clone(), b.Clone())
+	if err != nil {
+		t.Fatalf("GEGS: %v", err)
+	}
+	if vsl == nil || vsr == nil || len(res.Alpha) != n {
+		t.Fatal("missing outputs")
+	}
+	// Each generalized eigenvalue must satisfy det(A − λB) ≈ 0, checked
+	// via the smallest singular value of A − λB.
+	for i := 0; i < n; i++ {
+		lam := res.Alpha[i] / res.Beta[i]
+		m := la.NewMatrix[complex128](n, n)
+		for c := 0; c < n; c++ {
+			for r := 0; r < n; r++ {
+				m.Set(r, c, complex(a.At(r, c), 0)-lam*complex(b.At(r, c), 0))
+			}
+		}
+		sv, err := la.GESVD(m, la.WithSingularVectors('N', 'N'))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sv.S[n-1] > 1e-7*(1+sv.S[0]) {
+			t.Fatalf("λ=%v: σmin(A−λB) = %v not small", lam, sv.S[n-1])
+		}
+	}
+
+	// GEGV right eigenvectors.
+	resV, _, vr, err := la.GEGV(a.Clone(), b.Clone(), la.WithRight())
+	if err != nil {
+		t.Fatalf("GEGV: %v", err)
+	}
+	for j := 0; j < n; j++ {
+		lam := resV.Alpha[j] / resV.Beta[j]
+		vj := make([]complex128, n)
+		if imag(resV.Alpha[j]) == 0 {
+			for i := 0; i < n; i++ {
+				vj[i] = complex(vr.At(i, j), 0)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				vj[i] = complex(vr.At(i, j), vr.At(i, j+1))
+			}
+		}
+		for i := 0; i < n; i++ {
+			var av, bv complex128
+			for k := 0; k < n; k++ {
+				av += complex(a.At(i, k), 0) * vj[k]
+				bv += complex(b.At(i, k), 0) * vj[k]
+			}
+			if cmplx.Abs(av-lam*bv) > 1e-8*(1+cmplx.Abs(av)) {
+				t.Fatalf("GEGV pair %d row %d residual", j, i)
+			}
+		}
+		if imag(resV.Alpha[j]) != 0 {
+			j++
+		}
+	}
+}
+
+func TestGGSVDWrapper(t *testing.T) {
+	m, p, n := 7, 5, 4
+	a := randMat[float64](61, m, n)
+	b := randMat[float64](62, p, n)
+	res, err := la.GGSVD(a.Clone(), b.Clone())
+	if err != nil {
+		t.Fatalf("GGSVD: %v", err)
+	}
+	if res.K+res.L != n {
+		t.Fatalf("K+L = %d+%d != n=%d", res.K, res.L, n)
+	}
+	// X = R·Qᴴ, A = U·diag(α)·X, B = V·diag(β)·X.
+	x := la.NewMatrix[float64](n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += res.R.At(i, k) * res.Q.At(j, k)
+			}
+			x.Set(i, j, s)
+		}
+	}
+	check := func(label string, rows int, orig, basis *la.Matrix[float64], d []float64) {
+		for i := 0; i < rows; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += basis.At(i, k) * d[k] * x.At(k, j)
+				}
+				if math.Abs(s-orig.At(i, j)) > 1e-9 {
+					t.Fatalf("%s(%d,%d) reconstruction: %v vs %v", label, i, j, s, orig.At(i, j))
+				}
+			}
+		}
+	}
+	check("A", m, a, res.U, res.Alpha)
+	check("B", p, b, res.V, res.Beta)
+}
+
+func TestGEESXWrapper(t *testing.T) {
+	n := 6
+	a := randMat[float64](71, n, n)
+	res, err := la.GEESX(a, la.WithSelect(func(re, im float64) bool { return re > 0 }))
+	if err != nil {
+		t.Fatalf("GEESX: %v", err)
+	}
+	if res.RCondE <= 0 || res.RCondE > 1.000001 {
+		t.Fatalf("rconde %v", res.RCondE)
+	}
+	if res.RCondV < 0 {
+		t.Fatalf("rcondv %v", res.RCondV)
+	}
+	for i := 0; i < res.SDim; i++ {
+		if real(res.W[i]) <= 0 {
+			t.Fatalf("selected eigenvalue %d not positive", i)
+		}
+	}
+}
+
+func TestGEEVXWrapper(t *testing.T) {
+	n := 6
+	// Symmetric ⇒ rconde = 1.
+	a := spdMat[float64](72, n)
+	res, err := la.GEEVX(a, la.WithLeft(), la.WithRight())
+	if err != nil {
+		t.Fatalf("GEEVX: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(res.RCondE[i]-1) > 1e-8 {
+			t.Fatalf("rconde[%d] = %v", i, res.RCondE[i])
+		}
+		if res.RCondV[i] <= 0 {
+			t.Fatalf("rcondv[%d] = %v", i, res.RCondV[i])
+		}
+	}
+	if res.VL == nil || res.VR == nil {
+		t.Fatal("missing eigenvectors")
+	}
+	// Complex path.
+	ac := randMat[complex128](73, n, n)
+	resC, err := la.GEEVX(ac, la.WithRight())
+	if err != nil {
+		t.Fatalf("complex GEEVX: %v", err)
+	}
+	if len(resC.W) != n || resC.VR == nil {
+		t.Fatal("complex outputs missing")
+	}
+}

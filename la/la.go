@@ -1,0 +1,341 @@
+// Package la is the LAPACK90 interface layer: a generic, shape-inferring,
+// workspace-managing front end over the LAPACK computational core, the Go
+// translation of the F90_LAPACK module described in
+//
+//	J. Waśniewski and J. Dongarra, "High Performance Linear Algebra
+//	Package LAPACK90", IPPS 1998.
+//
+// As in the paper, "no distinction is made between single and double
+// precision or between real and complex data types": every routine is
+// generic over float32, float64, complex64 and complex128, covering
+// LAPACK's S/D/C/Z variants with a single exported name. Dimensions are
+// inferred from the array arguments (the paper's assumed-shape arrays),
+// workspace is allocated internally, and argument errors are reported with
+// the LAPACK90 convention (INFO = -i identifies the i-th argument).
+//
+// # Naming and shapes
+//
+// Routines keep their LAPACK driver names: GESV solves a general linear
+// system, POSV a positive definite one, SYEV a symmetric eigenproblem, and
+// so on — the paper's LA_GESV becomes la.GESV. Where the paper's generic
+// interface dispatches on the rank of B (matrix right-hand side B(:,:)
+// versus vector B(:), resolved to SGESV_F90 versus SGESV1_F90), this
+// package provides an explicit pair: GESV takes a *Matrix right-hand side
+// and GESV1 a vector.
+//
+// # Optional arguments
+//
+// The paper's optional output arguments (IPIV, RCOND, FERR, ...) are
+// always computed and returned as ordinary Go results. Optional input
+// arguments (UPLO, TRANS, ITYPE, JOBZ, ...) become variadic options:
+//
+//	w, err := la.SYEV(a, la.WithVectors(), la.WithUpLo(la.Lower))
+//
+// # Error handling
+//
+// Every routine returns an error implementing the ERINFO protocol of the
+// paper's LA_AUXMOD module: a *la.Error carrying the routine name and the
+// LAPACK INFO code. The paper's "if INFO is not present the program stops"
+// behaviour is available through Must / Must1 / Must2, which panic with
+// the ERINFO message:
+//
+//	ipiv := la.Must1(la.GESV(a, b))
+package la
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lapack"
+)
+
+// Scalar is the element-type constraint: float32 | float64 | complex64 |
+// complex128, the four LAPACK type families.
+type Scalar = interface {
+	float32 | float64 | complex64 | complex128
+}
+
+// Matrix is a dense column-major matrix: element (i, j) lives at
+// Data[i + j*Stride]. This is exactly the FORTRAN storage convention, so
+// the interface layer can hand the data to the computational core without
+// copies.
+type Matrix[T Scalar] struct {
+	Rows, Cols int
+	Stride     int // leading dimension, >= max(1, Rows)
+	Data       []T
+}
+
+// NewMatrix allocates a zero rows×cols matrix.
+func NewMatrix[T Scalar](rows, cols int) *Matrix[T] {
+	return &Matrix[T]{
+		Rows:   rows,
+		Cols:   cols,
+		Stride: max(1, rows),
+		Data:   make([]T, max(1, rows)*cols),
+	}
+}
+
+// MatrixFrom builds a rows×cols matrix from a row-major [][]T literal,
+// which reads naturally in source code.
+func MatrixFrom[T Scalar](rows [][]T) *Matrix[T] {
+	r := len(rows)
+	c := 0
+	if r > 0 {
+		c = len(rows[0])
+	}
+	m := NewMatrix[T](r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("la: ragged rows in MatrixFrom")
+		}
+		for j, v := range row {
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix[T]) At(i, j int) T { return m.Data[i+j*m.Stride] }
+
+// Set assigns element (i, j).
+func (m *Matrix[T]) Set(i, j int, v T) { m.Data[i+j*m.Stride] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix[T]) Clone() *Matrix[T] {
+	c := NewMatrix[T](m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		copy(c.Data[j*c.Stride:j*c.Stride+m.Rows], m.Data[j*m.Stride:j*m.Stride+m.Rows])
+	}
+	return c
+}
+
+// Col returns column j as a slice sharing the matrix storage.
+func (m *Matrix[T]) Col(j int) []T { return m.Data[j*m.Stride : j*m.Stride+m.Rows] }
+
+// Error is the LAPACK90 error report (the ERINFO protocol): Routine names
+// the interface routine (e.g. "LA_GESV"); Info carries the LAPACK INFO
+// code, negative for the index of an invalid argument, positive for a
+// numerical failure described by Detail.
+type Error struct {
+	Routine string
+	Info    int
+	Detail  string
+}
+
+func (e *Error) Error() string {
+	if e.Info < 0 {
+		return fmt.Sprintf("%s: argument %d had an illegal value (INFO = %d)", e.Routine, -e.Info, e.Info)
+	}
+	if e.Detail != "" {
+		return fmt.Sprintf("%s: %s (INFO = %d)", e.Routine, e.Detail, e.Info)
+	}
+	return fmt.Sprintf("%s: numerical failure (INFO = %d)", e.Routine, e.Info)
+}
+
+// erinfo builds the error return for a routine; nil when info == 0.
+func erinfo(routine string, info int, detail string) error {
+	if info == 0 {
+		return nil
+	}
+	return &Error{Routine: routine, Info: info, Detail: detail}
+}
+
+// Must panics with the paper's termination message when err is non-nil —
+// the behaviour of a LAPACK90 call without the optional INFO argument.
+func Must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("Terminated in LAPACK90 subroutine: %v", err))
+	}
+}
+
+// Must1 returns its first argument, panicking ERINFO-style on error.
+func Must1[A any](a A, err error) A {
+	Must(err)
+	return a
+}
+
+// Must2 returns its first two arguments, panicking ERINFO-style on error.
+func Must2[A, B any](a A, b B, err error) (A, B) {
+	Must(err)
+	return a, b
+}
+
+// UpLo selects the stored triangle of a symmetric/Hermitian/triangular
+// matrix.
+type UpLo = lapack.Uplo
+
+// UpLo values.
+const (
+	Upper = lapack.Upper
+	Lower = lapack.Lower
+)
+
+// Op selects the operation applied to a matrix operand, the TRANS
+// argument.
+type Op = lapack.Trans
+
+// Op values. Trans means transpose; ConjTrans the conjugate transpose
+// (identical to Trans for real element types).
+const (
+	None      = lapack.NoTrans
+	Trans     = lapack.TransT
+	ConjTrans = lapack.ConjTrans
+)
+
+// options collects every optional LAPACK90 argument; each routine reads
+// only the fields its LAPACK counterpart documents.
+type options struct {
+	uplo     UpLo
+	trans    Op
+	itype    int
+	vectors  bool    // JOBZ = 'V'
+	norm     byte    // NORM for LA_GETRF/LA_LANGE: 'M','1','I','F'
+	rcond    float64 // RCOND threshold for rank decisions
+	fact     lapack.Fact
+	equed    bool // allow equilibration (FACT='E')
+	rng      lapack.EigRange
+	vl, vu   float64
+	il, iu   int
+	abstol   float64
+	kl       int // band structure hints (LA_GBSV, LA_LAGGE)
+	ku       int
+	haveKL   bool
+	schurVec bool // LA_GEES VS wanted
+	left     bool // LA_GEEV VL wanted
+	right    bool // LA_GEEV VR wanted
+	selReal  func(wr, wi float64) bool
+	selCmplx func(w complex128) bool
+	job      lapack.SVDJob // LA_GESVD JOB
+	jobU     lapack.SVDJob
+	jobVT    lapack.SVDJob
+	iseed    [4]int
+	haveSeed bool
+}
+
+func defaults() options {
+	return options{
+		uplo:  Upper,
+		trans: None,
+		itype: 1,
+		norm:  '1',
+		rcond: -1,
+		fact:  lapack.FactNone,
+		rng:   lapack.RangeAll,
+		il:    1,
+		iu:    0, // 0 means "n" at call time
+		jobU:  lapack.SVDSome,
+		jobVT: lapack.SVDSome,
+	}
+}
+
+// Opt is a LAPACK90 optional argument.
+type Opt func(*options)
+
+// WithUpLo selects the referenced triangle (default Upper), the paper's
+// UPLO argument.
+func WithUpLo(u UpLo) Opt { return func(o *options) { o.uplo = u } }
+
+// WithTrans selects op(A) (default None), the paper's TRANS argument.
+func WithTrans(t Op) Opt { return func(o *options) { o.trans = t } }
+
+// WithIType selects the generalized eigenproblem type 1, 2 or 3 (default
+// 1), the paper's ITYPE argument.
+func WithIType(k int) Opt { return func(o *options) { o.itype = k } }
+
+// WithVectors requests eigenvectors (JOBZ = 'V'); without it only
+// eigenvalues are computed.
+func WithVectors() Opt { return func(o *options) { o.vectors = true } }
+
+// WithNorm selects the norm for LA_GETRF's condition estimate and
+// LA_LANGE: 'M', '1', 'I' or 'F' (default '1').
+func WithNorm(n byte) Opt { return func(o *options) { o.norm = n } }
+
+// WithRCond sets the rank-decision threshold of LA_GELSX/LA_GELSS
+// (default: machine epsilon).
+func WithRCond(r float64) Opt { return func(o *options) { o.rcond = r } }
+
+// WithFactored declares that the factored form is supplied (FACT = 'F').
+func WithFactored() Opt { return func(o *options) { o.fact = lapack.FactFact } }
+
+// WithEquilibration allows an expert driver to equilibrate the system
+// (FACT = 'E').
+func WithEquilibration() Opt { return func(o *options) { o.fact = lapack.FactEquilibrate } }
+
+// WithValueRange restricts an expert eigensolver to eigenvalues in
+// (vl, vu] (RANGE = 'V').
+func WithValueRange(vl, vu float64) Opt {
+	return func(o *options) { o.rng, o.vl, o.vu = lapack.RangeValue, vl, vu }
+}
+
+// WithIndexRange restricts an expert eigensolver to the il-th through
+// iu-th smallest eigenvalues, 1-based inclusive (RANGE = 'I').
+func WithIndexRange(il, iu int) Opt {
+	return func(o *options) { o.rng, o.il, o.iu = lapack.RangeIndex, il, iu }
+}
+
+// WithAbsTol sets the bisection convergence tolerance (ABSTOL).
+func WithAbsTol(tol float64) Opt { return func(o *options) { o.abstol = tol } }
+
+// WithKL passes the number of sub-diagonals for LA_GBSV, whose band
+// storage cannot express it unambiguously (the paper's KL argument), and
+// for LA_LAGGE.
+func WithKL(kl int) Opt { return func(o *options) { o.kl, o.haveKL = kl, true } }
+
+// WithKU passes the number of super-diagonals for LA_LAGGE.
+func WithKU(ku int) Opt { return func(o *options) { o.ku = ku } }
+
+// WithSchurVectors requests the Schur vectors from LA_GEES.
+func WithSchurVectors() Opt { return func(o *options) { o.schurVec = true } }
+
+// WithLeft requests left eigenvectors from LA_GEEV.
+func WithLeft() Opt { return func(o *options) { o.left = true } }
+
+// WithRight requests right eigenvectors from LA_GEEV.
+func WithRight() Opt { return func(o *options) { o.right = true } }
+
+// WithSelect supplies LA_GEES's SELECT function for real matrices:
+// eigenvalues with sel(wr, wi) true are moved to the top of the Schur
+// form.
+func WithSelect(sel func(wr, wi float64) bool) Opt {
+	return func(o *options) { o.selReal = sel }
+}
+
+// WithSelectC supplies LA_GEES's SELECT function for complex matrices.
+func WithSelectC(sel func(w complex128) bool) Opt {
+	return func(o *options) { o.selCmplx = sel }
+}
+
+// WithSingularVectors controls which singular vectors LA_GESVD computes
+// ('A' all, 'S' economy, 'N' none) for U and Vᴴ respectively.
+func WithSingularVectors(jobU, jobVT byte) Opt {
+	return func(o *options) { o.jobU, o.jobVT = lapack.SVDJob(jobU), lapack.SVDJob(jobVT) }
+}
+
+// WithSeed seeds LA_LAGGE's random stream (the paper's ISEED argument).
+func WithSeed(iseed [4]int) Opt {
+	return func(o *options) { o.iseed, o.haveSeed = iseed, true }
+}
+
+func apply(opts []Opt) options {
+	o := defaults()
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// square reports whether m is a non-degenerate square matrix.
+func square[T Scalar](m *Matrix[T]) bool {
+	return m != nil && m.Rows == m.Cols && m.Rows >= 0 && m.Stride >= max(1, m.Rows)
+}
+
+// rhsMatch reports whether b is a conforming right-hand side for an n×n
+// system.
+func rhsMatch[T Scalar](n int, b *Matrix[T]) bool {
+	return b != nil && b.Rows == n && b.Cols >= 0 && b.Stride >= max(1, b.Rows)
+}
+
+// epsFor returns the FORTRAN 90 EPSILON of the element type, used by
+// routines with precision-dependent defaults.
+func epsFor[T Scalar]() float64 { return core.Eps[T]() }

@@ -1,0 +1,124 @@
+package la
+
+import "repro/internal/lapack"
+
+// GELS solves over- or under-determined full-rank linear systems
+// op(A)·X = B using a QR or LQ factorization (the paper's LA_GELS).
+//
+// A is m×n and is overwritten by its factorization. B must have
+// max(m, n) rows: on entry its leading rows hold the right-hand sides; on
+// exit its leading rows hold the solution (for the overdetermined case the
+// remaining rows carry residual information). WithTrans selects op(A).
+func GELS[T Scalar](a, b *Matrix[T], opts ...Opt) error {
+	const routine = "LA_GELS"
+	o := apply(opts)
+	if a == nil {
+		return erinfo(routine, -1, "")
+	}
+	if b == nil || b.Rows != max(a.Rows, a.Cols) {
+		return erinfo(routine, -2, "")
+	}
+	info := lapack.Gels(o.trans, a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride)
+	return erinfo(routine, info, "the triangular factor is exactly singular: A does not have full rank")
+}
+
+// GELS1 is LA_GELS with a single right-hand-side vector, which must have
+// length max(m, n).
+func GELS1[T Scalar](a *Matrix[T], b []T, opts ...Opt) error {
+	bm := &Matrix[T]{Rows: len(b), Cols: 1, Stride: max(1, len(b)), Data: b}
+	return GELS(a, bm, opts...)
+}
+
+// GELSX computes the minimum-norm solution to a possibly rank-deficient
+// least squares problem using a complete orthogonal factorization (the
+// paper's LA_GELSX). It returns the effective rank determined against
+// WithRCond (default: machine epsilon) and the column permutation jpvt.
+// B must have max(m, n) rows and is overwritten with the solution.
+func GELSX[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, jpvt []int, err error) {
+	const routine = "LA_GELSX"
+	o := apply(opts)
+	if a == nil {
+		return 0, nil, erinfo(routine, -1, "")
+	}
+	if b == nil || b.Rows != max(a.Rows, a.Cols) {
+		return 0, nil, erinfo(routine, -2, "")
+	}
+	rcond := o.rcond
+	if rcond < 0 {
+		rcond = epsFor[T]()
+	}
+	jpvt = make([]int, a.Cols)
+	rank = lapack.Gelsx(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, jpvt, rcond, b.Data, b.Stride)
+	return rank, jpvt, nil
+}
+
+// GELSS computes the minimum-norm solution to a possibly rank-deficient
+// least squares problem using the singular value decomposition (the
+// paper's LA_GELSS). It returns the effective rank and the singular
+// values of A. B must have max(m, n) rows and is overwritten with the
+// solution.
+func GELSS[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, s []float64, err error) {
+	const routine = "LA_GELSS"
+	o := apply(opts)
+	if a == nil {
+		return 0, nil, erinfo(routine, -1, "")
+	}
+	if b == nil || b.Rows != max(a.Rows, a.Cols) {
+		return 0, nil, erinfo(routine, -2, "")
+	}
+	s = make([]float64, min(a.Rows, a.Cols))
+	rank, info := lapack.Gelss(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
+	return rank, s, erinfo(routine, info, "the SVD iteration failed to converge")
+}
+
+// GGLSE solves the linear equality-constrained least squares problem
+// minimize ‖c − A·x‖₂ subject to B·x = d (the paper's LA_GGLSE). A is
+// m×n, B is p×n; c and d have lengths m and p. The solution x (length n)
+// is returned.
+func GGLSE[T Scalar](a, b *Matrix[T], c, d []T) (x []T, err error) {
+	const routine = "LA_GGLSE"
+	if a == nil {
+		return nil, erinfo(routine, -1, "")
+	}
+	if b == nil || b.Cols != a.Cols {
+		return nil, erinfo(routine, -2, "")
+	}
+	if len(c) != a.Rows {
+		return nil, erinfo(routine, -3, "")
+	}
+	if len(d) != b.Rows {
+		return nil, erinfo(routine, -4, "")
+	}
+	m, n, p := a.Rows, a.Cols, b.Rows
+	if p > n || n > m+p {
+		return nil, erinfo(routine, -2, "")
+	}
+	x = make([]T, n)
+	info := lapack.Gglse(m, n, p, a.Data, a.Stride, b.Data, b.Stride, c, d, x)
+	return x, erinfo(routine, info, "the constraint matrix or the reduced system is rank deficient")
+}
+
+// GGGLM solves the general Gauss–Markov linear model problem
+// minimize ‖y‖₂ subject to d = A·x + B·y (the paper's LA_GGGLM). A is
+// n×m, B is n×p, d has length n; the solutions x (length m) and y
+// (length p) are returned.
+func GGGLM[T Scalar](a, b *Matrix[T], d []T) (x, y []T, err error) {
+	const routine = "LA_GGGLM"
+	if a == nil {
+		return nil, nil, erinfo(routine, -1, "")
+	}
+	if b == nil || b.Rows != a.Rows {
+		return nil, nil, erinfo(routine, -2, "")
+	}
+	if len(d) != a.Rows {
+		return nil, nil, erinfo(routine, -3, "")
+	}
+	n, m, p := a.Rows, a.Cols, b.Cols
+	if m > n || n > m+p {
+		return nil, nil, erinfo(routine, -1, "")
+	}
+	x = make([]T, m)
+	y = make([]T, p)
+	info := lapack.Ggglm(n, m, p, a.Data, a.Stride, b.Data, b.Stride, d, x, y)
+	return x, y, erinfo(routine, info, "the model matrices are rank deficient")
+}

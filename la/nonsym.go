@@ -1,0 +1,204 @@
+package la
+
+import "repro/internal/lapack"
+
+// GEES computes the Schur factorization A = Z·T·Zᴴ of a general matrix
+// (the paper's LA_GEES). On return A holds the (quasi-)triangular Schur
+// form T; with WithSchurVectors the unitary Schur vectors are returned in
+// VS. The eigenvalues are returned as complex numbers regardless of the
+// element type — the Go rendering of the paper's "ω is either WR, WI or
+// W". With WithSelect (real) or WithSelectC (complex), the selected
+// eigenvalues are reordered to the top left of T and SDim reports their
+// count.
+//
+// For real element types T is in real Schur form: block upper triangular
+// with 1×1 and standardized 2×2 diagonal blocks, the latter carrying
+// complex conjugate eigenvalue pairs.
+func GEES[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vs *Matrix[T], sdim int, err error) {
+	const routine = "LA_GEES"
+	o := apply(opts)
+	if !square(a) {
+		return nil, nil, 0, erinfo(routine, -1, "")
+	}
+	n := a.Rows
+	w = make([]complex128, n)
+	wantVS := o.schurVec
+	if wantVS {
+		vs = NewMatrix[T](n, n)
+	}
+	var info int
+	switch data := any(a.Data).(type) {
+	case []float32:
+		wr := make([]float64, n)
+		wi := make([]float64, n)
+		var vsd []float32
+		ldvs := 1
+		if wantVS {
+			vsd = any(vs.Data).([]float32)
+			ldvs = vs.Stride
+		} else {
+			vsd = make([]float32, n*n)
+			ldvs = max(1, n)
+		}
+		sdim, info = lapack.Gees[float32](true, o.selReal, n, data, a.Stride, wr, wi, vsd, ldvs)
+		for i := range w {
+			w[i] = complex(wr[i], wi[i])
+		}
+	case []float64:
+		wr := make([]float64, n)
+		wi := make([]float64, n)
+		var vsd []float64
+		ldvs := 1
+		if wantVS {
+			vsd = any(vs.Data).([]float64)
+			ldvs = vs.Stride
+		} else {
+			vsd = make([]float64, n*n)
+			ldvs = max(1, n)
+		}
+		sdim, info = lapack.Gees[float64](true, o.selReal, n, data, a.Stride, wr, wi, vsd, ldvs)
+		for i := range w {
+			w[i] = complex(wr[i], wi[i])
+		}
+	case []complex64:
+		sel := o.selCmplx
+		if sel == nil && o.selReal != nil {
+			sr := o.selReal
+			sel = func(z complex128) bool { return sr(real(z), imag(z)) }
+		}
+		var vsd []complex64
+		ldvs := 1
+		if wantVS {
+			vsd = any(vs.Data).([]complex64)
+			ldvs = vs.Stride
+		} else {
+			vsd = make([]complex64, n*n)
+			ldvs = max(1, n)
+		}
+		sdim, info = lapack.GeesC[complex64](true, sel, n, data, a.Stride, w, vsd, ldvs)
+	case []complex128:
+		sel := o.selCmplx
+		if sel == nil && o.selReal != nil {
+			sr := o.selReal
+			sel = func(z complex128) bool { return sr(real(z), imag(z)) }
+		}
+		var vsd []complex128
+		ldvs := 1
+		if wantVS {
+			vsd = any(vs.Data).([]complex128)
+			ldvs = vs.Stride
+		} else {
+			vsd = make([]complex128, n*n)
+			ldvs = max(1, n)
+		}
+		sdim, info = lapack.GeesC[complex128](true, sel, n, data, a.Stride, w, vsd, ldvs)
+	}
+	return w, vs, sdim, erinfo(routine, info, "the QR algorithm failed to converge")
+}
+
+// GEEV computes the eigenvalues and, with WithLeft/WithRight, the left
+// and/or right eigenvectors of a general matrix (the paper's LA_GEEV).
+// Eigenvalues are returned as complex numbers (the paper's WR/WI/W).
+//
+// For real element types the eigenvectors use the LAPACK real packing: a
+// real eigenvalue's vector occupies one column of VR/VL; a complex pair
+// λ = wr ± i·wi at positions (j, j+1) stores Re(v) in column j and Im(v)
+// in column j+1 (the vector for the conjugate is its conjugate). A is
+// overwritten.
+func GEEV[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vl, vr *Matrix[T], err error) {
+	const routine = "LA_GEEV"
+	o := apply(opts)
+	if !square(a) {
+		return nil, nil, nil, erinfo(routine, -1, "")
+	}
+	n := a.Rows
+	w = make([]complex128, n)
+	if o.left {
+		vl = NewMatrix[T](n, n)
+	}
+	if o.right {
+		vr = NewMatrix[T](n, n)
+	}
+	var info int
+	switch data := any(a.Data).(type) {
+	case []float32:
+		wr := make([]float64, n)
+		wi := make([]float64, n)
+		vld, lvl := matData[float32](vl)
+		vrd, lvr := matData[float32](vr)
+		info = lapack.Geev[float32](o.left, o.right, n, data, a.Stride, wr, wi, vld, lvl, vrd, lvr)
+		for i := range w {
+			w[i] = complex(wr[i], wi[i])
+		}
+	case []float64:
+		wr := make([]float64, n)
+		wi := make([]float64, n)
+		vld, lvl := matData[float64](vl)
+		vrd, lvr := matData[float64](vr)
+		info = lapack.Geev[float64](o.left, o.right, n, data, a.Stride, wr, wi, vld, lvl, vrd, lvr)
+		for i := range w {
+			w[i] = complex(wr[i], wi[i])
+		}
+	case []complex64:
+		vld, lvl := matData[complex64](vl)
+		vrd, lvr := matData[complex64](vr)
+		info = lapack.GeevC[complex64](o.left, o.right, n, data, a.Stride, w, vld, lvl, vrd, lvr)
+	case []complex128:
+		vld, lvl := matData[complex128](vl)
+		vrd, lvr := matData[complex128](vr)
+		info = lapack.GeevC[complex128](o.left, o.right, n, data, a.Stride, w, vld, lvl, vrd, lvr)
+	}
+	return w, vl, vr, erinfo(routine, info, "the QR algorithm failed to converge")
+}
+
+// matData extracts the typed backing slice and stride of an optional
+// matrix for handing to the computational core.
+func matData[E Scalar, T Scalar](m *Matrix[T]) ([]E, int) {
+	if m == nil {
+		return nil, 1
+	}
+	return any(m.Data).([]E), m.Stride
+}
+
+// SVDResult carries the outputs of LA_GESVD.
+type SVDResult[T Scalar] struct {
+	S  []float64  // singular values, descending
+	U  *Matrix[T] // left singular vectors, per WithSingularVectors
+	VT *Matrix[T] // right singular vectors (rows of Vᴴ), per WithSingularVectors
+}
+
+// GESVD computes the singular value decomposition A = U·Σ·Vᴴ (the paper's
+// LA_GESVD). WithSingularVectors selects how much of U and Vᴴ to form
+// (default 'S', 'S': the economy factors). A is destroyed.
+func GESVD[T Scalar](a *Matrix[T], opts ...Opt) (*SVDResult[T], error) {
+	const routine = "LA_GESVD"
+	o := apply(opts)
+	if a == nil {
+		return nil, erinfo(routine, -1, "")
+	}
+	m, n := a.Rows, a.Cols
+	mn := min(m, n)
+	res := &SVDResult[T]{S: make([]float64, mn)}
+	var u, vt *Matrix[T]
+	var udata, vtdata []T
+	ldu, ldvt := 1, 1
+	if o.jobU != lapack.SVDNone {
+		cols := mn
+		if o.jobU == lapack.SVDAll {
+			cols = m
+		}
+		u = NewMatrix[T](m, cols)
+		udata, ldu = u.Data, u.Stride
+	}
+	if o.jobVT != lapack.SVDNone {
+		rows := mn
+		if o.jobVT == lapack.SVDAll {
+			rows = n
+		}
+		vt = NewMatrix[T](rows, n)
+		vtdata, ldvt = vt.Data, vt.Stride
+	}
+	info := lapack.Gesvd(o.jobU, o.jobVT, m, n, a.Data, a.Stride, res.S, udata, ldu, vtdata, ldvt)
+	res.U, res.VT = u, vt
+	return res, erinfo(routine, info, "the SVD iteration failed to converge")
+}
