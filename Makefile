@@ -1,0 +1,25 @@
+# Pre-merge gate for the repository (referenced from README "Install / build").
+# `make ci` is what a PR must keep green: static checks, a full build, the
+# whole test suite, and the race detector over the threaded BLAS engine.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/blas/
+
+# Quick performance snapshot (see README "Performance" for the full story).
+bench:
+	$(GO) test -bench 'Gemm|GetrfLarge' -benchtime 5x -run '^$$' .

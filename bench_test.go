@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/f77"
+	"repro/internal/blas"
 	"repro/internal/lapack"
 	"repro/la"
 )
@@ -337,4 +338,77 @@ func BenchmarkAblationGEQRF(b *testing.B) {
 			lapack.Geqr2(m, n, aw, m, tau, work)
 		}
 	})
+}
+
+// ---- Level-3 engine benchmarks (PR 1): packed/threaded GEMM vs the naive
+// seed kernel, and the blocked LU riding on it. BENCH_blas.json is the
+// machine-readable form, regenerated with `go run ./cmd/la90bench -blas`.
+
+func benchGemmEngine(b *testing.B, n int, naive bool) {
+	rng := lapack.NewRng([4]int{n, 7, 7, 7})
+	a0 := make([]float64, n*n)
+	b0 := make([]float64, n*n)
+	lapack.Larnv(2, rng, n*n, a0)
+	lapack.Larnv(2, rng, n*n, b0)
+	c := make([]float64, n*n)
+	// Untimed warm-up so -benchtime 1x measures steady state, not page
+	// faults on the freshly allocated operands.
+	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a0, n, b0, n, 0.0, c, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if naive {
+			blas.GemmNaive(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a0, n, b0, n, 0.0, c, n)
+		} else {
+			blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a0, n, b0, n, 0.0, c, n)
+		}
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+// BenchmarkGemm compares the packed engine (with its worker pool, sized by
+// GOMAXPROCS or blas.SetThreads) against the retained naive kernel across
+// the size sweep of the acceptance criteria.
+func BenchmarkGemm(b *testing.B) {
+	for _, n := range []int{64, 256, 512, 1024} {
+		b.Run("packed/N="+itoa(n), func(b *testing.B) { benchGemmEngine(b, n, false) })
+		b.Run("naive/N="+itoa(n), func(b *testing.B) { benchGemmEngine(b, n, true) })
+	}
+}
+
+// BenchmarkGemmParallel pins the worker budget explicitly so the scaling of
+// the macro-tile fan-out is visible regardless of GOMAXPROCS.
+func BenchmarkGemmParallel(b *testing.B) {
+	for _, threads := range []int{1, 2, 4} {
+		for _, n := range []int{256, 512, 1024} {
+			b.Run("T="+itoa(threads)+"/N="+itoa(n), func(b *testing.B) {
+				old := blas.SetThreads(threads)
+				defer blas.SetThreads(old)
+				benchGemmEngine(b, n, false)
+			})
+		}
+	}
+}
+
+// BenchmarkGetrfLarge tracks the blocked LU driver, whose trailing updates
+// are GEMM-shaped and therefore ride the packed engine.
+func BenchmarkGetrfLarge(b *testing.B) {
+	for _, n := range []int{64, 256, 512, 1024} {
+		rng := lapack.NewRng([4]int{n, 3, 3, 3})
+		a0 := make([]float64, n*n)
+		lapack.Larnv(2, rng, n*n, a0)
+		b.Run("N="+itoa(n), func(b *testing.B) {
+			aw := make([]float64, n*n)
+			ipiv := make([]int, n)
+			copy(aw, a0)
+			lapack.Getrf(n, n, aw, n, ipiv) // untimed warm-up
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(aw, a0)
+				lapack.Getrf(n, n, aw, n, ipiv)
+			}
+			flops := 2.0 / 3.0 * float64(n) * float64(n) * float64(n)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
 }

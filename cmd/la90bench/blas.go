@@ -1,0 +1,112 @@
+// The -blas mode: benchmark the packed, cache-blocked, multi-goroutine
+// Level-3 engine against the retained naive reference kernel and write the
+// results as machine-readable JSON (BENCH_blas.json), so successive PRs can
+// track the performance trajectory of the substrate the LA_GESV stack sits
+// on. Sizes mirror BenchmarkGemm/BenchmarkGetrfLarge in bench_test.go.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/lapack"
+)
+
+type blasResult struct {
+	Kernel  string  `json:"kernel"` // gemm-packed | gemm-naive | getrf
+	Dtype   string  `json:"dtype"`
+	N       int     `json:"n"`
+	Seconds float64 `json:"seconds"` // minimum over repetitions
+	GFLOPS  float64 `json:"gflops"`
+}
+
+type blasReport struct {
+	Go      string       `json:"go"`
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	CPUs    int          `json:"cpus"`
+	Threads int          `json:"threads"` // blas worker budget during the run
+	Results []blasResult `json:"results"`
+	Speedup float64      `json:"gemm_speedup_n1024"` // packed vs naive, float64
+}
+
+func minTime(reps int, f func()) float64 {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		f()
+		d := time.Since(t0).Seconds()
+		if r == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func runBlas() {
+	rep := blasReport{
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Threads: blas.Threads(),
+	}
+	sizes := []int{64, 256, 512, 1024}
+	var packed1024, naive1024 float64
+	for _, n := range sizes {
+		rng := lapack.NewRng([4]int{n, 7, 7, 7})
+		a := make([]float64, n*n)
+		b := make([]float64, n*n)
+		lapack.Larnv(2, rng, n*n, a)
+		lapack.Larnv(2, rng, n*n, b)
+		c := make([]float64, n*n)
+		flops := 2 * float64(n) * float64(n) * float64(n)
+
+		blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n) // warm-up
+		s := minTime(*reps, func() {
+			blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+		})
+		rep.Results = append(rep.Results, blasResult{"gemm-packed", "float64", n, s, flops / s / 1e9})
+		if n == 1024 {
+			packed1024 = s
+		}
+
+		s = minTime(*reps, func() {
+			blas.GemmNaive(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+		})
+		rep.Results = append(rep.Results, blasResult{"gemm-naive", "float64", n, s, flops / s / 1e9})
+		if n == 1024 {
+			naive1024 = s
+		}
+
+		ipiv := make([]int, n)
+		luFlops := 2.0 / 3.0 * float64(n) * float64(n) * float64(n)
+		s = minTime(*reps, func() {
+			copy(c, a)
+			lapack.Getrf(n, n, c, n, ipiv)
+		})
+		rep.Results = append(rep.Results, blasResult{"getrf", "float64", n, s, luFlops / s / 1e9})
+	}
+	if naive1024 > 0 {
+		rep.Speedup = naive1024 / packed1024
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*outFlag, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "la90bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-12s %6s %12s %10s\n", "kernel", "N", "seconds", "GFLOPS")
+	for _, r := range rep.Results {
+		fmt.Printf("%-12s %6d %12.6f %10.2f\n", r.Kernel, r.N, r.Seconds, r.GFLOPS)
+	}
+	fmt.Printf("GEMM N=1024 packed vs naive speedup: %.2fx (written to %s)\n", rep.Speedup, *outFlag)
+}

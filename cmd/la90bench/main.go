@@ -7,6 +7,7 @@
 //	la90bench -example3            # the paper's N=500, NRHS=2 run
 //	la90bench -sweep               # wrapper-overhead sweep across N
 //	la90bench -n 800 -nrhs 4       # custom single run
+//	la90bench -blas                # Level-3 engine sweep -> BENCH_blas.json
 package main
 
 import (
@@ -22,6 +23,8 @@ import (
 var (
 	example3 = flag.Bool("example3", false, "run exactly the paper's Example 3 (N=500, NRHS=2)")
 	sweep    = flag.Bool("sweep", false, "sweep N and print the wrapper-overhead table")
+	blasSw   = flag.Bool("blas", false, "benchmark the Level-3 engine and write machine-readable results")
+	outFlag  = flag.String("out", "BENCH_blas.json", "output path for -blas results")
 	nFlag    = flag.Int("n", 500, "matrix order")
 	nrhsFlag = flag.Int("nrhs", 2, "number of right-hand sides")
 	reps     = flag.Int("reps", 3, "repetitions (minimum time reported)")
@@ -30,6 +33,8 @@ var (
 func main() {
 	flag.Parse()
 	switch {
+	case *blasSw:
+		runBlas()
 	case *sweep:
 		runSweep()
 	default:

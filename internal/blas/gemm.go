@@ -1,0 +1,337 @@
+package blas
+
+import "repro/internal/core"
+
+// Packed, cache-blocked GEMM engine (the BLIS/GotoBLAS decomposition, see
+// tuning.go for the block-size rationale). The driver Gemm in level3.go
+// applies the beta scaling and dispatches here for large products; this file
+// only ever *accumulates* alpha·op(A)·op(B) into C.
+//
+// Loop structure, outermost first:
+//
+//	jc over n in nc slabs   — pick a column slab of C and op(B)
+//	pc over k in kc ranks   — pack op(B)(pc:pc+kb, jc:jc+nb) into bPack
+//	ic over m in mc tiles   — pack alpha·op(A)(ic:ic+mb, pc:pc+kb) into aPack
+//	                          (fanned across the worker pool; tiles of C are
+//	                          disjoint so workers never share output)
+//	jr over nb in nr panels — B micro-panel, L1-resident
+//	ir over mb in mr panels — A micro-panel, register micro-kernel
+//
+// Both packed operands store micro-panels contiguously in the order the
+// micro-kernel consumes them: aPack holds mr consecutive rows interleaved
+// k-major (panel step p is ap[p·mr : p·mr+mr]), bPack holds nr consecutive
+// columns interleaved k-major. alpha is folded into aPack during packing and
+// op(·) transposition/conjugation is resolved during packing, so one
+// micro-kernel serves all nine (transA, transB) combinations.
+//
+// The micro-tile geometry (mr×nr) is chosen per element type: float64 and
+// float32 use the wide AVX2+FMA assembly kernels on amd64 hardware that
+// supports them (see gemmkernel_amd64.s), everything else the portable 4×4
+// register kernel below.
+
+// microGeom returns the register micro-tile geometry for element type T,
+// matching the kernel macroKernel will dispatch to.
+func microGeom[T core.Scalar]() (mr, nr int) {
+	var z T
+	switch any(z).(type) {
+	case float64:
+		if useAsmF64 {
+			return asmF64MR, asmF64NR
+		}
+	case float32:
+		if useAsmF32 {
+			return asmF32MR, asmF32NR
+		}
+	}
+	return gemmMR, gemmNR
+}
+
+// hasFastKernel reports whether element type T has an assembly micro-kernel
+// on this CPU; Gemm only routes problems through the packed engine without
+// one when blocking pays for itself anyway (huge sizes or multiple workers).
+func hasFastKernel[T core.Scalar]() bool {
+	var z T
+	switch any(z).(type) {
+	case float64:
+		return useAsmF64
+	case float32:
+		return useAsmF32
+	}
+	return false
+}
+
+// gemmEngine accumulates C += alpha·op(A)·op(B) (beta already applied by the
+// caller) using packed panels, blocked loops and, for large enough problems,
+// the worker pool. alpha must be non-zero and m, n, k positive.
+func gemmEngine[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	mc, kc, nc := blockFor[T]()
+	mr, nr := microGeom[T]()
+	mc = max(mr, mc-mc%mr)
+	workers := Threads()
+	if workers > 1 && m*n*k < gemmParallelMinVol {
+		workers = 1
+	}
+
+	bPack := make([]T, kc*roundUp(min(nc, n), nr))
+	for jc := 0; jc < n; jc += nc {
+		nb := min(nc, n-jc)
+		nbR := roundUp(nb, nr)
+		for pc := 0; pc < k; pc += kc {
+			kb := min(kc, k-pc)
+			packB(bPack[:kb*nbR], nr, transB, b, ldb, pc, kb, jc, nb)
+
+			nTiles := (m + mc - 1) / mc
+			parallelRange(nTiles, workers, func(lo, hi int) {
+				aPack := make([]T, kb*roundUp(min(mc, m), mr))
+				for t := lo; t < hi; t++ {
+					ic := t * mc
+					mb := min(mc, m-ic)
+					ap := aPack[:kb*roundUp(mb, mr)]
+					packA(ap, mr, transA, alpha, a, lda, ic, mb, pc, kb)
+					macroKernel(kb, mb, nb, mr, nr, ap, bPack, c[ic+jc*ldc:], ldc)
+				}
+			})
+		}
+	}
+}
+
+func roundUp(v, unit int) int {
+	return (v + unit - 1) / unit * unit
+}
+
+// packA packs alpha·op(A)(i0:i0+mb, p0:p0+kb) into mr-row micro-panels,
+// zero-padding the ragged last panel so full-tile kernels never branch on
+// row count. dst must have length kb*roundUp(mb, mr).
+func packA[T core.Scalar](dst []T, mr int, trans Trans, alpha T, a []T, lda int, i0, mb, p0, kb int) {
+	for r0 := 0; r0 < mb; r0 += mr {
+		panel := dst[r0*kb : r0*kb+mr*kb]
+		rows := min(mr, mb-r0)
+		if rows < mr {
+			clear(panel)
+		}
+		switch trans {
+		case NoTrans:
+			// op(A)(i, p) = A(i, p): each panel step reads a contiguous
+			// run down column p0+p.
+			for p := 0; p < kb; p++ {
+				src := a[i0+r0+(p0+p)*lda:]
+				d := panel[p*mr:]
+				for r := 0; r < rows; r++ {
+					d[r] = alpha * src[r]
+				}
+			}
+		case TransT:
+			for r := 0; r < rows; r++ {
+				src := a[p0+(i0+r0+r)*lda:]
+				for p := 0; p < kb; p++ {
+					panel[p*mr+r] = alpha * src[p]
+				}
+			}
+		default: // ConjTrans
+			for r := 0; r < rows; r++ {
+				src := a[p0+(i0+r0+r)*lda:]
+				for p := 0; p < kb; p++ {
+					panel[p*mr+r] = alpha * core.Conj(src[p])
+				}
+			}
+		}
+	}
+}
+
+// packB packs op(B)(p0:p0+kb, j0:j0+nb) into nr-column micro-panels with the
+// same zero-padding convention as packA. dst must have length
+// kb*roundUp(nb, nr).
+func packB[T core.Scalar](dst []T, nr int, trans Trans, b []T, ldb int, p0, kb, j0, nb int) {
+	for c0 := 0; c0 < nb; c0 += nr {
+		panel := dst[c0*kb : c0*kb+nr*kb]
+		cols := min(nr, nb-c0)
+		if cols < nr {
+			clear(panel)
+		}
+		switch trans {
+		case NoTrans:
+			for c := 0; c < cols; c++ {
+				src := b[p0+(j0+c0+c)*ldb:]
+				for p := 0; p < kb; p++ {
+					panel[p*nr+c] = src[p]
+				}
+			}
+		case TransT:
+			// op(B)(p, j) = B(j, p): panel step p reads a contiguous run
+			// down column p0+p starting at row j0+c0.
+			for p := 0; p < kb; p++ {
+				src := b[j0+c0+(p0+p)*ldb:]
+				d := panel[p*nr:]
+				for c := 0; c < cols; c++ {
+					d[c] = src[c]
+				}
+			}
+		default: // ConjTrans
+			for p := 0; p < kb; p++ {
+				src := b[j0+c0+(p0+p)*ldb:]
+				d := panel[p*nr:]
+				for c := 0; c < cols; c++ {
+					d[c] = core.Conj(src[c])
+				}
+			}
+		}
+	}
+}
+
+// macroKernel sweeps the register micro-kernel over one packed (mb×kb)·(kb×nb)
+// product, accumulating into the C tile at c (leading dimension ldc). Full
+// tiles go to the fastest kernel for the element type; ragged edge tiles use
+// the portable variable-size kernel.
+func macroKernel[T core.Scalar](kb, mb, nb, mr, nr int, aPack, bPack []T, c []T, ldc int) {
+	switch cc := any(c).(type) {
+	case []float64:
+		if useAsmF64 {
+			macroKernelF64(kb, mb, nb, any(aPack).([]float64), any(bPack).([]float64), cc, ldc)
+			return
+		}
+	case []float32:
+		if useAsmF32 {
+			macroKernelF32(kb, mb, nb, any(aPack).([]float32), any(bPack).([]float32), cc, ldc)
+			return
+		}
+	}
+	for jr := 0; jr < nb; jr += nr {
+		bp := bPack[jr*kb : jr*kb+nr*kb]
+		cols := min(nr, nb-jr)
+		for ir := 0; ir < mb; ir += mr {
+			ap := aPack[ir*kb : ir*kb+mr*kb]
+			rows := min(mr, mb-ir)
+			ct := c[ir+jr*ldc:]
+			if rows == gemmMR && cols == gemmNR {
+				microKernel4x4(kb, ap, bp, ct, ldc)
+			} else {
+				microEdge(kb, mr, nr, ap, bp, ct, ldc, rows, cols)
+			}
+		}
+	}
+}
+
+func macroKernelF64(kb, mb, nb int, aPack, bPack []float64, c []float64, ldc int) {
+	const mr, nr = asmF64MR, asmF64NR
+	for jr := 0; jr < nb; jr += nr {
+		bp := bPack[jr*kb : jr*kb+nr*kb]
+		cols := min(nr, nb-jr)
+		for ir := 0; ir < mb; ir += mr {
+			ap := aPack[ir*kb : ir*kb+mr*kb]
+			rows := min(mr, mb-ir)
+			ct := c[ir+jr*ldc:]
+			if rows == mr && cols == nr {
+				dgemmKernel8x4(int64(kb), &ap[0], &bp[0], &ct[0], int64(ldc))
+			} else {
+				microEdge(kb, mr, nr, ap, bp, ct, ldc, rows, cols)
+			}
+		}
+	}
+}
+
+func macroKernelF32(kb, mb, nb int, aPack, bPack []float32, c []float32, ldc int) {
+	const mr, nr = asmF32MR, asmF32NR
+	for jr := 0; jr < nb; jr += nr {
+		bp := bPack[jr*kb : jr*kb+nr*kb]
+		cols := min(nr, nb-jr)
+		for ir := 0; ir < mb; ir += mr {
+			ap := aPack[ir*kb : ir*kb+mr*kb]
+			rows := min(mr, mb-ir)
+			ct := c[ir+jr*ldc:]
+			if rows == mr && cols == nr {
+				sgemmKernel16x4(int64(kb), &ap[0], &bp[0], &ct[0], int64(ldc))
+			} else {
+				microEdge(kb, mr, nr, ap, bp, ct, ldc, rows, cols)
+			}
+		}
+	}
+}
+
+// microKernel4x4 accumulates a full 4×4 register tile: C(0:4, 0:4) +=
+// Σ_p ap[p·4 : p·4+4] ⊗ bp[p·4 : p·4+4]. The sixteen accumulators live in
+// locals for the whole k loop — 8 loads per 32 flops and no stores.
+func microKernel4x4[T core.Scalar](kb int, ap, bp []T, c []T, ldc int) {
+	var c00, c01, c02, c03 T
+	var c10, c11, c12, c13 T
+	var c20, c21, c22, c23 T
+	var c30, c31, c32, c33 T
+	ap = ap[: 4*kb : 4*kb]
+	bp = bp[: 4*kb : 4*kb]
+	for p := 0; p < kb; p++ {
+		av := ap[4*p : 4*p+4 : 4*p+4]
+		bv := bp[4*p : 4*p+4 : 4*p+4]
+		a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
+		b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+		c00 += a0 * b0
+		c10 += a1 * b0
+		c20 += a2 * b0
+		c30 += a3 * b0
+		c01 += a0 * b1
+		c11 += a1 * b1
+		c21 += a2 * b1
+		c31 += a3 * b1
+		c02 += a0 * b2
+		c12 += a1 * b2
+		c22 += a2 * b2
+		c32 += a3 * b2
+		c03 += a0 * b3
+		c13 += a1 * b3
+		c23 += a2 * b3
+		c33 += a3 * b3
+	}
+	col := c[0*ldc : 0*ldc+4 : 0*ldc+4]
+	col[0] += c00
+	col[1] += c10
+	col[2] += c20
+	col[3] += c30
+	col = c[1*ldc : 1*ldc+4 : 1*ldc+4]
+	col[0] += c01
+	col[1] += c11
+	col[2] += c21
+	col[3] += c31
+	col = c[2*ldc : 2*ldc+4 : 2*ldc+4]
+	col[0] += c02
+	col[1] += c12
+	col[2] += c22
+	col[3] += c32
+	col = c[3*ldc : 3*ldc+4 : 3*ldc+4]
+	col[0] += c03
+	col[1] += c13
+	col[2] += c23
+	col[3] += c33
+}
+
+// microEdge is the variable-size kernel for ragged tiles at the right and
+// bottom borders of a macro-tile: it accumulates the full padded mr×nr tile
+// in a local buffer and scatters only the live rows×cols region into C.
+func microEdge[T core.Scalar](kb, mr, nr int, ap, bp []T, c []T, ldc, rows, cols int) {
+	var accBuf [maxMR * maxNR]T
+	acc := accBuf[: mr*nr : mr*nr]
+	for p := 0; p < kb; p++ {
+		av := ap[p*mr : p*mr+mr]
+		bv := bp[p*nr : p*nr+nr]
+		for j := 0; j < cols; j++ {
+			bj := bv[j]
+			if bj == 0 {
+				continue
+			}
+			arow := acc[j*mr : j*mr+mr]
+			for i := 0; i < rows; i++ {
+				arow[i] += av[i] * bj
+			}
+		}
+	}
+	for j := 0; j < cols; j++ {
+		col := c[j*ldc:]
+		arow := acc[j*mr:]
+		for i := 0; i < rows; i++ {
+			col[i] += arow[i]
+		}
+	}
+}
+
+// Upper bounds over every kernel geometry, sizing microEdge's accumulator.
+const (
+	maxMR = 16
+	maxNR = 4
+)

@@ -1,0 +1,70 @@
+//go:build amd64
+
+package blas
+
+import "os"
+
+// AVX2+FMA micro-kernels for the packed GEMM engine. The packing layout is
+// the generic one from gemm.go (mr rows / nr columns interleaved k-major);
+// these kernels only replace the innermost register tile, so every transpose,
+// conjugation, edge and threading case still goes through the shared Go code.
+//
+// Geometry: float64 uses an 8×4 tile (eight YMM accumulators, two YMM loads
+// of A and four broadcasts of B per k step), float32 a 16×4 tile with the
+// identical register plan. Both stay well inside the sixteen YMM registers,
+// so the k loop runs load/broadcast/FMA with no spills and no stores.
+
+const (
+	asmF64MR = 8
+	asmF64NR = 4
+	asmF32MR = 16
+	asmF32NR = 4
+)
+
+// dgemmKernel8x4 accumulates C(0:8, 0:4) += Σ_p ap[p·8 : p·8+8] ⊗
+// bp[p·4 : p·4+4] with C column-major at ldc. Implemented in
+// gemmkernel_amd64.s; requires AVX2 and FMA3.
+//
+//go:noescape
+func dgemmKernel8x4(k int64, ap, bp, c *float64, ldc int64)
+
+// sgemmKernel16x4 is the float32 analogue over a 16×4 tile.
+//
+//go:noescape
+func sgemmKernel16x4(k int64, ap, bp, c *float32, ldc int64)
+
+// cpuidAsm executes CPUID with the given leaf/subleaf.
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvAsm reads XCR0, reporting which register states the OS saves.
+func xgetbvAsm() (eax, edx uint32)
+
+// haveAVX2FMA detects, once at startup, whether the vector kernels may run:
+// the CPU must advertise AVX, AVX2 and FMA3, and the OS must save the YMM
+// state (OSXSAVE set and XCR0 bits 1–2 enabled).
+var haveAVX2FMA = func() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, cx, _ := cpuidAsm(1, 0)
+	const fma = 1 << 12
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if cx&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	if xcr0, _ := xgetbvAsm(); xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, bx, _, _ := cpuidAsm(7, 0)
+	return bx&(1<<5) != 0 // AVX2
+}()
+
+// useAsmF64/useAsmF32 gate the assembly kernels; LA90_NO_ASM=1 forces the
+// portable Go kernels (for debugging and for apples-to-apples comparisons of
+// the blocking itself).
+var (
+	useAsmF64 = haveAVX2FMA && os.Getenv("LA90_NO_ASM") == ""
+	useAsmF32 = useAsmF64
+)

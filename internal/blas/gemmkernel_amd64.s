@@ -1,0 +1,151 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Register plan shared by both kernels:
+//   CX  k counter          SI packed A panel     DI packed B panel
+//   DX  C column cursor    R8 ldc in bytes
+//   Y0..Y7  the 2×4 grid of accumulators (two vectors per C column)
+//   Y8,Y9   the current A micro-panel step
+//   Y10..Y13 broadcast B elements
+// The k loop touches no memory beyond the two packed panels and performs
+// eight FMAs per step; C is read and written only in the epilogue.
+
+// func dgemmKernel8x4(k int64, ap, bp, c *float64, ldc int64)
+TEXT ·dgemmKernel8x4(SB), NOSPLIT, $0-40
+	MOVQ k+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $3, R8
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+dloop:
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VBROADCASTSD (DI), Y10
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 8(DI), Y11
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 16(DI), Y12
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VBROADCASTSD 24(DI), Y13
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+	ADDQ         $64, SI
+	ADDQ         $32, DI
+	DECQ         CX
+	JNZ          dloop
+
+	VADDPD  (DX), Y0, Y0
+	VMOVUPD Y0, (DX)
+	VADDPD  32(DX), Y1, Y1
+	VMOVUPD Y1, 32(DX)
+	ADDQ    R8, DX
+	VADDPD  (DX), Y2, Y2
+	VMOVUPD Y2, (DX)
+	VADDPD  32(DX), Y3, Y3
+	VMOVUPD Y3, 32(DX)
+	ADDQ    R8, DX
+	VADDPD  (DX), Y4, Y4
+	VMOVUPD Y4, (DX)
+	VADDPD  32(DX), Y5, Y5
+	VMOVUPD Y5, 32(DX)
+	ADDQ    R8, DX
+	VADDPD  (DX), Y6, Y6
+	VMOVUPD Y6, (DX)
+	VADDPD  32(DX), Y7, Y7
+	VMOVUPD Y7, 32(DX)
+	VZEROUPPER
+	RET
+
+// func sgemmKernel16x4(k int64, ap, bp, c *float32, ldc int64)
+TEXT ·sgemmKernel16x4(SB), NOSPLIT, $0-40
+	MOVQ k+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+sloop:
+	VMOVUPS      (SI), Y8
+	VMOVUPS      32(SI), Y9
+	VBROADCASTSS (DI), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS 4(DI), Y11
+	VFMADD231PS  Y8, Y11, Y2
+	VFMADD231PS  Y9, Y11, Y3
+	VBROADCASTSS 8(DI), Y12
+	VFMADD231PS  Y8, Y12, Y4
+	VFMADD231PS  Y9, Y12, Y5
+	VBROADCASTSS 12(DI), Y13
+	VFMADD231PS  Y8, Y13, Y6
+	VFMADD231PS  Y9, Y13, Y7
+	ADDQ         $64, SI
+	ADDQ         $16, DI
+	DECQ         CX
+	JNZ          sloop
+
+	VADDPS  (DX), Y0, Y0
+	VMOVUPS Y0, (DX)
+	VADDPS  32(DX), Y1, Y1
+	VMOVUPS Y1, 32(DX)
+	ADDQ    R8, DX
+	VADDPS  (DX), Y2, Y2
+	VMOVUPS Y2, (DX)
+	VADDPS  32(DX), Y3, Y3
+	VMOVUPS Y3, 32(DX)
+	ADDQ    R8, DX
+	VADDPS  (DX), Y4, Y4
+	VMOVUPS Y4, (DX)
+	VADDPS  32(DX), Y5, Y5
+	VMOVUPS Y5, 32(DX)
+	ADDQ    R8, DX
+	VADDPS  (DX), Y6, Y6
+	VMOVUPS Y6, (DX)
+	VADDPS  32(DX), Y7, Y7
+	VMOVUPS Y7, 32(DX)
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

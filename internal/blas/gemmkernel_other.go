@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package blas
+
+// Portable stand-ins for the amd64 assembly micro-kernels. The geometry
+// constants keep the shared engine code compiling; the kernel bodies are
+// unreachable because useAsmF64/useAsmF32 are constant false, which also
+// lets the compiler dead-code-eliminate the dispatch branches.
+
+const (
+	asmF64MR = 8
+	asmF64NR = 4
+	asmF32MR = 16
+	asmF32NR = 4
+)
+
+const (
+	useAsmF64 = false
+	useAsmF32 = false
+)
+
+func dgemmKernel8x4(k int64, ap, bp, c *float64, ldc int64)  { panic("blas: no asm kernel") }
+func sgemmKernel16x4(k int64, ap, bp, c *float32, ldc int64) { panic("blas: no asm kernel") }

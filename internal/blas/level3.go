@@ -2,9 +2,35 @@ package blas
 
 import "repro/internal/core"
 
+// Level-3 kernels. Gemm dispatches between a naive low-latency kernel for
+// small products and the packed, cache-blocked, optionally multi-goroutine
+// engine in gemm.go for large ones. Trsm, Syrk/Herk and Symm/Hemm are
+// decomposed into diagonal-block work plus GEMM-shaped updates so they ride
+// the same engine; Trmm, Syr2k and Her2k keep their direct kernels (their
+// LAPACK-side callers only ever see small or skinny operands).
+
+// scaleMatrix applies C = beta*C over an m×n column-major block, writing
+// zeros (not 0*C) when beta == 0 so NaNs and Infs are cleared exactly as the
+// reference BLAS specifies.
+func scaleMatrix[T core.Scalar](m, n int, beta T, c []T, ldc int) {
+	for j := 0; j < n; j++ {
+		col := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range col {
+				col[i] = 0
+			}
+		} else {
+			for i := range col {
+				col[i] *= beta
+			}
+		}
+	}
+}
+
 // Gemm computes C = alpha*op(A)*op(B) + beta*C where op(A) is m×k and op(B)
-// is k×n. Loop orders are chosen so the innermost loop always walks down a
-// column (unit stride in column-major storage).
+// is k×n. Small products run the naive unit-stride kernel (see GemmNaive);
+// everything above gemmPackedMinVol runs the packed blocked engine, which
+// fans macro-tiles across the worker pool when Threads() > 1.
 func Gemm[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
 	if m == 0 || n == 0 {
 		return
@@ -20,30 +46,53 @@ func Gemm[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda 
 	checkLD(rowsA, lda)
 	checkLD(rowsB, ldb)
 
-	scaleC := func() {
-		for j := 0; j < n; j++ {
-			col := c[j*ldc : j*ldc+m]
-			if beta == 0 {
-				for i := range col {
-					col[i] = 0
-				}
-			} else {
-				for i := range col {
-					col[i] *= beta
-				}
-			}
-		}
+	// The beta scaling runs exactly once, up front, whether or not a product
+	// is accumulated afterwards; both kernels below only ever add to C.
+	if beta != core.FromFloat[T](1) {
+		scaleMatrix(m, n, beta, c, ldc)
 	}
 	if alpha == 0 || k == 0 {
-		if beta != core.FromFloat[T](1) {
-			scaleC()
-		}
 		return
 	}
-	if beta != core.FromFloat[T](1) {
-		scaleC()
+	if m*n*k < gemmPackedMinVol {
+		gemmAccumNaive(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
 	}
+	gemmEngine(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
 
+// GemmNaive is the retained reference kernel: the seed's column-walking
+// triple loop with unit-stride inner loops and no packing, blocking or
+// threading. It is kept as the small-size path of Gemm, as the oracle the
+// property tests cross-check the packed engine against, and as the baseline
+// the benchmarks measure speedups over. Semantics are identical to Gemm.
+func GemmNaive[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	checkLD(m, ldc)
+	rowsA, rowsB := m, k
+	if transA != NoTrans {
+		rowsA = k
+	}
+	if transB != NoTrans {
+		rowsB = n
+	}
+	checkLD(rowsA, lda)
+	checkLD(rowsB, ldb)
+	if beta != core.FromFloat[T](1) {
+		scaleMatrix(m, n, beta, c, ldc)
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	gemmAccumNaive(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// gemmAccumNaive accumulates C += alpha*op(A)*op(B) (beta already applied).
+// Loop orders are chosen so the innermost loop always walks down a column
+// (unit stride in column-major storage).
+func gemmAccumNaive[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
 	cjA := func(v T) T { return v }
 	if transA == ConjTrans {
 		cjA = core.Conj[T]
@@ -141,6 +190,67 @@ func symHemm[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda 
 	checkLD(na, lda)
 	checkLD(m, ldb)
 	checkLD(m, ldc)
+	if na <= level3BlockSize || m*n*na < gemmPackedMinVol {
+		symHemmBase(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc, conj)
+		return
+	}
+
+	// Blocked path: scale C by beta once, then express the symmetric operand
+	// as diagonal blocks (handled by the direct kernel) plus off-diagonal
+	// blocks, each of which contributes two plain GEMM updates — the stored
+	// block once as-is and once (conjugate-)transposed for its mirror image.
+	one := core.FromFloat[T](1)
+	if beta != one {
+		scaleMatrix(m, n, beta, c, ldc)
+	}
+	if alpha == 0 {
+		return
+	}
+	ct := TransT
+	if conj {
+		ct = ConjTrans
+	}
+	nb := level3BlockSize
+	if side == Left {
+		for i := 0; i < m; i += nb {
+			ib := min(nb, m-i)
+			symHemmBase(Left, uplo, ib, n, alpha, a[i+i*lda:], lda, b[i:], ldb, one, c[i:], ldc, conj)
+			for j := i + ib; j < m; j += nb {
+				jb := min(nb, m-j)
+				if uplo == Lower {
+					blk := a[j+i*lda:] // A[J,I], jb×ib; A[I,J] is its (conj-)transpose
+					Gemm(ct, NoTrans, ib, n, jb, alpha, blk, lda, b[j:], ldb, one, c[i:], ldc)
+					Gemm(NoTrans, NoTrans, jb, n, ib, alpha, blk, lda, b[i:], ldb, one, c[j:], ldc)
+				} else {
+					blk := a[i+j*lda:] // A[I,J], ib×jb
+					Gemm(NoTrans, NoTrans, ib, n, jb, alpha, blk, lda, b[j:], ldb, one, c[i:], ldc)
+					Gemm(ct, NoTrans, jb, n, ib, alpha, blk, lda, b[i:], ldb, one, c[j:], ldc)
+				}
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i += nb {
+		ib := min(nb, n-i)
+		symHemmBase(Right, uplo, m, ib, alpha, a[i+i*lda:], lda, b[i*ldb:], ldb, one, c[i*ldc:], ldc, conj)
+		for j := i + ib; j < n; j += nb {
+			jb := min(nb, n-j)
+			if uplo == Lower {
+				blk := a[j+i*lda:] // A[J,I], jb×ib
+				Gemm(NoTrans, NoTrans, m, ib, jb, alpha, b[j*ldb:], ldb, blk, lda, one, c[i*ldc:], ldc)
+				Gemm(NoTrans, ct, m, jb, ib, alpha, b[i*ldb:], ldb, blk, lda, one, c[j*ldc:], ldc)
+			} else {
+				blk := a[i+j*lda:] // A[I,J], ib×jb
+				Gemm(NoTrans, ct, m, ib, jb, alpha, b[j*ldb:], ldb, blk, lda, one, c[i*ldc:], ldc)
+				Gemm(NoTrans, NoTrans, m, jb, ib, alpha, b[i*ldb:], ldb, blk, lda, one, c[j*ldc:], ldc)
+			}
+		}
+	}
+}
+
+// symHemmBase is the direct (unblocked) Symm/Hemm kernel; the blocked path
+// above reuses it for the diagonal blocks of A.
+func symHemmBase[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int, conj bool) {
 	sym := func(i, j int) T {
 		var v T
 		if (uplo == Upper) == (i <= j) {
@@ -198,11 +308,39 @@ func symHemm[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda 
 
 // Syrk computes the symmetric rank-k update C = alpha*A*Aᵀ + beta*C
 // (trans == NoTrans) or C = alpha*Aᵀ*A + beta*C on the uplo triangle of C.
+// Large updates are split into diagonal blocks (direct kernel) and
+// off-diagonal rectangles routed through Gemm.
 func Syrk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, beta T, c []T, ldc int) {
 	if n == 0 {
 		return
 	}
 	checkLD(n, ldc)
+	if n*n*k < gemmPackedMinVol {
+		syrkBase(uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
+		return
+	}
+	nb := level3BlockSize
+	for j := 0; j < n; j += nb {
+		jb := min(nb, n-j)
+		if trans == NoTrans {
+			syrkBase(uplo, trans, jb, k, alpha, a[j:], lda, beta, c[j+j*ldc:], ldc)
+			if uplo == Lower && j+jb < n {
+				Gemm(NoTrans, TransT, n-j-jb, jb, k, alpha, a[j+jb:], lda, a[j:], lda, beta, c[j+jb+j*ldc:], ldc)
+			} else if uplo == Upper && j > 0 {
+				Gemm(NoTrans, TransT, j, jb, k, alpha, a, lda, a[j:], lda, beta, c[j*ldc:], ldc)
+			}
+		} else {
+			syrkBase(uplo, trans, jb, k, alpha, a[j*lda:], lda, beta, c[j+j*ldc:], ldc)
+			if uplo == Lower && j+jb < n {
+				Gemm(TransT, NoTrans, n-j-jb, jb, k, alpha, a[(j+jb)*lda:], lda, a[j*lda:], lda, beta, c[j+jb+j*ldc:], ldc)
+			} else if uplo == Upper && j > 0 {
+				Gemm(TransT, NoTrans, j, jb, k, alpha, a, lda, a[j*lda:], lda, beta, c[j*ldc:], ldc)
+			}
+		}
+	}
+}
+
+func syrkBase[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, beta T, c []T, ldc int) {
 	for j := 0; j < n; j++ {
 		lo, hi := 0, j+1
 		if uplo == Lower {
@@ -231,12 +369,41 @@ func Syrk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda i
 
 // Herk computes the Hermitian rank-k update C = alpha*A*Aᴴ + beta*C
 // (trans == NoTrans) or C = alpha*Aᴴ*A + beta*C, with real alpha and beta,
-// on the uplo triangle of C.
+// on the uplo triangle of C. Blocked exactly like Syrk, with the diagonal
+// blocks keeping the forced-real diagonal of the direct kernel.
 func Herk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha float64, a []T, lda int, beta float64, c []T, ldc int) {
 	if n == 0 {
 		return
 	}
 	checkLD(n, ldc)
+	if n*n*k < gemmPackedMinVol {
+		herkBase(uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
+		return
+	}
+	al := core.FromFloat[T](alpha)
+	bt := core.FromFloat[T](beta)
+	nb := level3BlockSize
+	for j := 0; j < n; j += nb {
+		jb := min(nb, n-j)
+		if trans == NoTrans {
+			herkBase(uplo, trans, jb, k, alpha, a[j:], lda, beta, c[j+j*ldc:], ldc)
+			if uplo == Lower && j+jb < n {
+				Gemm(NoTrans, ConjTrans, n-j-jb, jb, k, al, a[j+jb:], lda, a[j:], lda, bt, c[j+jb+j*ldc:], ldc)
+			} else if uplo == Upper && j > 0 {
+				Gemm(NoTrans, ConjTrans, j, jb, k, al, a, lda, a[j:], lda, bt, c[j*ldc:], ldc)
+			}
+		} else {
+			herkBase(uplo, trans, jb, k, alpha, a[j*lda:], lda, beta, c[j+j*ldc:], ldc)
+			if uplo == Lower && j+jb < n {
+				Gemm(ConjTrans, NoTrans, n-j-jb, jb, k, al, a[(j+jb)*lda:], lda, a[j*lda:], lda, bt, c[j+jb+j*ldc:], ldc)
+			} else if uplo == Upper && j > 0 {
+				Gemm(ConjTrans, NoTrans, j, jb, k, al, a, lda, a[j*lda:], lda, bt, c[j*ldc:], ldc)
+			}
+		}
+	}
+}
+
+func herkBase[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha float64, a []T, lda int, beta float64, c []T, ldc int) {
 	al := core.FromFloat[T](alpha)
 	bt := core.FromFloat[T](beta)
 	for j := 0; j < n; j++ {
@@ -448,7 +615,10 @@ func Trmm[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int,
 }
 
 // Trsm solves op(A)*X = alpha*B (side == Left) or X*op(A) = alpha*B
-// (side == Right) for X, overwriting B, where A is triangular.
+// (side == Right) for X, overwriting B, where A is triangular. Triangles
+// larger than level3BlockSize are split recursively so the bulk of the work
+// becomes rectangular GEMM updates on the packed engine; only the diagonal
+// blocks run the direct substitution kernel.
 func Trsm[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
 	if m == 0 || n == 0 {
 		return
@@ -459,6 +629,77 @@ func Trsm[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int,
 	}
 	checkLD(na, lda)
 	checkLD(m, ldb)
+	trsmRec(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
+}
+
+// trsmRec splits the triangular operand A = [A11 .; A21/A12 A22] and reduces
+// the solve to two half-size solves plus one GEMM update, choosing the solve
+// order the triangle's data dependencies require. alpha is applied to each
+// half of B exactly once: by the first solve touching it or by the GEMM's
+// beta, matching the reference xTRSM update B2 := alpha*B2 - A21*X1.
+func trsmRec[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
+	nt := m
+	if side == Right {
+		nt = n
+	}
+	if nt <= level3BlockSize {
+		trsmBase(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
+		return
+	}
+	one := core.FromFloat[T](1)
+	n1 := nt / 2 / gemmMR * gemmMR
+	n2 := nt - n1
+	a11 := a
+	a21 := a[n1:]
+	a12 := a[n1*lda:]
+	a22 := a[n1+n1*lda:]
+	if side == Left {
+		b1 := b
+		b2 := b[n1:]
+		switch {
+		case uplo == Lower && trans == NoTrans:
+			trsmRec(side, uplo, trans, diag, n1, n, alpha, a11, lda, b1, ldb)
+			Gemm(NoTrans, NoTrans, n2, n, n1, -one, a21, lda, b1, ldb, alpha, b2, ldb)
+			trsmRec(side, uplo, trans, diag, n2, n, one, a22, lda, b2, ldb)
+		case uplo == Upper && trans == NoTrans:
+			trsmRec(side, uplo, trans, diag, n2, n, alpha, a22, lda, b2, ldb)
+			Gemm(NoTrans, NoTrans, n1, n, n2, -one, a12, lda, b2, ldb, alpha, b1, ldb)
+			trsmRec(side, uplo, trans, diag, n1, n, one, a11, lda, b1, ldb)
+		case uplo == Lower: // op(A) = A{T,H} is upper triangular
+			trsmRec(side, uplo, trans, diag, n2, n, alpha, a22, lda, b2, ldb)
+			Gemm(trans, NoTrans, n1, n, n2, -one, a21, lda, b2, ldb, alpha, b1, ldb)
+			trsmRec(side, uplo, trans, diag, n1, n, one, a11, lda, b1, ldb)
+		default: // Upper, op(A) lower triangular
+			trsmRec(side, uplo, trans, diag, n1, n, alpha, a11, lda, b1, ldb)
+			Gemm(trans, NoTrans, n2, n, n1, -one, a12, lda, b1, ldb, alpha, b2, ldb)
+			trsmRec(side, uplo, trans, diag, n2, n, one, a22, lda, b2, ldb)
+		}
+		return
+	}
+	b1 := b
+	b2 := b[n1*ldb:]
+	switch {
+	case uplo == Upper && trans == NoTrans:
+		trsmRec(side, uplo, trans, diag, m, n1, alpha, a11, lda, b1, ldb)
+		Gemm(NoTrans, NoTrans, m, n2, n1, -one, b1, ldb, a12, lda, alpha, b2, ldb)
+		trsmRec(side, uplo, trans, diag, m, n2, one, a22, lda, b2, ldb)
+	case uplo == Lower && trans == NoTrans:
+		trsmRec(side, uplo, trans, diag, m, n2, alpha, a22, lda, b2, ldb)
+		Gemm(NoTrans, NoTrans, m, n1, n2, -one, b2, ldb, a21, lda, alpha, b1, ldb)
+		trsmRec(side, uplo, trans, diag, m, n1, one, a11, lda, b1, ldb)
+	case uplo == Upper: // op(A) lower triangular
+		trsmRec(side, uplo, trans, diag, m, n2, alpha, a22, lda, b2, ldb)
+		Gemm(NoTrans, trans, m, n1, n2, -one, b2, ldb, a12, lda, alpha, b1, ldb)
+		trsmRec(side, uplo, trans, diag, m, n1, one, a11, lda, b1, ldb)
+	default: // Lower, op(A) upper triangular
+		trsmRec(side, uplo, trans, diag, m, n1, alpha, a11, lda, b1, ldb)
+		Gemm(NoTrans, trans, m, n2, n1, -one, b1, ldb, a21, lda, alpha, b2, ldb)
+		trsmRec(side, uplo, trans, diag, m, n2, one, a22, lda, b2, ldb)
+	}
+}
+
+// trsmBase is the direct substitution kernel used on diagonal blocks.
+func trsmBase[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
 	if side == Left {
 		for j := 0; j < n; j++ {
 			col := b[j*ldb:]

@@ -1,0 +1,80 @@
+package blas
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Threading model for the Level-3 engine. Parallelism is applied at exactly
+// one point — the mc-tall macro-tile loop of the packed GEMM (gemm.go) — so
+// worker goroutines write disjoint tiles of C and share only read-only packed
+// panels. Each tile's floating-point evaluation order is fixed by the blocking
+// parameters alone, never by the worker count, so parallel and serial runs
+// produce bit-identical results.
+//
+// The worker budget defaults to runtime.GOMAXPROCS(0), may be pinned with the
+// LA90_NUM_THREADS environment variable at startup, and can be changed at any
+// time with SetThreads. Kernels below gemmParallelMinVol always run serially
+// so small-matrix latency does not pay goroutine hand-off costs.
+
+var numThreads atomic.Int32
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if s := os.Getenv("LA90_NUM_THREADS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	numThreads.Store(int32(n))
+}
+
+// SetThreads sets the maximum number of goroutines Level-3 kernels may use
+// and returns the previous setting. n < 1 leaves the setting unchanged;
+// n == 1 forces fully serial execution. Safe to call concurrently.
+func SetThreads(n int) int {
+	old := int(numThreads.Load())
+	if n >= 1 {
+		numThreads.Store(int32(n))
+	}
+	return old
+}
+
+// Threads returns the current Level-3 worker budget.
+func Threads() int {
+	return int(numThreads.Load())
+}
+
+// parallelRange partitions [0, n) into one contiguous chunk per worker and
+// runs body(lo, hi) for each chunk, on up to `workers` goroutines. The
+// partition depends only on n and workers — never on scheduling — and with
+// workers <= 1 the body runs inline on the calling goroutine, so serial and
+// parallel execution visit identical index ranges. body is called at most
+// once per worker, letting it amortize per-worker scratch (packed-panel
+// buffers) across its whole chunk.
+func parallelRange(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

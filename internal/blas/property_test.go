@@ -206,3 +206,107 @@ func TestQuickTrmvTrsvInverse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The packed, blocked, optionally parallel Gemm engine must agree with the
+// retained naive reference kernel on arbitrary well-formed inputs: random
+// shapes, padded leading dimensions (lda > rows), every trans/conj
+// combination, and both the serial and the multi-goroutine configuration.
+// The engine is invoked directly (below its size cutoff Gemm would dispatch
+// to the naive kernel and the comparison would be vacuous).
+func TestQuickGemmPackedMatchesNaive(t *testing.T) {
+	trs := []Trans{NoTrans, TransT, ConjTrans}
+	f := func(seed int64, mRaw, nRaw, kRaw, cfg uint8) bool {
+		m := int(mRaw%90) + 1
+		n := int(nRaw%90) + 1
+		k := int(kRaw%90) + 1
+		ta := trs[int(cfg)%3]
+		tb := trs[int(cfg/3)%3]
+		r := rand.New(rand.NewSource(seed))
+		rowsA, colsA := m, k
+		if ta != NoTrans {
+			rowsA, colsA = k, m
+		}
+		rowsB, colsB := k, n
+		if tb != NoTrans {
+			rowsB, colsB = n, k
+		}
+		lda := rowsA + int(cfg%5) // exercise lda > rows padding
+		ldb := rowsB + int(cfg%3)
+		ldc := m + int(cfg%4)
+		a := smallVec(r, lda*colsA)
+		b := smallVec(r, ldb*colsB)
+		c0 := smallVec(r, ldc*n)
+		alpha := 1 + math.Mod(float64(seed%7), 3)
+
+		want := append([]float64(nil), c0...)
+		GemmNaive(ta, tb, m, n, k, alpha, a, lda, b, ldb, 1, want, ldc)
+
+		tolerance := 1e-11 * float64(k+1)
+		for _, threads := range []int{1, 4} {
+			old := SetThreads(threads)
+			got := append([]float64(nil), c0...)
+			gemmEngine(ta, tb, m, n, k, alpha, a, lda, b, ldb, got, ldc)
+			SetThreads(old)
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > tolerance*(1+math.Abs(want[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Same cross-check for the complex instantiation, which always runs the
+// portable micro-kernel but shares all packing and threading code paths.
+func TestQuickGemmPackedMatchesNaiveComplex(t *testing.T) {
+	trs := []Trans{NoTrans, TransT, ConjTrans}
+	f := func(seed int64, mRaw, nRaw, kRaw, cfg uint8) bool {
+		m := int(mRaw%48) + 1
+		n := int(nRaw%48) + 1
+		k := int(kRaw%48) + 1
+		ta := trs[int(cfg)%3]
+		tb := trs[int(cfg/3)%3]
+		r := rand.New(rand.NewSource(seed))
+		rowsA, colsA := m, k
+		if ta != NoTrans {
+			rowsA, colsA = k, m
+		}
+		rowsB, colsB := k, n
+		if tb != NoTrans {
+			rowsB, colsB = n, k
+		}
+		lda := rowsA + int(cfg%5)
+		ldb := rowsB + int(cfg%3)
+		ldc := m + int(cfg%4)
+		cvec := func(n int) []complex128 {
+			v := make([]complex128, n)
+			for i := range v {
+				v[i] = complex(r.NormFloat64(), r.NormFloat64())
+			}
+			return v
+		}
+		a := cvec(lda * colsA)
+		b := cvec(ldb * colsB)
+		c0 := cvec(ldc * n)
+		alpha := complex(1.5, -0.5)
+
+		want := append([]complex128(nil), c0...)
+		GemmNaive(ta, tb, m, n, k, alpha, a, lda, b, ldb, 1, want, ldc)
+		got := append([]complex128(nil), c0...)
+		gemmEngine(ta, tb, m, n, k, alpha, a, lda, b, ldb, got, ldc)
+		tolerance := 1e-11 * float64(k+1)
+		for i := range got {
+			if core.Abs(got[i]-want[i]) > tolerance*(1+core.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}

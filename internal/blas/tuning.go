@@ -1,0 +1,117 @@
+package blas
+
+import (
+	"os"
+	"strconv"
+)
+
+// Cache-blocking parameters for the packed Level-3 engine (gemm.go), following
+// the three-level BLIS/GotoBLAS decomposition: C is updated in nc-wide column
+// slabs, each slab in kc-deep rank updates, each rank update in mc-tall row
+// tiles, and every (mc×kc)·(kc×nc) product runs a gemmMR×gemmNR register
+// micro-kernel over packed, contiguous panels.
+//
+// The counts below are element counts for float64 and are scaled by element
+// size in blockFor, so the byte footprint of a packed panel is roughly
+// type-independent:
+//
+//   - kc·nr·8  ≈ 8 KiB  — one B micro-panel stays resident in L1,
+//   - mc·kc·8  ≈ 256 KiB — the packed A block stays resident in L2,
+//   - kc·nc·8  ≈ 2 MiB  — the packed B slab targets L3.
+//
+// They can be overridden per process with SetBlockSizes or the environment
+// variables LA90_GEMM_MC / LA90_GEMM_KC / LA90_GEMM_NC (element counts for
+// float64, applied at package init).
+const (
+	// gemmMR×gemmNR is the register micro-tile: the micro-kernel keeps the
+	// full mr×nr accumulator block in locals so the hot loop performs
+	// mr+nr loads per 2·mr·nr flops and no stores.
+	gemmMR = 4
+	gemmNR = 4
+)
+
+var (
+	gemmMC = 256  // rows of the packed A block (multiple of gemmMR)
+	gemmKC = 256  // shared depth of the packed A and B panels
+	gemmNC = 2048 // columns of the packed B slab (multiple of gemmNR)
+
+	// gemmPackedMinVol is the m·n·k volume below which Gemm stays on the
+	// naive column-walking kernel: packing two operands only pays for
+	// itself once each packed element is reused across enough micro-tiles.
+	// 80³ keeps every n ≤ 64 problem (and the skinny updates of small
+	// factorizations) on the low-latency path.
+	gemmPackedMinVol = 80 * 80 * 80
+
+	// gemmParallelMinVol is the m·n·k volume below which the engine does
+	// not fan macro-tiles out to worker goroutines even when Threads() > 1;
+	// below it, goroutine hand-off costs more than the tiles it would hide.
+	gemmParallelMinVol = 192 * 192 * 192
+
+	// level3BlockSize is the diagonal block size used when Trsm, Syrk/Herk
+	// and Symm/Hemm are decomposed into GEMM-shaped updates, and the
+	// problem size below which they stay on their unblocked kernels.
+	level3BlockSize = 64
+)
+
+func init() {
+	for _, v := range []struct {
+		env string
+		dst *int
+	}{
+		{"LA90_GEMM_MC", &gemmMC},
+		{"LA90_GEMM_KC", &gemmKC},
+		{"LA90_GEMM_NC", &gemmNC},
+	} {
+		if s := os.Getenv(v.env); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				*v.dst = n
+			}
+		}
+	}
+	normalizeBlockSizes()
+}
+
+func normalizeBlockSizes() {
+	gemmMC = max(gemmMR, gemmMC-gemmMC%gemmMR)
+	gemmNC = max(gemmNR, gemmNC-gemmNC%gemmNR)
+	gemmKC = max(4, gemmKC)
+}
+
+// SetBlockSizes overrides the packed-engine cache block sizes (element counts
+// for float64; other types are scaled by element width automatically). A zero
+// or negative argument keeps the current value. mc and nc are rounded down to
+// multiples of the register micro-tile. It returns the previous (mc, kc, nc)
+// so tests and tuning sweeps can restore them. Not safe to call concurrently
+// with running kernels.
+func SetBlockSizes(mc, kc, nc int) (omc, okc, onc int) {
+	omc, okc, onc = gemmMC, gemmKC, gemmNC
+	if mc > 0 {
+		gemmMC = mc
+	}
+	if kc > 0 {
+		gemmKC = kc
+	}
+	if nc > 0 {
+		gemmNC = nc
+	}
+	normalizeBlockSizes()
+	return omc, okc, onc
+}
+
+// blockFor returns the (mc, kc, nc) block sizes for element type T, scaling
+// the float64-calibrated globals so packed-panel byte footprints stay roughly
+// constant across the four scalar types: float32 panels get 2× the elements,
+// complex128 panels half.
+func blockFor[T any]() (mc, kc, nc int) {
+	var z T
+	scale := func(v, unit int) int {
+		switch any(z).(type) {
+		case float32:
+			v *= 2
+		case complex128:
+			v /= 2
+		}
+		return max(unit, v-v%unit)
+	}
+	return scale(gemmMC, gemmMR), max(4, scale(gemmKC, 1)), scale(gemmNC, gemmNR)
+}
