@@ -1,15 +1,18 @@
 # Pre-merge gate for the repository (referenced from README "Install / build").
 # `make ci` is what a PR must keep green: static checks, a full build, the
-# whole test suite, and the race detector over the threaded BLAS engine.
+# whole test suite, the race detector over the threaded BLAS engine and the
+# lookahead-pipelined factorizations, and a one-iteration bench smoke run so
+# the benchmark harness itself cannot rot.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench benchsmoke
 
-ci: vet build test race
+ci: vet build test race benchsmoke
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet ./internal/lapack/...
 
 build:
 	$(GO) build ./...
@@ -18,8 +21,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/blas/
+	$(GO) test -race ./internal/blas/ ./internal/lapack/
+
+# Compile-and-run check for the benchmarks: one iteration each of the GEMM
+# engine and factorization benchmarks, no timing claims.
+benchsmoke:
+	$(GO) test -run=NONE -bench='Getrf|Gemm' -benchtime=1x .
 
 # Quick performance snapshot (see README "Performance" for the full story).
 bench:
-	$(GO) test -bench 'Gemm|GetrfLarge' -benchtime 5x -run '^$$' .
+	$(GO) test -bench 'Gemm|Getrf|Potrf|Geqrf' -benchtime 5x -run '^$$' .

@@ -390,9 +390,11 @@ func BenchmarkGemmParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkGetrfLarge tracks the blocked LU driver, whose trailing updates
-// are GEMM-shaped and therefore ride the packed engine.
-func BenchmarkGetrfLarge(b *testing.B) {
+// BenchmarkGetrf tracks the lookahead-pipelined LU driver with its
+// recursive panels; the trailing updates are GEMM-shaped and ride the
+// packed engine. BENCH_lapack.json is the machine-readable form,
+// regenerated with `go run ./cmd/la90bench -lapack`.
+func BenchmarkGetrf(b *testing.B) {
 	for _, n := range []int{64, 256, 512, 1024} {
 		rng := lapack.NewRng([4]int{n, 3, 3, 3})
 		a0 := make([]float64, n*n)
@@ -408,6 +410,59 @@ func BenchmarkGetrfLarge(b *testing.B) {
 				lapack.Getrf(n, n, aw, n, ipiv)
 			}
 			flops := 2.0 / 3.0 * float64(n) * float64(n) * float64(n)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
+// BenchmarkPotrf tracks the recursive Cholesky, whose flops are one Trsm
+// and one Herk per level — all Level 3.
+func BenchmarkPotrf(b *testing.B) {
+	for _, n := range []int{64, 256, 512, 1024} {
+		rng := lapack.NewRng([4]int{n, 5, 5, 5})
+		g := make([]float64, n*n)
+		lapack.Larnv(2, rng, n*n, g)
+		// a0 := G·Gᵀ + n·I is symmetric positive definite.
+		a0 := make([]float64, n*n)
+		blas.Gemm(blas.NoTrans, blas.TransT, n, n, n, 1.0, g, n, g, n, 0.0, a0, n)
+		for i := 0; i < n; i++ {
+			a0[i+i*n] += float64(n)
+		}
+		b.Run("N="+itoa(n), func(b *testing.B) {
+			aw := make([]float64, n*n)
+			copy(aw, a0)
+			lapack.Potrf(lapack.Lower, n, aw, n) // untimed warm-up
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(aw, a0)
+				if info := lapack.Potrf(lapack.Lower, n, aw, n); info != 0 {
+					b.Fatalf("info=%d", info)
+				}
+			}
+			flops := 1.0 / 3.0 * float64(n) * float64(n) * float64(n)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
+// BenchmarkGeqrf tracks the blocked Householder QR: panel Geqr2 plus a
+// Larft/Larfb pair per panel, both now routed through the GEMM engine.
+func BenchmarkGeqrf(b *testing.B) {
+	for _, n := range []int{64, 256, 512, 1024} {
+		rng := lapack.NewRng([4]int{n, 9, 9, 9})
+		a0 := make([]float64, n*n)
+		lapack.Larnv(2, rng, n*n, a0)
+		b.Run("N="+itoa(n), func(b *testing.B) {
+			aw := make([]float64, n*n)
+			tau := make([]float64, n)
+			copy(aw, a0)
+			lapack.Geqrf(n, n, aw, n, tau) // untimed warm-up
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(aw, a0)
+				lapack.Geqrf(n, n, aw, n, tau)
+			}
+			flops := 4.0 / 3.0 * float64(n) * float64(n) * float64(n)
 			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
 		})
 	}

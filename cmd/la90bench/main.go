@@ -8,6 +8,7 @@
 //	la90bench -sweep               # wrapper-overhead sweep across N
 //	la90bench -n 800 -nrhs 4       # custom single run
 //	la90bench -blas                # Level-3 engine sweep -> BENCH_blas.json
+//	la90bench -lapack              # factorization sweep  -> BENCH_lapack.json
 package main
 
 import (
@@ -24,7 +25,8 @@ var (
 	example3 = flag.Bool("example3", false, "run exactly the paper's Example 3 (N=500, NRHS=2)")
 	sweep    = flag.Bool("sweep", false, "sweep N and print the wrapper-overhead table")
 	blasSw   = flag.Bool("blas", false, "benchmark the Level-3 engine and write machine-readable results")
-	outFlag  = flag.String("out", "BENCH_blas.json", "output path for -blas results")
+	lapackSw = flag.Bool("lapack", false, "benchmark the blocked factorizations and write machine-readable results")
+	outFlag  = flag.String("out", "", "output path (default BENCH_blas.json for -blas, BENCH_lapack.json for -lapack)")
 	nFlag    = flag.Int("n", 500, "matrix order")
 	nrhsFlag = flag.Int("nrhs", 2, "number of right-hand sides")
 	reps     = flag.Int("reps", 3, "repetitions (minimum time reported)")
@@ -35,6 +37,8 @@ func main() {
 	switch {
 	case *blasSw:
 		runBlas()
+	case *lapackSw:
+		runLapack()
 	case *sweep:
 		runSweep()
 	default:

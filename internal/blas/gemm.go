@@ -1,6 +1,10 @@
 package blas
 
-import "repro/internal/core"
+import (
+	"sync"
+
+	"repro/internal/core"
+)
 
 // Packed, cache-blocked GEMM engine (the BLIS/GotoBLAS decomposition, see
 // tuning.go for the block-size rationale). The driver Gemm in level3.go
@@ -60,6 +64,32 @@ func hasFastKernel[T core.Scalar]() bool {
 	return false
 }
 
+// packScratch recycles packing buffers and diagonal-block scratch across
+// Level-3 calls. Factorizations issue thousands of modest Gemm calls, and
+// allocating (and page-zeroing) a fresh packed panel for each one shows up as
+// several percent of a whole LU. Buffers come back uninitialized; every user
+// either overwrites its slice fully or clears the ragged tail explicitly
+// (packA/packB zero-pad edge panels, the Syrk/Herk scratch is written with
+// beta = 0).
+var packScratch sync.Pool
+
+// getScratch returns an uninitialized length-n slice, reusing a pooled buffer
+// when one of the right element type and capacity is available.
+func getScratch[T core.Scalar](n int) []T {
+	if v := packScratch.Get(); v != nil {
+		if s, ok := v.([]T); ok && cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]T, n)
+}
+
+func putScratch[T core.Scalar](s []T) {
+	if cap(s) > 0 {
+		packScratch.Put(s[:cap(s)])
+	}
+}
+
 // gemmEngine accumulates C += alpha·op(A)·op(B) (beta already applied by the
 // caller) using packed panels, blocked loops and, for large enough problems,
 // the worker pool. alpha must be non-zero and m, n, k positive.
@@ -72,7 +102,7 @@ func gemmEngine[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T
 		workers = 1
 	}
 
-	bPack := make([]T, kc*roundUp(min(nc, n), nr))
+	bPack := getScratch[T](kc * roundUp(min(nc, n), nr))
 	for jc := 0; jc < n; jc += nc {
 		nb := min(nc, n-jc)
 		nbR := roundUp(nb, nr)
@@ -82,7 +112,7 @@ func gemmEngine[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T
 
 			nTiles := (m + mc - 1) / mc
 			parallelRange(nTiles, workers, func(lo, hi int) {
-				aPack := make([]T, kb*roundUp(min(mc, m), mr))
+				aPack := getScratch[T](kb * roundUp(min(mc, m), mr))
 				for t := lo; t < hi; t++ {
 					ic := t * mc
 					mb := min(mc, m-ic)
@@ -90,9 +120,11 @@ func gemmEngine[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T
 					packA(ap, mr, transA, alpha, a, lda, ic, mb, pc, kb)
 					macroKernel(kb, mb, nb, mr, nr, ap, bPack, c[ic+jc*ldc:], ldc)
 				}
+				putScratch(aPack)
 			})
 		}
 	}
+	putScratch(bPack)
 }
 
 func roundUp(v, unit int) int {

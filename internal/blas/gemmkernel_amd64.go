@@ -33,6 +33,21 @@ func dgemmKernel8x4(k int64, ap, bp, c *float64, ldc int64)
 //go:noescape
 func sgemmKernel16x4(k int64, ap, bp, c *float32, ldc int64)
 
+// dsubFma8 performs the eight-column substitution sweep
+// c_q[0:n] -= x[q]·a[0:n] (columns of c spaced ldc elements apart) with
+// fused negate-multiply-adds; it is the inner step of the left-side
+// triangular-solve leaf. Implemented in gemmkernel_amd64.s.
+//
+//go:noescape
+func dsubFma8(n int64, x, a, c *float64, ldc int64)
+
+// dgemvSub8 folds eight scaled source columns into y:
+// y[0:n] -= Σ_q t[q]·b_q[0:n] (columns of b spaced ldb elements apart),
+// the inner step of the right-side triangular-solve leaf.
+//
+//go:noescape
+func dgemvSub8(n int64, t, b *float64, ldb int64, y *float64)
+
 // cpuidAsm executes CPUID with the given leaf/subleaf.
 func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 

@@ -149,3 +149,221 @@ TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
 	MOVL AX, eax+0(FP)
 	MOVL DX, edx+4(FP)
 	RET
+
+// Substitution-leaf kernels. Both keep eight broadcast coefficients resident
+// in Y8..Y15 and stream the vectors with fused negate-multiply-adds, which is
+// the arithmetic the portable Go loops cannot reach (the compiler emits
+// separate MULSD/SUBSD on amd64).
+
+// func dsubFma8(n int64, x, a, c *float64, ldc int64)
+// Rank-1 column sweep: c_q[0:n] -= x[q]*a[0:n] for the eight columns
+// q = 0..7 of c, which are ldc elements apart.
+TEXT ·dsubFma8(SB), NOSPLIT, $0-40
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), AX
+	MOVQ a+16(FP), SI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $3, R8
+
+	VBROADCASTSD (AX), Y8
+	VBROADCASTSD 8(AX), Y9
+	VBROADCASTSD 16(AX), Y10
+	VBROADCASTSD 24(AX), Y11
+	VBROADCASTSD 32(AX), Y12
+	VBROADCASTSD 40(AX), Y13
+	VBROADCASTSD 48(AX), Y14
+	VBROADCASTSD 56(AX), Y15
+
+	MOVQ CX, BX
+	SHRQ $2, BX
+	JZ   dsub8tail
+
+dsub8loop4:
+	VMOVUPD      (SI), Y0
+	MOVQ         DX, R9
+	VMOVUPD      (R9), Y1
+	VFNMADD231PD Y0, Y8, Y1
+	VMOVUPD      Y1, (R9)
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y2
+	VFNMADD231PD Y0, Y9, Y2
+	VMOVUPD      Y2, (R9)
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y3
+	VFNMADD231PD Y0, Y10, Y3
+	VMOVUPD      Y3, (R9)
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y4
+	VFNMADD231PD Y0, Y11, Y4
+	VMOVUPD      Y4, (R9)
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y5
+	VFNMADD231PD Y0, Y12, Y5
+	VMOVUPD      Y5, (R9)
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y6
+	VFNMADD231PD Y0, Y13, Y6
+	VMOVUPD      Y6, (R9)
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y7
+	VFNMADD231PD Y0, Y14, Y7
+	VMOVUPD      Y7, (R9)
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y1
+	VFNMADD231PD Y0, Y15, Y1
+	VMOVUPD      Y1, (R9)
+	ADDQ         $32, SI
+	ADDQ         $32, DX
+	DECQ         BX
+	JNZ          dsub8loop4
+
+dsub8tail:
+	ANDQ $3, CX
+	JZ   dsub8done
+
+dsub8loop1:
+	VMOVSD       (SI), X0
+	MOVQ         DX, R9
+	VMOVSD       (R9), X1
+	VFNMADD231SD X0, X8, X1
+	VMOVSD       X1, (R9)
+	ADDQ         R8, R9
+	VMOVSD       (R9), X2
+	VFNMADD231SD X0, X9, X2
+	VMOVSD       X2, (R9)
+	ADDQ         R8, R9
+	VMOVSD       (R9), X3
+	VFNMADD231SD X0, X10, X3
+	VMOVSD       X3, (R9)
+	ADDQ         R8, R9
+	VMOVSD       (R9), X4
+	VFNMADD231SD X0, X11, X4
+	VMOVSD       X4, (R9)
+	ADDQ         R8, R9
+	VMOVSD       (R9), X5
+	VFNMADD231SD X0, X12, X5
+	VMOVSD       X5, (R9)
+	ADDQ         R8, R9
+	VMOVSD       (R9), X6
+	VFNMADD231SD X0, X13, X6
+	VMOVSD       X6, (R9)
+	ADDQ         R8, R9
+	VMOVSD       (R9), X7
+	VFNMADD231SD X0, X14, X7
+	VMOVSD       X7, (R9)
+	ADDQ         R8, R9
+	VMOVSD       (R9), X1
+	VFNMADD231SD X0, X15, X1
+	VMOVSD       X1, (R9)
+	ADDQ         $8, SI
+	ADDQ         $8, DX
+	DECQ         CX
+	JNZ          dsub8loop1
+
+dsub8done:
+	VZEROUPPER
+	RET
+
+// func dgemvSub8(n int64, t, b *float64, ldb int64, y *float64)
+// Eight-column gather: y[0:n] -= sum_q t[q]*b_q[0:n], where the eight source
+// columns b_q are ldb elements apart. Four accumulators split the FMA chains
+// so the loop is port-bound, not latency-bound.
+TEXT ·dgemvSub8(SB), NOSPLIT, $0-40
+	MOVQ n+0(FP), CX
+	MOVQ t+8(FP), AX
+	MOVQ b+16(FP), SI
+	MOVQ ldb+24(FP), R8
+	MOVQ y+32(FP), DX
+	SHLQ $3, R8
+
+	VBROADCASTSD (AX), Y8
+	VBROADCASTSD 8(AX), Y9
+	VBROADCASTSD 16(AX), Y10
+	VBROADCASTSD 24(AX), Y11
+	VBROADCASTSD 32(AX), Y12
+	VBROADCASTSD 40(AX), Y13
+	VBROADCASTSD 48(AX), Y14
+	VBROADCASTSD 56(AX), Y15
+
+	MOVQ CX, BX
+	SHRQ $2, BX
+	JZ   dgv8tail
+
+dgv8loop4:
+	VMOVUPD      (DX), Y0
+	VXORPD       Y1, Y1, Y1
+	VXORPD       Y2, Y2, Y2
+	VXORPD       Y3, Y3, Y3
+	MOVQ         SI, R9
+	VMOVUPD      (R9), Y4
+	VFNMADD231PD Y4, Y8, Y0
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y5
+	VFNMADD231PD Y5, Y9, Y1
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y6
+	VFNMADD231PD Y6, Y10, Y2
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y7
+	VFNMADD231PD Y7, Y11, Y3
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y4
+	VFNMADD231PD Y4, Y12, Y0
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y5
+	VFNMADD231PD Y5, Y13, Y1
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y6
+	VFNMADD231PD Y6, Y14, Y2
+	ADDQ         R8, R9
+	VMOVUPD      (R9), Y7
+	VFNMADD231PD Y7, Y15, Y3
+	VADDPD       Y1, Y0, Y0
+	VADDPD       Y3, Y2, Y2
+	VADDPD       Y2, Y0, Y0
+	VMOVUPD      Y0, (DX)
+	ADDQ         $32, SI
+	ADDQ         $32, DX
+	DECQ         BX
+	JNZ          dgv8loop4
+
+dgv8tail:
+	ANDQ $3, CX
+	JZ   dgv8done
+
+dgv8loop1:
+	VMOVSD       (DX), X0
+	MOVQ         SI, R9
+	VMOVSD       (R9), X4
+	VFNMADD231SD X4, X8, X0
+	ADDQ         R8, R9
+	VMOVSD       (R9), X5
+	VFNMADD231SD X5, X9, X0
+	ADDQ         R8, R9
+	VMOVSD       (R9), X6
+	VFNMADD231SD X6, X10, X0
+	ADDQ         R8, R9
+	VMOVSD       (R9), X7
+	VFNMADD231SD X7, X11, X0
+	ADDQ         R8, R9
+	VMOVSD       (R9), X4
+	VFNMADD231SD X4, X12, X0
+	ADDQ         R8, R9
+	VMOVSD       (R9), X5
+	VFNMADD231SD X5, X13, X0
+	ADDQ         R8, R9
+	VMOVSD       (R9), X6
+	VFNMADD231SD X6, X14, X0
+	ADDQ         R8, R9
+	VMOVSD       (R9), X7
+	VFNMADD231SD X7, X15, X0
+	VMOVSD       X0, (DX)
+	ADDQ         $8, SI
+	ADDQ         $8, DX
+	DECQ         CX
+	JNZ          dgv8loop1
+
+dgv8done:
+	VZEROUPPER
+	RET

@@ -21,3 +21,7 @@ const (
 
 func dgemmKernel8x4(k int64, ap, bp, c *float64, ldc int64)  { panic("blas: no asm kernel") }
 func sgemmKernel16x4(k int64, ap, bp, c *float32, ldc int64) { panic("blas: no asm kernel") }
+func dsubFma8(n int64, x, a, c *float64, ldc int64)          { panic("blas: no asm kernel") }
+func dgemvSub8(n int64, t, b *float64, ldb int64, y *float64) {
+	panic("blas: no asm kernel")
+}

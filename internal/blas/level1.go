@@ -187,9 +187,33 @@ func Iamax[T core.Scalar](n int, x []T, incX int) int {
 		return -1
 	}
 	checkInc(incX)
+	if incX == 1 {
+		// The unit-stride real cases run a branch-and-compare loop on the
+		// native float type: LU pivot searches sweep whole columns through
+		// here, and the per-element any-boxing of core.Abs1 is measurable.
+		switch xs := any(x).(type) {
+		case []float64:
+			return iamaxFloat(n, xs)
+		case []float32:
+			return iamaxFloat(n, xs)
+		}
+	}
 	best, bestVal := 0, core.Abs1(x[0])
 	for i, ix := 1, incX; i < n; i, ix = i+1, ix+incX {
 		if v := core.Abs1(x[ix]); v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}
+
+func iamaxFloat[F float32 | float64](n int, x []F) int {
+	// math.Abs compiles to a branch-free sign-bit mask; a compare-and-negate
+	// here would mispredict on every sign change of random data.
+	best := 0
+	bestVal := math.Abs(float64(x[0]))
+	for i := 1; i < n; i++ {
+		if v := math.Abs(float64(x[i])); v > bestVal {
 			best, bestVal = i, v
 		}
 	}

@@ -54,7 +54,17 @@ func Gemm[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda 
 	if alpha == 0 || k == 0 {
 		return
 	}
-	if m*n*k < gemmPackedMinVol {
+	minVol := gemmPackedMinVol
+	if hasFastKernel[T]() {
+		// With an assembly micro-kernel the packed engine overtakes the
+		// naive loop far sooner: packing cost is linear in the operand
+		// sizes while the kernel runs several times faster, so only truly
+		// small products stay on the low-latency path. This matters for the
+		// factorizations, whose recursive panels issue many tall-skinny
+		// products well under the portable crossover.
+		minVol = gemmPackedMinVolAsm
+	}
+	if m*n*k < minVol {
 		gemmAccumNaive(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
 		return
 	}
@@ -306,38 +316,36 @@ func symHemmBase[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, 
 	}
 }
 
+// syrkDirectMaxVol is the volume below which rank-k updates run the direct
+// scalar kernel; anything larger is worth the Gemm detour (including the
+// scratch square for diagonal blocks).
+const syrkDirectMaxVol = 16 * 16 * 16
+
 // Syrk computes the symmetric rank-k update C = alpha*A*Aᵀ + beta*C
 // (trans == NoTrans) or C = alpha*Aᵀ*A + beta*C on the uplo triangle of C.
-// Large updates are split into diagonal blocks (direct kernel) and
-// off-diagonal rectangles routed through Gemm.
+// Everything beyond tiny volumes runs on the packed rank-k engine (see
+// rankk.go), which packs each rank slab of A once and sweeps only the
+// stored triangle.
 func Syrk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, beta T, c []T, ldc int) {
 	if n == 0 {
 		return
 	}
 	checkLD(n, ldc)
-	if n*n*k < gemmPackedMinVol {
+	if n*n*k < syrkDirectMaxVol {
 		syrkBase(uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
 		return
 	}
-	nb := level3BlockSize
-	for j := 0; j < n; j += nb {
-		jb := min(nb, n-j)
-		if trans == NoTrans {
-			syrkBase(uplo, trans, jb, k, alpha, a[j:], lda, beta, c[j+j*ldc:], ldc)
-			if uplo == Lower && j+jb < n {
-				Gemm(NoTrans, TransT, n-j-jb, jb, k, alpha, a[j+jb:], lda, a[j:], lda, beta, c[j+jb+j*ldc:], ldc)
-			} else if uplo == Upper && j > 0 {
-				Gemm(NoTrans, TransT, j, jb, k, alpha, a, lda, a[j:], lda, beta, c[j*ldc:], ldc)
-			}
-		} else {
-			syrkBase(uplo, trans, jb, k, alpha, a[j*lda:], lda, beta, c[j+j*ldc:], ldc)
-			if uplo == Lower && j+jb < n {
-				Gemm(TransT, NoTrans, n-j-jb, jb, k, alpha, a[(j+jb)*lda:], lda, a[j*lda:], lda, beta, c[j+jb+j*ldc:], ldc)
-			} else if uplo == Upper && j > 0 {
-				Gemm(TransT, NoTrans, j, jb, k, alpha, a, lda, a[j*lda:], lda, beta, c[j*ldc:], ldc)
-			}
-		}
+	if beta != core.FromFloat[T](1) {
+		scaleTriangle(uplo, n, beta, c, ldc)
 	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	tr := NoTrans
+	if trans != NoTrans {
+		tr = TransT
+	}
+	syrkEngine(uplo, tr, n, k, alpha, a, lda, c, ldc, false)
 }
 
 func syrkBase[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, beta T, c []T, ldc int) {
@@ -369,36 +377,32 @@ func syrkBase[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, l
 
 // Herk computes the Hermitian rank-k update C = alpha*A*Aᴴ + beta*C
 // (trans == NoTrans) or C = alpha*Aᴴ*A + beta*C, with real alpha and beta,
-// on the uplo triangle of C. Blocked exactly like Syrk, with the diagonal
-// blocks keeping the forced-real diagonal of the direct kernel.
+// on the uplo triangle of C. Blocked exactly like Syrk on the packed rank-k
+// engine, with op(A) conjugated and the diagonal forced real.
 func Herk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha float64, a []T, lda int, beta float64, c []T, ldc int) {
 	if n == 0 {
 		return
 	}
 	checkLD(n, ldc)
-	if n*n*k < gemmPackedMinVol {
+	if n*n*k < syrkDirectMaxVol {
 		herkBase(uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
 		return
 	}
-	al := core.FromFloat[T](alpha)
-	bt := core.FromFloat[T](beta)
-	nb := level3BlockSize
-	for j := 0; j < n; j += nb {
-		jb := min(nb, n-j)
-		if trans == NoTrans {
-			herkBase(uplo, trans, jb, k, alpha, a[j:], lda, beta, c[j+j*ldc:], ldc)
-			if uplo == Lower && j+jb < n {
-				Gemm(NoTrans, ConjTrans, n-j-jb, jb, k, al, a[j+jb:], lda, a[j:], lda, bt, c[j+jb+j*ldc:], ldc)
-			} else if uplo == Upper && j > 0 {
-				Gemm(NoTrans, ConjTrans, j, jb, k, al, a, lda, a[j:], lda, bt, c[j*ldc:], ldc)
-			}
-		} else {
-			herkBase(uplo, trans, jb, k, alpha, a[j*lda:], lda, beta, c[j+j*ldc:], ldc)
-			if uplo == Lower && j+jb < n {
-				Gemm(ConjTrans, NoTrans, n-j-jb, jb, k, al, a[(j+jb)*lda:], lda, a[j*lda:], lda, bt, c[j+jb+j*ldc:], ldc)
-			} else if uplo == Upper && j > 0 {
-				Gemm(ConjTrans, NoTrans, j, jb, k, al, a, lda, a[j*lda:], lda, bt, c[j*ldc:], ldc)
-			}
+	if beta != 1 {
+		scaleTriangle(uplo, n, core.FromFloat[T](beta), c, ldc)
+	}
+	if alpha != 0 && k != 0 {
+		tr := NoTrans
+		if trans != NoTrans {
+			tr = ConjTrans
+		}
+		syrkEngine(uplo, tr, n, k, core.FromFloat[T](alpha), a, lda, c, ldc, core.IsComplex[T]())
+	}
+	if core.IsComplex[T]() {
+		// The diagonal of a Hermitian update is real by construction; force
+		// away any imaginary parts the input C carried in.
+		for j := 0; j < n; j++ {
+			c[j+j*ldc] = core.FromFloat[T](core.Re(c[j+j*ldc]))
 		}
 	}
 }
@@ -642,7 +646,7 @@ func trsmRec[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n i
 	if side == Right {
 		nt = n
 	}
-	if nt <= level3BlockSize {
+	if nt <= trsmLeafSize {
 		trsmBase(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
 		return
 	}
@@ -698,12 +702,36 @@ func trsmRec[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n i
 	}
 }
 
-// trsmBase is the direct substitution kernel used on diagonal blocks.
+// trsmBase is the direct substitution kernel used on diagonal blocks. The
+// left-side path solves four right-hand sides per sweep of the triangle, so
+// each column of A is loaded once per four columns of B and the updates run
+// as four independent multiply-add chains.
 func trsmBase[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
 	if side == Left {
-		for j := 0; j < n; j++ {
+		one := core.FromFloat[T](1)
+		j := 0
+		if trans == NoTrans {
+			for ; j+8 <= n; j += 8 {
+				if alpha != one {
+					for q := 0; q < 8; q++ {
+						Scal(m, alpha, b[(j+q)*ldb:], 1)
+					}
+				}
+				trsvOct(uplo, diag, m, a, lda, b[j*ldb:], ldb)
+			}
+		}
+		for ; j+4 <= n; j += 4 {
+			if alpha != one {
+				for q := 0; q < 4; q++ {
+					Scal(m, alpha, b[(j+q)*ldb:], 1)
+				}
+			}
+			trsvQuad(uplo, trans, diag, m, a, lda,
+				b[j*ldb:], b[(j+1)*ldb:], b[(j+2)*ldb:], b[(j+3)*ldb:])
+		}
+		for ; j < n; j++ {
 			col := b[j*ldb:]
-			if alpha != core.FromFloat[T](1) {
+			if alpha != one {
 				Scal(m, alpha, col, 1)
 			}
 			Trsv(uplo, trans, diag, m, a, lda, col, 1)
@@ -723,6 +751,58 @@ func trsmBase[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n 
 		}
 		return cj(a[j+i*lda])
 	}
+	// subtractCols folds sum_l X(:,l)*opA(l,j) into bj, four source columns
+	// per pass so bj is streamed once per four axpys.
+	subtractCols := func(bj []T, j, lo, hi int) {
+		l := lo
+		for ; l+8 <= hi; l += 8 {
+			t0, t1, t2, t3 := opA(l, j), opA(l+1, j), opA(l+2, j), opA(l+3, j)
+			t4, t5, t6, t7 := opA(l+4, j), opA(l+5, j), opA(l+6, j), opA(l+7, j)
+			if useAsmF64 {
+				if bjf, ok := any(bj).([]float64); ok {
+					ts := [8]float64{
+						any(t0).(float64), any(t1).(float64), any(t2).(float64), any(t3).(float64),
+						any(t4).(float64), any(t5).(float64), any(t6).(float64), any(t7).(float64),
+					}
+					dgemvSub8(int64(m), &ts[0], &any(b).([]float64)[l*ldb], int64(ldb), &bjf[0])
+					continue
+				}
+			}
+			bl0 := b[l*ldb : l*ldb+m]
+			bl1 := b[(l+1)*ldb : (l+1)*ldb+m]
+			bl2 := b[(l+2)*ldb : (l+2)*ldb+m]
+			bl3 := b[(l+3)*ldb : (l+3)*ldb+m]
+			bl4 := b[(l+4)*ldb : (l+4)*ldb+m]
+			bl5 := b[(l+5)*ldb : (l+5)*ldb+m]
+			bl6 := b[(l+6)*ldb : (l+6)*ldb+m]
+			bl7 := b[(l+7)*ldb : (l+7)*ldb+m]
+			for i := range bj {
+				s := t0*bl0[i] + t1*bl1[i] + t2*bl2[i] + t3*bl3[i]
+				s += t4*bl4[i] + t5*bl5[i] + t6*bl6[i] + t7*bl7[i]
+				bj[i] -= s
+			}
+		}
+		for ; l+4 <= hi; l += 4 {
+			t0, t1, t2, t3 := opA(l, j), opA(l+1, j), opA(l+2, j), opA(l+3, j)
+			bl0 := b[l*ldb : l*ldb+m]
+			bl1 := b[(l+1)*ldb : (l+1)*ldb+m]
+			bl2 := b[(l+2)*ldb : (l+2)*ldb+m]
+			bl3 := b[(l+3)*ldb : (l+3)*ldb+m]
+			for i := range bj {
+				bj[i] -= t0*bl0[i] + t1*bl1[i] + t2*bl2[i] + t3*bl3[i]
+			}
+		}
+		for ; l < hi; l++ {
+			t := opA(l, j)
+			if t == 0 {
+				continue
+			}
+			bl := b[l*ldb : l*ldb+m]
+			for i := range bj {
+				bj[i] -= t * bl[i]
+			}
+		}
+	}
 	opUpper := (trans == NoTrans) == (uplo == Upper)
 	if opUpper {
 		// X(:,j) = (alpha*B(:,j) - sum_{l<j} X(:,l)*opA(l,j)) / opA(j,j)
@@ -733,16 +813,7 @@ func trsmBase[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n 
 					bj[i] *= alpha
 				}
 			}
-			for l := 0; l < j; l++ {
-				t := opA(l, j)
-				if t == 0 {
-					continue
-				}
-				bl := b[l*ldb : l*ldb+m]
-				for i := range bj {
-					bj[i] -= t * bl[i]
-				}
-			}
+			subtractCols(bj, j, 0, j)
 			if nonUnit {
 				d := opA(j, j)
 				for i := range bj {
@@ -758,22 +829,212 @@ func trsmBase[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n 
 					bj[i] *= alpha
 				}
 			}
-			for l := j + 1; l < n; l++ {
-				t := opA(l, j)
-				if t == 0 {
-					continue
-				}
-				bl := b[l*ldb : l*ldb+m]
-				for i := range bj {
-					bj[i] -= t * bl[i]
-				}
-			}
+			subtractCols(bj, j, j+1, n)
 			if nonUnit {
 				d := opA(j, j)
 				for i := range bj {
 					bj[i] = core.Div(bj[i], d)
 				}
 			}
+		}
+	}
+}
+
+// trsvOct is the eight-wide NoTrans counterpart of trsvQuad: it solves
+// A·x = b for eight consecutive right-hand-side columns of b (leading
+// dimension ldb), halving the number of passes over the triangle relative to
+// the four-wide kernel. Columns must already carry any alpha scaling.
+func trsvOct[T core.Scalar](uplo Uplo, diag Diag, m int, a []T, lda int, b []T, ldb int) {
+	if useAsmF64 {
+		if bf, ok := any(b).([]float64); ok {
+			trsvOctF64(uplo, diag, m, any(a).([]float64), lda, bf, ldb)
+			return
+		}
+	}
+	nonUnit := diag == NonUnit
+	c0 := b[0*ldb : 0*ldb+m]
+	c1 := b[1*ldb : 1*ldb+m]
+	c2 := b[2*ldb : 2*ldb+m]
+	c3 := b[3*ldb : 3*ldb+m]
+	c4 := b[4*ldb : 4*ldb+m]
+	c5 := b[5*ldb : 5*ldb+m]
+	c6 := b[6*ldb : 6*ldb+m]
+	c7 := b[7*ldb : 7*ldb+m]
+	if uplo == Lower {
+		for i := 0; i < m; i++ {
+			acol := a[i*lda : i*lda+m]
+			x0, x1, x2, x3 := c0[i], c1[i], c2[i], c3[i]
+			x4, x5, x6, x7 := c4[i], c5[i], c6[i], c7[i]
+			if nonUnit {
+				d := acol[i]
+				x0, x1, x2, x3 = core.Div(x0, d), core.Div(x1, d), core.Div(x2, d), core.Div(x3, d)
+				x4, x5, x6, x7 = core.Div(x4, d), core.Div(x5, d), core.Div(x6, d), core.Div(x7, d)
+				c0[i], c1[i], c2[i], c3[i] = x0, x1, x2, x3
+				c4[i], c5[i], c6[i], c7[i] = x4, x5, x6, x7
+			}
+			for r := i + 1; r < m; r++ {
+				t := acol[r]
+				c0[r] -= t * x0
+				c1[r] -= t * x1
+				c2[r] -= t * x2
+				c3[r] -= t * x3
+				c4[r] -= t * x4
+				c5[r] -= t * x5
+				c6[r] -= t * x6
+				c7[r] -= t * x7
+			}
+		}
+		return
+	}
+	for i := m - 1; i >= 0; i-- {
+		acol := a[i*lda : i*lda+m]
+		x0, x1, x2, x3 := c0[i], c1[i], c2[i], c3[i]
+		x4, x5, x6, x7 := c4[i], c5[i], c6[i], c7[i]
+		if nonUnit {
+			d := acol[i]
+			x0, x1, x2, x3 = core.Div(x0, d), core.Div(x1, d), core.Div(x2, d), core.Div(x3, d)
+			x4, x5, x6, x7 = core.Div(x4, d), core.Div(x5, d), core.Div(x6, d), core.Div(x7, d)
+			c0[i], c1[i], c2[i], c3[i] = x0, x1, x2, x3
+			c4[i], c5[i], c6[i], c7[i] = x4, x5, x6, x7
+		}
+		for r := 0; r < i; r++ {
+			t := acol[r]
+			c0[r] -= t * x0
+			c1[r] -= t * x1
+			c2[r] -= t * x2
+			c3[r] -= t * x3
+			c4[r] -= t * x4
+			c5[r] -= t * x5
+			c6[r] -= t * x6
+			c7[r] -= t * x7
+		}
+	}
+}
+
+// trsvOctF64 is the float64 specialization of trsvOct: the per-step update of
+// the trailing rows runs in the dsubFma8 assembly kernel, whose fused
+// negate-multiply-adds roughly halve the arithmetic of the portable loop and
+// process four rows per step.
+func trsvOctF64(uplo Uplo, diag Diag, m int, a []float64, lda int, b []float64, ldb int) {
+	nonUnit := diag == NonUnit
+	var x [8]float64
+	if uplo == Lower {
+		for i := 0; i < m; i++ {
+			for q := 0; q < 8; q++ {
+				x[q] = b[q*ldb+i]
+			}
+			if nonUnit {
+				d := a[i*lda+i]
+				for q := 0; q < 8; q++ {
+					x[q] /= d
+					b[q*ldb+i] = x[q]
+				}
+			}
+			if r := m - i - 1; r > 0 {
+				dsubFma8(int64(r), &x[0], &a[i*lda+i+1], &b[i+1], int64(ldb))
+			}
+		}
+		return
+	}
+	for i := m - 1; i >= 0; i-- {
+		for q := 0; q < 8; q++ {
+			x[q] = b[q*ldb+i]
+		}
+		if nonUnit {
+			d := a[i*lda+i]
+			for q := 0; q < 8; q++ {
+				x[q] /= d
+				b[q*ldb+i] = x[q]
+			}
+		}
+		if i > 0 {
+			dsubFma8(int64(i), &x[0], &a[i*lda], &b[0], int64(ldb))
+		}
+	}
+}
+
+// trsvQuad is the four-wide left-side substitution: it solves
+// op(A)·x = b for four right-hand-side columns simultaneously. Every A
+// column is read once per four solves and the inner loops carry four
+// independent chains. Column q of B must already carry any alpha scaling.
+func trsvQuad[T core.Scalar](uplo Uplo, trans Trans, diag Diag, m int, a []T, lda int, c0, c1, c2, c3 []T) {
+	nonUnit := diag == NonUnit
+	cj := func(v T) T { return v }
+	if trans == ConjTrans {
+		cj = core.Conj[T]
+	}
+	c0, c1, c2, c3 = c0[:m], c1[:m], c2[:m], c3[:m]
+	switch {
+	case trans == NoTrans && uplo == Lower:
+		// Forward substitution, axpy down the column.
+		for i := 0; i < m; i++ {
+			acol := a[i*lda : i*lda+m]
+			x0, x1, x2, x3 := c0[i], c1[i], c2[i], c3[i]
+			if nonUnit {
+				d := acol[i]
+				x0, x1, x2, x3 = core.Div(x0, d), core.Div(x1, d), core.Div(x2, d), core.Div(x3, d)
+				c0[i], c1[i], c2[i], c3[i] = x0, x1, x2, x3
+			}
+			for r := i + 1; r < m; r++ {
+				t := acol[r]
+				c0[r] -= t * x0
+				c1[r] -= t * x1
+				c2[r] -= t * x2
+				c3[r] -= t * x3
+			}
+		}
+	case trans == NoTrans: // Upper: backward substitution.
+		for i := m - 1; i >= 0; i-- {
+			acol := a[i*lda : i*lda+m]
+			x0, x1, x2, x3 := c0[i], c1[i], c2[i], c3[i]
+			if nonUnit {
+				d := acol[i]
+				x0, x1, x2, x3 = core.Div(x0, d), core.Div(x1, d), core.Div(x2, d), core.Div(x3, d)
+				c0[i], c1[i], c2[i], c3[i] = x0, x1, x2, x3
+			}
+			for r := 0; r < i; r++ {
+				t := acol[r]
+				c0[r] -= t * x0
+				c1[r] -= t * x1
+				c2[r] -= t * x2
+				c3[r] -= t * x3
+			}
+		}
+	case uplo == Lower: // op(A) upper triangular: backward, dot products.
+		for i := m - 1; i >= 0; i-- {
+			acol := a[i*lda : i*lda+m]
+			var s0, s1, s2, s3 T
+			for r := i + 1; r < m; r++ {
+				t := cj(acol[r])
+				s0 += t * c0[r]
+				s1 += t * c1[r]
+				s2 += t * c2[r]
+				s3 += t * c3[r]
+			}
+			x0, x1, x2, x3 := c0[i]-s0, c1[i]-s1, c2[i]-s2, c3[i]-s3
+			if nonUnit {
+				d := cj(acol[i])
+				x0, x1, x2, x3 = core.Div(x0, d), core.Div(x1, d), core.Div(x2, d), core.Div(x3, d)
+			}
+			c0[i], c1[i], c2[i], c3[i] = x0, x1, x2, x3
+		}
+	default: // Upper with trans: op(A) lower triangular, forward, dots.
+		for i := 0; i < m; i++ {
+			acol := a[i*lda : i*lda+m]
+			var s0, s1, s2, s3 T
+			for r := 0; r < i; r++ {
+				t := cj(acol[r])
+				s0 += t * c0[r]
+				s1 += t * c1[r]
+				s2 += t * c2[r]
+				s3 += t * c3[r]
+			}
+			x0, x1, x2, x3 := c0[i]-s0, c1[i]-s1, c2[i]-s2, c3[i]-s3
+			if nonUnit {
+				d := cj(acol[i])
+				x0, x1, x2, x3 = core.Div(x0, d), core.Div(x1, d), core.Div(x2, d), core.Div(x3, d)
+			}
+			c0[i], c1[i], c2[i], c3[i] = x0, x1, x2, x3
 		}
 	}
 }

@@ -55,6 +55,35 @@ func Threads() int {
 // parallel execution visit identical index ranges. body is called at most
 // once per worker, letting it amortize per-worker scratch (packed-panel
 // buffers) across its whole chunk.
+// Fork runs the given tasks concurrently, one goroutine per extra task, and
+// returns when all of them have finished. The first task runs on the calling
+// goroutine. With a worker budget of one (Threads() <= 1) the tasks run
+// sequentially in argument order on the caller, so a serial run is simply the
+// in-order execution of the same closures. Fork is the pool entry point used
+// by the lookahead-pipelined LU in internal/lapack: tasks must write disjoint
+// memory, which is also what keeps forked and serial execution bit-identical.
+func Fork(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	if len(tasks) == 1 || Threads() <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, t := range tasks[1:] {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(t)
+	}
+	tasks[0]()
+	wg.Wait()
+}
+
 func parallelRange(n, workers int, body func(lo, hi int)) {
 	if n <= 0 {
 		return

@@ -1,0 +1,171 @@
+package blas
+
+import "repro/internal/core"
+
+// Packed rank-k update engine behind Syrk and Herk. The blocked sweep these
+// routines used previously decomposed the update into independent Gemm calls,
+// and every call re-packed its own (overlapping) slices of A — for a
+// factorization-sized Herk the packing traffic alone cost a third of the run.
+// This engine reuses gemmEngine's loop structure and packed formats but packs
+// each kc-deep rank slab of A exactly once as the left operand and once as
+// the right operand (they are the same matrix), and only visits macro tiles
+// that intersect the stored triangle of C. Tiles crossing the diagonal run
+// the same micro-kernels into a small scratch tile whose stored part is then
+// merged, so the wasted flops are bounded by one micro-tile per diagonal
+// crossing instead of a full diagonal block square.
+
+// scaleTriangle applies C := beta*C on the uplo triangle of an n×n block,
+// writing zeros when beta == 0 exactly like scaleMatrix.
+func scaleTriangle[T core.Scalar](uplo Uplo, n int, beta T, c []T, ldc int) {
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		col := c[j*ldc:]
+		if beta == 0 {
+			for i := lo; i < hi; i++ {
+				col[i] = 0
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				col[i] *= beta
+			}
+		}
+	}
+}
+
+// syrkEngine accumulates alpha·op(A)·op(A)ᵀ (conj false) or alpha·op(A)·op(A)ᴴ
+// (conj true) into the uplo triangle of the n×n matrix C, where op(A) is n×k.
+// Any beta scaling must already have been applied to the triangle. trans
+// selects op exactly as in Gemm's transA and must be NoTrans, TransT
+// (Syrk), or ConjTrans (Herk).
+func syrkEngine[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, c []T, ldc int, conj bool) {
+	mc, kc, nc := blockFor[T]()
+	mr, nr := microGeom[T]()
+	mc = max(mr, mc-mc%mr)
+	// The left operand is op(A); the right operand at (p, j) is
+	// conj?(op(A)(j, p)), which packB produces from A directly with the
+	// complementary transpose flag.
+	transA := trans
+	transB := NoTrans
+	if trans == NoTrans {
+		transB = TransT
+		if conj {
+			transB = ConjTrans
+		}
+	}
+	workers := Threads()
+	if workers > 1 && n*n*k/2 < gemmParallelMinVol {
+		workers = 1
+	}
+
+	nTiles := (n + mc - 1) / mc
+	bPack := getScratch[T](kc * roundUp(min(nc, n), nr))
+	for jc := 0; jc < n; jc += nc {
+		nb := min(nc, n-jc)
+		nbR := roundUp(nb, nr)
+		// Row tiles with any element in the stored triangle of this slab:
+		// Lower keeps rows >= jc, Upper keeps rows <= jc+nb-1.
+		tLo, tHi := 0, nTiles
+		if uplo == Lower {
+			tLo = jc / mc
+		} else {
+			tHi = (jc+nb-1)/mc + 1
+		}
+		for pc := 0; pc < k; pc += kc {
+			kb := min(kc, k-pc)
+			packB(bPack[:kb*nbR], nr, transB, a, lda, pc, kb, jc, nb)
+			parallelRange(tHi-tLo, workers, func(lo, hi int) {
+				aPack := getScratch[T](kb * roundUp(min(mc, n), mr))
+				for t := tLo + lo; t < tLo+hi; t++ {
+					ic := t * mc
+					mb := min(mc, n-ic)
+					ap := aPack[:kb*roundUp(mb, mr)]
+					packA(ap, mr, transA, alpha, a, lda, ic, mb, pc, kb)
+					ct := c[ic+jc*ldc:]
+					if (uplo == Lower && ic >= jc+nb-1) || (uplo == Upper && ic+mb-1 <= jc) {
+						macroKernel(kb, mb, nb, mr, nr, ap, bPack, ct, ldc)
+					} else {
+						macroKernelTri(uplo, kb, mb, nb, mr, nr, ap, bPack, ct, ldc, jc-ic)
+					}
+				}
+				putScratch(aPack)
+			})
+		}
+	}
+	putScratch(bPack)
+}
+
+// macroKernelTri sweeps one packed macro tile like macroKernel but only
+// writes the stored triangle: local element (i, j) belongs to the diagonal
+// when i == j+d (d is the local row index of the diagonal for local column
+// 0). Micro tiles entirely in the stored part run the fast kernels straight
+// into C; micro tiles crossing the diagonal accumulate into a zeroed scratch
+// tile and merge only their stored elements.
+func macroKernelTri[T core.Scalar](uplo Uplo, kb, mb, nb, mr, nr int, aPack, bPack []T, c []T, ldc, d int) {
+	var tmp [maxMR * maxNR]T
+	for jr := 0; jr < nb; jr += nr {
+		bp := bPack[jr*kb : jr*kb+nr*kb]
+		cols := min(nr, nb-jr)
+		// Rows with any stored element under columns [jr, jr+cols).
+		irLo, irHi := 0, mb
+		if uplo == Lower {
+			irLo = max(0, jr+d) / mr * mr
+		} else {
+			irHi = min(mb, jr+cols+d)
+		}
+		for ir := irLo; ir < irHi; ir += mr {
+			rows := min(mr, mb-ir)
+			ap := aPack[ir*kb : ir*kb+mr*kb]
+			ct := c[ir+jr*ldc:]
+			var fullyStored bool
+			if uplo == Lower {
+				fullyStored = ir >= jr+cols-1+d
+			} else {
+				fullyStored = ir+rows-1 <= jr+d
+			}
+			if fullyStored && rows == mr && cols == nr {
+				microTile(kb, mr, nr, ap, bp, ct, ldc)
+				continue
+			}
+			clear(tmp[:mr*nr])
+			if rows == mr && cols == nr {
+				microTile(kb, mr, nr, ap, bp, tmp[:], mr)
+			} else {
+				microEdge(kb, mr, nr, ap, bp, tmp[:], mr, rows, cols)
+			}
+			for j := 0; j < cols; j++ {
+				lo, hi := 0, rows
+				if uplo == Lower {
+					lo = max(0, jr+j+d-ir)
+				} else {
+					hi = min(rows, jr+j+d-ir+1)
+				}
+				col := ct[j*ldc:]
+				tcol := tmp[j*mr:]
+				for i := lo; i < hi; i++ {
+					col[i] += tcol[i]
+				}
+			}
+		}
+	}
+}
+
+// microTile runs one full mr×nr micro-kernel accumulation into c, dispatching
+// to the assembly kernels exactly as macroKernel does.
+func microTile[T core.Scalar](kb, mr, nr int, ap, bp []T, c []T, ldc int) {
+	switch cc := any(c).(type) {
+	case []float64:
+		if useAsmF64 {
+			dgemmKernel8x4(int64(kb), &any(ap).([]float64)[0], &any(bp).([]float64)[0], &cc[0], int64(ldc))
+			return
+		}
+	case []float32:
+		if useAsmF32 {
+			sgemmKernel16x4(int64(kb), &any(ap).([]float32)[0], &any(bp).([]float32)[0], &cc[0], int64(ldc))
+			return
+		}
+	}
+	microKernel4x4(kb, ap, bp, c, ldc)
+}

@@ -42,15 +42,28 @@ var (
 	// factorizations) on the low-latency path.
 	gemmPackedMinVol = 80 * 80 * 80
 
+	// gemmPackedMinVolAsm replaces gemmPackedMinVol when the element type
+	// has an assembly micro-kernel (see hasFastKernel): the kernel's higher
+	// flop rate amortizes packing at a fraction of the portable crossover.
+	gemmPackedMinVolAsm = 44 * 44 * 44
+
 	// gemmParallelMinVol is the m·n·k volume below which the engine does
 	// not fan macro-tiles out to worker goroutines even when Threads() > 1;
 	// below it, goroutine hand-off costs more than the tiles it would hide.
 	gemmParallelMinVol = 192 * 192 * 192
 
-	// level3BlockSize is the diagonal block size used when Trsm, Syrk/Herk
-	// and Symm/Hemm are decomposed into GEMM-shaped updates, and the
-	// problem size below which they stay on their unblocked kernels.
+	// level3BlockSize is the diagonal block size used when Symm/Hemm are
+	// decomposed into GEMM-shaped updates, and the problem size below which
+	// the triangular kernels stay on their unblocked forms.
 	level3BlockSize = 64
+
+	// trsmLeafSize is the triangle size at which the recursive Trsm stops
+	// splitting and runs direct substitution. Splitting further converts
+	// leaf flops into rectangular GEMM updates but pays a packing pass per
+	// recursion level; with the FMA substitution kernels the leaf is cheap
+	// enough that 64 beats both finer and coarser splits on the LU/Cholesky
+	// benchmark shapes.
+	trsmLeafSize = 64
 )
 
 func init() {

@@ -1,9 +1,39 @@
 package lapack
 
 import (
+	"os"
+	"sync/atomic"
+
 	"repro/internal/blas"
 	"repro/internal/core"
 )
+
+// lookaheadOff disables the depth-1 panel lookahead in the blocked Getrf.
+// Lookahead and serial execution are bit-identical (the serial path runs the
+// exact same partitioned updates in program order), so the switch exists for
+// debugging and for pinning down scheduling in latency experiments, not for
+// reproducibility.
+var lookaheadOff atomic.Bool
+
+func init() {
+	if os.Getenv("LA90_NO_LOOKAHEAD") != "" {
+		lookaheadOff.Store(true)
+	}
+}
+
+// SetLookahead enables or disables the depth-1 panel lookahead used by the
+// blocked LU factorization and returns the previous setting. The default is
+// enabled unless the LA90_NO_LOOKAHEAD environment variable is set. Results
+// are bit-identical either way. Safe to call concurrently.
+func SetLookahead(on bool) bool {
+	return !lookaheadOff.Swap(!on)
+}
+
+// Lookahead reports whether the blocked LU currently pipelines panel
+// factorizations with trailing updates.
+func Lookahead() bool {
+	return !lookaheadOff.Load()
+}
 
 // Getf2 computes the unblocked LU factorization with partial pivoting of an
 // m×n matrix: A = P·L·U (xGETF2). ipiv must have length min(m, n); ipiv[i]
@@ -40,9 +70,55 @@ func Getf2[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 	return info
 }
 
+// Getrf2 computes the LU factorization with partial pivoting of an m×n
+// matrix by recursion on the column count (LAPACK ≥3.6 xGETRF2): the left
+// half is factored recursively, the right half is updated with one Trsm and
+// one Gemm, and the trailing block recurses. Every flop beyond the tiny
+// Getf2 leaves therefore runs on the Level-3 engine, which is what makes it
+// suitable as the panel kernel of the blocked Getrf. Semantics (ipiv, info)
+// are identical to Getf2.
+func Getrf2[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
+	mn := min(m, n)
+	if mn == 0 {
+		return 0
+	}
+	if leaf := Ilaenv(1, "GETRF2", m, n, -1, -1); n <= leaf || m == 1 {
+		return Getf2(m, n, a, lda, ipiv)
+	}
+	one := core.FromFloat[T](1)
+	// [ A11 A12 ]   n1 = mn/2 columns on the left.
+	// [ A21 A22 ]
+	n1 := mn / 2
+	n2 := n - n1
+	info := Getrf2(m, n1, a, lda, ipiv[:n1])
+	// Apply the left-half interchanges to the right half, solve the U12
+	// block row, and update A22.
+	Laswp(n2, a[n1*lda:], lda, 0, n1, ipiv)
+	blas.Trsm(Left, Lower, NoTrans, Unit, n1, n2, one, a, lda, a[n1*lda:], lda)
+	if m > n1 {
+		blas.Gemm(NoTrans, NoTrans, m-n1, n2, n1, -one,
+			a[n1:], lda, a[n1*lda:], lda, one, a[n1+n1*lda:], lda)
+		// Factor A22 recursively and pull its interchanges across A21.
+		if iinfo := Getrf2(m-n1, n2, a[n1+n1*lda:], lda, ipiv[n1:mn]); iinfo != 0 && info == 0 {
+			info = iinfo + n1
+		}
+		for k := n1; k < mn; k++ {
+			ipiv[k] += n1
+		}
+		Laswp(n1, a, lda, n1, mn, ipiv)
+	}
+	return info
+}
+
 // Getrf computes the LU factorization with partial pivoting of an m×n
-// matrix using the blocked right-looking algorithm (xGETRF). Semantics are
-// identical to Getf2.
+// matrix using the blocked right-looking algorithm (xGETRF) with recursive
+// (Level-3) panels and a static depth-1 lookahead: while the bulk of the
+// trailing matrix absorbs the Gemm update for panel j, the next panel —
+// whose columns are updated first — is already being factored on a second
+// worker (see SetLookahead). The serial path executes the exact same
+// partitioned updates in order, so results are bit-identical with lookahead
+// on or off, and identical to earlier non-pipelined versions of this
+// routine. Semantics are identical to Getf2.
 func Getrf[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 	mn := min(m, n)
 	if mn == 0 {
@@ -50,34 +126,63 @@ func Getrf[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 	}
 	nb := Ilaenv(1, "GETRF", m, n, -1, -1)
 	if nb <= 1 || nb >= mn {
-		return Getf2(m, n, a, lda, ipiv)
+		return Getrf2(m, n, a, lda, ipiv)
 	}
 	info := 0
 	one := core.FromFloat[T](1)
+	pipelined := Lookahead() && blas.Threads() > 1
+	// The first panel has no pending update; factor it up front so that each
+	// loop iteration below starts with panel j already factored (either here
+	// or by the lookahead task of the previous iteration).
+	if iinfo := Getrf2(m, min(nb, mn), a, lda, ipiv[:min(nb, mn)]); iinfo != 0 {
+		info = iinfo
+	}
 	for j := 0; j < mn; j += nb {
 		jb := min(nb, mn-j)
-		// Factor the panel A[j:m, j:j+jb].
-		if iinfo := Getf2(m-j, jb, a[j+j*lda:], lda, ipiv[j:j+jb]); iinfo != 0 && info == 0 {
-			info = iinfo + j
-		}
 		// Convert panel-local pivots to global row indices.
 		for k := j; k < j+jb; k++ {
 			ipiv[k] += j
 		}
 		// Apply interchanges to the columns left of the panel...
 		Laswp(j, a, lda, j, j+jb, ipiv)
-		if j+jb < n {
-			// ...and to the right of the panel.
-			Laswp(n-j-jb, a[(j+jb)*lda:], lda, j, j+jb, ipiv)
-			// U block row: solve L11 * U12 = A12.
-			blas.Trsm(Left, Lower, NoTrans, Unit, jb, n-j-jb, one,
-				a[j+j*lda:], lda, a[j+(j+jb)*lda:], lda)
-			// Trailing submatrix update A22 -= L21 * U12.
-			if j+jb < m {
-				blas.Gemm(NoTrans, NoTrans, m-j-jb, n-j-jb, jb, -one,
-					a[j+jb+j*lda:], lda, a[j+(j+jb)*lda:], lda, one,
-					a[j+jb+(j+jb)*lda:], lda)
+		if j+jb >= n {
+			continue
+		}
+		// ...and to the right of the panel.
+		Laswp(n-j-jb, a[(j+jb)*lda:], lda, j, j+jb, ipiv)
+		// U block row: solve L11 * U12 = A12.
+		blas.Trsm(Left, Lower, NoTrans, Unit, jb, n-j-jb, one,
+			a[j+j*lda:], lda, a[j+(j+jb)*lda:], lda)
+		if j+jb >= m {
+			continue
+		}
+		// Trailing submatrix update A22 -= L21 * U12, partitioned so the
+		// next panel's pb columns complete first; the panel factorization
+		// then overlaps the update of the remaining columns.
+		p := j + jb
+		pb := min(nb, mn-p)
+		blas.Gemm(NoTrans, NoTrans, m-p, pb, jb, -one,
+			a[p+j*lda:], lda, a[j+p*lda:], lda, one, a[p+p*lda:], lda)
+		pinfo := 0
+		factorNext := func() {
+			pinfo = Getrf2(m-p, pb, a[p+p*lda:], lda, ipiv[p:p+pb])
+		}
+		updateRest := func() {
+			if rest := n - p - pb; rest > 0 {
+				blas.Gemm(NoTrans, NoTrans, m-p, rest, jb, -one,
+					a[p+j*lda:], lda, a[j+(p+pb)*lda:], lda, one,
+					a[p+(p+pb)*lda:], lda)
 			}
+		}
+		// The two tasks touch disjoint column ranges of the trailing matrix.
+		if pipelined {
+			blas.Fork(updateRest, factorNext)
+		} else {
+			factorNext()
+			updateRest()
+		}
+		if pinfo != 0 && info == 0 {
+			info = pinfo + p
 		}
 	}
 	return info

@@ -206,10 +206,343 @@ func Hetf2[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
 	return info
 }
 
+// lahef is the Hermitian counterpart of lasyf (xLAHEF): it factors one
+// Bunch–Kaufman panel with updated columns staged in the n×nb workspace w
+// and applies the panel to the rest of the matrix with Level-3 updates.
+// For real element types the conjugations are no-ops and it reduces to the
+// symmetric algorithm. kb, ipiv and info follow lasyf.
+func lahef[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []T, ldw int) (kb, info int) {
+	one := core.FromFloat[T](1)
+	re := func(v T) T { return core.FromFloat[T](core.Re(v)) }
+	if uplo == Upper {
+		k := n - 1
+		for !((k <= n-nb && nb < n) || k < 0) {
+			kw := nb - n + k
+			// Copy column k (real diagonal) and apply the updates from the
+			// factored columns: A(0:k+1,k) -= A(0:k+1,k+1:n)·conj(w(k,kw+1:)).
+			blas.Copy(k, a[k*lda:], 1, w[kw*ldw:], 1)
+			w[k+kw*ldw] = re(a[k+k*lda])
+			if k < n-1 {
+				lacgv(n-1-k, w[k+(kw+1)*ldw:], ldw)
+				blas.Gemv(NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
+					w[k+(kw+1)*ldw:], ldw, one, w[kw*ldw:], 1)
+				lacgv(n-1-k, w[k+(kw+1)*ldw:], ldw)
+				w[k+kw*ldw] = re(w[k+kw*ldw])
+			}
+			kstep := 1
+			absakk := math.Abs(core.Re(w[k+kw*ldw]))
+			imax, colmax := 0, 0.0
+			if k > 0 {
+				imax = blas.Iamax(k, w[kw*ldw:], 1)
+				colmax = core.Abs1(w[imax+kw*ldw])
+			}
+			kp := k
+			if math.Max(absakk, colmax) == 0 {
+				if info == 0 {
+					info = k + 1
+				}
+				blas.Copy(k, w[kw*ldw:], 1, a[k*lda:], 1)
+				a[k+k*lda] = re(w[k+kw*ldw])
+			} else {
+				if absakk < bkAlpha*colmax {
+					// Updated column imax into w column kw-1: rows above the
+					// diagonal from the column, rows below from the
+					// conjugated row.
+					blas.Copy(imax, a[imax*lda:], 1, w[(kw-1)*ldw:], 1)
+					w[imax+(kw-1)*ldw] = re(a[imax+imax*lda])
+					for j := imax + 1; j <= k; j++ {
+						w[j+(kw-1)*ldw] = core.Conj(a[imax+j*lda])
+					}
+					if k < n-1 {
+						lacgv(n-1-k, w[imax+(kw+1)*ldw:], ldw)
+						blas.Gemv(NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
+							w[imax+(kw+1)*ldw:], ldw, one, w[(kw-1)*ldw:], 1)
+						lacgv(n-1-k, w[imax+(kw+1)*ldw:], ldw)
+						w[imax+(kw-1)*ldw] = re(w[imax+(kw-1)*ldw])
+					}
+					jmax := imax + 1 + blas.Iamax(k-imax, w[imax+1+(kw-1)*ldw:], 1)
+					rowmax := core.Abs1(w[jmax+(kw-1)*ldw])
+					if imax > 0 {
+						jmax = blas.Iamax(imax, w[(kw-1)*ldw:], 1)
+						rowmax = math.Max(rowmax, core.Abs1(w[jmax+(kw-1)*ldw]))
+					}
+					switch {
+					case absakk >= bkAlpha*colmax*(colmax/rowmax):
+						// kp = k: 1×1 pivot, no interchange.
+					case math.Abs(core.Re(w[imax+(kw-1)*ldw])) >= bkAlpha*rowmax:
+						kp = imax
+						blas.Copy(k+1, w[(kw-1)*ldw:], 1, w[kw*ldw:], 1)
+					default:
+						kp = imax
+						kstep = 2
+					}
+				}
+				kk := k - kstep + 1
+				kkw := nb - n + kk
+				if kp != kk {
+					a[kp+kp*lda] = re(a[kk+kk*lda])
+					for j := kp + 1; j < kk; j++ {
+						a[kp+j*lda] = core.Conj(a[j+kk*lda])
+					}
+					if kp > 0 {
+						blas.Copy(kp, a[kk*lda:], 1, a[kp*lda:], 1)
+					}
+					if k < n-1 {
+						blas.Swap(n-1-k, a[kk+(k+1)*lda:], lda, a[kp+(k+1)*lda:], lda)
+					}
+					blas.Swap(n-kk, w[kk+kkw*ldw:], ldw, w[kp+kkw*ldw:], ldw)
+				}
+				if kstep == 1 {
+					blas.Copy(k+1, w[kw*ldw:], 1, a[k*lda:], 1)
+					blas.ScalReal(k, 1/core.Re(a[k+k*lda]), a[k*lda:], 1)
+				} else {
+					// 2×2 pivot: D = [d11̂ d12; conj(d12) d22̂] in rows k-1:k;
+					// store the two columns of U = W·D⁻¹.
+					if k > 1 {
+						d12 := w[k-1+kw*ldw]
+						d11 := core.Div(w[k+kw*ldw], core.Conj(d12))
+						d22 := core.Div(w[k-1+(kw-1)*ldw], d12)
+						t := core.FromFloat[T](1 / (core.Re(d11*d22) - 1))
+						d12 = core.Div(t, d12)
+						for j := 0; j < k-1; j++ {
+							a[j+(k-1)*lda] = d12 * (d11*w[j+(kw-1)*ldw] - w[j+kw*ldw])
+							a[j+k*lda] = core.Conj(d12) * (d22*w[j+kw*ldw] - w[j+(kw-1)*ldw])
+						}
+					}
+					a[k-1+(k-1)*lda] = w[k-1+(kw-1)*ldw]
+					a[k-1+k*lda] = w[k-1+kw*ldw]
+					a[k+k*lda] = w[k+kw*ldw]
+				}
+			}
+			if kstep == 1 {
+				ipiv[k] = kp
+			} else {
+				ipiv[k] = -(kp + 1)
+				ipiv[k-1] = -(kp + 1)
+			}
+			k -= kstep
+		}
+		// A(0:k+1, 0:k+1) -= U12·(D·U12ᴴ) in nb-wide column blocks, keeping
+		// the diagonal real.
+		kRem := k + 1
+		kwr := nb - n + kRem
+		for j0 := ((kRem - 1) / nb) * nb; j0 >= 0; j0 -= nb {
+			jb := min(nb, kRem-j0)
+			for jj := j0; jj < j0+jb; jj++ {
+				lacgv(n-kRem, w[jj+kwr*ldw:], ldw)
+				blas.Gemv(NoTrans, jj-j0+1, n-kRem, -one, a[j0+kRem*lda:], lda,
+					w[jj+kwr*ldw:], ldw, one, a[j0+jj*lda:], 1)
+				lacgv(n-kRem, w[jj+kwr*ldw:], ldw)
+				a[jj+jj*lda] = re(a[jj+jj*lda])
+			}
+			if j0 > 0 {
+				blas.Gemm(NoTrans, ConjTrans, j0, jb, n-kRem, -one, a[kRem*lda:], lda,
+					w[j0+kwr*ldw:], ldw, one, a[j0*lda:], lda)
+			}
+		}
+		for j := kRem; j < n; {
+			jj := j
+			jp := ipiv[j]
+			if jp < 0 {
+				jp = -jp - 1
+				j++
+			}
+			j++
+			if jp != jj && j < n {
+				blas.Swap(n-j, a[jp+j*lda:], lda, a[jj+j*lda:], lda)
+			}
+		}
+		return n - kRem, info
+	}
+	// Lower triangle.
+	k := 0
+	for !((k >= nb-1 && nb < n) || k >= n) {
+		// Copy column k (real diagonal) and update:
+		// A(k:n,k) -= A(k:n,0:k)·conj(w(k,0:k)).
+		w[k+k*ldw] = re(a[k+k*lda])
+		if k < n-1 {
+			blas.Copy(n-k-1, a[k+1+k*lda:], 1, w[k+1+k*ldw:], 1)
+		}
+		if k > 0 {
+			lacgv(k, w[k:], ldw)
+			blas.Gemv(NoTrans, n-k, k, -one, a[k:], lda, w[k:], ldw, one, w[k+k*ldw:], 1)
+			lacgv(k, w[k:], ldw)
+			w[k+k*ldw] = re(w[k+k*ldw])
+		}
+		kstep := 1
+		absakk := math.Abs(core.Re(w[k+k*ldw]))
+		imax, colmax := 0, 0.0
+		if k < n-1 {
+			imax = k + 1 + blas.Iamax(n-k-1, w[k+1+k*ldw:], 1)
+			colmax = core.Abs1(w[imax+k*ldw])
+		}
+		kp := k
+		if math.Max(absakk, colmax) == 0 {
+			if info == 0 {
+				info = k + 1
+			}
+			blas.Copy(n-k, w[k+k*ldw:], 1, a[k+k*lda:], 1)
+			a[k+k*lda] = re(w[k+k*ldw])
+		} else {
+			if absakk < bkAlpha*colmax {
+				// Updated column imax into w column k+1.
+				for j := k; j < imax; j++ {
+					w[j+(k+1)*ldw] = core.Conj(a[imax+j*lda])
+				}
+				w[imax+(k+1)*ldw] = re(a[imax+imax*lda])
+				if imax < n-1 {
+					blas.Copy(n-imax-1, a[imax+1+imax*lda:], 1, w[imax+1+(k+1)*ldw:], 1)
+				}
+				if k > 0 {
+					lacgv(k, w[imax:], ldw)
+					blas.Gemv(NoTrans, n-k, k, -one, a[k:], lda, w[imax:], ldw,
+						one, w[k+(k+1)*ldw:], 1)
+					lacgv(k, w[imax:], ldw)
+					w[imax+(k+1)*ldw] = re(w[imax+(k+1)*ldw])
+				}
+				jmax := k + blas.Iamax(imax-k, w[k+(k+1)*ldw:], 1)
+				rowmax := core.Abs1(w[jmax+(k+1)*ldw])
+				if imax < n-1 {
+					jmax = imax + 1 + blas.Iamax(n-imax-1, w[imax+1+(k+1)*ldw:], 1)
+					rowmax = math.Max(rowmax, core.Abs1(w[jmax+(k+1)*ldw]))
+				}
+				switch {
+				case absakk >= bkAlpha*colmax*(colmax/rowmax):
+					// kp = k: 1×1 pivot, no interchange.
+				case math.Abs(core.Re(w[imax+(k+1)*ldw])) >= bkAlpha*rowmax:
+					kp = imax
+					blas.Copy(n-k, w[k+(k+1)*ldw:], 1, w[k+k*ldw:], 1)
+				default:
+					kp = imax
+					kstep = 2
+				}
+			}
+			kk := k + kstep - 1
+			if kp != kk {
+				a[kp+kp*lda] = re(a[kk+kk*lda])
+				for j := kk + 1; j < kp; j++ {
+					a[kp+j*lda] = core.Conj(a[j+kk*lda])
+				}
+				if kp < n-1 {
+					blas.Copy(n-kp-1, a[kp+1+kk*lda:], 1, a[kp+1+kp*lda:], 1)
+				}
+				if k > 0 {
+					blas.Swap(k, a[kk:], lda, a[kp:], lda)
+				}
+				blas.Swap(kk+1, w[kk:], ldw, w[kp:], ldw)
+			}
+			if kstep == 1 {
+				blas.Copy(n-k, w[k+k*ldw:], 1, a[k+k*lda:], 1)
+				if k < n-1 {
+					blas.ScalReal(n-k-1, 1/core.Re(a[k+k*lda]), a[k+1+k*lda:], 1)
+				}
+			} else {
+				// 2×2 pivot: D = [d11̂ conj(d21); d21 d22̂] in rows k:k+1.
+				if k < n-2 {
+					d21 := w[k+1+k*ldw]
+					d11 := core.Div(w[k+1+(k+1)*ldw], d21)
+					d22 := core.Div(w[k+k*ldw], core.Conj(d21))
+					t := core.FromFloat[T](1 / (core.Re(d11*d22) - 1))
+					d21 = core.Div(t, d21)
+					for j := k + 2; j < n; j++ {
+						a[j+k*lda] = core.Conj(d21) * (d11*w[j+k*ldw] - w[j+(k+1)*ldw])
+						a[j+(k+1)*lda] = d21 * (d22*w[j+(k+1)*ldw] - w[j+k*ldw])
+					}
+				}
+				a[k+k*lda] = w[k+k*ldw]
+				a[k+1+k*lda] = w[k+1+k*ldw]
+				a[k+1+(k+1)*lda] = w[k+1+(k+1)*ldw]
+			}
+		}
+		if kstep == 1 {
+			ipiv[k] = kp
+		} else {
+			ipiv[k] = -(kp + 1)
+			ipiv[k+1] = -(kp + 1)
+		}
+		k += kstep
+	}
+	// A(k:n, k:n) -= L21·(D·L21ᴴ) in nb-wide column blocks.
+	for j0 := k; j0 < n; j0 += nb {
+		jb := min(nb, n-j0)
+		for jj := j0; jj < j0+jb; jj++ {
+			lacgv(k, w[jj:], ldw)
+			blas.Gemv(NoTrans, j0+jb-jj, k, -one, a[jj:], lda, w[jj:], ldw,
+				one, a[jj+jj*lda:], 1)
+			lacgv(k, w[jj:], ldw)
+			a[jj+jj*lda] = re(a[jj+jj*lda])
+		}
+		if j0+jb < n {
+			blas.Gemm(NoTrans, ConjTrans, n-j0-jb, jb, k, -one, a[j0+jb:], lda,
+				w[j0:], ldw, one, a[j0+jb+j0*lda:], lda)
+		}
+	}
+	for j := k - 1; j > 0; {
+		jj := j
+		jp := ipiv[j]
+		if jp < 0 {
+			jp = -jp - 1
+			j--
+		}
+		j--
+		if jp != jj && j >= 0 {
+			blas.Swap(j+1, a[jp:], lda, a[jj:], lda)
+		}
+	}
+	return k, info
+}
+
 // Hetrf computes the Bunch–Kaufman factorization of a Hermitian matrix
-// (xHETRF; delegates to the unblocked algorithm).
+// (xHETRF): lahef panels with Level-3 trailing updates, plus an unblocked
+// Hetf2 cleanup on the final block.
 func Hetrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
-	return Hetf2(uplo, n, a, lda, ipiv)
+	nb := Ilaenv(1, "HETRF", n, -1, -1, -1)
+	if nb <= 1 || nb >= n {
+		return Hetf2(uplo, n, a, lda, ipiv)
+	}
+	info := 0
+	w := make([]T, n*nb)
+	if uplo == Upper {
+		for k := n; k > 0; {
+			if k <= nb {
+				if iinfo := Hetf2(Upper, k, a, lda, ipiv[:k]); iinfo != 0 && info == 0 {
+					info = iinfo
+				}
+				break
+			}
+			kb, iinfo := lahef(Upper, k, nb, a, lda, ipiv, w, n)
+			if iinfo != 0 && info == 0 {
+				info = iinfo
+			}
+			k -= kb
+		}
+		return info
+	}
+	adjust := func(lo, hi, off int) {
+		for j := lo; j < hi; j++ {
+			if ipiv[j] >= 0 {
+				ipiv[j] += off
+			} else {
+				ipiv[j] -= off
+			}
+		}
+	}
+	for k := 0; k < n; {
+		if n-k <= nb {
+			if iinfo := Hetf2(Lower, n-k, a[k+k*lda:], lda, ipiv[k:]); iinfo != 0 && info == 0 {
+				info = iinfo + k
+			}
+			adjust(k, n, k)
+			break
+		}
+		kb, iinfo := lahef(Lower, n-k, nb, a[k+k*lda:], lda, ipiv[k:], w, n-k)
+		if iinfo != 0 && info == 0 {
+			info = iinfo + k
+		}
+		adjust(k, k+kb, k)
+		k += kb
+	}
+	return info
 }
 
 // Hetrs solves A·X = B using the Hermitian factorization from Hetrf

@@ -18,7 +18,12 @@
 // conjugation the implementation is shared across all four element types.
 package lapack
 
-import "repro/internal/blas"
+import (
+	"os"
+	"strconv"
+
+	"repro/internal/blas"
+)
 
 // Norm selects which matrix norm a xLANxx routine computes.
 type Norm byte
@@ -66,25 +71,74 @@ const (
 	Right     = blas.Right
 )
 
-// Ilaenv returns algorithm tuning parameters, the analogue of LAPACK's
-// ILAENV. ispec 1 requests the optimal block size for the named routine; the
-// LA_GETRI wrapper in the paper's Appendix C queries exactly this hook to
-// size its workspace.
+// Factorization tuning parameters consumed by Ilaenv. Like the GEMM blocking
+// parameters in internal/blas/tuning.go they have measured defaults and can
+// be pinned at startup through environment variables:
 //
-// Block sizes are tuned against the packed Level-3 engine in internal/blas:
-// its micro-kernel efficiency keeps rising with the GEMM depth k up to the
-// engine's kc, but the unblocked panel factorizations (Getf2 and friends)
-// scale with nb², so the factorization sweet spot sits below the seed's 64 —
-// measured on the blocked LU, nb = 48 beats both 32 and 64 for n ∈
-// [512, 1024].
+//	LA90_NB_GETRF  block size of the lookahead LU           (default 64/128)
+//	LA90_NB_POTRF  leaf size of the recursive Cholesky      (default 64)
+//	LA90_NB_GEQRF  block size of the QR/LQ family           (default 32)
+//	LA90_NB_SYTRF  panel width of blocked Sytrf/Hetrf       (default 48)
+//	LA90_NX_GEQRF  crossover below which QR/LQ stay unblocked (default 64)
+//	LA90_NB_GETRF2 leaf size of the recursive LU panel      (default 16)
+//
+// The defaults were re-measured against the packed Level-3 engine after the
+// factorizations moved their panels onto it (this PR): with recursive,
+// Level-3 panels the old nb² unblocked-panel penalty is gone, so LU prefers
+// wider panels at large n (deeper GEMM k per update, fewer pivot sweeps),
+// while QR keeps nb=32 (Larft/Larfb overhead grows as nb²·n).
+var (
+	nbGetrf   = 64  // LU block, n < 512
+	nbGetrfLg = 256 // LU block, n >= 512
+	nbPotrf   = 64  // recursive Cholesky leaf (Potf2 size)
+	nbGeqrf   = 32  // QR/LQ/Orgqr/Ormqr block
+	nbSytrf   = 48  // Bunch–Kaufman panel width
+	nxGeqrf   = 64  // QR/LQ unblocked crossover on min(m, n)
+	nbGetrf2  = 8   // recursive LU panel leaf (Getf2 size)
+)
+
+func init() {
+	envInt := func(name string, p *int) {
+		if s := os.Getenv(name); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				*p = v
+			}
+		}
+	}
+	envInt("LA90_NB_GETRF", &nbGetrf)
+	envInt("LA90_NB_GETRF", &nbGetrfLg) // one knob pins both size regimes
+	envInt("LA90_NB_POTRF", &nbPotrf)
+	envInt("LA90_NB_GEQRF", &nbGeqrf)
+	envInt("LA90_NB_SYTRF", &nbSytrf)
+	envInt("LA90_NX_GEQRF", &nxGeqrf)
+	envInt("LA90_NB_GETRF2", &nbGetrf2)
+}
+
+// Ilaenv returns algorithm tuning parameters, the analogue of LAPACK's
+// ILAENV. ispec 1 requests the optimal block size for the named routine
+// (name "GETRF2" is the leaf order below which the recursive LU panel falls
+// back to Getf2); ispec 3 is the crossover dimension below which the named
+// routine should use unblocked code. The LA_GETRI wrapper in the paper's
+// Appendix C queries exactly this hook to size its workspace.
 func Ilaenv(ispec int, name string, n1, n2, n3, n4 int) int {
 	switch ispec {
 	case 1: // optimal block size
 		switch name {
-		case "GETRF", "POTRF", "GETRI":
+		case "GETRF":
+			if max(n1, n2) >= 512 {
+				return nbGetrfLg
+			}
+			return nbGetrf
+		case "GETRF2":
+			return nbGetrf2
+		case "POTRF":
+			return nbPotrf
+		case "GETRI":
 			return 48
-		case "GEQRF", "GELQF", "ORGQR", "ORMQR":
-			return 32
+		case "SYTRF", "HETRF":
+			return nbSytrf
+		case "GEQRF", "GELQF", "ORGQR", "ORMQR", "ORGLQ", "ORMLQ":
+			return nbGeqrf
 		case "SYTRD", "GEBRD", "GEHRD":
 			return 32
 		}
@@ -92,6 +146,12 @@ func Ilaenv(ispec int, name string, n1, n2, n3, n4 int) int {
 	case 2: // minimum block size
 		return 2
 	case 3: // crossover point below which unblocked code is used
+		switch name {
+		case "GEQRF", "GELQF":
+			return nxGeqrf
+		case "ORGQR", "ORMQR", "ORGLQ", "ORMLQ":
+			return 8
+		}
 		return 128
 	}
 	return 1

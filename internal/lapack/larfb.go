@@ -9,7 +9,16 @@ import (
 // H = I − V·T·Vᴴ from k forward, columnwise-stored elementary reflectors
 // (xLARFT with direct='F', storev='C'). v is n×k with the reflectors in
 // its columns (unit diagonal implicit); t is k×k upper triangular output.
+//
+// Above a small size threshold the Gram matrix VᴴV — the only O(n·k²) part
+// of the computation — is built with a single rank-n Herk on a cleaned copy
+// of V (explicit unit diagonal, zeroed upper triangle), so the T build runs
+// on the packed Level-3 engine instead of k strided Gemv sweeps.
 func Larft[T core.Scalar](n, k int, v []T, ldv int, tau []T, t []T, ldt int) {
+	if n >= 64 && k >= 8 {
+		larftGemm(n, k, v, ldv, tau, t, ldt)
+		return
+	}
 	for i := 0; i < k; i++ {
 		if tau[i] == 0 {
 			for j := 0; j <= i; j++ {
@@ -24,6 +33,35 @@ func Larft[T core.Scalar](n, k int, v []T, ldv int, tau []T, t []T, ldt int) {
 			core.FromFloat[T](0), t[i*ldt:], 1)
 		v[i+i*ldv] = vii
 		// t(0:i, i) = T(0:i, 0:i) · t(0:i, i)
+		blas.Trmv(Upper, NoTrans, NonUnit, i, t, ldt, t[i*ldt:], 1)
+		t[i+i*ldt] = tau[i]
+	}
+}
+
+// larftGemm is the Level-3 path of Larft: s = VᴴV once via Herk, then the
+// usual triangular recurrence t(0:i,i) = T·(−tau_i·s(0:i,i)) per column.
+// The strict upper triangle of s(j,i), j < i, equals V(i:n,j)ᴴ·V(i:n,i)
+// exactly because the cleaned copy has an explicit unit diagonal and zeros
+// above it.
+func larftGemm[T core.Scalar](n, k int, v []T, ldv int, tau []T, t []T, ldt int) {
+	vc := make([]T, n*k)
+	for j := 0; j < k; j++ {
+		col := vc[j*n : j*n+n]
+		col[j] = core.FromFloat[T](1)
+		copy(col[j+1:], v[j+1+j*ldv:j*ldv+n])
+	}
+	s := make([]T, k*k)
+	blas.Herk(Upper, ConjTrans, k, n, 1, vc, n, 0, s, k)
+	for i := 0; i < k; i++ {
+		if tau[i] == 0 {
+			for j := 0; j <= i; j++ {
+				t[j+i*ldt] = 0
+			}
+			continue
+		}
+		for j := 0; j < i; j++ {
+			t[j+i*ldt] = -tau[i] * s[j+i*k]
+		}
 		blas.Trmv(Upper, NoTrans, NonUnit, i, t, ldt, t[i*ldt:], 1)
 		t[i+i*ldt] = tau[i]
 	}
@@ -71,6 +109,47 @@ func Larfb[T core.Scalar](trans Trans, m, n, k int, v []T, ldv int, t []T, ldt i
 	}
 }
 
+// larfbRight applies a block reflector H or Hᴴ from the right to an m×n
+// matrix C (xLARFB with side='R', direct='F', storev='C'): C := C·H (trans
+// = NoTrans) or C·Hᴴ. v is n×k columnwise, t is the k×k factor from Larft;
+// work must have length at least m*k.
+func larfbRight[T core.Scalar](trans Trans, m, n, k int, v []T, ldv int, t []T, ldt int, c []T, ldc int, work []T) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	one := core.FromFloat[T](1)
+	ldw := max(1, m)
+	w := work[:ldw*k]
+	// W := C1 (m×k), where C1 = C(:, 0:k).
+	for j := 0; j < k; j++ {
+		copy(w[j*ldw:j*ldw+m], c[j*ldc:j*ldc+m])
+	}
+	// W := W · V1 (V1 unit lower triangular k×k).
+	blas.Trmm(Right, Lower, NoTrans, Unit, m, k, one, v, ldv, w, ldw)
+	if n > k {
+		// W += C2 · V2.
+		blas.Gemm(NoTrans, NoTrans, m, k, n-k, one, c[k*ldc:], ldc, v[k:], ldv, one, w, ldw)
+	}
+	// W := W · T (apply H) or W · Tᴴ (apply Hᴴ).
+	tt := NoTrans
+	if trans != NoTrans {
+		tt = ConjTrans
+	}
+	blas.Trmm(Right, Upper, tt, NonUnit, m, k, one, t, ldt, w, ldw)
+	// C2 −= W · V2ᴴ.
+	if n > k {
+		blas.Gemm(NoTrans, ConjTrans, m, n-k, k, -one, w, ldw, v[k:], ldv, one, c[k*ldc:], ldc)
+	}
+	// W := W · V1ᴴ.
+	blas.Trmm(Right, Lower, ConjTrans, Unit, m, k, one, v, ldv, w, ldw)
+	// C1 −= W.
+	for j := 0; j < k; j++ {
+		for i := 0; i < m; i++ {
+			c[i+j*ldc] -= w[i+j*ldw]
+		}
+	}
+}
+
 // geqrfBlocked is the Level-3 QR factorization (xGEQRF): panels are
 // factored with the unblocked kernel and the trailing matrix is updated
 // with block reflectors.
@@ -86,6 +165,106 @@ func geqrfBlocked[T core.Scalar](m, n int, a []T, lda int, tau []T, nb int) {
 			Larft(m-j, jb, a[j+j*lda:], lda, tau[j:j+jb], tmat, nb)
 			Larfb(ConjTrans, m-j, n-j-jb, jb, a[j+j*lda:], lda, tmat, nb,
 				a[j+(j+jb)*lda:], lda, work)
+		}
+	}
+}
+
+// gelqfBlocked is the Level-3 LQ factorization (xGELQF). Gelq2 stores row i
+// of the panel as conj(v_i), so each panel's reflectors are materialized
+// into a columnwise scratch V (unit diagonal explicit, conjugated tail);
+// the trailing rows then take C := C·(I − V·T·Vᴴ) through the columnwise
+// Larft and the right-side Larfb — no rowwise variants needed.
+func gelqfBlocked[T core.Scalar](m, n int, a []T, lda int, tau []T, nb int) {
+	mn := min(m, n)
+	work := make([]T, max(1, m)*nb)
+	tmat := make([]T, nb*nb)
+	panelWork := make([]T, max(1, m))
+	vbuf := make([]T, max(1, n)*nb)
+	for j := 0; j < mn; j += nb {
+		jb := min(nb, mn-j)
+		Gelq2(jb, n-j, a[j+j*lda:], lda, tau[j:j+jb], panelWork)
+		if j+jb < m {
+			nv := n - j
+			for i := 0; i < jb; i++ {
+				col := vbuf[i*nv : i*nv+nv]
+				for l := 0; l < i; l++ {
+					col[l] = 0
+				}
+				col[i] = core.FromFloat[T](1)
+				for l := i + 1; l < nv; l++ {
+					col[l] = core.Conj(a[j+i+(j+l)*lda])
+				}
+			}
+			Larft(nv, jb, vbuf, nv, tau[j:j+jb], tmat, nb)
+			larfbRight(NoTrans, m-j-jb, nv, jb, vbuf, nv, tmat, nb,
+				a[j+jb+j*lda:], lda, work)
+		}
+	}
+}
+
+// orgqrBlocked generates the explicit Q factor from Geqrf output using block
+// reflectors (xORGQR/xUNGQR): blocks are applied back-to-front, each via one
+// Larft + Larfb pair plus an unblocked Org2r on the block's own columns.
+func orgqrBlocked[T core.Scalar](m, n, k int, a []T, lda int, tau []T, nb int) {
+	ki := ((k - 1) / nb) * nb
+	kk := min(k, ki+nb)
+	// Columns kk:n only see reflectors kk:k; handle them unblocked first.
+	for j := kk; j < n; j++ {
+		for i := 0; i < kk; i++ {
+			a[i+j*lda] = 0
+		}
+	}
+	if kk < n {
+		Org2r(m-kk, n-kk, k-kk, a[kk+kk*lda:], lda, tau[kk:])
+	}
+	tmat := make([]T, nb*nb)
+	work := make([]T, max(1, n)*nb)
+	for i := ki; i >= 0; i -= nb {
+		ib := min(nb, k-i)
+		if i+ib < n {
+			Larft(m-i, ib, a[i+i*lda:], lda, tau[i:i+ib], tmat, nb)
+			Larfb(NoTrans, m-i, n-i-ib, ib, a[i+i*lda:], lda, tmat, nb,
+				a[i+(i+ib)*lda:], lda, work)
+		}
+		Org2r(m-i, ib, ib, a[i+i*lda:], lda, tau[i:i+ib])
+		for j := i; j < i+ib; j++ {
+			for l := 0; l < i; l++ {
+				a[l+j*lda] = 0
+			}
+		}
+	}
+}
+
+// ormqrBlocked applies Q or Qᴴ from Geqrf output to C using block
+// reflectors (xORMQR/xUNMQR).
+func ormqrBlocked[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, tau []T, c []T, ldc int, nb int) {
+	notran := trans == NoTrans
+	// Block order: same reflector ordering as the unblocked Ormqr loop.
+	forward := (side == Left) != notran
+	tmat := make([]T, nb*nb)
+	var work []T
+	if side == Left {
+		work = make([]T, max(1, n)*nb)
+	} else {
+		work = make([]T, max(1, m)*nb)
+	}
+	step := func(i int) {
+		ib := min(nb, k-i)
+		if side == Left {
+			Larft(m-i, ib, a[i+i*lda:], lda, tau[i:i+ib], tmat, nb)
+			Larfb(trans, m-i, n, ib, a[i+i*lda:], lda, tmat, nb, c[i:], ldc, work)
+		} else {
+			Larft(n-i, ib, a[i+i*lda:], lda, tau[i:i+ib], tmat, nb)
+			larfbRight(trans, m, n-i, ib, a[i+i*lda:], lda, tmat, nb, c[i*ldc:], ldc, work)
+		}
+	}
+	if forward {
+		for i := 0; i < k; i += nb {
+			step(i)
+		}
+	} else {
+		for i := ((k - 1) / nb) * nb; i >= 0; i -= nb {
+			step(i)
 		}
 	}
 }

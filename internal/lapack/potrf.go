@@ -74,39 +74,35 @@ func lacgv[T core.Scalar](n int, x []T, incX int) {
 	}
 }
 
-// Potrf computes the blocked Cholesky factorization of a positive definite
-// matrix (xPOTRF). Semantics are identical to Potf2.
+// Potrf computes the Cholesky factorization of a positive definite matrix
+// by recursion on the order (xPOTRF2 style): the leading half is factored
+// recursively, the off-diagonal block is one triangular solve, the trailing
+// half is one Herk plus the trailing recursion. Halving keeps the Trsm and
+// Herk operands as square as possible, so nearly all flops reach the packed
+// GEMM engine at its favourite shapes instead of as rank-nb updates.
+// Semantics are identical to Potf2.
 func Potrf[T core.Scalar](uplo Uplo, n int, a []T, lda int) int {
 	nb := Ilaenv(1, "POTRF", n, -1, -1, -1)
-	if nb <= 1 || nb >= n {
+	if nb <= 1 || n <= nb {
 		return Potf2(uplo, n, a, lda)
 	}
 	one := core.FromFloat[T](1)
-	for j := 0; j < n; j += nb {
-		jb := min(nb, n-j)
-		if uplo == Upper {
-			blas.Herk(Upper, ConjTrans, jb, j, -1, a[j*lda:], lda, 1, a[j+j*lda:], lda)
-			if info := Potf2(Upper, jb, a[j+j*lda:], lda); info != 0 {
-				return info + j
-			}
-			if j+jb < n {
-				blas.Gemm(ConjTrans, NoTrans, jb, n-j-jb, j, -one,
-					a[j*lda:], lda, a[(j+jb)*lda:], lda, one, a[j+(j+jb)*lda:], lda)
-				blas.Trsm(Left, Upper, ConjTrans, NonUnit, jb, n-j-jb, one,
-					a[j+j*lda:], lda, a[j+(j+jb)*lda:], lda)
-			}
-		} else {
-			blas.Herk(Lower, NoTrans, jb, j, -1, a[j:], lda, 1, a[j+j*lda:], lda)
-			if info := Potf2(Lower, jb, a[j+j*lda:], lda); info != 0 {
-				return info + j
-			}
-			if j+jb < n {
-				blas.Gemm(NoTrans, ConjTrans, n-j-jb, jb, j, -one,
-					a[j+jb:], lda, a[j:], lda, one, a[j+jb+j*lda:], lda)
-				blas.Trsm(Right, Lower, ConjTrans, NonUnit, n-j-jb, jb, one,
-					a[j+j*lda:], lda, a[j+jb+j*lda:], lda)
-			}
-		}
+	n1 := n / 2
+	n2 := n - n1
+	if info := Potrf(uplo, n1, a, lda); info != 0 {
+		return info
+	}
+	if uplo == Upper {
+		// A12 := U11⁻ᴴ·A12; A22 := A22 − A12ᴴ·A12.
+		blas.Trsm(Left, Upper, ConjTrans, NonUnit, n1, n2, one, a, lda, a[n1*lda:], lda)
+		blas.Herk(Upper, ConjTrans, n2, n1, -1, a[n1*lda:], lda, 1, a[n1+n1*lda:], lda)
+	} else {
+		// A21 := A21·L11⁻ᴴ; A22 := A22 − A21·A21ᴴ.
+		blas.Trsm(Right, Lower, ConjTrans, NonUnit, n2, n1, one, a, lda, a[n1:], lda)
+		blas.Herk(Lower, NoTrans, n2, n1, -1, a[n1:], lda, 1, a[n1+n1*lda:], lda)
+	}
+	if info := Potrf(uplo, n2, a[n1+n1*lda:], lda); info != 0 {
+		return info + n1
 	}
 	return 0
 }

@@ -88,7 +88,7 @@ func Geqr2[T core.Scalar](m, n int, a []T, lda int, tau []T, work []T) {
 // blocked Level-3 updates above the ILAENV crossover.
 func Geqrf[T core.Scalar](m, n int, a []T, lda int, tau []T) {
 	nb := Ilaenv(1, "GEQRF", m, n, -1, -1)
-	if min(m, n) > 2*nb {
+	if nb > 1 && min(m, n) > Ilaenv(3, "GEQRF", m, n, -1, -1) {
 		geqrfBlocked(m, n, a, lda, tau, nb)
 		return
 	}
@@ -126,8 +126,14 @@ func Org2r[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
 }
 
 // Orgqr generates the first k columns of Q from a QR factorization
-// (xORGQR/xUNGQR).
+// (xORGQR/xUNGQR), applying block reflectors when k exceeds the ILAENV
+// crossover.
 func Orgqr[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
+	nb := Ilaenv(1, "ORGQR", m, n, k, -1)
+	if nb > 1 && k > Ilaenv(3, "ORGQR", m, n, k, -1) {
+		orgqrBlocked(m, n, k, a, lda, tau, nb)
+		return
+	}
 	Org2r(m, n, k, a, lda, tau)
 }
 
@@ -137,6 +143,11 @@ func Orgqr[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
 // for Qᵀ in real arithmetic).
 func Ormqr[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, tau []T, c []T, ldc int) {
 	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	nb := Ilaenv(1, "ORMQR", m, n, k, -1)
+	if nb > 1 && k > Ilaenv(3, "ORMQR", m, n, k, -1) {
+		ormqrBlocked(side, trans, m, n, k, a, lda, tau, c, ldc, nb)
 		return
 	}
 	wlen := n
@@ -182,8 +193,14 @@ func Gelq2[T core.Scalar](m, n int, a []T, lda int, tau []T, work []T) {
 	}
 }
 
-// Gelqf computes the LQ factorization of an m×n matrix (xGELQF).
+// Gelqf computes the LQ factorization of an m×n matrix (xGELQF), using
+// blocked Level-3 updates above the ILAENV crossover.
 func Gelqf[T core.Scalar](m, n int, a []T, lda int, tau []T) {
+	nb := Ilaenv(1, "GELQF", m, n, -1, -1)
+	if nb > 1 && min(m, n) > Ilaenv(3, "GELQF", m, n, -1, -1) {
+		gelqfBlocked(m, n, a, lda, tau, nb)
+		return
+	}
 	work := make([]T, max(1, m))
 	Gelq2(m, n, a, lda, tau, work)
 }

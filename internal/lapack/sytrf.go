@@ -187,10 +187,329 @@ func Sytf2[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
 	return info
 }
 
+// lasyf factors the last (Upper) or first (Lower) panel of a symmetric
+// matrix with the Bunch–Kaufman pivoting strategy and applies the panel's
+// transformations to the rest of the matrix with Level-3 updates (xLASYF).
+// w is an n×nb workspace holding the updated panel columns (the columns of
+// U·D or L·D); kb is the number of columns actually factored — possibly
+// nb-1, and one less than requested when the last pivot turned out 2×2.
+// Pivots in ipiv and the info return follow Sytf2.
+func lasyf[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []T, ldw int) (kb, info int) {
+	one := core.FromFloat[T](1)
+	if uplo == Upper {
+		// Factor columns n-1 down to at most n-nb+1, storing updated
+		// columns in the trailing columns of w: A column k lives in w
+		// column kw = nb-n+k.
+		k := n - 1
+		for !((k <= n-nb && nb < n) || k < 0) {
+			kw := nb - n + k
+			// Copy column k and apply the updates from the columns already
+			// factored in this panel.
+			blas.Copy(k+1, a[k*lda:], 1, w[kw*ldw:], 1)
+			if k < n-1 {
+				blas.Gemv(NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
+					w[k+(kw+1)*ldw:], ldw, one, w[kw*ldw:], 1)
+			}
+			kstep := 1
+			absakk := core.Abs1(w[k+kw*ldw])
+			imax, colmax := 0, 0.0
+			if k > 0 {
+				imax = blas.Iamax(k, w[kw*ldw:], 1)
+				colmax = core.Abs1(w[imax+kw*ldw])
+			}
+			kp := k
+			if math.Max(absakk, colmax) == 0 {
+				if info == 0 {
+					info = k + 1
+				}
+				blas.Copy(k+1, w[kw*ldw:], 1, a[k*lda:], 1)
+			} else {
+				if absakk < bkAlpha*colmax {
+					// Build the updated column imax in w column kw-1 to run
+					// the rook-style comparison against its row maximum.
+					blas.Copy(imax+1, a[imax*lda:], 1, w[(kw-1)*ldw:], 1)
+					for j := imax + 1; j <= k; j++ {
+						w[j+(kw-1)*ldw] = a[imax+j*lda]
+					}
+					if k < n-1 {
+						blas.Gemv(NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
+							w[imax+(kw+1)*ldw:], ldw, one, w[(kw-1)*ldw:], 1)
+					}
+					jmax := imax + 1 + blas.Iamax(k-imax, w[imax+1+(kw-1)*ldw:], 1)
+					rowmax := core.Abs1(w[jmax+(kw-1)*ldw])
+					if imax > 0 {
+						jmax = blas.Iamax(imax, w[(kw-1)*ldw:], 1)
+						rowmax = math.Max(rowmax, core.Abs1(w[jmax+(kw-1)*ldw]))
+					}
+					switch {
+					case absakk >= bkAlpha*colmax*(colmax/rowmax):
+						// kp = k: 1×1 pivot, no interchange.
+					case core.Abs1(w[imax+(kw-1)*ldw]) >= bkAlpha*rowmax:
+						kp = imax
+						blas.Copy(k+1, w[(kw-1)*ldw:], 1, w[kw*ldw:], 1)
+					default:
+						kp = imax
+						kstep = 2
+					}
+				}
+				kk := k - kstep + 1
+				kkw := nb - n + kk
+				if kp != kk {
+					// Move row/column kk of the leading block to position kp
+					// (column kk's data survives in w).
+					a[kp+kp*lda] = a[kk+kk*lda]
+					for j := kp + 1; j < kk; j++ {
+						a[kp+j*lda] = a[j+kk*lda]
+					}
+					if kp > 0 {
+						blas.Copy(kp, a[kk*lda:], 1, a[kp*lda:], 1)
+					}
+					if k < n-1 {
+						blas.Swap(n-1-k, a[kk+(k+1)*lda:], lda, a[kp+(k+1)*lda:], lda)
+					}
+					blas.Swap(n-kk, w[kk+kkw*ldw:], ldw, w[kp+kkw*ldw:], ldw)
+				}
+				if kstep == 1 {
+					// Store U(:,k) = w(:,kw)/d(k,k).
+					blas.Copy(k+1, w[kw*ldw:], 1, a[k*lda:], 1)
+					r1 := core.Div(one, a[k+k*lda])
+					blas.Scal(k, r1, a[k*lda:], 1)
+				} else {
+					// 2×2 pivot in rows/columns k-1:k; store the two columns
+					// of U = W·D⁻¹.
+					if k > 1 {
+						d12 := w[k-1+kw*ldw]
+						d11 := core.Div(w[k+kw*ldw], d12)
+						d22 := core.Div(w[k-1+(kw-1)*ldw], d12)
+						t := core.Div(one, d11*d22-one)
+						d12 = core.Div(t, d12)
+						for j := 0; j < k-1; j++ {
+							a[j+(k-1)*lda] = d12 * (d11*w[j+(kw-1)*ldw] - w[j+kw*ldw])
+							a[j+k*lda] = d12 * (d22*w[j+kw*ldw] - w[j+(kw-1)*ldw])
+						}
+					}
+					a[k-1+(k-1)*lda] = w[k-1+(kw-1)*ldw]
+					a[k-1+k*lda] = w[k-1+kw*ldw]
+					a[k+k*lda] = w[k+kw*ldw]
+				}
+			}
+			if kstep == 1 {
+				ipiv[k] = kp
+			} else {
+				ipiv[k] = -(kp + 1)
+				ipiv[k-1] = -(kp + 1)
+			}
+			k -= kstep
+		}
+		// Level-3 update of the unfactored leading block
+		// A(0:k+1, 0:k+1) -= U12·(D·U12ᵀ), processed in nb-wide column
+		// blocks: a triangular Gemv strip plus one rectangular Gemm each.
+		kRem := k + 1
+		kwr := nb - n + kRem
+		for j0 := ((kRem - 1) / nb) * nb; j0 >= 0; j0 -= nb {
+			jb := min(nb, kRem-j0)
+			for jj := j0; jj < j0+jb; jj++ {
+				blas.Gemv(NoTrans, jj-j0+1, n-kRem, -one, a[j0+kRem*lda:], lda,
+					w[jj+kwr*ldw:], ldw, one, a[j0+jj*lda:], 1)
+			}
+			if j0 > 0 {
+				blas.Gemm(NoTrans, TransT, j0, jb, n-kRem, -one, a[kRem*lda:], lda,
+					w[j0+kwr*ldw:], ldw, one, a[j0*lda:], lda)
+			}
+		}
+		// Put U12 in standard form: partially undo the interchanges in the
+		// factored columns so Sytrs can apply ipiv sequentially.
+		for j := kRem; j < n; {
+			jj := j
+			jp := ipiv[j]
+			if jp < 0 {
+				jp = -jp - 1
+				j++
+			}
+			j++
+			if jp != jj && j < n {
+				blas.Swap(n-j, a[jp+j*lda:], lda, a[jj+j*lda:], lda)
+			}
+		}
+		return n - kRem, info
+	}
+	// Lower triangle: factor columns 0 .. at most nb-2, A column k in w
+	// column k.
+	k := 0
+	for !((k >= nb-1 && nb < n) || k >= n) {
+		blas.Copy(n-k, a[k+k*lda:], 1, w[k+k*ldw:], 1)
+		if k > 0 {
+			blas.Gemv(NoTrans, n-k, k, -one, a[k:], lda, w[k:], ldw, one, w[k+k*ldw:], 1)
+		}
+		kstep := 1
+		absakk := core.Abs1(w[k+k*ldw])
+		imax, colmax := 0, 0.0
+		if k < n-1 {
+			imax = k + 1 + blas.Iamax(n-k-1, w[k+1+k*ldw:], 1)
+			colmax = core.Abs1(w[imax+k*ldw])
+		}
+		kp := k
+		if math.Max(absakk, colmax) == 0 {
+			if info == 0 {
+				info = k + 1
+			}
+			blas.Copy(n-k, w[k+k*ldw:], 1, a[k+k*lda:], 1)
+		} else {
+			if absakk < bkAlpha*colmax {
+				// Updated column imax into w column k+1.
+				for j := k; j < imax; j++ {
+					w[j+(k+1)*ldw] = a[imax+j*lda]
+				}
+				blas.Copy(n-imax, a[imax+imax*lda:], 1, w[imax+(k+1)*ldw:], 1)
+				if k > 0 {
+					blas.Gemv(NoTrans, n-k, k, -one, a[k:], lda, w[imax:], ldw,
+						one, w[k+(k+1)*ldw:], 1)
+				}
+				jmax := k + blas.Iamax(imax-k, w[k+(k+1)*ldw:], 1)
+				rowmax := core.Abs1(w[jmax+(k+1)*ldw])
+				if imax < n-1 {
+					jmax = imax + 1 + blas.Iamax(n-imax-1, w[imax+1+(k+1)*ldw:], 1)
+					rowmax = math.Max(rowmax, core.Abs1(w[jmax+(k+1)*ldw]))
+				}
+				switch {
+				case absakk >= bkAlpha*colmax*(colmax/rowmax):
+					// kp = k: 1×1 pivot, no interchange.
+				case core.Abs1(w[imax+(k+1)*ldw]) >= bkAlpha*rowmax:
+					kp = imax
+					blas.Copy(n-k, w[k+(k+1)*ldw:], 1, w[k+k*ldw:], 1)
+				default:
+					kp = imax
+					kstep = 2
+				}
+			}
+			kk := k + kstep - 1
+			if kp != kk {
+				a[kp+kp*lda] = a[kk+kk*lda]
+				for j := kk + 1; j < kp; j++ {
+					a[kp+j*lda] = a[j+kk*lda]
+				}
+				if kp < n-1 {
+					blas.Copy(n-kp-1, a[kp+1+kk*lda:], 1, a[kp+1+kp*lda:], 1)
+				}
+				if k > 0 {
+					blas.Swap(k, a[kk:], lda, a[kp:], lda)
+				}
+				blas.Swap(kk+1, w[kk:], ldw, w[kp:], ldw)
+			}
+			if kstep == 1 {
+				blas.Copy(n-k, w[k+k*ldw:], 1, a[k+k*lda:], 1)
+				if k < n-1 {
+					r1 := core.Div(one, a[k+k*lda])
+					blas.Scal(n-k-1, r1, a[k+1+k*lda:], 1)
+				}
+			} else {
+				if k < n-2 {
+					d21 := w[k+1+k*ldw]
+					d11 := core.Div(w[k+1+(k+1)*ldw], d21)
+					d22 := core.Div(w[k+k*ldw], d21)
+					t := core.Div(one, d11*d22-one)
+					d21 = core.Div(t, d21)
+					for j := k + 2; j < n; j++ {
+						a[j+k*lda] = d21 * (d11*w[j+k*ldw] - w[j+(k+1)*ldw])
+						a[j+(k+1)*lda] = d21 * (d22*w[j+(k+1)*ldw] - w[j+k*ldw])
+					}
+				}
+				a[k+k*lda] = w[k+k*ldw]
+				a[k+1+k*lda] = w[k+1+k*ldw]
+				a[k+1+(k+1)*lda] = w[k+1+(k+1)*ldw]
+			}
+		}
+		if kstep == 1 {
+			ipiv[k] = kp
+		} else {
+			ipiv[k] = -(kp + 1)
+			ipiv[k+1] = -(kp + 1)
+		}
+		k += kstep
+	}
+	// Level-3 update of the trailing block A(k:n, k:n) -= L21·(D·L21ᵀ).
+	for j0 := k; j0 < n; j0 += nb {
+		jb := min(nb, n-j0)
+		for jj := j0; jj < j0+jb; jj++ {
+			blas.Gemv(NoTrans, j0+jb-jj, k, -one, a[jj:], lda, w[jj:], ldw,
+				one, a[jj+jj*lda:], 1)
+		}
+		if j0+jb < n {
+			blas.Gemm(NoTrans, TransT, n-j0-jb, jb, k, -one, a[j0+jb:], lda,
+				w[j0:], ldw, one, a[j0+jb+j0*lda:], lda)
+		}
+	}
+	// Partially undo the interchanges to put L21 in standard form.
+	for j := k - 1; j > 0; {
+		jj := j
+		jp := ipiv[j]
+		if jp < 0 {
+			jp = -jp - 1
+			j--
+		}
+		j--
+		if jp != jj && j >= 0 {
+			blas.Swap(j+1, a[jp:], lda, a[jj:], lda)
+		}
+	}
+	return k, info
+}
+
 // Sytrf computes the Bunch–Kaufman factorization of a symmetric matrix
-// (xSYTRF; delegates to the unblocked algorithm).
+// (xSYTRF): panels are factored with lasyf so the bulk of the update flops
+// run as Level-3 Gemm calls, with an unblocked Sytf2 cleanup on the last
+// sub-panel block.
 func Sytrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
-	return Sytf2(uplo, n, a, lda, ipiv)
+	nb := Ilaenv(1, "SYTRF", n, -1, -1, -1)
+	if nb <= 1 || nb >= n {
+		return Sytf2(uplo, n, a, lda, ipiv)
+	}
+	info := 0
+	w := make([]T, n*nb)
+	if uplo == Upper {
+		// Peel panels off the trailing columns; the leading block shrinks.
+		for k := n; k > 0; {
+			if k <= nb {
+				if iinfo := Sytf2(Upper, k, a, lda, ipiv[:k]); iinfo != 0 && info == 0 {
+					info = iinfo
+				}
+				break
+			}
+			kb, iinfo := lasyf(Upper, k, nb, a, lda, ipiv, w, n)
+			if iinfo != 0 && info == 0 {
+				info = iinfo
+			}
+			k -= kb
+		}
+		return info
+	}
+	// Lower: peel panels off the leading columns; pivot indices and info
+	// come back relative to the submatrix and are shifted to global rows.
+	adjust := func(lo, hi, off int) {
+		for j := lo; j < hi; j++ {
+			if ipiv[j] >= 0 {
+				ipiv[j] += off
+			} else {
+				ipiv[j] -= off
+			}
+		}
+	}
+	for k := 0; k < n; {
+		if n-k <= nb {
+			if iinfo := Sytf2(Lower, n-k, a[k+k*lda:], lda, ipiv[k:]); iinfo != 0 && info == 0 {
+				info = iinfo + k
+			}
+			adjust(k, n, k)
+			break
+		}
+		kb, iinfo := lasyf(Lower, n-k, nb, a[k+k*lda:], lda, ipiv[k:], w, n-k)
+		if iinfo != 0 && info == 0 {
+			info = iinfo + k
+		}
+		adjust(k, k+kb, k)
+		k += kb
+	}
+	return info
 }
 
 // Sytrs solves A·X = B using the factorization from Sytrf (xSYTRS).
