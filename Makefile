@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench benchsmoke
+.PHONY: ci vet build test race bench benchsmoke fuzzsmoke fuzz
 
-ci: vet build test race benchsmoke
+ci: vet build test race fuzzsmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -20,8 +20,24 @@ build:
 test:
 	$(GO) test ./...
 
+# The race run covers the threaded engine, the factorizations driving it,
+# and the la boundary — including the chaos tests that panic workers on
+# purpose, so panic containment is itself exercised under the detector.
 race:
-	$(GO) test -race ./internal/blas/ ./internal/lapack/
+	$(GO) test -race ./internal/blas/ ./internal/lapack/ ./la/
+
+# Bounded fuzz gate: a short randomized burst per target on every CI run.
+# Failures minimize into la/testdata/fuzz/ and then replay forever under
+# plain `go test`, so anything fuzzsmoke shakes out stays fixed.
+FUZZTIME ?= 5s
+fuzzsmoke:
+	$(GO) test ./la/ -fuzz='^FuzzGESV$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./la/ -fuzz='^FuzzGELS$$' -fuzztime=$(FUZZTIME)
+
+# Open-ended fuzzing session for one target: make fuzz TARGET=FuzzGESV
+TARGET ?= FuzzGESV
+fuzz:
+	$(GO) test ./la/ -fuzz='^$(TARGET)$$' -fuzztime=10m
 
 # Compile-and-run check for the benchmarks: one iteration each of the GEMM
 # engine and factorization benchmarks, no timing claims.

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // Packed, cache-blocked GEMM engine (the BLIS/GotoBLAS decomposition, see
@@ -33,17 +34,25 @@ import (
 // supports them (see gemmkernel_amd64.s), everything else the portable 4×4
 // register kernel below.
 
+// asmF64/asmF32 report whether the assembly micro-kernels may be used right
+// now: the static CPU + LA90_NO_ASM gate, minus the test-only fault-injection
+// override that forces the portable kernels. Every dispatch site reads these
+// instead of the raw gate variables so a single toggle reroutes the whole
+// engine consistently (geometry and kernel must always agree).
+func asmF64() bool { return useAsmF64 && !faultinject.PortableOnly() }
+func asmF32() bool { return useAsmF32 && !faultinject.PortableOnly() }
+
 // microGeom returns the register micro-tile geometry for element type T,
 // matching the kernel macroKernel will dispatch to.
 func microGeom[T core.Scalar]() (mr, nr int) {
 	var z T
 	switch any(z).(type) {
 	case float64:
-		if useAsmF64 {
+		if asmF64() {
 			return asmF64MR, asmF64NR
 		}
 	case float32:
-		if useAsmF32 {
+		if asmF32() {
 			return asmF32MR, asmF32NR
 		}
 	}
@@ -57,9 +66,9 @@ func hasFastKernel[T core.Scalar]() bool {
 	var z T
 	switch any(z).(type) {
 	case float64:
-		return useAsmF64
+		return asmF64()
 	case float32:
-		return useAsmF32
+		return asmF32()
 	}
 	return false
 }
@@ -118,6 +127,9 @@ func gemmEngine[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T
 					mb := min(mc, m-ic)
 					ap := aPack[:kb*roundUp(mb, mr)]
 					packA(ap, mr, transA, alpha, a, lda, ic, mb, pc, kb)
+					if faultinject.TakePackPoison() {
+						ap[0] = core.NaN[T]()
+					}
 					macroKernel(kb, mb, nb, mr, nr, ap, bPack, c[ic+jc*ldc:], ldc)
 				}
 				putScratch(aPack)
@@ -217,12 +229,12 @@ func packB[T core.Scalar](dst []T, nr int, trans Trans, b []T, ldb int, p0, kb, 
 func macroKernel[T core.Scalar](kb, mb, nb, mr, nr int, aPack, bPack []T, c []T, ldc int) {
 	switch cc := any(c).(type) {
 	case []float64:
-		if useAsmF64 {
+		if asmF64() {
 			macroKernelF64(kb, mb, nb, any(aPack).([]float64), any(bPack).([]float64), cc, ldc)
 			return
 		}
 	case []float32:
-		if useAsmF32 {
+		if asmF32() {
 			macroKernelF32(kb, mb, nb, any(aPack).([]float32), any(bPack).([]float32), cc, ldc)
 			return
 		}

@@ -758,7 +758,7 @@ func trsmBase[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n 
 		for ; l+8 <= hi; l += 8 {
 			t0, t1, t2, t3 := opA(l, j), opA(l+1, j), opA(l+2, j), opA(l+3, j)
 			t4, t5, t6, t7 := opA(l+4, j), opA(l+5, j), opA(l+6, j), opA(l+7, j)
-			if useAsmF64 {
+			if asmF64() {
 				if bjf, ok := any(bj).([]float64); ok {
 					ts := [8]float64{
 						any(t0).(float64), any(t1).(float64), any(t2).(float64), any(t3).(float64),
@@ -845,7 +845,7 @@ func trsmBase[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n 
 // dimension ldb), halving the number of passes over the triangle relative to
 // the four-wide kernel. Columns must already carry any alpha scaling.
 func trsvOct[T core.Scalar](uplo Uplo, diag Diag, m int, a []T, lda int, b []T, ldb int) {
-	if useAsmF64 {
+	if asmF64() {
 		if bf, ok := any(b).([]float64); ok {
 			trsvOctF64(uplo, diag, m, any(a).([]float64), lda, bf, ldb)
 			return

@@ -1,11 +1,14 @@
 package blas
 
 import (
-	"os"
+	"fmt"
 	"runtime"
-	"strconv"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // Threading model for the Level-3 engine. Parallelism is applied at exactly
@@ -19,26 +22,35 @@ import (
 // LA90_NUM_THREADS environment variable at startup, and can be changed at any
 // time with SetThreads. Kernels below gemmParallelMinVol always run serially
 // so small-matrix latency does not pay goroutine hand-off costs.
+//
+// Fault containment: a panic on a worker goroutine would normally kill the
+// whole process, since no caller defer can recover across goroutines. Fork
+// and parallelRange therefore run every task under a recover, record the
+// first panic (with its worker stack), wait for the remaining workers to
+// drain, and re-panic the captured value on the calling goroutine. The fault
+// then unwinds through ordinary caller defers — in particular the recovery
+// guard at the la API boundary — exactly as a serial panic would.
+
+// maxThreads bounds the worker budget accepted from the environment or
+// SetThreads. It is far above any useful oversubscription; its only job is to
+// keep a mistyped LA90_NUM_THREADS from provisioning absurd goroutine counts.
+const maxThreads = 1024
 
 var numThreads atomic.Int32
 
 func init() {
-	n := runtime.GOMAXPROCS(0)
-	if s := os.Getenv("LA90_NUM_THREADS"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v > 0 {
-			n = v
-		}
-	}
-	numThreads.Store(int32(n))
+	def := runtime.GOMAXPROCS(0)
+	numThreads.Store(int32(core.EnvInt("LA90_NUM_THREADS", def, 1, maxThreads)))
 }
 
 // SetThreads sets the maximum number of goroutines Level-3 kernels may use
 // and returns the previous setting. n < 1 leaves the setting unchanged;
-// n == 1 forces fully serial execution. Safe to call concurrently.
+// n == 1 forces fully serial execution; values above an internal bound are
+// clamped. Safe to call concurrently.
 func SetThreads(n int) int {
 	old := int(numThreads.Load())
 	if n >= 1 {
-		numThreads.Store(int32(n))
+		numThreads.Store(int32(core.ClampInt(n, 1, maxThreads)))
 	}
 	return old
 }
@@ -48,13 +60,62 @@ func Threads() int {
 	return int(numThreads.Load())
 }
 
-// parallelRange partitions [0, n) into one contiguous chunk per worker and
-// runs body(lo, hi) for each chunk, on up to `workers` goroutines. The
-// partition depends only on n and workers — never on scheduling — and with
-// workers <= 1 the body runs inline on the calling goroutine, so serial and
-// parallel execution visit identical index ranges. body is called at most
-// once per worker, letting it amortize per-worker scratch (packed-panel
-// buffers) across its whole chunk.
+// PanicError wraps a panic captured on a worker goroutine so it can be
+// re-raised on the calling goroutine. Value is the original panic value and
+// Stack the worker's stack at capture time; callers that recover a
+// *PanicError (the la boundary guard) can therefore report where inside the
+// parallel engine the fault occurred even though the worker is long gone.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic on worker goroutine: %v", e.Value)
+}
+
+// Unwrap exposes the original panic value when it was itself an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// panicBox records the first panic among a group of concurrent tasks.
+type panicBox struct {
+	once sync.Once
+	err  *PanicError
+}
+
+// run executes f, capturing a panic into the box instead of letting it
+// propagate. worker marks calls running on a spawned goroutine; those honor
+// the fault-injection hook so tests can fault a real worker on demand.
+func (b *panicBox) run(f func(), worker bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*PanicError)
+			if !ok {
+				pe = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			b.once.Do(func() { b.err = pe })
+		}
+	}()
+	if worker && faultinject.TakeWorkerPanic() {
+		panic(faultinject.PanicMessage)
+	}
+	f()
+}
+
+// rethrow re-raises the recorded panic, if any, on the calling goroutine.
+// It must only be called after every task in the group has returned, so the
+// unwinding caller never races still-running workers.
+func (b *panicBox) rethrow() {
+	if b.err != nil {
+		panic(b.err)
+	}
+}
+
 // Fork runs the given tasks concurrently, one goroutine per extra task, and
 // returns when all of them have finished. The first task runs on the calling
 // goroutine. With a worker budget of one (Threads() <= 1) the tasks run
@@ -62,6 +123,11 @@ func Threads() int {
 // in-order execution of the same closures. Fork is the pool entry point used
 // by the lookahead-pipelined LU in internal/lapack: tasks must write disjoint
 // memory, which is also what keeps forked and serial execution bit-identical.
+//
+// If any task panics, Fork waits for the remaining tasks to finish and then
+// panics on the calling goroutine with a *PanicError carrying the first
+// panic's value and worker stack (first panic wins; later ones are dropped).
+// On the serial path panics simply propagate, preserving identical semantics.
 func Fork(tasks ...func()) {
 	if len(tasks) == 0 {
 		return
@@ -72,18 +138,34 @@ func Fork(tasks ...func()) {
 		}
 		return
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	for _, t := range tasks[1:] {
 		wg.Add(1)
 		go func(f func()) {
 			defer wg.Done()
-			f()
+			box.run(f, true)
 		}(t)
 	}
-	tasks[0]()
+	// The caller's own task is captured too: if it panics, the spawned
+	// workers must still be drained before the panic may unwind, or the
+	// caller's defers would run while workers race its shared state.
+	box.run(tasks[0], false)
 	wg.Wait()
+	box.rethrow()
 }
 
+// parallelRange partitions [0, n) into one contiguous chunk per worker and
+// runs body(lo, hi) for each chunk, on up to `workers` goroutines. The
+// partition depends only on n and workers — never on scheduling — and with
+// workers <= 1 the body runs inline on the calling goroutine, so serial and
+// parallel execution visit identical index ranges. body is called at most
+// once per worker, letting it amortize per-worker scratch (packed-panel
+// buffers) across its whole chunk.
+//
+// Worker panics are contained exactly as in Fork: the first panic is
+// captured with its stack, all chunks drain, and the panic re-raises on the
+// calling goroutine as a *PanicError.
 func parallelRange(n, workers int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -96,14 +178,16 @@ func parallelRange(n, workers int, body func(lo, hi int)) {
 		return
 	}
 	chunk := (n + workers - 1) / workers
+	var box panicBox
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
 		hi := min(lo+chunk, n)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			body(lo, hi)
+			box.run(func() { body(lo, hi) }, true)
 		}(lo, hi)
 	}
 	wg.Wait()
+	box.rethrow()
 }

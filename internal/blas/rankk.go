@@ -157,12 +157,12 @@ func macroKernelTri[T core.Scalar](uplo Uplo, kb, mb, nb, mr, nr int, aPack, bPa
 func microTile[T core.Scalar](kb, mr, nr int, ap, bp []T, c []T, ldc int) {
 	switch cc := any(c).(type) {
 	case []float64:
-		if useAsmF64 {
+		if asmF64() {
 			dgemmKernel8x4(int64(kb), &any(ap).([]float64)[0], &any(bp).([]float64)[0], &cc[0], int64(ldc))
 			return
 		}
 	case []float32:
-		if useAsmF32 {
+		if asmF32() {
 			sgemmKernel16x4(int64(kb), &any(ap).([]float32)[0], &any(bp).([]float32)[0], &cc[0], int64(ldc))
 			return
 		}

@@ -1,9 +1,6 @@
 package blas
 
-import (
-	"os"
-	"strconv"
-)
+import "repro/internal/core"
 
 // Cache-blocking parameters for the packed Level-3 engine (gemm.go), following
 // the three-level BLIS/GotoBLAS decomposition: C is updated in nc-wide column
@@ -66,21 +63,15 @@ var (
 	trsmLeafSize = 64
 )
 
+// maxBlockDim bounds block sizes accepted from the environment or
+// SetBlockSizes: a mistyped LA90_GEMM_* degrades to a slow-but-safe blocking
+// instead of a packed-panel allocation measured in gigabytes.
+const maxBlockDim = 1 << 16
+
 func init() {
-	for _, v := range []struct {
-		env string
-		dst *int
-	}{
-		{"LA90_GEMM_MC", &gemmMC},
-		{"LA90_GEMM_KC", &gemmKC},
-		{"LA90_GEMM_NC", &gemmNC},
-	} {
-		if s := os.Getenv(v.env); s != "" {
-			if n, err := strconv.Atoi(s); err == nil && n > 0 {
-				*v.dst = n
-			}
-		}
-	}
+	gemmMC = core.EnvInt("LA90_GEMM_MC", gemmMC, gemmMR, maxBlockDim)
+	gemmKC = core.EnvInt("LA90_GEMM_KC", gemmKC, 4, maxBlockDim)
+	gemmNC = core.EnvInt("LA90_GEMM_NC", gemmNC, gemmNR, maxBlockDim)
 	normalizeBlockSizes()
 }
 
@@ -99,13 +90,13 @@ func normalizeBlockSizes() {
 func SetBlockSizes(mc, kc, nc int) (omc, okc, onc int) {
 	omc, okc, onc = gemmMC, gemmKC, gemmNC
 	if mc > 0 {
-		gemmMC = mc
+		gemmMC = core.ClampInt(mc, gemmMR, maxBlockDim)
 	}
 	if kc > 0 {
-		gemmKC = kc
+		gemmKC = core.ClampInt(kc, 4, maxBlockDim)
 	}
 	if nc > 0 {
-		gemmNC = nc
+		gemmNC = core.ClampInt(nc, gemmNR, maxBlockDim)
 	}
 	normalizeBlockSizes()
 	return omc, okc, onc

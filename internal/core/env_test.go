@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+func TestEnvInt(t *testing.T) {
+	const name = "LA90_TEST_ENVINT"
+	cases := []struct {
+		val         string
+		def, lo, hi int
+		want        int
+	}{
+		{"", 64, 1, 1024, 64},                    // unset/empty keeps the default
+		{"128", 64, 1, 1024, 128},                // in-range value accepted
+		{"1", 64, 1, 1024, 1},                    // boundary low
+		{"1024", 64, 1, 1024, 1024},              // boundary high
+		{"0", 64, 1, 1024, 1},                    // non-positive clamps up
+		{"-7", 64, 1, 1024, 1},                   // negative clamps up
+		{"999999999", 64, 1, 1024, 1024},         // absurd clamps down
+		{"1e9", 64, 1, 1024, 64},                 // not Atoi-parsable: ignored
+		{"banana", 64, 1, 1024, 64},              // garbage ignored
+		{"  8", 64, 1, 1024, 64},                 // whitespace is not forgiven by Atoi
+		{"9223372036854775808", 64, 1, 1024, 64}, // overflows int64: ignored
+	}
+	for _, c := range cases {
+		t.Setenv(name, c.val)
+		if got := EnvInt(name, c.def, c.lo, c.hi); got != c.want {
+			t.Errorf("EnvInt(%q=%q, def=%d, [%d,%d]) = %d, want %d",
+				name, c.val, c.def, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClampInt(t *testing.T) {
+	if ClampInt(5, 1, 10) != 5 || ClampInt(-5, 1, 10) != 1 || ClampInt(50, 1, 10) != 10 {
+		t.Fatal("ClampInt mis-clamps")
+	}
+}

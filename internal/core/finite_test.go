@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func testAllFinite[T Scalar](t *testing.T, name string) {
+	t.Run(name, func(t *testing.T) {
+		nan := NaN[T]()
+		if IsFinite(nan) {
+			t.Fatal("IsFinite(NaN) = true")
+		}
+		inf := FromFloat[T](math.Inf(1))
+		if IsFinite(inf) {
+			t.Fatal("IsFinite(+Inf) = true")
+		}
+		if !IsFinite(FromFloat[T](1.5)) || !IsFinite(FromFloat[T](0)) {
+			t.Fatal("IsFinite rejects a finite value")
+		}
+
+		// Every length crosses the unrolled/tail boundary differently; every
+		// position must be caught.
+		for n := 0; n <= 9; n++ {
+			x := make([]T, n)
+			for i := range x {
+				x[i] = FromFloat[T](float64(i) - 3)
+			}
+			if !AllFinite(x) {
+				t.Fatalf("AllFinite(finite len %d) = false", n)
+			}
+			for p := 0; p < n; p++ {
+				for _, bad := range []T{nan, inf, FromFloat[T](math.Inf(-1))} {
+					save := x[p]
+					x[p] = bad
+					if AllFinite(x) {
+						t.Fatalf("AllFinite missed %v at position %d of %d", bad, p, n)
+					}
+					x[p] = save
+				}
+			}
+		}
+
+		// Huge-but-finite values must not trip the scan.
+		big := FromFloat[T](Overflow[T]())
+		if !AllFinite([]T{big, big, big, big, big}) {
+			t.Fatal("AllFinite rejects the overflow threshold value")
+		}
+	})
+}
+
+func TestAllFinite(t *testing.T) {
+	testAllFinite[float32](t, "float32")
+	testAllFinite[float64](t, "float64")
+	testAllFinite[complex64](t, "complex64")
+	testAllFinite[complex128](t, "complex128")
+}
+
+// TestAllFiniteComplexComponents checks that a non-finite value hiding in
+// either component of a complex element is caught.
+func TestAllFiniteComplexComponents(t *testing.T) {
+	nan := math.NaN()
+	for _, x := range []complex128{complex(nan, 0), complex(0, nan), complex(math.Inf(1), 0), complex(0, math.Inf(-1))} {
+		if AllFinite([]complex128{1, x, 2}) {
+			t.Errorf("AllFinite missed %v", x)
+		}
+		if IsFinite(x) {
+			t.Errorf("IsFinite(%v) = true", x)
+		}
+	}
+}
+
+func TestNaN(t *testing.T) {
+	if v := NaN[float64](); !math.IsNaN(v) {
+		t.Fatalf("NaN[float64]() = %v", v)
+	}
+	if v := NaN[float32](); !math.IsNaN(float64(v)) {
+		t.Fatalf("NaN[float32]() = %v", v)
+	}
+	if v := NaN[complex128](); !math.IsNaN(real(v)) || !math.IsNaN(imag(v)) {
+		t.Fatalf("NaN[complex128]() = %v", v)
+	}
+	if v := NaN[complex64](); !math.IsNaN(float64(real(v))) {
+		t.Fatalf("NaN[complex64]() = %v", v)
+	}
+}

@@ -19,10 +19,8 @@
 package lapack
 
 import (
-	"os"
-	"strconv"
-
 	"repro/internal/blas"
+	"repro/internal/core"
 )
 
 // Norm selects which matrix norm a xLANxx routine computes.
@@ -98,12 +96,12 @@ var (
 )
 
 func init() {
+	// Block sizes from the environment pass through the shared clamped
+	// parser: garbage is ignored, out-of-range values degrade to the nearest
+	// sane blocking instead of zero-width panels or absurd workspaces.
+	const maxNB = 1 << 12
 	envInt := func(name string, p *int) {
-		if s := os.Getenv(name); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v > 0 {
-				*p = v
-			}
-		}
+		*p = core.EnvInt(name, *p, 1, maxNB)
 	}
 	envInt("LA90_NB_GETRF", &nbGetrf)
 	envInt("LA90_NB_GETRF", &nbGetrfLg) // one knob pins both size regimes

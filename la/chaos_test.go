@@ -1,0 +1,306 @@
+package la_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/faultinject"
+	"repro/la"
+)
+
+// newSPD returns an n×n diagonally dominant (hence SPD) matrix.
+func newSPD(n int) *la.Matrix[float64] {
+	a := la.NewMatrix[float64](n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			v := 1.0 / float64(1+((i+j)%17))
+			if i == j {
+				v += float64(n)
+			}
+			a.Set(i, j, v)
+		}
+	}
+	return a
+}
+
+func newRHS(n, nrhs int) *la.Matrix[float64] {
+	b := la.NewMatrix[float64](n, nrhs)
+	for j := 0; j < nrhs; j++ {
+		for i := 0; i < n; i++ {
+			b.Set(i, j, float64((i+j)%5)+1)
+		}
+	}
+	return b
+}
+
+// TestWorkerPanicContained is the headline fault-containment test: with the
+// parallel engine active and a worker-goroutine panic armed, LA_GESV must
+// return a *la.Error with the out-of-band InfoPanic code — on the calling
+// goroutine, with the worker's stack attached, and with the process (this
+// test binary) surviving. A follow-up un-armed solve proves the runtime is
+// left fully usable.
+func TestWorkerPanicContained(t *testing.T) {
+	defer blas.SetThreads(blas.SetThreads(4))
+	defer faultinject.Reset()
+
+	// n must be large enough that LU's trailing-update GEMM exceeds the
+	// parallel engine's volume threshold with several macro-tiles.
+	const n = 640
+	a := newSPD(n)
+	b := newRHS(n, 2)
+
+	faultinject.ArmWorkerPanics(1)
+	_, err := la.GESV(a, b)
+	if err == nil {
+		t.Fatal("armed worker panic did not surface as an error")
+	}
+	var e *la.Error
+	if !errors.As(err, &e) {
+		t.Fatalf("got %T (%v), want *la.Error", err, err)
+	}
+	if e.Info != la.InfoPanic {
+		t.Fatalf("Info = %d, want InfoPanic (%d)", e.Info, la.InfoPanic)
+	}
+	if e.Routine != "LA_GESV" {
+		t.Fatalf("Routine = %q, want LA_GESV", e.Routine)
+	}
+	if len(e.Stack) == 0 {
+		t.Fatal("contained fault lost the worker stack")
+	}
+	if !strings.Contains(e.Error(), "internal fault contained") {
+		t.Fatalf("Error() = %q, want the fault-containment message", e.Error())
+	}
+	if !strings.Contains(e.Detail, faultinject.PanicMessage) {
+		t.Fatalf("Detail = %q does not identify the injected panic", e.Detail)
+	}
+
+	// The engine, worker pool, and scratch caches must be intact.
+	faultinject.Reset()
+	a2 := newSPD(n)
+	b2 := newRHS(n, 2)
+	if _, err := la.GESV(a2, b2); err != nil {
+		t.Fatalf("post-fault GESV failed: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if math.IsNaN(b2.At(i, 0)) {
+			t.Fatal("post-fault solution contains NaN")
+		}
+	}
+}
+
+// TestWorkerPanicThroughMust checks the paper's no-INFO path: Must on a
+// contained fault terminates with the ERINFO message, and the panic is an
+// ordinary caller-frame panic the test can recover — the process survives
+// wherever the caller chooses to recover.
+func TestWorkerPanicThroughMust(t *testing.T) {
+	defer blas.SetThreads(blas.SetThreads(4))
+	defer faultinject.Reset()
+
+	const n = 640
+	a := newSPD(n)
+	b := newRHS(n, 1)
+
+	faultinject.ArmWorkerPanics(1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Must did not terminate on the contained fault")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "Terminated in LAPACK90 subroutine:") {
+			t.Fatalf("Must panic = %v, want the ERINFO termination message", r)
+		}
+		if !strings.Contains(msg, "LA_GESV") {
+			t.Fatalf("termination message %q does not name the routine", msg)
+		}
+	}()
+	la.Must1(la.GESV(a, b))
+}
+
+// nanDriverCalls builds one WithCheck call per linear-system driver with a
+// NaN planted in its matrix argument, returning the routine name, expected
+// ERINFO argument index, and the call.
+func nanDriverCalls(bad float64) []struct {
+	name string
+	arg  int
+	call func() error
+} {
+	const n = 4
+	nanMat := func(rows, cols int) *la.Matrix[float64] {
+		m := la.NewMatrix[float64](rows, cols)
+		for j := 0; j < cols; j++ {
+			for i := 0; i < rows; i++ {
+				m.Set(i, j, 1)
+			}
+		}
+		m.Set(rows/2, cols/2, bad)
+		return m
+	}
+	spd := func() *la.Matrix[float64] { return newSPD(n) }
+	rhs := func() *la.Matrix[float64] { return newRHS(n, 1) }
+	packedLen := n * (n + 1) / 2
+	nanPacked := func() []float64 {
+		ap := make([]float64, packedLen)
+		for i := range ap {
+			ap[i] = 1
+		}
+		// Keep the packed diagonal dominant so only the planted NaN is at
+		// fault, then poison one entry.
+		ap[packedLen/2] = bad
+		return ap
+	}
+	vec := func(k int) []float64 {
+		v := make([]float64, k)
+		for i := range v {
+			v[i] = 1
+		}
+		return v
+	}
+
+	return []struct {
+		name string
+		arg  int
+		call func() error
+	}{
+		{"GESV", 1, func() error { _, err := la.GESV(nanMat(n, n), rhs(), la.WithCheck()); return err }},
+		{"GESV1", 1, func() error { _, err := la.GESV1(nanMat(n, n), vec(n), la.WithCheck()); return err }},
+		{"GBSV", 2, func() error {
+			ab := la.NewMatrix[float64](4, n) // kl=1, ku=1 band storage
+			for j := 0; j < n; j++ {
+				for i := 0; i < 4; i++ {
+					ab.Set(i, j, 1)
+				}
+			}
+			b := nanMat(n, 1)
+			_, err := la.GBSV(ab, b, la.WithKL(1), la.WithCheck())
+			return err
+		}},
+		{"GTSV", 2, func() error {
+			d := vec(n)
+			d[1] = bad
+			return la.GTSV(vec(n-1), d, vec(n-1), rhs(), la.WithCheck())
+		}},
+		{"POSV", 1, func() error {
+			a := spd()
+			a.Set(1, 1, bad)
+			return la.POSV(a, rhs(), la.WithCheck())
+		}},
+		{"PPSV", 1, func() error { return la.PPSV(nanPacked(), rhs(), la.WithCheck()) }},
+		{"PBSV", 2, func() error {
+			ab := la.NewMatrix[float64](2, n) // kd=1 symmetric band storage
+			for j := 0; j < n; j++ {
+				ab.Set(0, j, float64(n))
+				ab.Set(1, j, 1)
+			}
+			return la.PBSV(ab, nanMat(n, 1), la.WithCheck())
+		}},
+		{"PTSV", 1, func() error {
+			d := vec(n)
+			d[2] = bad
+			return la.PTSV(d, vec(n-1), rhs(), la.WithCheck())
+		}},
+		{"SYSV", 1, func() error { _, err := la.SYSV(nanMat(n, n), rhs(), la.WithCheck()); return err }},
+		{"HESV", 1, func() error { _, err := la.HESV(nanMat(n, n), rhs(), la.WithCheck()); return err }},
+		{"SPSV", 1, func() error { _, err := la.SPSV(nanPacked(), rhs(), la.WithCheck()); return err }},
+		{"HPSV", 1, func() error { _, err := la.HPSV(nanPacked(), rhs(), la.WithCheck()); return err }},
+		{"GELS", 1, func() error { return la.GELS(nanMat(n, n), rhs(), la.WithCheck()) }},
+	}
+}
+
+// TestCheckModeScreensNonFinite: with check mode on, a NaN or Inf anywhere
+// in the input of every linear-system driver returns the defined ERINFO
+// argument error — negative INFO naming the poisoned argument, with a
+// non-finite detail message — in bounded time (the screen runs before any
+// factorization).
+func TestCheckModeScreensNonFinite(t *testing.T) {
+	for _, bad := range []struct {
+		label string
+		v     float64
+	}{{"NaN", math.NaN()}, {"+Inf", math.Inf(1)}, {"-Inf", math.Inf(-1)}} {
+		for _, c := range nanDriverCalls(bad.v) {
+			t.Run(c.name+"/"+bad.label, func(t *testing.T) {
+				err := c.call()
+				var e *la.Error
+				if !errors.As(err, &e) {
+					t.Fatalf("got %T (%v), want *la.Error", err, err)
+				}
+				if e.Info != -c.arg {
+					t.Fatalf("Info = %d, want %d", e.Info, -c.arg)
+				}
+				if !strings.Contains(e.Detail, "non-finite") {
+					t.Fatalf("Detail = %q, want a non-finite diagnosis", e.Detail)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckModeAcceptsFiniteInput makes sure screening never rejects an
+// ordinary well-posed solve.
+func TestCheckModeAcceptsFiniteInput(t *testing.T) {
+	a := newSPD(8)
+	b := newRHS(8, 2)
+	if _, err := la.GESV(a, b, la.WithCheck()); err != nil {
+		t.Fatalf("WithCheck rejected a finite system: %v", err)
+	}
+}
+
+// TestSetCheckInputs verifies the process-wide toggle: with it on, a plain
+// call (no WithCheck option) screens inputs; restoring the old value turns
+// screening back off.
+func TestSetCheckInputs(t *testing.T) {
+	old := la.SetCheckInputs(true)
+	defer la.SetCheckInputs(old)
+
+	a := newSPD(4)
+	a.Set(2, 2, math.NaN())
+	_, err := la.GESV(a, newRHS(4, 1))
+	var e *la.Error
+	if !errors.As(err, &e) || e.Info != -1 {
+		t.Fatalf("global check mode did not screen: err = %v", err)
+	}
+
+	la.SetCheckInputs(false)
+	a2 := newSPD(4)
+	a2.Set(2, 2, math.NaN())
+	if _, err := la.GESV(a2, newRHS(4, 1)); err != nil {
+		var e2 *la.Error
+		if errors.As(err, &e2) && strings.Contains(e2.Detail, "non-finite") {
+			t.Fatal("screening still active after SetCheckInputs(false)")
+		}
+	}
+}
+
+// TestNewMatrixOverflowContained: NewMatrix with a poisoned shape panics
+// with an ERINFO *la.Error when called directly, and inside a driver the
+// boundary guard would convert it; both directions keep the process alive.
+func TestNewMatrixOverflowContained(t *testing.T) {
+	cases := []struct {
+		name       string
+		rows, cols int
+		info       int
+	}{
+		{"negative rows", -1, 4, -1},
+		{"negative cols", 4, -1, -2},
+		{"element count overflow", math.MaxInt/2 + 1, 2, -1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				e, ok := r.(*la.Error)
+				if !ok {
+					t.Fatalf("recovered %T (%v), want *la.Error", r, r)
+				}
+				if e.Routine != "LA_MATRIX" || e.Info != c.info {
+					t.Fatalf("got %v, want LA_MATRIX INFO=%d", e, c.info)
+				}
+			}()
+			la.NewMatrix[float64](c.rows, c.cols)
+			t.Fatal("NewMatrix accepted a poisoned shape")
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package la
+
+// Fault containment at the LAPACK90 API boundary.
+//
+// Two mechanisms live here:
+//
+//   - guard, deferred by every driver, recovers any panic escaping the
+//     computational core — including panics captured on worker goroutines by
+//     the parallel engine (see internal/blas.PanicError) — and converts it
+//     into the driver's ordinary *Error return, with the out-of-band INFO
+//     code InfoPanic. A kernel bug or corrupted input can therefore fail one
+//     call, never the process. Must keeps the paper's stop-with-message
+//     behaviour for callers that want it.
+//
+//   - opt-in non-finite input screening. LAPACK's contract says nothing
+//     about NaN/Inf input: drivers may return garbage (and before the
+//     iteration bounds were audited, could conceivably spin). With screening
+//     on — per call via WithCheck, or process-wide via SetCheckInputs or the
+//     LA90_CHECK_INPUTS environment variable — each driver scans its matrix
+//     arguments with a vectorized finiteness check (core.AllFinite) and
+//     fails fast with the ERINFO argument error for the offending argument.
+
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync/atomic"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// checkInputs is the process-wide default for non-finite input screening;
+// WithCheck enables it for a single call.
+var checkInputs atomic.Bool
+
+func init() {
+	if s := os.Getenv("LA90_CHECK_INPUTS"); s != "" && s != "0" {
+		checkInputs.Store(true)
+	}
+}
+
+// SetCheckInputs sets the process-wide default for non-finite input
+// screening and returns the previous setting. The initial default is false
+// unless the LA90_CHECK_INPUTS environment variable is set to a non-empty,
+// non-"0" value. Safe to call concurrently.
+func SetCheckInputs(on bool) bool { return checkInputs.Swap(on) }
+
+// WithCheck enables non-finite input screening for this call: matrix and
+// vector arguments are scanned for NaN/Inf before any computation, and an
+// offender produces the ERINFO argument error (INFO = -i with a detail
+// message) instead of a garbage result.
+func WithCheck() Opt { return func(o *options) { o.check = true } }
+
+// guard is deferred at the top of every driver with the driver's routine
+// name and a pointer to its named error result. It converts a panic escaping
+// the computational core into a *Error return:
+//
+//   - a *Error panic (ERINFO-aware code such as NewMatrix sizing) passes
+//     through as-is;
+//   - a *blas.PanicError (a fault captured on a worker goroutine and
+//     re-raised on the caller) keeps the worker's stack;
+//   - anything else is wrapped with the recovering goroutine's stack.
+//
+// Panics raised by Must deliberately do not reach guard: Must runs in the
+// caller's frame, after the driver (and its deferred guard) has returned.
+func guard(routine string, err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	switch v := r.(type) {
+	case *Error:
+		*err = v
+	case *blas.PanicError:
+		*err = &Error{
+			Routine: routine,
+			Info:    InfoPanic,
+			Detail:  fmt.Sprintf("recovered panic on worker goroutine: %v", v.Value),
+			Stack:   v.Stack,
+		}
+	default:
+		*err = &Error{
+			Routine: routine,
+			Info:    InfoPanic,
+			Detail:  fmt.Sprintf("recovered panic: %v", r),
+			Stack:   debug.Stack(),
+		}
+	}
+}
+
+// finiteMat returns the ERINFO argument error when matrix m (argument index
+// arg, named name in the detail message) contains a non-finite value; nil
+// otherwise (a nil matrix is vacuously finite — shape validation happens
+// separately). Only the live Rows×Cols region is scanned, so stride padding
+// can never trigger a false positive.
+func finiteMat[T Scalar](routine string, arg int, name string, m *Matrix[T]) error {
+	if m == nil {
+		return nil
+	}
+	if m.Stride == max(1, m.Rows) && len(m.Data) >= m.Rows*m.Cols {
+		// Contiguous storage: one flat scan instead of a per-column loop.
+		if !core.AllFinite(m.Data[:m.Rows*m.Cols]) {
+			return nonFinite(routine, arg, name)
+		}
+		return nil
+	}
+	for j := 0; j < m.Cols; j++ {
+		if !core.AllFinite(m.Col(j)) {
+			return nonFinite(routine, arg, name)
+		}
+	}
+	return nil
+}
+
+// finiteSlice is finiteMat for vector arguments.
+func finiteSlice[T Scalar](routine string, arg int, name string, x []T) error {
+	if !core.AllFinite(x) {
+		return nonFinite(routine, arg, name)
+	}
+	return nil
+}
+
+// finiteFloats is finiteSlice for the real-valued auxiliary vectors some
+// drivers take (e.g. the diagonal of LA_PTSV).
+func finiteFloats(routine string, arg int, name string, x []float64) error {
+	if !core.AllFinite(x) {
+		return nonFinite(routine, arg, name)
+	}
+	return nil
+}
+
+// firstErr returns the first non-nil error among its arguments, letting a
+// driver chain one screening call per matrix argument.
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func nonFinite(routine string, arg int, name string) error {
+	return &Error{Routine: routine, Info: -arg, Detail: name + " contains a non-finite value"}
+}

@@ -12,9 +12,15 @@ import (
 // and NORM arguments. A is overwritten with the packed factors.
 func GETRF[T Scalar](a *Matrix[T], opts ...Opt) (ipiv []int, rcond float64, err error) {
 	const routine = "LA_GETRF"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if a == nil {
 		return nil, 0, erinfo(routine, -1, "")
+	}
+	if o.check {
+		if err := finiteMat(routine, 1, "A", a); err != nil {
+			return nil, 0, err
+		}
 	}
 	m, n := a.Rows, a.Cols
 	var anorm float64
@@ -32,8 +38,9 @@ func GETRF[T Scalar](a *Matrix[T], opts ...Opt) (ipiv []int, rcond float64, err 
 
 // GETRS solves op(A)·X = B using the LU factorization from GETRF (the
 // paper's LA_GETRS). WithTrans selects op(A).
-func GETRS[T Scalar](a *Matrix[T], ipiv []int, b *Matrix[T], opts ...Opt) error {
+func GETRS[T Scalar](a *Matrix[T], ipiv []int, b *Matrix[T], opts ...Opt) (err error) {
 	const routine = "LA_GETRS"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return erinfo(routine, -1, "")
@@ -51,8 +58,9 @@ func GETRS[T Scalar](a *Matrix[T], ipiv []int, b *Matrix[T], opts ...Opt) error 
 // GETRI computes the inverse of a matrix from its LU factorization (the
 // paper's LA_GETRI; its workspace query through ILAENV happens
 // internally, as in the paper's Appendix C listing).
-func GETRI[T Scalar](a *Matrix[T], ipiv []int) error {
+func GETRI[T Scalar](a *Matrix[T], ipiv []int) (err error) {
 	const routine = "LA_GETRI"
+	defer guard(routine, &err)
 	if !square(a) {
 		return erinfo(routine, -1, "")
 	}
@@ -61,7 +69,7 @@ func GETRI[T Scalar](a *Matrix[T], ipiv []int) error {
 	}
 	n := a.Rows
 	nb := lapack.Ilaenv(1, "GETRI", n, -1, -1, -1)
-	lwork := max(n*nb, 1)
+	lwork := max(workSize(routine, n, nb), 1)
 	work := make([]T, lwork)
 	info := lapack.Getri(n, a.Data, a.Stride, ipiv, work)
 	return erinfo(routine, info, "U(i,i) is exactly zero: the matrix is singular")
@@ -72,6 +80,7 @@ func GETRI[T Scalar](a *Matrix[T], ipiv []int) error {
 // LA_GERFS). a is the original matrix and af/ipiv its LU factorization.
 func GERFS[T Scalar](a, af *Matrix[T], ipiv []int, b, x *Matrix[T], opts ...Opt) (ferr, berr []float64, err error) {
 	const routine = "LA_GERFS"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, nil, erinfo(routine, -1, "")
@@ -93,6 +102,7 @@ func GERFS[T Scalar](a, af *Matrix[T], ipiv []int, b, x *Matrix[T], opts ...Opt)
 // rectangular matrix (the paper's LA_GEEQU).
 func GEEQU[T Scalar](a *Matrix[T]) (r, c []float64, rowcnd, colcnd, amax float64, err error) {
 	const routine = "LA_GEEQU"
+	defer guard(routine, &err)
 	if a == nil {
 		return nil, nil, 0, 0, 0, erinfo(routine, -1, "")
 	}
@@ -108,9 +118,15 @@ func GEEQU[T Scalar](a *Matrix[T]) (r, c []float64, rowcnd, colcnd, amax float64
 // arguments, always computed here in the 1-norm).
 func POTRF[T Scalar](a *Matrix[T], opts ...Opt) (rcond float64, err error) {
 	const routine = "LA_POTRF"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return 0, erinfo(routine, -1, "")
+	}
+	if o.check {
+		if err := finiteMat(routine, 1, "A", a); err != nil {
+			return 0, err
+		}
 	}
 	n := a.Rows
 	anorm := lapack.Lansy(lapack.OneNorm, o.uplo, n, a.Data, a.Stride)
@@ -127,6 +143,7 @@ func POTRF[T Scalar](a *Matrix[T], opts ...Opt) (rcond float64, err error) {
 // diagonal and off-diagonal of T.
 func SYTRD[T Scalar](a *Matrix[T], opts ...Opt) (d, e []float64, tau []T, err error) {
 	const routine = "LA_SYTRD"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, nil, nil, erinfo(routine, -1, "")
@@ -146,8 +163,9 @@ func HETRD[T Scalar](a *Matrix[T], opts ...Opt) (d, e []float64, tau []T, err er
 
 // ORGTR generates the unitary matrix Q from the reduction computed by
 // SYTRD (the paper's LA_ORGTR / LA_UNGTR), overwriting A.
-func ORGTR[T Scalar](a *Matrix[T], tau []T, opts ...Opt) error {
+func ORGTR[T Scalar](a *Matrix[T], tau []T, opts ...Opt) (err error) {
 	const routine = "LA_ORGTR"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return erinfo(routine, -1, "")
@@ -167,8 +185,9 @@ func UNGTR[T Scalar](a *Matrix[T], tau []T, opts ...Opt) error {
 // SYGST reduces a symmetric/Hermitian-definite generalized eigenproblem
 // to standard form (the paper's LA_SYGST / LA_HEGST). b must hold the
 // Cholesky factor of B from POTRF; WithIType selects the problem type.
-func SYGST[T Scalar](a, b *Matrix[T], opts ...Opt) error {
+func SYGST[T Scalar](a, b *Matrix[T], opts ...Opt) (err error) {
 	const routine = "LA_SYGST"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return erinfo(routine, -1, "")
@@ -189,8 +208,9 @@ func HEGST[T Scalar](a, b *Matrix[T], opts ...Opt) error {
 // ('1', default), infinity norm ('I'), Frobenius norm ('F'), or largest
 // absolute value ('M') — of a general rectangular matrix (the paper's
 // LA_LANGE).
-func LANGE[T Scalar](a *Matrix[T], opts ...Opt) (float64, error) {
+func LANGE[T Scalar](a *Matrix[T], opts ...Opt) (v float64, err error) {
 	const routine = "LA_LANGE"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if a == nil {
 		return 0, erinfo(routine, -1, "")
@@ -207,8 +227,9 @@ func LANGE[T Scalar](a *Matrix[T], opts ...Opt) (float64, error) {
 // (the paper's LA_LAGGE). d supplies the singular values; WithKL/WithKU
 // restrict the bandwidth and WithSeed fixes the random stream (the
 // paper's ISEED).
-func LAGGE[T Scalar](a *Matrix[T], d []float64, opts ...Opt) error {
+func LAGGE[T Scalar](a *Matrix[T], d []float64, opts ...Opt) (err error) {
 	const routine = "LA_LAGGE"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if a == nil {
 		return erinfo(routine, -1, "")

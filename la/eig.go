@@ -9,9 +9,15 @@ import "repro/internal/lapack"
 // by the eigenvectors. The eigenvalues are returned ascending.
 func SYEV[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
 	const routine = "LA_SYEV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
+	}
+	if o.check {
+		if err := finiteMat(routine, 1, "A", a); err != nil {
+			return nil, err
+		}
 	}
 	w = make([]float64, a.Rows)
 	info := lapack.Syev[T](o.vectors, o.uplo, a.Rows, a.Data, a.Stride, w)
@@ -28,9 +34,15 @@ func HEEV[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
 // paper's LA_SYEVD / LA_HEEVD).
 func SYEVD[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
 	const routine = "LA_SYEVD"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
+	}
+	if o.check {
+		if err := finiteMat(routine, 1, "A", a); err != nil {
+			return nil, err
+		}
 	}
 	w = make([]float64, a.Rows)
 	info := lapack.Syevd[T](o.vectors, o.uplo, a.Rows, a.Data, a.Stride, w)
@@ -56,8 +68,9 @@ type EigXResult[T Scalar] struct {
 // paper's LA_SYEVX / LA_HEEVX). Select eigenvalues with WithValueRange or
 // WithIndexRange (default: all); WithAbsTol tunes the bisection tolerance.
 // A is overwritten by its tridiagonal reduction.
-func SYEVX[T Scalar](a *Matrix[T], opts ...Opt) (*EigXResult[T], error) {
+func SYEVX[T Scalar](a *Matrix[T], opts ...Opt) (result *EigXResult[T], err error) {
 	const routine = "LA_SYEVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
@@ -93,6 +106,7 @@ func HEEVX[T Scalar](a *Matrix[T], opts ...Opt) (*EigXResult[T], error) {
 // LA_HPEV). The eigenvectors, when requested, are returned in z.
 func SPEV[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error) {
 	const routine = "LA_SPEV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := packedOrder(len(ap))
 	if n < 0 {
@@ -119,6 +133,7 @@ func HPEV[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error) 
 // LA_HPEVD; the dense D&C kernel runs after unpacking).
 func SPEVD[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error) {
 	const routine = "LA_SPEVD"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := packedOrder(len(ap))
 	if n < 0 {
@@ -141,8 +156,9 @@ func HPEVD[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error)
 
 // SPEVX computes selected eigenvalues/eigenvectors of a packed
 // symmetric/Hermitian matrix (the paper's LA_SPEVX / LA_HPEVX).
-func SPEVX[T Scalar](ap []T, opts ...Opt) (*EigXResult[T], error) {
+func SPEVX[T Scalar](ap []T, opts ...Opt) (result *EigXResult[T], err error) {
 	const routine = "LA_SPEVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := packedOrder(len(ap))
 	if n < 0 {
@@ -178,6 +194,7 @@ func HPEVX[T Scalar](ap []T, opts ...Opt) (*EigXResult[T], error) {
 // in symmetric band storage with kd = AB.Rows−1 off-diagonals.
 func SBEV[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err error) {
 	const routine = "LA_SBEV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if ab == nil || ab.Rows < 1 {
 		return nil, nil, erinfo(routine, -1, "")
@@ -205,6 +222,7 @@ func HBEV[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err 
 // LA_HBEVD).
 func SBEVD[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err error) {
 	const routine = "LA_SBEVD"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if ab == nil || ab.Rows < 1 {
 		return nil, nil, erinfo(routine, -1, "")
@@ -228,8 +246,9 @@ func HBEVD[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err
 
 // SBEVX computes selected eigenvalues/eigenvectors of a band
 // symmetric/Hermitian matrix (the paper's LA_SBEVX / LA_HBEVX).
-func SBEVX[T Scalar](ab *Matrix[T], opts ...Opt) (*EigXResult[T], error) {
+func SBEVX[T Scalar](ab *Matrix[T], opts ...Opt) (result *EigXResult[T], err error) {
 	const routine = "LA_SBEVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if ab == nil || ab.Rows < 1 {
 		return nil, erinfo(routine, -1, "")
@@ -266,6 +285,7 @@ func HBEVX[T Scalar](ab *Matrix[T], opts ...Opt) (*EigXResult[T], error) {
 // overwritten; on success d holds the eigenvalues ascending.
 func STEV[T Scalar](d, e []float64, opts ...Opt) (z *Matrix[T], err error) {
 	const routine = "LA_STEV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := len(d)
 	if n > 0 && len(e) != n-1 {
@@ -285,6 +305,7 @@ func STEV[T Scalar](d, e []float64, opts ...Opt) (z *Matrix[T], err error) {
 // STEVD is the divide & conquer variant of STEV (the paper's LA_STEVD).
 func STEVD[T Scalar](d, e []float64, opts ...Opt) (z *Matrix[T], err error) {
 	const routine = "LA_STEVD"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := len(d)
 	if n > 0 && len(e) != n-1 {
@@ -304,8 +325,9 @@ func STEVD[T Scalar](d, e []float64, opts ...Opt) (z *Matrix[T], err error) {
 // STEVX computes selected eigenvalues/eigenvectors of a real symmetric
 // tridiagonal matrix by bisection and inverse iteration (the paper's
 // LA_STEVX).
-func STEVX[T Scalar](d, e []float64, opts ...Opt) (*EigXResult[T], error) {
+func STEVX[T Scalar](d, e []float64, opts ...Opt) (result *EigXResult[T], err error) {
 	const routine = "LA_STEVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := len(d)
 	if n > 0 && len(e) != n-1 {
@@ -377,12 +399,18 @@ func expandBandInto[T Scalar](uplo UpLo, n, kd int, ab, a *Matrix[T]) {
 // definite.
 func SYGV[T Scalar](a, b *Matrix[T], opts ...Opt) (w []float64, err error) {
 	const routine = "LA_SYGV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
 	if !square(b) || b.Rows != a.Rows {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	w = make([]float64, a.Rows)
 	info := lapack.Sygv(o.itype, o.vectors, o.uplo, a.Rows, a.Data, a.Stride, b.Data, b.Stride, w)
@@ -400,6 +428,7 @@ func HEGV[T Scalar](a, b *Matrix[T], opts ...Opt) (w []float64, err error) {
 // Cholesky factor of B.
 func SPGV[T Scalar](ap, bp []T, opts ...Opt) (w []float64, z *Matrix[T], err error) {
 	const routine = "LA_SPGV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := packedOrder(len(ap))
 	if n < 0 {
@@ -430,6 +459,7 @@ func HPGV[T Scalar](ap, bp []T, opts ...Opt) (w []float64, z *Matrix[T], err err
 // symmetric band storage (ka = AB.Rows−1, kb = BB.Rows−1 off-diagonals).
 func SBGV[T Scalar](ab, bb *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err error) {
 	const routine = "LA_SBGV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if ab == nil || ab.Rows < 1 {
 		return nil, nil, erinfo(routine, -1, "")

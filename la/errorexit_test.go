@@ -121,6 +121,192 @@ func TestErrorExits(t *testing.T) {
 	})
 }
 
+// TestErrorExitSweep is the full Appendix-F style sweep: one probe per
+// validated argument of every exported driver, asserting the ERINFO
+// contract — the call returns a *la.Error with INFO = -i naming the
+// offending argument, and never panics (the deferred guard would convert a
+// panic into InfoPanic, which the Info assertion rejects).
+func TestErrorExitSweep(t *testing.T) {
+	sq := func() *la.Matrix[float64] {
+		m := la.NewMatrix[float64](3, 3)
+		for i := 0; i < 3; i++ {
+			m.Set(i, i, float64(i)+2)
+		}
+		return m
+	}
+	csq := func() *la.Matrix[complex128] {
+		m := la.NewMatrix[complex128](3, 3)
+		for i := 0; i < 3; i++ {
+			m.Set(i, i, complex(float64(i)+2, 0))
+		}
+		return m
+	}
+	rect := la.NewMatrix[float64](3, 2)
+	crect := la.NewMatrix[complex128](3, 2)
+	b3 := func() *la.Matrix[float64] { return la.NewMatrix[float64](3, 1) }
+	cb3 := func() *la.Matrix[complex128] { return la.NewMatrix[complex128](3, 1) }
+	b2 := la.NewMatrix[float64](2, 1)
+	cb2 := la.NewMatrix[complex128](2, 1)
+	v := func(n int) []float64 { return make([]float64, n) }
+	cv := func(n int) []complex128 { return make([]complex128, n) }
+	band := func(rows int) *la.Matrix[float64] { return la.NewMatrix[float64](rows, 3) }
+
+	probes := []struct {
+		name string
+		arg  int
+		call func() error
+	}{
+		// Simple drivers (linsolve.go).
+		{"GESV nil A", 1, func() error { _, err := la.GESV[float64](nil, b3()); return err }},
+		{"GESV B rows", 2, func() error { _, err := la.GESV(sq(), b2); return err }},
+		{"GESV1 nil A", 1, func() error { _, err := la.GESV1[float64](nil, v(3)); return err }},
+		{"GESV1 b len", 2, func() error { _, err := la.GESV1(sq(), v(2)); return err }},
+		{"GBSV nil AB", 1, func() error { _, err := la.GBSV[float64](nil, b3()); return err }},
+		{"GBSV B rows", 2, func() error { _, err := la.GBSV(band(4), b2); return err }},
+		{"GBSV bad KL", 3, func() error { _, err := la.GBSV(band(4), b3(), la.WithKL(5)); return err }},
+		{"GBSV1 b len", 2, func() error { _, err := la.GBSV1(band(4), v(2)); return err }},
+		{"GTSV dl len", 1, func() error { return la.GTSV(v(1), v(3), v(2), b3()) }},
+		{"GTSV B rows", 4, func() error { return la.GTSV(v(2), v(3), v(2), b2) }},
+		{"GTSV1 dl len", 1, func() error { return la.GTSV1(v(1), v(3), v(2), v(3)) }},
+		{"POSV non-square", 1, func() error { return la.POSV(rect, b3()) }},
+		{"POSV B rows", 2, func() error { return la.POSV(sq(), b2) }},
+		{"POSV1 b len", 2, func() error { return la.POSV1(sq(), v(2)) }},
+		{"PPSV ap len", 1, func() error { return la.PPSV(v(5), b3()) }},
+		{"PPSV B rows", 2, func() error { return la.PPSV(v(6), b2) }},
+		{"PPSV1 ap len", 1, func() error { return la.PPSV1(v(5), v(3)) }},
+		{"PBSV nil AB", 1, func() error { return la.PBSV[float64](nil, b3()) }},
+		{"PBSV B rows", 2, func() error { return la.PBSV(band(2), b2) }},
+		{"PBSV1 b len", 2, func() error { return la.PBSV1(band(2), v(2)) }},
+		{"PTSV e len", 2, func() error { return la.PTSV(v(3), v(1), b3()) }},
+		{"PTSV B rows", 3, func() error { return la.PTSV(v(3), v(2), b2) }},
+		{"PTSV1 e len", 2, func() error { return la.PTSV1(v(3), v(1), v(3)) }},
+		{"SYSV non-square", 1, func() error { _, err := la.SYSV(rect, b3()); return err }},
+		{"SYSV B rows", 2, func() error { _, err := la.SYSV(sq(), b2); return err }},
+		{"SYSV1 b len", 2, func() error { _, err := la.SYSV1(sq(), v(2)); return err }},
+		{"HESV non-square", 1, func() error { _, err := la.HESV(crect, cb3()); return err }},
+		{"HESV B rows", 2, func() error { _, err := la.HESV(csq(), cb2); return err }},
+		{"SPSV ap len", 1, func() error { _, err := la.SPSV(v(5), b3()); return err }},
+		{"SPSV B rows", 2, func() error { _, err := la.SPSV(v(6), b2); return err }},
+		{"SPSV1 ap len", 1, func() error { _, err := la.SPSV1(v(5), v(3)); return err }},
+		{"HPSV ap len", 1, func() error { _, err := la.HPSV(cv(5), cb3()); return err }},
+		{"HPSV B rows", 2, func() error { _, err := la.HPSV(cv(6), cb2); return err }},
+
+		// Least squares (ls.go).
+		{"GELS nil A", 1, func() error { return la.GELS[float64](nil, b3()) }},
+		{"GELS B rows", 2, func() error { return la.GELS(rect, b2) }},
+		{"GELS1 b len", 2, func() error { return la.GELS1(rect, v(2)) }},
+		{"GELSX nil A", 1, func() error { _, _, err := la.GELSX[float64](nil, b3()); return err }},
+		{"GELSX B rows", 2, func() error { _, _, err := la.GELSX(rect, b2); return err }},
+		{"GELSS nil A", 1, func() error { _, _, err := la.GELSS[float64](nil, b3()); return err }},
+		{"GELSS B rows", 2, func() error { _, _, err := la.GELSS(rect, b2); return err }},
+		{"GGLSE nil A", 1, func() error { _, err := la.GGLSE[float64](nil, sq(), v(3), v(3)); return err }},
+		{"GGLSE B cols", 2, func() error { _, err := la.GGLSE(sq(), rect, v(3), v(3)); return err }},
+		{"GGLSE c len", 3, func() error { _, err := la.GGLSE(sq(), la.NewMatrix[float64](1, 3), v(2), v(1)); return err }},
+		{"GGLSE d len", 4, func() error { _, err := la.GGLSE(sq(), la.NewMatrix[float64](1, 3), v(3), v(2)); return err }},
+		{"GGLSE p > n", 2, func() error { _, err := la.GGLSE(sq(), la.NewMatrix[float64](4, 3), v(3), v(4)); return err }},
+		{"GGGLM nil A", 1, func() error { _, _, err := la.GGGLM[float64](nil, sq(), v(3)); return err }},
+		{"GGGLM B rows", 2, func() error { _, _, err := la.GGGLM(sq(), b2, v(3)); return err }},
+		{"GGGLM d len", 3, func() error { _, _, err := la.GGGLM(rect, sq(), v(2)); return err }},
+		{"GGGLM m > n", 1, func() error {
+			_, _, err := la.GGGLM(la.NewMatrix[float64](2, 3), la.NewMatrix[float64](2, 0), v(2))
+			return err
+		}},
+
+		// Expert drivers (expert.go).
+		{"GESVX non-square", 1, func() error { _, err := la.GESVX(rect, b3()); return err }},
+		{"GESVX B rows", 2, func() error { _, err := la.GESVX(sq(), b2); return err }},
+		{"GBSVX nil AB", 1, func() error { _, err := la.GBSVX[float64](nil, b3()); return err }},
+		{"GBSVX B rows", 2, func() error { _, err := la.GBSVX(band(3), b2); return err }},
+		{"GBSVX bad KL", 3, func() error { _, err := la.GBSVX(band(3), b3(), la.WithKL(5)); return err }},
+		{"GTSVX dl len", 1, func() error { _, err := la.GTSVX(v(1), v(3), v(2), b3()); return err }},
+		{"GTSVX B rows", 4, func() error { _, err := la.GTSVX(v(2), v(3), v(2), b2); return err }},
+		{"POSVX non-square", 1, func() error { _, err := la.POSVX(rect, b3()); return err }},
+		{"POSVX B rows", 2, func() error { _, err := la.POSVX(sq(), b2); return err }},
+		{"PPSVX ap len", 1, func() error { _, err := la.PPSVX(v(5), b3()); return err }},
+		{"PPSVX B rows", 2, func() error { _, err := la.PPSVX(v(6), b2); return err }},
+		{"PBSVX nil AB", 1, func() error { _, err := la.PBSVX[float64](nil, b3()); return err }},
+		{"PBSVX B rows", 2, func() error { _, err := la.PBSVX(band(2), b2); return err }},
+		{"PTSVX e len", 2, func() error { _, err := la.PTSVX(v(3), v(1), b3()); return err }},
+		{"PTSVX B rows", 3, func() error { _, err := la.PTSVX(v(3), v(2), b2); return err }},
+		{"SYSVX non-square", 1, func() error { _, err := la.SYSVX(rect, b3()); return err }},
+		{"SYSVX B rows", 2, func() error { _, err := la.SYSVX(sq(), b2); return err }},
+		{"HESVX non-square", 1, func() error { _, err := la.HESVX(crect, cb3()); return err }},
+		{"HESVX B rows", 2, func() error { _, err := la.HESVX(csq(), cb2); return err }},
+		{"SPSVX ap len", 1, func() error { _, err := la.SPSVX(v(5), b3()); return err }},
+		{"SPSVX B rows", 2, func() error { _, err := la.SPSVX(v(6), b2); return err }},
+		{"HPSVX ap len", 1, func() error { _, err := la.HPSVX(cv(5), cb3()); return err }},
+		{"HPSVX B rows", 2, func() error { _, err := la.HPSVX(cv(6), cb2); return err }},
+
+		// Computational routines (comp.go).
+		{"GETRF nil A", 1, func() error { _, _, err := la.GETRF[float64](nil); return err }},
+		{"GETRS non-square", 1, func() error { return la.GETRS(rect, []int{0, 1}, b3()) }},
+		{"GETRS ipiv len", 2, func() error { return la.GETRS(sq(), []int{0}, b3()) }},
+		{"GETRS B rows", 3, func() error { return la.GETRS(sq(), []int{0, 1, 2}, b2) }},
+		{"GETRI non-square", 1, func() error { return la.GETRI(rect, []int{0, 1}) }},
+		{"GETRI ipiv len", 2, func() error { return la.GETRI(sq(), []int{0}) }},
+		{"GERFS non-square", 1, func() error { _, _, err := la.GERFS(rect, sq(), []int{0, 1, 2}, b3(), b3()); return err }},
+		{"GERFS AF shape", 2, func() error { _, _, err := la.GERFS(sq(), rect, []int{0, 1, 2}, b3(), b3()); return err }},
+		{"GERFS B/X shape", 4, func() error { _, _, err := la.GERFS(sq(), sq(), []int{0, 1, 2}, b3(), b2); return err }},
+		{"GEEQU nil A", 1, func() error { _, _, _, _, _, err := la.GEEQU[float64](nil); return err }},
+		{"POTRF non-square", 1, func() error { _, err := la.POTRF(rect); return err }},
+		{"SYTRD non-square", 1, func() error { _, _, _, err := la.SYTRD(rect); return err }},
+		{"ORGTR non-square", 1, func() error { return la.ORGTR(rect, v(2)) }},
+		{"ORGTR tau len", 2, func() error { return la.ORGTR(sq(), v(3)) }},
+		{"SYGST non-square", 1, func() error { return la.SYGST(rect, sq()) }},
+		{"SYGST B shape", 2, func() error { return la.SYGST(sq(), la.NewMatrix[float64](2, 2)) }},
+		{"LANGE nil A", 1, func() error { _, err := la.LANGE[float64](nil); return err }},
+		{"LANGE bad norm", 2, func() error { _, err := la.LANGE(sq(), la.WithNorm('Q')); return err }},
+		{"LAGGE nil A", 1, func() error { return la.LAGGE[float64](nil, v(3)) }},
+		{"LAGGE d len", 4, func() error { return la.LAGGE(sq(), v(2)) }},
+
+		// Symmetric eigenproblems (eig.go).
+		{"SYEV non-square", 1, func() error { _, err := la.SYEV(rect); return err }},
+		{"SYEVD non-square", 1, func() error { _, err := la.SYEVD(rect); return err }},
+		{"SYEVX non-square", 1, func() error { _, err := la.SYEVX(rect); return err }},
+		{"SPEV ap len", 1, func() error { _, _, err := la.SPEV(v(5)); return err }},
+		{"SPEVD ap len", 1, func() error { _, _, err := la.SPEVD(v(5)); return err }},
+		{"SPEVX ap len", 1, func() error { _, err := la.SPEVX(v(5)); return err }},
+		{"SBEV nil AB", 1, func() error { _, _, err := la.SBEV[float64](nil); return err }},
+		{"SBEVD nil AB", 1, func() error { _, _, err := la.SBEVD[float64](nil); return err }},
+		{"SBEVX nil AB", 1, func() error { _, err := la.SBEVX[float64](nil); return err }},
+		{"STEV e len", 2, func() error { _, err := la.STEV[float64](v(3), v(1)); return err }},
+		{"STEVD e len", 2, func() error { _, err := la.STEVD[float64](v(3), v(1)); return err }},
+		{"STEVX e len", 2, func() error { _, err := la.STEVX[float64](v(3), v(1)); return err }},
+		{"SYGV non-square", 1, func() error { _, err := la.SYGV(rect, sq()); return err }},
+		{"SYGV B shape", 2, func() error { _, err := la.SYGV(sq(), la.NewMatrix[float64](2, 2)); return err }},
+		{"SPGV ap len", 1, func() error { _, _, err := la.SPGV(v(5), v(6)); return err }},
+		{"SPGV bp len", 2, func() error { _, _, err := la.SPGV(v(6), v(5)); return err }},
+		{"SBGV nil AB", 1, func() error { _, _, err := la.SBGV[float64](nil, band(2)); return err }},
+		{"SBGV BB shape", 2, func() error { _, _, err := la.SBGV(band(2), la.NewMatrix[float64](2, 2)); return err }},
+
+		// Nonsymmetric eigenproblems and SVD (nonsym.go, gen.go).
+		{"GEES non-square", 1, func() error { _, _, _, err := la.GEES(rect); return err }},
+		{"GEEV non-square", 1, func() error { _, _, _, err := la.GEEV(rect); return err }},
+		{"GESVD nil A", 1, func() error { _, err := la.GESVD[float64](nil); return err }},
+		{"GEGS non-square", 1, func() error { _, _, _, err := la.GEGS(rect, sq()); return err }},
+		{"GEGS B shape", 2, func() error { _, _, _, err := la.GEGS(sq(), la.NewMatrix[float64](2, 2)); return err }},
+		{"GEGV non-square", 1, func() error { _, _, _, err := la.GEGV(rect, sq()); return err }},
+		{"GEGV B shape", 2, func() error { _, _, _, err := la.GEGV(sq(), la.NewMatrix[float64](2, 2)); return err }},
+		{"GGSVD nil A", 1, func() error { _, err := la.GGSVD[float64](nil, sq()); return err }},
+		{"GGSVD B cols", 2, func() error { _, err := la.GGSVD(sq(), rect); return err }},
+		{"GEESX non-square", 1, func() error { _, err := la.GEESX(rect); return err }},
+		{"GEEVX non-square", 1, func() error { _, err := la.GEEVX(rect); return err }},
+	}
+
+	for _, p := range probes {
+		t.Run(p.name, func(t *testing.T) {
+			err := p.call()
+			var e *la.Error
+			if !errors.As(err, &e) {
+				t.Fatalf("expected *la.Error, got %T (%v)", err, err)
+			}
+			if e.Info != -p.arg {
+				t.Fatalf("INFO = %d, want %d (%v)", e.Info, -p.arg, e)
+			}
+		})
+	}
+}
+
 // TestErrorMessageFormat checks the ERINFO-style rendering.
 func TestErrorMessageFormat(t *testing.T) {
 	e := &la.Error{Routine: "LA_GESV", Info: -2}

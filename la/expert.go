@@ -26,14 +26,20 @@ type ExpertResult[T Scalar] struct {
 // together with the same matrices. A positive INFO <= n reports a singular
 // factor; INFO = n+1 reports RCOND below machine epsilon (the solution and
 // bounds are still returned).
-func GESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
+func GESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err error) {
 	const routine = "LA_GESVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
 	if !rhsMatch(a.Rows, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	n, nrhs := a.Rows, b.Cols
 	af := NewMatrix[T](n, n)
@@ -54,8 +60,9 @@ func GESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
 // GBSVX is the expert driver for general band systems (the paper's
 // LA_GBSVX). AB holds the matrix in plain band storage (kl+ku+1 rows, row
 // offset ku); pass kl via WithKL (default (AB.Rows-1)/2).
-func GBSVX[T Scalar](ab, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
+func GBSVX[T Scalar](ab, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err error) {
 	const routine = "LA_GBSVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if ab == nil || ab.Rows < 1 {
 		return nil, erinfo(routine, -1, "")
@@ -72,6 +79,11 @@ func GBSVX[T Scalar](ab, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
 	if kl < 0 || ku < 0 {
 		return nil, erinfo(routine, -3, "")
 	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "AB", ab), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
+	}
 	nrhs := b.Cols
 	ldafb := 2*kl + ku + 1
 	afb := make([]T, ldafb*n)
@@ -87,8 +99,9 @@ func GBSVX[T Scalar](ab, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
 
 // GTSVX is the expert driver for general tridiagonal systems (the paper's
 // LA_GTSVX). The diagonals are not overwritten.
-func GTSVX[T Scalar](dl, d, du []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
+func GTSVX[T Scalar](dl, d, du []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err error) {
 	const routine = "LA_GTSVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := len(d)
 	if n > 0 && (len(dl) != n-1 || len(du) != n-1) {
@@ -96,6 +109,16 @@ func GTSVX[T Scalar](dl, d, du []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T]
 	}
 	if !rhsMatch(n, b) {
 		return nil, erinfo(routine, -4, "")
+	}
+	if o.check {
+		if err := firstErr(
+			finiteSlice(routine, 1, "DL", dl),
+			finiteSlice(routine, 2, "D", d),
+			finiteSlice(routine, 3, "DU", du),
+			finiteMat(routine, 4, "B", b),
+		); err != nil {
+			return nil, err
+		}
 	}
 	nrhs := b.Cols
 	dlf := make([]T, max(0, n-1))
@@ -111,14 +134,20 @@ func GTSVX[T Scalar](dl, d, du []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T]
 
 // POSVX is the expert driver for symmetric/Hermitian positive definite
 // systems (the paper's LA_POSVX).
-func POSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
+func POSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err error) {
 	const routine = "LA_POSVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
 	if !rhsMatch(a.Rows, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	n, nrhs := a.Rows, b.Cols
 	af := NewMatrix[T](n, n)
@@ -133,8 +162,9 @@ func POSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
 
 // PPSVX is the expert driver for packed positive definite systems (the
 // paper's LA_PPSVX).
-func PPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
+func PPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err error) {
 	const routine = "LA_PPSVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := packedOrder(len(ap))
 	if n < 0 {
@@ -142,6 +172,11 @@ func PPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error
 	}
 	if !rhsMatch(n, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteSlice(routine, 1, "AP", ap), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	nrhs := b.Cols
 	afp := make([]T, len(ap))
@@ -156,8 +191,9 @@ func PPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error
 
 // PBSVX is the expert driver for positive definite band systems (the
 // paper's LA_PBSVX).
-func PBSVX[T Scalar](ab, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
+func PBSVX[T Scalar](ab, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err error) {
 	const routine = "LA_PBSVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if ab == nil || ab.Rows < 1 {
 		return nil, erinfo(routine, -1, "")
@@ -166,6 +202,11 @@ func PBSVX[T Scalar](ab, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
 	kd := ab.Rows - 1
 	if !rhsMatch(n, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "AB", ab), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	nrhs := b.Cols
 	afb := make([]T, (kd+1)*n)
@@ -180,8 +221,9 @@ func PBSVX[T Scalar](ab, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
 
 // PTSVX is the expert driver for positive definite tridiagonal systems
 // (the paper's LA_PTSVX). d and e are not overwritten.
-func PTSVX[T Scalar](d []float64, e []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
+func PTSVX[T Scalar](d []float64, e []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err error) {
 	const routine = "LA_PTSVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := len(d)
 	if n > 0 && len(e) != n-1 {
@@ -189,6 +231,15 @@ func PTSVX[T Scalar](d []float64, e []T, b *Matrix[T], opts ...Opt) (*ExpertResu
 	}
 	if !rhsMatch(n, b) {
 		return nil, erinfo(routine, -3, "")
+	}
+	if o.check {
+		if err := firstErr(
+			finiteFloats(routine, 1, "D", d),
+			finiteSlice(routine, 2, "E", e),
+			finiteMat(routine, 3, "B", b),
+		); err != nil {
+			return nil, err
+		}
 	}
 	nrhs := b.Cols
 	df := make([]float64, n)
@@ -201,14 +252,20 @@ func PTSVX[T Scalar](d []float64, e []T, b *Matrix[T], opts ...Opt) (*ExpertResu
 
 // SYSVX is the expert driver for symmetric indefinite systems (the
 // paper's LA_SYSVX).
-func SYSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
+func SYSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err error) {
 	const routine = "LA_SYSVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
 	if !rhsMatch(a.Rows, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	n, nrhs := a.Rows, b.Cols
 	af := NewMatrix[T](n, n)
@@ -221,14 +278,20 @@ func SYSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
 
 // HESVX is the expert driver for Hermitian indefinite systems (the
 // paper's LA_HESVX).
-func HESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
+func HESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err error) {
 	const routine = "LA_HESVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
 	if !rhsMatch(a.Rows, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	n, nrhs := a.Rows, b.Cols
 	af := NewMatrix[T](n, n)
@@ -242,8 +305,9 @@ func HESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
 // SPSVX is the expert driver for packed symmetric indefinite systems (the
 // paper's LA_SPSVX): factorization, solve, refinement and condition
 // estimation on packed storage.
-func SPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
+func SPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err error) {
 	const routine = "LA_SPSVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := packedOrder(len(ap))
 	if n < 0 {
@@ -251,6 +315,11 @@ func SPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error
 	}
 	if !rhsMatch(n, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteSlice(routine, 1, "AP", ap), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	nrhs := b.Cols
 	afp := append([]T(nil), ap...)
@@ -273,8 +342,9 @@ func SPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error
 
 // HPSVX is the expert driver for packed Hermitian indefinite systems (the
 // paper's LA_HPSVX).
-func HPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error) {
+func HPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err error) {
 	const routine = "LA_HPSVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := packedOrder(len(ap))
 	if n < 0 {
@@ -282,6 +352,11 @@ func HPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (*ExpertResult[T], error
 	}
 	if !rhsMatch(n, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteSlice(routine, 1, "AP", ap), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	nrhs := b.Cols
 	afp := append([]T(nil), ap...)

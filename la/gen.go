@@ -16,6 +16,7 @@ type GegResult struct {
 // QZ-lite route; see DESIGN.md).
 func GEGS[T Scalar](a, b *Matrix[T]) (res *GegResult, vsl, vsr *Matrix[T], err error) {
 	const routine = "LA_GEGS"
+	defer guard(routine, &err)
 	if !square(a) {
 		return nil, nil, nil, erinfo(routine, -1, "")
 	}
@@ -60,6 +61,7 @@ func GEGS[T Scalar](a, b *Matrix[T]) (res *GegResult, vsl, vsr *Matrix[T], err e
 // destroyed. Requires B nonsingular.
 func GEGV[T Scalar](a, b *Matrix[T], opts ...Opt) (res *GegResult, vl, vr *Matrix[T], err error) {
 	const routine = "LA_GEGV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, nil, nil, erinfo(routine, -1, "")
@@ -122,8 +124,9 @@ type GGSVDResult[T Scalar] struct {
 // GGSVD computes the generalized singular value decomposition of the pair
 // (A, B) (the paper's LA_GGSVD): A = U·diag(Alpha)·R·Qᴴ and
 // B = V·diag(Beta)·R·Qᴴ with Alpha² + Beta² = 1. A and B are destroyed.
-func GGSVD[T Scalar](a, b *Matrix[T]) (*GGSVDResult[T], error) {
+func GGSVD[T Scalar](a, b *Matrix[T]) (result *GGSVDResult[T], err error) {
 	const routine = "LA_GGSVD"
+	defer guard(routine, &err)
 	if a == nil {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -157,8 +160,9 @@ type SchurXResult[T Scalar] struct {
 // reciprocal condition numbers for the selected eigenvalue cluster and its
 // right invariant subspace. Supply the selection with WithSelect (real) or
 // WithSelectC (complex).
-func GEESX[T Scalar](a *Matrix[T], opts ...Opt) (*SchurXResult[T], error) {
+func GEESX[T Scalar](a *Matrix[T], opts ...Opt) (result *SchurXResult[T], err error) {
 	const routine = "LA_GEESX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
@@ -220,8 +224,9 @@ type EigenXResult[T Scalar] struct {
 // GEEVX is the expert eigendriver (the paper's LA_GEEVX): LA_GEEV plus
 // balancing details (ILO, IHI, SCALE, ABNRM) and reciprocal condition
 // numbers for the eigenvalues (RCONDE) and right eigenvectors (RCONDV).
-func GEEVX[T Scalar](a *Matrix[T], opts ...Opt) (*EigenXResult[T], error) {
+func GEEVX[T Scalar](a *Matrix[T], opts ...Opt) (result *EigenXResult[T], err error) {
 	const routine = "LA_GEEVX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")

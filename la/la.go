@@ -44,6 +44,7 @@ package la
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/lapack"
@@ -65,14 +66,49 @@ type Matrix[T Scalar] struct {
 	Data       []T
 }
 
-// NewMatrix allocates a zero rows×cols matrix.
+// NewMatrix allocates a zero rows×cols matrix. A negative dimension or a
+// rows×cols element count that does not fit in int panics with an
+// ERINFO-style *Error (routine "LA_MATRIX"): when the allocation happens
+// inside a driver the API-boundary guard converts that panic into the
+// driver's ordinary error return, so a corrupt size reaches the caller as an
+// argument error instead of a runtime allocation fault.
 func NewMatrix[T Scalar](rows, cols int) *Matrix[T] {
+	if err := checkAlloc("LA_MATRIX", rows, cols); err != nil {
+		panic(err)
+	}
 	return &Matrix[T]{
 		Rows:   rows,
 		Cols:   cols,
 		Stride: max(1, rows),
 		Data:   make([]T, max(1, rows)*cols),
 	}
+}
+
+// checkAlloc validates an allocation shape: both extents non-negative and
+// the element count max(1, rows)·cols representable in int.
+func checkAlloc(routine string, rows, cols int) *Error {
+	if rows < 0 {
+		return &Error{Routine: routine, Info: -1, Detail: "negative row dimension"}
+	}
+	if cols < 0 {
+		return &Error{Routine: routine, Info: -2, Detail: "negative column dimension"}
+	}
+	if rows > 0 && cols > math.MaxInt/rows {
+		return &Error{Routine: routine, Info: -1,
+			Detail: fmt.Sprintf("%d x %d elements overflow the address space", rows, cols)}
+	}
+	return nil
+}
+
+// workSize multiplies workspace extents (an lwork computation such as n·nb),
+// panicking with an ERINFO-style *Error on int overflow so the API-boundary
+// guard reports a contained argument error rather than allocating garbage.
+func workSize(routine string, a, b int) int {
+	if a < 0 || b < 0 || (a > 0 && b > math.MaxInt/a) {
+		panic(&Error{Routine: routine, Info: InfoPanic,
+			Detail: fmt.Sprintf("workspace size %d x %d overflows", a, b)})
+	}
+	return a * b
 }
 
 // MatrixFrom builds a rows×cols matrix from a row-major [][]T literal,
@@ -116,15 +152,32 @@ func (m *Matrix[T]) Col(j int) []T { return m.Data[j*m.Stride : j*m.Stride+m.Row
 // Error is the LAPACK90 error report (the ERINFO protocol): Routine names
 // the interface routine (e.g. "LA_GESV"); Info carries the LAPACK INFO
 // code, negative for the index of an invalid argument, positive for a
-// numerical failure described by Detail.
+// numerical failure described by Detail. Errors produced by the panic
+// recovery guard at the API boundary carry the out-of-band Info value
+// InfoPanic and, when the fault was captured on a worker goroutine, the
+// worker's stack trace in Stack.
 type Error struct {
 	Routine string
 	Info    int
 	Detail  string
+	Stack   []byte // worker stack for faults recovered from the parallel engine
 }
 
+// InfoPanic is the out-of-band INFO value reported when a driver's error was
+// recovered from an internal panic rather than produced by the ERINFO
+// protocol. It is far outside the range of legitimate INFO codes (argument
+// indices and matrix dimensions), so callers can reliably distinguish a
+// contained fault from a numerical failure.
+const InfoPanic = -1 << 30
+
 func (e *Error) Error() string {
+	if e.Info == InfoPanic {
+		return fmt.Sprintf("%s: internal fault contained: %s (INFO = %d)", e.Routine, e.Detail, e.Info)
+	}
 	if e.Info < 0 {
+		if e.Detail != "" {
+			return fmt.Sprintf("%s: argument %d had an illegal value: %s (INFO = %d)", e.Routine, -e.Info, e.Detail, e.Info)
+		}
 		return fmt.Sprintf("%s: argument %d had an illegal value (INFO = %d)", e.Routine, -e.Info, e.Info)
 	}
 	if e.Detail != "" {
@@ -211,10 +264,12 @@ type options struct {
 	jobVT    lapack.SVDJob
 	iseed    [4]int
 	haveSeed bool
+	check    bool // screen inputs for non-finite values (WithCheck / LA90_CHECK_INPUTS)
 }
 
 func defaults() options {
 	return options{
+		check: checkInputs.Load(),
 		uplo:  Upper,
 		trans: None,
 		itype: 1,

@@ -10,13 +10,20 @@ import "repro/internal/lapack"
 // ipiv holds the 0-based pivot indices (the paper's optional IPIV
 // argument, always provided here). A positive INFO i in the error means
 // U(i,i) = 0: A is singular and no solution was computed.
-func GESV[T Scalar](a, b *Matrix[T]) (ipiv []int, err error) {
+func GESV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_GESV"
+	defer guard(routine, &err)
+	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
 	if !rhsMatch(a.Rows, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	n := a.Rows
 	ipiv = make([]int, n)
@@ -26,13 +33,20 @@ func GESV[T Scalar](a, b *Matrix[T]) (ipiv []int, err error) {
 
 // GESV1 is LA_GESV with a vector right-hand side (the paper's
 // SGESV1_F90 shape resolution: B has shape (:)).
-func GESV1[T Scalar](a *Matrix[T], b []T) (ipiv []int, err error) {
+func GESV1[T Scalar](a *Matrix[T], b []T, opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_GESV"
+	defer guard(routine, &err)
+	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
 	if len(b) != a.Rows {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteSlice(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	n := a.Rows
 	ipiv = make([]int, n)
@@ -49,6 +63,7 @@ func GESV1[T Scalar](a *Matrix[T], b []T) (ipiv []int, err error) {
 // rule); ku = ldab-1-2*kl. B is overwritten with the solution.
 func GBSV[T Scalar](ab, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_GBSV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if ab == nil || ab.Cols < 0 {
 		return nil, erinfo(routine, -1, "")
@@ -66,6 +81,11 @@ func GBSV[T Scalar](ab, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	if kl < 0 || ku < 0 {
 		return nil, erinfo(routine, -3, "")
 	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "AB", ab), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
+	}
 	ipiv = make([]int, n)
 	info := lapack.Gbsv(n, kl, ku, b.Cols, ab.Data, ab.Stride, ipiv, b.Data, b.Stride)
 	return ipiv, erinfo(routine, info, "matrix is exactly singular")
@@ -81,8 +101,10 @@ func GBSV1[T Scalar](ab *Matrix[T], b []T, opts ...Opt) (ipiv []int, err error) 
 // (the paper's LA_GTSV). dl, d and du are the sub-, main and
 // super-diagonals and are overwritten by the factorization; B is
 // overwritten with the solution.
-func GTSV[T Scalar](dl, d, du []T, b *Matrix[T]) error {
+func GTSV[T Scalar](dl, d, du []T, b *Matrix[T], opts ...Opt) (err error) {
 	const routine = "LA_GTSV"
+	defer guard(routine, &err)
+	o := apply(opts)
 	n := len(d)
 	if n > 0 && (len(dl) != n-1 || len(du) != n-1) {
 		return erinfo(routine, -1, "")
@@ -90,14 +112,24 @@ func GTSV[T Scalar](dl, d, du []T, b *Matrix[T]) error {
 	if !rhsMatch(n, b) {
 		return erinfo(routine, -4, "")
 	}
+	if o.check {
+		if err := firstErr(
+			finiteSlice(routine, 1, "DL", dl),
+			finiteSlice(routine, 2, "D", d),
+			finiteSlice(routine, 3, "DU", du),
+			finiteMat(routine, 4, "B", b),
+		); err != nil {
+			return err
+		}
+	}
 	info := lapack.Gtsv(n, b.Cols, dl, d, du, b.Data, b.Stride)
 	return erinfo(routine, info, "matrix is exactly singular")
 }
 
 // GTSV1 is LA_GTSV with a vector right-hand side.
-func GTSV1[T Scalar](dl, d, du []T, b []T) error {
+func GTSV1[T Scalar](dl, d, du []T, b []T, opts ...Opt) error {
 	bm := &Matrix[T]{Rows: len(b), Cols: 1, Stride: max(1, len(b)), Data: b}
-	return GTSV(dl, d, du, bm)
+	return GTSV(dl, d, du, bm, opts...)
 }
 
 // POSV solves a symmetric/Hermitian positive definite system of linear
@@ -105,14 +137,20 @@ func GTSV1[T Scalar](dl, d, du []T, b []T) error {
 // WithUpLo (default Upper) is referenced; on exit it holds the Cholesky
 // factor. A positive INFO i means the leading minor of order i is not
 // positive definite.
-func POSV[T Scalar](a, b *Matrix[T], opts ...Opt) error {
+func POSV[T Scalar](a, b *Matrix[T], opts ...Opt) (err error) {
 	const routine = "LA_POSV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return erinfo(routine, -1, "")
 	}
 	if !rhsMatch(a.Rows, b) {
 		return erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return err
+		}
 	}
 	info := lapack.Posv(o.uplo, a.Rows, b.Cols, a.Data, a.Stride, b.Data, b.Stride)
 	return erinfo(routine, info, "matrix is not positive definite")
@@ -128,8 +166,9 @@ func POSV1[T Scalar](a *Matrix[T], b []T, opts ...Opt) error {
 // storage (the paper's LA_PPSV). ap holds the WithUpLo triangle packed
 // column-wise (length n(n+1)/2) and is overwritten with the packed
 // Cholesky factor.
-func PPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) error {
+func PPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (err error) {
 	const routine = "LA_PPSV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := packedOrder(len(ap))
 	if n < 0 {
@@ -137,6 +176,11 @@ func PPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) error {
 	}
 	if !rhsMatch(n, b) {
 		return erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteSlice(routine, 1, "AP", ap), finiteMat(routine, 2, "B", b)); err != nil {
+			return err
+		}
 	}
 	info := lapack.Ppsv(o.uplo, n, b.Cols, ap, b.Data, b.Stride)
 	return erinfo(routine, info, "matrix is not positive definite")
@@ -165,8 +209,9 @@ func packedOrder(length int) int {
 // paper's LA_PBSV). AB is in symmetric band storage with kd = AB.Rows-1
 // off-diagonals in the WithUpLo triangle; on exit it holds the band
 // Cholesky factor.
-func PBSV[T Scalar](ab, b *Matrix[T], opts ...Opt) error {
+func PBSV[T Scalar](ab, b *Matrix[T], opts ...Opt) (err error) {
 	const routine = "LA_PBSV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if ab == nil || ab.Rows < 1 {
 		return erinfo(routine, -1, "")
@@ -175,6 +220,11 @@ func PBSV[T Scalar](ab, b *Matrix[T], opts ...Opt) error {
 	kd := ab.Rows - 1
 	if !rhsMatch(n, b) {
 		return erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "AB", ab), finiteMat(routine, 2, "B", b)); err != nil {
+			return err
+		}
 	}
 	info := lapack.Pbsv(o.uplo, n, kd, b.Cols, ab.Data, ab.Stride, b.Data, b.Stride)
 	return erinfo(routine, info, "matrix is not positive definite")
@@ -189,8 +239,10 @@ func PBSV1[T Scalar](ab *Matrix[T], b []T, opts ...Opt) error {
 // PTSV solves a symmetric/Hermitian positive definite tridiagonal system
 // (the paper's LA_PTSV). d is the real diagonal and e the sub-diagonal;
 // both are overwritten by the L·D·Lᴴ factorization.
-func PTSV[T Scalar](d []float64, e []T, b *Matrix[T]) error {
+func PTSV[T Scalar](d []float64, e []T, b *Matrix[T], opts ...Opt) (err error) {
 	const routine = "LA_PTSV"
+	defer guard(routine, &err)
+	o := apply(opts)
 	n := len(d)
 	if n > 0 && len(e) != n-1 {
 		return erinfo(routine, -2, "")
@@ -198,14 +250,23 @@ func PTSV[T Scalar](d []float64, e []T, b *Matrix[T]) error {
 	if !rhsMatch(n, b) {
 		return erinfo(routine, -3, "")
 	}
+	if o.check {
+		if err := firstErr(
+			finiteFloats(routine, 1, "D", d),
+			finiteSlice(routine, 2, "E", e),
+			finiteMat(routine, 3, "B", b),
+		); err != nil {
+			return err
+		}
+	}
 	info := lapack.Ptsv(n, b.Cols, d, e, b.Data, b.Stride)
 	return erinfo(routine, info, "matrix is not positive definite")
 }
 
 // PTSV1 is LA_PTSV with a vector right-hand side.
-func PTSV1[T Scalar](d []float64, e []T, b []T) error {
+func PTSV1[T Scalar](d []float64, e []T, b []T, opts ...Opt) error {
 	bm := &Matrix[T]{Rows: len(b), Cols: 1, Stride: max(1, len(b)), Data: b}
-	return PTSV(d, e, bm)
+	return PTSV(d, e, bm, opts...)
 }
 
 // SYSV solves a symmetric indefinite system of linear equations A·X = B
@@ -215,12 +276,18 @@ func PTSV1[T Scalar](d []float64, e []T, b []T) error {
 // LAPACK.
 func SYSV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_SYSV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
 	if !rhsMatch(a.Rows, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	ipiv = make([]int, a.Rows)
 	info := lapack.Sysv(o.uplo, a.Rows, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
@@ -237,12 +304,18 @@ func SYSV1[T Scalar](a *Matrix[T], b []T, opts ...Opt) (ipiv []int, err error) {
 // paper's LA_HESV). For real element types it coincides with SYSV.
 func HESV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_HESV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
 	if !rhsMatch(a.Rows, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	ipiv = make([]int, a.Rows)
 	info := lapack.Hesv(o.uplo, a.Rows, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
@@ -259,6 +332,7 @@ func HESV1[T Scalar](a *Matrix[T], b []T, opts ...Opt) (ipiv []int, err error) {
 // paper's LA_SPSV).
 func SPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_SPSV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := packedOrder(len(ap))
 	if n < 0 {
@@ -266,6 +340,11 @@ func SPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	}
 	if !rhsMatch(n, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteSlice(routine, 1, "AP", ap), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	ipiv = make([]int, n)
 	info := lapack.Spsv(o.uplo, n, b.Cols, ap, ipiv, b.Data, b.Stride)
@@ -282,6 +361,7 @@ func SPSV1[T Scalar](ap []T, b []T, opts ...Opt) (ipiv []int, err error) {
 // paper's LA_HPSV).
 func HPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_HPSV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	n := packedOrder(len(ap))
 	if n < 0 {
@@ -289,6 +369,11 @@ func HPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	}
 	if !rhsMatch(n, b) {
 		return nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteSlice(routine, 1, "AP", ap), finiteMat(routine, 2, "B", b)); err != nil {
+			return nil, err
+		}
 	}
 	ipiv = make([]int, n)
 	info := lapack.Hpsv(o.uplo, n, b.Cols, ap, ipiv, b.Data, b.Stride)

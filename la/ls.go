@@ -9,14 +9,20 @@ import "repro/internal/lapack"
 // max(m, n) rows: on entry its leading rows hold the right-hand sides; on
 // exit its leading rows hold the solution (for the overdetermined case the
 // remaining rows carry residual information). WithTrans selects op(A).
-func GELS[T Scalar](a, b *Matrix[T], opts ...Opt) error {
+func GELS[T Scalar](a, b *Matrix[T], opts ...Opt) (err error) {
 	const routine = "LA_GELS"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if a == nil {
 		return erinfo(routine, -1, "")
 	}
 	if b == nil || b.Rows != max(a.Rows, a.Cols) {
 		return erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return err
+		}
 	}
 	info := lapack.Gels(o.trans, a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride)
 	return erinfo(routine, info, "the triangular factor is exactly singular: A does not have full rank")
@@ -36,12 +42,18 @@ func GELS1[T Scalar](a *Matrix[T], b []T, opts ...Opt) error {
 // B must have max(m, n) rows and is overwritten with the solution.
 func GELSX[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, jpvt []int, err error) {
 	const routine = "LA_GELSX"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if a == nil {
 		return 0, nil, erinfo(routine, -1, "")
 	}
 	if b == nil || b.Rows != max(a.Rows, a.Cols) {
 		return 0, nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return 0, nil, err
+		}
 	}
 	rcond := o.rcond
 	if rcond < 0 {
@@ -59,12 +71,18 @@ func GELSX[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, jpvt []int, err er
 // solution.
 func GELSS[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, s []float64, err error) {
 	const routine = "LA_GELSS"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if a == nil {
 		return 0, nil, erinfo(routine, -1, "")
 	}
 	if b == nil || b.Rows != max(a.Rows, a.Cols) {
 		return 0, nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return 0, nil, err
+		}
 	}
 	s = make([]float64, min(a.Rows, a.Cols))
 	rank, info := lapack.Gelss(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
@@ -75,8 +93,10 @@ func GELSS[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, s []float64, err e
 // minimize ‖c − A·x‖₂ subject to B·x = d (the paper's LA_GGLSE). A is
 // m×n, B is p×n; c and d have lengths m and p. The solution x (length n)
 // is returned.
-func GGLSE[T Scalar](a, b *Matrix[T], c, d []T) (x []T, err error) {
+func GGLSE[T Scalar](a, b *Matrix[T], c, d []T, opts ...Opt) (x []T, err error) {
 	const routine = "LA_GGLSE"
+	defer guard(routine, &err)
+	o := apply(opts)
 	if a == nil {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -93,6 +113,14 @@ func GGLSE[T Scalar](a, b *Matrix[T], c, d []T) (x []T, err error) {
 	if p > n || n > m+p {
 		return nil, erinfo(routine, -2, "")
 	}
+	if o.check {
+		if err := firstErr(
+			finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b),
+			finiteSlice(routine, 3, "C", c), finiteSlice(routine, 4, "D", d),
+		); err != nil {
+			return nil, err
+		}
+	}
 	x = make([]T, n)
 	info := lapack.Gglse(m, n, p, a.Data, a.Stride, b.Data, b.Stride, c, d, x)
 	return x, erinfo(routine, info, "the constraint matrix or the reduced system is rank deficient")
@@ -102,8 +130,10 @@ func GGLSE[T Scalar](a, b *Matrix[T], c, d []T) (x []T, err error) {
 // minimize ‖y‖₂ subject to d = A·x + B·y (the paper's LA_GGGLM). A is
 // n×m, B is n×p, d has length n; the solutions x (length m) and y
 // (length p) are returned.
-func GGGLM[T Scalar](a, b *Matrix[T], d []T) (x, y []T, err error) {
+func GGGLM[T Scalar](a, b *Matrix[T], d []T, opts ...Opt) (x, y []T, err error) {
 	const routine = "LA_GGGLM"
+	defer guard(routine, &err)
+	o := apply(opts)
 	if a == nil {
 		return nil, nil, erinfo(routine, -1, "")
 	}
@@ -116,6 +146,14 @@ func GGGLM[T Scalar](a, b *Matrix[T], d []T) (x, y []T, err error) {
 	n, m, p := a.Rows, a.Cols, b.Cols
 	if m > n || n > m+p {
 		return nil, nil, erinfo(routine, -1, "")
+	}
+	if o.check {
+		if err := firstErr(
+			finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b),
+			finiteSlice(routine, 3, "D", d),
+		); err != nil {
+			return nil, nil, err
+		}
 	}
 	x = make([]T, m)
 	y = make([]T, p)

@@ -16,9 +16,15 @@ import "repro/internal/lapack"
 // complex conjugate eigenvalue pairs.
 func GEES[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vs *Matrix[T], sdim int, err error) {
 	const routine = "LA_GEES"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, nil, 0, erinfo(routine, -1, "")
+	}
+	if o.check {
+		if err := finiteMat(routine, 1, "A", a); err != nil {
+			return nil, nil, 0, err
+		}
 	}
 	n := a.Rows
 	w = make([]complex128, n)
@@ -107,9 +113,15 @@ func GEES[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vs *Matrix[T], s
 // overwritten.
 func GEEV[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vl, vr *Matrix[T], err error) {
 	const routine = "LA_GEEV"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if !square(a) {
 		return nil, nil, nil, erinfo(routine, -1, "")
+	}
+	if o.check {
+		if err := finiteMat(routine, 1, "A", a); err != nil {
+			return nil, nil, nil, err
+		}
 	}
 	n := a.Rows
 	w = make([]complex128, n)
@@ -170,11 +182,17 @@ type SVDResult[T Scalar] struct {
 // GESVD computes the singular value decomposition A = U·Σ·Vᴴ (the paper's
 // LA_GESVD). WithSingularVectors selects how much of U and Vᴴ to form
 // (default 'S', 'S': the economy factors). A is destroyed.
-func GESVD[T Scalar](a *Matrix[T], opts ...Opt) (*SVDResult[T], error) {
+func GESVD[T Scalar](a *Matrix[T], opts ...Opt) (result *SVDResult[T], err error) {
 	const routine = "LA_GESVD"
+	defer guard(routine, &err)
 	o := apply(opts)
 	if a == nil {
 		return nil, erinfo(routine, -1, "")
+	}
+	if o.check {
+		if err := finiteMat(routine, 1, "A", a); err != nil {
+			return nil, err
+		}
 	}
 	m, n := a.Rows, a.Cols
 	mn := min(m, n)
