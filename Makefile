@@ -43,6 +43,7 @@ fuzz:
 # engine and factorization benchmarks, no timing claims.
 benchsmoke:
 	$(GO) test -run=NONE -bench='Getrf|Gemm' -benchtime=1x .
+	$(GO) run ./cmd/la90bench -reduce -maxn 256 -reps 1 -out /tmp/BENCH_reduce_smoke.json
 
 # Quick performance snapshot (see README "Performance" for the full story).
 bench:

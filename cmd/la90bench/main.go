@@ -9,6 +9,7 @@
 //	la90bench -n 800 -nrhs 4       # custom single run
 //	la90bench -blas                # Level-3 engine sweep -> BENCH_blas.json
 //	la90bench -lapack              # factorization sweep  -> BENCH_lapack.json
+//	la90bench -reduce              # condensed-form reduction sweep -> BENCH_reduce.json
 package main
 
 import (
@@ -26,9 +27,11 @@ var (
 	sweep    = flag.Bool("sweep", false, "sweep N and print the wrapper-overhead table")
 	blasSw   = flag.Bool("blas", false, "benchmark the Level-3 engine and write machine-readable results")
 	lapackSw = flag.Bool("lapack", false, "benchmark the blocked factorizations and write machine-readable results")
-	outFlag  = flag.String("out", "", "output path (default BENCH_blas.json for -blas, BENCH_lapack.json for -lapack)")
+	reduceSw = flag.Bool("reduce", false, "benchmark the blocked condensed-form reductions and write machine-readable results")
+	outFlag  = flag.String("out", "", "output path (default BENCH_blas.json for -blas, BENCH_lapack.json for -lapack, BENCH_reduce.json for -reduce)")
 	nFlag    = flag.Int("n", 500, "matrix order")
 	nrhsFlag = flag.Int("nrhs", 2, "number of right-hand sides")
+	maxnFlag = flag.Int("maxn", 1024, "largest size a sweep mode may bench (smoke runs use a small cap)")
 	reps     = flag.Int("reps", 3, "repetitions (minimum time reported)")
 )
 
@@ -39,6 +42,8 @@ func main() {
 		runBlas()
 	case *lapackSw:
 		runLapack()
+	case *reduceSw:
+		runReduce()
 	case *sweep:
 		runSweep()
 	default:

@@ -1,0 +1,172 @@
+// The -reduce mode: benchmark the blocked condensed-form reductions (this
+// PR) against their unblocked Level-2 oracles in the same process run, and
+// write machine-readable results (BENCH_reduce.json). The headline numbers
+// are the blocked/unblocked speedups at n=1024 float64 — the acceptance
+// bar for riding the panel reductions on the packed Level-3 engine — plus
+// end-to-end eigensolve and SVD rates that inherit the blocked reductions.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/blas"
+	"repro/internal/lapack"
+)
+
+type reduceResult struct {
+	Routine string  `json:"routine"` // sytrd | gebrd | gehrd | syev | gesvd
+	Dtype   string  `json:"dtype"`
+	N       int     `json:"n"`
+	Blocked bool    `json:"blocked"`
+	Seconds float64 `json:"seconds"` // minimum over repetitions
+	GFLOPS  float64 `json:"gflops"`
+}
+
+type reduceReport struct {
+	Go      string         `json:"go"`
+	GOOS    string         `json:"goos"`
+	GOARCH  string         `json:"goarch"`
+	CPUs    int            `json:"cpus"`
+	Threads int            `json:"threads"`
+	Results []reduceResult `json:"results"`
+	// Blocked over unblocked GFLOPS, float64, largest benched size.
+	SytrdSpeedup float64 `json:"sytrd_blocked_vs_unblocked"`
+	GebrdSpeedup float64 `json:"gebrd_blocked_vs_unblocked"`
+	GehrdSpeedup float64 `json:"gehrd_blocked_vs_unblocked"`
+	SpeedupN     int     `json:"speedup_n"`
+}
+
+func runReduce() {
+	rep := reduceReport{
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Threads: blas.Threads(),
+	}
+	sizes := []int{256, 512, 1024}
+	var kept []int
+	for _, n := range sizes {
+		if n <= *maxnFlag {
+			kept = append(kept, n)
+		}
+	}
+	if len(kept) == 0 {
+		kept = []int{sizes[0]}
+	}
+	nmax := kept[len(kept)-1]
+
+	// Remember the raw rates at the largest size and divide at the end.
+	rates := map[string]map[bool]float64{}
+	note := func(routine string, n int, blocked bool, gf float64) {
+		if n != nmax {
+			return
+		}
+		if rates[routine] == nil {
+			rates[routine] = map[bool]float64{}
+		}
+		rates[routine][blocked] = gf
+	}
+	record := func(routine string, n int, blocked bool, flops, seconds float64) {
+		gf := flops / seconds / 1e9
+		rep.Results = append(rep.Results, reduceResult{routine, "float64", n, blocked, seconds, gf})
+		note(routine, n, blocked, gf)
+	}
+
+	for _, n := range kept {
+		nf := float64(n)
+		rng := lapack.NewRng([4]int{n, 29, 31, 3})
+		a := make([]float64, n*n)
+		lapack.Larnv(2, rng, n*n, a)
+		sym := make([]float64, n*n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				sym[i+j*n] = a[i+j*n] + a[j+i*n]
+			}
+		}
+		w := make([]float64, n*n)
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		tau := make([]float64, n)
+		taup := make([]float64, n)
+
+		// Tridiagonal reduction: blocked driver vs unblocked kernel.
+		copy(w, sym)
+		lapack.Sytrd(lapack.Lower, n, w, n, d, e, tau) // warm-up
+		record("sytrd", n, true, 4.0/3.0*nf*nf*nf, minTimeSetup(*reps,
+			func() { copy(w, sym) },
+			func() { lapack.Sytrd(lapack.Lower, n, w, n, d, e, tau) }))
+		record("sytrd", n, false, 4.0/3.0*nf*nf*nf, minTimeSetup(*reps,
+			func() { copy(w, sym) },
+			func() { lapack.Sytd2(lapack.Lower, n, w, n, d, e, tau) }))
+
+		// Bidiagonal reduction (square case).
+		copy(w, a)
+		lapack.Gebrd(n, n, w, n, d, e, tau, taup) // warm-up
+		record("gebrd", n, true, 8.0/3.0*nf*nf*nf, minTimeSetup(*reps,
+			func() { copy(w, a) },
+			func() { lapack.Gebrd(n, n, w, n, d, e, tau, taup) }))
+		record("gebrd", n, false, 8.0/3.0*nf*nf*nf, minTimeSetup(*reps,
+			func() { copy(w, a) },
+			func() { lapack.Gebd2(n, n, w, n, d, e, tau, taup) }))
+
+		// Hessenberg reduction.
+		copy(w, a)
+		lapack.Gehrd(n, 0, n-1, w, n, tau) // warm-up
+		record("gehrd", n, true, 10.0/3.0*nf*nf*nf, minTimeSetup(*reps,
+			func() { copy(w, a) },
+			func() { lapack.Gehrd(n, 0, n-1, w, n, tau) }))
+		record("gehrd", n, false, 10.0/3.0*nf*nf*nf, minTimeSetup(*reps,
+			func() { copy(w, a) },
+			func() { lapack.Gehd2(n, 0, n-1, w, n, tau) }))
+
+		// End-to-end drivers inheriting the blocked reductions (eigenvalues
+		// and singular values only; nominal LAPACK flop counts).
+		copy(w, sym)
+		lapack.Syev(false, lapack.Lower, n, w, n, d) // warm-up
+		record("syev", n, true, 4.0/3.0*nf*nf*nf, minTimeSetup(*reps,
+			func() { copy(w, sym) },
+			func() { lapack.Syev(false, lapack.Lower, n, w, n, d) }))
+
+		s := make([]float64, n)
+		copy(w, a)
+		lapack.Gesvd(lapack.SVDNone, lapack.SVDNone, n, n, w, n, s, nil, 1, nil, 1) // warm-up
+		record("gesvd", n, true, 8.0/3.0*nf*nf*nf, minTimeSetup(*reps,
+			func() { copy(w, a) },
+			func() { lapack.Gesvd(lapack.SVDNone, lapack.SVDNone, n, n, w, n, s, nil, 1, nil, 1) }))
+	}
+
+	rep.SpeedupN = nmax
+	if r := rates["sytrd"]; r[false] > 0 {
+		rep.SytrdSpeedup = r[true] / r[false]
+	}
+	if r := rates["gebrd"]; r[false] > 0 {
+		rep.GebrdSpeedup = r[true] / r[false]
+	}
+	if r := rates["gehrd"]; r[false] > 0 {
+		rep.GehrdSpeedup = r[true] / r[false]
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	enc = append(enc, '\n')
+	out := *outFlag
+	if out == "" {
+		out = "BENCH_reduce.json"
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "la90bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-8s %-10s %6s %8s %12s %10s\n", "routine", "dtype", "N", "blocked", "seconds", "GFLOPS")
+	for _, r := range rep.Results {
+		fmt.Printf("%-8s %-10s %6d %8v %12.6f %10.2f\n", r.Routine, r.Dtype, r.N, r.Blocked, r.Seconds, r.GFLOPS)
+	}
+	fmt.Printf("float64 N=%d blocked/unblocked: sytrd %.2fx  gebrd %.2fx  gehrd %.2fx (written to %s)\n",
+		nmax, rep.SytrdSpeedup, rep.GebrdSpeedup, rep.GehrdSpeedup, out)
+}

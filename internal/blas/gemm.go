@@ -99,6 +99,16 @@ func putScratch[T core.Scalar](s []T) {
 	}
 }
 
+// GetScratch hands out a pooled, UNINITIALIZED length-n workspace slice for
+// callers outside this package (the blocked panel reductions in
+// internal/lapack recycle their W/X/Y panels through it). The contents are
+// arbitrary: callers must write every element they later read, exactly like
+// the packed-panel users above.
+func GetScratch[T core.Scalar](n int) []T { return getScratch[T](n) }
+
+// PutScratch returns a slice obtained from GetScratch to the pool.
+func PutScratch[T core.Scalar](s []T) { putScratch(s) }
+
 // gemmEngine accumulates C += alpha·op(A)·op(B) (beta already applied by the
 // caller) using packed panels, blocked loops and, for large enough problems,
 // the worker pool. alpha must be non-zero and m, n, k positive.

@@ -48,6 +48,26 @@ func dsubFma8(n int64, x, a, c *float64, ldc int64)
 //go:noescape
 func dgemvSub8(n int64, t, b *float64, ldb int64, y *float64)
 
+// daxpyFma computes y[0:n] += alpha·x[0:n], the unit-stride column step of
+// Gemv (NoTrans) and Ger. Implemented in gemmkernel_amd64.s.
+//
+//go:noescape
+func daxpyFma(n int64, alpha float64, x, y *float64)
+
+// ddotFma returns Σ x[i]·y[i] over unit-stride vectors, the column step of
+// the transposed Gemv.
+//
+//go:noescape
+func ddotFma(n int64, x, y *float64) float64
+
+// daxpyDotFma fuses the two passes of a symmetric matrix–vector column:
+// y[0:n] += alpha·a[0:n] and the return value is Σ a[i]·x[i], so the column
+// a streams through the core exactly once. Used by the unit-stride Symv
+// under the Latrd panel reductions.
+//
+//go:noescape
+func daxpyDotFma(n int64, alpha float64, a, x, y *float64) float64
+
 // cpuidAsm executes CPUID with the given leaf/subleaf.
 func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 

@@ -367,3 +367,213 @@ dgv8loop1:
 dgv8done:
 	VZEROUPPER
 	RET
+
+// Level-2 leaf kernels for the blocked condensed-form reductions. Roughly
+// half the flops of a blocked Sytrd/Gebrd/Gehrd stay in matrix-vector
+// products, so the Gemv/Ger/Symv column sweeps get the same FMA treatment
+// as the substitution leaves above: broadcast coefficients held in YMM
+// registers, unit-stride vector streams, fused multiply-adds.
+
+// func daxpyFma(n int64, alpha float64, x, y *float64)
+// y[0:n] += alpha * x[0:n]. The shared inner step of unit-stride Gemv
+// (NoTrans, one column) and Ger (one column).
+TEXT ·daxpyFma(SB), NOSPLIT, $0-32
+	MOVQ         n+0(FP), CX
+	VBROADCASTSD alpha+8(FP), Y8
+	MOVQ         x+16(FP), SI
+	MOVQ         y+24(FP), DX
+
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   daxpytail4
+
+daxpyloop8:
+	VMOVUPD     (SI), Y0
+	VMOVUPD     32(SI), Y1
+	VMOVUPD     (DX), Y2
+	VMOVUPD     32(DX), Y3
+	VFMADD231PD Y0, Y8, Y2
+	VFMADD231PD Y1, Y8, Y3
+	VMOVUPD     Y2, (DX)
+	VMOVUPD     Y3, 32(DX)
+	ADDQ        $64, SI
+	ADDQ        $64, DX
+	DECQ        BX
+	JNZ         daxpyloop8
+
+daxpytail4:
+	TESTQ $4, CX
+	JZ    daxpytail1
+	VMOVUPD     (SI), Y0
+	VMOVUPD     (DX), Y2
+	VFMADD231PD Y0, Y8, Y2
+	VMOVUPD     Y2, (DX)
+	ADDQ        $32, SI
+	ADDQ        $32, DX
+
+daxpytail1:
+	ANDQ $3, CX
+	JZ   daxpydone
+
+daxpyloop1:
+	VMOVSD      (SI), X0
+	VMOVSD      (DX), X2
+	VFMADD231SD X0, X8, X2
+	VMOVSD      X2, (DX)
+	ADDQ        $8, SI
+	ADDQ        $8, DX
+	DECQ        CX
+	JNZ         daxpyloop1
+
+daxpydone:
+	VZEROUPPER
+	RET
+
+// func ddotFma(n int64, x, y *float64) float64
+// Returns sum x[i]*y[i]. Four accumulators split the FMA chains; the
+// horizontal reduction happens once, before the scalar tail.
+TEXT ·ddotFma(SB), NOSPLIT, $0-32
+	MOVQ   n+0(FP), CX
+	MOVQ   x+8(FP), SI
+	MOVQ   y+16(FP), DX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+	MOVQ CX, BX
+	SHRQ $4, BX
+	JZ   ddottail4
+
+ddotloop16:
+	VMOVUPD     (SI), Y4
+	VMOVUPD     32(SI), Y5
+	VMOVUPD     64(SI), Y6
+	VMOVUPD     96(SI), Y7
+	VMOVUPD     (DX), Y9
+	VMOVUPD     32(DX), Y10
+	VMOVUPD     64(DX), Y11
+	VMOVUPD     96(DX), Y12
+	VFMADD231PD Y9, Y4, Y0
+	VFMADD231PD Y10, Y5, Y1
+	VFMADD231PD Y11, Y6, Y2
+	VFMADD231PD Y12, Y7, Y3
+	ADDQ        $128, SI
+	ADDQ        $128, DX
+	DECQ        BX
+	JNZ         ddotloop16
+
+ddottail4:
+	MOVQ CX, BX
+	ANDQ $15, BX
+	SHRQ $2, BX
+	JZ   ddotreduce
+
+ddotloop4:
+	VMOVUPD     (SI), Y4
+	VMOVUPD     (DX), Y9
+	VFMADD231PD Y9, Y4, Y0
+	ADDQ        $32, SI
+	ADDQ        $32, DX
+	DECQ        BX
+	JNZ         ddotloop4
+
+ddotreduce:
+	VADDPD       Y1, Y0, Y0
+	VADDPD       Y3, Y2, Y2
+	VADDPD       Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+	ANDQ         $3, CX
+	JZ           ddotdone
+
+ddotloop1:
+	VMOVSD      (SI), X4
+	VMOVSD      (DX), X5
+	VFMADD231SD X5, X4, X0
+	ADDQ        $8, SI
+	ADDQ        $8, DX
+	DECQ        CX
+	JNZ         ddotloop1
+
+ddotdone:
+	VMOVSD     X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func daxpyDotFma(n int64, alpha float64, a, x, y *float64) float64
+// Fused symmetric-column update: y[0:n] += alpha*a[0:n] and the return
+// value is sum a[i]*x[i] — one read of the column a serves both the axpy
+// into y and the dot against x, which is the whole inner loop of the
+// unit-stride Symv used by the Latrd panels.
+TEXT ·daxpyDotFma(SB), NOSPLIT, $0-48
+	MOVQ         n+0(FP), CX
+	VBROADCASTSD alpha+8(FP), Y8
+	MOVQ         a+16(FP), SI
+	MOVQ         x+24(FP), AX
+	MOVQ         y+32(FP), DX
+	VXORPD       Y0, Y0, Y0
+	VXORPD       Y1, Y1, Y1
+
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   dadtail4
+
+dadloop8:
+	VMOVUPD     (SI), Y4
+	VMOVUPD     32(SI), Y5
+	VMOVUPD     (DX), Y6
+	VMOVUPD     32(DX), Y7
+	VFMADD231PD Y4, Y8, Y6
+	VFMADD231PD Y5, Y8, Y7
+	VMOVUPD     Y6, (DX)
+	VMOVUPD     Y7, 32(DX)
+	VMOVUPD     (AX), Y2
+	VMOVUPD     32(AX), Y3
+	VFMADD231PD Y2, Y4, Y0
+	VFMADD231PD Y3, Y5, Y1
+	ADDQ        $64, SI
+	ADDQ        $64, AX
+	ADDQ        $64, DX
+	DECQ        BX
+	JNZ         dadloop8
+
+dadtail4:
+	TESTQ $4, CX
+	JZ    dadreduce
+	VMOVUPD     (SI), Y4
+	VMOVUPD     (DX), Y6
+	VFMADD231PD Y4, Y8, Y6
+	VMOVUPD     Y6, (DX)
+	VMOVUPD     (AX), Y2
+	VFMADD231PD Y2, Y4, Y0
+	ADDQ        $32, SI
+	ADDQ        $32, AX
+	ADDQ        $32, DX
+
+dadreduce:
+	VADDPD       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+	ANDQ         $3, CX
+	JZ           daddone
+
+dadloop1:
+	VMOVSD      (SI), X4
+	VMOVSD      (DX), X6
+	VFMADD231SD X4, X8, X6
+	VMOVSD      X6, (DX)
+	VMOVSD      (AX), X2
+	VFMADD231SD X2, X4, X0
+	ADDQ        $8, SI
+	ADDQ        $8, AX
+	ADDQ        $8, DX
+	DECQ        CX
+	JNZ         dadloop1
+
+daddone:
+	VMOVSD     X0, ret+40(FP)
+	VZEROUPPER
+	RET

@@ -25,3 +25,8 @@ func dsubFma8(n int64, x, a, c *float64, ldc int64)          { panic("blas: no a
 func dgemvSub8(n int64, t, b *float64, ldb int64, y *float64) {
 	panic("blas: no asm kernel")
 }
+func daxpyFma(n int64, alpha float64, x, y *float64)    { panic("blas: no asm kernel") }
+func ddotFma(n int64, x, y *float64) float64            { panic("blas: no asm kernel") }
+func daxpyDotFma(n int64, alpha float64, a, x, y *float64) float64 {
+	panic("blas: no asm kernel")
+}

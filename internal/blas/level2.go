@@ -29,6 +29,44 @@ func Gemv[T core.Scalar](trans Trans, m, n int, alpha T, a []T, lda int, x []T, 
 	if alpha == 0 {
 		return
 	}
+	// The vectorizable operand is y for NoTrans (column axpys; x is only
+	// read one scalar per column) and x for the transposed forms (column
+	// dots; y is written one scalar per column). Whenever that operand has
+	// unit stride the dedicated loops run — no generic index arithmetic in
+	// the hot path, bounds checks hoisted by slicing, and the float64 FMA
+	// kernels when the CPU has them — even if the scalar-side vector is a
+	// strided matrix row, as in the Latrd/Labrd panel sweeps.
+	//
+	// Large sweeps additionally fan out over the worker pool, partitioned
+	// by output elements (y rows for NoTrans, y columns for the transposed
+	// forms): every output element is produced by exactly one worker with
+	// the same per-element evaluation order as the serial loop, so threaded
+	// runs stay bit-identical, and worker panics are contained by
+	// parallelRange exactly as in the Level-3 engine.
+	workers := Threads()
+	if workers > 1 && m*n < gemvParallelMinVol {
+		workers = 1
+	}
+	if trans == NoTrans && incY == 1 {
+		if workers > 1 {
+			parallelRange(m, workers, func(lo, hi int) {
+				gemvNUnit(hi-lo, n, alpha, a[lo:], lda, x, incX, y[lo:])
+			})
+			return
+		}
+		gemvNUnit(m, n, alpha, a, lda, x, incX, y)
+		return
+	}
+	if trans != NoTrans && incX == 1 {
+		if workers > 1 {
+			parallelRange(n, workers, func(lo, hi int) {
+				gemvTUnit(m, hi-lo, alpha, a[lo*lda:], lda, x, y[lo*incY:], incY, trans == ConjTrans)
+			})
+			return
+		}
+		gemvTUnit(m, n, alpha, a, lda, x, y, incY, trans == ConjTrans)
+		return
+	}
 	switch trans {
 	case NoTrans:
 		// y += alpha * A * x, traversing A by columns.
@@ -38,15 +76,8 @@ func Gemv[T core.Scalar](trans Trans, m, n int, alpha T, a []T, lda int, x []T, 
 				continue
 			}
 			col := a[j*lda:]
-			if incY == 1 {
-				yy := y[:m]
-				for i := range yy {
-					yy[i] += t * col[i]
-				}
-			} else {
-				for i, iy := 0, 0; i < m; i, iy = i+1, iy+incY {
-					y[iy] += t * col[i]
-				}
+			for i, iy := 0, 0; i < m; i, iy = i+1, iy+incY {
+				y[iy] += t * col[i]
 			}
 		}
 	case TransT:
@@ -70,6 +101,63 @@ func Gemv[T core.Scalar](trans Trans, m, n int, alpha T, a []T, lda int, x []T, 
 	}
 }
 
+// gemvNUnit is the unit-stride y += alpha·A·x column sweep. Each column is
+// one fused axpy; float64 dispatches to the AVX2+FMA kernel.
+func gemvNUnit[T core.Scalar](m, n int, alpha T, a []T, lda int, x []T, incX int, y []T) {
+	if ys, ok := any(y).([]float64); ok && asmF64() {
+		xs := any(x).([]float64)
+		as := any(a).([]float64)
+		al := any(alpha).(float64)
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			if t := al * xs[jx]; t != 0 {
+				daxpyFma(int64(m), t, &as[j*lda], &ys[0])
+			}
+		}
+		return
+	}
+	yy := y[:m]
+	for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+		t := alpha * x[jx]
+		if t == 0 {
+			continue
+		}
+		col := a[j*lda : j*lda+m]
+		for i := range yy {
+			yy[i] += t * col[i]
+		}
+	}
+}
+
+// gemvTUnit is the unit-stride y += alpha·op(A)ᵀ·x sweep (op conjugates when
+// conj is set). Each column is one dot product; float64 dispatches to the
+// AVX2+FMA kernel (conjugation is the identity for reals).
+func gemvTUnit[T core.Scalar](m, n int, alpha T, a []T, lda int, x, y []T, incY int, conj bool) {
+	if ys, ok := any(y).([]float64); ok && asmF64() {
+		xs := any(x).([]float64)
+		as := any(a).([]float64)
+		al := any(alpha).(float64)
+		for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+			ys[jy] += al * ddotFma(int64(m), &as[j*lda], &xs[0])
+		}
+		return
+	}
+	xx := x[:m]
+	for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+		col := a[j*lda : j*lda+m]
+		var sum T
+		if conj {
+			for i, xv := range xx {
+				sum += core.Conj(col[i]) * xv
+			}
+		} else {
+			for i, xv := range xx {
+				sum += col[i] * xv
+			}
+		}
+		y[jy] += alpha * sum
+	}
+}
+
 // Ger computes the rank-one update A += alpha*x*yᵀ (unconjugated; the
 // reference xGER / xGERU).
 func Ger[T core.Scalar](m, n int, alpha T, x []T, incX int, y []T, incY int, a []T, lda int) {
@@ -79,20 +167,39 @@ func Ger[T core.Scalar](m, n int, alpha T, x []T, incX int, y []T, incY int, a [
 	checkLD(m, lda)
 	checkInc(incX)
 	checkInc(incY)
+	if incX == 1 && incY == 1 {
+		if as, ok := any(a).([]float64); ok && asmF64() {
+			xs := any(x).([]float64)
+			ys := any(y).([]float64)
+			al := any(alpha).(float64)
+			for j := 0; j < n; j++ {
+				if t := al * ys[j]; t != 0 {
+					daxpyFma(int64(m), t, &xs[0], &as[j*lda])
+				}
+			}
+			return
+		}
+		xx := x[:m]
+		for j := 0; j < n; j++ {
+			t := alpha * y[j]
+			if t == 0 {
+				continue
+			}
+			col := a[j*lda : j*lda+m]
+			for i := range col {
+				col[i] += xx[i] * t
+			}
+		}
+		return
+	}
 	for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
 		t := alpha * y[jy]
 		if t == 0 {
 			continue
 		}
 		col := a[j*lda:]
-		if incX == 1 {
-			for i := 0; i < m; i++ {
-				col[i] += x[i] * t
-			}
-		} else {
-			for i, ix := 0, 0; i < m; i, ix = i+1, ix+incX {
-				col[i] += x[ix] * t
-			}
+		for i, ix := 0, 0; i < m; i, ix = i+1, ix+incX {
+			col[i] += x[ix] * t
 		}
 	}
 }
@@ -153,6 +260,10 @@ func symHemv[T core.Scalar](uplo Uplo, n int, alpha T, a []T, lda int, x []T, in
 	if alpha == 0 {
 		return
 	}
+	if incX == 1 && incY == 1 {
+		symHemvUnit(uplo, n, alpha, a, lda, x, y, conj)
+		return
+	}
 	for j, jx, jy := 0, 0, 0; j < n; j, jx, jy = j+1, jx+incX, jy+incY {
 		t1 := alpha * x[jx]
 		var t2 T
@@ -178,6 +289,75 @@ func symHemv[T core.Scalar](uplo Uplo, n int, alpha T, a []T, lda int, x []T, in
 				t2 += cj(col[i]) * x[ix]
 			}
 			y[jy] += alpha * t2
+		}
+	}
+}
+
+// symHemvUnit is the unit-stride symmetric/Hermitian matrix–vector sweep:
+// each stored column A(lo:hi, j) is visited exactly once, contributing both
+// the axpy y += t1·col and the reflected dot Σ conj(col_i)·x_i. float64
+// runs the fused AVX2+FMA kernel, which streams the column through the core
+// a single time for both halves — this is the dominant flop sink of the
+// Latrd tridiagonal panels.
+func symHemvUnit[T core.Scalar](uplo Uplo, n int, alpha T, a []T, lda int, x, y []T, conj bool) {
+	if ys, ok := any(y).([]float64); ok && asmF64() {
+		xs := any(x).([]float64)
+		as := any(a).([]float64)
+		al := any(alpha).(float64)
+		if uplo == Upper {
+			for j := 0; j < n; j++ {
+				t1 := al * xs[j]
+				col := as[j*lda:]
+				dot := 0.0
+				if j > 0 {
+					dot = daxpyDotFma(int64(j), t1, &col[0], &xs[0], &ys[0])
+				}
+				ys[j] += t1*col[j] + al*dot
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				t1 := al * xs[j]
+				col := as[j*lda:]
+				ys[j] += t1 * col[j]
+				if r := n - j - 1; r > 0 {
+					dot := daxpyDotFma(int64(r), t1, &col[j+1], &xs[j+1], &ys[j+1])
+					ys[j] += al * dot
+				}
+			}
+		}
+		return
+	}
+	cj := func(v T) T {
+		if conj {
+			return core.Conj(v)
+		}
+		return v
+	}
+	for j := 0; j < n; j++ {
+		t1 := alpha * x[j]
+		var t2 T
+		col := a[j*lda:]
+		if uplo == Upper {
+			for i := 0; i < j; i++ {
+				y[i] += t1 * col[i]
+				t2 += cj(col[i]) * x[i]
+			}
+			d := col[j]
+			if conj {
+				d = core.FromFloat[T](core.Re(d))
+			}
+			y[j] += t1*d + alpha*t2
+		} else {
+			d := col[j]
+			if conj {
+				d = core.FromFloat[T](core.Re(d))
+			}
+			y[j] += t1 * d
+			for i := j + 1; i < n; i++ {
+				y[i] += t1 * col[i]
+				t2 += cj(col[i]) * x[i]
+			}
+			y[j] += alpha * t2
 		}
 	}
 }

@@ -441,11 +441,30 @@ func herkBase[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha float64, a 
 
 // Syr2k computes the symmetric rank-2k update
 // C = alpha*A*Bᵀ + alpha*B*Aᵀ + beta*C (NoTrans) or the transposed form.
+// Large updates run as two triangle-restricted passes of the packed rank-k
+// engine (A as the left operand against Bᵀ, then B against Aᵀ), so the
+// blocked reductions' trailing updates reach GEMM speed.
 func Syr2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
 	if n == 0 {
 		return
 	}
 	checkLD(n, ldc)
+	if n*n*k >= syrkDirectMaxVol {
+		if beta != core.FromFloat[T](1) {
+			scaleTriangle(uplo, n, beta, c, ldc)
+		}
+		if alpha == 0 || k == 0 {
+			return
+		}
+		if trans == NoTrans {
+			triEngine(uplo, NoTrans, TransT, n, k, alpha, a, lda, b, ldb, c, ldc)
+			triEngine(uplo, NoTrans, TransT, n, k, alpha, b, ldb, a, lda, c, ldc)
+		} else {
+			triEngine(uplo, TransT, NoTrans, n, k, alpha, a, lda, b, ldb, c, ldc)
+			triEngine(uplo, TransT, NoTrans, n, k, alpha, b, ldb, a, lda, c, ldc)
+		}
+		return
+	}
 	for j := 0; j < n; j++ {
 		lo, hi := 0, j+1
 		if uplo == Lower {
@@ -474,12 +493,35 @@ func Syr2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda 
 
 // Her2k computes the Hermitian rank-2k update
 // C = alpha*A*Bᴴ + conj(alpha)*B*Aᴴ + beta*C (NoTrans) or the conj-
-// transposed form, with real beta.
+// transposed form, with real beta. Large updates run as two passes of the
+// packed triangle engine exactly like Syr2k, with the diagonal forced real
+// afterwards (the exact sum alpha·x·conj(y) + conj(alpha·x·conj(y)) is real;
+// the engine's two passes may leave roundoff-sized imaginary parts).
 func Her2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta float64, c []T, ldc int) {
 	if n == 0 {
 		return
 	}
 	checkLD(n, ldc)
+	if n*n*k >= syrkDirectMaxVol {
+		if beta != 1 {
+			scaleTriangle(uplo, n, core.FromFloat[T](beta), c, ldc)
+		}
+		if alpha != 0 && k != 0 {
+			if trans == NoTrans {
+				triEngine(uplo, NoTrans, ConjTrans, n, k, alpha, a, lda, b, ldb, c, ldc)
+				triEngine(uplo, NoTrans, ConjTrans, n, k, core.Conj(alpha), b, ldb, a, lda, c, ldc)
+			} else {
+				triEngine(uplo, ConjTrans, NoTrans, n, k, alpha, a, lda, b, ldb, c, ldc)
+				triEngine(uplo, ConjTrans, NoTrans, n, k, core.Conj(alpha), b, ldb, a, lda, c, ldc)
+			}
+		}
+		if core.IsComplex[T]() {
+			for j := 0; j < n; j++ {
+				c[j+j*ldc] = core.FromFloat[T](core.Re(c[j+j*ldc]))
+			}
+		}
+		return
+	}
 	bt := core.FromFloat[T](beta)
 	for j := 0; j < n; j++ {
 		lo, hi := 0, j+1

@@ -2,17 +2,23 @@ package blas
 
 import "repro/internal/core"
 
-// Packed rank-k update engine behind Syrk and Herk. The blocked sweep these
-// routines used previously decomposed the update into independent Gemm calls,
-// and every call re-packed its own (overlapping) slices of A — for a
-// factorization-sized Herk the packing traffic alone cost a third of the run.
-// This engine reuses gemmEngine's loop structure and packed formats but packs
-// each kc-deep rank slab of A exactly once as the left operand and once as
-// the right operand (they are the same matrix), and only visits macro tiles
-// that intersect the stored triangle of C. Tiles crossing the diagonal run
-// the same micro-kernels into a small scratch tile whose stored part is then
-// merged, so the wasted flops are bounded by one micro-tile per diagonal
-// crossing instead of a full diagonal block square.
+// Packed rank-k update engine behind Syrk, Herk, Syr2k and Her2k. The
+// blocked sweep these routines used previously decomposed the update into
+// independent Gemm calls, and every call re-packed its own (overlapping)
+// slices of A — for a factorization-sized Herk the packing traffic alone
+// cost a third of the run. This engine reuses gemmEngine's loop structure
+// and packed formats but packs each kc-deep rank slab exactly once per
+// operand, and only visits macro tiles that intersect the stored triangle
+// of C. Tiles crossing the diagonal run the same micro-kernels into a small
+// scratch tile whose stored part is then merged, so the wasted flops are
+// bounded by one micro-tile per diagonal crossing instead of a full
+// diagonal block square.
+//
+// triEngine is the shared core: it accumulates alpha·opA(A)·opB(B) into the
+// stored triangle, with the operands free to be different matrices. Syrk
+// and Herk call it once with B = A; the rank-2k updates call it twice with
+// the roles of A and B exchanged, which is exactly the
+// C += alpha·op(A)·op(B)' + alpha'·op(B)·op(A)' decomposition.
 
 // scaleTriangle applies C := beta*C on the uplo triangle of an n×n block,
 // writing zeros when beta == 0 exactly like scaleMatrix.
@@ -41,9 +47,6 @@ func scaleTriangle[T core.Scalar](uplo Uplo, n int, beta T, c []T, ldc int) {
 // selects op exactly as in Gemm's transA and must be NoTrans, TransT
 // (Syrk), or ConjTrans (Herk).
 func syrkEngine[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, c []T, ldc int, conj bool) {
-	mc, kc, nc := blockFor[T]()
-	mr, nr := microGeom[T]()
-	mc = max(mr, mc-mc%mr)
 	// The left operand is op(A); the right operand at (p, j) is
 	// conj?(op(A)(j, p)), which packB produces from A directly with the
 	// complementary transpose flag.
@@ -55,6 +58,19 @@ func syrkEngine[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T,
 			transB = ConjTrans
 		}
 	}
+	triEngine(uplo, transA, transB, n, k, alpha, a, lda, a, lda, c, ldc)
+}
+
+// triEngine accumulates alpha·opA(A)·opB(B) into the uplo triangle of the
+// n×n matrix C, where opA(A) is n×k and opB(B) is k×n. Any beta scaling
+// must already have been applied to the triangle. It is the packed,
+// triangle-restricted sibling of gemmEngine: opB(B) slabs are packed once,
+// opA(A) is packed per macro tile with alpha folded in, and only tiles that
+// intersect the stored triangle are visited.
+func triEngine[T core.Scalar](uplo Uplo, transA, transB Trans, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	mc, kc, nc := blockFor[T]()
+	mr, nr := microGeom[T]()
+	mc = max(mr, mc-mc%mr)
 	workers := Threads()
 	if workers > 1 && n*n*k/2 < gemmParallelMinVol {
 		workers = 1
@@ -75,7 +91,7 @@ func syrkEngine[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T,
 		}
 		for pc := 0; pc < k; pc += kc {
 			kb := min(kc, k-pc)
-			packB(bPack[:kb*nbR], nr, transB, a, lda, pc, kb, jc, nb)
+			packB(bPack[:kb*nbR], nr, transB, b, ldb, pc, kb, jc, nb)
 			parallelRange(tHi-tLo, workers, func(lo, hi int) {
 				aPack := getScratch[T](kb * roundUp(min(mc, n), mr))
 				for t := tLo + lo; t < tLo+hi; t++ {

@@ -49,6 +49,12 @@ var (
 	// below it, goroutine hand-off costs more than the tiles it would hide.
 	gemmParallelMinVol = 192 * 192 * 192
 
+	// gemvParallelMinVol is the m·n element count below which Gemv stays
+	// serial. Gemv is memory-bound, so the win from threading is aggregate
+	// read bandwidth rather than flops; the crossover is where one core
+	// stops saturating the memory system (~0.1 ms of streaming).
+	gemvParallelMinVol = 512 * 512
+
 	// level3BlockSize is the diagonal block size used when Symm/Hemm are
 	// decomposed into GEMM-shaped updates, and the problem size below which
 	// the triangular kernels stay on their unblocked forms.

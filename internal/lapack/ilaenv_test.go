@@ -1,0 +1,82 @@
+package lapack_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/lapack"
+)
+
+// TestIlaenvReductionParams pins the tuning table for the condensed-form
+// reductions: panel widths at ispec 1 and the unblocked crossovers at
+// ispec 3 (below which Sytrd/Gebrd/Gehrd must not pay panel bookkeeping).
+func TestIlaenvReductionParams(t *testing.T) {
+	cases := []struct {
+		ispec int
+		name  string
+		want  int
+	}{
+		{1, "SYTRD", 32},
+		{1, "HETRD", 32},
+		{1, "GEBRD", 32},
+		{1, "GEHRD", 32},
+		{3, "SYTRD", 128},
+		{3, "HETRD", 128},
+		{3, "GEBRD", 128},
+		{3, "GEHRD", 128},
+	}
+	for _, c := range cases {
+		if got := lapack.Ilaenv(c.ispec, c.name, 1000, -1, -1, -1); got != c.want {
+			t.Errorf("Ilaenv(%d, %q) = %d, want %d", c.ispec, c.name, got, c.want)
+		}
+	}
+}
+
+// TestIlaenvReductionEnvKnobs re-executes the test binary with the
+// LA90_NB_TRD/BRD/HRD knobs set (the values are read once at init) and
+// checks each override lands, including the clamping behaviour of
+// core.EnvInt: garbage is ignored and out-of-range values degrade to the
+// nearest bound instead of producing zero-width panels.
+func TestIlaenvReductionEnvKnobs(t *testing.T) {
+	if os.Getenv("LA90_ILAENV_HELPER") == "1" {
+		fmt.Printf("KNOBS %d %d %d\n",
+			lapack.Ilaenv(1, "SYTRD", 1000, -1, -1, -1),
+			lapack.Ilaenv(1, "GEBRD", 1000, -1, -1, -1),
+			lapack.Ilaenv(1, "GEHRD", 1000, -1, -1, -1))
+		return
+	}
+	cases := []struct {
+		trd, brd, hrd       string
+		wantT, wantB, wantH int
+	}{
+		// Plain overrides.
+		{"64", "16", "48", 64, 16, 48},
+		// Out of range clamps to [1, 4096]; garbage keeps the default.
+		{"1000000", "0", "banana", 4096, 1, 32},
+	}
+	for _, c := range cases {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestIlaenvReductionEnvKnobs$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"LA90_ILAENV_HELPER=1",
+			"LA90_NB_TRD="+c.trd, "LA90_NB_BRD="+c.brd, "LA90_NB_HRD="+c.hrd)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("helper process failed: %v\n%s", err, out)
+		}
+		var gotT, gotB, gotH int
+		for _, line := range strings.Split(string(out), "\n") {
+			if strings.HasPrefix(line, "KNOBS ") {
+				if _, err := fmt.Sscanf(line, "KNOBS %d %d %d", &gotT, &gotB, &gotH); err != nil {
+					t.Fatalf("parsing helper output %q: %v", line, err)
+				}
+			}
+		}
+		if gotT != c.wantT || gotB != c.wantB || gotH != c.wantH {
+			t.Errorf("TRD=%q BRD=%q HRD=%q: got (%d, %d, %d), want (%d, %d, %d)",
+				c.trd, c.brd, c.hrd, gotT, gotB, gotH, c.wantT, c.wantB, c.wantH)
+		}
+	}
+}

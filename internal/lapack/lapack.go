@@ -79,12 +79,18 @@ const (
 //	LA90_NB_SYTRF  panel width of blocked Sytrf/Hetrf       (default 48)
 //	LA90_NX_GEQRF  crossover below which QR/LQ stay unblocked (default 64)
 //	LA90_NB_GETRF2 leaf size of the recursive LU panel      (default 16)
+//	LA90_NB_TRD    panel width of the blocked Sytrd/Hetrd   (default 32)
+//	LA90_NB_BRD    panel width of the blocked Gebrd         (default 32)
+//	LA90_NB_HRD    panel width of the blocked Gehrd         (default 32)
 //
 // The defaults were re-measured against the packed Level-3 engine after the
 // factorizations moved their panels onto it (this PR): with recursive,
 // Level-3 panels the old nb² unblocked-panel penalty is gone, so LU prefers
 // wider panels at large n (deeper GEMM k per update, fewer pivot sweeps),
-// while QR keeps nb=32 (Larft/Larfb overhead grows as nb²·n).
+// while QR keeps nb=32 (Larft/Larfb overhead grows as nb²·n). The condensed
+// reductions keep nb=32 as well: their panels are Level-2 bound (each Latrd/
+// Labrd/Lahr2 column touches the whole trailing matrix), so wider panels
+// shrink the Level-3 fraction without saving panel work.
 var (
 	nbGetrf   = 64  // LU block, n < 512
 	nbGetrfLg = 256 // LU block, n >= 512
@@ -93,6 +99,18 @@ var (
 	nbSytrf   = 48  // Bunch–Kaufman panel width
 	nxGeqrf   = 64  // QR/LQ unblocked crossover on min(m, n)
 	nbGetrf2  = 8   // recursive LU panel leaf (Getf2 size)
+	nbSytrd   = 32  // tridiagonal reduction panel width
+	nbGebrd   = 32  // bidiagonal reduction panel width
+	nbGehrd   = 32  // Hessenberg reduction panel width
+)
+
+// Crossover dimensions below which the condensed-form reductions stay
+// unblocked: under ~4 panels the rank-2k/GEMM trailing updates are too small
+// to amortize the extra Latrd/Labrd/Lahr2 bookkeeping.
+const (
+	nxSytrd = 128
+	nxGebrd = 128
+	nxGehrd = 128
 )
 
 func init() {
@@ -110,6 +128,9 @@ func init() {
 	envInt("LA90_NB_SYTRF", &nbSytrf)
 	envInt("LA90_NX_GEQRF", &nxGeqrf)
 	envInt("LA90_NB_GETRF2", &nbGetrf2)
+	envInt("LA90_NB_TRD", &nbSytrd)
+	envInt("LA90_NB_BRD", &nbGebrd)
+	envInt("LA90_NB_HRD", &nbGehrd)
 }
 
 // Ilaenv returns algorithm tuning parameters, the analogue of LAPACK's
@@ -137,8 +158,12 @@ func Ilaenv(ispec int, name string, n1, n2, n3, n4 int) int {
 			return nbSytrf
 		case "GEQRF", "GELQF", "ORGQR", "ORMQR", "ORGLQ", "ORMLQ":
 			return nbGeqrf
-		case "SYTRD", "GEBRD", "GEHRD":
-			return 32
+		case "SYTRD", "HETRD":
+			return nbSytrd
+		case "GEBRD":
+			return nbGebrd
+		case "GEHRD":
+			return nbGehrd
 		}
 		return 32
 	case 2: // minimum block size
@@ -149,6 +174,12 @@ func Ilaenv(ispec int, name string, n1, n2, n3, n4 int) int {
 			return nxGeqrf
 		case "ORGQR", "ORMQR", "ORGLQ", "ORMLQ":
 			return 8
+		case "SYTRD", "HETRD":
+			return nxSytrd
+		case "GEBRD":
+			return nxGebrd
+		case "GEHRD":
+			return nxGehrd
 		}
 		return 128
 	}

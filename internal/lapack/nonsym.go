@@ -194,8 +194,76 @@ func Gehd2[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
 	}
 }
 
-// Gehrd reduces a matrix to upper Hessenberg form (xGEHRD; delegates to
-// the unblocked algorithm).
+// Lahr2 reduces the nb columns of a starting at column 0 (rows k..n-1
+// active, rows 0..k-1 above the reduction) to Hessenberg form, returning
+// the block reflector factor T (nb×nb upper triangular) and Y = A·V·T
+// (n×nb) so the blocked Gehrd can apply the whole panel with GEMM
+// (xLAHR2). a points at the panel's first column inside the full matrix;
+// its trailing columns (beyond nb) are read for the Y computation. The
+// last column of t is used as scratch, as in LAPACK.
+func Lahr2[T core.Scalar](n, k, nb int, a []T, lda int, tau []T, t []T, ldt int, y []T, ldy int) {
+	if n <= 1 {
+		return
+	}
+	one := core.FromFloat[T](1)
+	zero := core.FromFloat[T](0)
+	var ei T
+	for i := 0; i < nb; i++ {
+		if i > 0 {
+			// Update column i: b := b − Y·Vᴴ(row k+i-1) …
+			lacgv(i, a[k+i-1:], lda)
+			blas.Gemv(NoTrans, n-k, i, -one, y[k:], ldy, a[k+i-1:], lda,
+				one, a[k+i*lda:], 1)
+			lacgv(i, a[k+i-1:], lda)
+			// …then b := (I − V·Tᴴ·Vᴴ)·b, using t's last column as scratch.
+			w := t[(nb-1)*ldt:]
+			blas.Copy(i, a[k+i*lda:], 1, w, 1)
+			blas.Trmv(Lower, ConjTrans, Unit, i, a[k:], lda, w, 1)
+			blas.Gemv(ConjTrans, n-k-i, i, one, a[k+i:], lda, a[k+i+i*lda:], 1, one, w, 1)
+			blas.Trmv(Upper, ConjTrans, NonUnit, i, t, ldt, w, 1)
+			blas.Gemv(NoTrans, n-k-i, i, -one, a[k+i:], lda, w, 1, one, a[k+i+i*lda:], 1)
+			blas.Trmv(Lower, NoTrans, Unit, i, a[k:], lda, w, 1)
+			blas.Axpy(i, -one, w, 1, a[k+i*lda:], 1)
+			a[k+i-1+(i-1)*lda] = ei
+		}
+		// Reflector H(i) annihilating A(k+i+1:n, i).
+		alpha := a[k+i+i*lda]
+		tau[i] = Larfg(n-k-i, &alpha, a[min(k+i+1, n-1)+i*lda:], 1)
+		ei = alpha
+		a[k+i+i*lda] = one
+		// Y(k:n, i) = A(k:n, i+1:)·v − Y·(Vᴴ·v), scaled by tau.
+		blas.Gemv(NoTrans, n-k, n-k-i, one, a[k+(i+1)*lda:], lda, a[k+i+i*lda:], 1,
+			zero, y[k+i*ldy:], 1)
+		blas.Gemv(ConjTrans, n-k-i, i, one, a[k+i:], lda, a[k+i+i*lda:], 1,
+			zero, t[i*ldt:], 1)
+		blas.Gemv(NoTrans, n-k, i, -one, y[k:], ldy, t[i*ldt:], 1, one, y[k+i*ldy:], 1)
+		blas.Scal(n-k, tau[i], y[k+i*ldy:], 1)
+		// T(0:i, i) from the Vᴴ·v products already sitting in t's column i.
+		blas.Scal(i, -tau[i], t[i*ldt:], 1)
+		blas.Trmv(Upper, NoTrans, NonUnit, i, t, ldt, t[i*ldt:], 1)
+		t[i+i*ldt] = tau[i]
+	}
+	a[k+nb-1+(nb-1)*lda] = ei
+	// Y(0:k, :) = A(0:k, 1:)·V·T for the rows above the reduction.
+	for j := 0; j < nb; j++ {
+		copy(y[j*ldy:j*ldy+k], a[(j+1)*lda:(j+1)*lda+k])
+	}
+	blas.Trmm(Right, Lower, NoTrans, Unit, k, nb, one, a[k:], lda, y, ldy)
+	if n > k+nb {
+		blas.Gemm(NoTrans, NoTrans, k, nb, n-k-nb, one, a[(nb+1)*lda:], lda,
+			a[k+nb:], lda, one, y, ldy)
+	}
+	blas.Trmm(Right, Upper, NoTrans, NonUnit, k, nb, one, t, ldt, y, ldy)
+}
+
+// Gehrd reduces a matrix to upper Hessenberg form (xGEHRD). When the active
+// block ihi−ilo+1 exceeds the Ilaenv crossover the reduction is blocked:
+// Lahr2 builds an nb-reflector panel with its block factor T and Y = A·V·T,
+// then the trailing matrix is updated Larfb-style with GEMM on the packed
+// Level-3 engine — one GEMM applying the panel from the right, a Trmm+Axpy
+// sweep for the rows above ilo, and a blocked Larfb from the left. Below
+// the crossover the unblocked Gehd2 runs directly. The floating-point
+// schedule is worker-count independent.
 func Gehrd[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
 	for i := 0; i < ilo; i++ {
 		if i < len(tau) {
@@ -205,7 +273,44 @@ func Gehrd[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
 	for i := ihi; i < n-1; i++ {
 		tau[i] = 0
 	}
-	Gehd2(n, ilo, ihi, a, lda, tau)
+	nb := Ilaenv(1, "GEHRD", n, ilo, ihi, -1)
+	nx := max(nb, Ilaenv(3, "GEHRD", n, ilo, ihi, -1))
+	nh := ihi - ilo + 1
+	if nh <= nx || nb <= 1 {
+		Gehd2(n, ilo, ihi, a, lda, tau)
+		return
+	}
+	one := core.FromFloat[T](1)
+	ldy := n
+	y := blas.GetScratch[T](ldy * nb)
+	defer blas.PutScratch(y)
+	work := blas.GetScratch[T](n * nb)
+	defer blas.PutScratch(work)
+	t := make([]T, nb*nb)
+	var i int
+	for i = ilo; i < ihi-nx; i += nb {
+		ib := min(nb, ihi-i)
+		// Reduce columns i:i+ib, accumulating V, T and Y = A·V·T.
+		Lahr2(ihi+1, i+1, ib, a[i*lda:], lda, tau[i:], t, nb, y, ldy)
+		// Apply the panel from the right to A(0:ihi+1, i+ib:ihi+1):
+		// A −= Y·Vᴴ, with the subdiagonal head of the last reflector
+		// temporarily set to one.
+		ei := a[i+ib+(i+ib-1)*lda]
+		a[i+ib+(i+ib-1)*lda] = one
+		blas.Gemm(NoTrans, ConjTrans, ihi+1, ihi-i-ib+1, ib, -one,
+			y, ldy, a[i+ib+i*lda:], lda, one, a[(i+ib)*lda:], lda)
+		a[i+ib+(i+ib-1)*lda] = ei
+		// Right-apply to the rows above the panel, columns i+1:i+ib.
+		blas.Trmm(Right, Lower, ConjTrans, Unit, i+1, ib-1, one,
+			a[i+1+i*lda:], lda, y, ldy)
+		for j := 0; j < ib-1; j++ {
+			blas.Axpy(i+1, -one, y[j*ldy:], 1, a[(i+j+1)*lda:], 1)
+		}
+		// Left-apply Hᴴ to the trailing columns.
+		Larfb(ConjTrans, ihi-i, n-i-ib, ib, a[i+1+i*lda:], lda, t, nb,
+			a[i+1+(i+ib)*lda:], lda, work)
+	}
+	Gehd2(n, i, ihi, a, lda, tau)
 }
 
 // Orghr generates the unitary matrix Q from a Hessenberg reduction

@@ -46,10 +46,112 @@ func Gebd2[T core.Scalar](m, n int, a []T, lda int, d, e []float64, tauq, taup [
 	}
 }
 
-// Gebrd reduces a tall matrix to bidiagonal form (xGEBRD; delegates to the
-// unblocked algorithm).
+// Labrd reduces the first nb rows and columns of an m×n matrix (m >= n) to
+// upper bidiagonal form and returns the matrices X (m×nb) and Y (n×nb)
+// needed to apply the transformation to the unreduced trailing block as
+// A := A − V·Yᴴ − X·Uᴴ (xLABRD, tall case). Storage conventions match
+// Gebd2: d/e real, row reflectors conjugated back to the LQ convention.
+// The diagonal and superdiagonal entries inside the panel are left holding
+// reflector heads; the blocked Gebrd restores them after the trailing
+// update, exactly as in LAPACK.
+func Labrd[T core.Scalar](m, n, nb int, a []T, lda int, d, e []float64, tauq, taup []T, x []T, ldx int, y []T, ldy int) {
+	if m < n {
+		panic("lapack: Labrd requires m >= n")
+	}
+	one := core.FromFloat[T](1)
+	zero := core.FromFloat[T](0)
+	for i := 0; i < nb; i++ {
+		// Update A(i:m, i) with the previous reflectors.
+		lacgv(i, y[i:], ldy)
+		blas.Gemv(NoTrans, m-i, i, -one, a[i:], lda, y[i:], ldy, one, a[i+i*lda:], 1)
+		lacgv(i, y[i:], ldy)
+		blas.Gemv(NoTrans, m-i, i, -one, x[i:], ldx, a[i*lda:], 1, one, a[i+i*lda:], 1)
+		// Column reflector Q(i) annihilating A(i+1:m, i).
+		alpha := a[i+i*lda]
+		tauq[i] = Larfg(m-i, &alpha, a[min(i+1, m-1)+i*lda:], 1)
+		d[i] = core.Re(alpha)
+		if i >= n-1 {
+			taup[i] = 0
+			continue
+		}
+		a[i+i*lda] = one
+		// Y(i+1:n, i), with Y(0:i, i) as the temporary.
+		blas.Gemv(ConjTrans, m-i, n-i-1, one, a[i+(i+1)*lda:], lda, a[i+i*lda:], 1,
+			zero, y[i+1+i*ldy:], 1)
+		blas.Gemv(ConjTrans, m-i, i, one, a[i:], lda, a[i+i*lda:], 1, zero, y[i*ldy:], 1)
+		blas.Gemv(NoTrans, n-i-1, i, -one, y[i+1:], ldy, y[i*ldy:], 1, one, y[i+1+i*ldy:], 1)
+		blas.Gemv(ConjTrans, m-i, i, one, x[i:], ldx, a[i+i*lda:], 1, zero, y[i*ldy:], 1)
+		blas.Gemv(ConjTrans, i, n-i-1, -one, a[(i+1)*lda:], lda, y[i*ldy:], 1,
+			one, y[i+1+i*ldy:], 1)
+		blas.Scal(n-i-1, tauq[i], y[i+1+i*ldy:], 1)
+		// Update row A(i, i+1:n); the row works in conjugated form until the
+		// final conjugate-back, matching Gebd2.
+		lacgv(n-i-1, a[i+(i+1)*lda:], lda)
+		lacgv(i+1, a[i:], lda)
+		blas.Gemv(NoTrans, n-i-1, i+1, -one, y[i+1:], ldy, a[i:], lda, one, a[i+(i+1)*lda:], lda)
+		lacgv(i+1, a[i:], lda)
+		lacgv(i, x[i:], ldx)
+		blas.Gemv(ConjTrans, i, n-i-1, -one, a[(i+1)*lda:], lda, x[i:], ldx,
+			one, a[i+(i+1)*lda:], lda)
+		lacgv(i, x[i:], ldx)
+		// Row reflector P(i) annihilating A(i, i+2:n).
+		alpha = a[i+(i+1)*lda]
+		taup[i] = Larfg(n-i-1, &alpha, a[i+min(i+2, n-1)*lda:], lda)
+		e[i] = core.Re(alpha)
+		a[i+(i+1)*lda] = one
+		// X(i+1:m, i), with X(0:i+1, i) as the temporary.
+		blas.Gemv(NoTrans, m-i-1, n-i-1, one, a[i+1+(i+1)*lda:], lda,
+			a[i+(i+1)*lda:], lda, zero, x[i+1+i*ldx:], 1)
+		blas.Gemv(ConjTrans, n-i-1, i+1, one, y[i+1:], ldy, a[i+(i+1)*lda:], lda,
+			zero, x[i*ldx:], 1)
+		blas.Gemv(NoTrans, m-i-1, i+1, -one, a[i+1:], lda, x[i*ldx:], 1,
+			one, x[i+1+i*ldx:], 1)
+		blas.Gemv(NoTrans, i, n-i-1, one, a[(i+1)*lda:], lda, a[i+(i+1)*lda:], lda,
+			zero, x[i*ldx:], 1)
+		blas.Gemv(NoTrans, m-i-1, i, -one, x[i+1:], ldx, x[i*ldx:], 1,
+			one, x[i+1+i*ldx:], 1)
+		blas.Scal(m-i-1, taup[i], x[i+1+i*ldx:], 1)
+		lacgv(n-i-1, a[i+(i+1)*lda:], lda)
+	}
+}
+
+// Gebrd reduces a tall matrix to bidiagonal form (xGEBRD). Above the
+// Ilaenv crossover the reduction is blocked: Labrd reduces an nb-column
+// panel accumulating the update matrices X and Y, and the trailing block
+// takes the two-sided update A := A − V·Yᴴ − X·Uᴴ as two GEMM calls on the
+// packed Level-3 engine. Below the crossover (or when m < n, which only
+// Gebd2's panic path handles) the unblocked Gebd2 runs directly. The
+// floating-point schedule is worker-count independent.
 func Gebrd[T core.Scalar](m, n int, a []T, lda int, d, e []float64, tauq, taup []T) {
-	Gebd2(m, n, a, lda, d, e, tauq, taup)
+	nb := Ilaenv(1, "GEBRD", m, n, -1, -1)
+	nx := max(nb, Ilaenv(3, "GEBRD", m, n, -1, -1))
+	if m < n || n <= nx || nb <= 1 {
+		Gebd2(m, n, a, lda, d, e, tauq, taup)
+		return
+	}
+	one := core.FromFloat[T](1)
+	ldx, ldy := m, n
+	x := blas.GetScratch[T](ldx * nb)
+	defer blas.PutScratch(x)
+	y := blas.GetScratch[T](ldy * nb)
+	defer blas.PutScratch(y)
+	var i int
+	for i = 0; i < n-nx; i += nb {
+		Labrd(m-i, n-i, nb, a[i+i*lda:], lda, d[i:], e[i:], tauq[i:], taup[i:],
+			x, ldx, y, ldy)
+		// Trailing update A(i+nb:m, i+nb:n) −= V·Yᴴ + X·Uᴴ, where V/U are the
+		// panel's column/row reflectors still stored in A.
+		blas.Gemm(NoTrans, ConjTrans, m-i-nb, n-i-nb, nb, -one,
+			a[i+nb+i*lda:], lda, y[nb:], ldy, one, a[i+nb+(i+nb)*lda:], lda)
+		blas.Gemm(NoTrans, NoTrans, m-i-nb, n-i-nb, nb, -one,
+			x[nb:], ldx, a[i+(i+nb)*lda:], lda, one, a[i+nb+(i+nb)*lda:], lda)
+		// Put the bidiagonal entries back over the reflector heads.
+		for j := i; j < i+nb; j++ {
+			a[j+j*lda] = core.FromFloat[T](d[j])
+			a[j+(j+1)*lda] = core.FromFloat[T](e[j])
+		}
+	}
+	Gebd2(m-i, n-i, a[i+i*lda:], lda, d[i:], e[i:], tauq[i:], taup[i:])
 }
 
 // Orgbr generates the unitary matrices determined by Gebrd (xORGBR/xUNGBR,

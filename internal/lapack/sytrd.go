@@ -65,10 +65,156 @@ func Sytd2[T core.Scalar](uplo Uplo, n int, a []T, lda int, d, e []float64, tau 
 	d[n-1] = core.Re(a[n-1+(n-1)*lda])
 }
 
+// Latrd reduces nb rows and columns of a symmetric/Hermitian n×n matrix to
+// tridiagonal form by a unitary similarity transformation and returns the
+// matrix W needed to update the unreduced part (xLATRD/the Hermitian
+// variant). With uplo == Upper the last nb columns are reduced (W columns
+// iw = i-(n-nb) correspond to matrix columns i); with Lower the first nb.
+// The trailing update A := A − V·Wᴴ − W·Vᴴ is NOT applied here — the
+// blocked Sytrd issues it as one rank-2k update through the Level-3 engine.
+// e, tau index as in Sytd2; w is n×nb with leading dimension ldw.
+func Latrd[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, e []float64, tau []T, w []T, ldw int) {
+	if n <= 0 {
+		return
+	}
+	one := core.FromFloat[T](1)
+	zero := core.FromFloat[T](0)
+	half := core.FromFloat[T](0.5)
+	if uplo == Upper {
+		// Reduce the last nb columns of the leading n×n block.
+		for c := n - 1; c >= n-nb && c >= 0; c-- {
+			iw := c - (n - nb)
+			if c < n-1 {
+				// A(0:c+1, c) -= A(0:c+1, c+1:n)·conj(W(c, iw+1:nb))
+				//              + W(0:c+1, iw+1:nb)·conj(A(c, c+1:n)).
+				a[c+c*lda] = core.FromFloat[T](core.Re(a[c+c*lda]))
+				lacgv(n-1-c, w[c+(iw+1)*ldw:], ldw)
+				blas.Gemv(NoTrans, c+1, n-1-c, -one, a[(c+1)*lda:], lda,
+					w[c+(iw+1)*ldw:], ldw, one, a[c*lda:], 1)
+				lacgv(n-1-c, w[c+(iw+1)*ldw:], ldw)
+				lacgv(n-1-c, a[c+(c+1)*lda:], lda)
+				blas.Gemv(NoTrans, c+1, n-1-c, -one, w[(iw+1)*ldw:], ldw,
+					a[c+(c+1)*lda:], lda, one, a[c*lda:], 1)
+				lacgv(n-1-c, a[c+(c+1)*lda:], lda)
+				a[c+c*lda] = core.FromFloat[T](core.Re(a[c+c*lda]))
+			}
+			if c > 0 {
+				// Generate H(c-1) to annihilate A(0:c-1, c).
+				alpha := a[c-1+c*lda]
+				tau[c-1] = Larfg(c, &alpha, a[c*lda:], 1)
+				e[c-1] = core.Re(alpha)
+				a[c-1+c*lda] = one
+				// W(0:c, iw) = τ·(A·v − V·(Wᴴv) − W·(Vᴴv) − ½τ(wᴴv)v).
+				blas.Hemv(Upper, c, one, a, lda, a[c*lda:], 1, zero, w[iw*ldw:], 1)
+				if c < n-1 {
+					blas.Gemv(ConjTrans, c, n-1-c, one, w[(iw+1)*ldw:], ldw,
+						a[c*lda:], 1, zero, w[c+1+iw*ldw:], 1)
+					blas.Gemv(NoTrans, c, n-1-c, -one, a[(c+1)*lda:], lda,
+						w[c+1+iw*ldw:], 1, one, w[iw*ldw:], 1)
+					blas.Gemv(ConjTrans, c, n-1-c, one, a[(c+1)*lda:], lda,
+						a[c*lda:], 1, zero, w[c+1+iw*ldw:], 1)
+					blas.Gemv(NoTrans, c, n-1-c, -one, w[(iw+1)*ldw:], ldw,
+						w[c+1+iw*ldw:], 1, one, w[iw*ldw:], 1)
+				}
+				blas.Scal(c, tau[c-1], w[iw*ldw:], 1)
+				alpha = -half * tau[c-1] * blas.Dotc(c, w[iw*ldw:], 1, a[c*lda:], 1)
+				blas.Axpy(c, alpha, a[c*lda:], 1, w[iw*ldw:], 1)
+			}
+		}
+		return
+	}
+	// Lower: reduce the first nb columns.
+	for i := 0; i < nb; i++ {
+		// A(i:n, i) -= A(i:n, 0:i)·conj(W(i, 0:i)) + W(i:n, 0:i)·conj(A(i, 0:i)).
+		a[i+i*lda] = core.FromFloat[T](core.Re(a[i+i*lda]))
+		lacgv(i, w[i:], ldw)
+		blas.Gemv(NoTrans, n-i, i, -one, a[i:], lda, w[i:], ldw, one, a[i+i*lda:], 1)
+		lacgv(i, w[i:], ldw)
+		lacgv(i, a[i:], lda)
+		blas.Gemv(NoTrans, n-i, i, -one, w[i:], ldw, a[i:], lda, one, a[i+i*lda:], 1)
+		lacgv(i, a[i:], lda)
+		a[i+i*lda] = core.FromFloat[T](core.Re(a[i+i*lda]))
+		if i < n-1 {
+			// Generate H(i) to annihilate A(i+2:n, i).
+			alpha := a[i+1+i*lda]
+			tau[i] = Larfg(n-i-1, &alpha, a[min(i+2, n-1)+i*lda:], 1)
+			e[i] = core.Re(alpha)
+			a[i+1+i*lda] = one
+			// W(i+1:n, i), with W(0:i, i) as the temporary for Wᴴv and Vᴴv.
+			blas.Hemv(Lower, n-i-1, one, a[i+1+(i+1)*lda:], lda, a[i+1+i*lda:], 1,
+				zero, w[i+1+i*ldw:], 1)
+			if i > 0 {
+				blas.Gemv(ConjTrans, n-i-1, i, one, w[i+1:], ldw, a[i+1+i*lda:], 1,
+					zero, w[i*ldw:], 1)
+				blas.Gemv(NoTrans, n-i-1, i, -one, a[i+1:], lda, w[i*ldw:], 1,
+					one, w[i+1+i*ldw:], 1)
+				blas.Gemv(ConjTrans, n-i-1, i, one, a[i+1:], lda, a[i+1+i*lda:], 1,
+					zero, w[i*ldw:], 1)
+				blas.Gemv(NoTrans, n-i-1, i, -one, w[i+1:], ldw, w[i*ldw:], 1,
+					one, w[i+1+i*ldw:], 1)
+			}
+			blas.Scal(n-i-1, tau[i], w[i+1+i*ldw:], 1)
+			alpha = -half * tau[i] * blas.Dotc(n-i-1, w[i+1+i*ldw:], 1, a[i+1+i*lda:], 1)
+			blas.Axpy(n-i-1, alpha, a[i+1+i*lda:], 1, w[i+1+i*ldw:], 1)
+		}
+	}
+}
+
 // Sytrd reduces a symmetric/Hermitian matrix to tridiagonal form
-// (xSYTRD/xHETRD; delegates to the unblocked algorithm).
+// (xSYTRD/xHETRD). Above the Ilaenv crossover the reduction is blocked:
+// Latrd reduces an nb-column panel accumulating the update matrix W, and
+// the unreduced part takes a single Hermitian rank-2k update
+// A := A − V·Wᴴ − W·Vᴴ through the packed Level-3 engine, so roughly half
+// the flops run at GEMM speed. Below the crossover (or with nb == 1) the
+// unblocked Sytd2 is used directly. Both paths produce the LAPACK storage
+// convention, and the floating-point schedule is independent of the worker
+// count (the Level-3 engine is deterministic), so threaded runs are
+// bit-identical to serial ones.
 func Sytrd[T core.Scalar](uplo Uplo, n int, a []T, lda int, d, e []float64, tau []T) {
-	Sytd2(uplo, n, a, lda, d, e, tau)
+	nb := Ilaenv(1, "SYTRD", n, -1, -1, -1)
+	nx := max(nb, Ilaenv(3, "SYTRD", n, -1, -1, -1))
+	if n <= nx || nb <= 1 {
+		Sytd2(uplo, n, a, lda, d, e, tau)
+		return
+	}
+	one := core.FromFloat[T](1)
+	ldw := n
+	w := blas.GetScratch[T](ldw * nb)
+	defer blas.PutScratch(w)
+	if uplo == Upper {
+		// Peel nb-column panels off the high end; columns 0:kk stay for the
+		// unblocked finish (kk > 0 because n > nx >= nb).
+		kk := n - ((n-nx+nb-1)/nb)*nb
+		for i1 := n - nb; i1 >= kk; i1 -= nb {
+			Latrd(Upper, i1+nb, nb, a, lda, e, tau, w, ldw)
+			blas.Her2k(Upper, NoTrans, i1, nb, -one, a[i1*lda:], lda, w, ldw, 1, a, lda)
+			// Restore the superdiagonal overwritten by the reflectors and
+			// record the diagonal of the reduced columns.
+			for j := i1; j < i1+nb; j++ {
+				a[j-1+j*lda] = core.FromFloat[T](e[j-1])
+				d[j] = core.Re(a[j+j*lda])
+			}
+		}
+		Sytd2(Upper, kk, a, lda, d, e, tau)
+		return
+	}
+	var i1 int
+	for i1 = 0; i1 < n-nx; i1 += nb {
+		Latrd(Lower, n-i1, nb, a[i1+i1*lda:], lda, e[i1:], tau[i1:], w, ldw)
+		blas.Her2k(Lower, NoTrans, n-i1-nb, nb, -one, a[i1+nb+i1*lda:], lda,
+			w[nb:], ldw, 1, a[i1+nb+(i1+nb)*lda:], lda)
+		for j := i1; j < i1+nb; j++ {
+			a[j+1+j*lda] = core.FromFloat[T](e[j])
+			d[j] = core.Re(a[j+j*lda])
+		}
+	}
+	Sytd2(Lower, n-i1, a[i1+i1*lda:], lda, d[i1:], e[i1:], tau[i1:])
+}
+
+// Hetrd is the Hermitian driver name for Sytrd (xHETRD); the generic Sytrd
+// already performs the Hermitian reduction for complex element types.
+func Hetrd[T core.Scalar](uplo Uplo, n int, a []T, lda int, d, e []float64, tau []T) {
+	Sytrd(uplo, n, a, lda, d, e, tau)
 }
 
 // Org2l generates the last n columns of the unitary matrix Q defined as a

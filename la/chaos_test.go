@@ -91,6 +91,51 @@ func TestWorkerPanicContained(t *testing.T) {
 	}
 }
 
+// TestWorkerPanicContainedSyev arms a worker panic inside the blocked
+// tridiagonal reduction: at n = 1024 the Latrd panel's trailing rank-2k
+// update runs on the parallel engine, so the injected fault fires on a
+// worker goroutine deep under LA_SYEV. It must surface as a *la.Error with
+// InfoPanic on the caller, the process must survive, and a follow-up
+// un-armed eigensolve must succeed.
+func TestWorkerPanicContainedSyev(t *testing.T) {
+	defer blas.SetThreads(blas.SetThreads(4))
+	defer faultinject.Reset()
+
+	const n = 1024
+	a := newSPD(n)
+
+	faultinject.ArmWorkerPanics(1)
+	_, err := la.SYEV(a)
+	if err == nil {
+		t.Fatal("armed worker panic did not surface as an error")
+	}
+	var e *la.Error
+	if !errors.As(err, &e) {
+		t.Fatalf("got %T (%v), want *la.Error", err, err)
+	}
+	if e.Info != la.InfoPanic {
+		t.Fatalf("Info = %d, want InfoPanic (%d)", e.Info, la.InfoPanic)
+	}
+	if e.Routine != "LA_SYEV" {
+		t.Fatalf("Routine = %q, want LA_SYEV", e.Routine)
+	}
+	if len(e.Stack) == 0 {
+		t.Fatal("contained fault lost the worker stack")
+	}
+
+	faultinject.Reset()
+	a2 := newSPD(n)
+	w, err := la.SYEV(a2)
+	if err != nil {
+		t.Fatalf("post-fault SYEV failed: %v", err)
+	}
+	for i, v := range w {
+		if math.IsNaN(v) {
+			t.Fatalf("post-fault eigenvalue %d is NaN", i)
+		}
+	}
+}
+
 // TestWorkerPanicThroughMust checks the paper's no-INFO path: Must on a
 // contained fault terminates with the ERINFO message, and the panic is an
 // ordinary caller-frame panic the test can recover — the process survives
