@@ -44,6 +44,7 @@ fuzz:
 benchsmoke:
 	$(GO) test -run=NONE -bench='Getrf|Gemm' -benchtime=1x .
 	$(GO) run ./cmd/la90bench -reduce -maxn 256 -reps 1 -out /tmp/BENCH_reduce_smoke.json
+	$(GO) run ./cmd/la90bench -batch -maxbatch 64 -reps 1 -out /tmp/BENCH_batch_smoke.json
 
 # Quick performance snapshot (see README "Performance" for the full story).
 bench:

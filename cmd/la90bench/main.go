@@ -10,6 +10,7 @@
 //	la90bench -blas                # Level-3 engine sweep -> BENCH_blas.json
 //	la90bench -lapack              # factorization sweep  -> BENCH_lapack.json
 //	la90bench -reduce              # condensed-form reduction sweep -> BENCH_reduce.json
+//	la90bench -batch               # batched drivers & small-matrix regime -> BENCH_batch.json
 package main
 
 import (
@@ -28,6 +29,8 @@ var (
 	blasSw   = flag.Bool("blas", false, "benchmark the Level-3 engine and write machine-readable results")
 	lapackSw = flag.Bool("lapack", false, "benchmark the blocked factorizations and write machine-readable results")
 	reduceSw = flag.Bool("reduce", false, "benchmark the blocked condensed-form reductions and write machine-readable results")
+	batchSw  = flag.Bool("batch", false, "benchmark the batched drivers and the pack-free small-matrix engine")
+	maxbatch = flag.Int("maxbatch", 1024, "largest batch size -batch may bench (smoke runs use a small cap)")
 	outFlag  = flag.String("out", "", "output path (default BENCH_blas.json for -blas, BENCH_lapack.json for -lapack, BENCH_reduce.json for -reduce)")
 	nFlag    = flag.Int("n", 500, "matrix order")
 	nrhsFlag = flag.Int("nrhs", 2, "number of right-hand sides")
@@ -44,6 +47,8 @@ func main() {
 		runLapack()
 	case *reduceSw:
 		runReduce()
+	case *batchSw:
+		runBatch()
 	case *sweep:
 		runSweep()
 	default:

@@ -1,0 +1,78 @@
+package blas
+
+import (
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/faultinject"
+)
+
+// Batch scheduling. A batched driver runs many small, independent problems;
+// the right unit of parallelism is the problem, not the kernel. BatchRange
+// reuses the deterministic contiguous partitioning of parallelRange — the
+// item→worker assignment depends only on (n, Threads()), never on
+// scheduling — but differs from the Level-3 engine in its fault model:
+// where Fork/parallelRange capture the FIRST panic and re-raise it on the
+// caller (one operation, one result), a batch must contain each item's
+// fault individually so one poisoned matrix never costs the caller the
+// other results. Every item therefore runs under its own recover, and
+// panics are reported per item through onPanic instead of unwinding.
+
+// BatchRange runs item(i) for every i in [0, n), scheduled as contiguous
+// chunks across up to Threads() workers. A panic inside item(i) — including
+// an injected worker fault — is captured and delivered as
+// onPanic(i, *PanicError) on the goroutine that ran the item; the remaining
+// items still run. onPanic must therefore only write i-indexed state (the
+// batch drivers write errs[i]), which keeps the whole batch race-free
+// without locks. With Threads() <= 1 the items run in order on the calling
+// goroutine, so serial and parallel batches perform identical per-item work
+// in an identical order per worker — results are bit-identical at any
+// worker count.
+func BatchRange(n int, item func(i int), onPanic func(i int, pe *PanicError)) {
+	if n <= 0 {
+		return
+	}
+	workers := Threads()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			runBatchItem(i, item, onPanic, false)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				runBatchItem(i, item, onPanic, true)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// runBatchItem executes one batch item under its own recover. worker marks
+// items running on a spawned goroutine; those honor the fault-injection
+// hook (checked per item, so an armed fault kills exactly one item) just as
+// the Level-3 pool's workers do.
+func runBatchItem(i int, item func(int), onPanic func(int, *PanicError), worker bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*PanicError)
+			if !ok {
+				pe = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			onPanic(i, pe)
+		}
+	}()
+	if worker && faultinject.TakeWorkerPanic() {
+		panic(faultinject.PanicMessage)
+	}
+	item(i)
+}

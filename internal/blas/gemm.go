@@ -116,10 +116,7 @@ func gemmEngine[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T
 	mc, kc, nc := blockFor[T]()
 	mr, nr := microGeom[T]()
 	mc = max(mr, mc-mc%mr)
-	workers := Threads()
-	if workers > 1 && m*n*k < gemmParallelMinVol {
-		workers = 1
-	}
+	workers := level3Workers(m * n * k)
 
 	bPack := getScratch[T](kc * roundUp(min(nc, n), nr))
 	for jc := 0; jc < n; jc += nc {

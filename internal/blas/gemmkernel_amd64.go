@@ -33,6 +33,15 @@ func dgemmKernel8x4(k int64, ap, bp, c *float64, ldc int64)
 //go:noescape
 func sgemmKernel16x4(k int64, ap, bp, c *float32, ldc int64)
 
+// dgemmSmallStripF64 is the pack-free small-matrix kernel: it accumulates
+// C(0:8·strips, 0:4) += alpha·A(0:8·strips, 0:k)·B(0:k, 0:4) directly on
+// strided column-major operands, with no packed panels. One call covers a
+// whole m×4 column strip so the per-tile loop overhead stays in assembly.
+// Implemented in gemmkernel_amd64.s; requires AVX2 and FMA3.
+//
+//go:noescape
+func dgemmSmallStripF64(strips, k int64, a *float64, lda int64, b *float64, ldb int64, c *float64, ldc int64, alpha float64)
+
 // dsubFma8 performs the eight-column substitution sweep
 // c_q[0:n] -= x[q]·a[0:n] (columns of c spaced ldc elements apart) with
 // fused negate-multiply-adds; it is the inner step of the left-side
@@ -67,6 +76,33 @@ func ddotFma(n int64, x, y *float64) float64
 //
 //go:noescape
 func daxpyDotFma(n int64, alpha float64, a, x, y *float64) float64
+
+// diamaxF64 returns the index of the first element of x[0:n] with the
+// largest |x[i]|: a branch-free vector max pass, then a compare pass that
+// stops at the first equal lane. NaN elements are skipped, matching the
+// scalar loop; callers must guard n >= 1 and x[0] not NaN.
+//
+//go:noescape
+func diamaxF64(n int64, x *float64) int64
+
+// dluPanelF64 is the fused LU panel step: col[0:rows] *= inv, then for each
+// of the w panel columns c (spaced lda apart starting at rest),
+// rest[c·lda+1 : c·lda+1+rows] -= rest[c·lda]·col — the multiplier is the
+// element directly above each column's update range, so the whole rank-1
+// sweep needs no separate multiplier array. The first updated column is the
+// next elimination step's pivot column, so the kernel also returns the index
+// of its first maximal |v| (diamaxF64 conventions), or -1 when w == 0.
+//
+//go:noescape
+func dluPanelF64(rows, w int64, inv float64, col, rest *float64, lda int64) int64
+
+// dtrsmLLU8x4F64 solves the unit-lower 8×8 triangle L against 4·groups
+// columns of B in place; l is L staged column-major with zeros at and above
+// the diagonal (see TrsmLLU8F64). Four columns stay in flight so the seven
+// broadcast+FMA elimination chains overlap.
+//
+//go:noescape
+func dtrsmLLU8x4F64(groups int64, l *float64, b *float64, ldb int64)
 
 // cpuidAsm executes CPUID with the given leaf/subleaf.
 func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)

@@ -1,0 +1,170 @@
+package blas
+
+import "repro/internal/core"
+
+// Pack-free small-matrix GEMM, the BLASFEO-style regime below the packed
+// engine's crossover. The packed engine (gemm.go) amortizes its two copy
+// passes over many micro-tile visits; below ~64×64 each packed element is
+// reused only a handful of times and the copies dominate, which is exactly
+// the per-item shape of a batched workload. Here the micro-kernel runs
+// directly on the caller's strided column-major operands: A tile columns are
+// contiguous vector loads (stride lda between k steps), B elements are
+// strided broadcasts, C is touched once per tile in the epilogue. No scratch
+// buffers, no Fork — the path allocates nothing and never leaves the calling
+// goroutine, so batch drivers can run thousands of these per second per
+// worker with zero steady-state garbage.
+//
+// Dispatch is gated by gemmSmallOK: NoTrans/NoTrans products with every
+// dimension at or below gemmSmallDim (LA90_GEMM_SMALL / SetGemmSmall).
+// float64 rides an AVX2 strip kernel (dgemmSmallStripF64) behind the same
+// CPUID gate as the packed kernels; every other type, and amd64-less or
+// LA90_NO_ASM builds, use the portable strided 4×4 micro-tile below.
+
+// gemmSmallOK reports whether the pack-free small-matrix path handles this
+// product: path enabled, both operands untransposed, and every dimension
+// within the crossover.
+func gemmSmallOK(transA, transB Trans, m, n, k int) bool {
+	d := gemmSmallDim
+	return d > 0 && transA == NoTrans && transB == NoTrans &&
+		m <= d && n <= d && k <= d
+}
+
+// gemmSmall accumulates C += alpha·A·B (beta already applied by the caller)
+// over column-major operands A (m×k, stride lda) and B (k×n, stride ldb).
+// alpha must be non-zero and m, n, k positive.
+func gemmSmall[T core.Scalar](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	if asmF64() {
+		if cc, ok := any(c).([]float64); ok {
+			gemmSmallF64(m, n, k, any(alpha).(float64),
+				any(a).([]float64), lda, any(b).([]float64), ldb, cc, ldc)
+			return
+		}
+	}
+	gemmSmallPortable(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// gemmSmallF64 tiles the product for the assembly strip kernel: each group
+// of four C columns is one kernel call covering every full 8-row strip, with
+// the ragged rows (m mod 8) and columns (n mod 4) finished by the portable
+// micro-tile.
+func gemmSmallF64(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	strips := m / 8
+	mEdge := strips * 8
+	jr := 0
+	for ; jr+4 <= n; jr += 4 {
+		if strips > 0 {
+			dgemmSmallStripF64(int64(strips), int64(k), &a[0], int64(lda),
+				&b[jr*ldb], int64(ldb), &c[jr*ldc], int64(ldc), alpha)
+		}
+		if mEdge < m {
+			smallTile(m-mEdge, 4, k, alpha, a[mEdge:], lda, b[jr*ldb:], ldb, c[mEdge+jr*ldc:], ldc)
+		}
+	}
+	if cols := n - jr; cols > 0 {
+		for ir := 0; ir < m; ir += 4 {
+			rows := min(4, m-ir)
+			smallTile(rows, cols, k, alpha, a[ir:], lda, b[jr*ldb:], ldb, c[ir+jr*ldc:], ldc)
+		}
+	}
+}
+
+// gemmSmallPortable covers the small regime with strided 4×4 register tiles
+// for every element type.
+func gemmSmallPortable[T core.Scalar](m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	for jr := 0; jr < n; jr += 4 {
+		cols := min(4, n-jr)
+		for ir := 0; ir < m; ir += 4 {
+			rows := min(4, m-ir)
+			smallTile(rows, cols, k, alpha, a[ir:], lda, b[jr*ldb:], ldb, c[ir+jr*ldc:], ldc)
+		}
+	}
+}
+
+// smallTile accumulates the rows×cols tile C += alpha·A·B with rows ≤ 8 and
+// cols ≤ 4, reading A columns contiguously and B rows at stride ldb. The
+// full 4×4 case keeps its accumulators in named locals (registers); ragged
+// tiles accumulate in a fixed-size buffer so alpha is still applied exactly
+// once per C element.
+func smallTile[T core.Scalar](rows, cols, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	if rows == 4 && cols == 4 {
+		smallTile4x4(k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	var acc [8 * 4]T
+	for p := 0; p < k; p++ {
+		av := a[p*lda : p*lda+rows]
+		brow := b[p:]
+		for q := 0; q < cols; q++ {
+			bq := brow[q*ldb]
+			if bq == 0 {
+				continue
+			}
+			arow := acc[q*8 : q*8+rows]
+			for i := range av {
+				arow[i] += av[i] * bq
+			}
+		}
+	}
+	for q := 0; q < cols; q++ {
+		col := c[q*ldc : q*ldc+rows]
+		arow := acc[q*8:]
+		for i := range col {
+			col[i] += alpha * arow[i]
+		}
+	}
+}
+
+// smallTile4x4 is the full-tile specialization: the 16 accumulators live in
+// locals, so each k step is 8 loads (4 contiguous from the A column, 4
+// strided from the B row) feeding 16 multiply-adds with no stores.
+func smallTile4x4[T core.Scalar](k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	var (
+		c00, c01, c02, c03 T
+		c10, c11, c12, c13 T
+		c20, c21, c22, c23 T
+		c30, c31, c32, c33 T
+	)
+	ldb2, ldb3 := 2*ldb, 3*ldb
+	for p := 0; p < k; p++ {
+		av := a[p*lda : p*lda+4 : p*lda+4]
+		a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
+		brow := b[p:]
+		b0, b1, b2, b3 := brow[0], brow[ldb], brow[ldb2], brow[ldb3]
+		c00 += a0 * b0
+		c10 += a1 * b0
+		c20 += a2 * b0
+		c30 += a3 * b0
+		c01 += a0 * b1
+		c11 += a1 * b1
+		c21 += a2 * b1
+		c31 += a3 * b1
+		c02 += a0 * b2
+		c12 += a1 * b2
+		c22 += a2 * b2
+		c32 += a3 * b2
+		c03 += a0 * b3
+		c13 += a1 * b3
+		c23 += a2 * b3
+		c33 += a3 * b3
+	}
+	col := c[0:4:4]
+	col[0] += alpha * c00
+	col[1] += alpha * c10
+	col[2] += alpha * c20
+	col[3] += alpha * c30
+	col = c[ldc : ldc+4 : ldc+4]
+	col[0] += alpha * c01
+	col[1] += alpha * c11
+	col[2] += alpha * c21
+	col[3] += alpha * c31
+	col = c[2*ldc : 2*ldc+4 : 2*ldc+4]
+	col[0] += alpha * c02
+	col[1] += alpha * c12
+	col[2] += alpha * c22
+	col[3] += alpha * c32
+	col = c[3*ldc : 3*ldc+4 : 3*ldc+4]
+	col[0] += alpha * c03
+	col[1] += alpha * c13
+	col[2] += alpha * c23
+	col[3] += alpha * c33
+}

@@ -71,6 +71,11 @@ func Axpy[T core.Scalar](n int, alpha T, x []T, incX int, y []T, incY int) {
 	checkInc(incX)
 	checkInc(incY)
 	if incX == 1 && incY == 1 {
+		if xs, ok := any(x).([]float64); ok && asmF64() {
+			ys := any(y).([]float64)
+			daxpyFma(int64(n), any(alpha).(float64), &xs[0], &ys[0])
+			return
+		}
 		x, y := x[:n], y[:n]
 		for i := range x {
 			y[i] += alpha * x[i]
@@ -79,6 +84,25 @@ func Axpy[T core.Scalar](n int, alpha T, x []T, incX int, y []T, incY int) {
 	}
 	for i, ix, iy := 0, 0, 0; i < n; i, ix, iy = i+1, ix+incX, iy+incY {
 		y[iy] += alpha * x[ix]
+	}
+}
+
+// DaxpyUnit computes y[0:n] += alpha·x[0:n] over unit-stride float64
+// vectors, bypassing the generic Axpy wrapper: the small-matrix
+// factorization paths issue thousands of short axpys per solve, and the
+// generic entry's type switch and interface boxing are measurable at those
+// lengths.
+func DaxpyUnit(n int, alpha float64, x, y []float64) {
+	if n <= 0 || alpha == 0 {
+		return
+	}
+	if asmF64() {
+		daxpyFma(int64(n), alpha, &x[0], &y[0])
+		return
+	}
+	x, y = x[:n], y[:n]
+	for i := range x {
+		y[i] += alpha * x[i]
 	}
 }
 
@@ -193,7 +217,7 @@ func Iamax[T core.Scalar](n int, x []T, incX int) int {
 		// here, and the per-element any-boxing of core.Abs1 is measurable.
 		switch xs := any(x).(type) {
 		case []float64:
-			return iamaxFloat(n, xs)
+			return IamaxUnitF64(n, xs)
 		case []float32:
 			return iamaxFloat(n, xs)
 		}
@@ -205,6 +229,24 @@ func Iamax[T core.Scalar](n int, x []T, incX int) int {
 		}
 	}
 	return best
+}
+
+// iamaxAsmMin is the vector length at which the two-pass assembly Iamax
+// overtakes the single-pass scalar loop (the second pass and the call
+// overhead cost roughly ten elements' worth of compares).
+const iamaxAsmMin = 16
+
+// IamaxUnitF64 is the unit-stride float64 Iamax without the generic entry's
+// dispatch: the small-matrix LU calls it once per pivot column, where the
+// wrapper overhead is a measurable share of the search itself. The two-pass
+// vector kernel skips interior NaNs like the scalar loop but cannot
+// reproduce the bestVal-poisoning of a NaN in x[0], so that case stays
+// scalar. n must be positive.
+func IamaxUnitF64(n int, x []float64) int {
+	if n >= iamaxAsmMin && asmF64() && !math.IsNaN(x[0]) {
+		return int(diamaxF64(int64(n), &x[0]))
+	}
+	return iamaxFloat(n, x)
 }
 
 func iamaxFloat[F float32 | float64](n int, x []F) int {

@@ -54,17 +54,19 @@ func Gemm[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda 
 	if alpha == 0 || k == 0 {
 		return
 	}
-	minVol := gemmPackedMinVol
-	if hasFastKernel[T]() {
-		// With an assembly micro-kernel the packed engine overtakes the
-		// naive loop far sooner: packing cost is linear in the operand
-		// sizes while the kernel runs several times faster, so only truly
-		// small products stay on the low-latency path. This matters for the
-		// factorizations, whose recursive panels issue many tall-skinny
-		// products well under the portable crossover.
-		minVol = gemmPackedMinVolAsm
+	if gemmSmallOK(transA, transB, m, n, k) {
+		// Pack-free small-matrix regime: the micro-kernel runs directly on
+		// the caller's strided operands, no pack buffers and no Fork.
+		gemmSmall(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
 	}
-	if m*n*k < minVol {
+	// With an assembly micro-kernel the packed engine overtakes the naive
+	// loop far sooner: packing cost is linear in the operand sizes while the
+	// kernel runs several times faster, so only truly small products stay on
+	// the low-latency path. This matters for the factorizations, whose
+	// recursive panels issue many tall-skinny products well under the
+	// portable crossover.
+	if m*n*k < packedMinVol[T]() {
 		gemmAccumNaive(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
 		return
 	}
@@ -200,7 +202,7 @@ func symHemm[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda 
 	checkLD(na, lda)
 	checkLD(m, ldb)
 	checkLD(m, ldc)
-	if na <= level3BlockSize || m*n*na < gemmPackedMinVol {
+	if na <= level3BlockSize || m*n*na < packedMinVol[T]() {
 		symHemmBase(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc, conj)
 		return
 	}
@@ -316,11 +318,6 @@ func symHemmBase[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, 
 	}
 }
 
-// syrkDirectMaxVol is the volume below which rank-k updates run the direct
-// scalar kernel; anything larger is worth the Gemm detour (including the
-// scratch square for diagonal blocks).
-const syrkDirectMaxVol = 16 * 16 * 16
-
 // Syrk computes the symmetric rank-k update C = alpha*A*Aᵀ + beta*C
 // (trans == NoTrans) or C = alpha*Aᵀ*A + beta*C on the uplo triangle of C.
 // Everything beyond tiny volumes runs on the packed rank-k engine (see
@@ -331,7 +328,7 @@ func Syrk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda i
 		return
 	}
 	checkLD(n, ldc)
-	if n*n*k < syrkDirectMaxVol {
+	if n*n*k < packedMinVol[T]() {
 		syrkBase(uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
 		return
 	}
@@ -384,7 +381,7 @@ func Herk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha float64, a []T,
 		return
 	}
 	checkLD(n, ldc)
-	if n*n*k < syrkDirectMaxVol {
+	if n*n*k < packedMinVol[T]() {
 		herkBase(uplo, trans, n, k, alpha, a, lda, beta, c, ldc)
 		return
 	}
@@ -449,7 +446,7 @@ func Syr2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda 
 		return
 	}
 	checkLD(n, ldc)
-	if n*n*k >= syrkDirectMaxVol {
+	if n*n*k >= packedMinVol[T]() {
 		if beta != core.FromFloat[T](1) {
 			scaleTriangle(uplo, n, beta, c, ldc)
 		}
@@ -502,7 +499,7 @@ func Her2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda 
 		return
 	}
 	checkLD(n, ldc)
-	if n*n*k >= syrkDirectMaxVol {
+	if n*n*k >= packedMinVol[T]() {
 		if beta != 1 {
 			scaleTriangle(uplo, n, core.FromFloat[T](beta), c, ldc)
 		}

@@ -71,10 +71,7 @@ func triEngine[T core.Scalar](uplo Uplo, transA, transB Trans, n, k int, alpha T
 	mc, kc, nc := blockFor[T]()
 	mr, nr := microGeom[T]()
 	mc = max(mr, mc-mc%mr)
-	workers := Threads()
-	if workers > 1 && n*n*k/2 < gemmParallelMinVol {
-		workers = 1
-	}
+	workers := level3Workers(n * n * k / 2)
 
 	nTiles := (n + mc - 1) / mc
 	bPack := getScratch[T](kc * roundUp(min(nc, n), nr))

@@ -53,7 +53,19 @@ var (
 	// serial. Gemv is memory-bound, so the win from threading is aggregate
 	// read bandwidth rather than flops; the crossover is where one core
 	// stops saturating the memory system (~0.1 ms of streaming).
+	// Overridable per process with the LA90_GEMV_MINVOL environment
+	// variable (clamped, applied at package init).
 	gemvParallelMinVol = 512 * 512
+
+	// gemmSmallDim is the pack-free small-matrix crossover: a NoTrans/NoTrans
+	// product whose every dimension is at or below it skips packing entirely
+	// and runs a register micro-kernel directly on the caller's strided
+	// column-major operands, BLASFEO-style. Below this size the pack/copy
+	// traffic of the blocked engine costs more than the strided broadcasts it
+	// would save, and the operands fit in L1/L2 anyway. 0 disables the path.
+	// Overridable with SetGemmSmall or the LA90_GEMM_SMALL environment
+	// variable (applied at package init).
+	gemmSmallDim = 64
 
 	// level3BlockSize is the diagonal block size used when Symm/Hemm are
 	// decomposed into GEMM-shaped updates, and the problem size below which
@@ -74,11 +86,65 @@ var (
 // instead of a packed-panel allocation measured in gigabytes.
 const maxBlockDim = 1 << 16
 
+// maxGemmSmallDim bounds the pack-free crossover: above it the strided
+// B reads blow past L1 and the packed engine is strictly better, so a
+// mistyped LA90_GEMM_SMALL cannot route large products onto the small path.
+const maxGemmSmallDim = 256
+
 func init() {
 	gemmMC = core.EnvInt("LA90_GEMM_MC", gemmMC, gemmMR, maxBlockDim)
 	gemmKC = core.EnvInt("LA90_GEMM_KC", gemmKC, 4, maxBlockDim)
 	gemmNC = core.EnvInt("LA90_GEMM_NC", gemmNC, gemmNR, maxBlockDim)
+	gemmSmallDim = core.EnvInt("LA90_GEMM_SMALL", gemmSmallDim, 0, maxGemmSmallDim)
+	gemvParallelMinVol = core.EnvInt("LA90_GEMV_MINVOL", gemvParallelMinVol, 1, 1<<30)
 	normalizeBlockSizes()
+}
+
+// SetGemmSmall overrides the pack-free small-matrix crossover dimension
+// (see gemmSmallDim); 0 disables the path entirely, routing every product
+// through the seed dispatch (naive below the packed crossover, packed engine
+// above). A negative argument keeps the current value. Returns the previous
+// value so benchmarks and tests can restore it. Not safe to call concurrently
+// with running kernels.
+func SetGemmSmall(dim int) int {
+	old := gemmSmallDim
+	if dim >= 0 {
+		gemmSmallDim = core.ClampInt(dim, 0, maxGemmSmallDim)
+	}
+	return old
+}
+
+// GemmSmallDim reports the current pack-free small-matrix crossover
+// dimension (0 when the path is disabled). The factorization layer uses it
+// to keep its own small-problem dispatch aligned with the kernel regime.
+func GemmSmallDim() int { return gemmSmallDim }
+
+// level3Workers is the one shared serial small-size cutoff for the Level-3
+// engines: every entry point that can fan work onto the worker pool — the
+// packed GEMM engine and the triangle rank-k engine, and through their
+// GEMM-shaped updates also Trsm, Symm/Hemm and Syr2k/Her2k — routes its
+// threading decision through this volume threshold, so no path pays
+// goroutine hand-off on shapes where Gemm itself would stay serial. vol is
+// the operation's multiply volume (m·n·k for Gemm, n·n·k/2 for the stored
+// triangle of a rank-k update).
+func level3Workers(vol int) int {
+	workers := Threads()
+	if workers > 1 && vol < gemmParallelMinVol {
+		return 1
+	}
+	return workers
+}
+
+// packedMinVol is the companion crossover: the multiply volume below which a
+// Level-3 operation is not worth routing through the packed engine at all
+// for element type T. Shared by Gemm, the rank-k family and the blocked
+// Symm/Hemm so no entry point pays pack traffic on shapes where Gemm itself
+// would stay on the low-latency path.
+func packedMinVol[T core.Scalar]() int {
+	if hasFastKernel[T]() {
+		return gemmPackedMinVolAsm
+	}
+	return gemmPackedMinVol
 }
 
 func normalizeBlockSizes() {

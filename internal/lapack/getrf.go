@@ -124,6 +124,12 @@ func Getrf[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 	if mn == 0 {
 		return 0
 	}
+	if smallLUOK(m, n) {
+		// The whole problem sits under the pack-free crossover: the fixed
+		// narrow-panel LU beats both the recursion and the blocked loop
+		// there (see smalllu.go).
+		return getrfSmall(m, n, a, lda, ipiv)
+	}
 	nb := Ilaenv(1, "GETRF", m, n, -1, -1)
 	if nb <= 1 || nb >= mn {
 		return Getrf2(m, n, a, lda, ipiv)
@@ -192,6 +198,12 @@ func Getrf[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 // B is n×nrhs and is overwritten with X.
 func Getrs[T core.Scalar](trans Trans, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) {
 	if n == 0 || nrhs == 0 {
+		return
+	}
+	if trans == NoTrans && nrhs < 8 && smallLUOK(n, n) {
+		// Narrow right-hand sides under the small crossover: direct
+		// substitution, skipping the Trsm recursion entirely.
+		getrsSmall(n, nrhs, a, lda, ipiv, b, ldb)
 		return
 	}
 	one := core.FromFloat[T](1)

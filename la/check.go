@@ -65,22 +65,28 @@ func WithCheck() Opt { return func(o *options) { o.check = true } }
 // Panics raised by Must deliberately do not reach guard: Must runs in the
 // caller's frame, after the driver (and its deferred guard) has returned.
 func guard(routine string, err *error) {
-	r := recover()
-	if r == nil {
-		return
+	if r := recover(); r != nil {
+		*err = recoveredError(routine, r)
 	}
+}
+
+// recoveredError converts a recovered panic value into the ERINFO error the
+// API reports for it. Shared by guard and by the per-item containment of
+// the batched drivers, so a fault is described identically whether it
+// failed a single call or one item of a batch.
+func recoveredError(routine string, r any) *Error {
 	switch v := r.(type) {
 	case *Error:
-		*err = v
+		return v
 	case *blas.PanicError:
-		*err = &Error{
+		return &Error{
 			Routine: routine,
 			Info:    InfoPanic,
 			Detail:  fmt.Sprintf("recovered panic on worker goroutine: %v", v.Value),
 			Stack:   v.Stack,
 		}
 	default:
-		*err = &Error{
+		return &Error{
 			Routine: routine,
 			Info:    InfoPanic,
 			Detail:  fmt.Sprintf("recovered panic: %v", r),

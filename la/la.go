@@ -241,6 +241,7 @@ const (
 type options struct {
 	uplo     UpLo
 	trans    Op
+	transB   Op // op(B) for the batched GEMM (WithTransB)
 	itype    int
 	vectors  bool    // JOBZ = 'V'
 	norm     byte    // NORM for LA_GETRF/LA_LANGE: 'M','1','I','F'
@@ -269,18 +270,19 @@ type options struct {
 
 func defaults() options {
 	return options{
-		check: checkInputs.Load(),
-		uplo:  Upper,
-		trans: None,
-		itype: 1,
-		norm:  '1',
-		rcond: -1,
-		fact:  lapack.FactNone,
-		rng:   lapack.RangeAll,
-		il:    1,
-		iu:    0, // 0 means "n" at call time
-		jobU:  lapack.SVDSome,
-		jobVT: lapack.SVDSome,
+		check:  checkInputs.Load(),
+		uplo:   Upper,
+		trans:  None,
+		transB: None,
+		itype:  1,
+		norm:   '1',
+		rcond:  -1,
+		fact:   lapack.FactNone,
+		rng:    lapack.RangeAll,
+		il:     1,
+		iu:     0, // 0 means "n" at call time
+		jobU:   lapack.SVDSome,
+		jobVT:  lapack.SVDSome,
 	}
 }
 
@@ -293,6 +295,10 @@ func WithUpLo(u UpLo) Opt { return func(o *options) { o.uplo = u } }
 
 // WithTrans selects op(A) (default None), the paper's TRANS argument.
 func WithTrans(t Op) Opt { return func(o *options) { o.trans = t } }
+
+// WithTransB selects op(B) (default None) for routines with two transposable
+// operands, such as BatchGemm.
+func WithTransB(t Op) Opt { return func(o *options) { o.transB = t } }
 
 // WithIType selects the generalized eigenproblem type 1, 2 or 3 (default
 // 1), the paper's ITYPE argument.
