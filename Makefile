@@ -45,6 +45,7 @@ benchsmoke:
 	$(GO) test -run=NONE -bench='Getrf|Gemm' -benchtime=1x .
 	$(GO) run ./cmd/la90bench -reduce -maxn 256 -reps 1 -out /tmp/BENCH_reduce_smoke.json
 	$(GO) run ./cmd/la90bench -batch -maxbatch 64 -reps 1 -out /tmp/BENCH_batch_smoke.json
+	$(GO) run ./cmd/la90bench -mixed -maxn 256 -maxbatch 16 -reps 1 -out /tmp/BENCH_mixed_smoke.json
 
 # Quick performance snapshot (see README "Performance" for the full story).
 bench:

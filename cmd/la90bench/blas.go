@@ -2,7 +2,9 @@
 // Level-3 engine against the retained naive reference kernel and write the
 // results as machine-readable JSON (BENCH_blas.json), so successive PRs can
 // track the performance trajectory of the substrate the LA_GESV stack sits
-// on. Sizes mirror BenchmarkGemm/BenchmarkGetrf in bench_test.go.
+// on. Sizes mirror BenchmarkGemm/BenchmarkGetrf in bench_test.go. Both the
+// float64 and the float32 engines are swept — the single-precision legs are
+// the substrate the mixed-precision solvers (la90bench -mixed) factor on.
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/core"
 	"repro/internal/lapack"
 )
 
@@ -32,6 +35,9 @@ type blasReport struct {
 	Threads int          `json:"threads"` // blas worker budget during the run
 	Results []blasResult `json:"results"`
 	Speedup float64      `json:"gemm_speedup_n1024"` // packed vs naive, float64
+	// Single-precision packed GEMM rate over double, n=1024 (the flop-rate
+	// headroom the mixed-precision solvers factor into).
+	F32VsF64 float64 `json:"gemm_f32_vs_f64_n1024"`
 }
 
 func minTime(reps int, f func()) float64 {
@@ -58,38 +64,33 @@ func minTimeSetup(reps int, setup, f func()) float64 {
 	return best
 }
 
-func runBlas() {
-	rep := blasReport{
-		Go:      runtime.Version(),
-		GOOS:    runtime.GOOS,
-		GOARCH:  runtime.GOARCH,
-		CPUs:    runtime.NumCPU(),
-		Threads: blas.Threads(),
-	}
-	sizes := []int{64, 256, 512, 1024}
-	var packed1024, naive1024 float64
+// benchBlasType sweeps the packed engine, the naive reference, and the LU
+// factorization for one real element type, returning the n=1024 packed and
+// naive times.
+func benchBlasType[T core.Float](rep *blasReport, dtype string, sizes []int) (packed1024, naive1024 float64) {
+	one, zero := core.FromFloat[T](1), core.FromFloat[T](0)
 	for _, n := range sizes {
 		rng := lapack.NewRng([4]int{n, 7, 7, 7})
-		a := make([]float64, n*n)
-		b := make([]float64, n*n)
+		a := make([]T, n*n)
+		b := make([]T, n*n)
 		lapack.Larnv(2, rng, n*n, a)
 		lapack.Larnv(2, rng, n*n, b)
-		c := make([]float64, n*n)
+		c := make([]T, n*n)
 		flops := 2 * float64(n) * float64(n) * float64(n)
 
-		blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n) // warm-up
+		blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, one, a, n, b, n, zero, c, n) // warm-up
 		s := minTime(*reps, func() {
-			blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+			blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, one, a, n, b, n, zero, c, n)
 		})
-		rep.Results = append(rep.Results, blasResult{"gemm-packed", "float64", n, s, flops / s / 1e9})
+		rep.Results = append(rep.Results, blasResult{"gemm-packed", dtype, n, s, flops / s / 1e9})
 		if n == 1024 {
 			packed1024 = s
 		}
 
 		s = minTime(*reps, func() {
-			blas.GemmNaive(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+			blas.GemmNaive(blas.NoTrans, blas.NoTrans, n, n, n, one, a, n, b, n, zero, c, n)
 		})
-		rep.Results = append(rep.Results, blasResult{"gemm-naive", "float64", n, s, flops / s / 1e9})
+		rep.Results = append(rep.Results, blasResult{"gemm-naive", dtype, n, s, flops / s / 1e9})
 		if n == 1024 {
 			naive1024 = s
 		}
@@ -100,10 +101,27 @@ func runBlas() {
 			copy(c, a)
 			lapack.Getrf(n, n, c, n, ipiv)
 		})
-		rep.Results = append(rep.Results, blasResult{"getrf", "float64", n, s, luFlops / s / 1e9})
+		rep.Results = append(rep.Results, blasResult{"getrf", dtype, n, s, luFlops / s / 1e9})
 	}
+	return packed1024, naive1024
+}
+
+func runBlas() {
+	rep := blasReport{
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Threads: blas.Threads(),
+	}
+	sizes := []int{64, 256, 512, 1024}
+	packed1024, naive1024 := benchBlasType[float64](&rep, "float64", sizes)
+	packedF32, _ := benchBlasType[float32](&rep, "float32", sizes)
 	if naive1024 > 0 {
 		rep.Speedup = naive1024 / packed1024
+	}
+	if packedF32 > 0 {
+		rep.F32VsF64 = packed1024 / packedF32
 	}
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
@@ -119,9 +137,10 @@ func runBlas() {
 		fmt.Fprintf(os.Stderr, "la90bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%-12s %6s %12s %10s\n", "kernel", "N", "seconds", "GFLOPS")
+	fmt.Printf("%-12s %-10s %6s %12s %10s\n", "kernel", "dtype", "N", "seconds", "GFLOPS")
 	for _, r := range rep.Results {
-		fmt.Printf("%-12s %6d %12.6f %10.2f\n", r.Kernel, r.N, r.Seconds, r.GFLOPS)
+		fmt.Printf("%-12s %-10s %6d %12.6f %10.2f\n", r.Kernel, r.Dtype, r.N, r.Seconds, r.GFLOPS)
 	}
-	fmt.Printf("GEMM N=1024 packed vs naive speedup: %.2fx (written to %s)\n", rep.Speedup, out)
+	fmt.Printf("GEMM N=1024: packed vs naive %.2fx, float32 vs float64 %.2fx (written to %s)\n",
+		rep.Speedup, rep.F32VsF64, out)
 }

@@ -38,6 +38,9 @@ type lapackReport struct {
 	PotrfVsGemm float64 `json:"potrf_vs_gemm_n1024"`
 	GeqrfVsGemm float64 `json:"geqrf_vs_gemm_n1024"`
 	SytrfVsGemm float64 `json:"sytrf_vs_gemm_n1024"`
+	// Single-precision LU rate over double, n=1024 (same flop count, so this
+	// is the factorization-time ratio the mixed-precision solvers ride).
+	GetrfF32VsF64 float64 `json:"getrf_f32_vs_f64_n1024"`
 }
 
 // benchFactorizations appends one gemm-packed reference row and one row per
@@ -135,12 +138,16 @@ func runLapack() {
 	}
 	sizes := []int{64, 256, 512, 1024}
 	f64 := benchFactorizations[float64](&rep, "float64", sizes)
+	f32 := benchFactorizations[float32](&rep, "float32", sizes)
 	benchFactorizations[complex128](&rep, "complex128", sizes)
 	if g := f64["gemm-packed"]; g > 0 {
 		rep.GetrfVsGemm = f64["getrf"] / g
 		rep.PotrfVsGemm = f64["potrf"] / g
 		rep.GeqrfVsGemm = f64["geqrf"] / g
 		rep.SytrfVsGemm = f64["sytrf"] / g
+	}
+	if g := f64["getrf"]; g > 0 {
+		rep.GetrfF32VsF64 = f32["getrf"] / g
 	}
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
@@ -162,4 +169,5 @@ func runLapack() {
 	}
 	fmt.Printf("float64 N=1024, fraction of same-run gemm-packed: getrf %.2f  potrf %.2f  geqrf %.2f  sytrf %.2f (written to %s)\n",
 		rep.GetrfVsGemm, rep.PotrfVsGemm, rep.GeqrfVsGemm, rep.SytrfVsGemm, out)
+	fmt.Printf("getrf N=1024, float32 vs float64 rate: %.2fx\n", rep.GetrfF32VsF64)
 }

@@ -11,6 +11,7 @@
 //	la90bench -lapack              # factorization sweep  -> BENCH_lapack.json
 //	la90bench -reduce              # condensed-form reduction sweep -> BENCH_reduce.json
 //	la90bench -batch               # batched drivers & small-matrix regime -> BENCH_batch.json
+//	la90bench -mixed               # mixed-precision vs f64 LA_GESV -> BENCH_mixed.json
 package main
 
 import (
@@ -30,6 +31,7 @@ var (
 	lapackSw = flag.Bool("lapack", false, "benchmark the blocked factorizations and write machine-readable results")
 	reduceSw = flag.Bool("reduce", false, "benchmark the blocked condensed-form reductions and write machine-readable results")
 	batchSw  = flag.Bool("batch", false, "benchmark the batched drivers and the pack-free small-matrix engine")
+	mixedSw  = flag.Bool("mixed", false, "benchmark the mixed-precision LA_GESV path against plain float64")
 	maxbatch = flag.Int("maxbatch", 1024, "largest batch size -batch may bench (smoke runs use a small cap)")
 	outFlag  = flag.String("out", "", "output path (default BENCH_blas.json for -blas, BENCH_lapack.json for -lapack, BENCH_reduce.json for -reduce)")
 	nFlag    = flag.Int("n", 500, "matrix order")
@@ -49,6 +51,8 @@ func main() {
 		runReduce()
 	case *batchSw:
 		runBatch()
+	case *mixedSw:
+		runMixed()
 	case *sweep:
 		runSweep()
 	default:

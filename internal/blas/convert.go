@@ -1,0 +1,144 @@
+package blas
+
+// Precision-conversion copy kernels for the mixed-precision solvers in
+// internal/lapack (GesvMixed/PosvMixed): strided column-major matrix
+// demotion float64→float32 (complex128→complex64) and the reverse
+// promotion. The mixed engine crosses the precision boundary once per
+// factorization and twice per refinement iteration, so these are written
+// like the Level-1 kernels — per-column contiguous runs, four-way unrolled,
+// no per-element branches — to keep the precision hop a small fraction of
+// the O(n²) residual work it brackets.
+//
+// Demotion follows IEEE 754 round-to-nearest narrowing: values beyond the
+// float32 range become ±Inf and NaN stays NaN. The mixed engine screens the
+// demoted buffer (and every residual) with core.AllFinite, so an
+// out-of-range operand triggers its fallback to the full float64 path
+// instead of iterating on garbage.
+
+// DemoteF64 copies the m×n column-major float64 matrix src (leading
+// dimension lds) into the float32 matrix dst (leading dimension ldd),
+// narrowing each element.
+func DemoteF64(m, n int, src []float64, lds int, dst []float32, ldd int) {
+	for j := 0; j < n; j++ {
+		s := src[j*lds : j*lds+m]
+		d := dst[j*ldd : j*ldd+m]
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			d[i] = float32(s[i])
+			d[i+1] = float32(s[i+1])
+			d[i+2] = float32(s[i+2])
+			d[i+3] = float32(s[i+3])
+		}
+		for ; i < m; i++ {
+			d[i] = float32(s[i])
+		}
+	}
+}
+
+// DemoteScreenF64 demotes src into dst exactly like DemoteF64 and, in the
+// same pass, checks every demoted element for finiteness: a NaN source
+// element or one beyond float32 range reports ok=false. Fusing the screen
+// into the copy spares the mixed engine a second O(n²) sweep before it can
+// factor.
+func DemoteScreenF64(m, n int, src []float64, lds int, dst []float32, ldd int) (ok bool) {
+	bad := float32(0)
+	for j := 0; j < n; j++ {
+		s := src[j*lds : j*lds+m]
+		d := dst[j*ldd:][:len(s)]
+		for i, v := range s {
+			f := float32(v)
+			d[i] = f
+			// f-f is 0 for finite f and NaN for ±Inf/NaN, so one float32
+			// accumulator replaces a per-element branch.
+			bad += f - f
+		}
+	}
+	return bad == 0
+}
+
+// PromoteF32 copies the m×n column-major float32 matrix src (leading
+// dimension lds) into the float64 matrix dst (leading dimension ldd),
+// widening each element exactly.
+func PromoteF32(m, n int, src []float32, lds int, dst []float64, ldd int) {
+	for j := 0; j < n; j++ {
+		s := src[j*lds : j*lds+m]
+		d := dst[j*ldd : j*ldd+m]
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			d[i] = float64(s[i])
+			d[i+1] = float64(s[i+1])
+			d[i+2] = float64(s[i+2])
+			d[i+3] = float64(s[i+3])
+		}
+		for ; i < m; i++ {
+			d[i] = float64(s[i])
+		}
+	}
+}
+
+// DemoteC128 is DemoteF64 for complex128 → complex64.
+func DemoteC128(m, n int, src []complex128, lds int, dst []complex64, ldd int) {
+	for j := 0; j < n; j++ {
+		s := src[j*lds : j*lds+m]
+		d := dst[j*ldd : j*ldd+m]
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			d[i] = complex64(s[i])
+			d[i+1] = complex64(s[i+1])
+			d[i+2] = complex64(s[i+2])
+			d[i+3] = complex64(s[i+3])
+		}
+		for ; i < m; i++ {
+			d[i] = complex64(s[i])
+		}
+	}
+}
+
+// PromoteC64 is PromoteF32 for complex64 → complex128.
+func PromoteC64(m, n int, src []complex64, lds int, dst []complex128, ldd int) {
+	for j := 0; j < n; j++ {
+		s := src[j*lds : j*lds+m]
+		d := dst[j*ldd : j*ldd+m]
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			d[i] = complex128(s[i])
+			d[i+1] = complex128(s[i+1])
+			d[i+2] = complex128(s[i+2])
+			d[i+3] = complex128(s[i+3])
+		}
+		for ; i < m; i++ {
+			d[i] = complex128(s[i])
+		}
+	}
+}
+
+// AxpyPromoteF32 accumulates y += float64(x) over contiguous vectors: the
+// fused promote-and-add the refinement loop applies to its correction
+// (x_{k+1} = x_k + promote(d)), saving a widening pass through a scratch
+// vector.
+func AxpyPromoteF32(n int, x []float32, y []float64) {
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += float64(x[i])
+		y[i+1] += float64(x[i+1])
+		y[i+2] += float64(x[i+2])
+		y[i+3] += float64(x[i+3])
+	}
+	for ; i < n; i++ {
+		y[i] += float64(x[i])
+	}
+}
+
+// AxpyPromoteC64 is AxpyPromoteF32 for complex64 corrections.
+func AxpyPromoteC64(n int, x []complex64, y []complex128) {
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += complex128(x[i])
+		y[i+1] += complex128(x[i+1])
+		y[i+2] += complex128(x[i+2])
+		y[i+3] += complex128(x[i+3])
+	}
+	for ; i < n; i++ {
+		y[i] += complex128(x[i])
+	}
+}

@@ -1,0 +1,142 @@
+package blas
+
+// Tests for the precision-conversion kernels behind the mixed-precision
+// solvers: exact round trips, IEEE narrowing of out-of-range values, strided
+// (lds/ldd > m) addressing, the fused demote-and-screen pass, and the fused
+// promote-and-accumulate update.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDemotePromoteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n, lds, ldd := 13, 7, 17, 14
+	src := make([]float64, lds*n)
+	for i := range src {
+		// float32-exact values survive the round trip bit-for-bit.
+		src[i] = float64(float32(rng.Float64()*2 - 1))
+	}
+	dst := make([]float32, ldd*n)
+	sentinel := float32(-99)
+	for i := range dst {
+		dst[i] = sentinel
+	}
+	DemoteF64(m, n, src, lds, dst, ldd)
+	back := make([]float64, lds*n)
+	PromoteF32(m, n, dst, ldd, back, lds)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			if back[i+j*lds] != src[i+j*lds] {
+				t.Fatalf("round trip changed (%d,%d): %g vs %g", i, j, back[i+j*lds], src[i+j*lds])
+			}
+		}
+		for i := m; i < ldd; i++ {
+			if dst[i+j*ldd] != sentinel {
+				t.Fatalf("demote wrote stride gap (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDemoteNarrowing(t *testing.T) {
+	src := []float64{1e300, -1e300, math.NaN(), 1.5, math.MaxFloat32 * 2}
+	dst := make([]float32, len(src))
+	DemoteF64(len(src), 1, src, len(src), dst, len(src))
+	if !math.IsInf(float64(dst[0]), 1) || !math.IsInf(float64(dst[1]), -1) {
+		t.Fatalf("out-of-range values should narrow to ±Inf, got %v %v", dst[0], dst[1])
+	}
+	if dst[2] == dst[2] {
+		t.Fatal("NaN should stay NaN")
+	}
+	if dst[3] != 1.5 || !math.IsInf(float64(dst[4]), 1) {
+		t.Fatalf("narrowing wrong: %v", dst)
+	}
+}
+
+func TestDemoteScreenF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, n, lds := 33, 5, 40
+	src := make([]float64, lds*n)
+	for i := range src {
+		src[i] = rng.Float64()*2 - 1
+	}
+	dst := make([]float32, m*n)
+	want := make([]float32, m*n)
+	if !DemoteScreenF64(m, n, src, lds, dst, m) {
+		t.Fatal("finite matrix screened as non-finite")
+	}
+	DemoteF64(m, n, src, lds, want, m)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("screened demote differs from DemoteF64 at %d", i)
+		}
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), 1e300, -1e300} {
+		poisoned := append([]float64(nil), src...)
+		poisoned[(m-1)+(n-1)*lds] = bad
+		if DemoteScreenF64(m, n, poisoned, lds, dst, m) {
+			t.Fatalf("screen missed %v", bad)
+		}
+	}
+	// Values in the stride gap must not trip the screen.
+	src[m+0*lds] = math.NaN()
+	if m < lds && !DemoteScreenF64(m, n, src, lds, dst, m) {
+		t.Fatal("screen read past column length")
+	}
+}
+
+func TestDemotePromoteComplexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, n, lds := 9, 4, 11
+	src := make([]complex128, lds*n)
+	for i := range src {
+		src[i] = complex(float64(float32(rng.Float64())), float64(float32(-rng.Float64())))
+	}
+	dst := make([]complex64, m*n)
+	DemoteC128(m, n, src, lds, dst, m)
+	back := make([]complex128, lds*n)
+	PromoteC64(m, n, dst, m, back, lds)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			if back[i+j*lds] != src[i+j*lds] {
+				t.Fatalf("complex round trip changed (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestAxpyPromote(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 27
+	xf := make([]float32, n)
+	yf := make([]float64, n)
+	wantF := make([]float64, n)
+	for i := range xf {
+		xf[i] = float32(rng.Float64())
+		yf[i] = rng.Float64()
+		wantF[i] = yf[i] + float64(xf[i])
+	}
+	AxpyPromoteF32(n, xf, yf)
+	for i := range yf {
+		if yf[i] != wantF[i] {
+			t.Fatalf("AxpyPromoteF32 at %d: %g want %g", i, yf[i], wantF[i])
+		}
+	}
+	xc := make([]complex64, n)
+	yc := make([]complex128, n)
+	wantC := make([]complex128, n)
+	for i := range xc {
+		xc[i] = complex(float32(rng.Float64()), float32(rng.Float64()))
+		yc[i] = complex(rng.Float64(), rng.Float64())
+		wantC[i] = yc[i] + complex128(xc[i])
+	}
+	AxpyPromoteC64(n, xc, yc)
+	for i := range yc {
+		if yc[i] != wantC[i] {
+			t.Fatalf("AxpyPromoteC64 at %d: %v want %v", i, yc[i], wantC[i])
+		}
+	}
+}

@@ -164,11 +164,36 @@ func packA[T core.Scalar](dst []T, mr int, trans Trans, alpha T, a []T, lda int,
 		case NoTrans:
 			// op(A)(i, p) = A(i, p): each panel step reads a contiguous
 			// run down column p0+p.
+			if rows == 16 && kb > 0 && asmF32() {
+				if af, ok := any(a).([]float32); ok {
+					spackA16(int64(kb), any(alpha).(float32),
+						&af[i0+r0+p0*lda], int64(lda), &(any(panel).([]float32))[0])
+					break
+				}
+			}
+			if alpha == core.FromFloat[T](1) {
+				for p := 0; p < kb; p++ {
+					copy(panel[p*mr:p*mr+rows], a[i0+r0+(p0+p)*lda:])
+				}
+				break
+			}
+			if alpha == core.FromFloat[T](-1) {
+				// The factorizations' trailing updates all carry alpha=-1,
+				// so the negation is worth its own multiply-free loop.
+				for p := 0; p < kb; p++ {
+					src := a[i0+r0+(p0+p)*lda:][:rows]
+					d := panel[p*mr:][:rows]
+					for r, v := range src {
+						d[r] = -v
+					}
+				}
+				break
+			}
 			for p := 0; p < kb; p++ {
-				src := a[i0+r0+(p0+p)*lda:]
-				d := panel[p*mr:]
-				for r := 0; r < rows; r++ {
-					d[r] = alpha * src[r]
+				src := a[i0+r0+(p0+p)*lda:][:rows]
+				d := panel[p*mr:][:rows]
+				for r, v := range src {
+					d[r] = alpha * v
 				}
 			}
 		case TransT:
@@ -201,21 +226,40 @@ func packB[T core.Scalar](dst []T, nr int, trans Trans, b []T, ldb int, p0, kb, 
 		}
 		switch trans {
 		case NoTrans:
+			if cols == 4 && nr == 4 {
+				// Full micro-panel: interleave the four source columns in
+				// one pass so every panel row is written contiguously
+				// instead of revisiting it at stride nr per column.
+				if kb > 0 && asmF32() {
+					if bf, ok := any(b).([]float32); ok {
+						spackB4(int64(kb),
+							&bf[p0+(j0+c0)*ldb], &bf[p0+(j0+c0+1)*ldb],
+							&bf[p0+(j0+c0+2)*ldb], &bf[p0+(j0+c0+3)*ldb],
+							&(any(panel).([]float32))[0])
+						break
+					}
+				}
+				s0 := b[p0+(j0+c0)*ldb:][:kb]
+				s1 := b[p0+(j0+c0+1)*ldb:][:kb]
+				s2 := b[p0+(j0+c0+2)*ldb:][:kb]
+				s3 := b[p0+(j0+c0+3)*ldb:][:kb]
+				for p := range s0 {
+					d := panel[p*4 : p*4+4 : p*4+4]
+					d[0], d[1], d[2], d[3] = s0[p], s1[p], s2[p], s3[p]
+				}
+				break
+			}
 			for c := 0; c < cols; c++ {
-				src := b[p0+(j0+c0+c)*ldb:]
-				for p := 0; p < kb; p++ {
-					panel[p*nr+c] = src[p]
+				src := b[p0+(j0+c0+c)*ldb:][:kb]
+				for p, v := range src {
+					panel[p*nr+c] = v
 				}
 			}
 		case TransT:
 			// op(B)(p, j) = B(j, p): panel step p reads a contiguous run
 			// down column p0+p starting at row j0+c0.
 			for p := 0; p < kb; p++ {
-				src := b[j0+c0+(p0+p)*ldb:]
-				d := panel[p*nr:]
-				for c := 0; c < cols; c++ {
-					d[c] = src[c]
-				}
+				copy(panel[p*nr:p*nr+cols], b[j0+c0+(p0+p)*ldb:])
 			}
 		default: // ConjTrans
 			for p := 0; p < kb; p++ {

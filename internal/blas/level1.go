@@ -31,6 +31,12 @@ func Scal[T core.Scalar](n int, alpha T, x []T, incX int) {
 	}
 	checkInc(incX)
 	if incX == 1 {
+		if asmF32() {
+			if xs, ok := any(x).([]float32); ok {
+				sscalFma(int64(n), any(alpha).(float32), &xs[0])
+				return
+			}
+		}
 		for i := 0; i < n; i++ {
 			x[i] *= alpha
 		}
@@ -74,6 +80,11 @@ func Axpy[T core.Scalar](n int, alpha T, x []T, incX int, y []T, incY int) {
 		if xs, ok := any(x).([]float64); ok && asmF64() {
 			ys := any(y).([]float64)
 			daxpyFma(int64(n), any(alpha).(float64), &xs[0], &ys[0])
+			return
+		}
+		if xs, ok := any(x).([]float32); ok && asmF32() {
+			ys := any(y).([]float32)
+			saxpyFma(int64(n), any(alpha).(float32), &xs[0], &ys[0])
 			return
 		}
 		x, y := x[:n], y[:n]
@@ -219,6 +230,9 @@ func Iamax[T core.Scalar](n int, x []T, incX int) int {
 		case []float64:
 			return IamaxUnitF64(n, xs)
 		case []float32:
+			if n >= iamaxAsmMin && asmF32() && !math.IsNaN(float64(xs[0])) {
+				return int(siamaxF32(int64(n), &xs[0]))
+			}
 			return iamaxFloat(n, xs)
 		}
 	}

@@ -115,6 +115,17 @@ func gemvNUnit[T core.Scalar](m, n int, alpha T, a []T, lda int, x []T, incX int
 		}
 		return
 	}
+	if ys, ok := any(y).([]float32); ok && asmF32() {
+		xs := any(x).([]float32)
+		as := any(a).([]float32)
+		al := any(alpha).(float32)
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			if t := al * xs[jx]; t != 0 {
+				saxpyFma(int64(m), t, &as[j*lda], &ys[0])
+			}
+		}
+		return
+	}
 	yy := y[:m]
 	for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
 		t := alpha * x[jx]
@@ -138,6 +149,15 @@ func gemvTUnit[T core.Scalar](m, n int, alpha T, a []T, lda int, x, y []T, incY 
 		al := any(alpha).(float64)
 		for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
 			ys[jy] += al * ddotFma(int64(m), &as[j*lda], &xs[0])
+		}
+		return
+	}
+	if ys, ok := any(y).([]float32); ok && asmF32() {
+		xs := any(x).([]float32)
+		as := any(a).([]float32)
+		al := any(alpha).(float32)
+		for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+			ys[jy] += al * sdotFma(int64(m), &as[j*lda], &xs[0])
 		}
 		return
 	}
@@ -167,18 +187,34 @@ func Ger[T core.Scalar](m, n int, alpha T, x []T, incX int, y []T, incY int, a [
 	checkLD(m, lda)
 	checkInc(incX)
 	checkInc(incY)
-	if incX == 1 && incY == 1 {
+	if incX == 1 {
+		// The axpy into each column only needs x unit-stride; y supplies one
+		// scalar multiplier per column at whatever stride (the factorization
+		// leaves call this with y a row of A, incY = lda).
 		if as, ok := any(a).([]float64); ok && asmF64() {
 			xs := any(x).([]float64)
 			ys := any(y).([]float64)
 			al := any(alpha).(float64)
-			for j := 0; j < n; j++ {
-				if t := al * ys[j]; t != 0 {
+			for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+				if t := al * ys[jy]; t != 0 {
 					daxpyFma(int64(m), t, &xs[0], &as[j*lda])
 				}
 			}
 			return
 		}
+		if as, ok := any(a).([]float32); ok && asmF32() {
+			xs := any(x).([]float32)
+			ys := any(y).([]float32)
+			al := any(alpha).(float32)
+			for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+				if t := al * ys[jy]; t != 0 {
+					saxpyFma(int64(m), t, &xs[0], &as[j*lda])
+				}
+			}
+			return
+		}
+	}
+	if incX == 1 && incY == 1 {
 		xx := x[:m]
 		for j := 0; j < n; j++ {
 			t := alpha * y[j]
@@ -565,6 +601,20 @@ func Trsv[T core.Scalar](uplo Uplo, trans Trans, diag Diag, n int, a []T, lda in
 	nonUnit := diag == NonUnit
 	switch {
 	case trans == NoTrans && uplo == Upper:
+		if incX == 1 {
+			// Contiguous x: the trailing update of each elimination step is
+			// a unit-stride axpy, which Axpy routes to the FMA kernels.
+			for j := n - 1; j >= 0; j-- {
+				col := a[j*lda:]
+				if x[j] != 0 {
+					if nonUnit {
+						x[j] = core.Div(x[j], col[j])
+					}
+					Axpy(j, -x[j], col, 1, x, 1)
+				}
+			}
+			return
+		}
 		for j, jx := n-1, (n-1)*incX; j >= 0; j, jx = j-1, jx-incX {
 			col := a[j*lda:]
 			if x[jx] != 0 {
@@ -578,6 +628,18 @@ func Trsv[T core.Scalar](uplo Uplo, trans Trans, diag Diag, n int, a []T, lda in
 			}
 		}
 	case trans == NoTrans && uplo == Lower:
+		if incX == 1 {
+			for j := 0; j < n; j++ {
+				col := a[j*lda:]
+				if x[j] != 0 {
+					if nonUnit {
+						x[j] = core.Div(x[j], col[j])
+					}
+					Axpy(n-j-1, -x[j], col[j+1:], 1, x[j+1:], 1)
+				}
+			}
+			return
+		}
 		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
 			col := a[j*lda:]
 			if x[jx] != 0 {

@@ -54,11 +54,47 @@ func Gemm[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda 
 	if alpha == 0 || k == 0 {
 		return
 	}
+	if n == 1 && transB == NoTrans {
+		// Single-column product: one matrix-vector sweep. The packed engine
+		// would spend more on packing op(A) than the product costs, and even
+		// the naive kernel pays its tile bookkeeping; the recursive
+		// triangular solves and the iterative-refinement residuals both
+		// issue this shape on every step.
+		if transA == NoTrans {
+			Gemv(NoTrans, m, k, alpha, a, lda, b, 1, core.FromFloat[T](1), c, 1)
+		} else {
+			Gemv(transA, k, m, alpha, a, lda, b, 1, core.FromFloat[T](1), c, 1)
+		}
+		return
+	}
 	if gemmSmallOK(transA, transB, m, n, k) {
 		// Pack-free small-matrix regime: the micro-kernel runs directly on
 		// the caller's strided operands, no pack buffers and no Fork.
 		gemmSmall(m, n, k, alpha, a, lda, b, ldb, c, ldc)
 		return
+	}
+	if n <= 8 && transA == NoTrans && transB == NoTrans && asmF64() {
+		if _, ok := any(c).([]float64); ok {
+			// Skinny float64 product (a block of right-hand sides): the
+			// packed engine would copy all of A to produce a few columns,
+			// so run the pack-free strip kernel over the strided operands —
+			// one pass of A per four columns of C.
+			gemmSmall(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+			return
+		}
+	}
+	if n <= 8 && transA == NoTrans && transB == NoTrans && asmF32() {
+		if _, ok := any(c).([]float32); ok {
+			// Skinny float32 product: same rationale as the float64 strip
+			// dispatch above, as one vectorized column sweep per column of
+			// C. The recursive LU panels of the mixed-precision solvers
+			// issue this shape constantly.
+			for j := 0; j < n; j++ {
+				Gemv(NoTrans, m, k, alpha, a, lda, b[j*ldb:], 1,
+					core.FromFloat[T](1), c[j*ldc:], 1)
+			}
+			return
+		}
 	}
 	// With an assembly micro-kernel the packed engine overtakes the naive
 	// loop far sooner: packing cost is linear in the operand sizes while the
@@ -685,7 +721,11 @@ func trsmRec[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n i
 	if side == Right {
 		nt = n
 	}
-	if nt <= trsmLeafSize {
+	leaf := trsmLeafSize
+	if _, ok := any(b).([]float32); ok {
+		leaf = trsmLeafSizeF32
+	}
+	if nt <= leaf {
 		trsmBase(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
 		return
 	}
@@ -807,6 +847,16 @@ func trsmBase[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n 
 					continue
 				}
 			}
+			if asmF32() {
+				if bjf, ok := any(bj).([]float32); ok {
+					ts := [8]float32{
+						any(t0).(float32), any(t1).(float32), any(t2).(float32), any(t3).(float32),
+						any(t4).(float32), any(t5).(float32), any(t6).(float32), any(t7).(float32),
+					}
+					sgemvSub8(int64(m), &ts[0], &any(b).([]float32)[l*ldb], int64(ldb), &bjf[0])
+					continue
+				}
+			}
 			bl0 := b[l*ldb : l*ldb+m]
 			bl1 := b[(l+1)*ldb : (l+1)*ldb+m]
 			bl2 := b[(l+2)*ldb : (l+2)*ldb+m]
@@ -887,6 +937,12 @@ func trsvOct[T core.Scalar](uplo Uplo, diag Diag, m int, a []T, lda int, b []T, 
 	if asmF64() {
 		if bf, ok := any(b).([]float64); ok {
 			trsvOctF64(uplo, diag, m, any(a).([]float64), lda, bf, ldb)
+			return
+		}
+	}
+	if asmF32() {
+		if bf, ok := any(b).([]float32); ok {
+			trsvOctF32(uplo, diag, m, any(a).([]float32), lda, bf, ldb)
 			return
 		}
 	}
@@ -988,6 +1044,47 @@ func trsvOctF64(uplo Uplo, diag Diag, m int, a []float64, lda int, b []float64, 
 		}
 		if i > 0 {
 			dsubFma8(int64(i), &x[0], &a[i*lda], &b[0], int64(ldb))
+		}
+	}
+}
+
+// trsvOctF32 is the float32 specialization of trsvOct, dispatching the
+// trailing-row update of each elimination step to the ssubFma8 kernel
+// (eight float32 lanes per fused negate-multiply-add).
+func trsvOctF32(uplo Uplo, diag Diag, m int, a []float32, lda int, b []float32, ldb int) {
+	nonUnit := diag == NonUnit
+	var x [8]float32
+	if uplo == Lower {
+		for i := 0; i < m; i++ {
+			for q := 0; q < 8; q++ {
+				x[q] = b[q*ldb+i]
+			}
+			if nonUnit {
+				d := a[i*lda+i]
+				for q := 0; q < 8; q++ {
+					x[q] /= d
+					b[q*ldb+i] = x[q]
+				}
+			}
+			if r := m - i - 1; r > 0 {
+				ssubFma8(int64(r), &x[0], &a[i*lda+i+1], &b[i+1], int64(ldb))
+			}
+		}
+		return
+	}
+	for i := m - 1; i >= 0; i-- {
+		for q := 0; q < 8; q++ {
+			x[q] = b[q*ldb+i]
+		}
+		if nonUnit {
+			d := a[i*lda+i]
+			for q := 0; q < 8; q++ {
+				x[q] /= d
+				b[q*ldb+i] = x[q]
+			}
+		}
+		if i > 0 {
+			ssubFma8(int64(i), &x[0], &a[i*lda], &b[0], int64(ldb))
 		}
 	}
 }

@@ -106,6 +106,17 @@ func Lange[T core.Scalar](norm Norm, m, n int, a []T, lda int) float64 {
 	if m == 0 || n == 0 {
 		return 0
 	}
+	if norm != FrobeniusNorm {
+		// The generic core.Abs call does not inline under shape-based
+		// instantiation and dominates the sweep on large matrices; the real
+		// float types get loops with the absolute value inlined.
+		switch aa := any(a).(type) {
+		case []float64:
+			return langeFloat(norm, m, n, aa, lda)
+		case []float32:
+			return langeFloat(norm, m, n, aa, lda)
+		}
+	}
 	switch norm {
 	case MaxAbs:
 		v := 0.0
@@ -128,8 +139,9 @@ func Lange[T core.Scalar](norm Norm, m, n int, a []T, lda int) float64 {
 	case InfNorm:
 		rows := make([]float64, m)
 		for j := 0; j < n; j++ {
-			for i := 0; i < m; i++ {
-				rows[i] += core.Abs(a[i+j*lda])
+			col := a[j*lda : j*lda+m]
+			for i, e := range col {
+				rows[i] += core.Abs(e)
 			}
 		}
 		v := 0.0
@@ -150,6 +162,43 @@ func Lange[T core.Scalar](norm Norm, m, n int, a []T, lda int) float64 {
 		return scale * math.Sqrt(ssq)
 	}
 	return 0
+}
+
+// langeFloat is Lange for the real float element types with math.Abs inlined
+// in the inner loops. Accumulation stays in float64 for both widths.
+func langeFloat[F float32 | float64](norm Norm, m, n int, a []F, lda int) float64 {
+	switch norm {
+	case MaxAbs:
+		v := 0.0
+		for j := 0; j < n; j++ {
+			for _, e := range a[j*lda : j*lda+m] {
+				v = math.Max(v, math.Abs(float64(e)))
+			}
+		}
+		return v
+	case OneNorm:
+		v := 0.0
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for _, e := range a[j*lda : j*lda+m] {
+				s += math.Abs(float64(e))
+			}
+			v = math.Max(v, s)
+		}
+		return v
+	default: // InfNorm
+		rows := make([]float64, m)
+		for j := 0; j < n; j++ {
+			for i, e := range a[j*lda : j*lda+m] {
+				rows[i] += math.Abs(float64(e))
+			}
+		}
+		v := 0.0
+		for _, s := range rows {
+			v = math.Max(v, s)
+		}
+		return v
+	}
 }
 
 func lassq(v float64, scale, ssq *float64) {

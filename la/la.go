@@ -266,11 +266,13 @@ type options struct {
 	iseed    [4]int
 	haveSeed bool
 	check    bool // screen inputs for non-finite values (WithCheck / LA90_CHECK_INPUTS)
+	mixed    bool // factor in reduced precision, refine to full (WithMixed / LA90_MIXED)
 }
 
 func defaults() options {
 	return options{
 		check:  checkInputs.Load(),
+		mixed:  mixedDefault.Load(),
 		uplo:   Upper,
 		trans:  None,
 		transB: None,

@@ -95,7 +95,11 @@ func TestGESVAllTypes(t *testing.T) {
 		xTrue[i] = float64(i%5) - 2
 	}
 	t.Run("float64", func(t *testing.T) { gesvType[float64](t, n, xTrue, 1e-11) })
-	t.Run("float32", func(t *testing.T) { gesvType[float32](t, n, xTrue, 1e-4) })
+	// The forward error of this instance is condition-limited: exact
+	// substitution on the float32 factors already lands at ~7e-5, so the
+	// tolerance needs headroom above that for the rounding differences
+	// between the portable and FMA float32 kernels.
+	t.Run("float32", func(t *testing.T) { gesvType[float32](t, n, xTrue, 5e-4) })
 	t.Run("complex64", func(t *testing.T) { gesvType[complex64](t, n, xTrue, 1e-4) })
 	t.Run("complex128", func(t *testing.T) { gesvType[complex128](t, n, xTrue, 1e-11) })
 }

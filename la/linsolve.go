@@ -27,6 +27,11 @@ func GESV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	}
 	n := a.Rows
 	ipiv = make([]int, n)
+	if o.mixed {
+		if _, info, ok := mixedGesv(a, b, ipiv); ok {
+			return ipiv, erinfo(routine, info, "matrix is exactly singular")
+		}
+	}
 	info := lapack.Gesv(n, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
 	return ipiv, erinfo(routine, info, "matrix is exactly singular")
 }
@@ -50,6 +55,12 @@ func GESV1[T Scalar](a *Matrix[T], b []T, opts ...Opt) (ipiv []int, err error) {
 	}
 	n := a.Rows
 	ipiv = make([]int, n)
+	if o.mixed {
+		bm := &Matrix[T]{Rows: n, Cols: 1, Stride: max(1, n), Data: b}
+		if _, info, ok := mixedGesv(a, bm, ipiv); ok {
+			return ipiv, erinfo(routine, info, "matrix is exactly singular")
+		}
+	}
 	info := lapack.Gesv(n, 1, a.Data, a.Stride, ipiv, b, max(1, n))
 	return ipiv, erinfo(routine, info, "matrix is exactly singular")
 }
@@ -150,6 +161,11 @@ func POSV[T Scalar](a, b *Matrix[T], opts ...Opt) (err error) {
 	if o.check {
 		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
 			return err
+		}
+	}
+	if o.mixed {
+		if _, info, ok := mixedPosv(o.uplo, a, b); ok {
+			return erinfo(routine, info, "matrix is not positive definite")
 		}
 	}
 	info := lapack.Posv(o.uplo, a.Rows, b.Cols, a.Data, a.Stride, b.Data, b.Stride)

@@ -1,0 +1,177 @@
+package la
+
+// Mixed-precision opt-in for the linear-system drivers.
+//
+// With WithMixed (per call), SetMixed (process default), or LA90_MIXED=1
+// (environment), LA_GESV and LA_POSV on float64/complex128 data factor a
+// float32/complex64 demotion of A — riding the f32 GEMM kernels at roughly
+// twice the f64 flop rate — and recover full float64 accuracy by iterative
+// refinement (see internal/lapack/mixed.go for the convergence criterion
+// and the silent-fallback policy). The solution delivered in B carries a
+// backward error of at most n·eps64, the same class as the plain float64
+// path; when the low-precision route cannot deliver (singular or
+// ill-conditioned beyond float32, non-finite intermediates, stalled
+// refinement) the driver silently re-solves with the full float64
+// factorization, bit-identical to the plain driver.
+//
+// Two observable differences from the plain path, both covered by the
+// opt-in: on a converged mixed solve A is returned unchanged instead of
+// holding the float64 factors (a fallback leaves the float64 factors,
+// exactly like the plain driver), and GESV's ipiv holds the pivots of
+// whichever factorization ran. float32/complex64 element types have no
+// lower precision to factor in; they silently use the plain path.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/lapack"
+)
+
+// mixedDefault is the process-wide default for the mixed-precision solve
+// path; WithMixed enables it for a single call.
+var mixedDefault atomic.Bool
+
+func init() {
+	if core.EnvInt("LA90_MIXED", 0, 0, 1) == 1 {
+		mixedDefault.Store(true)
+	}
+}
+
+// SetMixed sets the process-wide default for the mixed-precision solve path
+// and returns the previous setting. The initial default is false unless the
+// LA90_MIXED environment variable parses to 1 (any other value, including
+// garbage, keeps the default off). Safe to call concurrently.
+func SetMixed(on bool) bool { return mixedDefault.Swap(on) }
+
+// Mixed reports the current process-wide mixed-precision default.
+func Mixed() bool { return mixedDefault.Load() }
+
+// WithMixed enables the mixed-precision path for this call: factor in
+// float32/complex64, refine the solution to full precision, silently fall
+// back to the plain float64 factorization when refinement cannot deliver.
+func WithMixed() Opt { return func(o *options) { o.mixed = true } }
+
+// mixedGesv runs the mixed-precision engine for GESV when the element type
+// has a lower-precision partner, writing the solution back into b.
+// ok == false means the element type has no mixed route (float32/complex64)
+// and the caller should run the plain path.
+func mixedGesv[T Scalar](a, b *Matrix[T], ipiv []int) (iter, info int, ok bool) {
+	n, nrhs := a.Rows, b.Cols
+	x := blas.GetScratch[T](n * nrhs)
+	defer blas.PutScratch(x)
+	ldx := max(1, n)
+	switch ad := any(a.Data).(type) {
+	case []float64:
+		iter, info = lapack.GesvMixed(n, nrhs, ad, a.Stride, ipiv,
+			any(b.Data).([]float64), b.Stride, any(x).([]float64), ldx)
+	case []complex128:
+		iter, info = lapack.GesvMixed(n, nrhs, ad, a.Stride, ipiv,
+			any(b.Data).([]complex128), b.Stride, any(x).([]complex128), ldx)
+	default:
+		return 0, 0, false
+	}
+	if info == 0 {
+		lapack.Lacpy('A', n, nrhs, x, ldx, b.Data, b.Stride)
+	}
+	return iter, info, true
+}
+
+// mixedPosv is mixedGesv for the Cholesky driver.
+func mixedPosv[T Scalar](uplo UpLo, a, b *Matrix[T]) (iter, info int, ok bool) {
+	n, nrhs := a.Rows, b.Cols
+	x := blas.GetScratch[T](n * nrhs)
+	defer blas.PutScratch(x)
+	ldx := max(1, n)
+	switch ad := any(a.Data).(type) {
+	case []float64:
+		iter, info = lapack.PosvMixed(uplo, n, nrhs, ad, a.Stride,
+			any(b.Data).([]float64), b.Stride, any(x).([]float64), ldx)
+	case []complex128:
+		iter, info = lapack.PosvMixed(uplo, n, nrhs, ad, a.Stride,
+			any(b.Data).([]complex128), b.Stride, any(x).([]complex128), ldx)
+	default:
+		return 0, 0, false
+	}
+	if info == 0 {
+		lapack.Lacpy('A', n, nrhs, x, ldx, b.Data, b.Stride)
+	}
+	return iter, info, true
+}
+
+// BatchGesvMixed solves the general linear systems A[i]·X[i] = B[i] for
+// every i through the mixed-precision engine (the batched LA_GESV with
+// WithMixed implied). Each B[i] is overwritten with its solution; each A[i]
+// is unchanged when its mixed solve converged and holds the float64 L·U
+// factors when that item fell back. iters[i] reports problem i's path: ≥ 0
+// is the refinement sweep count of a converged mixed solve, < 0 one of the
+// lapack.MixedFallback* codes. ipivs[i] holds the pivots of whichever
+// factorization ran, carved from one flat allocation; errs[i] is problem
+// i's GESV error (nil on success) with per-item fault containment as in
+// BatchGesv; err reports batch-level misuse only.
+//
+// Scheduling reuses the PR-5 batch engine (blas.BatchRange): the
+// item→worker assignment depends only on the batch length and worker
+// budget, and each item performs exactly the work the single-call mixed
+// driver would, so results are bit-identical to a serial loop at any
+// SetThreads value. The low-precision factor, right-hand-side, and residual
+// backings come from the pooled kernel scratch: a worker that finishes an
+// item returns its buffers and immediately reacquires them for the next
+// item it owns, so the steady-state cost of an item is the solve itself.
+// float32/complex64 batches have no lower precision to factor in and run
+// the plain per-item Gesv with iters[i] = 0.
+func BatchGesvMixed[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ipivs [][]int, iters []int, errs []error, err error) {
+	const routine = "LA_GESV"
+	defer guard(routine, &err)
+	if len(as) != len(bs) {
+		return nil, nil, nil, erinfo(routine, -2, "batch slice lengths differ")
+	}
+	o := apply(opts)
+	errs = make([]error, len(as))
+	iters = make([]int, len(as))
+	ipivs = make([][]int, len(as))
+	total := 0
+	for i, a := range as {
+		if !square(a) {
+			errs[i] = erinfo(routine, -1, "")
+			continue
+		}
+		if !rhsMatch(a.Rows, bs[i]) {
+			errs[i] = erinfo(routine, -2, "")
+			continue
+		}
+		total += a.Rows
+	}
+	flat := make([]int, total)
+	off := 0
+	for i, a := range as {
+		if errs[i] != nil {
+			continue
+		}
+		ipivs[i] = flat[off : off+a.Rows : off+a.Rows]
+		off += a.Rows
+	}
+	blas.BatchRange(len(as), func(i int) {
+		if errs[i] != nil {
+			return
+		}
+		a, b := as[i], bs[i]
+		if o.check {
+			if e := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); e != nil {
+				errs[i] = e
+				return
+			}
+		}
+		iter, info, ok := mixedGesv(a, b, ipivs[i])
+		if !ok {
+			info = lapack.Gesv(a.Rows, b.Cols, a.Data, a.Stride, ipivs[i], b.Data, b.Stride)
+			iter = 0
+		}
+		iters[i] = iter
+		errs[i] = erinfo(routine, info, "matrix is exactly singular")
+	}, func(i int, pe *blas.PanicError) {
+		errs[i] = batchItemError(routine, pe)
+	})
+	return ipivs, iters, errs, nil
+}
