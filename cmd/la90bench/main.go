@@ -12,6 +12,7 @@
 //	la90bench -reduce              # condensed-form reduction sweep -> BENCH_reduce.json
 //	la90bench -batch               # batched drivers & small-matrix regime -> BENCH_batch.json
 //	la90bench -mixed               # mixed-precision vs f64 LA_GESV -> BENCH_mixed.json
+//	la90bench -cond                # expert-driver condition machinery vs plain solve -> BENCH_cond.json
 package main
 
 import (
@@ -32,6 +33,7 @@ var (
 	reduceSw = flag.Bool("reduce", false, "benchmark the blocked condensed-form reductions and write machine-readable results")
 	batchSw  = flag.Bool("batch", false, "benchmark the batched drivers and the pack-free small-matrix engine")
 	mixedSw  = flag.Bool("mixed", false, "benchmark the mixed-precision LA_GESV path against plain float64")
+	condSw   = flag.Bool("cond", false, "benchmark the expert-driver condition machinery (LA_GESVX) against the plain solve")
 	maxbatch = flag.Int("maxbatch", 1024, "largest batch size -batch may bench (smoke runs use a small cap)")
 	outFlag  = flag.String("out", "", "output path (default BENCH_blas.json for -blas, BENCH_lapack.json for -lapack, BENCH_reduce.json for -reduce)")
 	nFlag    = flag.Int("n", 500, "matrix order")
@@ -53,6 +55,8 @@ func main() {
 		runBatch()
 	case *mixedSw:
 		runMixed()
+	case *condSw:
+		runCond()
 	case *sweep:
 		runSweep()
 	default:

@@ -253,14 +253,13 @@ func Lansy[T core.Scalar](norm Norm, uplo Uplo, n int, a []T, lda int) float64 {
 		}
 		return v
 	case FrobeniusNorm:
-		sum := 0.0
+		scale, ssq := 0.0, 1.0
 		for j := 0; j < n; j++ {
 			for i := 0; i < n; i++ {
-				x := abs(i, j)
-				sum += x * x
+				lassq(abs(i, j), &scale, &ssq)
 			}
 		}
-		return math.Sqrt(sum)
+		return scale * math.Sqrt(ssq)
 	}
 	return 0
 }
@@ -309,14 +308,13 @@ func Lantr[T core.Scalar](norm Norm, uplo Uplo, diag Diag, m, n int, a []T, lda 
 		}
 		return v
 	case FrobeniusNorm:
-		sum := 0.0
+		scale, ssq := 0.0, 1.0
 		for j := 0; j < n; j++ {
 			for i := 0; i < m; i++ {
-				x := el(i, j)
-				sum += x * x
+				lassq(el(i, j), &scale, &ssq)
 			}
 		}
-		return math.Sqrt(sum)
+		return scale * math.Sqrt(ssq)
 	}
 	return 0
 }
@@ -359,14 +357,13 @@ func Langb[T core.Scalar](norm Norm, n, kl, ku int, ab []T, ldab int) float64 {
 		}
 		return v
 	case FrobeniusNorm:
-		sum := 0.0
+		scale, ssq := 0.0, 1.0
 		for j := 0; j < n; j++ {
 			for i := max(0, j-ku); i <= min(n-1, j+kl); i++ {
-				x := core.Abs(ab[ku+i-j+j*ldab])
-				sum += x * x
+				lassq(core.Abs(ab[ku+i-j+j*ldab]), &scale, &ssq)
 			}
 		}
-		return math.Sqrt(sum)
+		return scale * math.Sqrt(ssq)
 	}
 	return 0
 }
@@ -415,16 +412,15 @@ func Langt[T core.Scalar](norm Norm, n int, dl, d, du []T) float64 {
 		}
 		return v
 	case FrobeniusNorm:
-		sum := 0.0
+		scale, ssq := 0.0, 1.0
 		for i := 0; i < n; i++ {
-			x := core.Abs(d[i])
-			sum += x * x
+			lassq(core.Abs(d[i]), &scale, &ssq)
 		}
 		for i := 0; i < n-1; i++ {
-			x, y := core.Abs(dl[i]), core.Abs(du[i])
-			sum += x*x + y*y
+			lassq(core.Abs(dl[i]), &scale, &ssq)
+			lassq(core.Abs(du[i]), &scale, &ssq)
 		}
-		return math.Sqrt(sum)
+		return scale * math.Sqrt(ssq)
 	}
 	return 0
 }
@@ -466,14 +462,13 @@ func Lansp[T core.Scalar](norm Norm, uplo Uplo, n int, ap []T) float64 {
 		}
 		return v
 	case FrobeniusNorm:
-		sum := 0.0
+		scale, ssq := 0.0, 1.0
 		for j := 0; j < n; j++ {
 			for i := 0; i < n; i++ {
-				x := abs(i, j)
-				sum += x * x
+				lassq(abs(i, j), &scale, &ssq)
 			}
 		}
-		return math.Sqrt(sum)
+		return scale * math.Sqrt(ssq)
 	}
 	return 0
 }
@@ -516,14 +511,13 @@ func Lansb[T core.Scalar](norm Norm, uplo Uplo, n, k int, ab []T, ldab int) floa
 		}
 		return v
 	case FrobeniusNorm:
-		sum := 0.0
+		scale, ssq := 0.0, 1.0
 		for j := 0; j < n; j++ {
 			for i := max(0, j-k); i <= min(n-1, j+k); i++ {
-				x := at(i, j)
-				sum += x * x
+				lassq(at(i, j), &scale, &ssq)
 			}
 		}
-		return math.Sqrt(sum)
+		return scale * math.Sqrt(ssq)
 	}
 	return 0
 }

@@ -135,10 +135,7 @@ func Gbcon[T core.Scalar](norm Norm, n, kl, ku int, ab []T, ldab int, ipiv []int
 		}
 		Gbtrs(tr, n, kl, ku, 1, ab, ldab, ipiv, x, n)
 	})
-	if ainvnm == 0 {
-		return 0
-	}
-	return (1 / ainvnm) / anorm
+	return rcondFromEst(ainvnm, anorm)
 }
 
 // Gbequ computes row and column scalings to equilibrate a band matrix

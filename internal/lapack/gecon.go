@@ -23,7 +23,10 @@ func Lacn2[T core.Scalar](n int, apply func(conjTrans bool, x []T)) float64 {
 	}
 	apply(false, x)
 	if n == 1 {
-		return core.Abs(x[0])
+		if e := core.Abs(x[0]); !math.IsNaN(e) {
+			return e
+		}
+		return math.Inf(1)
 	}
 	est := blas.Asum(n, x, 1)
 	signVec(x)
@@ -57,6 +60,15 @@ func Lacn2[T core.Scalar](n int, apply func(conjTrans bool, x []T)) float64 {
 	apply(false, x)
 	if t := 2 * blas.Asum(n, x, 1) / (3 * float64(n)); t > est {
 		est = t
+	}
+	if math.IsNaN(est) {
+		// The solves overflowed (Inf − Inf inside apply): the norm being
+		// estimated is beyond representable range. Report +Inf — consumers
+		// then derive rcond = 0 / ferr = Inf, the honest diagnosis — rather
+		// than letting NaN masquerade as a condition estimate. (LAPACK
+		// avoids the overflow itself via the scaled xLATRS solves; we
+		// normalize the outcome instead.)
+		return math.Inf(1)
 	}
 	return est
 }
@@ -103,10 +115,29 @@ func Gecon[T core.Scalar](norm Norm, n int, a []T, lda int, ipiv []int, anorm fl
 		}
 		Getrs(tr, n, 1, a, lda, ipiv, x, n)
 	})
+	return rcondFromEst(ainvnm, anorm)
+}
+
+// rcondFromEst forms rcond = (1/ainvnm)/anorm from a norm estimate, guarding
+// the intermediate overflow when ainvnm is subnormal (1/ainvnm → +Inf for
+// anorm near MaxFloat64). Since ‖A‖·‖A⁻¹‖ ≥ ‖I‖ = 1 for any induced norm,
+// a value above 1 can only be a rounding or overflow artifact — clamp it.
+func rcondFromEst(ainvnm, anorm float64) float64 {
 	if ainvnm == 0 {
 		return 0
 	}
-	return (1 / ainvnm) / anorm
+	if math.IsInf(anorm, 1) || math.IsNaN(anorm) {
+		// The norm of a finite matrix overflowed (e.g. column sums of
+		// MaxFloat64 entries): no conditioning can be certified, and
+		// Inf/Inf below would yield NaN. Report 0 — “ill-conditioned to
+		// working precision”, the conservative truth.
+		return 0
+	}
+	rcond := (1 / ainvnm) / anorm
+	if rcond > 1 {
+		rcond = 1
+	}
+	return rcond
 }
 
 // Geequ computes row and column scalings meant to equilibrate an m×n matrix
@@ -210,9 +241,13 @@ func Laqge[T core.Scalar](m, n int, a []T, lda int, r, c []float64, rowcnd, colc
 		return EquedCol
 	default:
 		for j := 0; j < n; j++ {
-			cj := c[j]
+			cj := core.FromFloat[T](c[j])
 			for i := 0; i < m; i++ {
-				a[i+j*lda] *= core.FromFloat[T](cj * r[i])
+				// Apply the factors one at a time, as xLAQGE's
+				// R(i)*A(i,j)*C(j) does left-to-right: pre-combining
+				// cj*r[i] can overflow to Inf and turn a zero entry
+				// into NaN.
+				a[i+j*lda] = a[i+j*lda] * core.FromFloat[T](r[i]) * cj
 			}
 		}
 		return EquedBoth

@@ -52,9 +52,18 @@ func Getf2[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 				blas.Swap(n, a[j:], lda, a[p:], lda)
 			}
 			if j < m-1 {
+				// Reciprocal-multiply only when 1/pivot cannot overflow
+				// (|pivot| ≥ SafeMin); a subnormal pivot divides
+				// elementwise instead, as in xGETF2.
 				piv := a[j+j*lda]
-				inv := core.Div(core.FromFloat[T](1), piv)
-				blas.Scal(m-j-1, inv, a[j+1+j*lda:], 1)
+				if core.Abs1(piv) >= core.SafeMin[T]() {
+					inv := core.Div(core.FromFloat[T](1), piv)
+					blas.Scal(m-j-1, inv, a[j+1+j*lda:], 1)
+				} else {
+					for i := j + 1; i < m; i++ {
+						a[i+j*lda] = core.Div(a[i+j*lda], piv)
+					}
+				}
 			}
 		} else if info == 0 {
 			info = j + 1

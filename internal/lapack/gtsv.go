@@ -140,10 +140,7 @@ func Gtcon[T core.Scalar](norm Norm, n int, dl, d, du, du2 []T, ipiv []int, anor
 		}
 		Gttrs(tr, n, 1, dl, d, du, du2, ipiv, x, n)
 	})
-	if ainvnm == 0 {
-		return 0
-	}
-	return (1 / ainvnm) / anorm
+	return rcondFromEst(ainvnm, anorm)
 }
 
 // gtmv computes y = alpha·op(A)·x + beta·y for a tridiagonal matrix.

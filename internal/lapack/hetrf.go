@@ -691,10 +691,7 @@ func Hecon[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int, anorm fl
 	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
 		Hetrs(uplo, n, 1, a, lda, ipiv, x, n)
 	})
-	if ainvnm == 0 {
-		return 0
-	}
-	return (1 / ainvnm) / anorm
+	return rcondFromEst(ainvnm, anorm)
 }
 
 // Herfs iteratively refines the solution of a Hermitian indefinite system

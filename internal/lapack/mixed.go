@@ -27,6 +27,9 @@ package lapack
 //   - the float32 factorization reports singularity (or a non-positive-
 //     definite leading minor for PosvMixed) — condition beyond what f32
 //     resolves,
+//   - the Higham–Hager condition estimate off the float32 factors (Gecon/
+//     Pocon, a few O(n²) solves) lands below the single-precision rcond
+//     floor — refinement would stall, so fall back before iterating,
 //   - a non-finite value appears in a residual or demoted correction
 //     (consistent exception handling: NaN/Inf aborts the loop immediately
 //     rather than iterating to the bound),
@@ -58,7 +61,21 @@ const (
 	// MixedFallbackStalled: refinement did not converge within
 	// MixedIterMax() sweeps.
 	MixedFallbackStalled = -3
+	// MixedFallbackIllConditioned: the condition estimate of the
+	// low-precision factors says refinement cannot converge (rcond below
+	// the single-precision floor), so the engine fell back immediately
+	// instead of burning MixedIterMax() sweeps to discover the stall.
+	MixedFallbackIllConditioned = -4
 )
+
+// mixedRcondFloorMul sets the rcond floor of the pre-refinement condition
+// screen in multiples of the low precision's machine epsilon. Refinement
+// through the low-precision factors contracts the error by roughly
+// cond(A)·eps_low per sweep, so convergence to full precision within the
+// sweep bound needs cond(A)·eps_low comfortably below 1; rcond estimates
+// under 4·eps_low (cond above ~2·10⁶ in float32) are the stall region, and
+// the Higham–Hager estimate is reliable to a small constant factor.
+const mixedRcondFloorMul = 4
 
 // defMixedIterMax is the default refinement-sweep bound, matching LAPACK's
 // DSGESV ITERMAX = 30: a well-conditioned system converges in 1–3 sweeps,
@@ -226,6 +243,13 @@ func gesvMixedEngine[H, L core.Scalar](n, nrhs int, a []H, lda int, ipiv []int, 
 	if Getrf(n, n, sa, n, ipiv) != 0 {
 		return gesvMixedFallback(MixedFallbackSingular, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
 	}
+	// Condition screen: estimate rcond off the factors just computed (a
+	// handful of O(n²) triangular solves) and fall back now when the
+	// estimate says the refinement loop below cannot contract the error to
+	// full precision within its sweep bound.
+	if rc := Gecon[L](InfNorm, n, sa, n, ipiv, anrm); rc < mixedRcondFloorMul*core.Eps[L]() {
+		return gesvMixedFallback(MixedFallbackIllConditioned, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
+	}
 	solve := func(r []L) { Getrs(NoTrans, n, nrhs, sa, n, ipiv, r, n) }
 	residual := func(r []H) {
 		blas.Gemm(NoTrans, NoTrans, n, nrhs, n, core.FromFloat[H](-1), a, lda, x, ldx, core.FromFloat[H](1), r, n)
@@ -278,6 +302,11 @@ func posvMixedEngine[H, L core.Scalar](uplo Uplo, n, nrhs int, a []H, lda int, b
 	}
 	if Potrf(uplo, n, sa, n) != 0 {
 		return posvMixedFallback(MixedFallbackSingular, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
+	}
+	// Condition screen, as in gesvMixedEngine. A symmetric matrix's ∞-norm
+	// equals its 1-norm, so anrm is the right operand for Pocon.
+	if rc := Pocon[L](uplo, n, sa, n, anrm); rc < mixedRcondFloorMul*core.Eps[L]() {
+		return posvMixedFallback(MixedFallbackIllConditioned, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
 	}
 	solve := func(r []L) { Potrs(uplo, n, nrhs, sa, n, r, n) }
 	residual := func(r []H) {

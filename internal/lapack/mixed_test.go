@@ -330,3 +330,73 @@ func TestMixedIterMaxEnvKnob(t *testing.T) {
 		}
 	}
 }
+
+// TestGesvMixedRcondScreen: a matrix whose float32 factorization succeeds
+// cleanly (graded column, all entries representable) but whose condition
+// number is far beyond the refinement contraction bound. Before the rcond
+// screen this input burned all ITERMAX sweeps before stalling; now Gecon on
+// the float32 factors must reject it up front — reason IllConditioned, not
+// Stalled — and deliver the plain driver's bits. ITERMAX is raised so a
+// stall (if the screen failed) would show up as the wrong reason code.
+func TestGesvMixedRcondScreen(t *testing.T) {
+	old := lapack.SetMixedIterMax(64)
+	defer lapack.SetMixedIterMax(old)
+	n := 50
+	a, b := mixedWellCond[float64](21, n, 2)
+	for i := 0; i < n; i++ { // grade one column: cond ≈ 1e9, exact in f32
+		a[i+3*n] *= 1e-9
+	}
+	expectGesvFallbackIdentity(t, n, 2, a, b, lapack.MixedFallbackIllConditioned)
+	ac, bc := mixedWellCond[complex128](21, n, 2)
+	for i := 0; i < n; i++ {
+		ac[i+3*n] *= 1e-9
+	}
+	expectGesvFallbackIdentity(t, n, 2, ac, bc, lapack.MixedFallbackIllConditioned)
+}
+
+// TestPosvMixedRcondScreen is the Cholesky-route twin: an SPD matrix with a
+// graded spectrum (diagonal 1e-9..1, factors exactly in float32) must trip
+// the Pocon screen and fall back bit-identically to plain Posv.
+func TestPosvMixedRcondScreen(t *testing.T) {
+	old := lapack.SetMixedIterMax(64)
+	defer lapack.SetMixedIterMax(old)
+	n := 32
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		d := 1.0
+		if i == 0 {
+			d = 1e-9
+		}
+		a[i+i*n] = d
+	}
+	// Couple the graded mode to the rest so the matrix is not diagonal.
+	for i := 1; i < n; i++ {
+		a[0+i*n] = 1e-6
+		a[i+0*n] = 1e-6
+	}
+	_, b := mixedWellCond[float64](23, n, 1)
+	for _, uplo := range []lapack.Uplo{lapack.Upper, lapack.Lower} {
+		aM := append([]float64(nil), a...)
+		bM := append([]float64(nil), b...)
+		x := make([]float64, n)
+		iter, infoM := lapack.PosvMixed(uplo, n, 1, aM, n, bM, n, x, n)
+		if iter != lapack.MixedFallbackIllConditioned {
+			t.Fatalf("uplo=%c iter=%d, want %d", uplo, iter, lapack.MixedFallbackIllConditioned)
+		}
+		aP := append([]float64(nil), a...)
+		bP := append([]float64(nil), b...)
+		infoP := lapack.Posv(uplo, n, 1, aP, n, bP, n)
+		if infoM != infoP {
+			t.Fatalf("uplo=%c fallback info %d, plain info %d", uplo, infoM, infoP)
+		}
+		if !bitsEqual(x, bP) {
+			t.Fatalf("uplo=%c fallback solution not bit-identical to plain Posv", uplo)
+		}
+		if !bitsEqual(aM, aP) {
+			t.Fatalf("uplo=%c fallback factors not bit-identical to plain Posv", uplo)
+		}
+		if !bitsEqual(bM, b) {
+			t.Fatalf("uplo=%c b must be preserved", uplo)
+		}
+	}
+}

@@ -87,10 +87,7 @@ func Pbcon[T core.Scalar](uplo Uplo, n, kd int, ab []T, ldab int, anorm float64)
 	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
 		Pbtrs(uplo, n, kd, 1, ab, ldab, x, n)
 	})
-	if ainvnm == 0 {
-		return 0
-	}
-	return (1 / ainvnm) / anorm
+	return rcondFromEst(ainvnm, anorm)
 }
 
 func absSbmv[T core.Scalar](uplo Uplo, n, kd int, ab []T, ldab int, xa, y []float64) {

@@ -147,10 +147,7 @@ func Pocon[T core.Scalar](uplo Uplo, n int, a []T, lda int, anorm float64) float
 		// A is Hermitian: both products are the same solve.
 		Potrs(uplo, n, 1, a, lda, x, n)
 	})
-	if ainvnm == 0 {
-		return 0
-	}
-	return (1 / ainvnm) / anorm
+	return rcondFromEst(ainvnm, anorm)
 }
 
 // Poequ computes diagonal scalings to equilibrate a positive definite
@@ -252,7 +249,10 @@ func Posvx[T core.Scalar](fact Fact, uplo Uplo, n, nrhs int, a []T, lda int, af 
 						if uplo == Upper && i > j || uplo == Lower && i < j {
 							continue
 						}
-						a[i+j*lda] *= core.FromFloat[T](res.S[i] * res.S[j])
+						// One factor at a time (xLAQSY's S(j)*A(i,j)*S(i)):
+						// the product S(i)·S(j) can overflow to Inf and turn
+						// a zero entry into NaN.
+						a[i+j*lda] = a[i+j*lda] * core.FromFloat[T](res.S[i]) * core.FromFloat[T](res.S[j])
 					}
 				}
 				res.Equed = EquedBoth

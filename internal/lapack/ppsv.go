@@ -81,10 +81,7 @@ func Ppcon[T core.Scalar](uplo Uplo, n int, ap []T, anorm float64) float64 {
 	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
 		Pptrs(uplo, n, 1, ap, x, n)
 	})
-	if ainvnm == 0 {
-		return 0
-	}
-	return (1 / ainvnm) / anorm
+	return rcondFromEst(ainvnm, anorm)
 }
 
 func absSpmv[T core.Scalar](uplo Uplo, n int, ap []T, xa, y []float64) {

@@ -65,10 +65,7 @@ func Ptcon[T core.Scalar](n int, d []float64, e []T, anorm float64) float64 {
 	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
 		Pttrs(n, 1, d, e, x, n)
 	})
-	if ainvnm == 0 {
-		return 0
-	}
-	return (1 / ainvnm) / anorm
+	return rcondFromEst(ainvnm, anorm)
 }
 
 // ptmv computes y = alpha·A·x + beta·y for the Hermitian tridiagonal matrix

@@ -24,7 +24,7 @@ func Larfg[T core.Scalar](n int, alpha *T, x []T, incX int) T {
 	if xnorm == 0 && alphi == 0 {
 		return tau
 	}
-	beta := -core.Sign(core.Hypot3(alphr, alphi, xnorm), alphr)
+	beta := -core.Sign(Lapy3(alphr, alphi, xnorm), alphr)
 	safmin := core.SafeMin[T]() / core.Eps[T]()
 	knt := 0
 	for math.Abs(beta) < safmin && knt < 20 {
@@ -35,7 +35,7 @@ func Larfg[T core.Scalar](n int, alpha *T, x []T, incX int) T {
 		alphr /= safmin
 		alphi /= safmin
 		xnorm = blas.Nrm2(n-1, x, incX)
-		beta = -core.Sign(core.Hypot3(alphr, alphi, xnorm), alphr)
+		beta = -core.Sign(Lapy3(alphr, alphi, xnorm), alphr)
 	}
 	if core.IsComplex[T]() {
 		tau = core.FromComplex[T](complex((beta-alphr)/beta, -alphi/beta))

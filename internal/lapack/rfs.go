@@ -67,6 +67,13 @@ func rfs[T core.Scalar](trans Trans, n, nrhs int,
 					s = math.Max(s, (core.Abs1(r[i])+safe1)/(w[i]+safe1))
 				}
 			}
+			if math.IsNaN(s) {
+				// Non-finite solution or residual (e.g. the true solution
+				// overflows float64): Inf − Inf poisoned the residual. The
+				// backward error is not merely large, it is unbounded —
+				// report +Inf, never NaN, and stop refining.
+				s = math.Inf(1)
+			}
 			berr[j] = s
 			if !(berr[j] > eps && 2*berr[j] <= lstres && count <= itmax) {
 				break
@@ -107,6 +114,11 @@ func rfs[T core.Scalar](trans Trans, n, nrhs int,
 		}
 		if lstres != 0 {
 			ferr[j] /= lstres
+		}
+		if math.IsNaN(ferr[j]) {
+			// Inf/Inf (overflowed solution scaled by an overflowed
+			// estimate) — the bound is unbounded, not undefined.
+			ferr[j] = math.Inf(1)
 		}
 	}
 }

@@ -1,0 +1,142 @@
+package lapack
+
+// Overflow-safe scaling primitives (xLASSQ, xLAPY2/xLAPY3, xLASCL): the
+// building blocks that let norms, Householder generation, and whole-matrix
+// rescaling run on data anywhere in the representable range without the
+// intermediate squares or products overflowing. Every norm helper in aux.go
+// and the Householder generator in qr.go accumulate through these, so a
+// matrix with entries near math.MaxFloat64 (or math.SmallestNonzeroFloat64)
+// still produces finite, accurate results.
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Lassq updates a scaled sum of squares (xLASSQ): given scale and ssq with
+// scale²·ssq = Σ so far, it folds in the n strided elements of x and returns
+// the updated pair such that
+//
+//	scale'² · ssq' = scale²·ssq + Σ_i |x_{i·incx}|²
+//
+// without the squares overflowing or underflowing. For complex element
+// types the real and imaginary parts are folded in separately. The norm is
+// recovered as scale·sqrt(ssq).
+func Lassq[T core.Scalar](n int, x []T, incx int, scale, ssq float64) (float64, float64) {
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+incx {
+		lassq(core.Re(x[ix]), &scale, &ssq)
+		if core.IsComplex[T]() {
+			lassq(core.Im(x[ix]), &scale, &ssq)
+		}
+	}
+	return scale, ssq
+}
+
+// Lapy2 returns sqrt(x² + y²) without destructive underflow or overflow
+// (xLAPY2).
+func Lapy2(x, y float64) float64 {
+	x, y = math.Abs(x), math.Abs(y)
+	w, z := math.Max(x, y), math.Min(x, y)
+	if z == 0 {
+		return w
+	}
+	r := z / w
+	return w * math.Sqrt(1+r*r)
+}
+
+// Lapy3 returns sqrt(x² + y² + z²) without destructive underflow or
+// overflow (xLAPY3).
+func Lapy3(x, y, z float64) float64 {
+	return core.Hypot3(x, y, z)
+}
+
+// MatType selects the structure Lascl assumes when scaling (xLASCL TYPE).
+type MatType byte
+
+// MatType values, matching LAPACK's LASCL TYPE character.
+const (
+	MatGeneral    MatType = 'G' // full m×n matrix
+	MatLower      MatType = 'L' // lower triangle
+	MatUpper      MatType = 'U' // upper triangle
+	MatHessenberg MatType = 'H' // upper Hessenberg
+)
+
+// Lascl multiplies the m×n matrix a by the real scalar cto/cfrom without
+// over- or underflowing the intermediate quotient (xLASCL): the factor is
+// applied in steps, each step a representable ratio. mtype selects which
+// elements are touched. cfrom must be non-zero and not NaN, cto not NaN;
+// info = -2 (cfrom) or -3 (cto) reports a bad factor.
+func Lascl[T core.Scalar](mtype MatType, cfrom, cto float64, m, n int, a []T, lda int) (info int) {
+	if cfrom == 0 || math.IsNaN(cfrom) {
+		return -2
+	}
+	if math.IsNaN(cto) {
+		return -3
+	}
+	if m == 0 || n == 0 {
+		return 0
+	}
+	smlnum := core.SafeMin[T]()
+	bignum := 1 / smlnum
+	cfromc, ctoc := cfrom, cto
+	for {
+		cfrom1 := cfromc * smlnum
+		var mul float64
+		var done bool
+		if cfrom1 == cfromc {
+			// cfromc is ±Inf: mul is a signed zero or NaN as appropriate.
+			mul = ctoc / cfromc
+			done = true
+		} else {
+			cto1 := ctoc / bignum
+			if cto1 == ctoc {
+				// ctoc is 0 or ±Inf: mul carries the final value.
+				mul = ctoc
+				done = true
+				cfromc = 1
+			} else if math.Abs(cfrom1) > math.Abs(ctoc) && ctoc != 0 {
+				mul = smlnum
+				done = false
+				cfromc = cfrom1
+			} else if math.Abs(cto1) > math.Abs(cfromc) {
+				mul = bignum
+				done = false
+				ctoc = cto1
+			} else {
+				mul = ctoc / cfromc
+				done = true
+			}
+		}
+		f := core.FromFloat[T](mul)
+		switch mtype {
+		case MatLower:
+			for j := 0; j < n; j++ {
+				for i := j; i < m; i++ {
+					a[i+j*lda] *= f
+				}
+			}
+		case MatUpper:
+			for j := 0; j < n; j++ {
+				for i := 0; i <= min(j, m-1); i++ {
+					a[i+j*lda] *= f
+				}
+			}
+		case MatHessenberg:
+			for j := 0; j < n; j++ {
+				for i := 0; i <= min(j+1, m-1); i++ {
+					a[i+j*lda] *= f
+				}
+			}
+		default: // MatGeneral
+			for j := 0; j < n; j++ {
+				for i := 0; i < m; i++ {
+					a[i+j*lda] *= f
+				}
+			}
+		}
+		if done {
+			return 0
+		}
+	}
+}

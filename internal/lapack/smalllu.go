@@ -1,6 +1,8 @@
 package lapack
 
 import (
+	"math"
+
 	"repro/internal/blas"
 	"repro/internal/core"
 )
@@ -69,8 +71,15 @@ func getrfSmall[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 					blas.Swap(jb, a[j+j0*lda:], lda, a[p+j0*lda:], lda)
 				}
 				if j < m-1 {
-					inv := core.Div(one, a[j+j*lda])
-					blas.Scal(m-j-1, inv, a[j+1+j*lda:], 1)
+					// SafeMin guard as in Getf2: 1/subnormal overflows.
+					if piv := a[j+j*lda]; core.Abs1(piv) >= core.SafeMin[T]() {
+						inv := core.Div(one, piv)
+						blas.Scal(m-j-1, inv, a[j+1+j*lda:], 1)
+					} else {
+						for i := j + 1; i < m; i++ {
+							a[i+j*lda] = core.Div(a[i+j*lda], piv)
+						}
+					}
 				}
 			} else if info == 0 {
 				info = j + 1
@@ -175,7 +184,18 @@ func getrfSmallF64(m, n int, a []float64, lda int, ipiv []int) int {
 					if w := jend - j - 1; w > 0 {
 						rest = a[j+(j+1)*lda:]
 					}
-					pNext = blas.LUPanelF64(m-j-1, jend-j-1, 1/a[j+j*lda],
+					// SafeMin guard as in Getf2: 1/subnormal overflows.
+					// Pre-divide the column and let the fused kernel run
+					// with a unit multiplier (exact no-op scale).
+					piv := a[j+j*lda]
+					inv := 1 / piv
+					if math.Abs(piv) < core.SafeMin[float64]() {
+						inv = 1
+						for i := j + 1; i < m; i++ {
+							a[i+j*lda] /= piv
+						}
+					}
+					pNext = blas.LUPanelF64(m-j-1, jend-j-1, inv,
 						a[j+1+j*lda:j*lda+m], rest, lda)
 				}
 				continue

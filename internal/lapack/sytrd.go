@@ -1,6 +1,8 @@
 package lapack
 
 import (
+	"math"
+
 	"repro/internal/blas"
 	"repro/internal/core"
 )
@@ -331,14 +333,43 @@ func Syev[T core.Scalar](jobz bool, uplo Uplo, n int, a []T, lda int, w []float6
 	if n == 0 {
 		return 0
 	}
+	// Scale the matrix into the tridiagonal iteration's safe range when its
+	// norm is extreme (the xSYEV anrm guard): squares of the entries appear
+	// in the QL/QR shifts, so entries beyond sqrt(overflow) — or below
+	// sqrt(safmin), where the shifts denormalize — are pre-scaled by Lascl
+	// and the eigenvalues scaled back afterwards.
+	smlnum := core.SafeMin[T]() / core.Eps[T]()
+	rmin, rmax := math.Sqrt(smlnum), math.Sqrt(1/smlnum)
+	anrm := Lansy(MaxAbs, uplo, n, a, lda)
+	sigma := 1.0
+	if anrm > 0 && anrm < rmin {
+		sigma = rmin / anrm
+	} else if anrm > rmax {
+		sigma = rmax / anrm
+	}
+	if sigma != 1 {
+		mt := MatUpper
+		if uplo == Lower {
+			mt = MatLower
+		}
+		Lascl(mt, 1, sigma, n, n, a, lda)
+	}
 	e := make([]float64, max(0, n-1))
 	tau := make([]T, max(0, n-1))
 	Sytrd(uplo, n, a, lda, w, e, tau)
+	info := 0
 	if !jobz {
-		return Sterf(n, w, e)
+		info = Sterf(n, w, e)
+	} else {
+		Orgtr(uplo, n, a, lda, tau)
+		info = Steqr(n, w, e, a, lda)
 	}
-	Orgtr(uplo, n, a, lda, tau)
-	return Steqr(n, w, e, a, lda)
+	if sigma != 1 {
+		for i := range w {
+			w[i] /= sigma
+		}
+	}
+	return info
 }
 
 // Heev is the Hermitian driver name for Syev (xHEEV); for complex element

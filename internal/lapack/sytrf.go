@@ -644,10 +644,7 @@ func Sycon[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int, anorm fl
 	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
 		Sytrs(uplo, n, 1, a, lda, ipiv, x, n)
 	})
-	if ainvnm == 0 {
-		return 0
-	}
-	return (1 / ainvnm) / anorm
+	return rcondFromEst(ainvnm, anorm)
 }
 
 // Syrfs iteratively refines the solution of a symmetric indefinite system

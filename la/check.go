@@ -83,6 +83,7 @@ func recoveredError(routine string, r any) *Error {
 			Routine: routine,
 			Info:    InfoPanic,
 			Detail:  fmt.Sprintf("recovered panic on worker goroutine: %v", v.Value),
+			Diag:    DiagContainedFault,
 			Stack:   v.Stack,
 		}
 	default:
@@ -90,6 +91,7 @@ func recoveredError(routine string, r any) *Error {
 			Routine: routine,
 			Info:    InfoPanic,
 			Detail:  fmt.Sprintf("recovered panic: %v", r),
+			Diag:    DiagContainedFault,
 			Stack:   debug.Stack(),
 		}
 	}

@@ -21,7 +21,7 @@ func SYEV[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
 	}
 	w = make([]float64, a.Rows)
 	info := lapack.Syev[T](o.vectors, o.uplo, a.Rows, a.Data, a.Stride, w)
-	return w, erinfo(routine, info, "the QL/QR iteration failed to converge")
+	return w, erdiag(routine, info, "the QL/QR iteration failed to converge", DiagNotConverged)
 }
 
 // HEEV is the Hermitian name for SYEV (the paper's LA_HEEV).
@@ -121,7 +121,7 @@ func SPEV[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error) 
 		ldz = z.Stride
 	}
 	info := lapack.Spev(o.vectors, o.uplo, n, ap, w, zdata, ldz)
-	return w, z, erinfo(routine, info, "the QL/QR iteration failed to converge")
+	return w, z, erdiag(routine, info, "the QL/QR iteration failed to converge", DiagNotConverged)
 }
 
 // HPEV is the Hermitian name for SPEV (the paper's LA_HPEV).
@@ -210,7 +210,7 @@ func SBEV[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err 
 		ldz = z.Stride
 	}
 	info := lapack.Sbev(o.vectors, o.uplo, n, kd, ab.Data, ab.Stride, w, zdata, ldz)
-	return w, z, erinfo(routine, info, "the QL/QR iteration failed to converge")
+	return w, z, erdiag(routine, info, "the QL/QR iteration failed to converge", DiagNotConverged)
 }
 
 // HBEV is the Hermitian name for SBEV (the paper's LA_HBEV).
@@ -299,7 +299,7 @@ func STEV[T Scalar](d, e []float64, opts ...Opt) (z *Matrix[T], err error) {
 		ldz = z.Stride
 	}
 	info := lapack.Stev(n, d, e, zdata, ldz)
-	return z, erinfo(routine, info, "the QL/QR iteration failed to converge")
+	return z, erdiag(routine, info, "the QL/QR iteration failed to converge", DiagNotConverged)
 }
 
 // STEVD is the divide & conquer variant of STEV (the paper's LA_STEVD).

@@ -50,11 +50,7 @@ func GESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 		X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr,
 		Equed: byte(res.Equed), R: res.R, C: res.C, RPvGrw: res.RPvGrw, IPiv: ipiv,
 	}
-	detail := "matrix is exactly singular"
-	if res.Info == n+1 {
-		detail = "matrix is singular to working precision (RCOND below machine epsilon)"
-	}
-	return out, erinfo(routine, res.Info, detail)
+	return out, erexpert(routine, res.Info, n, res.RCond, byte(res.Equed), "matrix is exactly singular", DiagSingular)
 }
 
 // GBSVX is the expert driver for general band systems (the paper's
@@ -94,7 +90,7 @@ func GBSVX[T Scalar](ab, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], er
 		X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr,
 		Equed: byte(res.Equed), R: res.R, C: res.C, IPiv: ipiv,
 	}
-	return out, erinfo(routine, res.Info, "matrix is singular or near-singular")
+	return out, erexpert(routine, res.Info, n, res.RCond, byte(res.Equed), "matrix is exactly singular", DiagSingular)
 }
 
 // GTSVX is the expert driver for general tridiagonal systems (the paper's
@@ -129,7 +125,7 @@ func GTSVX[T Scalar](dl, d, du []T, b *Matrix[T], opts ...Opt) (result *ExpertRe
 	x := NewMatrix[T](n, nrhs)
 	res := lapack.Gtsvx(o.fact, o.trans, n, nrhs, dl, d, du, dlf, df, duf, du2, ipiv, b.Data, b.Stride, x.Data, x.Stride)
 	out := &ExpertResult[T]{X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr, IPiv: ipiv}
-	return out, erinfo(routine, res.Info, "matrix is singular or near-singular")
+	return out, erexpert(routine, res.Info, n, res.RCond, 0, "matrix is exactly singular", DiagSingular)
 }
 
 // POSVX is the expert driver for symmetric/Hermitian positive definite
@@ -157,7 +153,7 @@ func POSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 		X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr,
 		Equed: byte(res.Equed), S: res.S,
 	}
-	return out, erinfo(routine, res.Info, "matrix is not positive definite or is near-singular")
+	return out, erexpert(routine, res.Info, n, res.RCond, byte(res.Equed), "the leading minor of order INFO is not positive definite", DiagNotPositiveDefinite)
 }
 
 // PPSVX is the expert driver for packed positive definite systems (the
@@ -186,7 +182,7 @@ func PPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T]
 		X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr,
 		Equed: byte(res.Equed), S: res.S,
 	}
-	return out, erinfo(routine, res.Info, "matrix is not positive definite or is near-singular")
+	return out, erexpert(routine, res.Info, n, res.RCond, byte(res.Equed), "the leading minor of order INFO is not positive definite", DiagNotPositiveDefinite)
 }
 
 // PBSVX is the expert driver for positive definite band systems (the
@@ -216,7 +212,7 @@ func PBSVX[T Scalar](ab, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], er
 		X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr,
 		Equed: byte(res.Equed), S: res.S,
 	}
-	return out, erinfo(routine, res.Info, "matrix is not positive definite or is near-singular")
+	return out, erexpert(routine, res.Info, n, res.RCond, byte(res.Equed), "the leading minor of order INFO is not positive definite", DiagNotPositiveDefinite)
 }
 
 // PTSVX is the expert driver for positive definite tridiagonal systems
@@ -247,7 +243,7 @@ func PTSVX[T Scalar](d []float64, e []T, b *Matrix[T], opts ...Opt) (result *Exp
 	x := NewMatrix[T](n, nrhs)
 	res := lapack.Ptsvx[T](o.fact, n, nrhs, d, e, df, ef, b.Data, b.Stride, x.Data, x.Stride)
 	out := &ExpertResult[T]{X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr}
-	return out, erinfo(routine, res.Info, "matrix is not positive definite or is near-singular")
+	return out, erexpert(routine, res.Info, n, res.RCond, 0, "the leading minor of order INFO is not positive definite", DiagNotPositiveDefinite)
 }
 
 // SYSVX is the expert driver for symmetric indefinite systems (the
@@ -273,7 +269,7 @@ func SYSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 	x := NewMatrix[T](n, nrhs)
 	res := lapack.Sysvx(o.fact, o.uplo, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride)
 	out := &ExpertResult[T]{X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr, IPiv: ipiv}
-	return out, erinfo(routine, res.Info, "matrix is singular or near-singular")
+	return out, erexpert(routine, res.Info, n, res.RCond, 0, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
 
 // HESVX is the expert driver for Hermitian indefinite systems (the
@@ -299,7 +295,7 @@ func HESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 	x := NewMatrix[T](n, nrhs)
 	res := lapack.Hesvx(o.fact, o.uplo, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride)
 	out := &ExpertResult[T]{X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr, IPiv: ipiv}
-	return out, erinfo(routine, res.Info, "matrix is singular or near-singular")
+	return out, erexpert(routine, res.Info, n, res.RCond, 0, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
 
 // SPSVX is the expert driver for packed symmetric indefinite systems (the
@@ -327,7 +323,7 @@ func SPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T]
 	info := lapack.Sptrf(o.uplo, n, afp, ipiv)
 	out := &ExpertResult[T]{X: NewMatrix[T](n, nrhs), Ferr: make([]float64, nrhs), Berr: make([]float64, nrhs), IPiv: ipiv}
 	if info != 0 {
-		return out, erinfo(routine, info, "D(i,i) is exactly zero")
+		return out, erdiag(routine, info, "D(i,i) is exactly zero", DiagSingular)
 	}
 	anorm := lapack.Lansp(lapack.OneNorm, o.uplo, n, ap)
 	out.RCond = lapack.Spcon(o.uplo, n, afp, ipiv, anorm)
@@ -337,7 +333,7 @@ func SPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T]
 	if out.RCond < epsFor[T]() {
 		info = n + 1
 	}
-	return out, erinfo(routine, info, "matrix is singular to working precision")
+	return out, erexpert(routine, info, n, out.RCond, 0, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
 
 // HPSVX is the expert driver for packed Hermitian indefinite systems (the
@@ -364,7 +360,7 @@ func HPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T]
 	info := lapack.Hptrf(o.uplo, n, afp, ipiv)
 	out := &ExpertResult[T]{X: NewMatrix[T](n, nrhs), Ferr: make([]float64, nrhs), Berr: make([]float64, nrhs), IPiv: ipiv}
 	if info != 0 {
-		return out, erinfo(routine, info, "D(i,i) is exactly zero")
+		return out, erdiag(routine, info, "D(i,i) is exactly zero", DiagSingular)
 	}
 	anorm := lapack.Lansp(lapack.OneNorm, o.uplo, n, ap)
 	out.RCond = lapack.Hpcon(o.uplo, n, afp, ipiv, anorm)
@@ -374,5 +370,5 @@ func HPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T]
 	if out.RCond < epsFor[T]() {
 		info = n + 1
 	}
-	return out, erinfo(routine, info, "matrix is singular to working precision")
+	return out, erexpert(routine, info, n, out.RCond, 0, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }

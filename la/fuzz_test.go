@@ -75,6 +75,60 @@ func FuzzGESV(f *testing.F) {
 	})
 }
 
+// FuzzGESVX drives the expert pipeline — equilibration, condition
+// estimation, refinement, error bounds — over the same pathological input
+// space. Beyond the never-panic contract, a return for a *finite* input
+// must carry coherent diagnostics: RCOND in [0, 1] and BERR never NaN.
+// (Unscreened non-finite input may legitimately produce NaN diagnostics —
+// LAPACK's contract says nothing there; only termination is required.)
+func FuzzGESVX(f *testing.F) {
+	f.Add(uint8(3), uint8(1), uint8(0), false, false, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(uint8(4), uint8(2), uint8(3), true, true, []byte{8, 9, 10, 0, 0, 0, 255, 128})
+	f.Add(uint8(1), uint8(1), uint8(0), false, true, []byte{9})                           // 1×1 NaN
+	f.Add(uint8(0), uint8(0), uint8(0), true, false, []byte{0})                           // empty system
+	f.Add(uint8(5), uint8(1), uint8(0), true, false, []byte{5, 12, 6, 2, 0, 13, 7, 1, 3}) // huge/subnormal mix
+	f.Add(uint8(6), uint8(2), uint8(2), true, true, []byte{0, 0, 1, 0, 0, 0, 2, 0})       // near-singular pattern
+
+	f.Fuzz(func(t *testing.T, n, nrhs, pad uint8, equil, check bool, data []byte) {
+		nn := int(n % 16)
+		rhs := int(nrhs % 4)
+		p := int(pad % 4)
+		a := fuzzMatrix(nn, nn, p, data)
+		b := fuzzMatrix(nn, rhs, p, append([]byte{n ^ nrhs}, data...))
+		opts := []la.Opt{}
+		if equil {
+			opts = append(opts, la.WithEquilibration())
+		}
+		if check {
+			opts = append(opts, la.WithCheck())
+		}
+		finite := true
+		for _, m := range []*la.Matrix[float64]{a, b} {
+			for j := 0; j < m.Cols && finite; j++ {
+				for i := 0; i < m.Rows; i++ {
+					if v := m.At(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+						finite = false
+						break
+					}
+				}
+			}
+		}
+		res, err := la.GESVX(a, b, opts...)
+		checkFuzzOutcome(t, err)
+		if res == nil || !finite {
+			return
+		}
+		if math.IsNaN(res.RCond) || res.RCond < 0 || res.RCond > 1 {
+			t.Fatalf("RCond = %v, want [0, 1]", res.RCond)
+		}
+		for j := range res.Berr {
+			if math.IsNaN(res.Berr[j]) && err == nil {
+				t.Fatalf("Berr[%d] = NaN on a successful solve", j)
+			}
+		}
+	})
+}
+
 // FuzzGELS does the same for the least-squares driver, which exercises the
 // QR/LQ path and both the over- and under-determined branches.
 func FuzzGELS(f *testing.F) {

@@ -196,7 +196,7 @@ func GEESX[T Scalar](a *Matrix[T], opts ...Opt) (result *SchurXResult[T], err er
 		out.SDim, out.RCondE, out.RCondV, info = res.SDim, res.RCondE, res.RCondV, res.Info
 	}
 	out.VS = vs
-	return out, erinfo(routine, info, "the QR algorithm failed to converge")
+	return out, erdiag(routine, info, "the QR algorithm failed to converge", DiagNotConverged)
 }
 
 func selC(o options) func(complex128) bool {
@@ -274,5 +274,5 @@ func GEEVX[T Scalar](a *Matrix[T], opts ...Opt) (result *EigenXResult[T], err er
 		out.ILo, out.IHi, out.Scale, out.ABNrm = res.ILo, res.IHi, res.Scale, res.ABNrm
 		out.RCondE, out.RCondV, info = res.RCondE, res.RCondV, res.Info
 	}
-	return out, erinfo(routine, info, "the QR algorithm failed to converge")
+	return out, erdiag(routine, info, "the QR algorithm failed to converge", DiagNotConverged)
 }

@@ -43,6 +43,7 @@
 package la
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -156,11 +157,94 @@ func (m *Matrix[T]) Col(j int) []T { return m.Data[j*m.Stride : j*m.Stride+m.Row
 // recovery guard at the API boundary carry the out-of-band Info value
 // InfoPanic and, when the fault was captured on a worker goroutine, the
 // worker's stack trace in Stack.
+//
+// Diag classifies the failure beyond the raw INFO code (see Diagnosis);
+// when the diagnosis came from a condition estimate, RCond carries the
+// estimate and Equed which equilibration the driver had applied, so a
+// caller deciding whether to trust or reject a solution has the whole
+// conditioning story in the error value. errors.Is matches the sentinel
+// for the diagnosis: errors.Is(err, la.ErrSingularToWorkingPrecision).
 type Error struct {
 	Routine string
 	Info    int
 	Detail  string
-	Stack   []byte // worker stack for faults recovered from the parallel engine
+	Diag    Diagnosis // classified failure cause (DiagNone when unclassified)
+	RCond   float64   // reciprocal condition estimate, when Diag derives from one
+	Equed   byte      // equilibration applied before the diagnosis ('N' if none, 0 if n/a)
+	Stack   []byte    // worker stack for faults recovered from the parallel engine
+}
+
+// Diagnosis classifies a driver's numerical failure so callers can branch
+// on the cause without decoding routine-specific INFO conventions. The
+// taxonomy (documented in DESIGN.md §6) spans every solver family:
+type Diagnosis int
+
+const (
+	// DiagNone: no classification — argument errors and routines that
+	// predate the taxonomy report the raw INFO code only.
+	DiagNone Diagnosis = iota
+	// DiagSingular: a factor is exactly singular (U(i,i) = 0, D(i,i) = 0);
+	// no solution was computed.
+	DiagSingular
+	// DiagSingularToWorkingPrecision: the factorization succeeded but the
+	// condition estimate landed below machine epsilon — the matrix is
+	// singular to working precision, and the computed solution and error
+	// bounds (which are still returned) may be meaningless. RCond holds
+	// the estimate.
+	DiagSingularToWorkingPrecision
+	// DiagNotPositiveDefinite: a Cholesky-family driver found a leading
+	// minor that is not positive definite.
+	DiagNotPositiveDefinite
+	// DiagNotConverged: an iterative eigen/SVD/Schur computation exceeded
+	// its iteration budget.
+	DiagNotConverged
+	// DiagContainedFault: the error is a panic contained at the API
+	// boundary (Info == InfoPanic), not a numerical report.
+	DiagContainedFault
+)
+
+// String names the diagnosis for logs and error text.
+func (d Diagnosis) String() string {
+	switch d {
+	case DiagSingular:
+		return "singular"
+	case DiagSingularToWorkingPrecision:
+		return "singular to working precision"
+	case DiagNotPositiveDefinite:
+		return "not positive definite"
+	case DiagNotConverged:
+		return "did not converge"
+	case DiagContainedFault:
+		return "contained fault"
+	}
+	return "unclassified"
+}
+
+// Sentinel errors for errors.Is matching against an *Error's diagnosis.
+var (
+	ErrSingular                   = errors.New("la: matrix is exactly singular")
+	ErrSingularToWorkingPrecision = errors.New("la: matrix is singular to working precision")
+	ErrNotPositiveDefinite        = errors.New("la: matrix is not positive definite")
+	ErrNotConverged               = errors.New("la: iteration did not converge")
+	ErrContainedFault             = errors.New("la: internal fault contained")
+)
+
+// Is reports whether target is the sentinel for this error's diagnosis,
+// enabling errors.Is(err, la.ErrSingularToWorkingPrecision) and friends.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrSingular:
+		return e.Diag == DiagSingular
+	case ErrSingularToWorkingPrecision:
+		return e.Diag == DiagSingularToWorkingPrecision
+	case ErrNotPositiveDefinite:
+		return e.Diag == DiagNotPositiveDefinite
+	case ErrNotConverged:
+		return e.Diag == DiagNotConverged
+	case ErrContainedFault:
+		return e.Diag == DiagContainedFault || e.Info == InfoPanic
+	}
+	return false
 }
 
 // InfoPanic is the out-of-band INFO value reported when a driver's error was
@@ -192,6 +276,41 @@ func erinfo(routine string, info int, detail string) error {
 		return nil
 	}
 	return &Error{Routine: routine, Info: info, Detail: detail}
+}
+
+// erdiag is erinfo with a diagnosis classifying the failure; diag is only
+// attached to positive (numerical) INFO codes.
+func erdiag(routine string, info int, detail string, diag Diagnosis) error {
+	if info == 0 {
+		return nil
+	}
+	e := &Error{Routine: routine, Info: info, Detail: detail}
+	if info > 0 {
+		e.Diag = diag
+	}
+	return e
+}
+
+// erexpert builds the error return of an n×n expert driver: INFO = n+1 is
+// the singular-to-working-precision diagnosis carrying the rcond estimate
+// and the applied equilibration; 0 < INFO ≤ n is the hard factorization
+// failure described by singDetail/singDiag.
+func erexpert(routine string, info, n int, rcond float64, equed byte, singDetail string, singDiag Diagnosis) error {
+	if info == 0 {
+		return nil
+	}
+	if info == n+1 {
+		return &Error{
+			Routine: routine,
+			Info:    info,
+			Detail: fmt.Sprintf("matrix is singular to working precision (RCOND = %.3e below machine epsilon)",
+				rcond),
+			Diag:  DiagSingularToWorkingPrecision,
+			RCond: rcond,
+			Equed: equed,
+		}
+	}
+	return erdiag(routine, info, singDetail, singDiag)
 }
 
 // Must panics with the paper's termination message when err is non-nil —

@@ -29,11 +29,11 @@ func GESV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	ipiv = make([]int, n)
 	if o.mixed {
 		if _, info, ok := mixedGesv(a, b, ipiv); ok {
-			return ipiv, erinfo(routine, info, "matrix is exactly singular")
+			return ipiv, erdiag(routine, info, "matrix is exactly singular", DiagSingular)
 		}
 	}
 	info := lapack.Gesv(n, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
-	return ipiv, erinfo(routine, info, "matrix is exactly singular")
+	return ipiv, erdiag(routine, info, "matrix is exactly singular", DiagSingular)
 }
 
 // GESV1 is LA_GESV with a vector right-hand side (the paper's
@@ -58,11 +58,11 @@ func GESV1[T Scalar](a *Matrix[T], b []T, opts ...Opt) (ipiv []int, err error) {
 	if o.mixed {
 		bm := &Matrix[T]{Rows: n, Cols: 1, Stride: max(1, n), Data: b}
 		if _, info, ok := mixedGesv(a, bm, ipiv); ok {
-			return ipiv, erinfo(routine, info, "matrix is exactly singular")
+			return ipiv, erdiag(routine, info, "matrix is exactly singular", DiagSingular)
 		}
 	}
 	info := lapack.Gesv(n, 1, a.Data, a.Stride, ipiv, b, max(1, n))
-	return ipiv, erinfo(routine, info, "matrix is exactly singular")
+	return ipiv, erdiag(routine, info, "matrix is exactly singular", DiagSingular)
 }
 
 // GBSV solves a general band system of linear equations A·X = B (the
@@ -99,7 +99,7 @@ func GBSV[T Scalar](ab, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	}
 	ipiv = make([]int, n)
 	info := lapack.Gbsv(n, kl, ku, b.Cols, ab.Data, ab.Stride, ipiv, b.Data, b.Stride)
-	return ipiv, erinfo(routine, info, "matrix is exactly singular")
+	return ipiv, erdiag(routine, info, "matrix is exactly singular", DiagSingular)
 }
 
 // GBSV1 is LA_GBSV with a vector right-hand side.
@@ -134,7 +134,7 @@ func GTSV[T Scalar](dl, d, du []T, b *Matrix[T], opts ...Opt) (err error) {
 		}
 	}
 	info := lapack.Gtsv(n, b.Cols, dl, d, du, b.Data, b.Stride)
-	return erinfo(routine, info, "matrix is exactly singular")
+	return erdiag(routine, info, "matrix is exactly singular", DiagSingular)
 }
 
 // GTSV1 is LA_GTSV with a vector right-hand side.
@@ -165,11 +165,11 @@ func POSV[T Scalar](a, b *Matrix[T], opts ...Opt) (err error) {
 	}
 	if o.mixed {
 		if _, info, ok := mixedPosv(o.uplo, a, b); ok {
-			return erinfo(routine, info, "matrix is not positive definite")
+			return erdiag(routine, info, "matrix is not positive definite", DiagNotPositiveDefinite)
 		}
 	}
 	info := lapack.Posv(o.uplo, a.Rows, b.Cols, a.Data, a.Stride, b.Data, b.Stride)
-	return erinfo(routine, info, "matrix is not positive definite")
+	return erdiag(routine, info, "matrix is not positive definite", DiagNotPositiveDefinite)
 }
 
 // POSV1 is LA_POSV with a vector right-hand side.
@@ -199,7 +199,7 @@ func PPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (err error) {
 		}
 	}
 	info := lapack.Ppsv(o.uplo, n, b.Cols, ap, b.Data, b.Stride)
-	return erinfo(routine, info, "matrix is not positive definite")
+	return erdiag(routine, info, "matrix is not positive definite", DiagNotPositiveDefinite)
 }
 
 // PPSV1 is LA_PPSV with a vector right-hand side.
@@ -243,7 +243,7 @@ func PBSV[T Scalar](ab, b *Matrix[T], opts ...Opt) (err error) {
 		}
 	}
 	info := lapack.Pbsv(o.uplo, n, kd, b.Cols, ab.Data, ab.Stride, b.Data, b.Stride)
-	return erinfo(routine, info, "matrix is not positive definite")
+	return erdiag(routine, info, "matrix is not positive definite", DiagNotPositiveDefinite)
 }
 
 // PBSV1 is LA_PBSV with a vector right-hand side.
@@ -276,7 +276,7 @@ func PTSV[T Scalar](d []float64, e []T, b *Matrix[T], opts ...Opt) (err error) {
 		}
 	}
 	info := lapack.Ptsv(n, b.Cols, d, e, b.Data, b.Stride)
-	return erinfo(routine, info, "matrix is not positive definite")
+	return erdiag(routine, info, "matrix is not positive definite", DiagNotPositiveDefinite)
 }
 
 // PTSV1 is LA_PTSV with a vector right-hand side.
@@ -307,7 +307,7 @@ func SYSV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	}
 	ipiv = make([]int, a.Rows)
 	info := lapack.Sysv(o.uplo, a.Rows, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
-	return ipiv, erinfo(routine, info, "D(i,i) is exactly zero; the factorization is singular")
+	return ipiv, erdiag(routine, info, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
 
 // SYSV1 is LA_SYSV with a vector right-hand side.
@@ -335,7 +335,7 @@ func HESV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	}
 	ipiv = make([]int, a.Rows)
 	info := lapack.Hesv(o.uplo, a.Rows, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
-	return ipiv, erinfo(routine, info, "D(i,i) is exactly zero; the factorization is singular")
+	return ipiv, erdiag(routine, info, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
 
 // HESV1 is LA_HESV with a vector right-hand side.
@@ -364,7 +364,7 @@ func SPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	}
 	ipiv = make([]int, n)
 	info := lapack.Spsv(o.uplo, n, b.Cols, ap, ipiv, b.Data, b.Stride)
-	return ipiv, erinfo(routine, info, "D(i,i) is exactly zero; the factorization is singular")
+	return ipiv, erdiag(routine, info, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
 
 // SPSV1 is LA_SPSV with a vector right-hand side.
@@ -393,7 +393,7 @@ func HPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	}
 	ipiv = make([]int, n)
 	info := lapack.Hpsv(o.uplo, n, b.Cols, ap, ipiv, b.Data, b.Stride)
-	return ipiv, erinfo(routine, info, "D(i,i) is exactly zero; the factorization is singular")
+	return ipiv, erdiag(routine, info, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
 
 // HPSV1 is LA_HPSV with a vector right-hand side.

@@ -86,7 +86,7 @@ func GELSS[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, s []float64, err e
 	}
 	s = make([]float64, min(a.Rows, a.Cols))
 	rank, info := lapack.Gelss(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
-	return rank, s, erinfo(routine, info, "the SVD iteration failed to converge")
+	return rank, s, erdiag(routine, info, "the SVD iteration failed to converge", DiagNotConverged)
 }
 
 // GGLSE solves the linear equality-constrained least squares problem

@@ -169,7 +169,7 @@ func BatchGesvMixed[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ipivs [][]int, 
 			iter = 0
 		}
 		iters[i] = iter
-		errs[i] = erinfo(routine, info, "matrix is exactly singular")
+		errs[i] = erdiag(routine, info, "matrix is exactly singular", DiagSingular)
 	}, func(i int, pe *blas.PanicError) {
 		errs[i] = batchItemError(routine, pe)
 	})

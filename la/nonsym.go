@@ -99,7 +99,7 @@ func GEES[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vs *Matrix[T], s
 		}
 		sdim, info = lapack.GeesC[complex128](true, sel, n, data, a.Stride, w, vsd, ldvs)
 	}
-	return w, vs, sdim, erinfo(routine, info, "the QR algorithm failed to converge")
+	return w, vs, sdim, erdiag(routine, info, "the QR algorithm failed to converge", DiagNotConverged)
 }
 
 // GEEV computes the eigenvalues and, with WithLeft/WithRight, the left
@@ -160,7 +160,7 @@ func GEEV[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vl, vr *Matrix[T
 		vrd, lvr := matData[complex128](vr)
 		info = lapack.GeevC[complex128](o.left, o.right, n, data, a.Stride, w, vld, lvl, vrd, lvr)
 	}
-	return w, vl, vr, erinfo(routine, info, "the QR algorithm failed to converge")
+	return w, vl, vr, erdiag(routine, info, "the QR algorithm failed to converge", DiagNotConverged)
 }
 
 // matData extracts the typed backing slice and stride of an optional
@@ -218,5 +218,5 @@ func GESVD[T Scalar](a *Matrix[T], opts ...Opt) (result *SVDResult[T], err error
 	}
 	info := lapack.Gesvd(o.jobU, o.jobVT, m, n, a.Data, a.Stride, res.S, udata, ldu, vtdata, ldvt)
 	res.U, res.VT = u, vt
-	return res, erinfo(routine, info, "the SVD iteration failed to converge")
+	return res, erdiag(routine, info, "the SVD iteration failed to converge", DiagNotConverged)
 }
