@@ -34,6 +34,7 @@ fuzzsmoke:
 	$(GO) test ./la/ -fuzz='^FuzzGESV$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./la/ -fuzz='^FuzzGESVX$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./la/ -fuzz='^FuzzGELS$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./la/ -fuzz='^FuzzGELSD$$' -fuzztime=$(FUZZTIME)
 
 # Open-ended fuzzing session for one target: make fuzz TARGET=FuzzGESV
 TARGET ?= FuzzGESV
@@ -48,6 +49,7 @@ benchsmoke:
 	$(GO) run ./cmd/la90bench -batch -maxbatch 64 -reps 1 -out /tmp/BENCH_batch_smoke.json
 	$(GO) run ./cmd/la90bench -mixed -maxn 256 -maxbatch 16 -reps 1 -out /tmp/BENCH_mixed_smoke.json
 	$(GO) run ./cmd/la90bench -cond -maxn 256 -reps 1 -out /tmp/BENCH_cond_smoke.json
+	$(GO) run ./cmd/la90bench -svd -maxn 256 -reps 1 -out /tmp/BENCH_svd_smoke.json
 
 # Quick performance snapshot (see README "Performance" for the full story).
 bench:

@@ -13,6 +13,7 @@
 //	la90bench -batch               # batched drivers & small-matrix regime -> BENCH_batch.json
 //	la90bench -mixed               # mixed-precision vs f64 LA_GESV -> BENCH_mixed.json
 //	la90bench -cond                # expert-driver condition machinery vs plain solve -> BENCH_cond.json
+//	la90bench -svd                 # divide-and-conquer SVD vs QR iteration -> BENCH_svd.json
 package main
 
 import (
@@ -34,6 +35,7 @@ var (
 	batchSw  = flag.Bool("batch", false, "benchmark the batched drivers and the pack-free small-matrix engine")
 	mixedSw  = flag.Bool("mixed", false, "benchmark the mixed-precision LA_GESV path against plain float64")
 	condSw   = flag.Bool("cond", false, "benchmark the expert-driver condition machinery (LA_GESVX) against the plain solve")
+	svdSw    = flag.Bool("svd", false, "benchmark the divide-and-conquer SVD against the QR-iteration path")
 	maxbatch = flag.Int("maxbatch", 1024, "largest batch size -batch may bench (smoke runs use a small cap)")
 	outFlag  = flag.String("out", "", "output path (default BENCH_blas.json for -blas, BENCH_lapack.json for -lapack, BENCH_reduce.json for -reduce)")
 	nFlag    = flag.Int("n", 500, "matrix order")
@@ -57,6 +59,8 @@ func main() {
 		runMixed()
 	case *condSw:
 		runCond()
+	case *svdSw:
+		runSvd()
 	case *sweep:
 		runSweep()
 	default:

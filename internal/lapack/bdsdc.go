@@ -1,0 +1,371 @@
+package lapack
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// Bdsdc computes the singular value decomposition B = U·Σ·Vᵀ of an n×n
+// real upper bidiagonal matrix by Cuppen-style divide & conquer (xBDSDC
+// semantics): the bidiagonal is torn at its middle superdiagonal entry,
+// the halves are solved recursively, and the two singular bases are merged
+// through a rank-one secular equation with deflation. d (n) holds the
+// diagonal and e (n-1) the superdiagonal; on success d holds the singular
+// values in descending order. u (n×n) and vt (n×n) are overwritten with
+// the left and right singular vector matrices — both are accumulated in
+// float64 regardless of the driver's element type, so Gesdd can apply them
+// to the Orgbr bases with one GEMM each. Returns non-zero if the Bdsqr
+// fallback fails on a leaf block.
+//
+// The merge reuses the Stedc secular machinery (dc.go): with the extra
+// column folded away, the merged matrix M satisfies MᵀM = D² + z·zᵀ, so
+// the squared singular values are the roots of the same secular equation
+// solveSecular bisects for the eigensolver, with ρ = 1.
+// bdsdcCutoff is the leaf size of the bidiagonal divide & conquer — a
+// variable only so the tests can force deep recursions on tiny matrices.
+var bdsdcCutoff = dcCutoff
+
+func Bdsdc(n int, d, e []float64, u []float64, ldu int, vt []float64, ldvt int) int {
+	if n == 0 {
+		return 0
+	}
+	Laset('A', n, n, 0.0, 1.0, u, ldu)
+	Laset('A', n, n, 0.0, 1.0, vt, ldvt)
+	return bdsdcRec(n, 0, d, e, u, ldu, vt, ldvt)
+}
+
+// bdsdcRec is the recursive kernel. The subproblem is an n×(n+sqre) upper
+// bidiagonal block (LAPACK's SQRE convention: sqre=1 means one extra
+// column whose only entry is e[n-1]). u is the n×n left and vt the
+// (n+sqre)×(n+sqre) right accumulation, both identity blocks on entry.
+func bdsdcRec(n, sqre int, d, e []float64, u []float64, ldu int, vt []float64, ldvt int) int {
+	if n <= bdsdcCutoff || n < 3 {
+		// n ≤ 2 must always be a leaf: the tear needs e[n/2], which a
+		// square 2×2 block does not have.
+		return bdsdcLeaf(n, sqre, d, e, u, ldu, vt, ldvt)
+	}
+	// Tear at row nl: B = [B1, α·e_nl + β·e_{nl+1}, B2] with B1 the leading
+	// nl×(nl+1) block (its own extra column) and B2 the trailing
+	// nr×(nr+sqre) block.
+	nl := n / 2
+	nr := n - nl - 1
+	alpha := d[nl]
+	beta := e[nl]
+	if info := bdsdcRec(nl, 1, d[:nl], e[:nl], u, ldu, vt, ldvt); info != 0 {
+		return info
+	}
+	off := nl + 1
+	if info := bdsdcRec(nr, sqre, d[off:], e[off:], u[off+off*ldu:], ldu, vt[off+off*ldvt:], ldvt); info != 0 {
+		return info
+	}
+	return bdsdcMerge(n, sqre, nl, alpha, beta, d, u, ldu, vt, ldvt)
+}
+
+// bdsdcLeaf solves a subproblem at or below the crossover with Bdsqr.
+// When the block carries an extra column (sqre=1), a chain of right plane
+// rotations against the diagonal chases e[n-1] off the matrix first, so
+// the iteration sees a square bidiagonal; the rotations go straight into
+// the vt accumulation and the dead column's vt row becomes a right null
+// vector of the block.
+func bdsdcLeaf(n, sqre int, d, e []float64, u []float64, ldu int, vt []float64, ldvt int) int {
+	m := n + sqre
+	if sqre == 1 {
+		f := e[n-1]
+		for i := n - 1; i >= 0 && f != 0; i-- {
+			c, s, r := Lartg(d[i], f)
+			d[i] = r
+			for col := 0; col < m; col++ {
+				x, y := vt[i+col*ldvt], vt[n+col*ldvt]
+				vt[i+col*ldvt] = c*x + s*y
+				vt[n+col*ldvt] = -s*x + c*y
+			}
+			if i > 0 {
+				f = -s * e[i-1]
+				e[i-1] = c * e[i-1]
+			}
+		}
+	}
+	var ew []float64
+	if n > 1 {
+		ew = e[:n-1]
+	}
+	return Bdsqr(n, d, ew, vt, ldvt, m, u, ldu, n)
+}
+
+// bdsdcMerge combines the two children's singular decompositions. In the
+// children's bases the block is U'·M·VT' where M is diagonal (the child
+// singular values, with column nl empty — its value was consumed as α)
+// plus one dense row at index nl:
+//
+//	z[c] = α·V1[nl, c] (c ≤ nl)   z[c] = β·V2[0, c−nl−1] (c > nl)
+//
+// After folding the sqre=1 extra column into column nl with one right
+// rotation, MᵀM = D² + z·zᵀ: the singular values come from the secular
+// equation on the squared values, the right vectors are its eigenvectors,
+// and the left vectors follow from M·v = σ·u. Deflation (negligible z
+// components, close singular values) shrinks the secular set; the
+// surviving k-dimensional bases are applied to the gathered u columns and
+// vt rows with one GEMM each — the Level-3 conversion this routine exists
+// for.
+func bdsdcMerge(n, sqre, nl int, alpha, beta float64, d []float64, u []float64, ldu int, vt []float64, ldvt int) int {
+	m := n + sqre
+	eps := core.EpsDouble
+	// Assemble the dense row in the children's right bases. V[i,j] = VT[j,i]
+	// in real arithmetic, so the needed V rows are columns nl and nl+1 of
+	// the accumulated vt.
+	z := make([]float64, m)
+	for c := 0; c <= nl; c++ {
+		z[c] = alpha * vt[c+nl*ldvt]
+	}
+	for c := nl + 1; c < m; c++ {
+		z[c] = beta * vt[c+(nl+1)*ldvt]
+	}
+	// Fold the extra column: a right rotation in the (nl, m-1) plane zeroes
+	// z[m-1]. Column m-1 is then identically zero; its vt row is a right
+	// null vector of the block and stays out of the active problem.
+	if sqre == 1 {
+		r := math.Hypot(z[nl], z[m-1])
+		if r > 0 {
+			c0 := z[nl] / r
+			s0 := z[m-1] / r
+			z[nl] = r
+			z[m-1] = 0
+			for col := 0; col < m; col++ {
+				x, y := vt[nl+col*ldvt], vt[m-1+col*ldvt]
+				vt[nl+col*ldvt] = c0*x + s0*y
+				vt[m-1+col*ldvt] = -s0*x + c0*y
+			}
+		}
+	}
+	// Sort the n active columns by diagonal value ascending. The z-column
+	// (original index nl) has no diagonal; key it below every d ≥ 0 so it
+	// always lands at compressed index 0.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	key := func(c int) float64 {
+		if c == nl {
+			return -1
+		}
+		return d[c]
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return key(perm[a]) < key(perm[b]) })
+	ds := make([]float64, n)
+	zs := make([]float64, n)
+	for j, p := range perm {
+		if p != nl {
+			ds[j] = d[p]
+		}
+		zs[j] = z[p]
+	}
+	// Deflation threshold, as in dcMerge / xLASD2.
+	dmax, zmax := 0.0, 0.0
+	for j := 0; j < n; j++ {
+		dmax = math.Max(dmax, math.Abs(ds[j]))
+		zmax = math.Max(zmax, math.Abs(zs[j]))
+	}
+	tol := 8 * eps * math.Max(dmax, zmax)
+	// The z-column must stay in the secular set (its diagonal value 0 is
+	// artificial); if its z component is negligible, bump it to ±tol — an
+	// O(eps·‖B‖) backward perturbation, the xLASD2 safeguard.
+	if math.Abs(zs[0]) <= tol && tol > 0 {
+		zs[0] = core.Sign(tol, zs[0])
+	}
+	deflated := make([]bool, n)
+	// Rule 1: negligible z component — the column is already singular-pair
+	// (d_j, e_j-vectors) exact.
+	for j := 1; j < n; j++ {
+		if math.Abs(zs[j]) <= tol {
+			deflated[j] = true
+		}
+	}
+	// Rule 2: nearly equal diagonal values — rotate one z component away.
+	last := -1
+	for j := 0; j < n; j++ {
+		if deflated[j] {
+			continue
+		}
+		if last >= 0 && math.Abs(ds[j]-ds[last]) <= tol {
+			if last == 0 {
+				// Close to the z-column's artificial zero means ds[j] ≤ tol:
+				// a right-only rotation folds z_j into the z-column; the
+				// s·d_j fill it creates is ≤ tol and is dropped.
+				r := math.Hypot(zs[0], zs[j])
+				if r > 0 {
+					c := zs[0] / r
+					s := zs[j] / r
+					zs[0] = r
+					zs[j] = 0
+					rj := perm[j]
+					for col := 0; col < m; col++ {
+						x, y := vt[nl+col*ldvt], vt[rj+col*ldvt]
+						vt[nl+col*ldvt] = c*x + s*y
+						vt[rj+col*ldvt] = -s*x + c*y
+					}
+					dj := c * ds[j]
+					if dj < 0 {
+						dj = -dj
+						for col := 0; col < m; col++ {
+							vt[rj+col*ldvt] = -vt[rj+col*ldvt]
+						}
+					}
+					ds[j] = dj
+				}
+				deflated[j] = true
+				continue // the z-column remains the comparison anchor
+			}
+			r := math.Hypot(zs[last], zs[j])
+			if r > 0 && math.Abs((ds[j]-ds[last])*zs[last]*zs[j])/(r*r) <= tol {
+				c := zs[j] / r
+				s := zs[last] / r
+				// Two-sided rotation G on columns (last, j): the right side
+				// goes into the vt rows, the left side into the u columns;
+				// the off-diagonal coupling c·s·(d_last − d_j) ≤ tol is
+				// dropped and the diagonal pair takes the c²/s² mix.
+				rl, rj := perm[last], perm[j]
+				for col := 0; col < m; col++ {
+					x, y := vt[rl+col*ldvt], vt[rj+col*ldvt]
+					vt[rl+col*ldvt] = c*x - s*y
+					vt[rj+col*ldvt] = s*x + c*y
+				}
+				for row := 0; row < n; row++ {
+					x, y := u[row+rl*ldu], u[row+rj*ldu]
+					u[row+rl*ldu] = c*x - s*y
+					u[row+rj*ldu] = s*x + c*y
+				}
+				dl, dj := ds[last], ds[j]
+				ds[last] = c*c*dl + s*s*dj
+				ds[j] = s*s*dl + c*c*dj
+				zs[j] = r
+				zs[last] = 0
+				deflated[last] = true
+			}
+			last = j
+		} else {
+			last = j
+		}
+	}
+	// Partition into the secular and deflated sets. Compressed index 0 (the
+	// z-column) is always secular.
+	var sec, defl []int
+	for j := 0; j < n; j++ {
+		if deflated[j] {
+			defl = append(defl, j)
+		} else {
+			sec = append(sec, j)
+		}
+	}
+	k := len(sec)
+	// Candidate singular triples, built in scratch so the final descending
+	// write-back never reads a slot it has already overwritten.
+	sig := make([]float64, n)
+	ub := blas.GetScratch[float64](n * n)
+	defer blas.PutScratch(ub)
+	vb := blas.GetScratch[float64](n * m)
+	defer blas.PutScratch(vb)
+	// Deflated pairs pass through: their u column and vt row are already
+	// singular vectors of the block.
+	for _, j := range defl {
+		sig[j] = ds[j]
+		p := perm[j]
+		copy(ub[j*n:j*n+n], u[p*ldu:p*ldu+n])
+		for col := 0; col < m; col++ {
+			vb[j+col*n] = vt[p+col*ldvt]
+		}
+	}
+	if k == 1 {
+		// Everything except the z-column deflated: the active matrix is the
+		// single column z₀·e_nl, so σ = |z₀| with the right vector already
+		// in place and the left vector ±e_nl (the sign keeps +σ).
+		j := sec[0]
+		sig[j] = math.Abs(zs[0])
+		sgn := 1.0
+		if zs[0] < 0 {
+			sgn = -1
+		}
+		for row := 0; row < n; row++ {
+			ub[j*n+row] = sgn * u[row+nl*ldu]
+		}
+		for col := 0; col < m; col++ {
+			vb[j+col*n] = vt[nl+col*ldvt]
+		}
+	} else if k > 0 {
+		// Secular solve on the squared values: MᵀM = D² + z·zᵀ, ρ = 1.
+		dd := make([]float64, k)
+		dsec := make([]float64, k)
+		zz := make([]float64, k)
+		for a, j := range sec {
+			dsec[a] = ds[j]
+			dd[a] = ds[j] * ds[j]
+			zz[a] = zs[j]
+		}
+		lams := make([]float64, k)
+		uh := make([]float64, k*k)
+		zhat, denom := solveSecularCore(k, 1.0, dd, zz, lams, uh)
+		// Left vectors from M·v = σ·u: component j is d_j·ẑ_j/(d_j² − σ²),
+		// and the z-row component (compressed index 0, where d is 0) is −1 —
+		// the value Σ ẑ²/(d² − σ²) takes at a secular root. Normalizing the
+		// positive multiple of M·v keeps U·Σ·Vᵀ reconstructing with +σ.
+		lh := make([]float64, k*k)
+		for i := 0; i < k; i++ {
+			nrm := 0.0
+			for a := 0; a < k; a++ {
+				v := -1.0
+				if a > 0 {
+					v = dsec[a] * zhat[a] / denom[a+i*k]
+				}
+				lh[a+i*k] = v
+				nrm += v * v
+			}
+			nrm = math.Sqrt(nrm)
+			for a := 0; a < k; a++ {
+				lh[a+i*k] /= nrm
+			}
+		}
+		// Gather the secular u columns and vt rows and apply the compressed
+		// bases with one GEMM each (the rotation-traffic → Level-3 move).
+		gu := blas.GetScratch[float64](n * k)
+		defer blas.PutScratch(gu)
+		gv := blas.GetScratch[float64](k * m)
+		defer blas.PutScratch(gv)
+		for a, j := range sec {
+			p := perm[j]
+			copy(gu[a*n:a*n+n], u[p*ldu:p*ldu+n])
+			for col := 0; col < m; col++ {
+				gv[a+col*k] = vt[p+col*ldvt]
+			}
+		}
+		unew := blas.GetScratch[float64](n * k)
+		defer blas.PutScratch(unew)
+		vnew := blas.GetScratch[float64](k * m)
+		defer blas.PutScratch(vnew)
+		blas.Gemm(NoTrans, NoTrans, n, k, k, 1.0, gu, n, lh, k, 0.0, unew, n)
+		blas.Gemm(ConjTrans, NoTrans, k, m, k, 1.0, uh, k, gv, k, 0.0, vnew, k)
+		for a, j := range sec {
+			sig[j] = math.Sqrt(math.Max(lams[a], 0))
+			copy(ub[j*n:j*n+n], unew[a*n:a*n+n])
+			for col := 0; col < m; col++ {
+				vb[j+col*n] = vnew[a+col*k]
+			}
+		}
+	}
+	// Final descending order, matching the Bdsqr convention the rest of the
+	// SVD stack expects.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sig[order[a]] > sig[order[b]] })
+	for i, p := range order {
+		d[i] = sig[p]
+		copy(u[i*ldu:i*ldu+n], ub[p*n:p*n+n])
+		for col := 0; col < m; col++ {
+			vt[i+col*ldvt] = vb[p+col*n]
+		}
+	}
+	return 0
+}

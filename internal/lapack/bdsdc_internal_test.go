@@ -1,0 +1,54 @@
+package lapack
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBdsdcDeepRecursion forces tiny leaf cutoffs so every merge path —
+// sqre=1 folds, z-column deflation, rule-2 rotations, multi-level
+// recursion — is exercised on matrices small enough to diagnose.
+func TestBdsdcDeepRecursion(t *testing.T) {
+	defer func(old int) { bdsdcCutoff = old }(bdsdcCutoff)
+	for _, cutoff := range []int{1, 2, 3, 5, 10} {
+		bdsdcCutoff = cutoff
+		for n := 1; n <= 45; n++ {
+			rng := NewRng([4]int{n, 11, 12, 13})
+			d := make([]float64, n)
+			e := make([]float64, max(0, n-1))
+			Larnv(2, rng, n, d)
+			Larnv(2, rng, max(0, n-1), e)
+			dref := append([]float64(nil), d...)
+			eref := append([]float64(nil), e...)
+			if info := Bdsqr[float64](n, dref, eref, nil, 0, 0, nil, 0, 0); info != 0 {
+				t.Fatalf("bdsqr info=%d", info)
+			}
+			u := make([]float64, n*n)
+			vt := make([]float64, n*n)
+			if info := Bdsdc(n, d, e, u, n, vt, n); info != 0 {
+				t.Fatalf("cutoff=%d n=%d: bdsdc info=%d", cutoff, n, info)
+			}
+			for i := 0; i < n; i++ {
+				if diff := math.Abs(d[i] - dref[i]); diff > 1e-12*math.Max(1, dref[0]) {
+					t.Fatalf("cutoff=%d n=%d s[%d]: dc=%v qr=%v", cutoff, n, i, d[i], dref[i])
+				}
+			}
+			for _, q := range [][]float64{u, vt} {
+				for i := 0; i < n; i++ {
+					for j := i; j < n; j++ {
+						s := 0.0
+						for r := 0; r < n; r++ {
+							s += q[r+i*n] * q[r+j*n]
+						}
+						if i == j {
+							s -= 1
+						}
+						if math.Abs(s) > 1e-12 {
+							t.Fatalf("cutoff=%d n=%d: gram[%d,%d]=%v", cutoff, n, i, j, s)
+						}
+					}
+				}
+			}
+		}
+	}
+}

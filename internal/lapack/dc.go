@@ -229,10 +229,19 @@ func dcMerge(n, m int, rho float64, d, zv []float64, q []float64, ldq int) int {
 // of the dⱼ and never suffer catastrophic cancellation or exact pole hits
 // (the essential idea of xLAED4).
 func solveSecular(k int, rho float64, d, z []float64, lam []float64, u []float64) {
+	solveSecularCore(k, rho, d, z, lam, u)
+}
+
+// solveSecularCore is solveSecular returning its internal stabilized
+// quantities: the Gu–Eisenstat recomputed ẑ and the pole-difference
+// denominators denom[j+i*k] = dⱼ − λᵢ. Bdsdc needs both to build the left
+// singular vectors of its rank-one merge (whose components are
+// dⱼ·ẑⱼ/(dⱼ² − σᵢ²) on top of the right-vector formula).
+func solveSecularCore(k int, rho float64, d, z []float64, lam []float64, u []float64) (zhatOut, denomOut []float64) {
 	if k == 1 {
 		lam[0] = d[0] + rho*z[0]*z[0]
 		u[0] = 1
-		return
+		return []float64{z[0]}, []float64{d[0] - lam[0]}
 	}
 	zz := 0.0
 	for j := 0; j < k; j++ {
@@ -323,6 +332,7 @@ func solveSecular(k int, rho float64, d, z []float64, lam []float64, u []float64
 			u[j+i*k] /= nrm
 		}
 	}
+	return zhat, denom
 }
 
 // Syevd computes all eigenvalues and, optionally, eigenvectors of a

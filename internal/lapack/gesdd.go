@@ -1,0 +1,278 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// svdQRCross reports whether the tall QR-first preprocessing pays off: for
+// m ≥ 5n/3 (xGESDD path 1, same crossover as xGESVD's MNTHR) a blocked QR
+// plus an n×n SVD plus one GEMM beats bidiagonalizing the full m×n matrix.
+func svdQRCross(m, n int) bool {
+	return m > n && 3*m >= 5*n
+}
+
+// svdDriver is the common shape of the square/tall SVD kernels that
+// svdTallQRFirst can delegate to (Gesdd or Gesvd).
+type svdDriver[T core.Scalar] func(jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int
+
+// svdTallQRFirst implements xGESDD path 1 for m ≥ 5n/3: factor A = Q·R
+// with a blocked Geqrf, SVD the n×n R through inner, and recover
+// U = Q·U_R with one GEMM. Vᴴ comes out of the inner drive directly. The
+// wide mirror (LQ-first) is reached through the callers' conjugate
+// transpose path.
+func svdTallQRFirst[T core.Scalar](inner svdDriver[T], jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
+	one := core.FromFloat[T](1)
+	zero := core.FromFloat[T](0)
+	tau := make([]T, n)
+	Geqrf(m, n, a, lda, tau)
+	r := blas.GetScratch[T](n * n)
+	defer blas.PutScratch(r)
+	Laset('A', n, n, 0, 0, r, n)
+	Lacpy('U', n, n, a, lda, r, n)
+	jobuR := SVDNone
+	var ur []T
+	var ldur int
+	if jobu != SVDNone {
+		jobuR = SVDSome
+		ur = blas.GetScratch[T](n * n)
+		defer blas.PutScratch(ur)
+		ldur = n
+	}
+	if info := inner(jobuR, jobvt, n, n, r, n, s, ur, ldur, vt, ldvt); info != 0 {
+		return info
+	}
+	if jobu != SVDNone {
+		ucols := n
+		if jobu == SVDAll {
+			ucols = m
+		}
+		Lacpy('L', m, n, a, lda, u, ldu)
+		Orgqr(m, ucols, n, u, ldu, tau)
+		// First n columns become Q(:, 0:n)·U_R; for jobu 'A' the trailing
+		// m−n columns of Q are already the remaining left vectors.
+		tmp := blas.GetScratch[T](m * n)
+		defer blas.PutScratch(tmp)
+		blas.Gemm(NoTrans, NoTrans, m, n, n, one, u, ldu, ur, n, zero, tmp, m)
+		Lacpy('A', m, n, tmp, m, u, ldu)
+	}
+	return 0
+}
+
+// Gesdd computes the singular value decomposition A = U·Σ·Vᴴ by bidiagonal
+// divide & conquer (the xGESDD driver). The interface matches Gesvd: s
+// receives the min(m,n) singular values in descending order and jobu/jobvt
+// select how much of U (m×m or m×min(m,n)) and Vᴴ (n×n or min(m,n)×n) is
+// formed. a is destroyed. Returns non-zero if the D&C kernel fails.
+//
+// The drive differs from Gesvd in where the flops go: the bidiagonal
+// singular vectors are accumulated in float64 by Bdsdc and applied to the
+// Orgbr bases with one GEMM each, instead of Bdsqr's O(mn²) Level-1
+// rotation traffic. Tall matrices with m ≥ 5n/3 take a blocked Geqrf first
+// and run the SVD on the n×n R (U = Q·U_R with one more GEMM); wide
+// matrices transpose into the tall path at the symmetric n ≥ 5m/3
+// crossover. When neither U nor Vᴴ is wanted the values-only Bdsqr
+// iteration is cheaper than D&C and is used directly.
+func Gesdd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
+	mn := min(m, n)
+	if mn == 0 {
+		return 0
+	}
+	// Scale A into [smlnum, bignum] first (xGESDD's xLASCL step). The D&C
+	// secular solve works on squared singular values, so entries anywhere
+	// near sqrt(overflow) would take the recursion to Inf even though the
+	// true σ are representable; symmetrically, subnormal-range entries lose
+	// their low bits when squared. Singular vectors are scale-invariant;
+	// the σ are multiplied back on the way out (overflowing to Inf only
+	// when the true value does).
+	if anrm := Lange(MaxAbs, m, n, a, lda); anrm > 0 && !math.IsInf(anrm, 0) && !math.IsNaN(anrm) {
+		eps := core.Eps[T]()
+		smlnum := math.Sqrt(core.SafeMin[T]()) / eps
+		bignum := 1 / smlnum
+		var target float64
+		if anrm < smlnum {
+			target = smlnum
+		} else if anrm > bignum {
+			target = bignum
+		}
+		if target != 0 {
+			Lascl(MatGeneral, anrm, target, m, n, a, lda)
+			info := gesddScaled(jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
+			if info == 0 {
+				scl := anrm / target
+				for i := 0; i < mn; i++ {
+					s[i] *= scl
+				}
+			}
+			return info
+		}
+	}
+	return gesddScaled(jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
+}
+
+// gesddScaled is the Gesdd drive proper, entered once the input is known to
+// sit in the safely-squarable range.
+func gesddScaled[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
+	mn := min(m, n)
+	one := core.FromFloat[T](1)
+	zero := core.FromFloat[T](0)
+	if m < n {
+		// Wide case: Aᴴ = V·Σ·Uᴴ, so run the tall path on the blocked
+		// conjugate transpose and swap the roles of U and Vᴴ.
+		ah := blas.GetScratch[T](n * m)
+		defer blas.PutScratch(ah)
+		blas.ConjTransposeTo(m, n, a, lda, ah, n)
+		var up, vtp []T
+		var ldup, ldvtp int
+		if jobvt != SVDNone {
+			cols := mn
+			if jobvt == SVDAll {
+				cols = n
+			}
+			up = blas.GetScratch[T](n * cols)
+			defer blas.PutScratch(up)
+			ldup = n
+		}
+		if jobu != SVDNone {
+			rows := mn
+			if jobu == SVDAll {
+				rows = m
+			}
+			vtp = blas.GetScratch[T](rows * m)
+			defer blas.PutScratch(vtp)
+			ldvtp = rows
+		}
+		info := Gesdd(jobvt, jobu, n, m, ah, n, s, up, ldup, vtp, ldvtp)
+		if jobu != SVDNone {
+			cols := mn
+			if jobu == SVDAll {
+				cols = m
+			}
+			// U of A = (V'ᴴ)ᴴ.
+			blas.ConjTransposeTo(cols, m, vtp, ldvtp, u, ldu)
+		}
+		if jobvt != SVDNone {
+			rows := mn
+			if jobvt == SVDAll {
+				rows = n
+			}
+			// Vᴴ of A = U'ᴴ.
+			blas.ConjTransposeTo(n, rows, up, ldup, vt, ldvt)
+		}
+		return info
+	}
+	if jobu == SVDNone && jobvt == SVDNone {
+		// Values only: QR iteration without vector accumulation does less
+		// work than the D&C merge tree.
+		return Gesvd(jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
+	}
+	if svdQRCross(m, n) {
+		// Path 1: A = Q·R, SVD the n×n R, then U = Q·U_R with one GEMM.
+		return svdTallQRFirst(Gesdd[T], jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
+	}
+	// Square / moderately tall: bidiagonalize, run the f64 D&C, and apply
+	// the accumulated singular vector matrices to the Orgbr bases with one
+	// GEMM on each side.
+	d := make([]float64, n)
+	e := make([]float64, max(0, n-1))
+	tauq := make([]T, n)
+	taup := make([]T, n)
+	Gebrd(m, n, a, lda, d, e, tauq, taup)
+	u0 := blas.GetScratch[float64](n * n)
+	defer blas.PutScratch(u0)
+	vt0 := blas.GetScratch[float64](n * n)
+	defer blas.PutScratch(vt0)
+	if info := Bdsdc(n, d, e, u0, n, vt0, n); info != 0 {
+		return info
+	}
+	copy(s[:n], d[:n])
+	if jobu != SVDNone {
+		ucols := n
+		if jobu == SVDAll {
+			ucols = m
+		}
+		Lacpy('L', m, n, a, lda, u, ldu)
+		Orgbr('Q', m, ucols, n, u, ldu, tauq)
+		u0t := blas.GetScratch[T](n * n)
+		defer blas.PutScratch(u0t)
+		blas.ConvertF64(n, n, u0, n, u0t, n)
+		tmp := blas.GetScratch[T](m * n)
+		defer blas.PutScratch(tmp)
+		blas.Gemm(NoTrans, NoTrans, m, n, n, one, u, ldu, u0t, n, zero, tmp, m)
+		Lacpy('A', m, n, tmp, m, u, ldu)
+	}
+	if jobvt != SVDNone {
+		Lacpy('U', n, n, a, lda, vt, ldvt)
+		Orgbr('P', n, n, n, vt, ldvt, taup)
+		vt0t := blas.GetScratch[T](n * n)
+		defer blas.PutScratch(vt0t)
+		blas.ConvertF64(n, n, vt0, n, vt0t, n)
+		tmp := blas.GetScratch[T](n * n)
+		defer blas.PutScratch(tmp)
+		blas.Gemm(NoTrans, NoTrans, n, n, n, one, vt0t, n, vt, ldvt, zero, tmp, n)
+		Lacpy('A', n, n, tmp, n, vt, ldvt)
+	}
+	return 0
+}
+
+// Gelsd computes the minimum-norm solution to a possibly rank-deficient
+// least squares problem min ‖b − A·x‖₂ using the divide-and-conquer SVD
+// (the xGELSD driver). The interface matches Gelss: b is max(m, n)×nrhs
+// and is overwritten with the solution, s receives the singular values,
+// and rank counts σᵢ > rcond·σ₀.
+//
+// Unlike Gelss's per-column Gemv sweeps, the pseudo-inverse application
+// x = V·Σ⁺·Uᴴ·b runs as two multi-RHS GEMM calls, so the whole drive —
+// bidiagonal D&C included — stays on the Level-3 engine.
+func Gelsd[T core.Scalar](m, n, nrhs int, a []T, lda int, b []T, ldb int, s []float64, rcond float64) (rank, info int) {
+	mn := min(m, n)
+	if mn == 0 {
+		return 0, 0
+	}
+	if rcond < 0 {
+		rcond = core.Eps[T]()
+	}
+	u := blas.GetScratch[T](m * mn)
+	defer blas.PutScratch(u)
+	vt := blas.GetScratch[T](mn * n)
+	defer blas.PutScratch(vt)
+	info = Gesdd(SVDSome, SVDSome, m, n, a, lda, s, u, m, vt, mn)
+	if info != 0 {
+		return 0, info
+	}
+	for i := 0; i < mn; i++ {
+		if s[i] > rcond*s[0] {
+			rank++
+		}
+	}
+	if rank == 0 {
+		for j := 0; j < nrhs; j++ {
+			for i := 0; i < n; i++ {
+				b[i+j*ldb] = 0
+			}
+		}
+		return 0, 0
+	}
+	one := core.FromFloat[T](1)
+	zero := core.FromFloat[T](0)
+	// w = Uᴴ·B, row-scaled by Σ⁺.
+	w := blas.GetScratch[T](mn * nrhs)
+	defer blas.PutScratch(w)
+	blas.Gemm(ConjTrans, NoTrans, mn, nrhs, m, one, u, m, b, ldb, zero, w, mn)
+	for i := 0; i < rank; i++ {
+		inv := core.FromFloat[T](1 / s[i])
+		for j := 0; j < nrhs; j++ {
+			w[i+j*mn] *= inv
+		}
+	}
+	// x = Vᴴᵀ·w over the leading rank rows of Vᴴ.
+	x := blas.GetScratch[T](n * nrhs)
+	defer blas.PutScratch(x)
+	blas.Gemm(ConjTrans, NoTrans, n, nrhs, rank, one, vt, mn, w, mn, zero, x, n)
+	for j := 0; j < nrhs; j++ {
+		copy(b[j*ldb:j*ldb+n], x[j*n:j*n+n])
+	}
+	return rank, 0
+}

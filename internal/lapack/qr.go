@@ -92,7 +92,8 @@ func Geqrf[T core.Scalar](m, n int, a []T, lda int, tau []T) {
 		geqrfBlocked(m, n, a, lda, tau, nb)
 		return
 	}
-	work := make([]T, max(1, n))
+	work := blas.GetScratch[T](max(1, n))
+	defer blas.PutScratch(work)
 	Geqr2(m, n, a, lda, tau, work)
 }
 
@@ -102,7 +103,8 @@ func Org2r[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
 	if n <= 0 {
 		return
 	}
-	work := make([]T, n)
+	work := blas.GetScratch[T](n)
+	defer blas.PutScratch(work)
 	// Columns k..n-1 start as unit vectors.
 	for j := k; j < n; j++ {
 		for i := 0; i < m; i++ {
@@ -154,7 +156,8 @@ func Ormqr[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, t
 	if side == Right {
 		wlen = m
 	}
-	work := make([]T, wlen)
+	work := blas.GetScratch[T](wlen)
+	defer blas.PutScratch(work)
 	notran := trans == NoTrans
 	forward := (side == Left) != notran
 	start, end, step := k-1, -1, -1
@@ -201,7 +204,8 @@ func Gelqf[T core.Scalar](m, n int, a []T, lda int, tau []T) {
 		gelqfBlocked(m, n, a, lda, tau, nb)
 		return
 	}
-	work := make([]T, max(1, m))
+	work := blas.GetScratch[T](max(1, m))
+	defer blas.PutScratch(work)
 	Gelq2(m, n, a, lda, tau, work)
 }
 
@@ -211,7 +215,8 @@ func Orgl2[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
 	if m <= 0 {
 		return
 	}
-	work := make([]T, m)
+	work := blas.GetScratch[T](m)
+	defer blas.PutScratch(work)
 	for i := k; i < m; i++ {
 		for j := 0; j < n; j++ {
 			a[i+j*lda] = 0
@@ -251,7 +256,8 @@ func Ormlq[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, t
 	if side == Right {
 		wlen = m
 	}
-	work := make([]T, wlen)
+	work := blas.GetScratch[T](wlen)
+	defer blas.PutScratch(work)
 	notran := trans == NoTrans
 	// For LQ, Q = H(k)ᴴ…H(1)ᴴ with reflectors stored in rows. Application
 	// order is the mirror of Ormqr.

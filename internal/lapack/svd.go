@@ -255,9 +255,11 @@ func Bdsqr[T core.Scalar](n int, d, e []float64, vt []T, ldvt, ncvt int, u []T, 
 					g := d[i]
 					h := math.Hypot(f, g)
 					d[i] = h
-					h = 1 / h
-					c = g * h
-					s = -f * h
+					// Divide rather than multiply by 1/h: when h is
+					// subnormal the reciprocal overflows to Inf and
+					// 0·Inf poisons the rotation with NaN.
+					c = g / h
+					s = -f / h
 					rotU(c, s, l-1, i)
 				}
 			}
@@ -304,9 +306,9 @@ func Bdsqr[T core.Scalar](n int, d, e []float64, vt []T, ldvt, ncvt int, u []T, 
 				zz = math.Hypot(f, h)
 				d[j] = zz
 				if zz != 0 {
-					zz = 1 / zz
-					c = f * zz
-					s = h * zz
+					// Same subnormal-safe division as above.
+					c = f / zz
+					s = h / zz
 				}
 				f = c*g + s*y
 				x = -s*g + c*y
@@ -367,12 +369,11 @@ func Gesvd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []floa
 	}
 	if m < n {
 		// Wide case: work on Aᴴ = V·Σ·Uᴴ and swap the roles of U and Vᴴ.
+		// The copies in and out run through the blocked transpose so neither
+		// side pays a fully strided element sweep. Note n ≥ 5m/3 then lands
+		// in the tall branch's QR-first path, i.e. an LQ-first drive of A.
 		ah := make([]T, n*m)
-		for i := 0; i < m; i++ {
-			for j := 0; j < n; j++ {
-				ah[j+i*n] = core.Conj(a[i+j*lda])
-			}
-		}
+		blas.ConjTransposeTo(m, n, a, lda, ah, n)
 		// SVD of Aᴴ (n×m, tall): Aᴴ = U'·Σ·V'ᴴ, so A = V'·Σ·U'ᴴ.
 		urows := n
 		var up, vtp []T
@@ -394,31 +395,28 @@ func Gesvd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []floa
 			ldvtp = rows
 		}
 		info := Gesvd(jobvt, jobu, n, m, ah, n, s, up, ldup, vtp, ldvtp)
-		// U of A = (V'ᴴ)ᴴ: u[i,j] = conj(vtp[j,i]).
+		// U of A = (V'ᴴ)ᴴ.
 		if jobu != SVDNone {
 			cols := mn
 			if jobu == SVDAll {
 				cols = m
 			}
-			for j := 0; j < cols; j++ {
-				for i := 0; i < m; i++ {
-					u[i+j*ldu] = core.Conj(vtp[j+i*ldvtp])
-				}
-			}
+			blas.ConjTransposeTo(cols, m, vtp, ldvtp, u, ldu)
 		}
-		// Vᴴ of A = U'ᴴ: vt[i,j] = conj(up[j,i]).
+		// Vᴴ of A = U'ᴴ.
 		if jobvt != SVDNone {
 			rows := mn
 			if jobvt == SVDAll {
 				rows = n
 			}
-			for j := 0; j < n; j++ {
-				for i := 0; i < rows; i++ {
-					vt[i+j*ldvt] = core.Conj(up[j+i*ldup])
-				}
-			}
+			blas.ConjTransposeTo(n, rows, up, ldup, vt, ldvt)
 		}
 		return info
+	}
+	if svdQRCross(m, n) {
+		// Tall fast path at the same 5n/3 crossover as Gesdd: blocked QR
+		// first, QR-iteration SVD of the n×n R, U = Q·U_R by one GEMM.
+		return svdTallQRFirst(Gesvd[T], jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
 	}
 	// Tall case: bidiagonalize.
 	d := make([]float64, mn)

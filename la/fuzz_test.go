@@ -152,3 +152,72 @@ func FuzzGELS(f *testing.F) {
 		checkFuzzOutcome(t, err)
 	})
 }
+
+// FuzzGELSD drives the divide-and-conquer least squares stack — Gesdd's
+// QR-first/wide/square routing, Bdsdc's recursion and deflation, and the
+// rank decision — over the pathological input space, alternating with the
+// QR-iteration kill-switch path. Beyond never panicking, a successful
+// return must report a rank within [0, min(m, n)], and for finite input of
+// moderate magnitude the singular values must be finite and descending.
+// (Entries near MaxFloat64 are excluded from the value assertions: σ₀ can
+// reach √(mn)·‖A‖_max, so Inf is then the correct IEEE answer.)
+func FuzzGELSD(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(1), uint8(0), false, false, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(2), uint8(5), uint8(1), uint8(2), true, false, []byte{9, 0, 1, 255})                  // underdetermined + NaN
+	f.Add(uint8(5), uint8(5), uint8(2), uint8(0), false, true, []byte{0, 0, 0, 0})                    // singular square
+	f.Add(uint8(13), uint8(3), uint8(1), uint8(1), false, false, []byte{5, 11, 6, 2, 0, 13, 7, 1, 3}) // QR-first path
+	f.Add(uint8(7), uint8(3), uint8(1), uint8(1), true, true, []byte{10, 4, 4, 200})                  // Inf + padding
+
+	f.Fuzz(func(t *testing.T, m, n, nrhs, pad uint8, check, qrit bool, data []byte) {
+		mm := int(m % 16)
+		nn := int(n % 16)
+		rhs := int(nrhs % 4)
+		p := int(pad % 4)
+		a := fuzzMatrix(mm, nn, p, data)
+		b := fuzzMatrix(max(mm, nn), rhs, p, append([]byte{m ^ n}, data...))
+		finite := true
+		maxAbs := 0.0
+		for _, mt := range []*la.Matrix[float64]{a, b} {
+			for j := 0; j < mt.Cols && finite; j++ {
+				for i := 0; i < mt.Rows; i++ {
+					v := mt.At(i, j)
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						finite = false
+						break
+					}
+					maxAbs = math.Max(maxAbs, math.Abs(v))
+				}
+			}
+		}
+		opts := []la.Opt{}
+		if check {
+			opts = append(opts, la.WithCheck())
+		}
+		var rank int
+		var s []float64
+		var err error
+		if qrit {
+			rank, s, err = la.GELSS(a, b, append(opts, la.WithQRIteration())...)
+		} else {
+			rank, s, err = la.GELSD(a, b, opts...)
+		}
+		checkFuzzOutcome(t, err)
+		if err != nil || !finite {
+			return
+		}
+		if rank < 0 || rank > min(mm, nn) {
+			t.Fatalf("rank = %d out of [0, %d]", rank, min(mm, nn))
+		}
+		if maxAbs > 1e300 {
+			return
+		}
+		for i, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("s[%d] = %v on finite input", i, v)
+			}
+			if i > 0 && v > s[i-1]*(1+1e-12) {
+				t.Fatalf("singular values not descending at %d", i)
+			}
+		}
+	})
+}

@@ -358,52 +358,54 @@ const (
 // options collects every optional LAPACK90 argument; each routine reads
 // only the fields its LAPACK counterpart documents.
 type options struct {
-	uplo     UpLo
-	trans    Op
-	transB   Op // op(B) for the batched GEMM (WithTransB)
-	itype    int
-	vectors  bool    // JOBZ = 'V'
-	norm     byte    // NORM for LA_GETRF/LA_LANGE: 'M','1','I','F'
-	rcond    float64 // RCOND threshold for rank decisions
-	fact     lapack.Fact
-	equed    bool // allow equilibration (FACT='E')
-	rng      lapack.EigRange
-	vl, vu   float64
-	il, iu   int
-	abstol   float64
-	kl       int // band structure hints (LA_GBSV, LA_LAGGE)
-	ku       int
-	haveKL   bool
-	schurVec bool // LA_GEES VS wanted
-	left     bool // LA_GEEV VL wanted
-	right    bool // LA_GEEV VR wanted
-	selReal  func(wr, wi float64) bool
-	selCmplx func(w complex128) bool
-	job      lapack.SVDJob // LA_GESVD JOB
-	jobU     lapack.SVDJob
-	jobVT    lapack.SVDJob
-	iseed    [4]int
-	haveSeed bool
-	check    bool // screen inputs for non-finite values (WithCheck / LA90_CHECK_INPUTS)
-	mixed    bool // factor in reduced precision, refine to full (WithMixed / LA90_MIXED)
+	uplo        UpLo
+	trans       Op
+	transB      Op // op(B) for the batched GEMM (WithTransB)
+	itype       int
+	vectors     bool    // JOBZ = 'V'
+	norm        byte    // NORM for LA_GETRF/LA_LANGE: 'M','1','I','F'
+	rcond       float64 // RCOND threshold for rank decisions
+	fact        lapack.Fact
+	equed       bool // allow equilibration (FACT='E')
+	rng         lapack.EigRange
+	vl, vu      float64
+	il, iu      int
+	abstol      float64
+	kl          int // band structure hints (LA_GBSV, LA_LAGGE)
+	ku          int
+	haveKL      bool
+	schurVec    bool // LA_GEES VS wanted
+	left        bool // LA_GEEV VL wanted
+	right       bool // LA_GEEV VR wanted
+	selReal     func(wr, wi float64) bool
+	selCmplx    func(w complex128) bool
+	job         lapack.SVDJob // LA_GESVD JOB
+	jobU        lapack.SVDJob
+	jobVT       lapack.SVDJob
+	iseed       [4]int
+	haveSeed    bool
+	check       bool // screen inputs for non-finite values (WithCheck / LA90_CHECK_INPUTS)
+	mixed       bool // factor in reduced precision, refine to full (WithMixed / LA90_MIXED)
+	qrIteration bool // classic QR-iteration SVD instead of D&C (WithQRIteration / LA90_NO_DC)
 }
 
 func defaults() options {
 	return options{
-		check:  checkInputs.Load(),
-		mixed:  mixedDefault.Load(),
-		uplo:   Upper,
-		trans:  None,
-		transB: None,
-		itype:  1,
-		norm:   '1',
-		rcond:  -1,
-		fact:   lapack.FactNone,
-		rng:    lapack.RangeAll,
-		il:     1,
-		iu:     0, // 0 means "n" at call time
-		jobU:   lapack.SVDSome,
-		jobVT:  lapack.SVDSome,
+		check:       checkInputs.Load(),
+		mixed:       mixedDefault.Load(),
+		qrIteration: qrIterationSVD.Load(),
+		uplo:        Upper,
+		trans:       None,
+		transB:      None,
+		itype:       1,
+		norm:        '1',
+		rcond:       -1,
+		fact:        lapack.FactNone,
+		rng:         lapack.RangeAll,
+		il:          1,
+		iu:          0, // 0 means "n" at call time
+		jobU:        lapack.SVDSome,
+		jobVT:       lapack.SVDSome,
 	}
 }
 

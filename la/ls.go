@@ -68,7 +68,8 @@ func GELSX[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, jpvt []int, err er
 // least squares problem using the singular value decomposition (the
 // paper's LA_GELSS). It returns the effective rank and the singular
 // values of A. B must have max(m, n) rows and is overwritten with the
-// solution.
+// solution. The SVD runs on the divide-and-conquer engine by default;
+// WithQRIteration (or LA90_NO_DC=1) selects the classic path instead.
 func GELSS[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, s []float64, err error) {
 	const routine = "LA_GELSS"
 	defer guard(routine, &err)
@@ -85,7 +86,12 @@ func GELSS[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, s []float64, err e
 		}
 	}
 	s = make([]float64, min(a.Rows, a.Cols))
-	rank, info := lapack.Gelss(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
+	var info int
+	if o.qrIteration {
+		rank, info = lapack.Gelss(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
+	} else {
+		rank, info = lapack.Gelsd(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
+	}
 	return rank, s, erdiag(routine, info, "the SVD iteration failed to converge", DiagNotConverged)
 }
 

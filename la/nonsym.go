@@ -181,7 +181,9 @@ type SVDResult[T Scalar] struct {
 
 // GESVD computes the singular value decomposition A = U·Σ·Vᴴ (the paper's
 // LA_GESVD). WithSingularVectors selects how much of U and Vᴴ to form
-// (default 'S', 'S': the economy factors). A is destroyed.
+// (default 'S', 'S': the economy factors). A is destroyed. The drive runs
+// on the divide-and-conquer engine by default; WithQRIteration (or
+// LA90_NO_DC=1) selects the classic QR-iteration path instead.
 func GESVD[T Scalar](a *Matrix[T], opts ...Opt) (result *SVDResult[T], err error) {
 	const routine = "LA_GESVD"
 	defer guard(routine, &err)
@@ -216,7 +218,12 @@ func GESVD[T Scalar](a *Matrix[T], opts ...Opt) (result *SVDResult[T], err error
 		vt = NewMatrix[T](rows, n)
 		vtdata, ldvt = vt.Data, vt.Stride
 	}
-	info := lapack.Gesvd(o.jobU, o.jobVT, m, n, a.Data, a.Stride, res.S, udata, ldu, vtdata, ldvt)
+	var info int
+	if o.qrIteration {
+		info = lapack.Gesvd(o.jobU, o.jobVT, m, n, a.Data, a.Stride, res.S, udata, ldu, vtdata, ldvt)
+	} else {
+		info = lapack.Gesdd(o.jobU, o.jobVT, m, n, a.Data, a.Stride, res.S, udata, ldu, vtdata, ldvt)
+	}
 	res.U, res.VT = u, vt
 	return res, erdiag(routine, info, "the SVD iteration failed to converge", DiagNotConverged)
 }

@@ -1,0 +1,210 @@
+package la
+
+// Divide-and-conquer routing for the SVD-based drivers.
+//
+// LA_GESVD and LA_GELSS run on the bidiagonal divide & conquer engine
+// (lapack.Gesdd / lapack.Gelsd) by default: the bidiagonal singular vectors
+// are accumulated in float64 and applied to the orthogonal bases with one
+// GEMM per side, and tall problems take a blocked QR first at the m ≥ 5n/3
+// crossover — the Level-3 shape the PR-1/2 engine is built for. The
+// QR-iteration path (lapack.Gesvd / lapack.Gelss) remains available as a
+// kill-switch, selectable per call with WithQRIteration, process-wide with
+// SetQRIterationSVD, or at startup with LA90_NO_DC=1; it reproduces the
+// classic Bdsqr results bit-identically.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/lapack"
+)
+
+// qrIterationSVD is the process-wide default for routing LA_GESVD/LA_GELSS
+// through the QR-iteration path instead of divide & conquer.
+var qrIterationSVD atomic.Bool
+
+func init() {
+	if core.EnvInt("LA90_NO_DC", 0, 0, 1) == 1 {
+		qrIterationSVD.Store(true)
+	}
+}
+
+// SetQRIterationSVD sets the process-wide default for the SVD algorithm
+// choice — true routes LA_GESVD/LA_GELSS through the classic QR-iteration
+// path — and returns the previous setting. The initial default is false
+// (divide & conquer) unless the LA90_NO_DC environment variable parses
+// to 1. Safe to call concurrently.
+func SetQRIterationSVD(on bool) bool { return qrIterationSVD.Swap(on) }
+
+// QRIterationSVD reports the current process-wide SVD algorithm default.
+func QRIterationSVD() bool { return qrIterationSVD.Load() }
+
+// WithQRIteration routes this call's SVD through the classic QR-iteration
+// path (xGESVD/xGELSS) instead of divide & conquer — the kill-switch for
+// the D&C engine, bit-identical to the pre-D&C drivers.
+func WithQRIteration() Opt { return func(o *options) { o.qrIteration = true } }
+
+// GELSD computes the minimum-norm solution to a possibly rank-deficient
+// least squares problem using the divide-and-conquer SVD (the paper
+// family's LA_GELSD). It returns the effective rank and the singular
+// values of A. B must have max(m, n) rows and is overwritten with the
+// solution. Unlike GELSS this driver always uses divide & conquer.
+func GELSD[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, s []float64, err error) {
+	const routine = "LA_GELSD"
+	defer guard(routine, &err)
+	o := apply(opts)
+	if a == nil {
+		return 0, nil, erinfo(routine, -1, "")
+	}
+	if b == nil || b.Rows != max(a.Rows, a.Cols) {
+		return 0, nil, erinfo(routine, -2, "")
+	}
+	if o.check {
+		if err := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); err != nil {
+			return 0, nil, err
+		}
+	}
+	s = make([]float64, min(a.Rows, a.Cols))
+	rank, info := lapack.Gelsd(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
+	return rank, s, erdiag(routine, info, "the SVD failed to converge", DiagNotConverged)
+}
+
+// BatchGesdd computes the singular value decomposition of every A[i] (the
+// batched LA_GESVD on the divide-and-conquer engine). Each item performs
+// exactly the work the single-call GESVD would — including the
+// WithQRIteration kill-switch — so results are bit-identical to a serial
+// loop at any SetThreads value; the per-item drives recycle the pooled
+// per-worker workspaces. res[i] carries problem i's factors, errs[i] its
+// error; err reports batch-level misuse.
+func BatchGesdd[T Scalar](as []*Matrix[T], opts ...Opt) (res []*SVDResult[T], errs []error, err error) {
+	const routine = "LA_GESVD"
+	defer guard(routine, &err)
+	o := apply(opts)
+	errs = make([]error, len(as))
+	res = make([]*SVDResult[T], len(as))
+	// One flat backing for all the singular value slices.
+	total := 0
+	for i, a := range as {
+		if !matOK(a) {
+			errs[i] = erinfo(routine, -1, "")
+			continue
+		}
+		total += min(a.Rows, a.Cols)
+	}
+	flat := make([]float64, total)
+	off := 0
+	for i, a := range as {
+		if errs[i] != nil {
+			continue
+		}
+		mn := min(a.Rows, a.Cols)
+		res[i] = &SVDResult[T]{S: flat[off : off+mn : off+mn]}
+		off += mn
+	}
+	blas.BatchRange(len(as), func(i int) {
+		if errs[i] != nil {
+			return
+		}
+		a := as[i]
+		if o.check {
+			if e := finiteMat(routine, 1, "A", a); e != nil {
+				errs[i] = e
+				return
+			}
+		}
+		m, n := a.Rows, a.Cols
+		mn := min(m, n)
+		var udata, vtdata []T
+		ldu, ldvt := 1, 1
+		if o.jobU != lapack.SVDNone {
+			cols := mn
+			if o.jobU == lapack.SVDAll {
+				cols = m
+			}
+			u := NewMatrix[T](m, cols)
+			res[i].U, udata, ldu = u, u.Data, u.Stride
+		}
+		if o.jobVT != lapack.SVDNone {
+			rows := mn
+			if o.jobVT == lapack.SVDAll {
+				rows = n
+			}
+			vt := NewMatrix[T](rows, n)
+			res[i].VT, vtdata, ldvt = vt, vt.Data, vt.Stride
+		}
+		var info int
+		if o.qrIteration {
+			info = lapack.Gesvd(o.jobU, o.jobVT, m, n, a.Data, a.Stride, res[i].S, udata, ldu, vtdata, ldvt)
+		} else {
+			info = lapack.Gesdd(o.jobU, o.jobVT, m, n, a.Data, a.Stride, res[i].S, udata, ldu, vtdata, ldvt)
+		}
+		errs[i] = erdiag(routine, info, "the SVD failed to converge", DiagNotConverged)
+	}, func(i int, pe *blas.PanicError) {
+		errs[i] = batchItemError(routine, pe)
+	})
+	return res, errs, nil
+}
+
+// BatchGelsd solves the least squares problems min ‖B[i] − A[i]·X[i]‖₂ for
+// every i on the divide-and-conquer SVD (the batched LA_GELSD; with
+// WithQRIteration each item runs the classic Gelss instead). Each B[i] is
+// overwritten with its minimum-norm solution; ranks[i] and ss[i] hold the
+// effective rank and singular values of problem i, the latter carved from
+// one flat allocation. errs[i] is problem i's error; err reports
+// batch-level misuse.
+func BatchGelsd[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ranks []int, ss [][]float64, errs []error, err error) {
+	const routine = "LA_GELSD"
+	defer guard(routine, &err)
+	if len(as) != len(bs) {
+		return nil, nil, nil, erinfo(routine, -2, "batch slice lengths differ")
+	}
+	o := apply(opts)
+	errs = make([]error, len(as))
+	ranks = make([]int, len(as))
+	ss = make([][]float64, len(as))
+	total := 0
+	for i, a := range as {
+		if !matOK(a) {
+			errs[i] = erinfo(routine, -1, "")
+			continue
+		}
+		if b := bs[i]; !matOK(b) || b.Rows != max(a.Rows, a.Cols) {
+			errs[i] = erinfo(routine, -2, "")
+			continue
+		}
+		total += min(a.Rows, a.Cols)
+	}
+	flat := make([]float64, total)
+	off := 0
+	for i, a := range as {
+		if errs[i] != nil {
+			continue
+		}
+		mn := min(a.Rows, a.Cols)
+		ss[i] = flat[off : off+mn : off+mn]
+		off += mn
+	}
+	blas.BatchRange(len(as), func(i int) {
+		if errs[i] != nil {
+			return
+		}
+		a, b := as[i], bs[i]
+		if o.check {
+			if e := firstErr(finiteMat(routine, 1, "A", a), finiteMat(routine, 2, "B", b)); e != nil {
+				errs[i] = e
+				return
+			}
+		}
+		var info int
+		if o.qrIteration {
+			ranks[i], info = lapack.Gelss(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, ss[i], o.rcond)
+		} else {
+			ranks[i], info = lapack.Gelsd(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, ss[i], o.rcond)
+		}
+		errs[i] = erdiag(routine, info, "the SVD failed to converge", DiagNotConverged)
+	}, func(i int, pe *blas.PanicError) {
+		errs[i] = batchItemError(routine, pe)
+	})
+	return ranks, ss, errs, nil
+}
