@@ -6,13 +6,30 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench benchsmoke fuzzsmoke fuzz
+.PHONY: ci vet lint-globals build test race bench benchsmoke fuzzsmoke fuzz
 
-ci: vet build test race fuzzsmoke benchsmoke
+ci: vet lint-globals build test race fuzzsmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
 	$(GO) vet ./internal/lapack/...
+
+# Execution-context hygiene: since the per-call Config refactor, kernels and
+# drivers must read every tunable from the *core.Config threaded down from
+# the API boundary — never from the process-wide default store mid-call.
+# Direct default reads in internal/lapack are therefore confined to
+# defaults.go (the documented Set*/getter shims); anywhere else they would
+# let a concurrent SetThreads/SetBlockSizes change a call's behavior
+# mid-flight.
+lint-globals:
+	@bad=$$(grep -rn 'blas\.Threads()\|blas\.GemmSmallDim()\|core\.Default()' \
+		internal/lapack --include='*.go' \
+		| grep -v '_test\.go' | grep -v '^internal/lapack/defaults\.go:'); \
+	if [ -n "$$bad" ]; then \
+		echo 'lint-globals: default-store reads outside internal/lapack/defaults.go:'; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "lint-globals: ok"
 
 build:
 	$(GO) build ./...
@@ -21,10 +38,12 @@ test:
 	$(GO) test ./...
 
 # The race run covers the threaded engine, the factorizations driving it,
-# and the la boundary — including the chaos tests that panic workers on
-# purpose, so panic containment is itself exercised under the detector.
+# the la boundary — including the chaos tests that panic workers on purpose,
+# so panic containment is itself exercised under the detector — and the
+# atomic default-config store (core) plus the per-call execution-context
+# tests (la/config_test.go) that churn it while drivers run.
 race:
-	$(GO) test -race ./internal/blas/ ./internal/lapack/ ./la/
+	$(GO) test -race ./internal/core/ ./internal/blas/ ./internal/lapack/ ./la/
 
 # Bounded fuzz gate: a short randomized burst per target on every CI run.
 # Failures minimize into la/testdata/fuzz/ and then replay forever under

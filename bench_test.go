@@ -6,6 +6,8 @@
 package main
 
 import (
+	"repro/internal/core"
+
 	"testing"
 
 	"repro/f77"
@@ -202,7 +204,7 @@ func BenchmarkAblationGETRF(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			copy(aw, a0)
-			lapack.Getrf(n, n, aw, n, ipiv)
+			lapack.Getrf(core.Default(), n, n, aw, n, ipiv)
 		}
 	})
 	b.Run("unblocked", func(b *testing.B) {
@@ -234,7 +236,7 @@ func BenchmarkAblationSymEig(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			copy(aw, a0)
-			lapack.Syev[float64](true, lapack.Upper, n, aw, n, w)
+			lapack.Syev[float64](core.Default(), true, lapack.Upper, n, aw, n, w)
 		}
 	})
 	b.Run("SYEVD-DC", func(b *testing.B) {
@@ -242,7 +244,7 @@ func BenchmarkAblationSymEig(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			copy(aw, a0)
-			lapack.Syevd[float64](true, lapack.Upper, n, aw, n, w)
+			lapack.Syevd[float64](core.Default(), true, lapack.Upper, n, aw, n, w)
 		}
 	})
 }
@@ -264,7 +266,7 @@ func BenchmarkAblationRankDeficientLS(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			copy(aw, a0)
 			copy(bw, b0)
-			lapack.Gelsx(m, n, 1, aw, m, jpvt, 1e-12, bw, m)
+			lapack.Gelsx(core.Default(), m, n, 1, aw, m, jpvt, 1e-12, bw, m)
 		}
 	})
 	b.Run("GELSS", func(b *testing.B) {
@@ -275,7 +277,7 @@ func BenchmarkAblationRankDeficientLS(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			copy(aw, a0)
 			copy(bw, b0)
-			lapack.Gelss(m, n, 1, aw, m, bw, m, s, -1)
+			lapack.Gelss(core.Default(), m, n, 1, aw, m, bw, m, s, -1)
 		}
 	})
 }
@@ -326,7 +328,7 @@ func BenchmarkAblationGEQRF(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			copy(aw, a0)
-			lapack.Geqrf(m, n, aw, m, tau)
+			lapack.Geqrf(core.Default(), m, n, aw, m, tau)
 		}
 	})
 	b.Run("unblocked", func(b *testing.B) {
@@ -335,7 +337,7 @@ func BenchmarkAblationGEQRF(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			copy(aw, a0)
-			lapack.Geqr2(m, n, aw, m, tau, work)
+			lapack.Geqr2(core.Default(), m, n, aw, m, tau, work)
 		}
 	})
 }
@@ -353,13 +355,13 @@ func benchGemmEngine(b *testing.B, n int, naive bool) {
 	c := make([]float64, n*n)
 	// Untimed warm-up so -benchtime 1x measures steady state, not page
 	// faults on the freshly allocated operands.
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a0, n, b0, n, 0.0, c, n)
+	blas.Gemm(core.Default(), blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a0, n, b0, n, 0.0, c, n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if naive {
 			blas.GemmNaive(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a0, n, b0, n, 0.0, c, n)
 		} else {
-			blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a0, n, b0, n, 0.0, c, n)
+			blas.Gemm(core.Default(), blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a0, n, b0, n, 0.0, c, n)
 		}
 	}
 	flops := 2 * float64(n) * float64(n) * float64(n)
@@ -403,11 +405,11 @@ func BenchmarkGetrf(b *testing.B) {
 			aw := make([]float64, n*n)
 			ipiv := make([]int, n)
 			copy(aw, a0)
-			lapack.Getrf(n, n, aw, n, ipiv) // untimed warm-up
+			lapack.Getrf(core.Default(), n, n, aw, n, ipiv) // untimed warm-up
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(aw, a0)
-				lapack.Getrf(n, n, aw, n, ipiv)
+				lapack.Getrf(core.Default(), n, n, aw, n, ipiv)
 			}
 			flops := 2.0 / 3.0 * float64(n) * float64(n) * float64(n)
 			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
@@ -424,18 +426,18 @@ func BenchmarkPotrf(b *testing.B) {
 		lapack.Larnv(2, rng, n*n, g)
 		// a0 := G·Gᵀ + n·I is symmetric positive definite.
 		a0 := make([]float64, n*n)
-		blas.Gemm(blas.NoTrans, blas.TransT, n, n, n, 1.0, g, n, g, n, 0.0, a0, n)
+		blas.Gemm(core.Default(), blas.NoTrans, blas.TransT, n, n, n, 1.0, g, n, g, n, 0.0, a0, n)
 		for i := 0; i < n; i++ {
 			a0[i+i*n] += float64(n)
 		}
 		b.Run("N="+itoa(n), func(b *testing.B) {
 			aw := make([]float64, n*n)
 			copy(aw, a0)
-			lapack.Potrf(lapack.Lower, n, aw, n) // untimed warm-up
+			lapack.Potrf(core.Default(), lapack.Lower, n, aw, n) // untimed warm-up
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(aw, a0)
-				if info := lapack.Potrf(lapack.Lower, n, aw, n); info != 0 {
+				if info := lapack.Potrf(core.Default(), lapack.Lower, n, aw, n); info != 0 {
 					b.Fatalf("info=%d", info)
 				}
 			}
@@ -456,11 +458,11 @@ func BenchmarkGeqrf(b *testing.B) {
 			aw := make([]float64, n*n)
 			tau := make([]float64, n)
 			copy(aw, a0)
-			lapack.Geqrf(n, n, aw, n, tau) // untimed warm-up
+			lapack.Geqrf(core.Default(), n, n, aw, n, tau) // untimed warm-up
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(aw, a0)
-				lapack.Geqrf(n, n, aw, n, tau)
+				lapack.Geqrf(core.Default(), n, n, aw, n, tau)
 			}
 			flops := 4.0 / 3.0 * float64(n) * float64(n) * float64(n)
 			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")

@@ -110,7 +110,7 @@ func runBatch() {
 
 			loop := func() {
 				for i := range p.as {
-					if _, err := la.GESV(p.as[i], p.bs[i]); err != nil {
+					if _, err := la.GESV(p.as[i], p.bs[i], benchLaOpts()...); err != nil {
 						panic(err)
 					}
 				}
@@ -121,7 +121,7 @@ func runBatch() {
 				loop()
 			}
 			batchedRun := func() {
-				_, errs, err := la.BatchGesv(p.as, p.bs)
+				_, errs, err := la.BatchGesv(p.as, p.bs, benchLaOpts()...)
 				if err != nil {
 					panic(err)
 				}
@@ -194,7 +194,7 @@ func runBatch() {
 		inner := 1 << 12
 		run := func() {
 			for r := 0; r < inner; r++ {
-				blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+				blas.Gemm(benchCfg(), blas.NoTrans, blas.NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
 			}
 		}
 		run()

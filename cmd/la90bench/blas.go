@@ -78,9 +78,9 @@ func benchBlasType[T core.Float](rep *blasReport, dtype string, sizes []int) (pa
 		c := make([]T, n*n)
 		flops := 2 * float64(n) * float64(n) * float64(n)
 
-		blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, one, a, n, b, n, zero, c, n) // warm-up
+		blas.Gemm(benchCfg(), blas.NoTrans, blas.NoTrans, n, n, n, one, a, n, b, n, zero, c, n) // warm-up
 		s := minTime(*reps, func() {
-			blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, one, a, n, b, n, zero, c, n)
+			blas.Gemm(benchCfg(), blas.NoTrans, blas.NoTrans, n, n, n, one, a, n, b, n, zero, c, n)
 		})
 		rep.Results = append(rep.Results, blasResult{"gemm-packed", dtype, n, s, flops / s / 1e9})
 		if n == 1024 {
@@ -99,7 +99,7 @@ func benchBlasType[T core.Float](rep *blasReport, dtype string, sizes []int) (pa
 		luFlops := 2.0 / 3.0 * float64(n) * float64(n) * float64(n)
 		s = minTime(*reps, func() {
 			copy(c, a)
-			lapack.Getrf(n, n, c, n, ipiv)
+			lapack.Getrf(benchCfg(), n, n, c, n, ipiv)
 		})
 		rep.Results = append(rep.Results, blasResult{"getrf", dtype, n, s, luFlops / s / 1e9})
 	}

@@ -54,10 +54,10 @@ func condLegs(rep *condReport, n, nrhs int) (overhead float64) {
 
 	// Plain solve.
 	load()
-	la.Must1(la.GESV(am, bm)) // warm-up
+	la.Must1(la.GESV(am, bm, benchLaOpts()...)) // warm-up
 	var plainS float64
 	for r := 0; r < *reps; r++ {
-		if s := minTimeSetup(1, load, func() { la.Must1(la.GESV(am, bm)) }); r == 0 || s < plainS {
+		if s := minTimeSetup(1, load, func() { la.Must1(la.GESV(am, bm, benchLaOpts()...)) }); r == 0 || s < plainS {
 			plainS = s
 		}
 	}
@@ -66,10 +66,10 @@ func condLegs(rep *condReport, n, nrhs int) (overhead float64) {
 
 	// Expert pipeline on the same system.
 	load()
-	res := la.Must1(la.GESVX(am, bm))
+	res := la.Must1(la.GESVX(am, bm, benchLaOpts()...))
 	var expertS float64
 	for r := 0; r < *reps; r++ {
-		if s := minTimeSetup(1, load, func() { la.Must1(la.GESVX(am, bm)) }); r == 0 || s < expertS {
+		if s := minTimeSetup(1, load, func() { la.Must1(la.GESVX(am, bm, benchLaOpts()...)) }); r == 0 || s < expertS {
 			expertS = s
 		}
 	}
@@ -93,10 +93,10 @@ func condLegs(rep *condReport, n, nrhs int) (overhead float64) {
 	}
 	loadG := func() { copy(am.Data, ga); copy(bm.Data, gb) }
 	loadG()
-	resG := la.Must1(la.GESVX(am, bm, la.WithEquilibration()))
+	resG := la.Must1(la.GESVX(am, bm, append(benchLaOpts(), la.WithEquilibration())...))
 	var equilS float64
 	for r := 0; r < *reps; r++ {
-		if s := minTimeSetup(1, loadG, func() { la.Must1(la.GESVX(am, bm, la.WithEquilibration())) }); r == 0 || s < equilS {
+		if s := minTimeSetup(1, loadG, func() { la.Must1(la.GESVX(am, bm, append(benchLaOpts(), la.WithEquilibration())...)) }); r == 0 || s < equilS {
 			equilS = s
 		}
 	}

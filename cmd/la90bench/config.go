@@ -1,0 +1,133 @@
+package main
+
+// Per-call execution-context flags. Every benchmark leg routes its la driver
+// calls through benchLaOpts() and its direct blas/lapack calls through
+// benchCfg(), so -threads and -config exercise exactly the per-call path a
+// library user gets from la.WithThreads / la.WithConfig — never the
+// process-wide Set* shims.
+//
+//	la90bench -lapack -threads 1
+//	la90bench -blas -config mc=128,kc=128,nc=1024
+//	la90bench -example3 -threads 2 -config nbgetrf=96,small=0
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/la"
+)
+
+var (
+	threadsFlag = flag.Int("threads", 0, "per-call Level-3 worker budget (0 = process default)")
+	configFlag  = flag.String("config", "", "per-call tuning overrides: comma-separated key=value pairs "+
+		"(mc, kc, nc, small, minvol, gemvminvol, nbgetrf, nbpotrf, nbgeqrf, nbsytrf, nxgeqrf, nbgetrf2, nbtrd, nbbrd, nbhrd, itermax)")
+)
+
+// parseBenchConfig builds the la.Config overlay from -threads and -config.
+func parseBenchConfig() la.Config {
+	var c la.Config
+	if *threadsFlag > 0 {
+		c.Threads = *threadsFlag
+	}
+	if *configFlag == "" {
+		return c
+	}
+	fields := map[string]*int{
+		"mc":         &c.GemmMC,
+		"kc":         &c.GemmKC,
+		"nc":         &c.GemmNC,
+		"small":      &c.GemmSmallDim,
+		"minvol":     &c.GemmParallelMinVol,
+		"gemvminvol": &c.GemvParallelMinVol,
+		"nbgetrf":    &c.NBGetrf,
+		"nbpotrf":    &c.NBPotrf,
+		"nbgeqrf":    &c.NBGeqrf,
+		"nbsytrf":    &c.NBSytrf,
+		"nxgeqrf":    &c.NXGeqrf,
+		"nbgetrf2":   &c.NBGetrf2,
+		"nbtrd":      &c.NBSytrd,
+		"nbbrd":      &c.NBGebrd,
+		"nbhrd":      &c.NBGehrd,
+		"itermax":    &c.MixedIterMax,
+	}
+	for _, kv := range strings.Split(*configFlag, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		p := fields[strings.ToLower(strings.TrimSpace(key))]
+		if !ok || p == nil {
+			fmt.Fprintf(os.Stderr, "la90bench: bad -config entry %q\n", kv)
+			os.Exit(2)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "la90bench: bad -config value %q: %v\n", kv, err)
+			os.Exit(2)
+		}
+		if key == "small" && n == 0 {
+			n = -1 // la.Config: negative disables, 0 inherits
+		}
+		*p = n
+	}
+	return c
+}
+
+var (
+	benchCfgOnce sync.Once
+	benchCfgVal  *core.Config
+	benchOptsVal []la.Opt
+)
+
+// benchInit resolves the flag overlay once, after flag.Parse.
+func benchInit() {
+	over := parseBenchConfig()
+	benchOptsVal = []la.Opt{la.WithConfig(over)}
+	// Mirror of the la.WithConfig merge for the legs that drive the
+	// internal blas/lapack layers directly.
+	benchCfgVal = core.Default().With(func(c *core.Config) {
+		set := func(dst *int, v int) {
+			if v > 0 {
+				*dst = v
+			}
+		}
+		set(&c.Threads, over.Threads)
+		set(&c.GemmMC, over.GemmMC)
+		set(&c.GemmKC, over.GemmKC)
+		set(&c.GemmNC, over.GemmNC)
+		if over.GemmSmallDim > 0 {
+			c.GemmSmallDim = over.GemmSmallDim
+		} else if over.GemmSmallDim < 0 {
+			c.GemmSmallDim = 0
+		}
+		set(&c.GemmParallelMinVol, over.GemmParallelMinVol)
+		set(&c.GemvParallelMinVol, over.GemvParallelMinVol)
+		set(&c.NBGetrf, over.NBGetrf)
+		set(&c.NBGetrfLg, over.NBGetrf)
+		set(&c.NBPotrf, over.NBPotrf)
+		set(&c.NBGeqrf, over.NBGeqrf)
+		set(&c.NBSytrf, over.NBSytrf)
+		set(&c.NXGeqrf, over.NXGeqrf)
+		set(&c.NBGetrf2, over.NBGetrf2)
+		set(&c.NBSytrd, over.NBSytrd)
+		set(&c.NBGebrd, over.NBGebrd)
+		set(&c.NBGehrd, over.NBGehrd)
+		set(&c.MixedIterMax, over.MixedIterMax)
+	})
+}
+
+// benchCfg returns the per-run execution context for direct blas/lapack
+// calls.
+func benchCfg() *core.Config {
+	benchCfgOnce.Do(benchInit)
+	return benchCfgVal
+}
+
+// benchLaOpts returns the per-call options every la driver call in the
+// benchmark legs appends.
+func benchLaOpts() []la.Opt {
+	benchCfgOnce.Do(benchInit)
+	return benchOptsVal
+}

@@ -73,7 +73,7 @@ func benchFactorizations[T core.Scalar](rep *lapackReport, dtype string, sizes [
 		lapack.Larnv(2, rng, n*n, bm)
 		c := make([]T, n*n)
 		gemm := func() {
-			blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, one, a, n, bm, n, zero, c, n)
+			blas.Gemm(benchCfg(), blas.NoTrans, blas.NoTrans, n, n, n, one, a, n, bm, n, zero, c, n)
 		}
 		gemm() // warm-up
 		record("gemm-packed", n, cmul*2*nf*nf*nf, minTime(*reps, gemm))
@@ -81,23 +81,23 @@ func benchFactorizations[T core.Scalar](rep *lapackReport, dtype string, sizes [
 		// LU with partial pivoting.
 		ipiv := make([]int, n)
 		copy(w, a)
-		lapack.Getrf(n, n, w, n, ipiv) // warm-up
+		lapack.Getrf(benchCfg(), n, n, w, n, ipiv) // warm-up
 		record("getrf", n, cmul*2.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, a) },
-			func() { lapack.Getrf(n, n, w, n, ipiv) }))
+			func() { lapack.Getrf(benchCfg(), n, n, w, n, ipiv) }))
 
 		// Cholesky on A·Aᴴ + n·I (Hermitian positive definite).
 		hpd := make([]T, n*n)
-		blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, one, a, n, a, n, zero, hpd, n)
+		blas.Gemm(benchCfg(), blas.NoTrans, blas.ConjTrans, n, n, n, one, a, n, a, n, zero, hpd, n)
 		for i := 0; i < n; i++ {
 			hpd[i+i*n] = core.FromFloat[T](core.Re(hpd[i+i*n]) + nf)
 		}
 		copy(w, hpd)
-		lapack.Potrf(lapack.Lower, n, w, n) // warm-up
+		lapack.Potrf(benchCfg(), lapack.Lower, n, w, n) // warm-up
 		record("potrf", n, cmul*1.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, hpd) },
 			func() {
-				if info := lapack.Potrf(lapack.Lower, n, w, n); info != 0 {
+				if info := lapack.Potrf(benchCfg(), lapack.Lower, n, w, n); info != 0 {
 					fmt.Fprintf(os.Stderr, "la90bench: potrf n=%d info=%d\n", n, info)
 					os.Exit(1)
 				}
@@ -106,10 +106,10 @@ func benchFactorizations[T core.Scalar](rep *lapackReport, dtype string, sizes [
 		// Householder QR.
 		tau := make([]T, n)
 		copy(w, a)
-		lapack.Geqrf(n, n, w, n, tau) // warm-up
+		lapack.Geqrf(benchCfg(), n, n, w, n, tau) // warm-up
 		record("geqrf", n, cmul*4.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, a) },
-			func() { lapack.Geqrf(n, n, w, n, tau) }))
+			func() { lapack.Geqrf(benchCfg(), n, n, w, n, tau) }))
 
 		// Bunch–Kaufman on the symmetrized matrix (complex symmetric, not
 		// Hermitian, for complex element types — matching Sytrf semantics).
@@ -120,10 +120,10 @@ func benchFactorizations[T core.Scalar](rep *lapackReport, dtype string, sizes [
 			}
 		}
 		copy(w, sym)
-		lapack.Sytrf(lapack.Lower, n, w, n, ipiv) // warm-up
+		lapack.Sytrf(benchCfg(), lapack.Lower, n, w, n, ipiv) // warm-up
 		record("sytrf", n, cmul*1.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, sym) },
-			func() { lapack.Sytrf(lapack.Lower, n, w, n, ipiv) }))
+			func() { lapack.Sytrf(benchCfg(), lapack.Lower, n, w, n, ipiv) }))
 	}
 	return at1024
 }

@@ -108,7 +108,7 @@ func runExample3(n, nrhs int) {
 		b90 := la.NewMatrix[float64](n, nrhs)
 		copy(b90.Data, b)
 		t0 := time.Now()
-		la.Must1(la.GESV(a90, b90))
+		la.Must1(la.GESV(a90, b90, benchLaOpts()...))
 		return time.Since(t0)
 	}
 	run77() // warm-up
@@ -161,7 +161,7 @@ func runSweep() {
 				copy(a90.Data, a)
 				b90 := la.NewMatrix[float64](n, 2)
 				copy(b90.Data, b)
-				la.Must1(la.GESV(a90, b90))
+				la.Must1(la.GESV(a90, b90, benchLaOpts()...))
 			}
 			d := time.Since(t0) / time.Duration(iters)
 			if r == 0 || d < best90 {

@@ -71,7 +71,7 @@ func mixedSystem(n, nrhs int) (a, b []float64) {
 // solution x of the system (a, b).
 func backwardError(n, nrhs int, a, b, x []float64) float64 {
 	r := append([]float64(nil), b...)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, -1.0, a, n, x, n, 1.0, r, n)
+	blas.Gemm(benchCfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, -1.0, a, n, x, n, 1.0, r, n)
 	anrm := lapack.Lange(lapack.InfNorm, n, n, a, n)
 	worst := 0.0
 	for j := 0; j < nrhs; j++ {
@@ -100,8 +100,8 @@ func runMixed() {
 	am := la.NewMatrix[float64](n, n)
 	bm := la.NewMatrix[float64](n, nrhs)
 	load := func() { copy(am.Data, a); copy(bm.Data, b) }
-	solvePlain := func() { la.Must1(la.GESV(am, bm)) }
-	solveMixed := func() { la.Must1(la.GESV(am, bm, la.WithMixed())) }
+	solvePlain := func() { la.Must1(la.GESV(am, bm, benchLaOpts()...)) }
+	solveMixed := func() { la.Must1(la.GESV(am, bm, append(benchLaOpts(), la.WithMixed())...)) }
 
 	load()
 	solvePlain() // warm-up both engines
@@ -112,7 +112,7 @@ func runMixed() {
 	// Untimed probe for the refinement sweep count of the mixed path.
 	ac := append([]float64(nil), a...)
 	xp := make([]float64, n*nrhs)
-	iter, _ := lapack.GesvMixed(n, nrhs, ac, n, make([]int, n), b, n, xp, n)
+	iter, _ := lapack.GesvMixed(benchCfg(), n, nrhs, ac, n, make([]int, n), b, n, xp, n)
 
 	var plainS, mixedS float64
 	for r := 0; r < *reps; r++ {
@@ -148,18 +148,18 @@ func runMixed() {
 		}
 	}
 	loadB()
-	la.BatchGesv(as, bs) // warm-up
+	la.BatchGesv(as, bs, benchLaOpts()...) // warm-up
 	plainBatchBE := backwardError(bn, 1, ba[0], bb[0], bs[0].Data)
 	loadB()
-	la.BatchGesvMixed(as, bs)
+	la.BatchGesvMixed(as, bs, benchLaOpts()...)
 	mixedBatchBE := backwardError(bn, 1, ba[0], bb[0], bs[0].Data)
 
 	var plainB, mixedB float64
 	for r := 0; r < *reps; r++ {
-		if s := minTimeSetup(1, loadB, func() { la.BatchGesv(as, bs) }); r == 0 || s < plainB {
+		if s := minTimeSetup(1, loadB, func() { la.BatchGesv(as, bs, benchLaOpts()...) }); r == 0 || s < plainB {
 			plainB = s
 		}
-		if s := minTimeSetup(1, loadB, func() { la.BatchGesvMixed(as, bs) }); r == 0 || s < mixedB {
+		if s := minTimeSetup(1, loadB, func() { la.BatchGesvMixed(as, bs, benchLaOpts()...) }); r == 0 || s < mixedB {
 			mixedB = s
 		}
 	}

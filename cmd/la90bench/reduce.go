@@ -95,48 +95,48 @@ func runReduce() {
 
 		// Tridiagonal reduction: blocked driver vs unblocked kernel.
 		copy(w, sym)
-		lapack.Sytrd(lapack.Lower, n, w, n, d, e, tau) // warm-up
+		lapack.Sytrd(benchCfg(), lapack.Lower, n, w, n, d, e, tau) // warm-up
 		record("sytrd", n, true, 4.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, sym) },
-			func() { lapack.Sytrd(lapack.Lower, n, w, n, d, e, tau) }))
+			func() { lapack.Sytrd(benchCfg(), lapack.Lower, n, w, n, d, e, tau) }))
 		record("sytrd", n, false, 4.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, sym) },
 			func() { lapack.Sytd2(lapack.Lower, n, w, n, d, e, tau) }))
 
 		// Bidiagonal reduction (square case).
 		copy(w, a)
-		lapack.Gebrd(n, n, w, n, d, e, tau, taup) // warm-up
+		lapack.Gebrd(benchCfg(), n, n, w, n, d, e, tau, taup) // warm-up
 		record("gebrd", n, true, 8.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, a) },
-			func() { lapack.Gebrd(n, n, w, n, d, e, tau, taup) }))
+			func() { lapack.Gebrd(benchCfg(), n, n, w, n, d, e, tau, taup) }))
 		record("gebrd", n, false, 8.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, a) },
-			func() { lapack.Gebd2(n, n, w, n, d, e, tau, taup) }))
+			func() { lapack.Gebd2(benchCfg(), n, n, w, n, d, e, tau, taup) }))
 
 		// Hessenberg reduction.
 		copy(w, a)
-		lapack.Gehrd(n, 0, n-1, w, n, tau) // warm-up
+		lapack.Gehrd(benchCfg(), n, 0, n-1, w, n, tau) // warm-up
 		record("gehrd", n, true, 10.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, a) },
-			func() { lapack.Gehrd(n, 0, n-1, w, n, tau) }))
+			func() { lapack.Gehrd(benchCfg(), n, 0, n-1, w, n, tau) }))
 		record("gehrd", n, false, 10.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, a) },
-			func() { lapack.Gehd2(n, 0, n-1, w, n, tau) }))
+			func() { lapack.Gehd2(benchCfg(), n, 0, n-1, w, n, tau) }))
 
 		// End-to-end drivers inheriting the blocked reductions (eigenvalues
 		// and singular values only; nominal LAPACK flop counts).
 		copy(w, sym)
-		lapack.Syev(false, lapack.Lower, n, w, n, d) // warm-up
+		lapack.Syev(benchCfg(), false, lapack.Lower, n, w, n, d) // warm-up
 		record("syev", n, true, 4.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, sym) },
-			func() { lapack.Syev(false, lapack.Lower, n, w, n, d) }))
+			func() { lapack.Syev(benchCfg(), false, lapack.Lower, n, w, n, d) }))
 
 		s := make([]float64, n)
 		copy(w, a)
-		lapack.Gesvd(lapack.SVDNone, lapack.SVDNone, n, n, w, n, s, nil, 1, nil, 1) // warm-up
+		lapack.Gesvd(benchCfg(), lapack.SVDNone, lapack.SVDNone, n, n, w, n, s, nil, 1, nil, 1) // warm-up
 		record("gesvd", n, true, 8.0/3.0*nf*nf*nf, minTimeSetup(*reps,
 			func() { copy(w, a) },
-			func() { lapack.Gesvd(lapack.SVDNone, lapack.SVDNone, n, n, w, n, s, nil, 1, nil, 1) }))
+			func() { lapack.Gesvd(benchCfg(), lapack.SVDNone, lapack.SVDNone, n, n, w, n, s, nil, 1, nil, 1) }))
 	}
 
 	rep.SpeedupN = nmax

@@ -69,9 +69,9 @@ func svdQuality[T la.Scalar](a0 *la.Matrix[T], res *la.SVDResult[T]) (orthoU, or
 	gram := func(rows int, x []T, ldx int, rowVectors bool) float64 {
 		g := make([]T, k*k)
 		if rowVectors {
-			blas.Gemm(blas.NoTrans, blas.ConjTrans, k, k, rows, one, x, ldx, x, ldx, zero, g, k)
+			blas.Gemm(benchCfg(), blas.NoTrans, blas.ConjTrans, k, k, rows, one, x, ldx, x, ldx, zero, g, k)
 		} else {
-			blas.Gemm(blas.ConjTrans, blas.NoTrans, k, k, rows, one, x, ldx, x, ldx, zero, g, k)
+			blas.Gemm(benchCfg(), blas.ConjTrans, blas.NoTrans, k, k, rows, one, x, ldx, x, ldx, zero, g, k)
 		}
 		for i := 0; i < k; i++ {
 			g[i+i*k] -= one
@@ -91,7 +91,7 @@ func svdQuality[T la.Scalar](a0 *la.Matrix[T], res *la.SVDResult[T]) (orthoU, or
 		}
 	}
 	c := make([]T, m*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, k, one, us, m, res.VT.Data, res.VT.Stride, zero, c, m)
+	blas.Gemm(benchCfg(), blas.NoTrans, blas.NoTrans, m, n, k, one, us, m, res.VT.Data, res.VT.Stride, zero, c, m)
 	for j := 0; j < n; j++ {
 		for i := 0; i < m; i++ {
 			c[i+j*m] -= a0.Data[i+j*a0.Stride]
@@ -135,6 +135,7 @@ func svdLegs[T la.Scalar](rep *svdReport, dtype string, m, n int) (dcS, qrS floa
 	load := func() { copy(work.Data, a0.Data) }
 
 	time := func(opts ...la.Opt) (float64, *la.SVDResult[T]) {
+		opts = append(benchLaOpts(), opts...)
 		load()
 		res := la.Must1(la.GESVD(work, opts...)) // warm-up; result reused for checks
 		best := 0.0
@@ -173,12 +174,12 @@ func svdFullClassic[T la.Scalar](rep *svdReport, dtype string, m, n int) float64
 	taup := make([]T, n)
 	load := func() { copy(w.Data, a0.Data) }
 	body := func() {
-		lapack.Gebrd(m, n, w.Data, w.Stride, d, e, tauq, taup)
+		lapack.Gebrd(benchCfg(), m, n, w.Data, w.Stride, d, e, tauq, taup)
 		lapack.Lacpy('L', m, n, w.Data, w.Stride, res.U.Data, res.U.Stride)
-		lapack.Orgbr('Q', m, n, n, res.U.Data, res.U.Stride, tauq)
+		lapack.Orgbr(benchCfg(), 'Q', m, n, n, res.U.Data, res.U.Stride, tauq)
 		lapack.Lacpy('U', n, n, w.Data, w.Stride, res.VT.Data, res.VT.Stride)
-		lapack.Orgbr('P', n, n, n, res.VT.Data, res.VT.Stride, taup)
-		if info := lapack.Bdsqr(n, d, e, res.VT.Data, res.VT.Stride, n, res.U.Data, res.U.Stride, m); info != 0 {
+		lapack.Orgbr(benchCfg(), 'P', n, n, n, res.VT.Data, res.VT.Stride, taup)
+		if info := lapack.Bdsqr(benchCfg(), n, d, e, res.VT.Data, res.VT.Stride, n, res.U.Data, res.U.Stride, m); info != 0 {
 			fmt.Fprintf(os.Stderr, "la90bench -svd: qr-full Bdsqr info=%d\n", info)
 			os.Exit(1)
 		}

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"repro/internal/core"
+
 	"errors"
 	"flag"
 	"fmt"
@@ -187,7 +189,7 @@ func runGESV(thr, cond float64, maxn int) (passed, failed, matrices, tests int) 
 			a := la.NewMatrix[elem](n, n)
 			if cond > 1 {
 				d := matgen.SingularValues(3, n, cond)
-				matgen.Lagge(rng, n, n, n-1, n-1, d, a.Data, a.Stride)
+				matgen.Lagge(core.Default(), rng, n, n, n-1, n-1, d, a.Data, a.Stride)
 			} else {
 				lapack.Larnv(1, rng, n*n, a.Data)
 			}
@@ -252,7 +254,7 @@ func runPOSV(thr, cond float64, maxn int) (passed, failed, matrices, tests int) 
 	for _, n := range sizes {
 		rng := lapack.NewRng([4]int{77, n, 1, 1})
 		a := la.NewMatrix[elem](n, n)
-		matgen.RandSPDWithCond(rng, n, cond*10+10, a.Data, a.Stride)
+		matgen.RandSPDWithCond(core.Default(), rng, n, cond*10+10, a.Data, a.Stride)
 		for k, nrhs := range []int{50, 1, 50, 1} {
 			b := la.NewMatrix[elem](n, nrhs)
 			lapack.Larnv(1, rng, n*nrhs, b.Data)

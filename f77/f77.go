@@ -64,8 +64,9 @@ func pivOut(src, dst []int) {
 // GETRF computes an LU factorization with partial pivoting
 // (xGETRF: M, N, A, LDA, IPIV, INFO). ipiv is 1-based on return.
 func GETRF[T Scalar](m, n int, a []T, lda int, ipiv []int) (info int) {
+	cfg := core.Default()
 	p := make([]int, min(m, n))
-	info = lapack.Getrf(m, n, a, lda, p)
+	info = lapack.Getrf(cfg, m, n, a, lda, p)
 	pivOut(p, ipiv)
 	return info
 }
@@ -73,45 +74,51 @@ func GETRF[T Scalar](m, n int, a []T, lda int, ipiv []int) (info int) {
 // GETRS solves op(A)·X = B from a GETRF factorization
 // (xGETRS: TRANS, N, NRHS, A, LDA, IPIV, B, LDB, INFO).
 func GETRS[T Scalar](trans Trans, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) (info int) {
-	lapack.Getrs(trans, n, nrhs, a, lda, pivIn(ipiv), b, ldb)
+	cfg := core.Default()
+	lapack.Getrs(cfg, trans, n, nrhs, a, lda, pivIn(ipiv), b, ldb)
 	return 0
 }
 
 // GETRI computes the matrix inverse from a GETRF factorization
 // (xGETRI: N, A, LDA, IPIV, WORK, LWORK, INFO).
 func GETRI[T Scalar](n int, a []T, lda int, ipiv []int, work []T, lwork int) (info int) {
+	cfg := core.Default()
 	if lwork < n {
 		return -6
 	}
-	return lapack.Getri(n, a, lda, pivIn(ipiv), work)
+	return lapack.Getri(cfg, n, a, lda, pivIn(ipiv), work)
 }
 
 // GESV solves A·X = B by LU factorization with partial pivoting
 // (xGESV: N, NRHS, A, LDA, IPIV, B, LDB, INFO) — the call of the paper's
 // Example 1, Statement 14. ipiv is 1-based on return.
 func GESV[T Scalar](n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) (info int) {
+	cfg := core.Default()
 	p := make([]int, n)
-	info = lapack.Gesv(n, nrhs, a, lda, p, b, ldb)
+	info = lapack.Gesv(cfg, n, nrhs, a, lda, p, b, ldb)
 	pivOut(p, ipiv)
 	return info
 }
 
 // POTRF computes a Cholesky factorization (xPOTRF: UPLO, N, A, LDA, INFO).
 func POTRF[T Scalar](uplo UpLo, n int, a []T, lda int) (info int) {
-	return lapack.Potrf(uplo, n, a, lda)
+	cfg := core.Default()
+	return lapack.Potrf(cfg, uplo, n, a, lda)
 }
 
 // POTRS solves from a Cholesky factorization
 // (xPOTRS: UPLO, N, NRHS, A, LDA, B, LDB, INFO).
 func POTRS[T Scalar](uplo UpLo, n, nrhs int, a []T, lda int, b []T, ldb int) (info int) {
-	lapack.Potrs(uplo, n, nrhs, a, lda, b, ldb)
+	cfg := core.Default()
+	lapack.Potrs(cfg, uplo, n, nrhs, a, lda, b, ldb)
 	return 0
 }
 
 // POSV solves a positive definite system
 // (xPOSV: UPLO, N, NRHS, A, LDA, B, LDB, INFO).
 func POSV[T Scalar](uplo UpLo, n, nrhs int, a []T, lda int, b []T, ldb int) (info int) {
-	return lapack.Posv(uplo, n, nrhs, a, lda, b, ldb)
+	cfg := core.Default()
+	return lapack.Posv(cfg, uplo, n, nrhs, a, lda, b, ldb)
 }
 
 // GBSV solves a general band system
@@ -151,8 +158,9 @@ func PBSV[T Scalar](uplo UpLo, n, kd, nrhs int, ab []T, ldab int, b []T, ldb int
 // (xSYSV: UPLO, N, NRHS, A, LDA, IPIV, B, LDB, INFO). The pivot encoding
 // follows LAPACK, shifted to 1-based.
 func SYSV[T Scalar](uplo UpLo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) (info int) {
+	cfg := core.Default()
 	p := make([]int, n)
-	info = lapack.Sysv(uplo, n, nrhs, a, lda, p, b, ldb)
+	info = lapack.Sysv(cfg, uplo, n, nrhs, a, lda, p, b, ldb)
 	for i, v := range p {
 		if v >= 0 {
 			ipiv[i] = v + 1
@@ -166,8 +174,9 @@ func SYSV[T Scalar](uplo UpLo, n, nrhs int, a []T, lda int, ipiv []int, b []T, l
 // HESV solves a Hermitian indefinite system
 // (xHESV: UPLO, N, NRHS, A, LDA, IPIV, B, LDB, INFO).
 func HESV[T Scalar](uplo UpLo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) (info int) {
+	cfg := core.Default()
 	p := make([]int, n)
-	info = lapack.Hesv(uplo, n, nrhs, a, lda, p, b, ldb)
+	info = lapack.Hesv(cfg, uplo, n, nrhs, a, lda, p, b, ldb)
 	for i, v := range p {
 		if v >= 0 {
 			ipiv[i] = v + 1
@@ -183,33 +192,38 @@ func HESV[T Scalar](uplo UpLo, n, nrhs int, a []T, lda int, ipiv []int, b []T, l
 // workspace arguments are accepted for signature fidelity and ignored —
 // workspace is managed internally).
 func GELS[T Scalar](trans Trans, m, n, nrhs int, a []T, lda int, b []T, ldb int, work []T, lwork int) (info int) {
-	return lapack.Gels(trans, m, n, nrhs, a, lda, b, ldb)
+	cfg := core.Default()
+	return lapack.Gels(cfg, trans, m, n, nrhs, a, lda, b, ldb)
 }
 
 // SYEV computes the spectrum of a symmetric/Hermitian matrix
 // (xSYEV: JOBZ, UPLO, N, A, LDA, W, WORK, LWORK, INFO with jobz as a
 // boolean; W is float64 for every element type).
 func SYEV[T Scalar](jobz bool, uplo UpLo, n int, a []T, lda int, w []float64) (info int) {
-	return lapack.Syev[T](jobz, uplo, n, a, lda, w)
+	cfg := core.Default()
+	return lapack.Syev[T](cfg, jobz, uplo, n, a, lda, w)
 }
 
 // GESVD computes a singular value decomposition
 // (xGESVD: JOBU, JOBVT, M, N, A, LDA, S, U, LDU, VT, LDVT, INFO with the
 // job characters 'A', 'S' or 'N').
 func GESVD[T Scalar](jobu, jobvt byte, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) (info int) {
-	return lapack.Gesvd(lapack.SVDJob(jobu), lapack.SVDJob(jobvt), m, n, a, lda, s, u, ldu, vt, ldvt)
+	cfg := core.Default()
+	return lapack.Gesvd(cfg, lapack.SVDJob(jobu), lapack.SVDJob(jobvt), m, n, a, lda, s, u, ldu, vt, ldvt)
 }
 
 // GEQRF computes a QR factorization (xGEQRF: M, N, A, LDA, TAU, INFO).
 func GEQRF[T Scalar](m, n int, a []T, lda int, tau []T) (info int) {
-	lapack.Geqrf(m, n, a, lda, tau)
+	cfg := core.Default()
+	lapack.Geqrf(cfg, m, n, a, lda, tau)
 	return 0
 }
 
 // ILAENV returns tuning parameters, the hook the paper's LA_GETRI listing
 // queries for its workspace size.
 func ILAENV(ispec int, name string, n1, n2, n3, n4 int) int {
-	return lapack.Ilaenv(ispec, name, n1, n2, n3, n4)
+	cfg := core.Default()
+	return lapack.Ilaenv(cfg, ispec, name, n1, n2, n3, n4)
 }
 
 // LAMCH returns machine parameters in the FORTRAN 90 EPSILON convention

@@ -1,6 +1,10 @@
 package f77
 
-import "repro/internal/lapack"
+import (
+	"repro/internal/core"
+
+	"repro/internal/lapack"
+)
 
 // Additional F77_LAPACK interfaces beyond the Appendix A examples: the
 // paper's F77 module covers every LAPACK 77 driver and computational
@@ -13,35 +17,41 @@ import "repro/internal/lapack"
 // LDVR, INFO, with the job characters replaced by booleans). For the
 // complex families use GEEVC.
 func GEEV[T interface{ float32 | float64 }](jobvl, jobvr bool, n int, a []T, lda int, wr, wi []float64, vl []T, ldvl int, vr []T, ldvr int) (info int) {
-	return lapack.Geev(jobvl, jobvr, n, a, lda, wr, wi, vl, ldvl, vr, ldvr)
+	cfg := core.Default()
+	return lapack.Geev(cfg, jobvl, jobvr, n, a, lda, wr, wi, vl, ldvl, vr, ldvr)
 }
 
 // GEEVC is the complex counterpart of GEEV (xGEEV, C/Z families).
 func GEEVC[T interface{ complex64 | complex128 }](jobvl, jobvr bool, n int, a []T, lda int, w []complex128, vl []T, ldvl int, vr []T, ldvr int) (info int) {
-	return lapack.GeevC(jobvl, jobvr, n, a, lda, w, vl, ldvl, vr, ldvr)
+	cfg := core.Default()
+	return lapack.GeevC(cfg, jobvl, jobvr, n, a, lda, w, vl, ldvl, vr, ldvr)
 }
 
 // GEES computes the real Schur factorization (xGEES). sel may be nil for
 // no ordering; sdim counts the selected leading eigenvalues.
 func GEES[T interface{ float32 | float64 }](jobvs bool, sel func(wr, wi float64) bool, n int, a []T, lda int, wr, wi []float64, vs []T, ldvs int) (sdim, info int) {
-	return lapack.Gees(jobvs, sel, n, a, lda, wr, wi, vs, ldvs)
+	cfg := core.Default()
+	return lapack.Gees(cfg, jobvs, sel, n, a, lda, wr, wi, vs, ldvs)
 }
 
 // GEESC is the complex counterpart of GEES.
 func GEESC[T interface{ complex64 | complex128 }](jobvs bool, sel func(w complex128) bool, n int, a []T, lda int, w []complex128, vs []T, ldvs int) (sdim, info int) {
-	return lapack.GeesC(jobvs, sel, n, a, lda, w, vs, ldvs)
+	cfg := core.Default()
+	return lapack.GeesC(cfg, jobvs, sel, n, a, lda, w, vs, ldvs)
 }
 
 // GELSS computes the minimum-norm least squares solution by SVD
 // (xGELSS: M, N, NRHS, A, LDA, B, LDB, S, RCOND, RANK, INFO).
 func GELSS[T Scalar](m, n, nrhs int, a []T, lda int, b []T, ldb int, s []float64, rcond float64) (rank, info int) {
-	return lapack.Gelss(m, n, nrhs, a, lda, b, ldb, s, rcond)
+	cfg := core.Default()
+	return lapack.Gelss(cfg, m, n, nrhs, a, lda, b, ldb, s, rcond)
 }
 
 // GECON estimates the reciprocal condition number from a GETRF
 // factorization (xGECON: NORM, N, A, LDA, ANORM, RCOND, INFO).
 func GECON[T Scalar](norm byte, n int, a []T, lda int, ipiv []int, anorm float64) (rcond float64) {
-	return lapack.Gecon(lapack.Norm(norm), n, a, lda, pivIn(ipiv), anorm)
+	cfg := core.Default()
+	return lapack.Gecon(cfg, lapack.Norm(norm), n, a, lda, pivIn(ipiv), anorm)
 }
 
 // LANGE returns the selected norm of a general matrix
@@ -53,51 +63,58 @@ func LANGE[T Scalar](norm byte, m, n int, a []T, lda int) float64 {
 // SYEVD computes the spectrum by divide & conquer
 // (xSYEVD: JOBZ, UPLO, N, A, LDA, W, …, INFO).
 func SYEVD[T Scalar](jobz bool, uplo UpLo, n int, a []T, lda int, w []float64) (info int) {
-	return lapack.Syevd[T](jobz, uplo, n, a, lda, w)
+	cfg := core.Default()
+	return lapack.Syevd[T](cfg, jobz, uplo, n, a, lda, w)
 }
 
 // SYGV solves the generalized symmetric-definite eigenproblem
 // (xSYGV: ITYPE, JOBZ, UPLO, N, A, LDA, B, LDB, W, …, INFO).
 func SYGV[T Scalar](itype int, jobz bool, uplo UpLo, n int, a []T, lda int, b []T, ldb int, w []float64) (info int) {
-	return lapack.Sygv(itype, jobz, uplo, n, a, lda, b, ldb, w)
+	cfg := core.Default()
+	return lapack.Sygv(cfg, itype, jobz, uplo, n, a, lda, b, ldb, w)
 }
 
 // GEHRD reduces a matrix to upper Hessenberg form
 // (xGEHRD: N, ILO, IHI, A, LDA, TAU, …, INFO; ilo/ihi are 1-based as in
 // LAPACK).
 func GEHRD[T Scalar](n, ilo, ihi int, a []T, lda int, tau []T) (info int) {
-	lapack.Gehrd(n, ilo-1, ihi-1, a, lda, tau)
+	cfg := core.Default()
+	lapack.Gehrd(cfg, n, ilo-1, ihi-1, a, lda, tau)
 	return 0
 }
 
 // SYTRD reduces a symmetric/Hermitian matrix to tridiagonal form
 // (xSYTRD: UPLO, N, A, LDA, D, E, TAU, …, INFO).
 func SYTRD[T Scalar](uplo UpLo, n int, a []T, lda int, d, e []float64, tau []T) (info int) {
-	lapack.Sytrd(uplo, n, a, lda, d, e, tau)
+	cfg := core.Default()
+	lapack.Sytrd(cfg, uplo, n, a, lda, d, e, tau)
 	return 0
 }
 
 // ORGTR generates the unitary matrix from SYTRD
 // (xORGTR: UPLO, N, A, LDA, TAU, …, INFO).
 func ORGTR[T Scalar](uplo UpLo, n int, a []T, lda int, tau []T) (info int) {
-	lapack.Orgtr(uplo, n, a, lda, tau)
+	cfg := core.Default()
+	lapack.Orgtr(cfg, uplo, n, a, lda, tau)
 	return 0
 }
 
 // STEQR computes eigenvalues/eigenvectors of a symmetric tridiagonal
 // matrix by the implicit QL/QR method (xSTEQR: COMPZ via a non-nil z).
 func STEQR[T Scalar](n int, d, e []float64, z []T, ldz int) (info int) {
-	return lapack.Steqr(n, d, e, z, ldz)
+	cfg := core.Default()
+	return lapack.Steqr(cfg, n, d, e, z, ldz)
 }
 
 // GESVX is the expert driver for general systems (xGESVX), returning the
 // solution in x plus the condition estimate and error bounds.
 func GESVX[T Scalar](fact byte, trans Trans, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) (rcond float64, info int) {
+	cfg := core.Default()
 	piv := make([]int, n)
 	if fact == 'F' {
 		copy(piv, pivIn(ipiv))
 	}
-	res := lapack.Gesvx(lapack.Fact(fact), trans, n, nrhs, a, lda, af, ldaf, piv, b, ldb, x, ldx)
+	res := lapack.Gesvx(cfg, lapack.Fact(fact), trans, n, nrhs, a, lda, af, ldaf, piv, b, ldb, x, ldx)
 	pivOut(piv, ipiv)
 	copy(ferr, res.Ferr)
 	copy(berr, res.Berr)

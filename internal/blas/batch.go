@@ -4,6 +4,7 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/faultinject"
 )
 
@@ -28,11 +29,11 @@ import (
 // goroutine, so serial and parallel batches perform identical per-item work
 // in an identical order per worker — results are bit-identical at any
 // worker count.
-func BatchRange(n int, item func(i int), onPanic func(i int, pe *PanicError)) {
+func BatchRange(cfg *core.Config, n int, item func(i int), onPanic func(i int, pe *PanicError)) {
 	if n <= 0 {
 		return
 	}
-	workers := Threads()
+	workers := core.Cfg(cfg).Threads
 	if workers > n {
 		workers = n
 	}

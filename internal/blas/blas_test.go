@@ -211,7 +211,7 @@ func testGemv[T core.Scalar](t *testing.T, trans Trans) {
 		}
 		want[i] = s
 	}
-	Gemv(trans, m, n, alpha, a, lda, x, 1, beta, y, 1)
+	Gemv(tcfg(), trans, m, n, alpha, a, lda, x, 1, beta, y, 1)
 	if d := diffMax(y, want); d > tol[T]() {
 		t.Fatalf("gemv %v: max diff %v", trans, d)
 	}
@@ -406,7 +406,7 @@ func testGemm[T core.Scalar](t *testing.T, transA, transB Trans) {
 			want[i+j*ldc] = alpha*prod.at(i, j) + beta*c[i+j*ldc]
 		}
 	}
-	Gemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	Gemm(tcfg(), transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 	maxd := 0.0
 	for j := 0; j < n; j++ {
 		for i := 0; i < m; i++ {
@@ -448,7 +448,7 @@ func testTrsmTrmm[T core.Scalar](t *testing.T, side Side, uplo Uplo, trans Trans
 	// Trmm then Trsm with reciprocal alpha must return the original B.
 	Trmm(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
 	inv := core.Div(core.FromFloat[T](1), alpha)
-	Trsm(side, uplo, trans, diag, m, n, inv, a, lda, b, ldb)
+	Trsm(tcfg(), side, uplo, trans, diag, m, n, inv, a, lda, b, ldb)
 	maxd := 0.0
 	for j := 0; j < n; j++ {
 		for i := 0; i < m; i++ {
@@ -479,7 +479,7 @@ func TestSyrkHerk(t *testing.T) {
 	lda := n + 1
 	a := randSlice[float64](rng, lda*k)
 	c := make([]float64, n*n)
-	Syrk(Upper, NoTrans, n, k, 1.0, a, lda, 0.0, c, n)
+	Syrk(tcfg(), Upper, NoTrans, n, k, 1.0, a, lda, 0.0, c, n)
 	for j := 0; j < n; j++ {
 		for i := 0; i <= j; i++ {
 			want := 0.0
@@ -494,7 +494,7 @@ func TestSyrkHerk(t *testing.T) {
 
 	az := randSlice[complex128](rng, lda*k)
 	cz := make([]complex128, n*n)
-	Herk(Lower, NoTrans, n, k, 1.0, az, lda, 0.0, cz, n)
+	Herk(tcfg(), Lower, NoTrans, n, k, 1.0, az, lda, 0.0, cz, n)
 	for j := 0; j < n; j++ {
 		if math.Abs(imag(cz[j+j*n])) > 1e-13 {
 			t.Fatalf("herk diag not real at %d", j)
@@ -507,7 +507,7 @@ func TestSyrkHerk(t *testing.T) {
 	// Syrk trans form: C = Aᵀ A has (i,j) = dot(col i, col j).
 	at := randSlice[float64](rng, k*n) // k×n with lda=k
 	ct := make([]float64, n*n)
-	Syrk(Upper, TransT, n, k, 2.0, at, k, 0.0, ct, n)
+	Syrk(tcfg(), Upper, TransT, n, k, 2.0, at, k, 0.0, ct, n)
 	for j := 0; j < n; j++ {
 		for i := 0; i <= j; i++ {
 			want := 0.0
@@ -533,10 +533,10 @@ func TestSymmHemm(t *testing.T) {
 	}
 	b := randSlice[float64](rng, m*n)
 	c := make([]float64, m*n)
-	Symm(Left, Upper, m, n, 1.0, a, lda, b, m, 0.0, c, m)
+	Symm(tcfg(), Left, Upper, m, n, 1.0, a, lda, b, m, 0.0, c, m)
 	// Oracle via gemm on the full symmetric matrix.
 	want := make([]float64, m*n)
-	Gemm(NoTrans, NoTrans, m, n, m, 1.0, a, lda, b, m, 0.0, want, m)
+	Gemm(tcfg(), NoTrans, NoTrans, m, n, m, 1.0, a, lda, b, m, 0.0, want, m)
 	if d := diffMax(c, want); d > 1e-13 {
 		t.Fatalf("symm left: %v", d)
 	}
@@ -549,9 +549,9 @@ func TestSymmHemm(t *testing.T) {
 		}
 	}
 	c2 := make([]float64, m*n)
-	Symm(Right, Lower, m, n, 1.0, as, n+1, b, m, 0.0, c2, m)
+	Symm(tcfg(), Right, Lower, m, n, 1.0, as, n+1, b, m, 0.0, c2, m)
 	want2 := make([]float64, m*n)
-	Gemm(NoTrans, NoTrans, m, n, n, 1.0, b, m, as, n+1, 0.0, want2, m)
+	Gemm(tcfg(), NoTrans, NoTrans, m, n, n, 1.0, b, m, as, n+1, 0.0, want2, m)
 	if d := diffMax(c2, want2); d > 1e-13 {
 		t.Fatalf("symm right: %v", d)
 	}
@@ -577,7 +577,7 @@ func TestBandPacked(t *testing.T) {
 	y := make([]float64, m)
 	Gbmv(NoTrans, m, n, kl, ku, 1.0, ab, ldab, x, 1, 0.0, y, 1)
 	want := make([]float64, m)
-	Gemv(NoTrans, m, n, 1.0, full, m, x, 1, 0.0, want, 1)
+	Gemv(tcfg(), NoTrans, m, n, 1.0, full, m, x, 1, 0.0, want, 1)
 	if d := diffMax(y, want); d > 1e-13 {
 		t.Fatalf("gbmv: %v", d)
 	}
@@ -586,7 +586,7 @@ func TestBandPacked(t *testing.T) {
 	yt := make([]float64, n)
 	Gbmv(TransT, m, n, kl, ku, 1.0, ab, ldab, xt, 1, 0.0, yt, 1)
 	wantT := make([]float64, n)
-	Gemv(TransT, m, n, 1.0, full, m, xt, 1, 0.0, wantT, 1)
+	Gemv(tcfg(), TransT, m, n, 1.0, full, m, xt, 1, 0.0, wantT, 1)
 	if d := diffMax(yt, wantT); d > 1e-13 {
 		t.Fatalf("gbmv-T: %v", d)
 	}
@@ -754,7 +754,7 @@ func TestSyr2kHer2k(t *testing.T) {
 	a := randSlice[float64](rng, n*k)
 	b := randSlice[float64](rng, n*k)
 	c := make([]float64, n*n)
-	Syr2k(Upper, NoTrans, n, k, 1.0, a, n, b, n, 0.0, c, n)
+	Syr2k(tcfg(), Upper, NoTrans, n, k, 1.0, a, n, b, n, 0.0, c, n)
 	for j := 0; j < n; j++ {
 		for i := 0; i <= j; i++ {
 			want := 0.0
@@ -769,7 +769,7 @@ func TestSyr2kHer2k(t *testing.T) {
 	az := randSlice[complex128](rng, n*k)
 	bz := randSlice[complex128](rng, n*k)
 	cz := make([]complex128, n*n)
-	Her2k(Upper, NoTrans, n, k, complex(0.5, 0.25), az, n, bz, n, 0.0, cz, n)
+	Her2k(tcfg(), Upper, NoTrans, n, k, complex(0.5, 0.25), az, n, bz, n, 0.0, cz, n)
 	for j := 0; j < n; j++ {
 		if math.Abs(imag(cz[j+j*n])) > 1e-13 {
 			t.Fatalf("her2k diag not real at %d", j)

@@ -1,0 +1,8 @@
+package blas
+
+import "repro/internal/core"
+
+// tcfg returns the current default execution context — the configuration an
+// API-boundary capture would produce with no per-call options. Tests that
+// exercise Set* shims re-capture after mutating so they observe the update.
+func tcfg() *core.Config { return core.Default() }

@@ -34,7 +34,7 @@ func TestForkCapturesWorkerPanic(t *testing.T) {
 			t.Fatalf("PanicError.Error() = %q", pe.Error())
 		}
 	}()
-	Fork(
+	Fork(tcfg(), 
 		func() {},
 		func() { panic("boom") },
 	)
@@ -67,7 +67,7 @@ func TestForkFirstPanicWins(t *testing.T) {
 			panic(i)
 		}
 	}
-	Fork(tasks...)
+	Fork(tcfg(), tasks...)
 }
 
 // TestForkCallerTaskPanic checks that a panic in the caller-run task still
@@ -83,7 +83,7 @@ func TestForkCallerTaskPanic(t *testing.T) {
 			t.Fatal("caller panic unwound before the worker finished")
 		}
 	}()
-	Fork(
+	Fork(tcfg(), 
 		func() { panic("caller") },
 		func() { workerDone = true },
 	)
@@ -99,7 +99,7 @@ func TestForkSerialPanicPropagates(t *testing.T) {
 			t.Fatalf("recovered %v, want the raw panic value", r)
 		}
 	}()
-	Fork(func() { panic("serial") }, func() {})
+	Fork(tcfg(), func() { panic("serial") }, func() {})
 }
 
 // TestParallelRangeCapturesPanic does the same for the macro-tile fan-out.
@@ -160,7 +160,7 @@ func TestInjectedWorkerPanicThroughGemm(t *testing.T) {
 				err = pe
 			}
 		}()
-		Gemm(NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+		Gemm(tcfg(), NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
 		return nil
 	}()
 	if err == nil {
@@ -174,7 +174,7 @@ func TestInjectedWorkerPanicThroughGemm(t *testing.T) {
 	// The engine must be fully usable afterwards.
 	faultinject.Reset()
 	clear(c)
-	Gemm(NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+	Gemm(tcfg(), NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
 	for _, v := range c[:8] {
 		if math.IsNaN(v) {
 			t.Fatal("post-fault GEMM produced NaN")
@@ -198,7 +198,7 @@ func TestPackPoisonPropagates(t *testing.T) {
 		b[i] = 1
 	}
 	faultinject.ArmPackPoisons(1)
-	Gemm(NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+	Gemm(tcfg(), NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
 	found := false
 	for _, v := range c {
 		if math.IsNaN(v) {
@@ -231,9 +231,9 @@ func TestForcePortableMatchesAsm(t *testing.T) {
 		a[i] = float64(i%13) - 6
 		b[i] = float64(i%11) - 5
 	}
-	Gemm(NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c1, n)
+	Gemm(tcfg(), NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c1, n)
 	faultinject.ForcePortable(true)
-	Gemm(NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c2, n)
+	Gemm(tcfg(), NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c2, n)
 	faultinject.ForcePortable(false)
 	for i := range c1 {
 		if d := math.Abs(c1[i] - c2[i]); d > 1e-9*math.Max(1, math.Abs(c1[i])) {

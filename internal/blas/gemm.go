@@ -111,18 +111,22 @@ func PutScratch[T core.Scalar](s []T) { putScratch(s) }
 
 // gemmEngine accumulates C += alpha·op(A)·op(B) (beta already applied by the
 // caller) using packed panels, blocked loops and, for large enough problems,
-// the worker pool. alpha must be non-zero and m, n, k positive.
-func gemmEngine[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
-	mc, kc, nc := blockFor[T]()
+// the worker pool. alpha must be non-zero and m, n, k positive. The engine
+// polls the call's cancellation context once per packed rank update (a
+// kc-deep slab of macro-tiles), the coarsest boundary at which no packed
+// panel is left half-consumed.
+func gemmEngine[T core.Scalar](cfg *core.Config, transA, transB Trans, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	mc, kc, nc := blockFor[T](cfg)
 	mr, nr := microGeom[T]()
 	mc = max(mr, mc-mc%mr)
-	workers := level3Workers(m * n * k)
+	workers := level3Workers(cfg, m*n*k)
 
 	bPack := getScratch[T](kc * roundUp(min(nc, n), nr))
 	for jc := 0; jc < n; jc += nc {
 		nb := min(nc, n-jc)
 		nbR := roundUp(nb, nr)
 		for pc := 0; pc < k; pc += kc {
+			cfg.Checkpoint()
 			kb := min(kc, k-pc)
 			packB(bPack[:kb*nbR], nr, transB, b, ldb, pc, kb, jc, nb)
 

@@ -23,8 +23,8 @@ import "repro/internal/core"
 // gemmSmallOK reports whether the pack-free small-matrix path handles this
 // product: path enabled, both operands untransposed, and every dimension
 // within the crossover.
-func gemmSmallOK(transA, transB Trans, m, n, k int) bool {
-	d := gemmSmallDim
+func gemmSmallOK(cfg *core.Config, transA, transB Trans, m, n, k int) bool {
+	d := cfg.GemmSmallDim
 	return d > 0 && transA == NoTrans && transB == NoTrans &&
 		m <= d && n <= d && k <= d
 }

@@ -29,10 +29,10 @@ func testGemmSmallVsNaive[T core.Scalar](t *testing.T, tol float64) {
 		alpha := core.FromFloat[T](float64(rng.Intn(5)) - 2)
 		beta := core.FromFloat[T](float64(rng.Intn(3)) - 1)
 
-		if !gemmSmallOK(NoTrans, NoTrans, m, n, k) {
+		if !gemmSmallOK(tcfg(), NoTrans, NoTrans, m, n, k) {
 			t.Fatalf("gemmSmallOK false for m=%d n=%d k=%d", m, n, k)
 		}
-		Gemm(NoTrans, NoTrans, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		Gemm(tcfg(), NoTrans, NoTrans, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 		GemmNaive(NoTrans, NoTrans, m, n, k, alpha, a, lda, b, ldb, beta, want, ldc)
 		for j := 0; j < n; j++ {
 			for i := 0; i < m; i++ {
@@ -83,7 +83,7 @@ func TestGemmSmallPortableVsAsm(t *testing.T) {
 // gemmSmallOK must not claim them).
 func TestGemmSmallDisabled(t *testing.T) {
 	defer SetGemmSmall(SetGemmSmall(0))
-	if gemmSmallOK(NoTrans, NoTrans, 8, 8, 8) {
+	if gemmSmallOK(tcfg(), NoTrans, NoTrans, 8, 8, 8) {
 		t.Fatal("gemmSmallOK claims products with the path disabled")
 	}
 	rng := rand.New(rand.NewSource(3))
@@ -92,7 +92,7 @@ func TestGemmSmallDisabled(t *testing.T) {
 	b := randSlice[float64](rng, n*n)
 	c := make([]float64, n*n)
 	want := make([]float64, n*n)
-	Gemm(NoTrans, NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+	Gemm(tcfg(), NoTrans, NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
 	GemmNaive(NoTrans, NoTrans, n, n, n, 1, a, n, b, n, 0, want, n)
 	for i := range c {
 		if core.Abs(c[i]-want[i]) > 1e-12 {
@@ -105,11 +105,11 @@ func TestGemmSmallDisabled(t *testing.T) {
 // the pack-free path.
 func TestGemmSmallTransExcluded(t *testing.T) {
 	for _, tr := range []Trans{TransT, ConjTrans} {
-		if gemmSmallOK(tr, NoTrans, 8, 8, 8) || gemmSmallOK(NoTrans, tr, 8, 8, 8) {
+		if gemmSmallOK(tcfg(), tr, NoTrans, 8, 8, 8) || gemmSmallOK(tcfg(), NoTrans, tr, 8, 8, 8) {
 			t.Fatalf("gemmSmallOK claims trans=%v products", tr)
 		}
 	}
-	if gemmSmallOK(NoTrans, NoTrans, gemmSmallDim+1, 4, 4) {
+	if gemmSmallOK(tcfg(), NoTrans, NoTrans, tcfg().GemmSmallDim+1, 4, 4) {
 		t.Fatal("gemmSmallOK claims m above the crossover")
 	}
 }
@@ -126,7 +126,7 @@ func TestGemmSmallZeroAlloc(t *testing.T) {
 		b[i] = float64(i%5) - 2
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		Gemm(NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+		Gemm(tcfg(), NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
 	})
 	if allocs != 0 {
 		t.Errorf("small-path Gemm allocates %v objects per call, want 0", allocs)

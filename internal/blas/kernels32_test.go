@@ -50,7 +50,7 @@ func TestQuickGemmPackedMatchesNaiveF32(t *testing.T) {
 		for _, threads := range []int{1, 4} {
 			old := SetThreads(threads)
 			got := append([]float32(nil), c0...)
-			gemmEngine(ta, tb, m, n, k, alpha, a, lda, b, ldb, got, ldc)
+			gemmEngine(tcfg(), ta, tb, m, n, k, alpha, a, lda, b, ldb, got, ldc)
 			SetThreads(old)
 			for i := range got {
 				d := float64(got[i] - want[i])
@@ -95,8 +95,8 @@ func TestTrsmF32LargeAgainstF64(t *testing.T) {
 				for i := range b64 {
 					b32[i] = float32(b64[i])
 				}
-				Trsm(Left, uplo, trans, NonUnit, n, nrhs, 1.0, a64, n, b64, n)
-				Trsm(Left, uplo, trans, NonUnit, n, nrhs, float32(1), a32, n, b32, n)
+				Trsm(tcfg(), Left, uplo, trans, NonUnit, n, nrhs, 1.0, a64, n, b64, n)
+				Trsm(tcfg(), Left, uplo, trans, NonUnit, n, nrhs, float32(1), a32, n, b32, n)
 				for i := range b64 {
 					if d := math.Abs(float64(b32[i]) - b64[i]); d > 1e-3*(1+math.Abs(b64[i])) {
 						t.Fatalf("n=%d uplo=%v trans=%v: f32 solve off at %d: %g vs %g",

@@ -4,7 +4,7 @@ import "repro/internal/core"
 
 // Gemv computes y = alpha*op(A)*x + beta*y where op is selected by trans and
 // A is an m×n column-major matrix.
-func Gemv[T core.Scalar](trans Trans, m, n int, alpha T, a []T, lda int, x []T, incX int, beta T, y []T, incY int) {
+func Gemv[T core.Scalar](cfg *core.Config, trans Trans, m, n int, alpha T, a []T, lda int, x []T, incX int, beta T, y []T, incY int) {
 	if m == 0 || n == 0 {
 		return
 	}
@@ -43,8 +43,9 @@ func Gemv[T core.Scalar](trans Trans, m, n int, alpha T, a []T, lda int, x []T, 
 	// the same per-element evaluation order as the serial loop, so threaded
 	// runs stay bit-identical, and worker panics are contained by
 	// parallelRange exactly as in the Level-3 engine.
-	workers := Threads()
-	if workers > 1 && m*n < gemvParallelMinVol {
+	cfg = core.Cfg(cfg)
+	workers := cfg.Threads
+	if workers > 1 && m*n < cfg.GemvParallelMinVol {
 		workers = 1
 	}
 	if trans == NoTrans && incY == 1 {

@@ -31,7 +31,8 @@ func scaleMatrix[T core.Scalar](m, n int, beta T, c []T, ldc int) {
 // is k×n. Small products run the naive unit-stride kernel (see GemmNaive);
 // everything above gemmPackedMinVol runs the packed blocked engine, which
 // fans macro-tiles across the worker pool when Threads() > 1.
-func Gemm[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+func Gemm[T core.Scalar](cfg *core.Config, transA, transB Trans, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	cfg = core.Cfg(cfg)
 	if m == 0 || n == 0 {
 		return
 	}
@@ -61,13 +62,13 @@ func Gemm[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda 
 		// triangular solves and the iterative-refinement residuals both
 		// issue this shape on every step.
 		if transA == NoTrans {
-			Gemv(NoTrans, m, k, alpha, a, lda, b, 1, core.FromFloat[T](1), c, 1)
+			Gemv(cfg, NoTrans, m, k, alpha, a, lda, b, 1, core.FromFloat[T](1), c, 1)
 		} else {
-			Gemv(transA, k, m, alpha, a, lda, b, 1, core.FromFloat[T](1), c, 1)
+			Gemv(cfg, transA, k, m, alpha, a, lda, b, 1, core.FromFloat[T](1), c, 1)
 		}
 		return
 	}
-	if gemmSmallOK(transA, transB, m, n, k) {
+	if gemmSmallOK(cfg, transA, transB, m, n, k) {
 		// Pack-free small-matrix regime: the micro-kernel runs directly on
 		// the caller's strided operands, no pack buffers and no Fork.
 		gemmSmall(m, n, k, alpha, a, lda, b, ldb, c, ldc)
@@ -90,7 +91,7 @@ func Gemm[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda 
 			// C. The recursive LU panels of the mixed-precision solvers
 			// issue this shape constantly.
 			for j := 0; j < n; j++ {
-				Gemv(NoTrans, m, k, alpha, a, lda, b[j*ldb:], 1,
+				Gemv(cfg, NoTrans, m, k, alpha, a, lda, b[j*ldb:], 1,
 					core.FromFloat[T](1), c[j*ldc:], 1)
 			}
 			return
@@ -106,7 +107,7 @@ func Gemm[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a []T, lda 
 		gemmAccumNaive(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
 		return
 	}
-	gemmEngine(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	gemmEngine(cfg, transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
 }
 
 // GemmNaive is the retained reference kernel: the seed's column-walking
@@ -218,16 +219,18 @@ func gemmAccumNaive[T core.Scalar](transA, transB Trans, m, n, k int, alpha T, a
 // Symm computes C = alpha*A*B + beta*C (side == Left) or
 // C = alpha*B*A + beta*C (side == Right) where A is symmetric with only the
 // uplo triangle referenced.
-func Symm[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
-	symHemm(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc, false)
+func Symm[T core.Scalar](cfg *core.Config, side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	cfg = core.Cfg(cfg)
+	symHemm(cfg, side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc, false)
 }
 
 // Hemm is the Hermitian analogue of Symm.
-func Hemm[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
-	symHemm(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc, true)
+func Hemm[T core.Scalar](cfg *core.Config, side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	cfg = core.Cfg(cfg)
+	symHemm(cfg, side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc, true)
 }
 
-func symHemm[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int, conj bool) {
+func symHemm[T core.Scalar](cfg *core.Config, side Side, uplo Uplo, m, n int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int, conj bool) {
 	if m == 0 || n == 0 {
 		return
 	}
@@ -267,12 +270,12 @@ func symHemm[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda 
 				jb := min(nb, m-j)
 				if uplo == Lower {
 					blk := a[j+i*lda:] // A[J,I], jb×ib; A[I,J] is its (conj-)transpose
-					Gemm(ct, NoTrans, ib, n, jb, alpha, blk, lda, b[j:], ldb, one, c[i:], ldc)
-					Gemm(NoTrans, NoTrans, jb, n, ib, alpha, blk, lda, b[i:], ldb, one, c[j:], ldc)
+					Gemm(cfg, ct, NoTrans, ib, n, jb, alpha, blk, lda, b[j:], ldb, one, c[i:], ldc)
+					Gemm(cfg, NoTrans, NoTrans, jb, n, ib, alpha, blk, lda, b[i:], ldb, one, c[j:], ldc)
 				} else {
 					blk := a[i+j*lda:] // A[I,J], ib×jb
-					Gemm(NoTrans, NoTrans, ib, n, jb, alpha, blk, lda, b[j:], ldb, one, c[i:], ldc)
-					Gemm(ct, NoTrans, jb, n, ib, alpha, blk, lda, b[i:], ldb, one, c[j:], ldc)
+					Gemm(cfg, NoTrans, NoTrans, ib, n, jb, alpha, blk, lda, b[j:], ldb, one, c[i:], ldc)
+					Gemm(cfg, ct, NoTrans, jb, n, ib, alpha, blk, lda, b[i:], ldb, one, c[j:], ldc)
 				}
 			}
 		}
@@ -285,12 +288,12 @@ func symHemm[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, lda 
 			jb := min(nb, n-j)
 			if uplo == Lower {
 				blk := a[j+i*lda:] // A[J,I], jb×ib
-				Gemm(NoTrans, NoTrans, m, ib, jb, alpha, b[j*ldb:], ldb, blk, lda, one, c[i*ldc:], ldc)
-				Gemm(NoTrans, ct, m, jb, ib, alpha, b[i*ldb:], ldb, blk, lda, one, c[j*ldc:], ldc)
+				Gemm(cfg, NoTrans, NoTrans, m, ib, jb, alpha, b[j*ldb:], ldb, blk, lda, one, c[i*ldc:], ldc)
+				Gemm(cfg, NoTrans, ct, m, jb, ib, alpha, b[i*ldb:], ldb, blk, lda, one, c[j*ldc:], ldc)
 			} else {
 				blk := a[i+j*lda:] // A[I,J], ib×jb
-				Gemm(NoTrans, ct, m, ib, jb, alpha, b[j*ldb:], ldb, blk, lda, one, c[i*ldc:], ldc)
-				Gemm(NoTrans, NoTrans, m, jb, ib, alpha, b[i*ldb:], ldb, blk, lda, one, c[j*ldc:], ldc)
+				Gemm(cfg, NoTrans, ct, m, ib, jb, alpha, b[j*ldb:], ldb, blk, lda, one, c[i*ldc:], ldc)
+				Gemm(cfg, NoTrans, NoTrans, m, jb, ib, alpha, b[i*ldb:], ldb, blk, lda, one, c[j*ldc:], ldc)
 			}
 		}
 	}
@@ -359,7 +362,8 @@ func symHemmBase[T core.Scalar](side Side, uplo Uplo, m, n int, alpha T, a []T, 
 // Everything beyond tiny volumes runs on the packed rank-k engine (see
 // rankk.go), which packs each rank slab of A once and sweeps only the
 // stored triangle.
-func Syrk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, beta T, c []T, ldc int) {
+func Syrk[T core.Scalar](cfg *core.Config, uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, beta T, c []T, ldc int) {
+	cfg = core.Cfg(cfg)
 	if n == 0 {
 		return
 	}
@@ -378,7 +382,7 @@ func Syrk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda i
 	if trans != NoTrans {
 		tr = TransT
 	}
-	syrkEngine(uplo, tr, n, k, alpha, a, lda, c, ldc, false)
+	syrkEngine(cfg, uplo, tr, n, k, alpha, a, lda, c, ldc, false)
 }
 
 func syrkBase[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, beta T, c []T, ldc int) {
@@ -412,7 +416,8 @@ func syrkBase[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, l
 // (trans == NoTrans) or C = alpha*Aᴴ*A + beta*C, with real alpha and beta,
 // on the uplo triangle of C. Blocked exactly like Syrk on the packed rank-k
 // engine, with op(A) conjugated and the diagonal forced real.
-func Herk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha float64, a []T, lda int, beta float64, c []T, ldc int) {
+func Herk[T core.Scalar](cfg *core.Config, uplo Uplo, trans Trans, n, k int, alpha float64, a []T, lda int, beta float64, c []T, ldc int) {
+	cfg = core.Cfg(cfg)
 	if n == 0 {
 		return
 	}
@@ -429,7 +434,7 @@ func Herk[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha float64, a []T,
 		if trans != NoTrans {
 			tr = ConjTrans
 		}
-		syrkEngine(uplo, tr, n, k, core.FromFloat[T](alpha), a, lda, c, ldc, core.IsComplex[T]())
+		syrkEngine(cfg, uplo, tr, n, k, core.FromFloat[T](alpha), a, lda, c, ldc, core.IsComplex[T]())
 	}
 	if core.IsComplex[T]() {
 		// The diagonal of a Hermitian update is real by construction; force
@@ -477,7 +482,8 @@ func herkBase[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha float64, a 
 // Large updates run as two triangle-restricted passes of the packed rank-k
 // engine (A as the left operand against Bᵀ, then B against Aᵀ), so the
 // blocked reductions' trailing updates reach GEMM speed.
-func Syr2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+func Syr2k[T core.Scalar](cfg *core.Config, uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	cfg = core.Cfg(cfg)
 	if n == 0 {
 		return
 	}
@@ -490,11 +496,11 @@ func Syr2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda 
 			return
 		}
 		if trans == NoTrans {
-			triEngine(uplo, NoTrans, TransT, n, k, alpha, a, lda, b, ldb, c, ldc)
-			triEngine(uplo, NoTrans, TransT, n, k, alpha, b, ldb, a, lda, c, ldc)
+			triEngine(cfg, uplo, NoTrans, TransT, n, k, alpha, a, lda, b, ldb, c, ldc)
+			triEngine(cfg, uplo, NoTrans, TransT, n, k, alpha, b, ldb, a, lda, c, ldc)
 		} else {
-			triEngine(uplo, TransT, NoTrans, n, k, alpha, a, lda, b, ldb, c, ldc)
-			triEngine(uplo, TransT, NoTrans, n, k, alpha, b, ldb, a, lda, c, ldc)
+			triEngine(cfg, uplo, TransT, NoTrans, n, k, alpha, a, lda, b, ldb, c, ldc)
+			triEngine(cfg, uplo, TransT, NoTrans, n, k, alpha, b, ldb, a, lda, c, ldc)
 		}
 		return
 	}
@@ -530,7 +536,8 @@ func Syr2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda 
 // packed triangle engine exactly like Syr2k, with the diagonal forced real
 // afterwards (the exact sum alpha·x·conj(y) + conj(alpha·x·conj(y)) is real;
 // the engine's two passes may leave roundoff-sized imaginary parts).
-func Her2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta float64, c []T, ldc int) {
+func Her2k[T core.Scalar](cfg *core.Config, uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta float64, c []T, ldc int) {
+	cfg = core.Cfg(cfg)
 	if n == 0 {
 		return
 	}
@@ -541,11 +548,11 @@ func Her2k[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda 
 		}
 		if alpha != 0 && k != 0 {
 			if trans == NoTrans {
-				triEngine(uplo, NoTrans, ConjTrans, n, k, alpha, a, lda, b, ldb, c, ldc)
-				triEngine(uplo, NoTrans, ConjTrans, n, k, core.Conj(alpha), b, ldb, a, lda, c, ldc)
+				triEngine(cfg, uplo, NoTrans, ConjTrans, n, k, alpha, a, lda, b, ldb, c, ldc)
+				triEngine(cfg, uplo, NoTrans, ConjTrans, n, k, core.Conj(alpha), b, ldb, a, lda, c, ldc)
 			} else {
-				triEngine(uplo, ConjTrans, NoTrans, n, k, alpha, a, lda, b, ldb, c, ldc)
-				triEngine(uplo, ConjTrans, NoTrans, n, k, core.Conj(alpha), b, ldb, a, lda, c, ldc)
+				triEngine(cfg, uplo, ConjTrans, NoTrans, n, k, alpha, a, lda, b, ldb, c, ldc)
+				triEngine(cfg, uplo, ConjTrans, NoTrans, n, k, core.Conj(alpha), b, ldb, a, lda, c, ldc)
 			}
 		}
 		if core.IsComplex[T]() {
@@ -698,7 +705,8 @@ func Trmm[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int,
 // larger than level3BlockSize are split recursively so the bulk of the work
 // becomes rectangular GEMM updates on the packed engine; only the diagonal
 // blocks run the direct substitution kernel.
-func Trsm[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
+func Trsm[T core.Scalar](cfg *core.Config, side Side, uplo Uplo, trans Trans, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
+	cfg = core.Cfg(cfg)
 	if m == 0 || n == 0 {
 		return
 	}
@@ -708,7 +716,7 @@ func Trsm[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int,
 	}
 	checkLD(na, lda)
 	checkLD(m, ldb)
-	trsmRec(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
+	trsmRec(cfg, side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
 }
 
 // trsmRec splits the triangular operand A = [A11 .; A21/A12 A22] and reduces
@@ -716,7 +724,7 @@ func Trsm[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int,
 // order the triangle's data dependencies require. alpha is applied to each
 // half of B exactly once: by the first solve touching it or by the GEMM's
 // beta, matching the reference xTRSM update B2 := alpha*B2 - A21*X1.
-func trsmRec[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
+func trsmRec[T core.Scalar](cfg *core.Config, side Side, uplo Uplo, trans Trans, diag Diag, m, n int, alpha T, a []T, lda int, b []T, ldb int) {
 	nt := m
 	if side == Right {
 		nt = n
@@ -741,21 +749,21 @@ func trsmRec[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n i
 		b2 := b[n1:]
 		switch {
 		case uplo == Lower && trans == NoTrans:
-			trsmRec(side, uplo, trans, diag, n1, n, alpha, a11, lda, b1, ldb)
-			Gemm(NoTrans, NoTrans, n2, n, n1, -one, a21, lda, b1, ldb, alpha, b2, ldb)
-			trsmRec(side, uplo, trans, diag, n2, n, one, a22, lda, b2, ldb)
+			trsmRec(cfg, side, uplo, trans, diag, n1, n, alpha, a11, lda, b1, ldb)
+			Gemm(cfg, NoTrans, NoTrans, n2, n, n1, -one, a21, lda, b1, ldb, alpha, b2, ldb)
+			trsmRec(cfg, side, uplo, trans, diag, n2, n, one, a22, lda, b2, ldb)
 		case uplo == Upper && trans == NoTrans:
-			trsmRec(side, uplo, trans, diag, n2, n, alpha, a22, lda, b2, ldb)
-			Gemm(NoTrans, NoTrans, n1, n, n2, -one, a12, lda, b2, ldb, alpha, b1, ldb)
-			trsmRec(side, uplo, trans, diag, n1, n, one, a11, lda, b1, ldb)
+			trsmRec(cfg, side, uplo, trans, diag, n2, n, alpha, a22, lda, b2, ldb)
+			Gemm(cfg, NoTrans, NoTrans, n1, n, n2, -one, a12, lda, b2, ldb, alpha, b1, ldb)
+			trsmRec(cfg, side, uplo, trans, diag, n1, n, one, a11, lda, b1, ldb)
 		case uplo == Lower: // op(A) = A{T,H} is upper triangular
-			trsmRec(side, uplo, trans, diag, n2, n, alpha, a22, lda, b2, ldb)
-			Gemm(trans, NoTrans, n1, n, n2, -one, a21, lda, b2, ldb, alpha, b1, ldb)
-			trsmRec(side, uplo, trans, diag, n1, n, one, a11, lda, b1, ldb)
+			trsmRec(cfg, side, uplo, trans, diag, n2, n, alpha, a22, lda, b2, ldb)
+			Gemm(cfg, trans, NoTrans, n1, n, n2, -one, a21, lda, b2, ldb, alpha, b1, ldb)
+			trsmRec(cfg, side, uplo, trans, diag, n1, n, one, a11, lda, b1, ldb)
 		default: // Upper, op(A) lower triangular
-			trsmRec(side, uplo, trans, diag, n1, n, alpha, a11, lda, b1, ldb)
-			Gemm(trans, NoTrans, n2, n, n1, -one, a12, lda, b1, ldb, alpha, b2, ldb)
-			trsmRec(side, uplo, trans, diag, n2, n, one, a22, lda, b2, ldb)
+			trsmRec(cfg, side, uplo, trans, diag, n1, n, alpha, a11, lda, b1, ldb)
+			Gemm(cfg, trans, NoTrans, n2, n, n1, -one, a12, lda, b1, ldb, alpha, b2, ldb)
+			trsmRec(cfg, side, uplo, trans, diag, n2, n, one, a22, lda, b2, ldb)
 		}
 		return
 	}
@@ -763,21 +771,21 @@ func trsmRec[T core.Scalar](side Side, uplo Uplo, trans Trans, diag Diag, m, n i
 	b2 := b[n1*ldb:]
 	switch {
 	case uplo == Upper && trans == NoTrans:
-		trsmRec(side, uplo, trans, diag, m, n1, alpha, a11, lda, b1, ldb)
-		Gemm(NoTrans, NoTrans, m, n2, n1, -one, b1, ldb, a12, lda, alpha, b2, ldb)
-		trsmRec(side, uplo, trans, diag, m, n2, one, a22, lda, b2, ldb)
+		trsmRec(cfg, side, uplo, trans, diag, m, n1, alpha, a11, lda, b1, ldb)
+		Gemm(cfg, NoTrans, NoTrans, m, n2, n1, -one, b1, ldb, a12, lda, alpha, b2, ldb)
+		trsmRec(cfg, side, uplo, trans, diag, m, n2, one, a22, lda, b2, ldb)
 	case uplo == Lower && trans == NoTrans:
-		trsmRec(side, uplo, trans, diag, m, n2, alpha, a22, lda, b2, ldb)
-		Gemm(NoTrans, NoTrans, m, n1, n2, -one, b2, ldb, a21, lda, alpha, b1, ldb)
-		trsmRec(side, uplo, trans, diag, m, n1, one, a11, lda, b1, ldb)
+		trsmRec(cfg, side, uplo, trans, diag, m, n2, alpha, a22, lda, b2, ldb)
+		Gemm(cfg, NoTrans, NoTrans, m, n1, n2, -one, b2, ldb, a21, lda, alpha, b1, ldb)
+		trsmRec(cfg, side, uplo, trans, diag, m, n1, one, a11, lda, b1, ldb)
 	case uplo == Upper: // op(A) lower triangular
-		trsmRec(side, uplo, trans, diag, m, n2, alpha, a22, lda, b2, ldb)
-		Gemm(NoTrans, trans, m, n1, n2, -one, b2, ldb, a12, lda, alpha, b1, ldb)
-		trsmRec(side, uplo, trans, diag, m, n1, one, a11, lda, b1, ldb)
+		trsmRec(cfg, side, uplo, trans, diag, m, n2, alpha, a22, lda, b2, ldb)
+		Gemm(cfg, NoTrans, trans, m, n1, n2, -one, b2, ldb, a12, lda, alpha, b1, ldb)
+		trsmRec(cfg, side, uplo, trans, diag, m, n1, one, a11, lda, b1, ldb)
 	default: // Lower, op(A) upper triangular
-		trsmRec(side, uplo, trans, diag, m, n1, alpha, a11, lda, b1, ldb)
-		Gemm(NoTrans, trans, m, n2, n1, -one, b1, ldb, a21, lda, alpha, b2, ldb)
-		trsmRec(side, uplo, trans, diag, m, n2, one, a22, lda, b2, ldb)
+		trsmRec(cfg, side, uplo, trans, diag, m, n1, alpha, a11, lda, b1, ldb)
+		Gemm(cfg, NoTrans, trans, m, n2, n1, -one, b1, ldb, a21, lda, alpha, b2, ldb)
+		trsmRec(cfg, side, uplo, trans, diag, m, n2, one, a22, lda, b2, ldb)
 	}
 }
 

@@ -2,10 +2,8 @@ package blas
 
 import (
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
@@ -18,10 +16,14 @@ import (
 // parameters alone, never by the worker count, so parallel and serial runs
 // produce bit-identical results.
 //
-// The worker budget defaults to runtime.GOMAXPROCS(0), may be pinned with the
-// LA90_NUM_THREADS environment variable at startup, and can be changed at any
-// time with SetThreads. Kernels below gemmParallelMinVol always run serially
-// so small-matrix latency does not pay goroutine hand-off costs.
+// The worker budget is a per-call quantity: every threaded entry point reads
+// it from the *core.Config captured at the API boundary, so concurrent
+// callers can run with different budgets side by side. The process-wide
+// default comes from runtime.GOMAXPROCS(0), may be pinned with the
+// LA90_NUM_THREADS environment variable at startup, and can be changed at
+// any time with SetThreads. Kernels below Config.GemmParallelMinVol always
+// run serially so small-matrix latency does not pay goroutine hand-off
+// costs.
 //
 // Fault containment: a panic on a worker goroutine would normally kill the
 // whole process, since no caller defer can recover across goroutines. Fork
@@ -29,35 +31,29 @@ import (
 // first panic (with its worker stack), wait for the remaining workers to
 // drain, and re-panic the captured value on the calling goroutine. The fault
 // then unwinds through ordinary caller defers — in particular the recovery
-// guard at the la API boundary — exactly as a serial panic would.
+// guard at the la API boundary — exactly as a serial panic would. A
+// cancellation checkpoint firing on a worker (*core.CancelError) unwinds the
+// same way, so a canceled call always joins its workers before returning:
+// no goroutine outlives the call that spawned it.
 
-// maxThreads bounds the worker budget accepted from the environment or
-// SetThreads. It is far above any useful oversubscription; its only job is to
-// keep a mistyped LA90_NUM_THREADS from provisioning absurd goroutine counts.
-const maxThreads = 1024
-
-var numThreads atomic.Int32
-
-func init() {
-	def := runtime.GOMAXPROCS(0)
-	numThreads.Store(int32(core.EnvInt("LA90_NUM_THREADS", def, 1, maxThreads)))
-}
-
-// SetThreads sets the maximum number of goroutines Level-3 kernels may use
-// and returns the previous setting. n < 1 leaves the setting unchanged;
-// n == 1 forces fully serial execution; values above an internal bound are
-// clamped. Safe to call concurrently.
+// SetThreads sets the default maximum number of goroutines Level-3 kernels
+// may use and returns the previous setting. n < 1 leaves the setting
+// unchanged; n == 1 forces fully serial execution; values above an internal
+// bound are clamped. Safe to call concurrently; calls already in flight
+// keep the budget they captured at their API boundary.
 func SetThreads(n int) int {
-	old := int(numThreads.Load())
-	if n >= 1 {
-		numThreads.Store(int32(core.ClampInt(n, 1, maxThreads)))
-	}
-	return old
+	old := core.UpdateDefault(func(c *core.Config) {
+		if n >= 1 {
+			c.Threads = core.ClampInt(n, 1, core.MaxThreads)
+		}
+	})
+	return old.Threads
 }
 
-// Threads returns the current Level-3 worker budget.
+// Threads returns the default Level-3 worker budget. Kernels never call
+// this: they read the budget from their threaded *Config.
 func Threads() int {
-	return int(numThreads.Load())
+	return core.Default().Threads
 }
 
 // PanicError wraps a panic captured on a worker goroutine so it can be
@@ -118,21 +114,22 @@ func (b *panicBox) rethrow() {
 
 // Fork runs the given tasks concurrently, one goroutine per extra task, and
 // returns when all of them have finished. The first task runs on the calling
-// goroutine. With a worker budget of one (Threads() <= 1) the tasks run
-// sequentially in argument order on the caller, so a serial run is simply the
-// in-order execution of the same closures. Fork is the pool entry point used
-// by the lookahead-pipelined LU in internal/lapack: tasks must write disjoint
-// memory, which is also what keeps forked and serial execution bit-identical.
+// goroutine. With a per-call worker budget of one (cfg.Threads <= 1) the
+// tasks run sequentially in argument order on the caller, so a serial run is
+// simply the in-order execution of the same closures. Fork is the pool entry
+// point used by the lookahead-pipelined LU in internal/lapack: tasks must
+// write disjoint memory, which is also what keeps forked and serial
+// execution bit-identical.
 //
 // If any task panics, Fork waits for the remaining tasks to finish and then
 // panics on the calling goroutine with a *PanicError carrying the first
 // panic's value and worker stack (first panic wins; later ones are dropped).
 // On the serial path panics simply propagate, preserving identical semantics.
-func Fork(tasks ...func()) {
+func Fork(cfg *core.Config, tasks ...func()) {
 	if len(tasks) == 0 {
 		return
 	}
-	if len(tasks) == 1 || Threads() <= 1 {
+	if len(tasks) == 1 || core.Cfg(cfg).Threads <= 1 {
 		for _, t := range tasks {
 			t()
 		}

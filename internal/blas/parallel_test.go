@@ -30,7 +30,7 @@ func TestGemmParallelRaceDisjoint(t *testing.T) {
 		go func(c []float64) {
 			defer wg.Done()
 			for rep := 0; rep < 3; rep++ {
-				Gemm(NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+				Gemm(tcfg(), NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
 			}
 		}(outs[g])
 	}
@@ -62,7 +62,7 @@ func TestGemmParallelRaceSharedRead(t *testing.T) {
 				defer wg.Done()
 				c := make([]float64, n*n)
 				want := make([]float64, n*n)
-				gemmEngine(ta, tb, n, n, n, 1.0, a, n, b, n, c, n)
+				gemmEngine(tcfg(), ta, tb, n, n, n, 1.0, a, n, b, n, c, n)
 				GemmNaive(ta, tb, n, n, n, 1.0, a, n, b, n, 1.0, want, n)
 				for i := range c {
 					if d := c[i] - want[i]; d > 1e-10 || d < -1e-10 {
@@ -98,7 +98,7 @@ func determinism[T core.Float](t *testing.T) {
 		old := SetThreads(threads)
 		defer SetThreads(old)
 		c := append([]T(nil), c0...)
-		gemmEngine(NoTrans, NoTrans, m, n, k, alpha, a, m, b, k, c, m)
+		gemmEngine(tcfg(), NoTrans, NoTrans, m, n, k, alpha, a, m, b, k, c, m)
 		return c
 	}
 	serial := run(1)

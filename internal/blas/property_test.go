@@ -125,10 +125,10 @@ func TestQuickGemmTransposeIdentity(t *testing.T) {
 		a := smallVec(r, m*k)
 		b := smallVec(r, k*n)
 		c1 := make([]float64, m*n)
-		Gemm(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, c1, m)
+		Gemm(tcfg(), NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, c1, m)
 		// (A·B)ᵀ via transposed operands: C2 = Bᵀ·Aᵀ (n×m).
 		c2 := make([]float64, n*m)
-		Gemm(TransT, TransT, n, m, k, 1, b, k, a, m, 0, c2, n)
+		Gemm(tcfg(), TransT, TransT, n, m, k, 1, b, k, a, m, 0, c2, n)
 		for i := 0; i < m; i++ {
 			for j := 0; j < n; j++ {
 				if math.Abs(c1[i+j*m]-c2[j+i*n]) > 1e-11 {
@@ -245,7 +245,7 @@ func TestQuickGemmPackedMatchesNaive(t *testing.T) {
 		for _, threads := range []int{1, 4} {
 			old := SetThreads(threads)
 			got := append([]float64(nil), c0...)
-			gemmEngine(ta, tb, m, n, k, alpha, a, lda, b, ldb, got, ldc)
+			gemmEngine(tcfg(), ta, tb, m, n, k, alpha, a, lda, b, ldb, got, ldc)
 			SetThreads(old)
 			for i := range got {
 				if math.Abs(got[i]-want[i]) > tolerance*(1+math.Abs(want[i])) {
@@ -297,7 +297,7 @@ func TestQuickGemmPackedMatchesNaiveComplex(t *testing.T) {
 		want := append([]complex128(nil), c0...)
 		GemmNaive(ta, tb, m, n, k, alpha, a, lda, b, ldb, 1, want, ldc)
 		got := append([]complex128(nil), c0...)
-		gemmEngine(ta, tb, m, n, k, alpha, a, lda, b, ldb, got, ldc)
+		gemmEngine(tcfg(), ta, tb, m, n, k, alpha, a, lda, b, ldb, got, ldc)
 		tolerance := 1e-11 * float64(k+1)
 		for i := range got {
 			if core.Abs(got[i]-want[i]) > tolerance*(1+core.Abs(want[i])) {

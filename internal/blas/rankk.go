@@ -46,7 +46,7 @@ func scaleTriangle[T core.Scalar](uplo Uplo, n int, beta T, c []T, ldc int) {
 // Any beta scaling must already have been applied to the triangle. trans
 // selects op exactly as in Gemm's transA and must be NoTrans, TransT
 // (Syrk), or ConjTrans (Herk).
-func syrkEngine[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, c []T, ldc int, conj bool) {
+func syrkEngine[T core.Scalar](cfg *core.Config, uplo Uplo, trans Trans, n, k int, alpha T, a []T, lda int, c []T, ldc int, conj bool) {
 	// The left operand is op(A); the right operand at (p, j) is
 	// conj?(op(A)(j, p)), which packB produces from A directly with the
 	// complementary transpose flag.
@@ -58,7 +58,7 @@ func syrkEngine[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T,
 			transB = ConjTrans
 		}
 	}
-	triEngine(uplo, transA, transB, n, k, alpha, a, lda, a, lda, c, ldc)
+	triEngine(cfg, uplo, transA, transB, n, k, alpha, a, lda, a, lda, c, ldc)
 }
 
 // triEngine accumulates alpha·opA(A)·opB(B) into the uplo triangle of the
@@ -67,11 +67,11 @@ func syrkEngine[T core.Scalar](uplo Uplo, trans Trans, n, k int, alpha T, a []T,
 // triangle-restricted sibling of gemmEngine: opB(B) slabs are packed once,
 // opA(A) is packed per macro tile with alpha folded in, and only tiles that
 // intersect the stored triangle are visited.
-func triEngine[T core.Scalar](uplo Uplo, transA, transB Trans, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
-	mc, kc, nc := blockFor[T]()
+func triEngine[T core.Scalar](cfg *core.Config, uplo Uplo, transA, transB Trans, n, k int, alpha T, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+	mc, kc, nc := blockFor[T](cfg)
 	mr, nr := microGeom[T]()
 	mc = max(mr, mc-mc%mr)
-	workers := level3Workers(n * n * k / 2)
+	workers := level3Workers(cfg, n*n*k/2)
 
 	nTiles := (n + mc - 1) / mc
 	bPack := getScratch[T](kc * roundUp(min(nc, n), nr))
@@ -87,6 +87,7 @@ func triEngine[T core.Scalar](uplo Uplo, transA, transB Trans, n, k int, alpha T
 			tHi = (jc+nb-1)/mc + 1
 		}
 		for pc := 0; pc < k; pc += kc {
+			cfg.Checkpoint()
 			kb := min(kc, k-pc)
 			packB(bPack[:kb*nbR], nr, transB, b, ldb, pc, kb, jc, nb)
 			parallelRange(tHi-tLo, workers, func(lo, hi int) {

@@ -76,7 +76,7 @@ func testSyr2kEngine[T core.Scalar](t *testing.T, n, k int) {
 			beta := core.FromFloat[T](0.5)
 
 			got := append([]T(nil), c0...)
-			Syr2k(uplo, trans, n, k, alpha, a, rows, b, rows, beta, got, n)
+			Syr2k(tcfg(), uplo, trans, n, k, alpha, a, rows, b, rows, beta, got, n)
 			want := append([]T(nil), c0...)
 			refSyr2k(uplo, trans, n, k, alpha, a, rows, b, rows, beta, want, n)
 
@@ -115,7 +115,7 @@ func testHer2kEngine[T core.Scalar](t *testing.T, n, k int) {
 			alpha := core.FromComplex[T](complex(0.75, 0.5))
 
 			got := append([]T(nil), c0...)
-			Her2k(uplo, trans, n, k, alpha, a, rows, b, rows, 0.5, got, n)
+			Her2k(tcfg(), uplo, trans, n, k, alpha, a, rows, b, rows, 0.5, got, n)
 			want := append([]T(nil), c0...)
 			refHer2k(uplo, trans, n, k, alpha, a, rows, b, rows, 0.5, want, n)
 

@@ -8,7 +8,7 @@ import "repro/internal/core"
 // tiles, and every (mc×kc)·(kc×nc) product runs a gemmMR×gemmNR register
 // micro-kernel over packed, contiguous panels.
 //
-// The counts below are element counts for float64 and are scaled by element
+// The block sizes are element counts for float64 and are scaled by element
 // size in blockFor, so the byte footprint of a packed panel is roughly
 // type-independent:
 //
@@ -16,9 +16,14 @@ import "repro/internal/core"
 //   - mc·kc·8  ≈ 256 KiB — the packed A block stays resident in L2,
 //   - kc·nc·8  ≈ 2 MiB  — the packed B slab targets L3.
 //
-// They can be overridden per process with SetBlockSizes or the environment
-// variables LA90_GEMM_MC / LA90_GEMM_KC / LA90_GEMM_NC (element counts for
-// float64, applied at package init).
+// Since the execution-context refactor every tunable lives in core.Config:
+// kernels read the *Config threaded down from the API boundary and never
+// consult package state mid-kernel. The process-wide defaults live in the
+// atomic store behind core.Default and can be changed at any time — even
+// concurrently with running kernels — with SetBlockSizes / SetGemmSmall /
+// SetThreads or pinned at startup with the LA90_GEMM_MC / LA90_GEMM_KC /
+// LA90_GEMM_NC / LA90_GEMM_SMALL / LA90_GEMV_MINVOL environment variables
+// (element counts for float64, parsed once by core.FromEnv).
 const (
 	// gemmMR×gemmNR is the register micro-tile: the micro-kernel keeps the
 	// full mr×nr accumulator block in locals so the hot loop performs
@@ -27,11 +32,7 @@ const (
 	gemmNR = 4
 )
 
-var (
-	gemmMC = 256  // rows of the packed A block (multiple of gemmMR)
-	gemmKC = 256  // shared depth of the packed A and B panels
-	gemmNC = 2048 // columns of the packed B slab (multiple of gemmNR)
-
+const (
 	// gemmPackedMinVol is the m·n·k volume below which Gemm stays on the
 	// naive column-walking kernel: packing two operands only pays for
 	// itself once each packed element is reused across enough micro-tiles.
@@ -43,29 +44,6 @@ var (
 	// has an assembly micro-kernel (see hasFastKernel): the kernel's higher
 	// flop rate amortizes packing at a fraction of the portable crossover.
 	gemmPackedMinVolAsm = 44 * 44 * 44
-
-	// gemmParallelMinVol is the m·n·k volume below which the engine does
-	// not fan macro-tiles out to worker goroutines even when Threads() > 1;
-	// below it, goroutine hand-off costs more than the tiles it would hide.
-	gemmParallelMinVol = 192 * 192 * 192
-
-	// gemvParallelMinVol is the m·n element count below which Gemv stays
-	// serial. Gemv is memory-bound, so the win from threading is aggregate
-	// read bandwidth rather than flops; the crossover is where one core
-	// stops saturating the memory system (~0.1 ms of streaming).
-	// Overridable per process with the LA90_GEMV_MINVOL environment
-	// variable (clamped, applied at package init).
-	gemvParallelMinVol = 512 * 512
-
-	// gemmSmallDim is the pack-free small-matrix crossover: a NoTrans/NoTrans
-	// product whose every dimension is at or below it skips packing entirely
-	// and runs a register micro-kernel directly on the caller's strided
-	// column-major operands, BLASFEO-style. Below this size the pack/copy
-	// traffic of the blocked engine costs more than the strided broadcasts it
-	// would save, and the operands fit in L1/L2 anyway. 0 disables the path.
-	// Overridable with SetGemmSmall or the LA90_GEMM_SMALL environment
-	// variable (applied at package init).
-	gemmSmallDim = 64
 
 	// level3BlockSize is the diagonal block size used when Symm/Hemm are
 	// decomposed into GEMM-shaped updates, and the problem size below which
@@ -88,43 +66,26 @@ var (
 	trsmLeafSizeF32 = 96
 )
 
-// maxBlockDim bounds block sizes accepted from the environment or
-// SetBlockSizes: a mistyped LA90_GEMM_* degrades to a slow-but-safe blocking
-// instead of a packed-panel allocation measured in gigabytes.
-const maxBlockDim = 1 << 16
-
-// maxGemmSmallDim bounds the pack-free crossover: above it the strided
-// B reads blow past L1 and the packed engine is strictly better, so a
-// mistyped LA90_GEMM_SMALL cannot route large products onto the small path.
-const maxGemmSmallDim = 256
-
-func init() {
-	gemmMC = core.EnvInt("LA90_GEMM_MC", gemmMC, gemmMR, maxBlockDim)
-	gemmKC = core.EnvInt("LA90_GEMM_KC", gemmKC, 4, maxBlockDim)
-	gemmNC = core.EnvInt("LA90_GEMM_NC", gemmNC, gemmNR, maxBlockDim)
-	gemmSmallDim = core.EnvInt("LA90_GEMM_SMALL", gemmSmallDim, 0, maxGemmSmallDim)
-	gemvParallelMinVol = core.EnvInt("LA90_GEMV_MINVOL", gemvParallelMinVol, 1, 1<<30)
-	normalizeBlockSizes()
-}
-
-// SetGemmSmall overrides the pack-free small-matrix crossover dimension
-// (see gemmSmallDim); 0 disables the path entirely, routing every product
-// through the seed dispatch (naive below the packed crossover, packed engine
-// above). A negative argument keeps the current value. Returns the previous
-// value so benchmarks and tests can restore it. Not safe to call concurrently
-// with running kernels.
+// SetGemmSmall overrides the default pack-free small-matrix crossover
+// dimension (see core.Config.GemmSmallDim); 0 disables the path entirely,
+// routing every product through the seed dispatch (naive below the packed
+// crossover, packed engine above). A negative argument keeps the current
+// value. Returns the previous value so benchmarks and tests can restore it.
+// Safe to call concurrently, including with running kernels: in-flight calls
+// keep the configuration they captured at their API boundary.
 func SetGemmSmall(dim int) int {
-	old := gemmSmallDim
-	if dim >= 0 {
-		gemmSmallDim = core.ClampInt(dim, 0, maxGemmSmallDim)
-	}
-	return old
+	old := core.UpdateDefault(func(c *core.Config) {
+		if dim >= 0 {
+			c.GemmSmallDim = core.ClampInt(dim, 0, core.MaxGemmSmallDim)
+		}
+	})
+	return old.GemmSmallDim
 }
 
-// GemmSmallDim reports the current pack-free small-matrix crossover
-// dimension (0 when the path is disabled). The factorization layer uses it
-// to keep its own small-problem dispatch aligned with the kernel regime.
-func GemmSmallDim() int { return gemmSmallDim }
+// GemmSmallDim reports the default pack-free small-matrix crossover
+// dimension (0 when the path is disabled). Kernels never call this: they
+// read the crossover from their threaded *Config.
+func GemmSmallDim() int { return core.Default().GemmSmallDim }
 
 // level3Workers is the one shared serial small-size cutoff for the Level-3
 // engines: every entry point that can fan work onto the worker pool — the
@@ -134,9 +95,9 @@ func GemmSmallDim() int { return gemmSmallDim }
 // goroutine hand-off on shapes where Gemm itself would stay serial. vol is
 // the operation's multiply volume (m·n·k for Gemm, n·n·k/2 for the stored
 // triangle of a rank-k update).
-func level3Workers(vol int) int {
-	workers := Threads()
-	if workers > 1 && vol < gemmParallelMinVol {
+func level3Workers(cfg *core.Config, vol int) int {
+	workers := cfg.Threads
+	if workers > 1 && vol < cfg.GemmParallelMinVol {
 		return 1
 	}
 	return workers
@@ -154,38 +115,34 @@ func packedMinVol[T core.Scalar]() int {
 	return gemmPackedMinVol
 }
 
-func normalizeBlockSizes() {
-	gemmMC = max(gemmMR, gemmMC-gemmMC%gemmMR)
-	gemmNC = max(gemmNR, gemmNC-gemmNC%gemmNR)
-	gemmKC = max(4, gemmKC)
-}
-
-// SetBlockSizes overrides the packed-engine cache block sizes (element counts
-// for float64; other types are scaled by element width automatically). A zero
-// or negative argument keeps the current value. mc and nc are rounded down to
-// multiples of the register micro-tile. It returns the previous (mc, kc, nc)
-// so tests and tuning sweeps can restore them. Not safe to call concurrently
-// with running kernels.
+// SetBlockSizes overrides the default packed-engine cache block sizes
+// (element counts for float64; other types are scaled by element width
+// automatically). A zero or negative argument keeps the current value. It
+// returns the previous (mc, kc, nc) so tests and tuning sweeps can restore
+// them. Safe to call concurrently, including with running kernels: the
+// default-config store swaps atomically and in-flight calls keep the
+// configuration captured at their API boundary.
 func SetBlockSizes(mc, kc, nc int) (omc, okc, onc int) {
-	omc, okc, onc = gemmMC, gemmKC, gemmNC
-	if mc > 0 {
-		gemmMC = core.ClampInt(mc, gemmMR, maxBlockDim)
-	}
-	if kc > 0 {
-		gemmKC = core.ClampInt(kc, 4, maxBlockDim)
-	}
-	if nc > 0 {
-		gemmNC = core.ClampInt(nc, gemmNR, maxBlockDim)
-	}
-	normalizeBlockSizes()
-	return omc, okc, onc
+	old := core.UpdateDefault(func(c *core.Config) {
+		if mc > 0 {
+			c.GemmMC = core.ClampInt(mc, gemmMR, core.MaxBlockDim)
+		}
+		if kc > 0 {
+			c.GemmKC = core.ClampInt(kc, 4, core.MaxBlockDim)
+		}
+		if nc > 0 {
+			c.GemmNC = core.ClampInt(nc, gemmNR, core.MaxBlockDim)
+		}
+	})
+	return old.GemmMC, old.GemmKC, old.GemmNC
 }
 
-// blockFor returns the (mc, kc, nc) block sizes for element type T, scaling
-// the float64-calibrated globals so packed-panel byte footprints stay roughly
-// constant across the four scalar types: float32 panels get 2× the elements,
-// complex128 panels half.
-func blockFor[T any]() (mc, kc, nc int) {
+// blockFor returns the (mc, kc, nc) block sizes for element type T from the
+// call's configuration, scaling the float64-calibrated values so
+// packed-panel byte footprints stay roughly constant across the four scalar
+// types (float32 panels get 2× the elements, complex128 panels half) and
+// rounding mc/nc to register micro-tile multiples.
+func blockFor[T any](cfg *core.Config) (mc, kc, nc int) {
 	var z T
 	scale := func(v, unit int) int {
 		switch any(z).(type) {
@@ -196,5 +153,5 @@ func blockFor[T any]() (mc, kc, nc int) {
 		}
 		return max(unit, v-v%unit)
 	}
-	return scale(gemmMC, gemmMR), max(4, scale(gemmKC, 1)), scale(gemmNC, gemmNR)
+	return scale(cfg.GemmMC, gemmMR), max(4, scale(cfg.GemmKC, 1)), scale(cfg.GemmNC, gemmNR)
 }

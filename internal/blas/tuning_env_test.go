@@ -6,6 +6,8 @@ import (
 	"os/exec"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // TestTuningEnvKnobs re-executes the test binary with the LA90_GEMM_SMALL
@@ -15,7 +17,7 @@ import (
 // package blas, the helper can print the tuning variables directly.
 func TestTuningEnvKnobs(t *testing.T) {
 	if os.Getenv("LA90_TUNING_HELPER") == "1" {
-		fmt.Printf("TUNING %d %d\n", gemmSmallDim, gemvParallelMinVol)
+		fmt.Printf("TUNING %d %d\n", core.Default().GemmSmallDim, core.Default().GemvParallelMinVol)
 		return
 	}
 	cases := []struct {
@@ -27,7 +29,7 @@ func TestTuningEnvKnobs(t *testing.T) {
 		{"0", "1", 0, 1},
 		// Out of range clamps ([0, 256] and [1, 1<<30]); garbage keeps the
 		// defaults.
-		{"100000", "0", maxGemmSmallDim, 1},
+		{"100000", "0", core.MaxGemmSmallDim, 1},
 		{"banana", "porridge", 64, 512 * 512},
 	}
 	for _, c := range cases {

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config is the per-call execution context of the whole numerical stack: one
+// immutable value carrying every tuning and policy knob the la → lapack →
+// blas layers used to read from package globals, plus an optional
+// context.Context for cooperative cancellation.
+//
+// A Config is captured exactly once, at the la API boundary (from the
+// process-wide default merged with per-call options), and then passed
+// explicitly down through every lapack driver into the blas engines. Nothing
+// below the boundary re-reads ambient state mid-kernel, so two concurrent
+// calls with different Configs — different thread budgets, block sizes,
+// precision policies — never observe each other.
+//
+// Configs are immutable by convention: once a *Config has been handed to a
+// driver it must never be written again. Derive variants with With, which
+// copies, mutates and re-clamps.
+type Config struct {
+	// Threads is the maximum number of goroutines the Level-3 engines may
+	// use for this call. 1 forces fully serial execution. The floating-point
+	// schedule never depends on it: results are bit-identical at any budget.
+	Threads int
+
+	// GemmMC, GemmKC, GemmNC are the packed-engine cache block sizes
+	// (element counts calibrated for float64; other types are re-scaled so
+	// packed-panel byte footprints stay constant — see blas.blockFor).
+	GemmMC, GemmKC, GemmNC int
+
+	// GemmSmallDim is the pack-free small-matrix crossover: a NoTrans
+	// product with every dimension at or below it runs BLASFEO-style
+	// register kernels directly on the strided operands. 0 disables the
+	// path.
+	GemmSmallDim int
+
+	// GemmParallelMinVol is the m·n·k multiply volume below which Level-3
+	// operations stay serial even when Threads > 1.
+	GemmParallelMinVol int
+
+	// GemvParallelMinVol is the m·n element count below which Gemv stays
+	// serial.
+	GemvParallelMinVol int
+
+	// Ilaenv block-size overrides for the blocked factorizations and
+	// condensed-form reductions (see lapack.Ilaenv).
+	NBGetrf   int // LU block, n < 512
+	NBGetrfLg int // LU block, n >= 512
+	NBPotrf   int // recursive Cholesky leaf
+	NBGeqrf   int // QR/LQ/Orgqr/Ormqr block
+	NBSytrf   int // Bunch–Kaufman panel width
+	NXGeqrf   int // QR/LQ unblocked crossover on min(m, n)
+	NBGetrf2  int // recursive LU panel leaf
+	NBSytrd   int // tridiagonal reduction panel width
+	NBGebrd   int // bidiagonal reduction panel width
+	NBGehrd   int // Hessenberg reduction panel width
+
+	// Lookahead enables the depth-1 panel pipeline in the blocked LU
+	// (bit-identical to the serial schedule either way).
+	Lookahead bool
+
+	// Mixed routes GESV/POSV through the mixed-precision
+	// factor-low/refine-high path by default; MixedIterMax bounds its
+	// refinement sweeps.
+	Mixed        bool
+	MixedIterMax int
+
+	// CheckInputs screens matrix arguments for non-finite values at the la
+	// boundary before any computation.
+	CheckInputs bool
+
+	// QRIterationSVD routes LA_GESVD/LA_GELSS through the classic
+	// QR-iteration path instead of divide & conquer.
+	QRIterationSVD bool
+
+	// Ctx, when non-nil, enables cooperative cancellation: kernels poll it
+	// at macro-tile, panel and refinement-iteration boundaries and unwind
+	// with a *CancelError once it is done. A nil Ctx makes Checkpoint free.
+	Ctx context.Context
+}
+
+// Clamp bounds shared by the environment loader, the Set* compatibility
+// shims and With-derived configs, so no route can smuggle in a value that
+// would allocate absurd workspaces or zero-width loops.
+const (
+	// MaxThreads bounds the worker budget; far above useful
+	// oversubscription, it only keeps a mistyped LA90_NUM_THREADS from
+	// provisioning absurd goroutine counts.
+	MaxThreads = 1024
+	// MaxBlockDim bounds the packed-engine cache block sizes: a mistyped
+	// LA90_GEMM_* degrades to a slow-but-safe blocking instead of a packed
+	// panel measured in gigabytes.
+	MaxBlockDim = 1 << 16
+	// MaxGemmSmallDim bounds the pack-free crossover: above it the strided
+	// reads blow past L1 and the packed engine is strictly better.
+	MaxGemmSmallDim = 256
+	// MaxNB bounds the Ilaenv factorization block sizes.
+	MaxNB = 1 << 12
+	// MaxMixedIterMax bounds the mixed-precision refinement sweeps; each
+	// sweep costs O(n²·nrhs) before the guaranteed fallback.
+	MaxMixedIterMax = 1 << 12
+	// MaxParallelMinVol bounds the serial-cutoff volumes.
+	MaxParallelMinVol = 1 << 30
+)
+
+// baseConfig returns the hard-coded defaults, before environment overrides:
+// the block sizes and crossovers measured in PRs 1–9 and a thread budget of
+// GOMAXPROCS.
+func baseConfig() Config {
+	return Config{
+		Threads:            runtime.GOMAXPROCS(0),
+		GemmMC:             256,
+		GemmKC:             256,
+		GemmNC:             2048,
+		GemmSmallDim:       64,
+		GemmParallelMinVol: 192 * 192 * 192,
+		GemvParallelMinVol: 512 * 512,
+		NBGetrf:            64,
+		NBGetrfLg:          256,
+		NBPotrf:            64,
+		NBGeqrf:            32,
+		NBSytrf:            48,
+		NXGeqrf:            64,
+		NBGetrf2:           8,
+		NBSytrd:            32,
+		NBGebrd:            32,
+		NBGehrd:            32,
+		Lookahead:          true,
+		MixedIterMax:       30,
+	}
+}
+
+// FromEnv applies every LA90_* tuning knob to c and returns the result.
+// This is the one place the environment is parsed: the per-layer init
+// parsing that used to live in blas/tuning.go, blas/parallel.go,
+// lapack/lapack.go, lapack/getrf.go, lapack/mixed.go, la/check.go,
+// la/mixed.go and la/svd_dc.go all funnels through here. Parsing follows
+// the EnvInt hardening policy: garbage is ignored, out-of-range values are
+// clamped.
+func FromEnv(c Config) Config {
+	c.Threads = EnvInt("LA90_NUM_THREADS", c.Threads, 1, MaxThreads)
+	c.GemmMC = EnvInt("LA90_GEMM_MC", c.GemmMC, 4, MaxBlockDim)
+	c.GemmKC = EnvInt("LA90_GEMM_KC", c.GemmKC, 4, MaxBlockDim)
+	c.GemmNC = EnvInt("LA90_GEMM_NC", c.GemmNC, 4, MaxBlockDim)
+	c.GemmSmallDim = EnvInt("LA90_GEMM_SMALL", c.GemmSmallDim, 0, MaxGemmSmallDim)
+	c.GemvParallelMinVol = EnvInt("LA90_GEMV_MINVOL", c.GemvParallelMinVol, 1, MaxParallelMinVol)
+	c.NBGetrf = EnvInt("LA90_NB_GETRF", c.NBGetrf, 1, MaxNB)
+	c.NBGetrfLg = EnvInt("LA90_NB_GETRF", c.NBGetrfLg, 1, MaxNB) // one knob pins both size regimes
+	c.NBPotrf = EnvInt("LA90_NB_POTRF", c.NBPotrf, 1, MaxNB)
+	c.NBGeqrf = EnvInt("LA90_NB_GEQRF", c.NBGeqrf, 1, MaxNB)
+	c.NBSytrf = EnvInt("LA90_NB_SYTRF", c.NBSytrf, 1, MaxNB)
+	c.NXGeqrf = EnvInt("LA90_NX_GEQRF", c.NXGeqrf, 1, MaxNB)
+	c.NBGetrf2 = EnvInt("LA90_NB_GETRF2", c.NBGetrf2, 1, MaxNB)
+	c.NBSytrd = EnvInt("LA90_NB_TRD", c.NBSytrd, 1, MaxNB)
+	c.NBGebrd = EnvInt("LA90_NB_BRD", c.NBGebrd, 1, MaxNB)
+	c.NBGehrd = EnvInt("LA90_NB_HRD", c.NBGehrd, 1, MaxNB)
+	if os.Getenv("LA90_NO_LOOKAHEAD") != "" {
+		c.Lookahead = false
+	}
+	if EnvInt("LA90_MIXED", 0, 0, 1) == 1 {
+		c.Mixed = true
+	}
+	c.MixedIterMax = EnvInt("LA90_MIXED_ITERMAX", c.MixedIterMax, 1, MaxMixedIterMax)
+	if s := os.Getenv("LA90_CHECK_INPUTS"); s != "" && s != "0" {
+		c.CheckInputs = true
+	}
+	if EnvInt("LA90_NO_DC", 0, 0, 1) == 1 {
+		c.QRIterationSVD = true
+	}
+	return c.clamped()
+}
+
+// clamped returns c with every knob forced into its legal range, so a
+// hand-built Config cannot produce zero-width panels, absurd workspaces or a
+// non-positive worker budget no matter how it was constructed.
+func (c Config) clamped() Config {
+	c.Threads = ClampInt(c.Threads, 1, MaxThreads)
+	c.GemmMC = ClampInt(c.GemmMC, 4, MaxBlockDim)
+	c.GemmKC = ClampInt(c.GemmKC, 4, MaxBlockDim)
+	c.GemmNC = ClampInt(c.GemmNC, 4, MaxBlockDim)
+	c.GemmSmallDim = ClampInt(c.GemmSmallDim, 0, MaxGemmSmallDim)
+	c.GemmParallelMinVol = ClampInt(c.GemmParallelMinVol, 1, MaxParallelMinVol)
+	c.GemvParallelMinVol = ClampInt(c.GemvParallelMinVol, 1, MaxParallelMinVol)
+	for _, p := range []*int{
+		&c.NBGetrf, &c.NBGetrfLg, &c.NBPotrf, &c.NBGeqrf, &c.NBSytrf,
+		&c.NXGeqrf, &c.NBGetrf2, &c.NBSytrd, &c.NBGebrd, &c.NBGehrd,
+	} {
+		*p = ClampInt(*p, 1, MaxNB)
+	}
+	c.MixedIterMax = ClampInt(c.MixedIterMax, 1, MaxMixedIterMax)
+	return c
+}
+
+// defaultConfig is the process-wide default-config store. Readers load the
+// pointer atomically and never write through it; writers (the Set*
+// compatibility shims) serialize on defaultMu and swap in a fresh copy, so
+// SetBlockSizes/SetGemmSmall/SetThreads are race-free against running
+// kernels: an in-flight call keeps the snapshot it captured at its API
+// boundary, and the next call sees the update.
+var (
+	defaultConfig atomic.Pointer[Config]
+	defaultMu     sync.Mutex
+)
+
+func init() {
+	c := FromEnv(baseConfig())
+	defaultConfig.Store(&c)
+}
+
+// Default returns the current process-wide default configuration. The
+// returned Config must be treated as immutable; derive variants with With.
+func Default() *Config {
+	return defaultConfig.Load()
+}
+
+// UpdateDefault atomically replaces the process-wide default with
+// mutate(current) (re-clamped), returning the configuration that was in
+// effect before. It is the single write path to the default store and is
+// safe to call concurrently with running kernels and with other updates.
+func UpdateDefault(mutate func(*Config)) *Config {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	old := defaultConfig.Load()
+	next := *old
+	mutate(&next)
+	next = next.clamped()
+	defaultConfig.Store(&next)
+	return old
+}
+
+// ResetDefault replaces the process-wide default outright (re-clamped),
+// returning the previous value. Tests use it to restore a saved snapshot.
+func ResetDefault(c Config) *Config {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	old := defaultConfig.Load()
+	next := c.clamped()
+	defaultConfig.Store(&next)
+	return old
+}
+
+// With returns a copy of c with mutate applied and every knob re-clamped —
+// the derivation step the la boundary uses to fold per-call options into the
+// captured default. c itself is never modified.
+func (c *Config) With(mutate func(*Config)) *Config {
+	next := *c
+	mutate(&next)
+	next = next.clamped()
+	return &next
+}
+
+// Cfg normalizes an execution context: nil means "the process default".
+// Entry points that accept a caller-provided *Config call this once so a
+// zero-value caller still gets a fully populated configuration.
+func Cfg(c *Config) *Config {
+	if c == nil {
+		return Default()
+	}
+	return c
+}
+
+// CancelError is the panic value raised by Checkpoint when a call's context
+// is done. It unwinds through the panic-containment machinery — worker
+// goroutines capture it like any fault, drain, and re-raise on the caller —
+// until the la API boundary converts it into the driver's typed error
+// return. Err is the context's verdict (context.Canceled or
+// context.DeadlineExceeded), exposed through Unwrap so errors.Is works all
+// the way down.
+type CancelError struct {
+	Err error
+}
+
+func (e *CancelError) Error() string {
+	return "la90: computation canceled: " + e.Err.Error()
+}
+
+// Unwrap exposes the context's error (context.Canceled or
+// context.DeadlineExceeded).
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// Checkpoint polls the call's cancellation context, panicking with a
+// *CancelError when it is done. Kernels place it at coarse work boundaries —
+// a GEMM macro-tile, a factorization panel, a refinement sweep — where the
+// poll cost vanishes against the work between polls. With no context
+// attached it is two predictable branches.
+func (c *Config) Checkpoint() {
+	if c == nil || c.Ctx == nil {
+		return
+	}
+	if err := c.Ctx.Err(); err != nil {
+		panic(&CancelError{Err: err})
+	}
+}

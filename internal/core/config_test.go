@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestFromEnvEveryKnob enumerates every LA90_* environment knob the
+// consolidated loader understands and proves each one lands on its Config
+// field, clamped. If a new knob is added to FromEnv without a row here the
+// completeness check at the bottom fails.
+func TestFromEnvEveryKnob(t *testing.T) {
+	get := func(c Config) map[string]int {
+		b := func(v bool) int {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		return map[string]int{
+			"LA90_NUM_THREADS":   c.Threads,
+			"LA90_GEMM_MC":       c.GemmMC,
+			"LA90_GEMM_KC":       c.GemmKC,
+			"LA90_GEMM_NC":       c.GemmNC,
+			"LA90_GEMM_SMALL":    c.GemmSmallDim,
+			"LA90_GEMV_MINVOL":   c.GemvParallelMinVol,
+			"LA90_NB_GETRF":      c.NBGetrf,
+			"LA90_NB_POTRF":      c.NBPotrf,
+			"LA90_NB_GEQRF":      c.NBGeqrf,
+			"LA90_NB_SYTRF":      c.NBSytrf,
+			"LA90_NX_GEQRF":      c.NXGeqrf,
+			"LA90_NB_GETRF2":     c.NBGetrf2,
+			"LA90_NB_TRD":        c.NBSytrd,
+			"LA90_NB_BRD":        c.NBGebrd,
+			"LA90_NB_HRD":        c.NBGehrd,
+			"LA90_NO_LOOKAHEAD":  b(!c.Lookahead),
+			"LA90_MIXED":         b(c.Mixed),
+			"LA90_MIXED_ITERMAX": c.MixedIterMax,
+			"LA90_CHECK_INPUTS":  b(c.CheckInputs),
+			"LA90_NO_DC":         b(c.QRIterationSVD),
+		}
+	}
+
+	cases := []struct {
+		env   string
+		set   string
+		want  int // expected field value after FromEnv(baseConfig())
+		garb  int // expected field value when the env holds garbage
+		huge  int // expected field value when the env holds 1<<40 (clamp)
+		boolK bool
+	}{
+		{"LA90_NUM_THREADS", "3", 3, baseConfig().Threads, MaxThreads, false},
+		{"LA90_GEMM_MC", "128", 128, 256, MaxBlockDim, false},
+		{"LA90_GEMM_KC", "96", 96, 256, MaxBlockDim, false},
+		{"LA90_GEMM_NC", "512", 512, 2048, MaxBlockDim, false},
+		{"LA90_GEMM_SMALL", "32", 32, 64, MaxGemmSmallDim, false},
+		{"LA90_GEMV_MINVOL", "1000", 1000, 512 * 512, MaxParallelMinVol, false},
+		{"LA90_NB_GETRF", "96", 96, 64, MaxNB, false},
+		{"LA90_NB_POTRF", "32", 32, 64, MaxNB, false},
+		{"LA90_NB_GEQRF", "48", 48, 32, MaxNB, false},
+		{"LA90_NB_SYTRF", "24", 24, 48, MaxNB, false},
+		{"LA90_NX_GEQRF", "96", 96, 64, MaxNB, false},
+		{"LA90_NB_GETRF2", "16", 16, 8, MaxNB, false},
+		{"LA90_NB_TRD", "64", 64, 32, MaxNB, false},
+		{"LA90_NB_BRD", "64", 64, 32, MaxNB, false},
+		{"LA90_NB_HRD", "64", 64, 32, MaxNB, false},
+		{"LA90_NO_LOOKAHEAD", "1", 1, 0, 0, true},
+		{"LA90_MIXED", "1", 1, 0, 0, true},
+		{"LA90_MIXED_ITERMAX", "7", 7, 30, MaxMixedIterMax, false},
+		{"LA90_CHECK_INPUTS", "1", 1, 0, 0, true},
+		{"LA90_NO_DC", "1", 1, 0, 0, true},
+	}
+
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		covered[tc.env] = true
+		t.Run(tc.env, func(t *testing.T) {
+			t.Setenv(tc.env, tc.set)
+			if got := get(FromEnv(baseConfig()))[tc.env]; got != tc.want {
+				t.Errorf("%s=%s: got %d, want %d", tc.env, tc.set, got, tc.want)
+			}
+			if tc.boolK {
+				return // boolean knobs have no numeric garbage/clamp story
+			}
+			t.Setenv(tc.env, "banana")
+			if got := get(FromEnv(baseConfig()))[tc.env]; got != tc.garb {
+				t.Errorf("%s=banana: got %d, want default %d", tc.env, got, tc.garb)
+			}
+			t.Setenv(tc.env, "1099511627776") // 1<<40: clamps to the knob's cap
+			if got := get(FromEnv(baseConfig()))[tc.env]; got != tc.huge {
+				t.Errorf("%s=1<<40: got %d, want clamp %d", tc.env, got, tc.huge)
+			}
+		})
+	}
+
+	// Completeness: every knob the loader reports must have a table row.
+	// LA90_NB_GETRF also pins NBGetrfLg; it is covered by its own row.
+	for env := range get(baseConfig()) {
+		if !covered[env] {
+			t.Errorf("env knob %s has no table row", env)
+		}
+	}
+}
+
+func TestUpdateDefaultIsolatedFromSnapshots(t *testing.T) {
+	saved := *Default()
+	defer ResetDefault(saved)
+
+	snap := Default()
+	before := snap.GemmMC
+	UpdateDefault(func(c *Config) { c.GemmMC = 128 })
+	if snap.GemmMC != before {
+		t.Fatalf("captured snapshot mutated by UpdateDefault: %d", snap.GemmMC)
+	}
+	if Default().GemmMC != 128 {
+		t.Fatalf("default not updated: %d", Default().GemmMC)
+	}
+}
+
+func TestWithClampsAndPreservesReceiver(t *testing.T) {
+	base := Default()
+	derived := base.With(func(c *Config) { c.Threads = -5; c.GemmKC = 1 << 30 })
+	if derived.Threads != 1 || derived.GemmKC != MaxBlockDim {
+		t.Fatalf("derived not clamped: %+v", derived)
+	}
+	if base.Threads == 1 && base == derived {
+		t.Fatal("With returned the receiver")
+	}
+}
+
+func TestCheckpoint(t *testing.T) {
+	var nilCfg *Config
+	nilCfg.Checkpoint() // must not panic
+	(&Config{}).Checkpoint()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Default().With(func(c *Config) { c.Ctx = ctx })
+	cfg.Checkpoint() // live context: no panic
+	cancel()
+	defer func() {
+		r := recover()
+		ce, ok := r.(*CancelError)
+		if !ok {
+			t.Fatalf("expected *CancelError panic, got %v", r)
+		}
+		if !errors.Is(ce, context.Canceled) {
+			t.Fatalf("CancelError does not unwrap to context.Canceled: %v", ce)
+		}
+	}()
+	cfg.Checkpoint()
+}

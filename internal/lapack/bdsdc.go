@@ -28,24 +28,25 @@ import (
 // variable only so the tests can force deep recursions on tiny matrices.
 var bdsdcCutoff = dcCutoff
 
-func Bdsdc(n int, d, e []float64, u []float64, ldu int, vt []float64, ldvt int) int {
+func Bdsdc(cfg *core.Config, n int, d, e []float64, u []float64, ldu int, vt []float64, ldvt int) int {
 	if n == 0 {
 		return 0
 	}
 	Laset('A', n, n, 0.0, 1.0, u, ldu)
 	Laset('A', n, n, 0.0, 1.0, vt, ldvt)
-	return bdsdcRec(n, 0, d, e, u, ldu, vt, ldvt)
+	return bdsdcRec(cfg, n, 0, d, e, u, ldu, vt, ldvt)
 }
 
 // bdsdcRec is the recursive kernel. The subproblem is an n×(n+sqre) upper
 // bidiagonal block (LAPACK's SQRE convention: sqre=1 means one extra
 // column whose only entry is e[n-1]). u is the n×n left and vt the
 // (n+sqre)×(n+sqre) right accumulation, both identity blocks on entry.
-func bdsdcRec(n, sqre int, d, e []float64, u []float64, ldu int, vt []float64, ldvt int) int {
+func bdsdcRec(cfg *core.Config, n, sqre int, d, e []float64, u []float64, ldu int, vt []float64, ldvt int) int {
+	cfg.Checkpoint() // once per D&C tree node
 	if n <= bdsdcCutoff || n < 3 {
 		// n ≤ 2 must always be a leaf: the tear needs e[n/2], which a
 		// square 2×2 block does not have.
-		return bdsdcLeaf(n, sqre, d, e, u, ldu, vt, ldvt)
+		return bdsdcLeaf(cfg, n, sqre, d, e, u, ldu, vt, ldvt)
 	}
 	// Tear at row nl: B = [B1, α·e_nl + β·e_{nl+1}, B2] with B1 the leading
 	// nl×(nl+1) block (its own extra column) and B2 the trailing
@@ -54,14 +55,14 @@ func bdsdcRec(n, sqre int, d, e []float64, u []float64, ldu int, vt []float64, l
 	nr := n - nl - 1
 	alpha := d[nl]
 	beta := e[nl]
-	if info := bdsdcRec(nl, 1, d[:nl], e[:nl], u, ldu, vt, ldvt); info != 0 {
+	if info := bdsdcRec(cfg, nl, 1, d[:nl], e[:nl], u, ldu, vt, ldvt); info != 0 {
 		return info
 	}
 	off := nl + 1
-	if info := bdsdcRec(nr, sqre, d[off:], e[off:], u[off+off*ldu:], ldu, vt[off+off*ldvt:], ldvt); info != 0 {
+	if info := bdsdcRec(cfg, nr, sqre, d[off:], e[off:], u[off+off*ldu:], ldu, vt[off+off*ldvt:], ldvt); info != 0 {
 		return info
 	}
-	return bdsdcMerge(n, sqre, nl, alpha, beta, d, u, ldu, vt, ldvt)
+	return bdsdcMerge(cfg, n, sqre, nl, alpha, beta, d, u, ldu, vt, ldvt)
 }
 
 // bdsdcLeaf solves a subproblem at or below the crossover with Bdsqr.
@@ -70,7 +71,7 @@ func bdsdcRec(n, sqre int, d, e []float64, u []float64, ldu int, vt []float64, l
 // the iteration sees a square bidiagonal; the rotations go straight into
 // the vt accumulation and the dead column's vt row becomes a right null
 // vector of the block.
-func bdsdcLeaf(n, sqre int, d, e []float64, u []float64, ldu int, vt []float64, ldvt int) int {
+func bdsdcLeaf(cfg *core.Config, n, sqre int, d, e []float64, u []float64, ldu int, vt []float64, ldvt int) int {
 	m := n + sqre
 	if sqre == 1 {
 		f := e[n-1]
@@ -92,7 +93,7 @@ func bdsdcLeaf(n, sqre int, d, e []float64, u []float64, ldu int, vt []float64, 
 	if n > 1 {
 		ew = e[:n-1]
 	}
-	return Bdsqr(n, d, ew, vt, ldvt, m, u, ldu, n)
+	return Bdsqr(cfg, n, d, ew, vt, ldvt, m, u, ldu, n)
 }
 
 // bdsdcMerge combines the two children's singular decompositions. In the
@@ -110,7 +111,7 @@ func bdsdcLeaf(n, sqre int, d, e []float64, u []float64, ldu int, vt []float64, 
 // surviving k-dimensional bases are applied to the gathered u columns and
 // vt rows with one GEMM each — the Level-3 conversion this routine exists
 // for.
-func bdsdcMerge(n, sqre, nl int, alpha, beta float64, d []float64, u []float64, ldu int, vt []float64, ldvt int) int {
+func bdsdcMerge(cfg *core.Config, n, sqre, nl int, alpha, beta float64, d []float64, u []float64, ldu int, vt []float64, ldvt int) int {
 	m := n + sqre
 	eps := core.EpsDouble
 	// Assemble the dense row in the children's right bases. V[i,j] = VT[j,i]
@@ -343,8 +344,8 @@ func bdsdcMerge(n, sqre, nl int, alpha, beta float64, d []float64, u []float64, 
 		defer blas.PutScratch(unew)
 		vnew := blas.GetScratch[float64](k * m)
 		defer blas.PutScratch(vnew)
-		blas.Gemm(NoTrans, NoTrans, n, k, k, 1.0, gu, n, lh, k, 0.0, unew, n)
-		blas.Gemm(ConjTrans, NoTrans, k, m, k, 1.0, uh, k, gv, k, 0.0, vnew, k)
+		blas.Gemm(cfg, NoTrans, NoTrans, n, k, k, 1.0, gu, n, lh, k, 0.0, unew, n)
+		blas.Gemm(cfg, ConjTrans, NoTrans, k, m, k, 1.0, uh, k, gv, k, 0.0, vnew, k)
 		for a, j := range sec {
 			sig[j] = math.Sqrt(math.Max(lams[a], 0))
 			copy(ub[j*n:j*n+n], unew[a*n:a*n+n])

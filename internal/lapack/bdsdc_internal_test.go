@@ -20,12 +20,12 @@ func TestBdsdcDeepRecursion(t *testing.T) {
 			Larnv(2, rng, max(0, n-1), e)
 			dref := append([]float64(nil), d...)
 			eref := append([]float64(nil), e...)
-			if info := Bdsqr[float64](n, dref, eref, nil, 0, 0, nil, 0, 0); info != 0 {
+			if info := Bdsqr[float64](tcfg(), n, dref, eref, nil, 0, 0, nil, 0, 0); info != 0 {
 				t.Fatalf("bdsqr info=%d", info)
 			}
 			u := make([]float64, n*n)
 			vt := make([]float64, n*n)
-			if info := Bdsdc(n, d, e, u, n, vt, n); info != 0 {
+			if info := Bdsdc(tcfg(), n, d, e, u, n, vt, n); info != 0 {
 				t.Fatalf("cutoff=%d n=%d: bdsdc info=%d", cutoff, n, info)
 			}
 			for i := 0; i < n; i++ {

@@ -20,14 +20,14 @@ func bdsdcCheck(t *testing.T, n int, d, e []float64) {
 	// Reference spectrum by QR iteration.
 	dq := append([]float64(nil), d...)
 	eq := append([]float64(nil), e...)
-	if info := lapack.Bdsqr[float64](n, dq, eq, nil, 0, 0, nil, 0, 0); info != 0 {
+	if info := lapack.Bdsqr[float64](tcfg(), n, dq, eq, nil, 0, 0, nil, 0, 0); info != 0 {
 		t.Fatalf("bdsqr info=%d", info)
 	}
 	dc := append([]float64(nil), d...)
 	ec := append([]float64(nil), e...)
 	u := make([]float64, n*n)
 	vt := make([]float64, n*n)
-	if info := lapack.Bdsdc(n, dc, ec, u, n, vt, n); info != 0 {
+	if info := lapack.Bdsdc(tcfg(), n, dc, ec, u, n, vt, n); info != 0 {
 		t.Fatalf("bdsdc info=%d", info)
 	}
 	s0 := math.Max(dq[0], 1e-300)
@@ -58,7 +58,7 @@ func bdsdcCheck(t *testing.T, n int, d, e []float64) {
 		}
 	}
 	rec := make([]float64, n*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1.0, us, n, vt, n, 0.0, rec, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, n, n, 1.0, us, n, vt, n, 0.0, rec, n)
 	b := make([]float64, n*n)
 	for i := 0; i < n; i++ {
 		b[i+i*n] = d[i]

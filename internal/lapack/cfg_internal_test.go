@@ -1,0 +1,7 @@
+package lapack
+
+import "repro/internal/core"
+
+// tcfg returns the process-default execution context for tests that drive
+// the cfg-threaded routines directly.
+func tcfg() *core.Config { return core.Default() }

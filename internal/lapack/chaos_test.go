@@ -44,7 +44,7 @@ func TestGetrfNaNBounded(t *testing.T) {
 	bounded(t, 30*time.Second, "Getrf", func() {
 		a := nanMatrix(chaosN)
 		ipiv := make([]int, chaosN)
-		Getrf(chaosN, chaosN, a, chaosN, ipiv)
+		Getrf(tcfg(), chaosN, chaosN, a, chaosN, ipiv)
 	})
 }
 
@@ -56,7 +56,7 @@ func TestSyevNaNBounded(t *testing.T) {
 		a := nanMatrix(chaosN)
 		// Symmetrize the finite part; the NaN stays in the active triangle.
 		w := make([]float64, chaosN)
-		info := Syev(true, Lower, chaosN, a, chaosN, w)
+		info := Syev(tcfg(), true, Lower, chaosN, a, chaosN, w)
 		if info == 0 {
 			t.Log("Syev returned INFO=0 on NaN input (accepted: only boundedness is asserted)")
 		}
@@ -71,7 +71,7 @@ func TestGesvdNaNBounded(t *testing.T) {
 		s := make([]float64, chaosN)
 		u := make([]float64, chaosN*chaosN)
 		vt := make([]float64, chaosN*chaosN)
-		Gesvd(SVDAll, SVDAll, chaosN, chaosN, a, chaosN, s, u, chaosN, vt, chaosN)
+		Gesvd(tcfg(), SVDAll, SVDAll, chaosN, chaosN, a, chaosN, s, u, chaosN, vt, chaosN)
 	})
 }
 
@@ -88,7 +88,7 @@ func TestSteqrNaNBounded(t *testing.T) {
 			e[i] = 1
 		}
 		e[chaosN/2] = core.NaN[float64]()
-		info := Steqr[float64](chaosN, d, e, nil, 1)
+		info := Steqr[float64](tcfg(), chaosN, d, e, nil, 1)
 		if info == 0 {
 			t.Error("Steqr converged on a NaN off-diagonal; expected INFO > 0")
 		}
@@ -100,7 +100,7 @@ func TestGelsNaNBounded(t *testing.T) {
 	bounded(t, 30*time.Second, "Gels", func() {
 		a := nanMatrix(chaosN)
 		b := make([]float64, chaosN)
-		Gels(NoTrans, chaosN, chaosN, 1, a, chaosN, b, chaosN)
+		Gels(tcfg(), NoTrans, chaosN, chaosN, 1, a, chaosN, b, chaosN)
 	})
 }
 
@@ -138,7 +138,7 @@ func TestGetrfInjectedWorkerPanic(t *testing.T) {
 				}
 			}
 		}()
-		Getrf(n, n, a, n, ipiv)
+		Getrf(tcfg(), n, n, a, n, ipiv)
 		return nil
 	}()
 	if recovered == nil {
@@ -167,7 +167,7 @@ func TestGetrfInjectedWorkerPanic(t *testing.T) {
 	for i := range b {
 		b[i] = float64(i%3) + 1
 	}
-	if info := Gesv(n, 1, a, n, ipiv, b, n); info != 0 {
+	if info := Gesv(tcfg(), n, 1, a, n, ipiv, b, n); info != 0 {
 		t.Fatalf("post-fault Gesv INFO = %d", info)
 	}
 	if !core.AllFinite(b) {

@@ -20,19 +20,19 @@ const dcCutoff = 25
 // pass the identity for the eigenvectors of T itself, or the Sytrd basis
 // from Orgtr for those of the original dense matrix. Returns non-zero if
 // the QL/QR fallback fails on a leaf block.
-func Stedc[T core.Scalar](n int, d, e []float64, z []T, ldz int) int {
+func Stedc[T core.Scalar](cfg *core.Config, n int, d, e []float64, z []T, ldz int) int {
 	if n == 0 {
 		return 0
 	}
 	if z == nil {
-		return Sterf(n, d, e)
+		return Sterf(cfg, n, d, e)
 	}
 	// Compute the eigenvector matrix of T in float64 and apply it to z.
 	qt := make([]float64, n*n)
 	for i := 0; i < n; i++ {
 		qt[i+i*n] = 1
 	}
-	if info := stedcRec(n, d, e, qt, n); info != 0 {
+	if info := stedcRec(cfg, n, d, e, qt, n); info != 0 {
 		return info
 	}
 	// z := z · qt, done in the element type of z.
@@ -46,16 +46,17 @@ func Stedc[T core.Scalar](n int, d, e []float64, z []T, ldz int) int {
 	// Use a dense multiply on the full z panel.
 	zcopy := make([]T, n*n)
 	Lacpy('A', n, n, z, ldz, zcopy, n)
-	blas.Gemm(NoTrans, NoTrans, n, n, n, one, zcopy, n, qtT, n, zero, prod, n)
+	blas.Gemm(cfg, NoTrans, NoTrans, n, n, n, one, zcopy, n, qtT, n, zero, prod, n)
 	Lacpy('A', n, n, prod, n, z, ldz)
 	return 0
 }
 
 // stedcRec is the recursive kernel operating on float64 eigenvector
 // accumulation (q starts as the identity of order n).
-func stedcRec(n int, d, e []float64, q []float64, ldq int) int {
+func stedcRec(cfg *core.Config, n int, d, e []float64, q []float64, ldq int) int {
+	cfg.Checkpoint() // once per D&C tree node
 	if n <= dcCutoff {
-		return Steqr(n, d, e, q, ldq)
+		return Steqr(cfg, n, d, e, q, ldq)
 	}
 	m := n / 2
 	rho := e[m-1]
@@ -68,10 +69,10 @@ func stedcRec(n int, d, e []float64, q []float64, ldq int) int {
 	d[m-1] -= math.Abs(rho)
 	d[m] -= math.Abs(rho)
 	// Recurse on the halves, accumulating into the diagonal blocks of q.
-	if info := stedcRec(m, d[:m], e[:m-1], q, ldq); info != 0 {
+	if info := stedcRec(cfg, m, d[:m], e[:m-1], q, ldq); info != 0 {
 		return info
 	}
-	if info := stedcRec(n-m, d[m:], e[m:], q[m+m*ldq:], ldq); info != 0 {
+	if info := stedcRec(cfg, n-m, d[m:], e[m:], q[m+m*ldq:], ldq); info != 0 {
 		return info
 	}
 	// Merge: eigenproblem of D + |rho|·z·zᵀ with
@@ -83,13 +84,13 @@ func stedcRec(n int, d, e []float64, q []float64, ldq int) int {
 	for i := m; i < n; i++ {
 		zv[i] = sgn * q[m+i*ldq]
 	}
-	return dcMerge(n, m, math.Abs(rho), d, zv, q, ldq)
+	return dcMerge(cfg, n, m, math.Abs(rho), d, zv, q, ldq)
 }
 
 // dcMerge solves the rank-one modified diagonal eigenproblem
 // D + rho·z·zᵀ (rho > 0) and updates the eigenvector accumulation q,
 // whose relevant block structure is [Q1 0; 0 Q2] with the split at m.
-func dcMerge(n, m int, rho float64, d, zv []float64, q []float64, ldq int) int {
+func dcMerge(cfg *core.Config, n, m int, rho float64, d, zv []float64, q []float64, ldq int) int {
 	eps := core.EpsDouble
 	// Sort the diagonal entries ascending, permuting z and the q columns.
 	perm := make([]int, n)
@@ -195,7 +196,7 @@ func dcMerge(n, m int, rho float64, d, zv []float64, q []float64, ldq int) int {
 			copy(qsec[a*n:a*n+n], qp[i*n:i*n+n])
 		}
 		qnew := make([]float64, n*k)
-		blas.Gemm(NoTrans, NoTrans, n, k, k, 1.0, qsec, n, uhat, k, 0.0, qnew, n)
+		blas.Gemm(cfg, NoTrans, NoTrans, n, k, k, 1.0, qsec, n, uhat, k, 0.0, qnew, n)
 		for a, i := range sec {
 			lam[i] = lams[a]
 			copy(qp[i*n:i*n+n], qnew[a*n:a*n+n])
@@ -338,31 +339,31 @@ func solveSecularCore(k int, rho float64, d, z []float64, lam []float64, u []flo
 // Syevd computes all eigenvalues and, optionally, eigenvectors of a
 // symmetric/Hermitian matrix using the divide & conquer algorithm when
 // eigenvectors are wanted (the xSYEVD/xHEEVD driver).
-func Syevd[T core.Scalar](jobz bool, uplo Uplo, n int, a []T, lda int, w []float64) int {
+func Syevd[T core.Scalar](cfg *core.Config, jobz bool, uplo Uplo, n int, a []T, lda int, w []float64) int {
 	if n == 0 {
 		return 0
 	}
 	e := make([]float64, max(0, n-1))
 	tau := make([]T, max(0, n-1))
-	Sytrd(uplo, n, a, lda, w, e, tau)
+	Sytrd(cfg, uplo, n, a, lda, w, e, tau)
 	if !jobz {
-		return Sterf(n, w, e)
+		return Sterf(cfg, n, w, e)
 	}
-	Orgtr(uplo, n, a, lda, tau)
-	return Stedc(n, w, e, a, lda)
+	Orgtr(cfg, uplo, n, a, lda, tau)
+	return Stedc(cfg, n, w, e, a, lda)
 }
 
 // Stevd computes all eigenvalues and, optionally, eigenvectors of a real
 // symmetric tridiagonal matrix by divide & conquer (the xSTEVD driver).
-func Stevd[T core.Scalar](n int, d, e []float64, z []T, ldz int) int {
+func Stevd[T core.Scalar](cfg *core.Config, n int, d, e []float64, z []T, ldz int) int {
 	if n == 0 {
 		return 0
 	}
 	if z == nil {
-		return Sterf(n, d, e)
+		return Sterf(cfg, n, d, e)
 	}
 	Laset('A', n, n, core.FromFloat[T](0), core.FromFloat[T](1), z, ldz)
-	return Stedc(n, d, e, z, ldz)
+	return Stedc(cfg, n, d, e, z, ldz)
 }
 
 // SolveSecularForTest exposes the secular solver to the package tests,

@@ -24,7 +24,7 @@ func TestStedcAgainstSteqr(t *testing.T) {
 		// Reference via QL/QR.
 		dq := append([]float64(nil), d...)
 		eq := append([]float64(nil), e...)
-		if info := lapack.Sterf(n, dq, eq); info != 0 {
+		if info := lapack.Sterf(tcfg(), n, dq, eq); info != 0 {
 			t.Fatalf("sterf info=%d", info)
 		}
 		// Divide & conquer with vectors.
@@ -34,7 +34,7 @@ func TestStedcAgainstSteqr(t *testing.T) {
 		for i := 0; i < n; i++ {
 			z[i+i*n] = 1
 		}
-		if info := lapack.Stedc(n, dd, ee, z, n); info != 0 {
+		if info := lapack.Stedc(tcfg(), n, dd, ee, z, n); info != 0 {
 			t.Fatalf("stedc info=%d", info)
 		}
 		for i := 0; i < n; i++ {
@@ -76,7 +76,7 @@ func TestStedcWithClusters(t *testing.T) {
 		z[i+i*n] = 1
 	}
 	dd := append([]float64(nil), d...)
-	if info := lapack.Stedc(n, dd, e, z, n); info != 0 {
+	if info := lapack.Stedc(tcfg(), n, dd, e, z, n); info != 0 {
 		t.Fatalf("stedc info=%d", info)
 	}
 	for k := 0; k < n; k++ {
@@ -109,11 +109,11 @@ func testSyevd[T core.Scalar](t *testing.T, n int) {
 	// Reference eigenvalues.
 	ref := append([]T(nil), full...)
 	wref := make([]float64, n)
-	lapack.Syev[T](false, lapack.Upper, n, ref, n, wref)
+	lapack.Syev[T](tcfg(), false, lapack.Upper, n, ref, n, wref)
 	// D&C with vectors.
 	z := append([]T(nil), a...)
 	w := make([]float64, n)
-	if info := lapack.Syevd[T](true, lapack.Upper, n, z, n, w); info != 0 {
+	if info := lapack.Syevd[T](tcfg(), true, lapack.Upper, n, z, n, w); info != 0 {
 		t.Fatalf("syevd info=%d", info)
 	}
 	for i := range w {
@@ -156,7 +156,7 @@ func TestStevd(t *testing.T) {
 		}
 	}
 	z := make([]float64, n*n)
-	if info := lapack.Stevd[float64](n, d, e, z, n); info != 0 {
+	if info := lapack.Stevd[float64](tcfg(), n, d, e, z, n); info != 0 {
 		t.Fatalf("stevd info=%d", info)
 	}
 	if r := testutil.EigResidual(n, a, n, d, z, n); r > thresh {
@@ -200,7 +200,7 @@ func TestSolveSecularBruteForce(t *testing.T) {
 		}
 		wref := make([]float64, k)
 		ar := append([]float64(nil), a...)
-		lapack.Syev[float64](false, lapack.Upper, k, ar, k, wref)
+		lapack.Syev[float64](tcfg(), false, lapack.Upper, k, ar, k, wref)
 		lam := make([]float64, k)
 		u := make([]float64, k*k)
 		lapack.SolveSecularForTest(k, rho, d, z, lam, u)
@@ -241,7 +241,7 @@ func TestStedcNoNaNs(t *testing.T) {
 		for i := 0; i < n; i++ {
 			z[i+i*n] = 1
 		}
-		if info := lapack.Stedc(n, d, e, z, n); info != 0 {
+		if info := lapack.Stedc(tcfg(), n, d, e, z, n); info != 0 {
 			t.Fatalf("stedc info=%d", info)
 		}
 		for i, v := range d {

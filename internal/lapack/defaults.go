@@ -1,0 +1,53 @@
+package lapack
+
+// Default-store accessors for the lapack-layer tuning knobs. These are the
+// only functions in this package allowed to touch the process-wide default
+// configuration (enforced by `make lint-globals`): every computational
+// routine reads its knobs from the *core.Config threaded down from the API
+// boundary, so a Set* call never changes the behavior of a call already in
+// flight.
+
+import "repro/internal/core"
+
+// SetLookahead enables or disables, by default, the depth-1 panel lookahead
+// used by the blocked LU factorization and returns the previous setting. The
+// default is enabled unless the LA90_NO_LOOKAHEAD environment variable is
+// set at startup; per-call configs may override it either way. Lookahead and
+// serial execution are bit-identical (the serial path runs the exact same
+// partitioned updates in program order), so the switch exists for debugging
+// and for pinning down scheduling in latency experiments, not for
+// reproducibility. Safe to call concurrently; calls in flight keep the
+// setting captured at their API boundary.
+func SetLookahead(on bool) bool {
+	old := core.UpdateDefault(func(c *core.Config) { c.Lookahead = on })
+	return old.Lookahead
+}
+
+// Lookahead reports whether the blocked LU pipelines panel factorizations
+// with trailing updates by default.
+func Lookahead() bool {
+	return core.Default().Lookahead
+}
+
+// SetMixedIterMax sets the default refinement-sweep bound of the
+// mixed-precision solvers and returns the previous setting. The default of
+// 30 matches LAPACK's DSGESV ITERMAX (a well-conditioned system converges in
+// 1–3 sweeps, so 30 is pure headroom before the stall fallback) and may be
+// pinned at startup with LA90_MIXED_ITERMAX; each sweep costs O(n²·nrhs),
+// so values above an internal cap are clamped — the cap keeps a mistyped
+// bound from turning a stalling iteration into minutes of residual
+// computations before the guaranteed fallback. n < 1 leaves the setting
+// unchanged. Safe to call concurrently; per-call configs may override the
+// bound for individual solves.
+func SetMixedIterMax(n int) int {
+	old := core.UpdateDefault(func(c *core.Config) {
+		if n >= 1 {
+			c.MixedIterMax = core.ClampInt(n, 1, core.MaxMixedIterMax)
+		}
+	})
+	return old.MixedIterMax
+}
+
+// MixedIterMax returns the default refinement-sweep bound (the
+// LA90_MIXED_ITERMAX environment knob, default 30).
+func MixedIterMax() int { return core.Default().MixedIterMax }

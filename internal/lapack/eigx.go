@@ -217,7 +217,7 @@ type SyevxResult struct {
 // symmetric/Hermitian matrix (the xSYEVX/xHEEVX expert driver) using
 // tridiagonal reduction, bisection and inverse iteration. If z is non-nil
 // the selected eigenvectors are returned in its first m columns.
-func Syevx[T core.Scalar](jobz bool, rng EigRange, uplo Uplo, n int, a []T, lda int, vl, vu float64, il, iu int, abstol float64, z []T, ldz int) SyevxResult {
+func Syevx[T core.Scalar](cfg *core.Config, jobz bool, rng EigRange, uplo Uplo, n int, a []T, lda int, vl, vu float64, il, iu int, abstol float64, z []T, ldz int) SyevxResult {
 	var res SyevxResult
 	if n == 0 {
 		return res
@@ -225,7 +225,7 @@ func Syevx[T core.Scalar](jobz bool, rng EigRange, uplo Uplo, n int, a []T, lda 
 	d := make([]float64, n)
 	e := make([]float64, max(0, n-1))
 	tau := make([]T, max(0, n-1))
-	Sytrd(uplo, n, a, lda, d, e, tau)
+	Sytrd(cfg, uplo, n, a, lda, d, e, tau)
 	res.W, res.M = Stebz(rng, n, vl, vu, il, iu, abstol, d, e)
 	if !jobz || res.M == 0 {
 		return res
@@ -238,7 +238,7 @@ func Syevx[T core.Scalar](jobz bool, rng EigRange, uplo Uplo, n int, a []T, lda 
 		}
 	}
 	// Back-transform the tridiagonal eigenvectors: Z := Q·Z.
-	Ormtr(uplo, NoTrans, n, res.M, a, lda, tau, z, ldz)
+	Ormtr(cfg, uplo, NoTrans, n, res.M, a, lda, tau, z, ldz)
 	return res
 }
 

@@ -22,7 +22,7 @@ type GeesxResult struct {
 // form partitioned after column m: RCONDE = 1/sqrt(1+‖X‖F²) with X the
 // solution of T11·X − X·T22 = T12, and RCONDV = sep(T11, T22) estimated
 // through the 1-norm estimator on the inverse Sylvester operator.
-func sepEstimates(n, m int, t []float64, ldt int) (rconde, rcondv float64) {
+func sepEstimates(cfg *core.Config, n, m int, t []float64, ldt int) (rconde, rcondv float64) {
 	if m == 0 || m == n {
 		return 1, Lange(OneNorm, n, n, t, ldt)
 	}
@@ -30,7 +30,7 @@ func sepEstimates(n, m int, t []float64, ldt int) (rconde, rcondv float64) {
 	// X solves T11·X − X·T22 = T12.
 	x := make([]float64, m*n2)
 	Lacpy('A', m, n2, t[m*ldt:], ldt, x, m)
-	Trsyl(false, -1, m, n2, t, ldt, t[m+m*ldt:], ldt, x, m)
+	Trsyl(cfg, false, -1, m, n2, t, ldt, t[m+m*ldt:], ldt, x, m)
 	fro := 0.0
 	for _, v := range x {
 		fro += v * v
@@ -38,7 +38,7 @@ func sepEstimates(n, m int, t []float64, ldt int) (rconde, rcondv float64) {
 	rconde = 1 / math.Sqrt(1+fro)
 	// sep: 1/‖inv(Sylvester operator)‖₁ via Lacn2 on the vectorized solve.
 	est := Lacn2(m*n2, func(conjTrans bool, v []float64) {
-		Trsyl(conjTrans, -1, m, n2, t, ldt, t[m+m*ldt:], ldt, v, m)
+		Trsyl(cfg, conjTrans, -1, m, n2, t, ldt, t[m+m*ldt:], ldt, v, m)
 	})
 	if est == 0 {
 		return rconde, Lange(OneNorm, n, n, t, ldt)
@@ -73,7 +73,7 @@ func sepEstimatesC(n, m int, t []complex128, ldt int) (rconde, rcondv float64) {
 // and condition estimates (the xGEESX expert driver). sel must be non-nil;
 // the selected eigenvalues are moved to the top-left and RCondE/RCondV
 // describe the sensitivity of their cluster and invariant subspace.
-func Geesx[T core.Float](jobvs bool, sel func(wr, wi float64) bool, n int, a []T, lda int, wr, wi []float64, vs []T, ldvs int) GeesxResult {
+func Geesx[T core.Float](cfg *core.Config, jobvs bool, sel func(wr, wi float64) bool, n int, a []T, lda int, wr, wi []float64, vs []T, ldvs int) GeesxResult {
 	var res GeesxResult
 	if n == 0 {
 		res.RCondE, res.RCondV = 1, 0
@@ -81,18 +81,18 @@ func Geesx[T core.Float](jobvs bool, sel func(wr, wi float64) bool, n int, a []T
 	}
 	h := promoteReal(n, n, a, lda)
 	tau := make([]float64, max(0, n-1))
-	Gehrd(n, 0, n-1, h, n, tau)
+	Gehrd(cfg, n, 0, n-1, h, n, tau)
 	z := make([]float64, n*n)
 	Lacpy('A', n, n, h, n, z, n)
-	Orghr(n, 0, n-1, z, n, tau)
-	if info := Hseqr(true, n, 0, n-1, h, n, wr, wi, z, n); info != 0 {
+	Orghr(cfg, n, 0, n-1, z, n, tau)
+	if info := Hseqr(cfg, true, n, 0, n-1, h, n, wr, wi, z, n); info != 0 {
 		res.Info = info
 		return res
 	}
 	if sel != nil {
-		res.SDim = reorderSchur(n, h, n, z, n, wr, wi, sel)
+		res.SDim = reorderSchur(cfg, n, h, n, z, n, wr, wi, sel)
 	}
-	res.RCondE, res.RCondV = sepEstimates(n, res.SDim, h, n)
+	res.RCondE, res.RCondV = sepEstimates(cfg, n, res.SDim, h, n)
 	demoteReal(n, n, h, a, lda)
 	if jobvs {
 		demoteReal(n, n, z, vs, ldvs)
@@ -101,7 +101,7 @@ func Geesx[T core.Float](jobvs bool, sel func(wr, wi float64) bool, n int, a []T
 }
 
 // GeesxC is the complex counterpart of Geesx.
-func GeesxC[T core.Cmplx](jobvs bool, sel func(w complex128) bool, n int, a []T, lda int, w []complex128, vs []T, ldvs int) GeesxResult {
+func GeesxC[T core.Cmplx](cfg *core.Config, jobvs bool, sel func(w complex128) bool, n int, a []T, lda int, w []complex128, vs []T, ldvs int) GeesxResult {
 	var res GeesxResult
 	if n == 0 {
 		res.RCondE, res.RCondV = 1, 0
@@ -109,7 +109,7 @@ func GeesxC[T core.Cmplx](jobvs bool, sel func(w complex128) bool, n int, a []T,
 	}
 	h := promoteCmplx(n, n, a, lda)
 	vsc := make([]complex128, n*n)
-	sdim, info := GeesC[complex128](true, sel, n, h, n, w, vsc, n)
+	sdim, info := GeesC[complex128](cfg, true, sel, n, h, n, w, vsc, n)
 	if info != 0 {
 		res.Info = info
 		return res
@@ -235,7 +235,7 @@ func sepPerEigenvalue(n int, t []complex128, ldt int, w []complex128, rcondv []f
 // Geevx computes eigenvalues, optional eigenvectors, balancing details and
 // condition numbers for a real general matrix (the xGEEVX expert driver).
 // Balancing 'B' is always applied, as in the paper's LA_GEEVX default.
-func Geevx[T core.Float](jobvl, jobvr bool, n int, a []T, lda int, wr, wi []float64, vl []T, ldvl int, vr []T, ldvr int) GeevxResult {
+func Geevx[T core.Float](cfg *core.Config, jobvl, jobvr bool, n int, a []T, lda int, wr, wi []float64, vl []T, ldvl int, vr []T, ldvr int) GeevxResult {
 	res := GeevxResult{
 		Scale:  make([]float64, n),
 		RCondE: make([]float64, n),
@@ -250,11 +250,11 @@ func Geevx[T core.Float](jobvl, jobvr bool, n int, a []T, lda int, wr, wi []floa
 	res.ILo, res.IHi = Gebal[float64]('B', n, h, n, res.Scale)
 	res.ABNrm = Lange(OneNorm, n, n, h, n)
 	tau := make([]float64, max(0, n-1))
-	Gehrd(n, res.ILo, res.IHi, h, n, tau)
+	Gehrd(cfg, n, res.ILo, res.IHi, h, n, tau)
 	z := make([]float64, n*n)
 	Lacpy('A', n, n, h, n, z, n)
-	Orghr(n, res.ILo, res.IHi, z, n, tau)
-	if info := Hseqr(true, n, res.ILo, res.IHi, h, n, wr, wi, z, n); info != 0 {
+	Orghr(cfg, n, res.ILo, res.IHi, z, n, tau)
+	if info := Hseqr(cfg, true, n, res.ILo, res.IHi, h, n, wr, wi, z, n); info != 0 {
 		res.Info = info
 		return res
 	}
@@ -269,7 +269,7 @@ func Geevx[T core.Float](jobvl, jobvr bool, n int, a []T, lda int, wr, wi []floa
 		tc[i] = complex(h[i], 0)
 	}
 	wc := make([]complex128, n)
-	if info := HseqrC(true, n, 0, n-1, tc, n, wc, nil, 0); info == 0 {
+	if info := HseqrC(cfg, true, n, 0, n-1, tc, n, wc, nil, 0); info == 0 {
 		// Match the complex eigenvalue order to (wr, wi).
 		perm := matchEigenvalues(n, wr, wi, wc)
 		rcv := make([]float64, n)
@@ -316,7 +316,7 @@ func matchEigenvalues(n int, wr, wi []float64, wc []complex128) []int {
 }
 
 // GeevxC is the complex counterpart of Geevx.
-func GeevxC[T core.Cmplx](jobvl, jobvr bool, n int, a []T, lda int, w []complex128, vl []T, ldvl int, vr []T, ldvr int) GeevxResult {
+func GeevxC[T core.Cmplx](cfg *core.Config, jobvl, jobvr bool, n int, a []T, lda int, w []complex128, vl []T, ldvl int, vr []T, ldvr int) GeevxResult {
 	res := GeevxResult{
 		Scale:  make([]float64, n),
 		RCondE: make([]float64, n),
@@ -329,11 +329,11 @@ func GeevxC[T core.Cmplx](jobvl, jobvr bool, n int, a []T, lda int, w []complex1
 	res.ILo, res.IHi = Gebal[complex128]('B', n, h, n, res.Scale)
 	res.ABNrm = Lange(OneNorm, n, n, h, n)
 	tau := make([]complex128, max(0, n-1))
-	Gehrd(n, res.ILo, res.IHi, h, n, tau)
+	Gehrd(cfg, n, res.ILo, res.IHi, h, n, tau)
 	z := make([]complex128, n*n)
 	Lacpy('A', n, n, h, n, z, n)
-	Orghr(n, res.ILo, res.IHi, z, n, tau)
-	if info := HseqrC(true, n, res.ILo, res.IHi, h, n, w, z, n); info != 0 {
+	Orghr(cfg, n, res.ILo, res.IHi, z, n, tau)
+	if info := HseqrC(cfg, true, n, res.ILo, res.IHi, h, n, w, z, n); info != 0 {
 		res.Info = info
 		return res
 	}

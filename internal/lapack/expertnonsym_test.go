@@ -20,17 +20,17 @@ func TestTrsylReal(t *testing.T) {
 		wi := make([]float64, max(m, n))
 		// Real Schur forms as the quasi-triangular operands.
 		vsa := make([]float64, m*m)
-		lapack.Gees[float64](true, nil, m, ga, m, wr[:m], wi[:m], vsa, m)
+		lapack.Gees[float64](tcfg(), true, nil, m, ga, m, wr[:m], wi[:m], vsa, m)
 		vsb := make([]float64, n*n)
 		// Shift B's spectrum away from A's to keep the equation well posed.
 		for i := 0; i < n; i++ {
 			gb[i+i*n] += 10
 		}
-		lapack.Gees[float64](true, nil, n, gb, n, wr[:n], wi[:n], vsb, n)
+		lapack.Gees[float64](tcfg(), true, nil, n, gb, n, wr[:n], wi[:n], vsb, n)
 
 		c := testutil.RandGeneral[float64](rng, m, n, m)
 		x := append([]float64(nil), c...)
-		lapack.Trsyl(false, -1, m, n, ga, m, gb, n, x, m)
+		lapack.Trsyl(tcfg(), false, -1, m, n, ga, m, gb, n, x, m)
 		// Residual A·X − X·B − C.
 		maxr := 0.0
 		for j := 0; j < n; j++ {
@@ -50,7 +50,7 @@ func TestTrsylReal(t *testing.T) {
 		}
 		// Transposed variant: Aᵀ·X − X·Bᵀ = C.
 		xt := append([]float64(nil), c...)
-		lapack.Trsyl(true, -1, m, n, ga, m, gb, n, xt, m)
+		lapack.Trsyl(tcfg(), true, -1, m, n, ga, m, gb, n, xt, m)
 		maxr = 0.0
 		for j := 0; j < n; j++ {
 			for i := 0; i < m; i++ {
@@ -82,8 +82,8 @@ func TestTrsylComplex(t *testing.T) {
 	wb := make([]complex128, n)
 	vsa := make([]complex128, m*m)
 	vsb := make([]complex128, n*n)
-	lapack.GeesC[complex128](true, nil, m, ga, m, wa, vsa, m)
-	lapack.GeesC[complex128](true, nil, n, gb, n, wb, vsb, n)
+	lapack.GeesC[complex128](tcfg(), true, nil, m, ga, m, wa, vsa, m)
+	lapack.GeesC[complex128](tcfg(), true, nil, n, gb, n, wb, vsb, n)
 	c := testutil.RandGeneral[complex128](rng, m, n, m)
 	x := append([]complex128(nil), c...)
 	lapack.TrsylC(false, -1, m, n, ga, m, gb, n, x, m)
@@ -122,7 +122,7 @@ func TestGeesxConditionNumbers(t *testing.T) {
 	wr := make([]float64, n)
 	wi := make([]float64, n)
 	vs := make([]float64, n*n)
-	res := lapack.Geesx[float64](true, func(re, im float64) bool { return re < 50 }, n, a, n, wr, wi, vs, n)
+	res := lapack.Geesx[float64](tcfg(), true, func(re, im float64) bool { return re < 50 }, n, a, n, wr, wi, vs, n)
 	if res.Info != 0 || res.SDim != 4 {
 		t.Fatalf("geesx info=%d sdim=%d", res.Info, res.SDim)
 	}
@@ -139,7 +139,7 @@ func TestGeesxConditionNumbers(t *testing.T) {
 	wr2 := make([]float64, 2)
 	wi2 := make([]float64, 2)
 	vs2 := make([]float64, 4)
-	res2 := lapack.Geesx[float64](true, func(re, im float64) bool { return re < 1.00005 }, 2, b, 2, wr2, wi2, vs2, 2)
+	res2 := lapack.Geesx[float64](tcfg(), true, func(re, im float64) bool { return re < 1.00005 }, 2, b, 2, wr2, wi2, vs2, 2)
 	if res2.Info != 0 {
 		t.Fatalf("geesx info=%d", res2.Info)
 	}
@@ -155,7 +155,7 @@ func TestGeesxComplex(t *testing.T) {
 	orig := append([]complex128(nil), a...)
 	w := make([]complex128, n)
 	vs := make([]complex128, n*n)
-	res := lapack.GeesxC[complex128](true, func(z complex128) bool { return real(z) > 0 }, n, a, n, w, vs, n)
+	res := lapack.GeesxC[complex128](tcfg(), true, func(z complex128) bool { return real(z) > 0 }, n, a, n, w, vs, n)
 	if res.Info != 0 {
 		t.Fatalf("geesxc info=%d", res.Info)
 	}
@@ -180,7 +180,7 @@ func TestGeevxConditionNumbers(t *testing.T) {
 	wi := make([]float64, n)
 	vl := make([]float64, n*n)
 	vr := make([]float64, n*n)
-	res := lapack.Geevx[float64](true, true, n, ac, n, wr, wi, vl, n, vr, n)
+	res := lapack.Geevx[float64](tcfg(), true, true, n, ac, n, wr, wi, vl, n, vr, n)
 	if res.Info != 0 {
 		t.Fatalf("geevx info=%d", res.Info)
 	}
@@ -196,7 +196,7 @@ func TestGeevxConditionNumbers(t *testing.T) {
 	b := []float64{1, 0, 1e8, 1.000001}
 	wr2 := make([]float64, 2)
 	wi2 := make([]float64, 2)
-	res2 := lapack.Geevx[float64](false, false, 2, b, 2, wr2, wi2, nil, 1, nil, 1)
+	res2 := lapack.Geevx[float64](tcfg(), false, false, 2, b, 2, wr2, wi2, nil, 1, nil, 1)
 	if res2.Info != 0 {
 		t.Fatalf("geevx info=%d", res2.Info)
 	}
@@ -217,7 +217,7 @@ func TestGeevxComplex(t *testing.T) {
 	w := make([]complex128, n)
 	vl := make([]complex128, n*n)
 	vr := make([]complex128, n*n)
-	res := lapack.GeevxC[complex128](true, true, n, a, n, w, vl, n, vr, n)
+	res := lapack.GeevxC[complex128](tcfg(), true, true, n, a, n, w, vl, n, vr, n)
 	if res.Info != 0 {
 		t.Fatalf("geevxc info=%d", res.Info)
 	}

@@ -28,7 +28,7 @@ func testGetrf2VsGetf2[T core.Scalar](t *testing.T, m, n int) {
 	afRec := make([]T, lda*n)
 	lapack.Lacpy('A', m, n, a, lda, afRec, lda)
 	ipivRec := make([]int, mn)
-	infoRec := lapack.Getrf2(m, n, afRec, lda, ipivRec)
+	infoRec := lapack.Getrf2(tcfg(), m, n, afRec, lda, ipivRec)
 
 	afRef := make([]T, lda*n)
 	lapack.Lacpy('A', m, n, a, lda, afRef, lda)
@@ -81,14 +81,14 @@ func testLookaheadBitIdentity[T core.Scalar](t *testing.T, m, n int) {
 	afPipe := make([]T, lda*n)
 	lapack.Lacpy('A', m, n, a, lda, afPipe, lda)
 	ipivPipe := make([]int, mn)
-	infoPipe := lapack.Getrf(m, n, afPipe, lda, ipivPipe)
+	infoPipe := lapack.Getrf(tcfg(), m, n, afPipe, lda, ipivPipe)
 
 	oldLA := lapack.SetLookahead(false)
 	defer lapack.SetLookahead(oldLA)
 	afSer := make([]T, lda*n)
 	lapack.Lacpy('A', m, n, a, lda, afSer, lda)
 	ipivSer := make([]int, mn)
-	infoSer := lapack.Getrf(m, n, afSer, lda, ipivSer)
+	infoSer := lapack.Getrf(tcfg(), m, n, afSer, lda, ipivSer)
 
 	if infoPipe != infoSer {
 		t.Fatalf("info: pipelined %d vs serial %d", infoPipe, infoSer)
@@ -122,12 +122,12 @@ func testPotrfVsPotf2[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int) {
 
 	afRec := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, afRec, lda)
-	if info := lapack.Potrf(uplo, n, afRec, lda); info != 0 {
+	if info := lapack.Potrf(tcfg(), uplo, n, afRec, lda); info != 0 {
 		t.Fatalf("potrf info = %d", info)
 	}
 	afRef := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, afRef, lda)
-	if info := lapack.Potf2(uplo, n, afRef, lda); info != 0 {
+	if info := lapack.Potf2(tcfg(), uplo, n, afRef, lda); info != 0 {
 		t.Fatalf("potf2 info = %d", info)
 	}
 	// The recursion reorders the updates, so compare to rounding, scaled by
@@ -162,13 +162,13 @@ func testGeqrfBlocked[T core.Scalar](t *testing.T, m, n int) {
 	af := make([]T, lda*n)
 	lapack.Lacpy('A', m, n, a, lda, af, lda)
 	tau := make([]T, mn)
-	lapack.Geqrf(m, n, af, lda, tau)
+	lapack.Geqrf(tcfg(), m, n, af, lda, tau)
 
 	afRef := make([]T, lda*n)
 	lapack.Lacpy('A', m, n, a, lda, afRef, lda)
 	tauRef := make([]T, mn)
 	work := make([]T, n)
-	lapack.Geqr2(m, n, afRef, lda, tauRef, work)
+	lapack.Geqr2(tcfg(), m, n, afRef, lda, tauRef, work)
 	scale := 1e4 * core.Eps[T]() * float64(max(m, n))
 	for j := 0; j < n; j++ {
 		for i := 0; i <= min(j, m-1); i++ {
@@ -182,7 +182,7 @@ func testGeqrfBlocked[T core.Scalar](t *testing.T, m, n int) {
 	// Q from the blocked Orgqr must be orthonormal and reproduce A.
 	q := make([]T, lda*mn)
 	lapack.Lacpy('A', m, mn, af, lda, q, lda)
-	lapack.Orgqr(m, mn, mn, q, lda, tau)
+	lapack.Orgqr(tcfg(), m, mn, mn, q, lda, tau)
 	if r := testutil.OrthoResidual(m, mn, q, lda); r > thresh {
 		t.Fatalf("orthogonality residual %v > %v", r, thresh)
 	}
@@ -198,7 +198,7 @@ func testGeqrfBlocked[T core.Scalar](t *testing.T, m, n int) {
 	}
 	one := core.FromFloat[T](1)
 	zero := core.FromFloat[T](0)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, mn, one, q, lda, rmat, mn, zero, qr, lda)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, mn, one, q, lda, rmat, mn, zero, qr, lda)
 	anorm := lapack.Lange(lapack.OneNorm, m, n, a, lda)
 	dmax := 0.0
 	for j := 0; j < n; j++ {
@@ -235,12 +235,12 @@ func testGelqfBlocked[T core.Scalar](t *testing.T, m, n int) {
 	af := make([]T, lda*n)
 	lapack.Lacpy('A', m, n, a, lda, af, lda)
 	tau := make([]T, mn)
-	lapack.Gelqf(m, n, af, lda, tau)
+	lapack.Gelqf(tcfg(), m, n, af, lda, tau)
 
 	// Q: mn×n with orthonormal rows.
 	q := make([]T, mn*n)
 	lapack.Lacpy('A', mn, n, af, lda, q, mn)
-	lapack.Orglq(mn, n, mn, q, mn, tau)
+	lapack.Orglq(tcfg(), mn, n, mn, q, mn, tau)
 	// L: m×mn lower trapezoid of af.
 	l := make([]T, m*mn)
 	for j := 0; j < mn; j++ {
@@ -251,7 +251,7 @@ func testGelqfBlocked[T core.Scalar](t *testing.T, m, n int) {
 	lq := make([]T, lda*n)
 	one := core.FromFloat[T](1)
 	zero := core.FromFloat[T](0)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, mn, one, l, m, q, mn, zero, lq, lda)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, mn, one, l, m, q, mn, zero, lq, lda)
 	anorm := lapack.Lange(lapack.OneNorm, m, n, a, lda)
 	if anorm == 0 {
 		anorm = 1
@@ -285,12 +285,12 @@ func testOrmqrBlocked[T core.Scalar](t *testing.T, m, k int) {
 	lda := m + 1
 	a := testutil.RandGeneral[T](rng, m, k, lda)
 	tau := make([]T, k)
-	lapack.Geqrf(m, k, a, lda, tau)
+	lapack.Geqrf(tcfg(), m, k, a, lda, tau)
 
 	// Full m×m Q for the oracle product.
 	qf := make([]T, m*m)
 	lapack.Lacpy('A', m, k, a, lda, qf, m)
-	lapack.Orgqr(m, m, k, qf, m, tau)
+	lapack.Orgqr(tcfg(), m, m, k, qf, m, tau)
 
 	one := core.FromFloat[T](1)
 	zero := core.FromFloat[T](0)
@@ -306,13 +306,13 @@ func testOrmqrBlocked[T core.Scalar](t *testing.T, m, k int) {
 			c0 := testutil.RandGeneral[T](rng, cm, cn, ldc)
 			c := make([]T, ldc*cn)
 			lapack.Lacpy('A', cm, cn, c0, ldc, c, ldc)
-			lapack.Ormqr(side, trans, cm, cn, k, a, lda, tau, c, ldc)
+			lapack.Ormqr(tcfg(), side, trans, cm, cn, k, a, lda, tau, c, ldc)
 
 			ref := make([]T, ldc*cn)
 			if side == lapack.Left {
-				blas.Gemm(trans, blas.NoTrans, cm, cn, m, one, qf, m, c0, ldc, zero, ref, ldc)
+				blas.Gemm(tcfg(), trans, blas.NoTrans, cm, cn, m, one, qf, m, c0, ldc, zero, ref, ldc)
 			} else {
-				blas.Gemm(blas.NoTrans, trans, cm, cn, m, one, c0, ldc, qf, m, zero, ref, ldc)
+				blas.Gemm(tcfg(), blas.NoTrans, trans, cm, cn, m, one, c0, ldc, qf, m, zero, ref, ldc)
 			}
 			for j := 0; j < cn; j++ {
 				for i := 0; i < cm; i++ {
@@ -352,7 +352,7 @@ func testSytrfBlockedVsUnblocked[T core.Scalar](t *testing.T, uplo lapack.Uplo, 
 	afB := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, afB, lda)
 	ipivB := make([]int, n)
-	infoB := lapack.Sytrf(uplo, n, afB, lda, ipivB)
+	infoB := lapack.Sytrf(tcfg(), uplo, n, afB, lda, ipivB)
 
 	afU := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, afU, lda)
@@ -398,7 +398,7 @@ func testHetrfBlockedVsUnblocked[T core.Scalar](t *testing.T, uplo lapack.Uplo, 
 	afB := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, afB, lda)
 	ipivB := make([]int, n)
-	infoB := lapack.Hetrf(uplo, n, afB, lda, ipivB)
+	infoB := lapack.Hetrf(tcfg(), uplo, n, afB, lda, ipivB)
 
 	afU := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, afU, lda)

@@ -42,7 +42,7 @@ func testGbsv[T core.Scalar](t *testing.T, n, kl, ku, nrhs int) {
 	ab := denseToLUBand(n, kl, ku, a, n, ldab)
 	xTrue := testutil.RandGeneral[T](rng, n, nrhs, n)
 	b := make([]T, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
 	ipiv := make([]int, n)
 	sol := append([]T(nil), b...)
 	if info := lapack.Gbsv(n, kl, ku, nrhs, ab, ldab, ipiv, sol, n); info != 0 {
@@ -56,7 +56,7 @@ func testGbsv[T core.Scalar](t *testing.T, n, kl, ku, nrhs int) {
 		bt := make([]T, n)
 		xt := make([]T, n)
 		lapack.Larnv(2, rng, n, xt)
-		blas.Gemv(blas.Trans(tr), n, n, core.FromFloat[T](1), a, n, xt, 1, core.FromFloat[T](0), bt, 1)
+		blas.Gemv(tcfg(), blas.Trans(tr), n, n, core.FromFloat[T](1), a, n, xt, 1, core.FromFloat[T](0), bt, 1)
 		lapack.Gbtrs(tr, n, kl, ku, 1, ab, ldab, ipiv, bt, n)
 		if d := testutil.MaxDiff(bt, xt); d > 1e6*core.Eps[T]() {
 			t.Fatalf("gbtrs %v error %v", tr, d)
@@ -97,7 +97,7 @@ func TestGbconGbrfs(t *testing.T) {
 	}
 	xTrue := testutil.RandGeneral[float64](rng, n, nrhs, n)
 	b := make([]float64, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
 	x := append([]float64(nil), b...)
 	lapack.Gbtrs(lapack.NoTrans, n, kl, ku, nrhs, afb, ldab, ipiv, x, n)
 	ferr := make([]float64, nrhs)
@@ -126,7 +126,7 @@ func TestGbsvx(t *testing.T) {
 	}
 	xTrue := testutil.RandGeneral[float64](rng, n, nrhs, n)
 	b := make([]float64, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
 	ldafb := 2*kl + ku + 1
 	afb := make([]float64, ldafb*n)
 	ipiv := make([]int, n)
@@ -180,7 +180,7 @@ func testGtsv[T core.Scalar](t *testing.T, n, nrhs int) {
 	}
 	xTrue := testutil.RandGeneral[T](rng, n, nrhs, n)
 	b := make([]T, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
 	dlf := append([]T(nil), dl...)
 	df := append([]T(nil), d...)
 	duf := append([]T(nil), du...)
@@ -204,7 +204,7 @@ func testGtsv[T core.Scalar](t *testing.T, n, nrhs int) {
 		xt := make([]T, n)
 		lapack.Larnv(2, rng, n, xt)
 		bt := make([]T, n)
-		blas.Gemv(blas.Trans(tr), n, n, core.FromFloat[T](1), a, n, xt, 1, core.FromFloat[T](0), bt, 1)
+		blas.Gemv(tcfg(), blas.Trans(tr), n, n, core.FromFloat[T](1), a, n, xt, 1, core.FromFloat[T](0), bt, 1)
 		lapack.Gttrs(tr, n, 1, dlf, df, duf, du2, ipiv, bt, n)
 		if dd := testutil.MaxDiff(bt, xt); dd > 1e6*core.Eps[T]() {
 			t.Fatalf("gttrs %v error %v", tr, dd)
@@ -251,7 +251,7 @@ func TestGtsvPivoting(t *testing.T) {
 		xTrue[i] = float64(i + 1)
 	}
 	b := make([]float64, n)
-	blas.Gemv(blas.NoTrans, n, n, 1, a, n, xTrue, 1, 0, b, 1)
+	blas.Gemv(tcfg(), blas.NoTrans, n, n, 1, a, n, xTrue, 1, 0, b, 1)
 	if info := lapack.Gtsv(n, 1, dl, d, du, b, n); info != 0 {
 		t.Fatalf("gtsv info=%d", info)
 	}
@@ -282,7 +282,7 @@ func TestGtsvx(t *testing.T) {
 	}
 	xTrue := testutil.RandGeneral[float64](rng, n, nrhs, n)
 	b := make([]float64, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
 	dlf := make([]float64, n-1)
 	df := make([]float64, n)
 	duf := make([]float64, n-1)

@@ -99,7 +99,7 @@ func argmaxAbs[T core.Scalar](x []T) int {
 // Gecon estimates the reciprocal condition number of a general matrix from
 // its LU factorization (xGECON). norm selects the 1-norm or ∞-norm; anorm
 // is the corresponding norm of the original matrix.
-func Gecon[T core.Scalar](norm Norm, n int, a []T, lda int, ipiv []int, anorm float64) float64 {
+func Gecon[T core.Scalar](cfg *core.Config, norm Norm, n int, a []T, lda int, ipiv []int, anorm float64) float64 {
 	if n == 0 {
 		return 1
 	}
@@ -113,7 +113,7 @@ func Gecon[T core.Scalar](norm Norm, n int, a []T, lda int, ipiv []int, anorm fl
 		if conjTrans != flip {
 			tr = ConjTrans
 		}
-		Getrs(tr, n, 1, a, lda, ipiv, x, n)
+		Getrs(cfg, tr, n, 1, a, lda, ipiv, x, n)
 	})
 	return rcondFromEst(ainvnm, anorm)
 }
@@ -258,13 +258,13 @@ func Laqge[T core.Scalar](m, n int, a []T, lda int, r, c []float64, rowcnd, colc
 // refinement and returns componentwise backward errors berr and estimated
 // forward error bounds ferr per right-hand side (xGERFS). a is the original
 // matrix, af/ipiv its LU factorization.
-func Gerfs[T core.Scalar](trans Trans, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+func Gerfs[T core.Scalar](cfg *core.Config, trans Trans, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
 	rfs(trans, n, nrhs,
 		func(tr Trans, alpha T, x []T, beta T, y []T) {
-			blas.Gemv(tr, n, n, alpha, a, lda, x, 1, beta, y, 1)
+			blas.Gemv(cfg, tr, n, n, alpha, a, lda, x, 1, beta, y, 1)
 		},
 		func(tr Trans, xa, y []float64) { absGemv(tr, n, n, a, lda, xa, y) },
-		func(tr Trans, r []T) { Getrs(tr, n, 1, af, ldaf, ipiv, r, n) },
+		func(tr Trans, r []T) { Getrs(cfg, tr, n, 1, af, ldaf, ipiv, r, n) },
 		b, ldb, x, ldx, ferr, berr)
 }
 
@@ -294,7 +294,7 @@ const (
 // supplied), solves, iteratively refines, and returns error bounds and a
 // condition estimate. a and b are overwritten only when equilibration is
 // applied; the solution is written to x.
-func Gesvx[T core.Scalar](fact Fact, trans Trans, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int) GesvxResult {
+func Gesvx[T core.Scalar](cfg *core.Config, fact Fact, trans Trans, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int) GesvxResult {
 	res := GesvxResult{
 		Equed: EquedNone,
 		R:     make([]float64, n),
@@ -329,7 +329,7 @@ func Gesvx[T core.Scalar](fact Fact, trans Trans, n, nrhs int, a []T, lda int, a
 	}
 	if fact != FactFact {
 		Lacpy('A', n, n, a, lda, af, ldaf)
-		res.Info = Getrf(n, n, af, ldaf, ipiv)
+		res.Info = Getrf(cfg, n, n, af, ldaf, ipiv)
 	}
 	// Reciprocal pivot growth.
 	anormM := Lange(MaxAbs, n, n, a, lda)
@@ -347,11 +347,11 @@ func Gesvx[T core.Scalar](fact Fact, trans Trans, n, nrhs int, a []T, lda int, a
 		norm = InfNorm
 	}
 	anorm := Lange(norm, n, n, a, lda)
-	res.RCond = Gecon(norm, n, af, ldaf, ipiv, anorm)
+	res.RCond = Gecon(cfg, norm, n, af, ldaf, ipiv, anorm)
 	// Solve and refine.
 	Lacpy('A', n, nrhs, b, ldb, x, ldx)
-	Getrs(trans, n, nrhs, af, ldaf, ipiv, x, ldx)
-	Gerfs(trans, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, res.Ferr, res.Berr)
+	Getrs(cfg, trans, n, nrhs, af, ldaf, ipiv, x, ldx)
+	Gerfs(cfg, trans, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, res.Ferr, res.Berr)
 	// Undo equilibration on the solution.
 	if trans == NoTrans && scaleCols {
 		for j := 0; j < nrhs; j++ {

@@ -54,7 +54,7 @@ func demoteCmplx[T core.Scalar](m, n int, src []complex128, a []T, lda int) {
 // positive imaginary part first. Eigenvectors use the LAPACK real packing
 // (see TrevcRight). a is destroyed. Returns i > 0 if the QR algorithm
 // failed to converge.
-func Geev[T core.Float](jobvl, jobvr bool, n int, a []T, lda int, wr, wi []float64, vl []T, ldvl int, vr []T, ldvr int) int {
+func Geev[T core.Float](cfg *core.Config, jobvl, jobvr bool, n int, a []T, lda int, wr, wi []float64, vl []T, ldvl int, vr []T, ldvr int) int {
 	if n == 0 {
 		return 0
 	}
@@ -62,15 +62,15 @@ func Geev[T core.Float](jobvl, jobvr bool, n int, a []T, lda int, wr, wi []float
 	scale := make([]float64, n)
 	ilo, ihi := Gebal[float64]('B', n, h, n, scale)
 	tau := make([]float64, max(0, n-1))
-	Gehrd(n, ilo, ihi, h, n, tau)
+	Gehrd(cfg, n, ilo, ihi, h, n, tau)
 	wantv := jobvl || jobvr
 	var z []float64
 	if wantv {
 		z = make([]float64, n*n)
 		Lacpy('A', n, n, h, n, z, n)
-		Orghr(n, ilo, ihi, z, n, tau)
+		Orghr(cfg, n, ilo, ihi, z, n, tau)
 	}
-	info := Hseqr(wantv, n, ilo, ihi, h, n, wr, wi, z, n)
+	info := Hseqr(cfg, wantv, n, ilo, ihi, h, n, wr, wi, z, n)
 	if info != 0 {
 		return info
 	}
@@ -138,7 +138,7 @@ func normalizeEvecPairs(n int, wr, wi []float64, v []float64, ldv int) {
 // GeevC computes the eigenvalues and, optionally, eigenvectors of a
 // complex general matrix (the xGEEV complex driver). w receives the
 // eigenvalues; eigenvectors are returned as complex columns.
-func GeevC[T core.Cmplx](jobvl, jobvr bool, n int, a []T, lda int, w []complex128, vl []T, ldvl int, vr []T, ldvr int) int {
+func GeevC[T core.Cmplx](cfg *core.Config, jobvl, jobvr bool, n int, a []T, lda int, w []complex128, vl []T, ldvl int, vr []T, ldvr int) int {
 	if n == 0 {
 		return 0
 	}
@@ -146,15 +146,15 @@ func GeevC[T core.Cmplx](jobvl, jobvr bool, n int, a []T, lda int, w []complex12
 	scale := make([]float64, n)
 	ilo, ihi := Gebal[complex128]('B', n, h, n, scale)
 	tau := make([]complex128, max(0, n-1))
-	Gehrd(n, ilo, ihi, h, n, tau)
+	Gehrd(cfg, n, ilo, ihi, h, n, tau)
 	wantv := jobvl || jobvr
 	var z []complex128
 	if wantv {
 		z = make([]complex128, n*n)
 		Lacpy('A', n, n, h, n, z, n)
-		Orghr(n, ilo, ihi, z, n, tau)
+		Orghr(cfg, n, ilo, ihi, z, n, tau)
 	}
-	info := HseqrC(wantv, n, ilo, ihi, h, n, w, z, n)
+	info := HseqrC(cfg, wantv, n, ilo, ihi, h, n, w, z, n)
 	if info != 0 {
 		return info
 	}
@@ -203,22 +203,22 @@ func GeevC[T core.Cmplx](jobvl, jobvr bool, n int, a []T, lda int, w []complex12
 // the orthogonal Schur vectors Z. If sel is non-nil the eigenvalues for
 // which sel returns true are reordered to the top-left of T and sdim
 // reports their count. Returns info > 0 on QR failure.
-func Gees[T core.Float](jobvs bool, sel func(wr, wi float64) bool, n int, a []T, lda int, wr, wi []float64, vs []T, ldvs int) (sdim, info int) {
+func Gees[T core.Float](cfg *core.Config, jobvs bool, sel func(wr, wi float64) bool, n int, a []T, lda int, wr, wi []float64, vs []T, ldvs int) (sdim, info int) {
 	if n == 0 {
 		return 0, 0
 	}
 	h := promoteReal(n, n, a, lda)
 	tau := make([]float64, max(0, n-1))
-	Gehrd(n, 0, n-1, h, n, tau)
+	Gehrd(cfg, n, 0, n-1, h, n, tau)
 	z := make([]float64, n*n)
 	Lacpy('A', n, n, h, n, z, n)
-	Orghr(n, 0, n-1, z, n, tau)
-	info = Hseqr(true, n, 0, n-1, h, n, wr, wi, z, n)
+	Orghr(cfg, n, 0, n-1, z, n, tau)
+	info = Hseqr(cfg, true, n, 0, n-1, h, n, wr, wi, z, n)
 	if info != 0 {
 		return 0, info
 	}
 	if sel != nil {
-		sdim = reorderSchur(n, h, n, z, n, wr, wi, sel)
+		sdim = reorderSchur(cfg, n, h, n, z, n, wr, wi, sel)
 	}
 	demoteReal(n, n, h, a, lda)
 	if jobvs {
@@ -229,17 +229,17 @@ func Gees[T core.Float](jobvs bool, sel func(wr, wi float64) bool, n int, a []T,
 
 // GeesC computes the complex Schur factorization A = Z·T·Zᴴ (the complex
 // xGEES driver), with optional eigenvalue reordering by sel.
-func GeesC[T core.Cmplx](jobvs bool, sel func(w complex128) bool, n int, a []T, lda int, w []complex128, vs []T, ldvs int) (sdim, info int) {
+func GeesC[T core.Cmplx](cfg *core.Config, jobvs bool, sel func(w complex128) bool, n int, a []T, lda int, w []complex128, vs []T, ldvs int) (sdim, info int) {
 	if n == 0 {
 		return 0, 0
 	}
 	h := promoteCmplx(n, n, a, lda)
 	tau := make([]complex128, max(0, n-1))
-	Gehrd(n, 0, n-1, h, n, tau)
+	Gehrd(cfg, n, 0, n-1, h, n, tau)
 	z := make([]complex128, n*n)
 	Lacpy('A', n, n, h, n, z, n)
-	Orghr(n, 0, n-1, z, n, tau)
-	info = HseqrC(true, n, 0, n-1, h, n, w, z, n)
+	Orghr(cfg, n, 0, n-1, z, n, tau)
+	info = HseqrC(cfg, true, n, 0, n-1, h, n, w, z, n)
 	if info != 0 {
 		return 0, info
 	}
@@ -328,7 +328,7 @@ func zlartg(f, g complex128) (cs float64, sn, r complex128) {
 // real Schur form by repeated adjacent swaps (xTRSEN's reordering, built
 // on Laexc). It returns the number of selected eigenvalues. Complex pairs
 // are kept together.
-func reorderSchur(n int, t []float64, ldt int, q []float64, ldq int, wr, wi []float64, sel func(wr, wi float64) bool) int {
+func reorderSchur(cfg *core.Config, n int, t []float64, ldt int, q []float64, ldq int, wr, wi []float64, sel func(wr, wi float64) bool) int {
 	// Determine block starts.
 	sdim := 0
 	target := 0
@@ -361,7 +361,7 @@ func reorderSchur(n int, t []float64, ldt int, q []float64, ldq int, wr, wi []fl
 				above--
 				aboveSize = 2
 			}
-			if Laexc(true, n, t, ldt, q, ldq, above, aboveSize, srcSize) != 0 {
+			if Laexc(cfg, true, n, t, ldt, q, ldq, above, aboveSize, srcSize) != 0 {
 				// Swap too ill-conditioned; give up on this block.
 				break
 			}

@@ -64,7 +64,7 @@ func TestGeevReal(t *testing.T) {
 		wi := make([]float64, n)
 		vr := make([]float64, n*n)
 		vl := make([]float64, n*n)
-		if info := lapack.Geev[float64](true, true, n, ac, n, wr, wi, vl, n, vr, n); info != 0 {
+		if info := lapack.Geev[float64](tcfg(), true, true, n, ac, n, wr, wi, vl, n, vr, n); info != 0 {
 			t.Fatalf("n=%d: geev info=%d", n, info)
 		}
 		checkRightEvecs(t, n, a, wr, wi, vr, 1e-11*float64(n))
@@ -118,7 +118,7 @@ func TestGeevRotationMatrix(t *testing.T) {
 	a := []float64{math.Cos(th), math.Sin(th), -math.Sin(th), math.Cos(th)}
 	wr := make([]float64, 2)
 	wi := make([]float64, 2)
-	if info := lapack.Geev[float64](false, false, 2, a, 2, wr, wi, nil, 0, nil, 0); info != 0 {
+	if info := lapack.Geev[float64](tcfg(), false, false, 2, a, 2, wr, wi, nil, 0, nil, 0); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	if math.Abs(wr[0]-math.Cos(th)) > 1e-14 || math.Abs(math.Abs(wi[0])-math.Sin(th)) > 1e-14 {
@@ -140,7 +140,7 @@ func TestGeevCompanion(t *testing.T) {
 	a[2+n] = 1
 	wr := make([]float64, n)
 	wi := make([]float64, n)
-	if info := lapack.Geev[float64](false, false, n, a, n, wr, wi, nil, 0, nil, 0); info != 0 {
+	if info := lapack.Geev[float64](tcfg(), false, false, n, a, n, wr, wi, nil, 0, nil, 0); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	sort.Float64s(wr)
@@ -159,7 +159,7 @@ func TestGeevComplex(t *testing.T) {
 		w := make([]complex128, n)
 		vr := make([]complex128, n*n)
 		vl := make([]complex128, n*n)
-		if info := lapack.GeevC[complex128](true, true, n, ac, n, w, vl, n, vr, n); info != 0 {
+		if info := lapack.GeevC[complex128](tcfg(), true, true, n, ac, n, w, vl, n, vr, n); info != 0 {
 			t.Fatalf("n=%d: geevc info=%d", n, info)
 		}
 		anorm := lapack.Lange(lapack.OneNorm, n, n, a, n)
@@ -196,7 +196,7 @@ func TestGeevFloat32(t *testing.T) {
 	wr := make([]float64, n)
 	wi := make([]float64, n)
 	vr := make([]float32, n*n)
-	if info := lapack.Geev[float32](false, true, n, a, n, wr, wi, nil, 0, vr, n); info != 0 {
+	if info := lapack.Geev[float32](tcfg(), false, true, n, a, n, wr, wi, nil, 0, vr, n); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	vr64 := make([]float64, n*n)
@@ -210,8 +210,8 @@ func schurResidual(n int, a, tm, z []float64) float64 {
 	// ‖A − Z·T·Zᵀ‖₁ / (‖A‖₁ n ε)
 	tmp := make([]float64, n*n)
 	rec := make([]float64, n*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, z, n, tm, n, 0, tmp, n)
-	blas.Gemm(blas.NoTrans, blas.TransT, n, n, n, 1, tmp, n, z, n, 0, rec, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, n, n, 1, z, n, tm, n, 0, tmp, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.TransT, n, n, n, 1, tmp, n, z, n, 0, rec, n)
 	for i := range rec {
 		rec[i] -= a[i]
 	}
@@ -230,7 +230,7 @@ func TestGeesReal(t *testing.T) {
 		wr := make([]float64, n)
 		wi := make([]float64, n)
 		vs := make([]float64, n*n)
-		_, info := lapack.Gees[float64](true, nil, n, tm, n, wr, wi, vs, n)
+		_, info := lapack.Gees[float64](tcfg(), true, nil, n, tm, n, wr, wi, vs, n)
 		if info != 0 {
 			t.Fatalf("n=%d gees info=%d", n, info)
 		}
@@ -267,7 +267,7 @@ func TestGeesSelect(t *testing.T) {
 		wi := make([]float64, n)
 		vs := make([]float64, n*n)
 		sel := func(re, im float64) bool { return re > 0 }
-		sdim, info := lapack.Gees[float64](true, sel, n, tm, n, wr, wi, vs, n)
+		sdim, info := lapack.Gees[float64](tcfg(), true, sel, n, tm, n, wr, wi, vs, n)
 		if info != 0 {
 			t.Fatalf("n=%d gees(select) info=%d", n, info)
 		}
@@ -300,7 +300,7 @@ func TestGeesComplex(t *testing.T) {
 		tm := append([]complex128(nil), a...)
 		w := make([]complex128, n)
 		vs := make([]complex128, n*n)
-		_, info := lapack.GeesC[complex128](true, nil, n, tm, n, w, vs, n)
+		_, info := lapack.GeesC[complex128](tcfg(), true, nil, n, tm, n, w, vs, n)
 		if info != 0 {
 			t.Fatalf("n=%d geesc info=%d", n, info)
 		}
@@ -310,8 +310,8 @@ func TestGeesComplex(t *testing.T) {
 		// A = Z·T·Zᴴ.
 		tmp := make([]complex128, n*n)
 		rec := make([]complex128, n*n)
-		blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, vs, n, tm, n, 0, tmp, n)
-		blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, 1, tmp, n, vs, n, 0, rec, n)
+		blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, n, n, 1, vs, n, tm, n, 0, tmp, n)
+		blas.Gemm(tcfg(), blas.NoTrans, blas.ConjTrans, n, n, n, 1, tmp, n, vs, n, 0, rec, n)
 		for i := range rec {
 			rec[i] -= a[i]
 		}
@@ -337,7 +337,7 @@ func TestGeesComplex(t *testing.T) {
 		w2 := make([]complex128, n)
 		vs2 := make([]complex128, n*n)
 		selC := func(z complex128) bool { return cmplx.Abs(z) > cutoff }
-		sdim, info := lapack.GeesC[complex128](true, selC, n, tm2, n, w2, vs2, n)
+		sdim, info := lapack.GeesC[complex128](tcfg(), true, selC, n, tm2, n, w2, vs2, n)
 		if info != 0 {
 			t.Fatalf("n=%d geesc(select) info=%d", n, info)
 		}
@@ -348,8 +348,8 @@ func TestGeesComplex(t *testing.T) {
 		}
 		tmp2 := make([]complex128, n*n)
 		rec2 := make([]complex128, n*n)
-		blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, vs2, n, tm2, n, 0, tmp2, n)
-		blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, 1, tmp2, n, vs2, n, 0, rec2, n)
+		blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, n, n, 1, vs2, n, tm2, n, 0, tmp2, n)
+		blas.Gemm(tcfg(), blas.NoTrans, blas.ConjTrans, n, n, n, 1, tmp2, n, vs2, n, 0, rec2, n)
 		for i := range rec2 {
 			rec2[i] -= a[i]
 		}
@@ -375,10 +375,10 @@ func TestGebalIdentityInvariance(t *testing.T) {
 	wr1 := make([]float64, n)
 	wi1 := make([]float64, n)
 	ac := append([]float64(nil), a...)
-	lapack.Geev[float64](false, false, n, ac, n, wr1, wi1, nil, 0, nil, 0)
+	lapack.Geev[float64](tcfg(), false, false, n, ac, n, wr1, wi1, nil, 0, nil, 0)
 	wr2 := make([]float64, n)
 	wi2 := make([]float64, n)
-	lapack.Geev[float64](false, false, n, b, n, wr2, wi2, nil, 0, nil, 0)
+	lapack.Geev[float64](tcfg(), false, false, n, b, n, wr2, wi2, nil, 0, nil, 0)
 	sort.Float64s(wr1)
 	sort.Float64s(wr2)
 	for i := range wr1 {

@@ -21,7 +21,7 @@ import (
 // are (alphar[i], alphai[i]) / beta[i]. vsl (Q) and vsr (Z) may be nil.
 // Returns info > 0 if B is singular to working precision or the QR
 // iteration fails.
-func Gegs[T core.Float](n int, a []T, lda int, b []T, ldb int, alphar, alphai, beta []float64, vsl []T, ldvsl int, vsr []T, ldvsr int) int {
+func Gegs[T core.Float](cfg *core.Config, n int, a []T, lda int, b []T, ldb int, alphar, alphai, beta []float64, vsl []T, ldvsl int, vsr []T, ldvsr int) int {
 	if n == 0 {
 		return 0
 	}
@@ -31,30 +31,30 @@ func Gegs[T core.Float](n int, a []T, lda int, b []T, ldb int, alphar, alphai, b
 	// M = B⁻¹·A.
 	blu := append([]float64(nil), bf...)
 	ipiv := make([]int, n)
-	if info := Getrf(n, n, blu, n, ipiv); info != 0 {
+	if info := Getrf(cfg, n, n, blu, n, ipiv); info != 0 {
 		return info
 	}
 	m := append([]float64(nil), af...)
-	Getrs(NoTrans, n, n, blu, n, ipiv, m, n)
+	Getrs(cfg, NoTrans, n, n, blu, n, ipiv, m, n)
 	// Real Schur of M: M = Z·S′·Zᵀ.
 	wr := make([]float64, n)
 	wi := make([]float64, n)
 	z := make([]float64, n*n)
-	if _, info := Gees[float64](true, nil, n, m, n, wr, wi, z, n); info != 0 {
+	if _, info := Gees[float64](cfg, true, nil, n, m, n, wr, wi, z, n); info != 0 {
 		return info
 	}
 	// Q·T = B·Z.
 	bz := make([]float64, n*n)
-	blas.Gemm(NoTrans, NoTrans, n, n, n, 1.0, bf, n, z, n, 0.0, bz, n)
+	blas.Gemm(cfg, NoTrans, NoTrans, n, n, n, 1.0, bf, n, z, n, 0.0, bz, n)
 	tau := make([]float64, n)
-	Geqrf(n, n, bz, n, tau)
+	Geqrf(cfg, n, n, bz, n, tau)
 	tmat := make([]float64, n*n)
 	Lacpy('U', n, n, bz, n, tmat, n)
 	q := append([]float64(nil), bz...)
-	Orgqr(n, n, n, q, n, tau)
+	Orgqr(cfg, n, n, n, q, n, tau)
 	// S = T·S′ (upper-triangular times quasi-triangular).
 	s := make([]float64, n*n)
-	blas.Gemm(NoTrans, NoTrans, n, n, n, 1.0, tmat, n, m, n, 0.0, s, n)
+	blas.Gemm(cfg, NoTrans, NoTrans, n, n, n, 1.0, tmat, n, m, n, 0.0, s, n)
 	// Zero the below-subdiagonal roundoff so S is exactly quasi-triangular.
 	for j := 0; j < n; j++ {
 		for i := j + 2; i < n; i++ {
@@ -93,7 +93,7 @@ func Gegs[T core.Float](n int, a []T, lda int, b []T, ldb int, alphar, alphai, b
 // GegsC is the complex counterpart of Gegs: A = Q·S·Zᴴ, B = Q·T·Zᴴ with
 // both S and T upper triangular; alpha[i]/beta[i] are the generalized
 // eigenvalues.
-func GegsC[T core.Cmplx](n int, a []T, lda int, b []T, ldb int, alpha, beta []complex128, vsl []T, ldvsl int, vsr []T, ldvsr int) int {
+func GegsC[T core.Cmplx](cfg *core.Config, n int, a []T, lda int, b []T, ldb int, alpha, beta []complex128, vsl []T, ldvsl int, vsr []T, ldvsr int) int {
 	if n == 0 {
 		return 0
 	}
@@ -101,26 +101,26 @@ func GegsC[T core.Cmplx](n int, a []T, lda int, b []T, ldb int, alpha, beta []co
 	bf := promoteCmplx(n, n, b, ldb)
 	blu := append([]complex128(nil), bf...)
 	ipiv := make([]int, n)
-	if info := Getrf(n, n, blu, n, ipiv); info != 0 {
+	if info := Getrf(cfg, n, n, blu, n, ipiv); info != 0 {
 		return info
 	}
 	m := append([]complex128(nil), af...)
-	Getrs(NoTrans, n, n, blu, n, ipiv, m, n)
+	Getrs(cfg, NoTrans, n, n, blu, n, ipiv, m, n)
 	w := make([]complex128, n)
 	z := make([]complex128, n*n)
-	if _, info := GeesC[complex128](true, nil, n, m, n, w, z, n); info != 0 {
+	if _, info := GeesC[complex128](cfg, true, nil, n, m, n, w, z, n); info != 0 {
 		return info
 	}
 	bz := make([]complex128, n*n)
-	blas.Gemm(NoTrans, NoTrans, n, n, n, 1, bf, n, z, n, 0, bz, n)
+	blas.Gemm(cfg, NoTrans, NoTrans, n, n, n, 1, bf, n, z, n, 0, bz, n)
 	tau := make([]complex128, n)
-	Geqrf(n, n, bz, n, tau)
+	Geqrf(cfg, n, n, bz, n, tau)
 	tmat := make([]complex128, n*n)
 	Lacpy('U', n, n, bz, n, tmat, n)
 	q := append([]complex128(nil), bz...)
-	Orgqr(n, n, n, q, n, tau)
+	Orgqr(cfg, n, n, n, q, n, tau)
 	s := make([]complex128, n*n)
-	blas.Gemm(NoTrans, NoTrans, n, n, n, 1, tmat, n, m, n, 0, s, n)
+	blas.Gemm(cfg, NoTrans, NoTrans, n, n, n, 1, tmat, n, m, n, 0, s, n)
 	for j := 0; j < n; j++ {
 		for i := j + 1; i < n; i++ {
 			s[i+j*n] = 0
@@ -146,7 +146,7 @@ func GegsC[T core.Cmplx](n int, a []T, lda int, b []T, ldb int, alpha, beta []co
 // A·v = λ·B·v and uᴴ·A = λ·uᴴ·B, with λᵢ = (alphar[i] + i·alphai[i]) /
 // beta[i]. Eigenvectors use the LAPACK real packing (see TrevcRight).
 // a and b are destroyed. Requires B nonsingular (info > 0 otherwise).
-func Gegv[T core.Float](jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb int, alphar, alphai, beta []float64, vl []T, ldvl int, vr []T, ldvr int) int {
+func Gegv[T core.Float](cfg *core.Config, jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb int, alphar, alphai, beta []float64, vl []T, ldvl int, vr []T, ldvr int) int {
 	if n == 0 {
 		return 0
 	}
@@ -154,12 +154,12 @@ func Gegv[T core.Float](jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb int
 	bf := promoteReal(n, n, b, ldb)
 	blu := append([]float64(nil), bf...)
 	ipiv := make([]int, n)
-	if info := Getrf(n, n, blu, n, ipiv); info != 0 {
+	if info := Getrf(cfg, n, n, blu, n, ipiv); info != 0 {
 		return info
 	}
 	// Right eigenvectors of the pencil = eigenvectors of M = B⁻¹·A.
 	m := append([]float64(nil), af...)
-	Getrs(NoTrans, n, n, blu, n, ipiv, m, n)
+	Getrs(cfg, NoTrans, n, n, blu, n, ipiv, m, n)
 	var vrf, vlf []float64
 	if jobvr {
 		vrf = make([]float64, n*n)
@@ -167,7 +167,7 @@ func Gegv[T core.Float](jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb int
 	if jobvl {
 		vlf = make([]float64, n*n)
 	}
-	if info := Geev[float64](jobvl, jobvr, n, m, n, alphar, alphai, vlf, n, vrf, n); info != 0 {
+	if info := Geev[float64](cfg, jobvl, jobvr, n, m, n, alphar, alphai, vlf, n, vrf, n); info != 0 {
 		return info
 	}
 	for i := range beta {
@@ -179,7 +179,7 @@ func Gegv[T core.Float](jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb int
 	if jobvl {
 		// Left eigenvectors of the pencil: v = B⁻ᴴ·u where u is a left
 		// eigenvector of M (uᴴ·B⁻¹·A = λ·uᴴ ⇒ vᴴ·A = λ·vᴴ·B).
-		Getrs(TransT, n, n, blu, n, ipiv, vlf, n)
+		Getrs(cfg, TransT, n, n, blu, n, ipiv, vlf, n)
 		// Renormalize each (possibly paired) column set.
 		normalizeEvecPairs(n, alphar, alphai, vlf, n)
 		demoteReal(n, n, vlf, vl, ldvl)
@@ -188,7 +188,7 @@ func Gegv[T core.Float](jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb int
 }
 
 // GegvC is the complex counterpart of Gegv.
-func GegvC[T core.Cmplx](jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb int, alpha, beta []complex128, vl []T, ldvl int, vr []T, ldvr int) int {
+func GegvC[T core.Cmplx](cfg *core.Config, jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb int, alpha, beta []complex128, vl []T, ldvl int, vr []T, ldvr int) int {
 	if n == 0 {
 		return 0
 	}
@@ -196,11 +196,11 @@ func GegvC[T core.Cmplx](jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb in
 	bf := promoteCmplx(n, n, b, ldb)
 	blu := append([]complex128(nil), bf...)
 	ipiv := make([]int, n)
-	if info := Getrf(n, n, blu, n, ipiv); info != 0 {
+	if info := Getrf(cfg, n, n, blu, n, ipiv); info != 0 {
 		return info
 	}
 	m := append([]complex128(nil), af...)
-	Getrs(NoTrans, n, n, blu, n, ipiv, m, n)
+	Getrs(cfg, NoTrans, n, n, blu, n, ipiv, m, n)
 	var vrf, vlf []complex128
 	if jobvr {
 		vrf = make([]complex128, n*n)
@@ -208,7 +208,7 @@ func GegvC[T core.Cmplx](jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb in
 	if jobvl {
 		vlf = make([]complex128, n*n)
 	}
-	if info := GeevC[complex128](jobvl, jobvr, n, m, n, alpha, vlf, n, vrf, n); info != 0 {
+	if info := GeevC[complex128](cfg, jobvl, jobvr, n, m, n, alpha, vlf, n, vrf, n); info != 0 {
 		return info
 	}
 	for i := range beta {
@@ -218,7 +218,7 @@ func GegvC[T core.Cmplx](jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb in
 		demoteCmplx(n, n, vrf, vr, ldvr)
 	}
 	if jobvl {
-		Getrs(ConjTrans, n, n, blu, n, ipiv, vlf, n)
+		Getrs(cfg, ConjTrans, n, n, blu, n, ipiv, vlf, n)
 		for j := 0; j < n; j++ {
 			nrm := blas.Nrm2(n, vlf[j*n:j*n+n], 1)
 			if nrm > 0 {
@@ -232,7 +232,7 @@ func GegvC[T core.Cmplx](jobvl, jobvr bool, n int, a []T, lda int, b []T, ldb in
 
 // Gerq2 computes an RQ factorization A = R·Q of an m×n matrix (xGERQ2).
 // The reflectors are stored in the rows of a and tau (length min(m,n)).
-func Gerq2[T core.Scalar](m, n int, a []T, lda int, tau []T) {
+func Gerq2[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, tau []T) {
 	k := min(m, n)
 	work := make([]T, max(m, n))
 	for i := k - 1; i >= 0; i-- {
@@ -244,7 +244,7 @@ func Gerq2[T core.Scalar](m, n int, a []T, lda int, tau []T) {
 		tau[i] = Larfg(col+1, &alpha, a[row:], lda)
 		a[row+col*lda] = core.FromFloat[T](1)
 		// Apply H(i) from the right to rows 0..row-1.
-		Larf(Right, row, col+1, a[row:], lda, tau[i], a, lda, work)
+		Larf(cfg, Right, row, col+1, a[row:], lda, tau[i], a, lda, work)
 		a[row+col*lda] = alpha
 		lacgv(col, a[row:], lda)
 	}
@@ -252,7 +252,7 @@ func Gerq2[T core.Scalar](m, n int, a []T, lda int, tau []T) {
 
 // Orgr2 generates the m×n matrix Q (m <= n) with orthonormal rows from an
 // RQ factorization computed by Gerq2 (xORGR2/xUNGR2), overwriting a.
-func Orgr2[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
+func Orgr2[T core.Scalar](cfg *core.Config, m, n, k int, a []T, lda int, tau []T) {
 	if m == 0 {
 		return
 	}
@@ -273,7 +273,7 @@ func Orgr2[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
 		lacgv(jj, a[ii:], lda)
 		a[ii+jj*lda] = core.FromFloat[T](1)
 		// Apply H(i)ᴴ from the right to rows 0..ii-1, columns 0..jj.
-		Larf(Right, ii, jj+1, a[ii:], lda, core.Conj(tau[i]), a, lda, work)
+		Larf(cfg, Right, ii, jj+1, a[ii:], lda, core.Conj(tau[i]), a, lda, work)
 		blas.Scal(jj, -tau[i], a[ii:], lda)
 		lacgv(jj, a[ii:], lda)
 		a[ii+jj*lda] = core.FromFloat[T](1) - core.Conj(tau[i])

@@ -20,9 +20,9 @@ func TestGerq2Orgr2(t *testing.T) {
 				a := testutil.RandGeneral[float64](rng, m, n, m)
 				af := append([]float64(nil), a...)
 				tau := make([]float64, min(m, n))
-				lapack.Gerq2(m, n, af, m, tau)
+				lapack.Gerq2(tcfg(), m, n, af, m, tau)
 				qq := append([]float64(nil), af...)
-				lapack.Orgr2(m, n, min(m, n), qq, m, tau)
+				lapack.Orgr2(tcfg(), m, n, min(m, n), qq, m, tau)
 				// Rows of Q orthonormal: Q·Qᴴ = I.
 				for i := 0; i < m; i++ {
 					for j := 0; j < m; j++ {
@@ -55,9 +55,9 @@ func TestGerq2Orgr2(t *testing.T) {
 				a := testutil.RandGeneral[complex128](rng, m, n, m)
 				af := append([]complex128(nil), a...)
 				tau := make([]complex128, min(m, n))
-				lapack.Gerq2(m, n, af, m, tau)
+				lapack.Gerq2(tcfg(), m, n, af, m, tau)
 				qq := append([]complex128(nil), af...)
-				lapack.Orgr2(m, n, min(m, n), qq, m, tau)
+				lapack.Orgr2(tcfg(), m, n, min(m, n), qq, m, tau)
 				for i := 0; i < m; i++ {
 					for j := 0; j < m; j++ {
 						var s complex128
@@ -104,7 +104,7 @@ func TestGegsReal(t *testing.T) {
 		beta := make([]float64, n)
 		q := make([]float64, n*n)
 		z := make([]float64, n*n)
-		if info := lapack.Gegs(n, s, n, tt, n, alphar, alphai, beta, q, n, z, n); info != 0 {
+		if info := lapack.Gegs(tcfg(), n, s, n, tt, n, alphar, alphai, beta, q, n, z, n); info != 0 {
 			t.Fatalf("n=%d gegs info=%d", n, info)
 		}
 		// Q, Z orthogonal; A = Q·S·Zᵀ; B = Q·T·Zᵀ.
@@ -120,11 +120,11 @@ func TestGegsReal(t *testing.T) {
 		m := append([]float64(nil), a...)
 		blu := append([]float64(nil), b...)
 		ipiv := make([]int, n)
-		lapack.Getrf(n, n, blu, n, ipiv)
-		lapack.Getrs(lapack.NoTrans, n, n, blu, n, ipiv, m, n)
+		lapack.Getrf(tcfg(), n, n, blu, n, ipiv)
+		lapack.Getrs(tcfg(), lapack.NoTrans, n, n, blu, n, ipiv, m, n)
 		wr := make([]float64, n)
 		wi := make([]float64, n)
-		lapack.Geev[float64](false, false, n, m, n, wr, wi, nil, 0, nil, 0)
+		lapack.Geev[float64](tcfg(), false, false, n, m, n, wr, wi, nil, 0, nil, 0)
 		for i := 0; i < n; i++ {
 			lam := complex(alphar[i], alphai[i]) / complex(beta[i], 0)
 			found := false
@@ -146,8 +146,8 @@ func checkQSZ(t *testing.T, n int, a, q, s, z []float64, tol float64) {
 	t.Helper()
 	tmp := make([]float64, n*n)
 	rec := make([]float64, n*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, q, n, s, n, 0, tmp, n)
-	blas.Gemm(blas.NoTrans, blas.TransT, n, n, n, 1, tmp, n, z, n, 0, rec, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, n, n, 1, q, n, s, n, 0, tmp, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.TransT, n, n, n, 1, tmp, n, z, n, 0, rec, n)
 	for i := range rec {
 		rec[i] -= a[i]
 	}
@@ -176,7 +176,7 @@ func TestGegvReal(t *testing.T) {
 	beta := make([]float64, n)
 	vl := make([]float64, n*n)
 	vr := make([]float64, n*n)
-	if info := lapack.Gegv(true, true, n, ac, n, bc, n, alphar, alphai, beta, vl, n, vr, n); info != 0 {
+	if info := lapack.Gegv(tcfg(), true, true, n, ac, n, bc, n, alphar, alphai, beta, vl, n, vr, n); info != 0 {
 		t.Fatalf("gegv info=%d", info)
 	}
 	// Right: A·v = λ·B·v; Left: uᵀ·A = λ·uᵀ·B (real-packed columns).
@@ -230,15 +230,15 @@ func TestGegsGegvComplex(t *testing.T) {
 	beta := make([]complex128, n)
 	q := make([]complex128, n*n)
 	z := make([]complex128, n*n)
-	if info := lapack.GegsC(n, s, n, tt, n, alpha, beta, q, n, z, n); info != 0 {
+	if info := lapack.GegsC(tcfg(), n, s, n, tt, n, alpha, beta, q, n, z, n); info != 0 {
 		t.Fatalf("gegsc info=%d", info)
 	}
 	// A = Q·S·Zᴴ and B = Q·T·Zᴴ with triangular S, T.
 	for _, pair := range [][2][]complex128{{a, s}, {b, tt}} {
 		tmp := make([]complex128, n*n)
 		rec := make([]complex128, n*n)
-		blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, q, n, pair[1], n, 0, tmp, n)
-		blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, 1, tmp, n, z, n, 0, rec, n)
+		blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, n, n, 1, q, n, pair[1], n, 0, tmp, n)
+		blas.Gemm(tcfg(), blas.NoTrans, blas.ConjTrans, n, n, n, 1, tmp, n, z, n, 0, rec, n)
 		for i := range rec {
 			rec[i] -= pair[0][i]
 		}
@@ -251,7 +251,7 @@ func TestGegsGegvComplex(t *testing.T) {
 	ac := append([]complex128(nil), a...)
 	bc := append([]complex128(nil), b...)
 	vr := make([]complex128, n*n)
-	if info := lapack.GegvC(false, true, n, ac, n, bc, n, alpha, beta, nil, 0, vr, n); info != 0 {
+	if info := lapack.GegvC(tcfg(), false, true, n, ac, n, bc, n, alpha, beta, nil, 0, vr, n); info != 0 {
 		t.Fatalf("gegvc info=%d", info)
 	}
 	for j := 0; j < n; j++ {
@@ -280,7 +280,7 @@ func testGgsvd[T core.Scalar](t *testing.T, m, p, n int) {
 	v := make([]T, max(1, p)*n)
 	q := make([]T, n*n)
 	r := make([]T, n*n)
-	res := lapack.Ggsvd(m, p, n, ac, max(1, m), bc, max(1, p), u, max(1, m), v, max(1, p), q, n, r, n)
+	res := lapack.Ggsvd(tcfg(), m, p, n, ac, max(1, m), bc, max(1, p), u, max(1, m), v, max(1, p), q, n, r, n)
 	if res.Info != 0 {
 		t.Fatalf("ggsvd info=%d", res.Info)
 	}
@@ -295,7 +295,7 @@ func testGgsvd[T core.Scalar](t *testing.T, m, p, n int) {
 	}
 	// X = R·Qᴴ; A = U·diag(alpha)·X; B = V·diag(beta)·X.
 	x := make([]T, n*n)
-	blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, core.FromFloat[T](1), r, n, q, n, core.FromFloat[T](0), x, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.ConjTrans, n, n, n, core.FromFloat[T](1), r, n, q, n, core.FromFloat[T](0), x, n)
 	checkGSVDProduct(t, "A", m, n, a, u, res.Alpha, x)
 	checkGSVDProduct(t, "B", p, n, b, v, res.Beta, x)
 	// Q unitary.
@@ -317,7 +317,7 @@ func checkGSVDProduct[T core.Scalar](t *testing.T, label string, rows, n int, or
 			scaled[i+j*rows] = basis[i+j*rows] * dj
 		}
 	}
-	blas.Gemm(blas.NoTrans, blas.NoTrans, rows, n, n, core.FromFloat[T](1), scaled, rows, x, n, core.FromFloat[T](0), rec, rows)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, rows, n, n, core.FromFloat[T](1), scaled, rows, x, n, core.FromFloat[T](0), rec, rows)
 	maxd := 0.0
 	for i := range rec {
 		maxd = math.Max(maxd, core.Abs(rec[i]-orig[i]))

@@ -16,18 +16,18 @@ func svdQRCross(m, n int) bool {
 
 // svdDriver is the common shape of the square/tall SVD kernels that
 // svdTallQRFirst can delegate to (Gesdd or Gesvd).
-type svdDriver[T core.Scalar] func(jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int
+type svdDriver[T core.Scalar] func(cfg *core.Config, jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int
 
 // svdTallQRFirst implements xGESDD path 1 for m ≥ 5n/3: factor A = Q·R
 // with a blocked Geqrf, SVD the n×n R through inner, and recover
 // U = Q·U_R with one GEMM. Vᴴ comes out of the inner drive directly. The
 // wide mirror (LQ-first) is reached through the callers' conjugate
 // transpose path.
-func svdTallQRFirst[T core.Scalar](inner svdDriver[T], jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
+func svdTallQRFirst[T core.Scalar](cfg *core.Config, inner svdDriver[T], jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
 	one := core.FromFloat[T](1)
 	zero := core.FromFloat[T](0)
 	tau := make([]T, n)
-	Geqrf(m, n, a, lda, tau)
+	Geqrf(cfg, m, n, a, lda, tau)
 	r := blas.GetScratch[T](n * n)
 	defer blas.PutScratch(r)
 	Laset('A', n, n, 0, 0, r, n)
@@ -41,7 +41,7 @@ func svdTallQRFirst[T core.Scalar](inner svdDriver[T], jobu, jobvt SVDJob, m, n 
 		defer blas.PutScratch(ur)
 		ldur = n
 	}
-	if info := inner(jobuR, jobvt, n, n, r, n, s, ur, ldur, vt, ldvt); info != 0 {
+	if info := inner(cfg, jobuR, jobvt, n, n, r, n, s, ur, ldur, vt, ldvt); info != 0 {
 		return info
 	}
 	if jobu != SVDNone {
@@ -50,12 +50,12 @@ func svdTallQRFirst[T core.Scalar](inner svdDriver[T], jobu, jobvt SVDJob, m, n 
 			ucols = m
 		}
 		Lacpy('L', m, n, a, lda, u, ldu)
-		Orgqr(m, ucols, n, u, ldu, tau)
+		Orgqr(cfg, m, ucols, n, u, ldu, tau)
 		// First n columns become Q(:, 0:n)·U_R; for jobu 'A' the trailing
 		// m−n columns of Q are already the remaining left vectors.
 		tmp := blas.GetScratch[T](m * n)
 		defer blas.PutScratch(tmp)
-		blas.Gemm(NoTrans, NoTrans, m, n, n, one, u, ldu, ur, n, zero, tmp, m)
+		blas.Gemm(cfg, NoTrans, NoTrans, m, n, n, one, u, ldu, ur, n, zero, tmp, m)
 		Lacpy('A', m, n, tmp, m, u, ldu)
 	}
 	return 0
@@ -75,7 +75,7 @@ func svdTallQRFirst[T core.Scalar](inner svdDriver[T], jobu, jobvt SVDJob, m, n 
 // matrices transpose into the tall path at the symmetric n ≥ 5m/3
 // crossover. When neither U nor Vᴴ is wanted the values-only Bdsqr
 // iteration is cheaper than D&C and is used directly.
-func Gesdd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
+func Gesdd[T core.Scalar](cfg *core.Config, jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
 	mn := min(m, n)
 	if mn == 0 {
 		return 0
@@ -99,7 +99,7 @@ func Gesdd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []floa
 		}
 		if target != 0 {
 			Lascl(MatGeneral, anrm, target, m, n, a, lda)
-			info := gesddScaled(jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
+			info := gesddScaled(cfg, jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
 			if info == 0 {
 				scl := anrm / target
 				for i := 0; i < mn; i++ {
@@ -109,12 +109,12 @@ func Gesdd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []floa
 			return info
 		}
 	}
-	return gesddScaled(jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
+	return gesddScaled(cfg, jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
 }
 
 // gesddScaled is the Gesdd drive proper, entered once the input is known to
 // sit in the safely-squarable range.
-func gesddScaled[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
+func gesddScaled[T core.Scalar](cfg *core.Config, jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
 	mn := min(m, n)
 	one := core.FromFloat[T](1)
 	zero := core.FromFloat[T](0)
@@ -144,7 +144,7 @@ func gesddScaled[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s 
 			defer blas.PutScratch(vtp)
 			ldvtp = rows
 		}
-		info := Gesdd(jobvt, jobu, n, m, ah, n, s, up, ldup, vtp, ldvtp)
+		info := Gesdd(cfg, jobvt, jobu, n, m, ah, n, s, up, ldup, vtp, ldvtp)
 		if jobu != SVDNone {
 			cols := mn
 			if jobu == SVDAll {
@@ -166,11 +166,11 @@ func gesddScaled[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s 
 	if jobu == SVDNone && jobvt == SVDNone {
 		// Values only: QR iteration without vector accumulation does less
 		// work than the D&C merge tree.
-		return Gesvd(jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
+		return Gesvd(cfg, jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
 	}
 	if svdQRCross(m, n) {
 		// Path 1: A = Q·R, SVD the n×n R, then U = Q·U_R with one GEMM.
-		return svdTallQRFirst(Gesdd[T], jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
+		return svdTallQRFirst(cfg, Gesdd[T], jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
 	}
 	// Square / moderately tall: bidiagonalize, run the f64 D&C, and apply
 	// the accumulated singular vector matrices to the Orgbr bases with one
@@ -179,12 +179,12 @@ func gesddScaled[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s 
 	e := make([]float64, max(0, n-1))
 	tauq := make([]T, n)
 	taup := make([]T, n)
-	Gebrd(m, n, a, lda, d, e, tauq, taup)
+	Gebrd(cfg, m, n, a, lda, d, e, tauq, taup)
 	u0 := blas.GetScratch[float64](n * n)
 	defer blas.PutScratch(u0)
 	vt0 := blas.GetScratch[float64](n * n)
 	defer blas.PutScratch(vt0)
-	if info := Bdsdc(n, d, e, u0, n, vt0, n); info != 0 {
+	if info := Bdsdc(cfg, n, d, e, u0, n, vt0, n); info != 0 {
 		return info
 	}
 	copy(s[:n], d[:n])
@@ -194,24 +194,24 @@ func gesddScaled[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s 
 			ucols = m
 		}
 		Lacpy('L', m, n, a, lda, u, ldu)
-		Orgbr('Q', m, ucols, n, u, ldu, tauq)
+		Orgbr(cfg, 'Q', m, ucols, n, u, ldu, tauq)
 		u0t := blas.GetScratch[T](n * n)
 		defer blas.PutScratch(u0t)
 		blas.ConvertF64(n, n, u0, n, u0t, n)
 		tmp := blas.GetScratch[T](m * n)
 		defer blas.PutScratch(tmp)
-		blas.Gemm(NoTrans, NoTrans, m, n, n, one, u, ldu, u0t, n, zero, tmp, m)
+		blas.Gemm(cfg, NoTrans, NoTrans, m, n, n, one, u, ldu, u0t, n, zero, tmp, m)
 		Lacpy('A', m, n, tmp, m, u, ldu)
 	}
 	if jobvt != SVDNone {
 		Lacpy('U', n, n, a, lda, vt, ldvt)
-		Orgbr('P', n, n, n, vt, ldvt, taup)
+		Orgbr(cfg, 'P', n, n, n, vt, ldvt, taup)
 		vt0t := blas.GetScratch[T](n * n)
 		defer blas.PutScratch(vt0t)
 		blas.ConvertF64(n, n, vt0, n, vt0t, n)
 		tmp := blas.GetScratch[T](n * n)
 		defer blas.PutScratch(tmp)
-		blas.Gemm(NoTrans, NoTrans, n, n, n, one, vt0t, n, vt, ldvt, zero, tmp, n)
+		blas.Gemm(cfg, NoTrans, NoTrans, n, n, n, one, vt0t, n, vt, ldvt, zero, tmp, n)
 		Lacpy('A', n, n, tmp, n, vt, ldvt)
 	}
 	return 0
@@ -226,7 +226,7 @@ func gesddScaled[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s 
 // Unlike Gelss's per-column Gemv sweeps, the pseudo-inverse application
 // x = V·Σ⁺·Uᴴ·b runs as two multi-RHS GEMM calls, so the whole drive —
 // bidiagonal D&C included — stays on the Level-3 engine.
-func Gelsd[T core.Scalar](m, n, nrhs int, a []T, lda int, b []T, ldb int, s []float64, rcond float64) (rank, info int) {
+func Gelsd[T core.Scalar](cfg *core.Config, m, n, nrhs int, a []T, lda int, b []T, ldb int, s []float64, rcond float64) (rank, info int) {
 	mn := min(m, n)
 	if mn == 0 {
 		return 0, 0
@@ -238,7 +238,7 @@ func Gelsd[T core.Scalar](m, n, nrhs int, a []T, lda int, b []T, ldb int, s []fl
 	defer blas.PutScratch(u)
 	vt := blas.GetScratch[T](mn * n)
 	defer blas.PutScratch(vt)
-	info = Gesdd(SVDSome, SVDSome, m, n, a, lda, s, u, m, vt, mn)
+	info = Gesdd(cfg, SVDSome, SVDSome, m, n, a, lda, s, u, m, vt, mn)
 	if info != 0 {
 		return 0, info
 	}
@@ -260,7 +260,7 @@ func Gelsd[T core.Scalar](m, n, nrhs int, a []T, lda int, b []T, ldb int, s []fl
 	// w = Uᴴ·B, row-scaled by Σ⁺.
 	w := blas.GetScratch[T](mn * nrhs)
 	defer blas.PutScratch(w)
-	blas.Gemm(ConjTrans, NoTrans, mn, nrhs, m, one, u, m, b, ldb, zero, w, mn)
+	blas.Gemm(cfg, ConjTrans, NoTrans, mn, nrhs, m, one, u, m, b, ldb, zero, w, mn)
 	for i := 0; i < rank; i++ {
 		inv := core.FromFloat[T](1 / s[i])
 		for j := 0; j < nrhs; j++ {
@@ -270,7 +270,7 @@ func Gelsd[T core.Scalar](m, n, nrhs int, a []T, lda int, b []T, ldb int, s []fl
 	// x = Vᴴᵀ·w over the leading rank rows of Vᴴ.
 	x := blas.GetScratch[T](n * nrhs)
 	defer blas.PutScratch(x)
-	blas.Gemm(ConjTrans, NoTrans, n, nrhs, rank, one, vt, mn, w, mn, zero, x, n)
+	blas.Gemm(cfg, ConjTrans, NoTrans, n, nrhs, rank, one, vt, mn, w, mn, zero, x, n)
 	for j := 0; j < nrhs; j++ {
 		copy(b[j*ldb:j*ldb+n], x[j*n:j*n+n])
 	}

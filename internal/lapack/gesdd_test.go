@@ -40,7 +40,7 @@ func checkSVD[T core.Scalar](t *testing.T, m, n int, a []T, s []float64, u []T, 
 		}
 	}
 	rec := make([]T, m*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), us, m, vt, ldvt, core.FromFloat[T](0), rec, m)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), us, m, vt, ldvt, core.FromFloat[T](0), rec, m)
 	if d := testutil.MaxDiff(rec, a); d > 1e4*float64(max(m, n))*core.Eps[T]()*math.Max(1, s[0]) {
 		t.Fatalf("SVD reconstruction diff %v", d)
 	}
@@ -55,14 +55,14 @@ func testGesdd[T core.Scalar](t *testing.T, m, n int) {
 	mn := min(m, n)
 	sref := make([]float64, mn)
 	aref := append([]T(nil), a...)
-	if info := lapack.Gesvd[T](lapack.SVDNone, lapack.SVDNone, m, n, aref, m, sref, nil, 0, nil, 0); info != 0 {
+	if info := lapack.Gesvd[T](tcfg(), lapack.SVDNone, lapack.SVDNone, m, n, aref, m, sref, nil, 0, nil, 0); info != 0 {
 		t.Fatalf("gesvd info=%d", info)
 	}
 	ac := append([]T(nil), a...)
 	s := make([]float64, mn)
 	u := make([]T, m*mn)
 	vt := make([]T, mn*n)
-	if info := lapack.Gesdd(lapack.SVDSome, lapack.SVDSome, m, n, ac, m, s, u, m, vt, mn); info != 0 {
+	if info := lapack.Gesdd(tcfg(), lapack.SVDSome, lapack.SVDSome, m, n, ac, m, s, u, m, vt, mn); info != 0 {
 		t.Fatalf("gesdd info=%d", info)
 	}
 	tol := 100 * float64(max(m, n)) * core.Eps[T]() * math.Max(1, sref[0])
@@ -94,7 +94,7 @@ func testGesddFull[T core.Scalar](t *testing.T, m, n int) {
 	s := make([]float64, min(m, n))
 	u := make([]T, m*m)
 	vt := make([]T, n*n)
-	if info := lapack.Gesdd(lapack.SVDAll, lapack.SVDAll, m, n, ac, m, s, u, m, vt, n); info != 0 {
+	if info := lapack.Gesdd(tcfg(), lapack.SVDAll, lapack.SVDAll, m, n, ac, m, s, u, m, vt, n); info != 0 {
 		t.Fatalf("gesdd info=%d", info)
 	}
 	if r := testutil.OrthoResidual(m, m, u, m); r > thresh {
@@ -121,8 +121,8 @@ func TestGesddGraded(t *testing.T) {
 	rng := lapack.NewRng([4]int{40, 1, 2, 3})
 	q := testutil.RandGeneral[float64](rng, n, n, n)
 	tauq := make([]float64, n)
-	lapack.Geqrf(n, n, q, n, tauq)
-	lapack.Orgqr(n, n, n, q, n, tauq)
+	lapack.Geqrf(tcfg(), n, n, q, n, tauq)
+	lapack.Orgqr(tcfg(), n, n, n, q, n, tauq)
 	for j := 0; j < n; j++ {
 		sj := math.Pow(10, -float64(j)*15/float64(n-1))
 		for i := 0; i < n; i++ {
@@ -133,7 +133,7 @@ func TestGesddGraded(t *testing.T) {
 	s := make([]float64, n)
 	u := make([]float64, n*n)
 	vt := make([]float64, n*n)
-	if info := lapack.Gesdd(lapack.SVDSome, lapack.SVDSome, n, n, ac, n, s, u, n, vt, n); info != 0 {
+	if info := lapack.Gesdd(tcfg(), lapack.SVDSome, lapack.SVDSome, n, n, ac, n, s, u, n, vt, n); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	checkSVD(t, n, n, a, s, u, n, vt, n)
@@ -153,12 +153,12 @@ func TestGesddRankDeficient(t *testing.T) {
 	uu := testutil.RandGeneral[float64](rng, m, r, m)
 	vv := testutil.RandGeneral[float64](rng, r, n, r)
 	a := make([]float64, m*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, r, 1, uu, m, vv, r, 0, a, m)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, r, 1, uu, m, vv, r, 0, a, m)
 	ac := append([]float64(nil), a...)
 	s := make([]float64, n)
 	u := make([]float64, m*n)
 	vt := make([]float64, n*n)
-	if info := lapack.Gesdd(lapack.SVDSome, lapack.SVDSome, m, n, ac, m, s, u, m, vt, n); info != 0 {
+	if info := lapack.Gesdd(tcfg(), lapack.SVDSome, lapack.SVDSome, m, n, ac, m, s, u, m, vt, n); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	for i := r; i < n; i++ {
@@ -175,8 +175,8 @@ func TestGesddClustered(t *testing.T) {
 	rng := lapack.NewRng([4]int{48, 7, 7, 7})
 	q := testutil.RandGeneral[float64](rng, n, n, n)
 	tauq := make([]float64, n)
-	lapack.Geqrf(n, n, q, n, tauq)
-	lapack.Orgqr(n, n, n, q, n, tauq)
+	lapack.Geqrf(tcfg(), n, n, q, n, tauq)
+	lapack.Orgqr(tcfg(), n, n, n, q, n, tauq)
 	a := make([]float64, n*n)
 	for j := 0; j < n; j++ {
 		sj := 2 + 1e-13*float64(j%3)
@@ -188,7 +188,7 @@ func TestGesddClustered(t *testing.T) {
 	s := make([]float64, n)
 	u := make([]float64, n*n)
 	vt := make([]float64, n*n)
-	if info := lapack.Gesdd(lapack.SVDSome, lapack.SVDSome, n, n, ac, n, s, u, n, vt, n); info != 0 {
+	if info := lapack.Gesdd(tcfg(), lapack.SVDSome, lapack.SVDSome, n, n, ac, n, s, u, n, vt, n); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	checkSVD(t, n, n, a, s, u, n, vt, n)
@@ -207,7 +207,7 @@ func testGelsd[T core.Scalar](t *testing.T, m, n int) {
 	b0 := append([]T(nil), b...)
 	ac := append([]T(nil), a...)
 	s := make([]float64, min(m, n))
-	rank, info := lapack.Gelsd(m, n, nrhs, ac, m, b, ldb, s, -1)
+	rank, info := lapack.Gelsd(tcfg(), m, n, nrhs, ac, m, b, ldb, s, -1)
 	if info != 0 {
 		t.Fatalf("gelsd info=%d", info)
 	}
@@ -218,9 +218,9 @@ func testGelsd[T core.Scalar](t *testing.T, m, n int) {
 	for j := 0; j < nrhs; j++ {
 		res := make([]T, m)
 		copy(res, b0[j*ldb:j*ldb+m])
-		blas.Gemv(blas.NoTrans, m, n, -one, a, m, b[j*ldb:], 1, one, res, 1)
+		blas.Gemv(tcfg(), blas.NoTrans, m, n, -one, a, m, b[j*ldb:], 1, one, res, 1)
 		g := make([]T, n)
-		blas.Gemv(blas.ConjTrans, m, n, one, a, m, res, 1, core.FromFloat[T](0), g, 1)
+		blas.Gemv(tcfg(), blas.ConjTrans, m, n, one, a, m, res, 1, core.FromFloat[T](0), g, 1)
 		if nrm := blas.Nrm2(n, g, 1); nrm > 2e5*core.Eps[T]() {
 			t.Fatalf("gelsd normal equations %v", nrm)
 		}
@@ -243,21 +243,21 @@ func TestGelsdRankDeficient(t *testing.T) {
 	uu := testutil.RandGeneral[float64](rng, m, r, m)
 	vv := testutil.RandGeneral[float64](rng, r, n, r)
 	a := make([]float64, m*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, r, 1, uu, m, vv, r, 0, a, m)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, r, 1, uu, m, vv, r, 0, a, m)
 	b := make([]float64, max(m, n))
 	lapack.Larnv(2, rng, m, b)
 
 	ac := append([]float64(nil), a...)
 	bsd := append([]float64(nil), b...)
 	s := make([]float64, n)
-	rank, info := lapack.Gelsd(m, n, 1, ac, m, bsd, max(m, n), s, 1e-8)
+	rank, info := lapack.Gelsd(tcfg(), m, n, 1, ac, m, bsd, max(m, n), s, 1e-8)
 	if info != 0 || rank != r {
 		t.Fatalf("gelsd rank=%d info=%d", rank, info)
 	}
 	ac2 := append([]float64(nil), a...)
 	bsx := append([]float64(nil), b...)
 	jpvt := make([]int, n)
-	if rank2 := lapack.Gelsx(m, n, 1, ac2, m, jpvt, 1e-8, bsx, max(m, n)); rank2 != r {
+	if rank2 := lapack.Gelsx(tcfg(), m, n, 1, ac2, m, jpvt, 1e-8, bsx, max(m, n)); rank2 != r {
 		t.Fatalf("gelsx rank=%d", rank2)
 	}
 	for i := 0; i < n; i++ {

@@ -1,39 +1,9 @@
 package lapack
 
 import (
-	"os"
-	"sync/atomic"
-
 	"repro/internal/blas"
 	"repro/internal/core"
 )
-
-// lookaheadOff disables the depth-1 panel lookahead in the blocked Getrf.
-// Lookahead and serial execution are bit-identical (the serial path runs the
-// exact same partitioned updates in program order), so the switch exists for
-// debugging and for pinning down scheduling in latency experiments, not for
-// reproducibility.
-var lookaheadOff atomic.Bool
-
-func init() {
-	if os.Getenv("LA90_NO_LOOKAHEAD") != "" {
-		lookaheadOff.Store(true)
-	}
-}
-
-// SetLookahead enables or disables the depth-1 panel lookahead used by the
-// blocked LU factorization and returns the previous setting. The default is
-// enabled unless the LA90_NO_LOOKAHEAD environment variable is set. Results
-// are bit-identical either way. Safe to call concurrently.
-func SetLookahead(on bool) bool {
-	return !lookaheadOff.Swap(!on)
-}
-
-// Lookahead reports whether the blocked LU currently pipelines panel
-// factorizations with trailing updates.
-func Lookahead() bool {
-	return !lookaheadOff.Load()
-}
 
 // Getf2 computes the unblocked LU factorization with partial pivoting of an
 // m×n matrix: A = P·L·U (xGETF2). ipiv must have length min(m, n); ipiv[i]
@@ -86,12 +56,12 @@ func Getf2[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 // Getf2 leaves therefore runs on the Level-3 engine, which is what makes it
 // suitable as the panel kernel of the blocked Getrf. Semantics (ipiv, info)
 // are identical to Getf2.
-func Getrf2[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
+func Getrf2[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, ipiv []int) int {
 	mn := min(m, n)
 	if mn == 0 {
 		return 0
 	}
-	if leaf := Ilaenv(1, "GETRF2", m, n, -1, -1); n <= leaf || m == 1 {
+	if leaf := Ilaenv(cfg, 1, "GETRF2", m, n, -1, -1); n <= leaf || m == 1 {
 		return Getf2(m, n, a, lda, ipiv)
 	}
 	one := core.FromFloat[T](1)
@@ -99,16 +69,16 @@ func Getrf2[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 	// [ A21 A22 ]
 	n1 := mn / 2
 	n2 := n - n1
-	info := Getrf2(m, n1, a, lda, ipiv[:n1])
+	info := Getrf2(cfg, m, n1, a, lda, ipiv[:n1])
 	// Apply the left-half interchanges to the right half, solve the U12
 	// block row, and update A22.
 	Laswp(n2, a[n1*lda:], lda, 0, n1, ipiv)
-	blas.Trsm(Left, Lower, NoTrans, Unit, n1, n2, one, a, lda, a[n1*lda:], lda)
+	blas.Trsm(cfg, Left, Lower, NoTrans, Unit, n1, n2, one, a, lda, a[n1*lda:], lda)
 	if m > n1 {
-		blas.Gemm(NoTrans, NoTrans, m-n1, n2, n1, -one,
+		blas.Gemm(cfg, NoTrans, NoTrans, m-n1, n2, n1, -one,
 			a[n1:], lda, a[n1*lda:], lda, one, a[n1+n1*lda:], lda)
 		// Factor A22 recursively and pull its interchanges across A21.
-		if iinfo := Getrf2(m-n1, n2, a[n1+n1*lda:], lda, ipiv[n1:mn]); iinfo != 0 && info == 0 {
+		if iinfo := Getrf2(cfg, m-n1, n2, a[n1+n1*lda:], lda, ipiv[n1:mn]); iinfo != 0 && info == 0 {
 			info = iinfo + n1
 		}
 		for k := n1; k < mn; k++ {
@@ -128,31 +98,44 @@ func Getrf2[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 // partitioned updates in order, so results are bit-identical with lookahead
 // on or off, and identical to earlier non-pipelined versions of this
 // routine. Semantics are identical to Getf2.
-func Getrf[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
+func Getrf[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, ipiv []int) int {
+	cfg = core.Cfg(cfg)
 	mn := min(m, n)
 	if mn == 0 {
 		return 0
 	}
-	if smallLUOK(m, n) {
+	if smallLUOK(cfg, m, n) {
 		// The whole problem sits under the pack-free crossover: the fixed
 		// narrow-panel LU beats both the recursion and the blocked loop
 		// there (see smalllu.go).
-		return getrfSmall(m, n, a, lda, ipiv)
+		return getrfSmall(cfg, m, n, a, lda, ipiv)
 	}
-	nb := Ilaenv(1, "GETRF", m, n, -1, -1)
+	nb := Ilaenv(cfg, 1, "GETRF", m, n, -1, -1)
 	if nb <= 1 || nb >= mn {
-		return Getrf2(m, n, a, lda, ipiv)
+		return Getrf2(cfg, m, n, a, lda, ipiv)
 	}
+	// The blocked loop lives in a helper whose cfg parameter is never
+	// reassigned: its lookahead closures then capture cfg by value, so the
+	// small and recursive paths above stay allocation-free.
+	return getrfBlocked(cfg, m, n, a, lda, ipiv, nb)
+}
+
+// getrfBlocked is the blocked right-looking loop of Getrf with the depth-1
+// lookahead pipeline; cfg is already nil-normalized.
+func getrfBlocked[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, ipiv []int, nb int) int {
+	mn := min(m, n)
 	info := 0
 	one := core.FromFloat[T](1)
-	pipelined := Lookahead() && blas.Threads() > 1
+	pipelined := cfg.Lookahead && cfg.Threads > 1
 	// The first panel has no pending update; factor it up front so that each
 	// loop iteration below starts with panel j already factored (either here
 	// or by the lookahead task of the previous iteration).
-	if iinfo := Getrf2(m, min(nb, mn), a, lda, ipiv[:min(nb, mn)]); iinfo != 0 {
+	if iinfo := Getrf2(cfg, m, min(nb, mn), a, lda, ipiv[:min(nb, mn)]); iinfo != 0 {
 		info = iinfo
 	}
 	for j := 0; j < mn; j += nb {
+		// Cancellation checkpoint: once per panel, between pivot sweeps.
+		cfg.Checkpoint()
 		jb := min(nb, mn-j)
 		// Convert panel-local pivots to global row indices.
 		for k := j; k < j+jb; k++ {
@@ -166,7 +149,7 @@ func Getrf[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 		// ...and to the right of the panel.
 		Laswp(n-j-jb, a[(j+jb)*lda:], lda, j, j+jb, ipiv)
 		// U block row: solve L11 * U12 = A12.
-		blas.Trsm(Left, Lower, NoTrans, Unit, jb, n-j-jb, one,
+		blas.Trsm(cfg, Left, Lower, NoTrans, Unit, jb, n-j-jb, one,
 			a[j+j*lda:], lda, a[j+(j+jb)*lda:], lda)
 		if j+jb >= m {
 			continue
@@ -176,22 +159,22 @@ func Getrf[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 		// then overlaps the update of the remaining columns.
 		p := j + jb
 		pb := min(nb, mn-p)
-		blas.Gemm(NoTrans, NoTrans, m-p, pb, jb, -one,
+		blas.Gemm(cfg, NoTrans, NoTrans, m-p, pb, jb, -one,
 			a[p+j*lda:], lda, a[j+p*lda:], lda, one, a[p+p*lda:], lda)
 		pinfo := 0
 		factorNext := func() {
-			pinfo = Getrf2(m-p, pb, a[p+p*lda:], lda, ipiv[p:p+pb])
+			pinfo = Getrf2(cfg, m-p, pb, a[p+p*lda:], lda, ipiv[p:p+pb])
 		}
 		updateRest := func() {
 			if rest := n - p - pb; rest > 0 {
-				blas.Gemm(NoTrans, NoTrans, m-p, rest, jb, -one,
+				blas.Gemm(cfg, NoTrans, NoTrans, m-p, rest, jb, -one,
 					a[p+j*lda:], lda, a[j+(p+pb)*lda:], lda, one,
 					a[p+(p+pb)*lda:], lda)
 			}
 		}
 		// The two tasks touch disjoint column ranges of the trailing matrix.
 		if pipelined {
-			blas.Fork(updateRest, factorNext)
+			blas.Fork(cfg, updateRest, factorNext)
 		} else {
 			factorNext()
 			updateRest()
@@ -205,11 +188,11 @@ func Getrf[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 
 // Getrs solves op(A)·X = B using the LU factorization from Getrf (xGETRS).
 // B is n×nrhs and is overwritten with X.
-func Getrs[T core.Scalar](trans Trans, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) {
+func Getrs[T core.Scalar](cfg *core.Config, trans Trans, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) {
 	if n == 0 || nrhs == 0 {
 		return
 	}
-	if trans == NoTrans && nrhs < 8 && smallLUOK(n, n) {
+	if trans == NoTrans && nrhs < 8 && smallLUOK(cfg, n, n) {
 		// Narrow right-hand sides under the small crossover: direct
 		// substitution, skipping the Trsm recursion entirely.
 		getrsSmall(n, nrhs, a, lda, ipiv, b, ldb)
@@ -218,12 +201,12 @@ func Getrs[T core.Scalar](trans Trans, n, nrhs int, a []T, lda int, ipiv []int, 
 	one := core.FromFloat[T](1)
 	if trans == NoTrans {
 		Laswp(nrhs, b, ldb, 0, n, ipiv)
-		blas.Trsm(Left, Lower, NoTrans, Unit, n, nrhs, one, a, lda, b, ldb)
-		blas.Trsm(Left, Upper, NoTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+		blas.Trsm(cfg, Left, Lower, NoTrans, Unit, n, nrhs, one, a, lda, b, ldb)
+		blas.Trsm(cfg, Left, Upper, NoTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
 		return
 	}
-	blas.Trsm(Left, Upper, trans, NonUnit, n, nrhs, one, a, lda, b, ldb)
-	blas.Trsm(Left, Lower, trans, Unit, n, nrhs, one, a, lda, b, ldb)
+	blas.Trsm(cfg, Left, Upper, trans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+	blas.Trsm(cfg, Left, Lower, trans, Unit, n, nrhs, one, a, lda, b, ldb)
 	LaswpInv(nrhs, b, ldb, 0, n, ipiv)
 }
 
@@ -231,10 +214,10 @@ func Getrs[T core.Scalar](trans Trans, n, nrhs int, a []T, lda int, ipiv []int, 
 // partial pivoting (the xGESV driver). On exit a holds the factors and b
 // holds the solution. The info return follows LAPACK: 0 on success, i > 0
 // when U(i,i) is exactly zero so no solution was computed.
-func Gesv[T core.Scalar](n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) int {
-	info := Getrf(n, n, a, lda, ipiv)
+func Gesv[T core.Scalar](cfg *core.Config, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) int {
+	info := Getrf(cfg, n, n, a, lda, ipiv)
 	if info == 0 {
-		Getrs(NoTrans, n, nrhs, a, lda, ipiv, b, ldb)
+		Getrs(cfg, NoTrans, n, nrhs, a, lda, ipiv, b, ldb)
 	}
 	return info
 }
@@ -287,7 +270,7 @@ func Trtri[T core.Scalar](uplo Uplo, diag Diag, n int, a []T, lda int) int {
 // Getri computes the inverse of a matrix from its LU factorization
 // (xGETRI). work must have length at least n. Returns i > 0 if U(i,i) is
 // zero and the inverse could not be computed.
-func Getri[T core.Scalar](n int, a []T, lda int, ipiv []int, work []T) int {
+func Getri[T core.Scalar](cfg *core.Config, n int, a []T, lda int, ipiv []int, work []T) int {
 	if n == 0 {
 		return 0
 	}
@@ -304,7 +287,7 @@ func Getri[T core.Scalar](n int, a []T, lda int, ipiv []int, work []T) int {
 			a[i+j*lda] = 0
 		}
 		if j < n-1 {
-			blas.Gemv(NoTrans, n, n-j-1, -one, a[(j+1)*lda:], lda, work[j+1:], 1, one, a[j*lda:], 1)
+			blas.Gemv(cfg, NoTrans, n, n-j-1, -one, a[(j+1)*lda:], lda, work[j+1:], 1, one, a[j*lda:], 1)
 		}
 	}
 	// Apply column interchanges: columns are swapped in reverse pivot order.

@@ -20,7 +20,7 @@ func testGetrf[T core.Scalar](t *testing.T, n int) {
 	af := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, af, lda)
 	ipiv := make([]int, n)
-	if info := lapack.Getrf(n, n, af, lda, ipiv); info != 0 {
+	if info := lapack.Getrf(tcfg(), n, n, af, lda, ipiv); info != 0 {
 		t.Fatalf("getrf info = %d", info)
 	}
 	if r := testutil.LUResidual(n, n, a, lda, af, lda, ipiv); r > thresh {
@@ -57,7 +57,7 @@ func TestGetrfRectangular(t *testing.T) {
 		a := testutil.RandGeneral[float64](rng, m, n, m)
 		af := append([]float64(nil), a...)
 		ipiv := make([]int, min(m, n))
-		lapack.Getrf(m, n, af, m, ipiv)
+		lapack.Getrf(tcfg(), m, n, af, m, ipiv)
 		if r := testutil.LUResidual(m, n, a, m, af, m, ipiv); r > thresh {
 			t.Fatalf("LU residual %v for %dx%d", r, m, n)
 		}
@@ -76,7 +76,7 @@ func TestGetrfSingular(t *testing.T) {
 		}
 	}
 	ipiv := make([]int, n)
-	if info := lapack.Getrf(n, n, a, n, ipiv); info <= 0 {
+	if info := lapack.Getrf(tcfg(), n, n, a, n, ipiv); info <= 0 {
 		t.Fatalf("expected positive info for singular matrix, got %d", info)
 	}
 }
@@ -89,14 +89,14 @@ func testGesv[T core.Scalar](t *testing.T, n, nrhs int) {
 	x := testutil.RandGeneral[T](rng, n, nrhs, ldb)
 	b := make([]T, ldb*nrhs)
 	one := core.FromFloat[T](1)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, one, a, lda, x, ldb, core.FromFloat[T](0), b, ldb)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, one, a, lda, x, ldb, core.FromFloat[T](0), b, ldb)
 
 	af := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, af, lda)
 	sol := make([]T, ldb*nrhs)
 	lapack.Lacpy('A', n, nrhs, b, ldb, sol, ldb)
 	ipiv := make([]int, n)
-	if info := lapack.Gesv(n, nrhs, af, lda, ipiv, sol, ldb); info != 0 {
+	if info := lapack.Gesv(tcfg(), n, nrhs, af, lda, ipiv, sol, ldb); info != 0 {
 		t.Fatalf("gesv info = %d", info)
 	}
 	if r := testutil.SolveResidual(n, nrhs, a, lda, sol, ldb, b, ldb); r > thresh {
@@ -121,16 +121,16 @@ func TestGetrsTrans(t *testing.T) {
 	a := testutil.RandGeneral[complex128](rng, n, n, n)
 	af := append([]complex128(nil), a...)
 	ipiv := make([]int, n)
-	if info := lapack.Getrf(n, n, af, n, ipiv); info != 0 {
+	if info := lapack.Getrf(tcfg(), n, n, af, n, ipiv); info != 0 {
 		t.Fatalf("getrf info=%d", info)
 	}
 	for _, tr := range []lapack.Trans{lapack.TransT, lapack.ConjTrans} {
 		x := testutil.RandGeneral[complex128](rng, n, nrhs, n)
 		b := make([]complex128, n*nrhs)
 		// b = op(A)·x
-		blas.Gemm(blas.Trans(tr), blas.NoTrans, n, nrhs, n, 1, a, n, x, n, 0, b, n)
+		blas.Gemm(tcfg(), blas.Trans(tr), blas.NoTrans, n, nrhs, n, 1, a, n, x, n, 0, b, n)
 		sol := append([]complex128(nil), b...)
-		lapack.Getrs(tr, n, nrhs, af, n, ipiv, sol, n)
+		lapack.Getrs(tcfg(), tr, n, nrhs, af, n, ipiv, sol, n)
 		if d := testutil.MaxDiff(sol, x); d > 1e-10 {
 			t.Fatalf("trans solve %v: max diff %v", tr, d)
 		}
@@ -143,16 +143,16 @@ func testGetri[T core.Scalar](t *testing.T, n int) {
 	a := testutil.RandGeneral[T](rng, n, n, n)
 	inv := append([]T(nil), a...)
 	ipiv := make([]int, n)
-	if info := lapack.Getrf(n, n, inv, n, ipiv); info != 0 {
+	if info := lapack.Getrf(tcfg(), n, n, inv, n, ipiv); info != 0 {
 		t.Fatalf("getrf info=%d", info)
 	}
 	work := make([]T, n)
-	if info := lapack.Getri(n, inv, n, ipiv, work); info != 0 {
+	if info := lapack.Getri(tcfg(), n, inv, n, ipiv, work); info != 0 {
 		t.Fatalf("getri info=%d", info)
 	}
 	// A·A⁻¹ must be the identity.
 	p := make([]T, n*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, core.FromFloat[T](1), a, n, inv, n, core.FromFloat[T](0), p, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, n, n, core.FromFloat[T](1), a, n, inv, n, core.FromFloat[T](0), p, n)
 	for i := 0; i < n; i++ {
 		p[i+i*n] -= core.FromFloat[T](1)
 	}
@@ -179,8 +179,8 @@ func TestGecon(t *testing.T) {
 	}
 	anorm := lapack.Lange(lapack.OneNorm, n, n, a, n)
 	ipiv := make([]int, n)
-	lapack.Getrf(n, n, a, n, ipiv)
-	rcond := lapack.Gecon(lapack.OneNorm, n, a, n, ipiv, anorm)
+	lapack.Getrf(tcfg(), n, n, a, n, ipiv)
+	rcond := lapack.Gecon(tcfg(), lapack.OneNorm, n, a, n, ipiv, anorm)
 	want := 1.0 / float64(n) // cond = n for this diagonal matrix
 	if rcond < want/3 || rcond > want*3 {
 		t.Fatalf("rcond = %v, want about %v", rcond, want)
@@ -190,8 +190,8 @@ func TestGecon(t *testing.T) {
 	rng := lapack.NewRng([4]int{5, 6, 7, 8})
 	b := testutil.RandGeneral[float64](rng, n, n, n)
 	bnorm := lapack.Lange(lapack.InfNorm, n, n, b, n)
-	lapack.Getrf(n, n, b, n, ipiv)
-	rc := lapack.Gecon(lapack.InfNorm, n, b, n, ipiv, bnorm)
+	lapack.Getrf(tcfg(), n, n, b, n, ipiv)
+	rc := lapack.Gecon(tcfg(), lapack.InfNorm, n, b, n, ipiv, bnorm)
 	if rc <= 0 || rc > 1.000001 {
 		t.Fatalf("inf-norm rcond out of range: %v", rc)
 	}
@@ -203,15 +203,15 @@ func TestGerfs(t *testing.T) {
 	a := testutil.RandGeneral[float64](rng, n, n, n)
 	xTrue := testutil.RandGeneral[float64](rng, n, nrhs, n)
 	b := make([]float64, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
 	af := append([]float64(nil), a...)
 	ipiv := make([]int, n)
-	lapack.Getrf(n, n, af, n, ipiv)
+	lapack.Getrf(tcfg(), n, n, af, n, ipiv)
 	x := append([]float64(nil), b...)
-	lapack.Getrs(lapack.NoTrans, n, nrhs, af, n, ipiv, x, n)
+	lapack.Getrs(tcfg(), lapack.NoTrans, n, nrhs, af, n, ipiv, x, n)
 	ferr := make([]float64, nrhs)
 	berr := make([]float64, nrhs)
-	lapack.Gerfs(lapack.NoTrans, n, nrhs, a, n, af, n, ipiv, b, n, x, n, ferr, berr)
+	lapack.Gerfs(tcfg(), lapack.NoTrans, n, nrhs, a, n, af, n, ipiv, b, n, x, n, ferr, berr)
 	for j := 0; j < nrhs; j++ {
 		if berr[j] > 10*core.Eps[float64]() {
 			t.Fatalf("backward error %v too large", berr[j])
@@ -288,17 +288,17 @@ func testGesvx[T core.Scalar](t *testing.T, fact lapack.Fact, trans lapack.Trans
 	}
 	xTrue := testutil.RandGeneral[T](rng, n, nrhs, n)
 	b := make([]T, n*nrhs)
-	blas.Gemm(blas.Trans(trans), blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, lda, xTrue, n, core.FromFloat[T](0), b, n)
+	blas.Gemm(tcfg(), blas.Trans(trans), blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, lda, xTrue, n, core.FromFloat[T](0), b, n)
 
 	acopy := append([]T(nil), a...)
 	af := make([]T, lda*n)
 	ipiv := make([]int, n)
 	if fact == lapack.FactFact {
 		lapack.Lacpy('A', n, n, a, lda, af, lda)
-		lapack.Getrf(n, n, af, lda, ipiv)
+		lapack.Getrf(tcfg(), n, n, af, lda, ipiv)
 	}
 	x := make([]T, n*nrhs)
-	res := lapack.Gesvx(fact, trans, n, nrhs, acopy, lda, af, lda, ipiv, b, n, x, n)
+	res := lapack.Gesvx(tcfg(), fact, trans, n, nrhs, acopy, lda, af, lda, ipiv, b, n, x, n)
 	if res.Info != 0 {
 		t.Fatalf("gesvx info = %d", res.Info)
 	}

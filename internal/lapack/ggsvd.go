@@ -32,7 +32,7 @@ type GgsvdResult struct {
 // Ggsvd computes the generalized singular value decomposition of the pair
 // (A, B) (the xGGSVD driver). u, v, q, r may be nil to skip an output;
 // a and b are destroyed. Requires m+p >= n.
-func Ggsvd[T core.Scalar](m, p, n int, a []T, lda int, b []T, ldb int, u []T, ldu int, v []T, ldv int, q []T, ldq int, r []T, ldr int) GgsvdResult {
+func Ggsvd[T core.Scalar](cfg *core.Config, m, p, n int, a []T, lda int, b []T, ldb int, u []T, ldu int, v []T, ldv int, q []T, ldq int, r []T, ldr int) GgsvdResult {
 	res := GgsvdResult{Alpha: make([]float64, n), Beta: make([]float64, n)}
 	if n == 0 {
 		return res
@@ -50,10 +50,10 @@ func Ggsvd[T core.Scalar](m, p, n int, a []T, lda int, b []T, ldb int, u []T, ld
 	Lacpy('A', m, n, a, lda, z0, mp)
 	Lacpy('A', p, n, b, ldb, z0[m:], mp)
 	tau := make([]T, n)
-	Geqrf(mp, n, z0, mp, tau)
+	Geqrf(cfg, mp, n, z0, mp, tau)
 	rs := make([]T, n*n)
 	Lacpy('U', n, n, z0, mp, rs, n)
-	Orgqr(mp, n, n, z0, mp, tau)
+	Orgqr(cfg, mp, n, n, z0, mp, tau)
 	q1 := z0     // the A block of the orthonormal factor (m×n)
 	q2 := z0[m:] // the B block (p×n)
 
@@ -69,7 +69,7 @@ func Ggsvd[T core.Scalar](m, p, n int, a []T, lda int, b []T, ldb int, u []T, ld
 	q2c := make([]T, max(1, p)*n)
 	Lacpy('A', p, n, q2, mp, q2c, max(1, p))
 	if p > 0 {
-		if info := Gesvd(SVDSome, SVDAll, p, n, q2c, max(1, p), s2, v2, ldv2, w1t, n); info != 0 {
+		if info := Gesvd(cfg, SVDSome, SVDAll, p, n, q2c, max(1, p), s2, v2, ldv2, w1t, n); info != 0 {
 			res.Info = info
 			return res
 		}
@@ -92,12 +92,12 @@ func Ggsvd[T core.Scalar](m, p, n int, a []T, lda int, b []T, ldb int, u []T, ld
 
 	// Step 4: X = W1ᴴ·Rs, RQ-factored as X = R·Qrq.
 	x := make([]T, n*n)
-	blas.Gemm(NoTrans, NoTrans, n, n, n, one, w1t, n, rs, n, zero, x, n)
+	blas.Gemm(cfg, NoTrans, NoTrans, n, n, n, one, w1t, n, rs, n, zero, x, n)
 	if r != nil || q != nil {
 		xc := make([]T, n*n)
 		Lacpy('A', n, n, x, n, xc, n)
 		taur := make([]T, n)
-		Gerq2(n, n, xc, n, taur)
+		Gerq2(cfg, n, n, xc, n, taur)
 		if r != nil {
 			Laset('A', n, n, zero, zero, r, ldr)
 			Lacpy('U', n, n, xc, n, r, ldr)
@@ -105,7 +105,7 @@ func Ggsvd[T core.Scalar](m, p, n int, a []T, lda int, b []T, ldb int, u []T, ld
 		if q != nil {
 			qrq := make([]T, n*n)
 			Lacpy('A', n, n, xc, n, qrq, n)
-			Orgr2(n, n, n, qrq, n, taur)
+			Orgr2(cfg, n, n, n, qrq, n, taur)
 			// Q of the GSVD is Qrqᴴ.
 			for i := 0; i < n; i++ {
 				for j := 0; j < n; j++ {
@@ -127,7 +127,7 @@ func Ggsvd[T core.Scalar](m, p, n int, a []T, lda int, b []T, ldb int, u []T, ld
 			}
 		}
 		q1w := make([]T, m*n)
-		blas.Gemm(NoTrans, NoTrans, m, n, n, one, q1, mp, w, n, zero, q1w, m)
+		blas.Gemm(cfg, NoTrans, NoTrans, m, n, n, one, q1, mp, w, n, zero, q1w, m)
 		Laset('A', m, n, zero, zero, u, ldu)
 		for j := 0; j < n; j++ {
 			if res.Alpha[j] > tol {

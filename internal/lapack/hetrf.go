@@ -211,7 +211,7 @@ func Hetf2[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
 // and applies the panel to the rest of the matrix with Level-3 updates.
 // For real element types the conjugations are no-ops and it reduces to the
 // symmetric algorithm. kb, ipiv and info follow lasyf.
-func lahef[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []T, ldw int) (kb, info int) {
+func lahef[T core.Scalar](cfg *core.Config, uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []T, ldw int) (kb, info int) {
 	one := core.FromFloat[T](1)
 	re := func(v T) T { return core.FromFloat[T](core.Re(v)) }
 	if uplo == Upper {
@@ -224,7 +224,7 @@ func lahef[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 			w[k+kw*ldw] = re(a[k+k*lda])
 			if k < n-1 {
 				lacgv(n-1-k, w[k+(kw+1)*ldw:], ldw)
-				blas.Gemv(NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
+				blas.Gemv(cfg, NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
 					w[k+(kw+1)*ldw:], ldw, one, w[kw*ldw:], 1)
 				lacgv(n-1-k, w[k+(kw+1)*ldw:], ldw)
 				w[k+kw*ldw] = re(w[k+kw*ldw])
@@ -255,7 +255,7 @@ func lahef[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 					}
 					if k < n-1 {
 						lacgv(n-1-k, w[imax+(kw+1)*ldw:], ldw)
-						blas.Gemv(NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
+						blas.Gemv(cfg, NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
 							w[imax+(kw+1)*ldw:], ldw, one, w[(kw-1)*ldw:], 1)
 						lacgv(n-1-k, w[imax+(kw+1)*ldw:], ldw)
 						w[imax+(kw-1)*ldw] = re(w[imax+(kw-1)*ldw])
@@ -327,16 +327,17 @@ func lahef[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 		kRem := k + 1
 		kwr := nb - n + kRem
 		for j0 := ((kRem - 1) / nb) * nb; j0 >= 0; j0 -= nb {
+			cfg.Checkpoint() // once per panel
 			jb := min(nb, kRem-j0)
 			for jj := j0; jj < j0+jb; jj++ {
 				lacgv(n-kRem, w[jj+kwr*ldw:], ldw)
-				blas.Gemv(NoTrans, jj-j0+1, n-kRem, -one, a[j0+kRem*lda:], lda,
+				blas.Gemv(cfg, NoTrans, jj-j0+1, n-kRem, -one, a[j0+kRem*lda:], lda,
 					w[jj+kwr*ldw:], ldw, one, a[j0+jj*lda:], 1)
 				lacgv(n-kRem, w[jj+kwr*ldw:], ldw)
 				a[jj+jj*lda] = re(a[jj+jj*lda])
 			}
 			if j0 > 0 {
-				blas.Gemm(NoTrans, ConjTrans, j0, jb, n-kRem, -one, a[kRem*lda:], lda,
+				blas.Gemm(cfg, NoTrans, ConjTrans, j0, jb, n-kRem, -one, a[kRem*lda:], lda,
 					w[j0+kwr*ldw:], ldw, one, a[j0*lda:], lda)
 			}
 		}
@@ -365,7 +366,7 @@ func lahef[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 		}
 		if k > 0 {
 			lacgv(k, w[k:], ldw)
-			blas.Gemv(NoTrans, n-k, k, -one, a[k:], lda, w[k:], ldw, one, w[k+k*ldw:], 1)
+			blas.Gemv(cfg, NoTrans, n-k, k, -one, a[k:], lda, w[k:], ldw, one, w[k+k*ldw:], 1)
 			lacgv(k, w[k:], ldw)
 			w[k+k*ldw] = re(w[k+k*ldw])
 		}
@@ -395,7 +396,7 @@ func lahef[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 				}
 				if k > 0 {
 					lacgv(k, w[imax:], ldw)
-					blas.Gemv(NoTrans, n-k, k, -one, a[k:], lda, w[imax:], ldw,
+					blas.Gemv(cfg, NoTrans, n-k, k, -one, a[k:], lda, w[imax:], ldw,
 						one, w[k+(k+1)*ldw:], 1)
 					lacgv(k, w[imax:], ldw)
 					w[imax+(k+1)*ldw] = re(w[imax+(k+1)*ldw])
@@ -464,16 +465,17 @@ func lahef[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 	}
 	// A(k:n, k:n) -= L21·(D·L21ᴴ) in nb-wide column blocks.
 	for j0 := k; j0 < n; j0 += nb {
+		cfg.Checkpoint() // once per panel
 		jb := min(nb, n-j0)
 		for jj := j0; jj < j0+jb; jj++ {
 			lacgv(k, w[jj:], ldw)
-			blas.Gemv(NoTrans, j0+jb-jj, k, -one, a[jj:], lda, w[jj:], ldw,
+			blas.Gemv(cfg, NoTrans, j0+jb-jj, k, -one, a[jj:], lda, w[jj:], ldw,
 				one, a[jj+jj*lda:], 1)
 			lacgv(k, w[jj:], ldw)
 			a[jj+jj*lda] = re(a[jj+jj*lda])
 		}
 		if j0+jb < n {
-			blas.Gemm(NoTrans, ConjTrans, n-j0-jb, jb, k, -one, a[j0+jb:], lda,
+			blas.Gemm(cfg, NoTrans, ConjTrans, n-j0-jb, jb, k, -one, a[j0+jb:], lda,
 				w[j0:], ldw, one, a[j0+jb+j0*lda:], lda)
 		}
 	}
@@ -495,8 +497,8 @@ func lahef[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 // Hetrf computes the Bunch–Kaufman factorization of a Hermitian matrix
 // (xHETRF): lahef panels with Level-3 trailing updates, plus an unblocked
 // Hetf2 cleanup on the final block.
-func Hetrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
-	nb := Ilaenv(1, "HETRF", n, -1, -1, -1)
+func Hetrf[T core.Scalar](cfg *core.Config, uplo Uplo, n int, a []T, lda int, ipiv []int) int {
+	nb := Ilaenv(cfg, 1, "HETRF", n, -1, -1, -1)
 	if nb <= 1 || nb >= n {
 		return Hetf2(uplo, n, a, lda, ipiv)
 	}
@@ -510,7 +512,7 @@ func Hetrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
 				}
 				break
 			}
-			kb, iinfo := lahef(Upper, k, nb, a, lda, ipiv, w, n)
+			kb, iinfo := lahef(cfg, Upper, k, nb, a, lda, ipiv, w, n)
 			if iinfo != 0 && info == 0 {
 				info = iinfo
 			}
@@ -535,7 +537,7 @@ func Hetrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
 			adjust(k, n, k)
 			break
 		}
-		kb, iinfo := lahef(Lower, n-k, nb, a[k+k*lda:], lda, ipiv[k:], w, n-k)
+		kb, iinfo := lahef(cfg, Lower, n-k, nb, a[k+k*lda:], lda, ipiv[k:], w, n-k)
 		if iinfo != 0 && info == 0 {
 			info = iinfo + k
 		}
@@ -547,7 +549,7 @@ func Hetrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
 
 // Hetrs solves A·X = B using the Hermitian factorization from Hetrf
 // (xHETRS).
-func Hetrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) {
+func Hetrs[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) {
 	if n == 0 || nrhs == 0 {
 		return
 	}
@@ -589,7 +591,7 @@ func Hetrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b 
 		for k := 0; k < n; {
 			if ipiv[k] >= 0 {
 				conjRow(k)
-				blas.Gemv(ConjTrans, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
+				blas.Gemv(cfg, ConjTrans, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
 				conjRow(k)
 				if kp := ipiv[k]; kp != k {
 					blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
@@ -597,10 +599,10 @@ func Hetrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b 
 				k++
 			} else {
 				conjRow(k)
-				blas.Gemv(ConjTrans, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
+				blas.Gemv(cfg, ConjTrans, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
 				conjRow(k)
 				conjRow(k + 1)
-				blas.Gemv(ConjTrans, k, nrhs, -one, b, ldb, a[(k+1)*lda:], 1, one, b[k+1:], ldb)
+				blas.Gemv(cfg, ConjTrans, k, nrhs, -one, b, ldb, a[(k+1)*lda:], 1, one, b[k+1:], ldb)
 				conjRow(k + 1)
 				if kp := -ipiv[k] - 1; kp != k {
 					blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
@@ -646,7 +648,7 @@ func Hetrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b 
 		if ipiv[k] >= 0 {
 			if k < n-1 {
 				conjRow(k)
-				blas.Gemv(ConjTrans, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
+				blas.Gemv(cfg, ConjTrans, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
 				conjRow(k)
 			}
 			if kp := ipiv[k]; kp != k {
@@ -656,10 +658,10 @@ func Hetrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b 
 		} else {
 			if k < n-1 {
 				conjRow(k)
-				blas.Gemv(ConjTrans, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
+				blas.Gemv(cfg, ConjTrans, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
 				conjRow(k)
 				conjRow(k - 1)
-				blas.Gemv(ConjTrans, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+(k-1)*lda:], 1, one, b[k-1:], ldb)
+				blas.Gemv(cfg, ConjTrans, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+(k-1)*lda:], 1, one, b[k-1:], ldb)
 				conjRow(k - 1)
 			}
 			if kp := -ipiv[k] - 1; kp != k {
@@ -671,17 +673,17 @@ func Hetrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b 
 }
 
 // Hesv solves A·X = B for a Hermitian indefinite matrix (the xHESV driver).
-func Hesv[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) int {
-	info := Hetrf(uplo, n, a, lda, ipiv)
+func Hesv[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) int {
+	info := Hetrf(cfg, uplo, n, a, lda, ipiv)
 	if info == 0 {
-		Hetrs(uplo, n, nrhs, a, lda, ipiv, b, ldb)
+		Hetrs(cfg, uplo, n, nrhs, a, lda, ipiv, b, ldb)
 	}
 	return info
 }
 
 // Hecon estimates the reciprocal 1-norm condition number of a Hermitian
 // indefinite matrix from its factorization (xHECON).
-func Hecon[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int, anorm float64) float64 {
+func Hecon[T core.Scalar](cfg *core.Config, uplo Uplo, n int, a []T, lda int, ipiv []int, anorm float64) float64 {
 	if n == 0 {
 		return 1
 	}
@@ -689,38 +691,38 @@ func Hecon[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int, anorm fl
 		return 0
 	}
 	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
-		Hetrs(uplo, n, 1, a, lda, ipiv, x, n)
+		Hetrs(cfg, uplo, n, 1, a, lda, ipiv, x, n)
 	})
 	return rcondFromEst(ainvnm, anorm)
 }
 
 // Herfs iteratively refines the solution of a Hermitian indefinite system
 // and returns error bounds (xHERFS).
-func Herfs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+func Herfs[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
 	rfs(NoTrans, n, nrhs,
 		func(_ Trans, alpha T, x []T, beta T, y []T) {
 			blas.Hemv(uplo, n, alpha, a, lda, x, 1, beta, y, 1)
 		},
 		func(_ Trans, xa, y []float64) { absSymv(uplo, n, a, lda, xa, y) },
-		func(_ Trans, r []T) { Hetrs(uplo, n, 1, af, ldaf, ipiv, r, n) },
+		func(_ Trans, r []T) { Hetrs(cfg, uplo, n, 1, af, ldaf, ipiv, r, n) },
 		b, ldb, x, ldx, ferr, berr)
 }
 
 // Hesvx is the expert driver for Hermitian indefinite systems (xHESVX).
-func Hesvx[T core.Scalar](fact Fact, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int) SysvxResult {
+func Hesvx[T core.Scalar](cfg *core.Config, fact Fact, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int) SysvxResult {
 	res := SysvxResult{Ferr: make([]float64, nrhs), Berr: make([]float64, nrhs)}
 	if fact != FactFact {
 		Lacpy('A', n, n, a, lda, af, ldaf)
-		res.Info = Hetrf(uplo, n, af, ldaf, ipiv)
+		res.Info = Hetrf(cfg, uplo, n, af, ldaf, ipiv)
 	}
 	if res.Info > 0 {
 		return res
 	}
 	anorm := Lansy(OneNorm, uplo, n, a, lda)
-	res.RCond = Hecon(uplo, n, af, ldaf, ipiv, anorm)
+	res.RCond = Hecon(cfg, uplo, n, af, ldaf, ipiv, anorm)
 	Lacpy('A', n, nrhs, b, ldb, x, ldx)
-	Hetrs(uplo, n, nrhs, af, ldaf, ipiv, x, ldx)
-	Herfs(uplo, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, res.Ferr, res.Berr)
+	Hetrs(cfg, uplo, n, nrhs, af, ldaf, ipiv, x, ldx)
+	Herfs(cfg, uplo, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, res.Ferr, res.Berr)
 	if res.RCond < core.Eps[T]() {
 		res.Info = n + 1
 	}

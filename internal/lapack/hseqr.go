@@ -3,6 +3,8 @@ package lapack
 import (
 	"math"
 	"math/cmplx"
+
+	"repro/internal/core"
 )
 
 // Hseqr computes the eigenvalues and real Schur factorization of a real
@@ -14,7 +16,7 @@ import (
 // in wr/wi; a 2×2 standardized block at (i, i+1) yields a complex
 // conjugate pair. Returns 0 on success, or i > 0 if eigenvalues 0..i-1
 // failed to converge.
-func Hseqr(wantt bool, n, ilo, ihi int, h []float64, ldh int, wr, wi []float64, z []float64, ldz int) int {
+func Hseqr(cfg *core.Config, wantt bool, n, ilo, ihi int, h []float64, ldh int, wr, wi []float64, z []float64, ldz int) int {
 	const (
 		dat1  = 0.75
 		dat2  = -0.4375
@@ -50,6 +52,8 @@ func Hseqr(wantt bool, n, ilo, ihi int, h []float64, ldh int, wr, wi []float64, 
 		l := ilo
 		converged := false
 		for its := 0; its <= itmax; its++ {
+			// Cancellation checkpoint: once per double-shift QR sweep.
+			cfg.Checkpoint()
 			// Look for a single small subdiagonal element.
 			var k int
 			for k = i; k >= l+1; k-- {
@@ -274,7 +278,7 @@ func rotCols(a []float64, lda, c1, c2, ilo, ihi int, cs, sn float64) {
 // upper Hessenberg matrix by the implicit single-shift QR algorithm
 // (xHSEQR/xLAHQR, complex path). Semantics mirror Hseqr; eigenvalues are
 // returned in w.
-func HseqrC(wantt bool, n, ilo, ihi int, h []complex128, ldh int, w []complex128, z []complex128, ldz int) int {
+func HseqrC(cfg *core.Config, wantt bool, n, ilo, ihi int, h []complex128, ldh int, w []complex128, z []complex128, ldz int) int {
 	const (
 		dat1  = 0.75
 		kexsh = 10
@@ -306,6 +310,8 @@ func HseqrC(wantt bool, n, ilo, ihi int, h []complex128, ldh int, w []complex128
 		l := ilo
 		converged := false
 		for its := 0; its <= itmax; its++ {
+			// Cancellation checkpoint: once per double-shift QR sweep.
+			cfg.Checkpoint()
 			// Look for a single small subdiagonal element.
 			var k int
 			for k = i; k >= l+1; k-- {

@@ -29,8 +29,8 @@ func TestIlaenvReductionParams(t *testing.T) {
 		{3, "GEHRD", 128},
 	}
 	for _, c := range cases {
-		if got := lapack.Ilaenv(c.ispec, c.name, 1000, -1, -1, -1); got != c.want {
-			t.Errorf("Ilaenv(%d, %q) = %d, want %d", c.ispec, c.name, got, c.want)
+		if got := lapack.Ilaenv(tcfg(), c.ispec, c.name, 1000, -1, -1, -1); got != c.want {
+			t.Errorf("Ilaenv(tcfg(), %d, %q) = %d, want %d", c.ispec, c.name, got, c.want)
 		}
 	}
 }
@@ -43,9 +43,9 @@ func TestIlaenvReductionParams(t *testing.T) {
 func TestIlaenvReductionEnvKnobs(t *testing.T) {
 	if os.Getenv("LA90_ILAENV_HELPER") == "1" {
 		fmt.Printf("KNOBS %d %d %d\n",
-			lapack.Ilaenv(1, "SYTRD", 1000, -1, -1, -1),
-			lapack.Ilaenv(1, "GEBRD", 1000, -1, -1, -1),
-			lapack.Ilaenv(1, "GEHRD", 1000, -1, -1, -1))
+			lapack.Ilaenv(tcfg(), 1, "SYTRD", 1000, -1, -1, -1),
+			lapack.Ilaenv(tcfg(), 1, "GEBRD", 1000, -1, -1, -1),
+			lapack.Ilaenv(tcfg(), 1, "GEHRD", 1000, -1, -1, -1))
 		return
 	}
 	cases := []struct {

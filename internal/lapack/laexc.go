@@ -1,6 +1,10 @@
 package lapack
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/core"
+)
 
 // lasy2 solves the small Sylvester equation TL·X − X·TR = scale·B for
 // n1×n2 blocks with n1, n2 ∈ {1, 2} (xLASY2 with isgn = −1 semantics).
@@ -9,7 +13,7 @@ import "math"
 // the pivot is perturbed, as in the reference (see DESIGN.md). Returns the
 // solution, the applied scale (1 or a power of two protecting against
 // overflow), and max|X|.
-func lasy2(n1, n2 int, tl []float64, ldtl int, tr []float64, ldtr int, b []float64, ldb int) (x [4]float64, scale, xnorm float64) {
+func lasy2(cfg *core.Config, n1, n2 int, tl []float64, ldtl int, tr []float64, ldtr int, b []float64, ldb int) (x [4]float64, scale, xnorm float64) {
 	nn := n1 * n2
 	var m [16]float64
 	var rhs [4]float64
@@ -40,12 +44,12 @@ func lasy2(n1, n2 int, tl []float64, ldtl int, tr []float64, ldtr int, b []float
 	}
 	smin := math.Max(core64eps*mnorm, math.SmallestNonzeroFloat64*0x1p52)
 	ipiv := make([]int, nn)
-	if info := Getrf(nn, nn, m[:nn*nn], nn, ipiv); info != 0 {
+	if info := Getrf(cfg, nn, nn, m[:nn*nn], nn, ipiv); info != 0 {
 		// Perturb the zero pivot.
 		k := info - 1
 		m[k+k*nn] = smin
 	}
-	Getrs(NoTrans, nn, 1, m[:nn*nn], nn, ipiv, rhs[:nn], nn)
+	Getrs(cfg, NoTrans, nn, 1, m[:nn*nn], nn, ipiv, rhs[:nn], nn)
 	for i := 0; i < nn; i++ {
 		x[i] = rhs[i]
 		xnorm = math.Max(xnorm, math.Abs(rhs[i]))
@@ -60,7 +64,7 @@ const core64eps = 0x1p-52
 // by an orthogonal similarity transformation (xLAEXC). q (n×n), if
 // non-nil, accumulates the transformation. Returns 1 if the swap was
 // rejected because the blocks are too close to swap stably, else 0.
-func Laexc(wantq bool, n int, t []float64, ldt int, q []float64, ldq int, j, n1, n2 int) int {
+func Laexc(cfg *core.Config, wantq bool, n int, t []float64, ldt int, q []float64, ldq int, j, n1, n2 int) int {
 	if n1 == 0 || n2 == 0 || j+n1 >= n {
 		return 0
 	}
@@ -97,12 +101,12 @@ func Laexc(wantq bool, n int, t []float64, ldt int, q []float64, ldq int, j, n1,
 		}
 	}
 	thresh := math.Max(10*eps*dnorm, smlnum)
-	x, scale, _ := lasy2(n1, n2, d[:], nd, d[n1+n1*nd:], nd, d[n1*nd:], nd)
+	x, scale, _ := lasy2(cfg, n1, n2, d[:], nd, d[n1+n1*nd:], nd, d[n1*nd:], nd)
 
 	work := make([]float64, max(4, n))
 	applyLR := func(u []float64, tau float64, dst []float64, ld int, rows, cols int) {
-		Larf(Left, rows, cols, u, 1, tau, dst, ld, work)
-		Larf(Right, rows, cols, u, 1, tau, dst, ld, work)
+		Larf(cfg, Left, rows, cols, u, 1, tau, dst, ld, work)
+		Larf(cfg, Right, rows, cols, u, 1, tau, dst, ld, work)
 	}
 	switch {
 	case n1 == 1 && n2 == 2:
@@ -115,13 +119,13 @@ func Laexc(wantq bool, n int, t []float64, ldt int, q []float64, ldq int, j, n1,
 		if math.Max(math.Abs(d[2]), math.Max(math.Abs(d[2+nd]), math.Abs(d[2+2*nd]-t11))) > thresh {
 			return 1
 		}
-		Larf(Left, 3, n-j1, u, 1, tau, t[j1+j1*ldt:], ldt, work)
-		Larf(Right, j2+1, 3, u, 1, tau, t[j1*ldt:], ldt, work)
+		Larf(cfg, Left, 3, n-j1, u, 1, tau, t[j1+j1*ldt:], ldt, work)
+		Larf(cfg, Right, j2+1, 3, u, 1, tau, t[j1*ldt:], ldt, work)
 		t[j3+j1*ldt] = 0
 		t[j3+j2*ldt] = 0
 		t[j3+j3*ldt] = t11
 		if wantq && q != nil {
-			Larf(Right, n, 3, u, 1, tau, q[j1*ldq:], ldq, work)
+			Larf(cfg, Right, n, 3, u, 1, tau, q[j1*ldq:], ldq, work)
 		}
 	case n1 == 2 && n2 == 1:
 		// Reflector H with H·(−X11, −X21, scale)ᵀ = (*, 0, 0)ᵀ.
@@ -133,13 +137,13 @@ func Laexc(wantq bool, n int, t []float64, ldt int, q []float64, ldq int, j, n1,
 		if math.Max(math.Abs(d[1]), math.Max(math.Abs(d[2]), math.Abs(d[0]-t33))) > thresh {
 			return 1
 		}
-		Larf(Right, j3+1, 3, u, 1, tau, t[j1*ldt:], ldt, work)
-		Larf(Left, 3, n-j1-1, u, 1, tau, t[j1+j2*ldt:], ldt, work)
+		Larf(cfg, Right, j3+1, 3, u, 1, tau, t[j1*ldt:], ldt, work)
+		Larf(cfg, Left, 3, n-j1-1, u, 1, tau, t[j1+j2*ldt:], ldt, work)
 		t[j1+j1*ldt] = t33
 		t[j2+j1*ldt] = 0
 		t[j3+j1*ldt] = 0
 		if wantq && q != nil {
-			Larf(Right, n, 3, u, 1, tau, q[j1*ldq:], ldq, work)
+			Larf(cfg, Right, n, 3, u, 1, tau, q[j1*ldq:], ldq, work)
 		}
 	default: // 2×2 and 2×2
 		u1 := []float64{-x[0], -x[1], scale, 0}
@@ -149,25 +153,25 @@ func Laexc(wantq bool, n int, t []float64, ldt int, q []float64, ldq int, j, n1,
 		u2 := []float64{-temp*u1[1] - x[3], -temp * u1[2], scale, 0}
 		tau2 := Larfg(3, &u2[0], u2[1:3], 1)
 		u2[0] = 1
-		Larf(Left, 3, 4, u1, 1, tau1, d[:], nd, work)
-		Larf(Right, 4, 3, u1, 1, tau1, d[:], nd, work)
-		Larf(Left, 3, 4, u2, 1, tau2, d[1:], nd, work)
-		Larf(Right, 4, 3, u2, 1, tau2, d[nd:], nd, work)
+		Larf(cfg, Left, 3, 4, u1, 1, tau1, d[:], nd, work)
+		Larf(cfg, Right, 4, 3, u1, 1, tau1, d[:], nd, work)
+		Larf(cfg, Left, 3, 4, u2, 1, tau2, d[1:], nd, work)
+		Larf(cfg, Right, 4, 3, u2, 1, tau2, d[nd:], nd, work)
 		if math.Max(math.Max(math.Abs(d[2]), math.Abs(d[2+nd])),
 			math.Max(math.Abs(d[3]), math.Abs(d[3+nd]))) > thresh {
 			return 1
 		}
-		Larf(Left, 3, n-j1, u1, 1, tau1, t[j1+j1*ldt:], ldt, work)
-		Larf(Right, j4+1, 3, u1, 1, tau1, t[j1*ldt:], ldt, work)
-		Larf(Left, 3, n-j1, u2, 1, tau2, t[j2+j1*ldt:], ldt, work)
-		Larf(Right, j4+1, 3, u2, 1, tau2, t[j2*ldt:], ldt, work)
+		Larf(cfg, Left, 3, n-j1, u1, 1, tau1, t[j1+j1*ldt:], ldt, work)
+		Larf(cfg, Right, j4+1, 3, u1, 1, tau1, t[j1*ldt:], ldt, work)
+		Larf(cfg, Left, 3, n-j1, u2, 1, tau2, t[j2+j1*ldt:], ldt, work)
+		Larf(cfg, Right, j4+1, 3, u2, 1, tau2, t[j2*ldt:], ldt, work)
 		t[j3+j1*ldt] = 0
 		t[j3+j2*ldt] = 0
 		t[j4+j1*ldt] = 0
 		t[j4+j2*ldt] = 0
 		if wantq && q != nil {
-			Larf(Right, n, 3, u1, 1, tau1, q[j1*ldq:], ldq, work)
-			Larf(Right, n, 3, u2, 1, tau2, q[j2*ldq:], ldq, work)
+			Larf(cfg, Right, n, 3, u1, 1, tau1, q[j1*ldq:], ldq, work)
+			Larf(cfg, Right, n, 3, u2, 1, tau2, q[j2*ldq:], ldq, work)
 		}
 	}
 	// Standardize any new 2×2 blocks.

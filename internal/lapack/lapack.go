@@ -69,41 +69,6 @@ const (
 	Right     = blas.Right
 )
 
-// Factorization tuning parameters consumed by Ilaenv. Like the GEMM blocking
-// parameters in internal/blas/tuning.go they have measured defaults and can
-// be pinned at startup through environment variables:
-//
-//	LA90_NB_GETRF  block size of the lookahead LU           (default 64/128)
-//	LA90_NB_POTRF  leaf size of the recursive Cholesky      (default 64)
-//	LA90_NB_GEQRF  block size of the QR/LQ family           (default 32)
-//	LA90_NB_SYTRF  panel width of blocked Sytrf/Hetrf       (default 48)
-//	LA90_NX_GEQRF  crossover below which QR/LQ stay unblocked (default 64)
-//	LA90_NB_GETRF2 leaf size of the recursive LU panel      (default 16)
-//	LA90_NB_TRD    panel width of the blocked Sytrd/Hetrd   (default 32)
-//	LA90_NB_BRD    panel width of the blocked Gebrd         (default 32)
-//	LA90_NB_HRD    panel width of the blocked Gehrd         (default 32)
-//
-// The defaults were re-measured against the packed Level-3 engine after the
-// factorizations moved their panels onto it (this PR): with recursive,
-// Level-3 panels the old nb² unblocked-panel penalty is gone, so LU prefers
-// wider panels at large n (deeper GEMM k per update, fewer pivot sweeps),
-// while QR keeps nb=32 (Larft/Larfb overhead grows as nb²·n). The condensed
-// reductions keep nb=32 as well: their panels are Level-2 bound (each Latrd/
-// Labrd/Lahr2 column touches the whole trailing matrix), so wider panels
-// shrink the Level-3 fraction without saving panel work.
-var (
-	nbGetrf   = 64  // LU block, n < 512
-	nbGetrfLg = 256 // LU block, n >= 512
-	nbPotrf   = 64  // recursive Cholesky leaf (Potf2 size)
-	nbGeqrf   = 32  // QR/LQ/Orgqr/Ormqr block
-	nbSytrf   = 48  // Bunch–Kaufman panel width
-	nxGeqrf   = 64  // QR/LQ unblocked crossover on min(m, n)
-	nbGetrf2  = 8   // recursive LU panel leaf (Getf2 size)
-	nbSytrd   = 32  // tridiagonal reduction panel width
-	nbGebrd   = 32  // bidiagonal reduction panel width
-	nbGehrd   = 32  // Hessenberg reduction panel width
-)
-
 // Crossover dimensions below which the condensed-form reductions stay
 // unblocked: under ~4 panels the rank-2k/GEMM trailing updates are too small
 // to amortize the extra Latrd/Labrd/Lahr2 bookkeeping.
@@ -113,57 +78,52 @@ const (
 	nxGehrd = 128
 )
 
-func init() {
-	// Block sizes from the environment pass through the shared clamped
-	// parser: garbage is ignored, out-of-range values degrade to the nearest
-	// sane blocking instead of zero-width panels or absurd workspaces.
-	const maxNB = 1 << 12
-	envInt := func(name string, p *int) {
-		*p = core.EnvInt(name, *p, 1, maxNB)
-	}
-	envInt("LA90_NB_GETRF", &nbGetrf)
-	envInt("LA90_NB_GETRF", &nbGetrfLg) // one knob pins both size regimes
-	envInt("LA90_NB_POTRF", &nbPotrf)
-	envInt("LA90_NB_GEQRF", &nbGeqrf)
-	envInt("LA90_NB_SYTRF", &nbSytrf)
-	envInt("LA90_NX_GEQRF", &nxGeqrf)
-	envInt("LA90_NB_GETRF2", &nbGetrf2)
-	envInt("LA90_NB_TRD", &nbSytrd)
-	envInt("LA90_NB_BRD", &nbGebrd)
-	envInt("LA90_NB_HRD", &nbGehrd)
-}
-
 // Ilaenv returns algorithm tuning parameters, the analogue of LAPACK's
 // ILAENV. ispec 1 requests the optimal block size for the named routine
 // (name "GETRF2" is the leaf order below which the recursive LU panel falls
 // back to Getf2); ispec 3 is the crossover dimension below which the named
 // routine should use unblocked code. The LA_GETRI wrapper in the paper's
 // Appendix C queries exactly this hook to size its workspace.
-func Ilaenv(ispec int, name string, n1, n2, n3, n4 int) int {
+//
+// Block sizes come from the execution context threaded down from the API
+// boundary (cfg may be nil, meaning the process default): the NB* fields of
+// core.Config carry measured defaults, may be pinned at startup with the
+// LA90_NB_* / LA90_NX_GEQRF environment variables (parsed once by
+// core.FromEnv), and may be overridden per call. The defaults were
+// re-measured against the packed Level-3 engine when the factorizations
+// moved their panels onto it: with recursive, Level-3 panels the old nb²
+// unblocked-panel penalty is gone, so LU prefers wider panels at large n
+// (deeper GEMM k per update, fewer pivot sweeps), while QR keeps nb=32
+// (Larft/Larfb overhead grows as nb²·n). The condensed reductions keep
+// nb=32 as well: their panels are Level-2 bound (each Latrd/Labrd/Lahr2
+// column touches the whole trailing matrix), so wider panels shrink the
+// Level-3 fraction without saving panel work.
+func Ilaenv(cfg *core.Config, ispec int, name string, n1, n2, n3, n4 int) int {
+	cfg = core.Cfg(cfg)
 	switch ispec {
 	case 1: // optimal block size
 		switch name {
 		case "GETRF":
 			if max(n1, n2) >= 512 {
-				return nbGetrfLg
+				return cfg.NBGetrfLg
 			}
-			return nbGetrf
+			return cfg.NBGetrf
 		case "GETRF2":
-			return nbGetrf2
+			return cfg.NBGetrf2
 		case "POTRF":
-			return nbPotrf
+			return cfg.NBPotrf
 		case "GETRI":
 			return 48
 		case "SYTRF", "HETRF":
-			return nbSytrf
+			return cfg.NBSytrf
 		case "GEQRF", "GELQF", "ORGQR", "ORMQR", "ORGLQ", "ORMLQ":
-			return nbGeqrf
+			return cfg.NBGeqrf
 		case "SYTRD", "HETRD":
-			return nbSytrd
+			return cfg.NBSytrd
 		case "GEBRD":
-			return nbGebrd
+			return cfg.NBGebrd
 		case "GEHRD":
-			return nbGehrd
+			return cfg.NBGehrd
 		}
 		return 32
 	case 2: // minimum block size
@@ -171,7 +131,7 @@ func Ilaenv(ispec int, name string, n1, n2, n3, n4 int) int {
 	case 3: // crossover point below which unblocked code is used
 		switch name {
 		case "GEQRF", "GELQF":
-			return nxGeqrf
+			return cfg.NXGeqrf
 		case "ORGQR", "ORMQR", "ORGLQ", "ORMLQ":
 			return 8
 		case "SYTRD", "HETRD":

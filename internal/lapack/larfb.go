@@ -14,9 +14,9 @@ import (
 // of the computation — is built with a single rank-n Herk on a cleaned copy
 // of V (explicit unit diagonal, zeroed upper triangle), so the T build runs
 // on the packed Level-3 engine instead of k strided Gemv sweeps.
-func Larft[T core.Scalar](n, k int, v []T, ldv int, tau []T, t []T, ldt int) {
+func Larft[T core.Scalar](cfg *core.Config, n, k int, v []T, ldv int, tau []T, t []T, ldt int) {
 	if n >= 64 && k >= 8 {
-		larftGemm(n, k, v, ldv, tau, t, ldt)
+		larftGemm(cfg, n, k, v, ldv, tau, t, ldt)
 		return
 	}
 	for i := 0; i < k; i++ {
@@ -29,7 +29,7 @@ func Larft[T core.Scalar](n, k int, v []T, ldv int, tau []T, t []T, ldt int) {
 		vii := v[i+i*ldv]
 		v[i+i*ldv] = core.FromFloat[T](1)
 		// t(0:i, i) = −tau(i) · V(i:n, 0:i)ᴴ · V(i:n, i)
-		blas.Gemv(ConjTrans, n-i, i, -tau[i], v[i:], ldv, v[i+i*ldv:], 1,
+		blas.Gemv(cfg, ConjTrans, n-i, i, -tau[i], v[i:], ldv, v[i+i*ldv:], 1,
 			core.FromFloat[T](0), t[i*ldt:], 1)
 		v[i+i*ldv] = vii
 		// t(0:i, i) = T(0:i, 0:i) · t(0:i, i)
@@ -43,7 +43,7 @@ func Larft[T core.Scalar](n, k int, v []T, ldv int, tau []T, t []T, ldt int) {
 // The strict upper triangle of s(j,i), j < i, equals V(i:n,j)ᴴ·V(i:n,i)
 // exactly because the cleaned copy has an explicit unit diagonal and zeros
 // above it.
-func larftGemm[T core.Scalar](n, k int, v []T, ldv int, tau []T, t []T, ldt int) {
+func larftGemm[T core.Scalar](cfg *core.Config, n, k int, v []T, ldv int, tau []T, t []T, ldt int) {
 	vc := make([]T, n*k)
 	for j := 0; j < k; j++ {
 		col := vc[j*n : j*n+n]
@@ -51,7 +51,7 @@ func larftGemm[T core.Scalar](n, k int, v []T, ldv int, tau []T, t []T, ldt int)
 		copy(col[j+1:], v[j+1+j*ldv:j*ldv+n])
 	}
 	s := make([]T, k*k)
-	blas.Herk(Upper, ConjTrans, k, n, 1, vc, n, 0, s, k)
+	blas.Herk(cfg, Upper, ConjTrans, k, n, 1, vc, n, 0, s, k)
 	for i := 0; i < k; i++ {
 		if tau[i] == 0 {
 			for j := 0; j <= i; j++ {
@@ -70,7 +70,7 @@ func larftGemm[T core.Scalar](n, k int, v []T, ldv int, tau []T, t []T, ldt int)
 // Larfb applies a block reflector H or Hᴴ from the left to an m×n matrix C
 // (xLARFB with side='L', direct='F', storev='C'). v is m×k, t is the k×k
 // factor from Larft; work must have length at least n*k.
-func Larfb[T core.Scalar](trans Trans, m, n, k int, v []T, ldv int, t []T, ldt int, c []T, ldc int, work []T) {
+func Larfb[T core.Scalar](cfg *core.Config, trans Trans, m, n, k int, v []T, ldv int, t []T, ldt int, c []T, ldc int, work []T) {
 	if m == 0 || n == 0 || k == 0 {
 		return
 	}
@@ -87,7 +87,7 @@ func Larfb[T core.Scalar](trans Trans, m, n, k int, v []T, ldv int, t []T, ldt i
 	blas.Trmm(Right, Lower, NoTrans, Unit, n, k, one, v, ldv, w, ldw)
 	if m > k {
 		// W += C2ᴴ · V2.
-		blas.Gemm(ConjTrans, NoTrans, n, k, m-k, one, c[k:], ldc, v[k:], ldv, one, w, ldw)
+		blas.Gemm(cfg, ConjTrans, NoTrans, n, k, m-k, one, c[k:], ldc, v[k:], ldv, one, w, ldw)
 	}
 	// W := W · Tᴴ (apply H) or W · T (apply Hᴴ).
 	tt := ConjTrans
@@ -97,7 +97,7 @@ func Larfb[T core.Scalar](trans Trans, m, n, k int, v []T, ldv int, t []T, ldt i
 	blas.Trmm(Right, Upper, tt, NonUnit, n, k, one, t, ldt, w, ldw)
 	// C2 −= V2 · Wᴴ.
 	if m > k {
-		blas.Gemm(NoTrans, ConjTrans, m-k, n, k, -one, v[k:], ldv, w, ldw, one, c[k:], ldc)
+		blas.Gemm(cfg, NoTrans, ConjTrans, m-k, n, k, -one, v[k:], ldv, w, ldw, one, c[k:], ldc)
 	}
 	// W := W · V1ᴴ.
 	blas.Trmm(Right, Lower, ConjTrans, Unit, n, k, one, v, ldv, w, ldw)
@@ -113,7 +113,7 @@ func Larfb[T core.Scalar](trans Trans, m, n, k int, v []T, ldv int, t []T, ldt i
 // matrix C (xLARFB with side='R', direct='F', storev='C'): C := C·H (trans
 // = NoTrans) or C·Hᴴ. v is n×k columnwise, t is the k×k factor from Larft;
 // work must have length at least m*k.
-func larfbRight[T core.Scalar](trans Trans, m, n, k int, v []T, ldv int, t []T, ldt int, c []T, ldc int, work []T) {
+func larfbRight[T core.Scalar](cfg *core.Config, trans Trans, m, n, k int, v []T, ldv int, t []T, ldt int, c []T, ldc int, work []T) {
 	if m == 0 || n == 0 || k == 0 {
 		return
 	}
@@ -128,7 +128,7 @@ func larfbRight[T core.Scalar](trans Trans, m, n, k int, v []T, ldv int, t []T, 
 	blas.Trmm(Right, Lower, NoTrans, Unit, m, k, one, v, ldv, w, ldw)
 	if n > k {
 		// W += C2 · V2.
-		blas.Gemm(NoTrans, NoTrans, m, k, n-k, one, c[k*ldc:], ldc, v[k:], ldv, one, w, ldw)
+		blas.Gemm(cfg, NoTrans, NoTrans, m, k, n-k, one, c[k*ldc:], ldc, v[k:], ldv, one, w, ldw)
 	}
 	// W := W · T (apply H) or W · Tᴴ (apply Hᴴ).
 	tt := NoTrans
@@ -138,7 +138,7 @@ func larfbRight[T core.Scalar](trans Trans, m, n, k int, v []T, ldv int, t []T, 
 	blas.Trmm(Right, Upper, tt, NonUnit, m, k, one, t, ldt, w, ldw)
 	// C2 −= W · V2ᴴ.
 	if n > k {
-		blas.Gemm(NoTrans, ConjTrans, m, n-k, k, -one, w, ldw, v[k:], ldv, one, c[k*ldc:], ldc)
+		blas.Gemm(cfg, NoTrans, ConjTrans, m, n-k, k, -one, w, ldw, v[k:], ldv, one, c[k*ldc:], ldc)
 	}
 	// W := W · V1ᴴ.
 	blas.Trmm(Right, Lower, ConjTrans, Unit, m, k, one, v, ldv, w, ldw)
@@ -153,17 +153,18 @@ func larfbRight[T core.Scalar](trans Trans, m, n, k int, v []T, ldv int, t []T, 
 // geqrfBlocked is the Level-3 QR factorization (xGEQRF): panels are
 // factored with the unblocked kernel and the trailing matrix is updated
 // with block reflectors.
-func geqrfBlocked[T core.Scalar](m, n int, a []T, lda int, tau []T, nb int) {
+func geqrfBlocked[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, tau []T, nb int) {
 	mn := min(m, n)
 	work := make([]T, max(1, n)*nb)
 	tmat := make([]T, nb*nb)
 	panelWork := make([]T, max(1, n))
 	for j := 0; j < mn; j += nb {
 		jb := min(nb, mn-j)
-		Geqr2(m-j, jb, a[j+j*lda:], lda, tau[j:j+jb], panelWork)
+		cfg.Checkpoint() // once per panel
+		Geqr2(cfg, m-j, jb, a[j+j*lda:], lda, tau[j:j+jb], panelWork)
 		if j+jb < n {
-			Larft(m-j, jb, a[j+j*lda:], lda, tau[j:j+jb], tmat, nb)
-			Larfb(ConjTrans, m-j, n-j-jb, jb, a[j+j*lda:], lda, tmat, nb,
+			Larft(cfg, m-j, jb, a[j+j*lda:], lda, tau[j:j+jb], tmat, nb)
+			Larfb(cfg, ConjTrans, m-j, n-j-jb, jb, a[j+j*lda:], lda, tmat, nb,
 				a[j+(j+jb)*lda:], lda, work)
 		}
 	}
@@ -174,7 +175,7 @@ func geqrfBlocked[T core.Scalar](m, n int, a []T, lda int, tau []T, nb int) {
 // into a columnwise scratch V (unit diagonal explicit, conjugated tail);
 // the trailing rows then take C := C·(I − V·T·Vᴴ) through the columnwise
 // Larft and the right-side Larfb — no rowwise variants needed.
-func gelqfBlocked[T core.Scalar](m, n int, a []T, lda int, tau []T, nb int) {
+func gelqfBlocked[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, tau []T, nb int) {
 	mn := min(m, n)
 	work := make([]T, max(1, m)*nb)
 	tmat := make([]T, nb*nb)
@@ -182,7 +183,7 @@ func gelqfBlocked[T core.Scalar](m, n int, a []T, lda int, tau []T, nb int) {
 	vbuf := make([]T, max(1, n)*nb)
 	for j := 0; j < mn; j += nb {
 		jb := min(nb, mn-j)
-		Gelq2(jb, n-j, a[j+j*lda:], lda, tau[j:j+jb], panelWork)
+		Gelq2(cfg, jb, n-j, a[j+j*lda:], lda, tau[j:j+jb], panelWork)
 		if j+jb < m {
 			nv := n - j
 			for i := 0; i < jb; i++ {
@@ -195,8 +196,8 @@ func gelqfBlocked[T core.Scalar](m, n int, a []T, lda int, tau []T, nb int) {
 					col[l] = core.Conj(a[j+i+(j+l)*lda])
 				}
 			}
-			Larft(nv, jb, vbuf, nv, tau[j:j+jb], tmat, nb)
-			larfbRight(NoTrans, m-j-jb, nv, jb, vbuf, nv, tmat, nb,
+			Larft(cfg, nv, jb, vbuf, nv, tau[j:j+jb], tmat, nb)
+			larfbRight(cfg, NoTrans, m-j-jb, nv, jb, vbuf, nv, tmat, nb,
 				a[j+jb+j*lda:], lda, work)
 		}
 	}
@@ -205,7 +206,7 @@ func gelqfBlocked[T core.Scalar](m, n int, a []T, lda int, tau []T, nb int) {
 // orgqrBlocked generates the explicit Q factor from Geqrf output using block
 // reflectors (xORGQR/xUNGQR): blocks are applied back-to-front, each via one
 // Larft + Larfb pair plus an unblocked Org2r on the block's own columns.
-func orgqrBlocked[T core.Scalar](m, n, k int, a []T, lda int, tau []T, nb int) {
+func orgqrBlocked[T core.Scalar](cfg *core.Config, m, n, k int, a []T, lda int, tau []T, nb int) {
 	ki := ((k - 1) / nb) * nb
 	kk := min(k, ki+nb)
 	// Columns kk:n only see reflectors kk:k; handle them unblocked first.
@@ -215,18 +216,18 @@ func orgqrBlocked[T core.Scalar](m, n, k int, a []T, lda int, tau []T, nb int) {
 		}
 	}
 	if kk < n {
-		Org2r(m-kk, n-kk, k-kk, a[kk+kk*lda:], lda, tau[kk:])
+		Org2r(cfg, m-kk, n-kk, k-kk, a[kk+kk*lda:], lda, tau[kk:])
 	}
 	tmat := make([]T, nb*nb)
 	work := make([]T, max(1, n)*nb)
 	for i := ki; i >= 0; i -= nb {
 		ib := min(nb, k-i)
 		if i+ib < n {
-			Larft(m-i, ib, a[i+i*lda:], lda, tau[i:i+ib], tmat, nb)
-			Larfb(NoTrans, m-i, n-i-ib, ib, a[i+i*lda:], lda, tmat, nb,
+			Larft(cfg, m-i, ib, a[i+i*lda:], lda, tau[i:i+ib], tmat, nb)
+			Larfb(cfg, NoTrans, m-i, n-i-ib, ib, a[i+i*lda:], lda, tmat, nb,
 				a[i+(i+ib)*lda:], lda, work)
 		}
-		Org2r(m-i, ib, ib, a[i+i*lda:], lda, tau[i:i+ib])
+		Org2r(cfg, m-i, ib, ib, a[i+i*lda:], lda, tau[i:i+ib])
 		for j := i; j < i+ib; j++ {
 			for l := 0; l < i; l++ {
 				a[l+j*lda] = 0
@@ -237,7 +238,7 @@ func orgqrBlocked[T core.Scalar](m, n, k int, a []T, lda int, tau []T, nb int) {
 
 // ormqrBlocked applies Q or Qᴴ from Geqrf output to C using block
 // reflectors (xORMQR/xUNMQR).
-func ormqrBlocked[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, tau []T, c []T, ldc int, nb int) {
+func ormqrBlocked[T core.Scalar](cfg *core.Config, side Side, trans Trans, m, n, k int, a []T, lda int, tau []T, c []T, ldc int, nb int) {
 	notran := trans == NoTrans
 	// Block order: same reflector ordering as the unblocked Ormqr loop.
 	forward := (side == Left) != notran
@@ -251,11 +252,11 @@ func ormqrBlocked[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda
 	step := func(i int) {
 		ib := min(nb, k-i)
 		if side == Left {
-			Larft(m-i, ib, a[i+i*lda:], lda, tau[i:i+ib], tmat, nb)
-			Larfb(trans, m-i, n, ib, a[i+i*lda:], lda, tmat, nb, c[i:], ldc, work)
+			Larft(cfg, m-i, ib, a[i+i*lda:], lda, tau[i:i+ib], tmat, nb)
+			Larfb(cfg, trans, m-i, n, ib, a[i+i*lda:], lda, tmat, nb, c[i:], ldc, work)
 		} else {
-			Larft(n-i, ib, a[i+i*lda:], lda, tau[i:i+ib], tmat, nb)
-			larfbRight(trans, m, n-i, ib, a[i+i*lda:], lda, tmat, nb, c[i*ldc:], ldc, work)
+			Larft(cfg, n-i, ib, a[i+i*lda:], lda, tau[i:i+ib], tmat, nb)
+			larfbRight(cfg, trans, m, n-i, ib, a[i+i*lda:], lda, tmat, nb, c[i*ldc:], ldc, work)
 		}
 	}
 	if forward {

@@ -42,7 +42,6 @@ package lapack
 
 import (
 	"math"
-	"sync/atomic"
 
 	"repro/internal/blas"
 	"repro/internal/core"
@@ -77,39 +76,6 @@ const (
 // the Higham–Hager estimate is reliable to a small constant factor.
 const mixedRcondFloorMul = 4
 
-// defMixedIterMax is the default refinement-sweep bound, matching LAPACK's
-// DSGESV ITERMAX = 30: a well-conditioned system converges in 1–3 sweeps,
-// so 30 is pure headroom before the stall fallback.
-const defMixedIterMax = 30
-
-// maxMixedIterMax bounds the ITERMAX accepted from the environment or
-// SetMixedIterMax; each sweep costs O(n²·nrhs), so the cap keeps a mistyped
-// LA90_MIXED_ITERMAX from turning a stalling iteration into minutes of
-// residual computations before the guaranteed fallback.
-const maxMixedIterMax = 1 << 12
-
-var mixedIterMax atomic.Int32
-
-func init() {
-	mixedIterMax.Store(int32(core.EnvInt("LA90_MIXED_ITERMAX", defMixedIterMax, 1, maxMixedIterMax)))
-}
-
-// SetMixedIterMax sets the refinement-sweep bound of the mixed-precision
-// solvers and returns the previous setting. n < 1 leaves the setting
-// unchanged; values above an internal cap are clamped. Safe to call
-// concurrently.
-func SetMixedIterMax(n int) int {
-	old := int(mixedIterMax.Load())
-	if n >= 1 {
-		mixedIterMax.Store(int32(core.ClampInt(n, 1, maxMixedIterMax)))
-	}
-	return old
-}
-
-// MixedIterMax returns the current refinement-sweep bound (the
-// LA90_MIXED_ITERMAX environment knob, default 30).
-func MixedIterMax() int { return int(mixedIterMax.Load()) }
-
 // MixedScalar constrains the element types that have a lower-precision
 // partner to factor in: float64↔float32 and complex128↔complex64. The
 // float32/complex64 families already are the low precision — a mixed solve
@@ -127,14 +93,14 @@ type MixedScalar interface {
 // dimension ldx ≥ n). ipiv receives the pivots of whichever factorization
 // produced x. info follows Gesv: 0 on success, i > 0 when the float64
 // fallback also found U(i,i) exactly zero.
-func GesvMixed[T MixedScalar](n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int, x []T, ldx int) (iter, info int) {
+func GesvMixed[T MixedScalar](cfg *core.Config, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int, x []T, ldx int) (iter, info int) {
 	var z T
 	switch any(z).(type) {
 	case float64:
-		return gesvMixedEngine[float64, float32](n, nrhs,
+		return gesvMixedEngine[float64, float32](cfg, n, nrhs,
 			any(a).([]float64), lda, ipiv, any(b).([]float64), ldb, any(x).([]float64), ldx)
 	default:
-		return gesvMixedEngine[complex128, complex64](n, nrhs,
+		return gesvMixedEngine[complex128, complex64](cfg, n, nrhs,
 			any(a).([]complex128), lda, ipiv, any(b).([]complex128), ldb, any(x).([]complex128), ldx)
 	}
 }
@@ -145,14 +111,14 @@ func GesvMixed[T MixedScalar](n, nrhs int, a []T, lda int, ipiv []int, b []T, ld
 // referenced; it is unchanged on the mixed path and holds the float64
 // Cholesky factor after a fallback. info > 0 means the float64 fallback
 // also found the leading minor of that order not positive definite.
-func PosvMixed[T MixedScalar](uplo Uplo, n, nrhs int, a []T, lda int, b []T, ldb int, x []T, ldx int) (iter, info int) {
+func PosvMixed[T MixedScalar](cfg *core.Config, uplo Uplo, n, nrhs int, a []T, lda int, b []T, ldb int, x []T, ldx int) (iter, info int) {
 	var z T
 	switch any(z).(type) {
 	case float64:
-		return posvMixedEngine[float64, float32](uplo, n, nrhs,
+		return posvMixedEngine[float64, float32](cfg, uplo, n, nrhs,
 			any(a).([]float64), lda, any(b).([]float64), ldb, any(x).([]float64), ldx)
 	default:
-		return posvMixedEngine[complex128, complex64](uplo, n, nrhs,
+		return posvMixedEngine[complex128, complex64](cfg, uplo, n, nrhs,
 			any(a).([]complex128), lda, any(b).([]complex128), ldb, any(x).([]complex128), ldx)
 	}
 }
@@ -203,7 +169,7 @@ func colMaxAbs[T core.Scalar](x []T) float64 {
 }
 
 // gesvMixedEngine is the shared H↔L implementation behind GesvMixed.
-func gesvMixedEngine[H, L core.Scalar](n, nrhs int, a []H, lda int, ipiv []int, b []H, ldb int, x []H, ldx int) (iter, info int) {
+func gesvMixedEngine[H, L core.Scalar](cfg *core.Config, n, nrhs int, a []H, lda int, ipiv []int, b []H, ldb int, x []H, ldx int) (iter, info int) {
 	if n == 0 {
 		return 0, 0
 	}
@@ -219,7 +185,7 @@ func gesvMixedEngine[H, L core.Scalar](n, nrhs int, a []H, lda int, ipiv []int, 
 	if ah, isF64 := any(a).([]float64); isF64 {
 		saf := any(sa).([]float32)
 		if !blas.DemoteScreenF64(n, n, ah, lda, saf, n) {
-			return gesvMixedFallback(MixedFallbackNonFinite, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
+			return gesvMixedFallback(cfg, MixedFallbackNonFinite, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
 		}
 		// The ∞-norm comes off the demoted copy while it is cache-resident:
 		// demotion rounds each element exactly, so the two norms agree to
@@ -228,35 +194,35 @@ func gesvMixedEngine[H, L core.Scalar](n, nrhs int, a []H, lda int, ipiv []int, 
 		// out non-finite values.
 		anrm = Lange(InfNorm, n, n, saf, n)
 		if math.IsInf(anrm, 0) {
-			return gesvMixedFallback(MixedFallbackNonFinite, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
+			return gesvMixedFallback(cfg, MixedFallbackNonFinite, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
 		}
 	} else {
 		anrm = Lange(InfNorm, n, n, a, lda)
 		if math.IsNaN(anrm) || math.IsInf(anrm, 0) {
-			return gesvMixedFallback(MixedFallbackNonFinite, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
+			return gesvMixedFallback(cfg, MixedFallbackNonFinite, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
 		}
 		demoteMat(n, n, a, lda, sa, n)
 		if !core.AllFinite(sa) {
-			return gesvMixedFallback(MixedFallbackNonFinite, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
+			return gesvMixedFallback(cfg, MixedFallbackNonFinite, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
 		}
 	}
-	if Getrf(n, n, sa, n, ipiv) != 0 {
-		return gesvMixedFallback(MixedFallbackSingular, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
+	if Getrf(cfg, n, n, sa, n, ipiv) != 0 {
+		return gesvMixedFallback(cfg, MixedFallbackSingular, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
 	}
 	// Condition screen: estimate rcond off the factors just computed (a
 	// handful of O(n²) triangular solves) and fall back now when the
 	// estimate says the refinement loop below cannot contract the error to
 	// full precision within its sweep bound.
-	if rc := Gecon[L](InfNorm, n, sa, n, ipiv, anrm); rc < mixedRcondFloorMul*core.Eps[L]() {
-		return gesvMixedFallback(MixedFallbackIllConditioned, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
+	if rc := Gecon[L](cfg, InfNorm, n, sa, n, ipiv, anrm); rc < mixedRcondFloorMul*core.Eps[L]() {
+		return gesvMixedFallback(cfg, MixedFallbackIllConditioned, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
 	}
-	solve := func(r []L) { Getrs(NoTrans, n, nrhs, sa, n, ipiv, r, n) }
+	solve := func(r []L) { Getrs(cfg, NoTrans, n, nrhs, sa, n, ipiv, r, n) }
 	residual := func(r []H) {
-		blas.Gemm(NoTrans, NoTrans, n, nrhs, n, core.FromFloat[H](-1), a, lda, x, ldx, core.FromFloat[H](1), r, n)
+		blas.Gemm(cfg, NoTrans, NoTrans, n, nrhs, n, core.FromFloat[H](-1), a, lda, x, ldx, core.FromFloat[H](1), r, n)
 	}
-	iter = mixedRefine(n, nrhs, anrm, b, ldb, x, ldx, solve, residual)
+	iter = mixedRefine(cfg, n, nrhs, anrm, b, ldb, x, ldx, solve, residual)
 	if iter < 0 {
-		return gesvMixedFallback(iter, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
+		return gesvMixedFallback(cfg, iter, n, nrhs, a, lda, ipiv, b, ldb, x, ldx)
 	}
 	return iter, 0
 }
@@ -265,23 +231,23 @@ func gesvMixedEngine[H, L core.Scalar](n, nrhs int, a []H, lda int, ipiv []int, 
 // Gesv operations — float64 Getrf on a in place, then Getrs on a copy of b
 // — so the delivered x, factors, and pivots are bit-identical to the plain
 // driver's. reason (a MixedFallback* code) is passed through as iter.
-func gesvMixedFallback[H core.Scalar](reason, n, nrhs int, a []H, lda int, ipiv []int, b []H, ldb int, x []H, ldx int) (iter, info int) {
-	info = Getrf(n, n, a, lda, ipiv)
+func gesvMixedFallback[H core.Scalar](cfg *core.Config, reason, n, nrhs int, a []H, lda int, ipiv []int, b []H, ldb int, x []H, ldx int) (iter, info int) {
+	info = Getrf(cfg, n, n, a, lda, ipiv)
 	if info == 0 {
 		Lacpy('A', n, nrhs, b, ldb, x, ldx)
-		Getrs(NoTrans, n, nrhs, a, lda, ipiv, x, ldx)
+		Getrs(cfg, NoTrans, n, nrhs, a, lda, ipiv, x, ldx)
 	}
 	return reason, info
 }
 
 // posvMixedEngine is the shared H↔L implementation behind PosvMixed.
-func posvMixedEngine[H, L core.Scalar](uplo Uplo, n, nrhs int, a []H, lda int, b []H, ldb int, x []H, ldx int) (iter, info int) {
+func posvMixedEngine[H, L core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, a []H, lda int, b []H, ldb int, x []H, ldx int) (iter, info int) {
 	if n == 0 {
 		return 0, 0
 	}
 	anrm := Lansy(InfNorm, uplo, n, a, lda)
 	if math.IsNaN(anrm) || math.IsInf(anrm, 0) {
-		return posvMixedFallback(MixedFallbackNonFinite, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
+		return posvMixedFallback(cfg, MixedFallbackNonFinite, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
 	}
 	// Demote only the stored triangle: the opposite triangle of a is dead
 	// storage that may hold anything, and the scratch's is stale pool
@@ -298,39 +264,39 @@ func posvMixedEngine[H, L core.Scalar](uplo Uplo, n, nrhs int, a []H, lda int, b
 		triOK = triOK && core.AllFinite(sa[lo+j*n:hi+j*n])
 	}
 	if !triOK {
-		return posvMixedFallback(MixedFallbackNonFinite, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
+		return posvMixedFallback(cfg, MixedFallbackNonFinite, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
 	}
-	if Potrf(uplo, n, sa, n) != 0 {
-		return posvMixedFallback(MixedFallbackSingular, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
+	if Potrf(cfg, uplo, n, sa, n) != 0 {
+		return posvMixedFallback(cfg, MixedFallbackSingular, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
 	}
 	// Condition screen, as in gesvMixedEngine. A symmetric matrix's ∞-norm
 	// equals its 1-norm, so anrm is the right operand for Pocon.
-	if rc := Pocon[L](uplo, n, sa, n, anrm); rc < mixedRcondFloorMul*core.Eps[L]() {
-		return posvMixedFallback(MixedFallbackIllConditioned, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
+	if rc := Pocon[L](cfg, uplo, n, sa, n, anrm); rc < mixedRcondFloorMul*core.Eps[L]() {
+		return posvMixedFallback(cfg, MixedFallbackIllConditioned, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
 	}
-	solve := func(r []L) { Potrs(uplo, n, nrhs, sa, n, r, n) }
+	solve := func(r []L) { Potrs(cfg, uplo, n, nrhs, sa, n, r, n) }
 	residual := func(r []H) {
 		mone, one := core.FromFloat[H](-1), core.FromFloat[H](1)
 		if core.IsComplex[H]() {
-			blas.Hemm(Left, uplo, n, nrhs, mone, a, lda, x, ldx, one, r, n)
+			blas.Hemm(cfg, Left, uplo, n, nrhs, mone, a, lda, x, ldx, one, r, n)
 		} else {
-			blas.Symm(Left, uplo, n, nrhs, mone, a, lda, x, ldx, one, r, n)
+			blas.Symm(cfg, Left, uplo, n, nrhs, mone, a, lda, x, ldx, one, r, n)
 		}
 	}
-	iter = mixedRefine(n, nrhs, anrm, b, ldb, x, ldx, solve, residual)
+	iter = mixedRefine(cfg, n, nrhs, anrm, b, ldb, x, ldx, solve, residual)
 	if iter < 0 {
-		return posvMixedFallback(iter, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
+		return posvMixedFallback(cfg, iter, uplo, n, nrhs, a, lda, b, ldb, x, ldx)
 	}
 	return iter, 0
 }
 
 // posvMixedFallback is gesvMixedFallback for the Cholesky route: plain Posv
 // operations on the same bits, bit-identical results.
-func posvMixedFallback[H core.Scalar](reason int, uplo Uplo, n, nrhs int, a []H, lda int, b []H, ldb int, x []H, ldx int) (iter, info int) {
-	info = Potrf(uplo, n, a, lda)
+func posvMixedFallback[H core.Scalar](cfg *core.Config, reason int, uplo Uplo, n, nrhs int, a []H, lda int, b []H, ldb int, x []H, ldx int) (iter, info int) {
+	info = Potrf(cfg, uplo, n, a, lda)
 	if info == 0 {
 		Lacpy('A', n, nrhs, b, ldb, x, ldx)
-		Potrs(uplo, n, nrhs, a, lda, x, ldx)
+		Potrs(cfg, uplo, n, nrhs, a, lda, x, ldx)
 	}
 	return reason, info
 }
@@ -342,7 +308,7 @@ func posvMixedFallback[H core.Scalar](reason int, uplo Uplo, n, nrhs int, a []H,
 // the factored solve; residual accumulates r -= A·x in full precision on a
 // buffer pre-loaded with b. Returns the sweep count on convergence or a
 // negative MixedFallback* code.
-func mixedRefine[H, L core.Scalar](n, nrhs int, anrm float64, b []H, ldb int, x []H, ldx int,
+func mixedRefine[H, L core.Scalar](cfg *core.Config, n, nrhs int, anrm float64, b []H, ldb int, x []H, ldx int,
 	solve func(r []L), residual func(r []H)) int {
 
 	sx := blas.GetScratch[L](n * nrhs)
@@ -359,8 +325,10 @@ func mixedRefine[H, L core.Scalar](n, nrhs int, anrm float64, b []H, ldb int, x 
 	// Convergence: ‖r_j‖∞ ≤ ‖x_j‖∞ · anrm · n · eps64 for every column j —
 	// a normwise backward error of at most n·eps64.
 	cte := anrm * float64(n) * core.EpsDouble
-	itermax := MixedIterMax()
+	itermax := core.Cfg(cfg).MixedIterMax
 	for it := 0; ; it++ {
+		// Cancellation checkpoint: once per refinement sweep.
+		cfg.Checkpoint()
 		Lacpy('A', n, nrhs, b, ldb, r, n)
 		residual(r)
 		if !core.AllFinite(r) {

@@ -37,7 +37,7 @@ func mixedWellCond[T core.Scalar](seed, n, nrhs int) (a, b []T) {
 // mixedBackwardError returns max_j ‖b_j−A·x_j‖∞/(‖A‖∞·‖x_j‖∞).
 func mixedBackwardError[T core.Scalar](n, nrhs int, a, b, x []T) float64 {
 	r := append([]T(nil), b[:n*nrhs]...)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n,
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n,
 		core.FromFloat[T](-1), a, n, x, n, core.FromFloat[T](1), r, n)
 	anrm := lapack.Lange(lapack.InfNorm, n, n, a, n)
 	worst := 0.0
@@ -74,7 +74,7 @@ func testGesvMixedConverges[T lapack.MixedScalar](t *testing.T, n, nrhs int) {
 	b0 := append([]T(nil), b...)
 	x := make([]T, n*nrhs)
 	ipiv := make([]int, n)
-	iter, info := lapack.GesvMixed(n, nrhs, a, n, ipiv, b, n, x, n)
+	iter, info := lapack.GesvMixed(tcfg(), n, nrhs, a, n, ipiv, b, n, x, n)
 	if info != 0 {
 		t.Fatalf("info = %d", info)
 	}
@@ -102,13 +102,13 @@ func testPosvMixedConverges[T lapack.MixedScalar](t *testing.T, uplo lapack.Uplo
 	g, b := mixedWellCond[T](3*n+nrhs, n, nrhs)
 	// Hermitian positive definite: G·Gᴴ + n·I.
 	a := make([]T, n*n)
-	blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, core.FromFloat[T](1), g, n, g, n, core.FromFloat[T](0), a, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.ConjTrans, n, n, n, core.FromFloat[T](1), g, n, g, n, core.FromFloat[T](0), a, n)
 	for i := 0; i < n; i++ {
 		a[i+i*n] = core.FromFloat[T](core.Re(a[i+i*n]) + float64(n))
 	}
 	a0 := append([]T(nil), a...)
 	x := make([]T, n*nrhs)
-	iter, info := lapack.PosvMixed(uplo, n, nrhs, a, n, b, n, x, n)
+	iter, info := lapack.PosvMixed(tcfg(), uplo, n, nrhs, a, n, b, n, x, n)
 	if info != 0 {
 		t.Fatalf("info = %d", info)
 	}
@@ -143,7 +143,7 @@ func expectGesvFallbackIdentity[T lapack.MixedScalar](t *testing.T, n, nrhs int,
 	bM := append([]T(nil), b...)
 	x := make([]T, n*nrhs)
 	ipivM := make([]int, n)
-	iter, infoM := lapack.GesvMixed(n, nrhs, aM, n, ipivM, bM, n, x, n)
+	iter, infoM := lapack.GesvMixed(tcfg(), n, nrhs, aM, n, ipivM, bM, n, x, n)
 	if iter >= 0 {
 		t.Fatalf("expected fallback, got convergence in %d sweeps", iter)
 	}
@@ -153,7 +153,7 @@ func expectGesvFallbackIdentity[T lapack.MixedScalar](t *testing.T, n, nrhs int,
 	aP := append([]T(nil), a...)
 	bP := append([]T(nil), b...)
 	ipivP := make([]int, n)
-	infoP := lapack.Gesv(n, nrhs, aP, n, ipivP, bP, n)
+	infoP := lapack.Gesv(tcfg(), n, nrhs, aP, n, ipivP, bP, n)
 	if infoM != infoP {
 		t.Fatalf("fallback info %d, plain info %d", infoM, infoP)
 	}
@@ -211,13 +211,13 @@ func TestGesvMixedSingular(t *testing.T) {
 	clear(a[2*n : 3*n]) // column 2 := 0
 	aM := append([]float64(nil), a...)
 	x := make([]float64, n)
-	iter, info := lapack.GesvMixed(n, 1, aM, n, make([]int, n), b, n, x, n)
+	iter, info := lapack.GesvMixed(tcfg(), n, 1, aM, n, make([]int, n), b, n, x, n)
 	if iter >= 0 {
 		t.Fatalf("singular system converged? iter=%d", iter)
 	}
 	aP := append([]float64(nil), a...)
 	bP := append([]float64(nil), b...)
-	infoP := lapack.Gesv(n, 1, aP, n, make([]int, n), bP, n)
+	infoP := lapack.Gesv(tcfg(), n, 1, aP, n, make([]int, n), bP, n)
 	if infoP == 0 {
 		t.Fatal("oracle: plain Gesv did not report singularity")
 	}
@@ -259,14 +259,14 @@ func TestMixedChaosNonFinite(t *testing.T) {
 	// Same screens on the Cholesky route.
 	g, b := mixedWellCond[float64](31, n, 1)
 	hpd := make([]float64, n*n)
-	blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, 1.0, g, n, g, n, 0.0, hpd, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.ConjTrans, n, n, n, 1.0, g, n, g, n, 0.0, hpd, n)
 	for i := 0; i < n; i++ {
 		hpd[i+i*n] += float64(n)
 	}
 	hpd[1+0*n] = math.NaN() // lower triangle
 	aM := append([]float64(nil), hpd...)
 	x := make([]float64, n)
-	iter, _ := lapack.PosvMixed(lapack.Lower, n, 1, aM, n, b, n, x, n)
+	iter, _ := lapack.PosvMixed(tcfg(), lapack.Lower, n, 1, aM, n, b, n, x, n)
 	if iter != lapack.MixedFallbackNonFinite {
 		t.Fatalf("PosvMixed on NaN input: iter=%d, want %d", iter, lapack.MixedFallbackNonFinite)
 	}
@@ -379,13 +379,13 @@ func TestPosvMixedRcondScreen(t *testing.T) {
 		aM := append([]float64(nil), a...)
 		bM := append([]float64(nil), b...)
 		x := make([]float64, n)
-		iter, infoM := lapack.PosvMixed(uplo, n, 1, aM, n, bM, n, x, n)
+		iter, infoM := lapack.PosvMixed(tcfg(), uplo, n, 1, aM, n, bM, n, x, n)
 		if iter != lapack.MixedFallbackIllConditioned {
 			t.Fatalf("uplo=%c iter=%d, want %d", uplo, iter, lapack.MixedFallbackIllConditioned)
 		}
 		aP := append([]float64(nil), a...)
 		bP := append([]float64(nil), b...)
-		infoP := lapack.Posv(uplo, n, 1, aP, n, bP, n)
+		infoP := lapack.Posv(tcfg(), uplo, n, 1, aP, n, bP, n)
 		if infoM != infoP {
 			t.Fatalf("uplo=%c fallback info %d, plain info %d", uplo, infoM, infoP)
 		}

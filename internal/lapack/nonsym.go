@@ -179,7 +179,7 @@ func Gebak[T core.Scalar](job, side byte, n, ilo, ihi int, scale []float64, m in
 // similarity transformation Qᴴ·A·Q = H (xGEHD2). Only rows/columns
 // ilo..ihi (0-based, inclusive) are reduced. The reflectors are stored
 // below the first subdiagonal and in tau (length n-1).
-func Gehd2[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
+func Gehd2[T core.Scalar](cfg *core.Config, n, ilo, ihi int, a []T, lda int, tau []T) {
 	work := make([]T, n)
 	for i := ilo; i < ihi; i++ {
 		// Annihilate A(i+2:ihi, i).
@@ -187,9 +187,9 @@ func Gehd2[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
 		tau[i] = Larfg(ihi-i, &alpha, a[min(i+2, n-1)+i*lda:], 1)
 		a[i+1+i*lda] = core.FromFloat[T](1)
 		// Apply H(i) from the right to A(0:ihi+1, i+1:ihi+1)…
-		Larf(Right, ihi+1, ihi-i, a[i+1+i*lda:], 1, tau[i], a[(i+1)*lda:], lda, work)
+		Larf(cfg, Right, ihi+1, ihi-i, a[i+1+i*lda:], 1, tau[i], a[(i+1)*lda:], lda, work)
 		// …and from the left to A(i+1:ihi+1, i+1:n).
-		Larf(Left, ihi-i, n-i-1, a[i+1+i*lda:], 1, core.Conj(tau[i]), a[i+1+(i+1)*lda:], lda, work)
+		Larf(cfg, Left, ihi-i, n-i-1, a[i+1+i*lda:], 1, core.Conj(tau[i]), a[i+1+(i+1)*lda:], lda, work)
 		a[i+1+i*lda] = alpha
 	}
 }
@@ -201,7 +201,7 @@ func Gehd2[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
 // (xLAHR2). a points at the panel's first column inside the full matrix;
 // its trailing columns (beyond nb) are read for the Y computation. The
 // last column of t is used as scratch, as in LAPACK.
-func Lahr2[T core.Scalar](n, k, nb int, a []T, lda int, tau []T, t []T, ldt int, y []T, ldy int) {
+func Lahr2[T core.Scalar](cfg *core.Config, n, k, nb int, a []T, lda int, tau []T, t []T, ldt int, y []T, ldy int) {
 	if n <= 1 {
 		return
 	}
@@ -212,16 +212,16 @@ func Lahr2[T core.Scalar](n, k, nb int, a []T, lda int, tau []T, t []T, ldt int,
 		if i > 0 {
 			// Update column i: b := b − Y·Vᴴ(row k+i-1) …
 			lacgv(i, a[k+i-1:], lda)
-			blas.Gemv(NoTrans, n-k, i, -one, y[k:], ldy, a[k+i-1:], lda,
+			blas.Gemv(cfg, NoTrans, n-k, i, -one, y[k:], ldy, a[k+i-1:], lda,
 				one, a[k+i*lda:], 1)
 			lacgv(i, a[k+i-1:], lda)
 			// …then b := (I − V·Tᴴ·Vᴴ)·b, using t's last column as scratch.
 			w := t[(nb-1)*ldt:]
 			blas.Copy(i, a[k+i*lda:], 1, w, 1)
 			blas.Trmv(Lower, ConjTrans, Unit, i, a[k:], lda, w, 1)
-			blas.Gemv(ConjTrans, n-k-i, i, one, a[k+i:], lda, a[k+i+i*lda:], 1, one, w, 1)
+			blas.Gemv(cfg, ConjTrans, n-k-i, i, one, a[k+i:], lda, a[k+i+i*lda:], 1, one, w, 1)
 			blas.Trmv(Upper, ConjTrans, NonUnit, i, t, ldt, w, 1)
-			blas.Gemv(NoTrans, n-k-i, i, -one, a[k+i:], lda, w, 1, one, a[k+i+i*lda:], 1)
+			blas.Gemv(cfg, NoTrans, n-k-i, i, -one, a[k+i:], lda, w, 1, one, a[k+i+i*lda:], 1)
 			blas.Trmv(Lower, NoTrans, Unit, i, a[k:], lda, w, 1)
 			blas.Axpy(i, -one, w, 1, a[k+i*lda:], 1)
 			a[k+i-1+(i-1)*lda] = ei
@@ -232,11 +232,11 @@ func Lahr2[T core.Scalar](n, k, nb int, a []T, lda int, tau []T, t []T, ldt int,
 		ei = alpha
 		a[k+i+i*lda] = one
 		// Y(k:n, i) = A(k:n, i+1:)·v − Y·(Vᴴ·v), scaled by tau.
-		blas.Gemv(NoTrans, n-k, n-k-i, one, a[k+(i+1)*lda:], lda, a[k+i+i*lda:], 1,
+		blas.Gemv(cfg, NoTrans, n-k, n-k-i, one, a[k+(i+1)*lda:], lda, a[k+i+i*lda:], 1,
 			zero, y[k+i*ldy:], 1)
-		blas.Gemv(ConjTrans, n-k-i, i, one, a[k+i:], lda, a[k+i+i*lda:], 1,
+		blas.Gemv(cfg, ConjTrans, n-k-i, i, one, a[k+i:], lda, a[k+i+i*lda:], 1,
 			zero, t[i*ldt:], 1)
-		blas.Gemv(NoTrans, n-k, i, -one, y[k:], ldy, t[i*ldt:], 1, one, y[k+i*ldy:], 1)
+		blas.Gemv(cfg, NoTrans, n-k, i, -one, y[k:], ldy, t[i*ldt:], 1, one, y[k+i*ldy:], 1)
 		blas.Scal(n-k, tau[i], y[k+i*ldy:], 1)
 		// T(0:i, i) from the Vᴴ·v products already sitting in t's column i.
 		blas.Scal(i, -tau[i], t[i*ldt:], 1)
@@ -250,7 +250,7 @@ func Lahr2[T core.Scalar](n, k, nb int, a []T, lda int, tau []T, t []T, ldt int,
 	}
 	blas.Trmm(Right, Lower, NoTrans, Unit, k, nb, one, a[k:], lda, y, ldy)
 	if n > k+nb {
-		blas.Gemm(NoTrans, NoTrans, k, nb, n-k-nb, one, a[(nb+1)*lda:], lda,
+		blas.Gemm(cfg, NoTrans, NoTrans, k, nb, n-k-nb, one, a[(nb+1)*lda:], lda,
 			a[k+nb:], lda, one, y, ldy)
 	}
 	blas.Trmm(Right, Upper, NoTrans, NonUnit, k, nb, one, t, ldt, y, ldy)
@@ -264,7 +264,7 @@ func Lahr2[T core.Scalar](n, k, nb int, a []T, lda int, tau []T, t []T, ldt int,
 // sweep for the rows above ilo, and a blocked Larfb from the left. Below
 // the crossover the unblocked Gehd2 runs directly. The floating-point
 // schedule is worker-count independent.
-func Gehrd[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
+func Gehrd[T core.Scalar](cfg *core.Config, n, ilo, ihi int, a []T, lda int, tau []T) {
 	for i := 0; i < ilo; i++ {
 		if i < len(tau) {
 			tau[i] = 0
@@ -273,11 +273,11 @@ func Gehrd[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
 	for i := ihi; i < n-1; i++ {
 		tau[i] = 0
 	}
-	nb := Ilaenv(1, "GEHRD", n, ilo, ihi, -1)
-	nx := max(nb, Ilaenv(3, "GEHRD", n, ilo, ihi, -1))
+	nb := Ilaenv(cfg, 1, "GEHRD", n, ilo, ihi, -1)
+	nx := max(nb, Ilaenv(cfg, 3, "GEHRD", n, ilo, ihi, -1))
 	nh := ihi - ilo + 1
 	if nh <= nx || nb <= 1 {
-		Gehd2(n, ilo, ihi, a, lda, tau)
+		Gehd2(cfg, n, ilo, ihi, a, lda, tau)
 		return
 	}
 	one := core.FromFloat[T](1)
@@ -291,13 +291,13 @@ func Gehrd[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
 	for i = ilo; i < ihi-nx; i += nb {
 		ib := min(nb, ihi-i)
 		// Reduce columns i:i+ib, accumulating V, T and Y = A·V·T.
-		Lahr2(ihi+1, i+1, ib, a[i*lda:], lda, tau[i:], t, nb, y, ldy)
+		Lahr2(cfg, ihi+1, i+1, ib, a[i*lda:], lda, tau[i:], t, nb, y, ldy)
 		// Apply the panel from the right to A(0:ihi+1, i+ib:ihi+1):
 		// A −= Y·Vᴴ, with the subdiagonal head of the last reflector
 		// temporarily set to one.
 		ei := a[i+ib+(i+ib-1)*lda]
 		a[i+ib+(i+ib-1)*lda] = one
-		blas.Gemm(NoTrans, ConjTrans, ihi+1, ihi-i-ib+1, ib, -one,
+		blas.Gemm(cfg, NoTrans, ConjTrans, ihi+1, ihi-i-ib+1, ib, -one,
 			y, ldy, a[i+ib+i*lda:], lda, one, a[(i+ib)*lda:], lda)
 		a[i+ib+(i+ib-1)*lda] = ei
 		// Right-apply to the rows above the panel, columns i+1:i+ib.
@@ -307,15 +307,15 @@ func Gehrd[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
 			blas.Axpy(i+1, -one, y[j*ldy:], 1, a[(i+j+1)*lda:], 1)
 		}
 		// Left-apply Hᴴ to the trailing columns.
-		Larfb(ConjTrans, ihi-i, n-i-ib, ib, a[i+1+i*lda:], lda, t, nb,
+		Larfb(cfg, ConjTrans, ihi-i, n-i-ib, ib, a[i+1+i*lda:], lda, t, nb,
 			a[i+1+(i+ib)*lda:], lda, work)
 	}
-	Gehd2(n, i, ihi, a, lda, tau)
+	Gehd2(cfg, n, i, ihi, a, lda, tau)
 }
 
 // Orghr generates the unitary matrix Q from a Hessenberg reduction
 // (xORGHR/xUNGHR), overwriting a.
-func Orghr[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
+func Orghr[T core.Scalar](cfg *core.Config, n, ilo, ihi int, a []T, lda int, tau []T) {
 	// Shift the reflectors one column to the right and generate in the
 	// ilo+1..ihi block; everything outside is the identity.
 	for j := ihi; j > ilo; j-- {
@@ -343,7 +343,7 @@ func Orghr[T core.Scalar](n, ilo, ihi int, a []T, lda int, tau []T) {
 	}
 	nh := ihi - ilo
 	if nh > 0 {
-		Org2r(nh, nh, nh, a[ilo+1+(ilo+1)*lda:], lda, tau[ilo:])
+		Org2r(cfg, nh, nh, nh, a[ilo+1+(ilo+1)*lda:], lda, tau[ilo:])
 	}
 }
 

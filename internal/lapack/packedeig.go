@@ -11,9 +11,9 @@ import "repro/internal/core"
 // Spev computes all eigenvalues and, optionally, eigenvectors of a
 // symmetric/Hermitian matrix in packed storage (the xSPEV/xHPEV driver).
 // If jobz is true, z (n×n, ldz) receives the orthonormal eigenvectors.
-func Spev[T core.Scalar](jobz bool, uplo Uplo, n int, ap []T, w []float64, z []T, ldz int) int {
+func Spev[T core.Scalar](cfg *core.Config, jobz bool, uplo Uplo, n int, ap []T, w []float64, z []T, ldz int) int {
 	a := unpackTri(uplo, n, ap)
-	info := Syev[T](jobz, uplo, n, a, n, w)
+	info := Syev[T](cfg, jobz, uplo, n, a, n, w)
 	if jobz && info == 0 {
 		Lacpy('A', n, n, a, n, z, ldz)
 	}
@@ -23,16 +23,16 @@ func Spev[T core.Scalar](jobz bool, uplo Uplo, n int, ap []T, w []float64, z []T
 
 // Spevx computes selected eigenvalues/eigenvectors of a packed
 // symmetric/Hermitian matrix (the xSPEVX/xHPEVX driver).
-func Spevx[T core.Scalar](jobz bool, rng EigRange, uplo Uplo, n int, ap []T, vl, vu float64, il, iu int, abstol float64, z []T, ldz int) SyevxResult {
+func Spevx[T core.Scalar](cfg *core.Config, jobz bool, rng EigRange, uplo Uplo, n int, ap []T, vl, vu float64, il, iu int, abstol float64, z []T, ldz int) SyevxResult {
 	a := unpackTri(uplo, n, ap)
-	return Syevx(jobz, rng, uplo, n, a, n, vl, vu, il, iu, abstol, z, ldz)
+	return Syevx(cfg, jobz, rng, uplo, n, a, n, vl, vu, il, iu, abstol, z, ldz)
 }
 
 // Sbev computes all eigenvalues and, optionally, eigenvectors of a
 // symmetric/Hermitian band matrix (the xSBEV/xHBEV driver).
-func Sbev[T core.Scalar](jobz bool, uplo Uplo, n, kd int, ab []T, ldab int, w []float64, z []T, ldz int) int {
+func Sbev[T core.Scalar](cfg *core.Config, jobz bool, uplo Uplo, n, kd int, ab []T, ldab int, w []float64, z []T, ldz int) int {
 	a := expandSymBand(uplo, n, kd, ab, ldab)
-	info := Syev[T](jobz, uplo, n, a, n, w)
+	info := Syev[T](cfg, jobz, uplo, n, a, n, w)
 	if jobz && info == 0 {
 		Lacpy('A', n, n, a, n, z, ldz)
 	}
@@ -41,7 +41,7 @@ func Sbev[T core.Scalar](jobz bool, uplo Uplo, n, kd int, ab []T, ldab int, w []
 
 // Sbevx computes selected eigenvalues/eigenvectors of a symmetric/Hermitian
 // band matrix (the xSBEVX/xHBEVX driver).
-func Sbevx[T core.Scalar](jobz bool, rng EigRange, uplo Uplo, n, kd int, ab []T, ldab int, vl, vu float64, il, iu int, abstol float64, z []T, ldz int) SyevxResult {
+func Sbevx[T core.Scalar](cfg *core.Config, jobz bool, rng EigRange, uplo Uplo, n, kd int, ab []T, ldab int, vl, vu float64, il, iu int, abstol float64, z []T, ldz int) SyevxResult {
 	a := expandSymBand(uplo, n, kd, ab, ldab)
-	return Syevx(jobz, rng, uplo, n, a, n, vl, vu, il, iu, abstol, z, ldz)
+	return Syevx(cfg, jobz, rng, uplo, n, a, n, vl, vu, il, iu, abstol, z, ldz)
 }

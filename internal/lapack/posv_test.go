@@ -19,13 +19,13 @@ func testPosv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n, nrhs int) {
 	b := make([]T, ldb*nrhs)
 	one := core.FromFloat[T](1)
 	if core.IsComplex[T]() {
-		blas.Hemm(blas.Left, blas.Upper, n, nrhs, one, a, lda, xTrue, ldb, core.FromFloat[T](0), b, ldb)
+		blas.Hemm(tcfg(), blas.Left, blas.Upper, n, nrhs, one, a, lda, xTrue, ldb, core.FromFloat[T](0), b, ldb)
 	} else {
-		blas.Symm(blas.Left, blas.Upper, n, nrhs, one, a, lda, xTrue, ldb, core.FromFloat[T](0), b, ldb)
+		blas.Symm(tcfg(), blas.Left, blas.Upper, n, nrhs, one, a, lda, xTrue, ldb, core.FromFloat[T](0), b, ldb)
 	}
 	af := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, af, lda)
-	if info := lapack.Potrf(uplo, n, af, lda); info != 0 {
+	if info := lapack.Potrf(tcfg(), uplo, n, af, lda); info != 0 {
 		t.Fatalf("potrf info=%d", info)
 	}
 	if r := testutil.CholeskyResidual(uplo, n, a, lda, af, lda); r > thresh {
@@ -33,7 +33,7 @@ func testPosv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n, nrhs int) {
 	}
 	sol := make([]T, ldb*nrhs)
 	lapack.Lacpy('A', n, nrhs, b, ldb, sol, ldb)
-	lapack.Potrs(uplo, n, nrhs, af, lda, sol, ldb)
+	lapack.Potrs(tcfg(), uplo, n, nrhs, af, lda, sol, ldb)
 	if d := testutil.MaxDiff(sol[:ldb*nrhs], xTrue[:ldb*nrhs]); d > 1e5*core.Eps[T]() {
 		t.Fatalf("potrs error %v", d)
 	}
@@ -42,7 +42,7 @@ func testPosv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n, nrhs int) {
 	lapack.Lacpy('A', n, n, a, lda, af2, lda)
 	sol2 := make([]T, ldb*nrhs)
 	lapack.Lacpy('A', n, nrhs, b, ldb, sol2, ldb)
-	if info := lapack.Posv(uplo, n, nrhs, af2, lda, sol2, ldb); info != 0 {
+	if info := lapack.Posv(tcfg(), uplo, n, nrhs, af2, lda, sol2, ldb); info != 0 {
 		t.Fatalf("posv info=%d", info)
 	}
 	if r := testutil.SolveResidual(n, nrhs, symFull(uplo, n, a, lda), n, sol2, ldb, b, ldb); r > thresh {
@@ -100,7 +100,7 @@ func TestPotrfNotPD(t *testing.T) {
 		a[i+i*n] = 1
 	}
 	a[2+2*n] = -5
-	if info := lapack.Potrf(lapack.Upper, n, a, n); info != 3 {
+	if info := lapack.Potrf(tcfg(), lapack.Upper, n, a, n); info != 3 {
 		t.Fatalf("potrf info = %d, want 3", info)
 	}
 }
@@ -111,8 +111,8 @@ func TestPoconPoequ(t *testing.T) {
 	a := testutil.RandSPD[float64](rng, n, n)
 	anorm := lapack.Lansy(lapack.OneNorm, lapack.Upper, n, a, n)
 	af := append([]float64(nil), a...)
-	lapack.Potrf(lapack.Upper, n, af, n)
-	rcond := lapack.Pocon(lapack.Upper, n, af, n, anorm)
+	lapack.Potrf(tcfg(), lapack.Upper, n, af, n)
+	rcond := lapack.Pocon(tcfg(), lapack.Upper, n, af, n, anorm)
 	if rcond <= 0 || rcond > 1.000001 {
 		t.Fatalf("pocon rcond = %v", rcond)
 	}
@@ -145,15 +145,15 @@ func testPosvx[T core.Scalar](t *testing.T, fact lapack.Fact) {
 	}
 	xTrue := testutil.RandGeneral[T](rng, n, nrhs, n)
 	b := make([]T, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
 	acopy := append([]T(nil), a...)
 	af := make([]T, n*n)
 	if fact == lapack.FactFact {
 		lapack.Lacpy('A', n, n, a, n, af, n)
-		lapack.Potrf(lapack.Upper, n, af, n)
+		lapack.Potrf(tcfg(), lapack.Upper, n, af, n)
 	}
 	x := make([]T, n*nrhs)
-	res := lapack.Posvx(fact, lapack.Upper, n, nrhs, acopy, n, af, n, b, n, x, n)
+	res := lapack.Posvx(tcfg(), fact, lapack.Upper, n, nrhs, acopy, n, af, n, b, n, x, n)
 	if res.Info != 0 {
 		t.Fatalf("posvx info=%d", res.Info)
 	}
@@ -195,7 +195,7 @@ func testPpsv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int) {
 	ap := packTri(uplo, n, a, n)
 	xTrue := testutil.RandGeneral[T](rng, n, nrhs, n)
 	b := make([]T, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
 	apf := append([]T(nil), ap...)
 	sol := append([]T(nil), b...)
 	if info := lapack.Ppsv(uplo, n, nrhs, apf, sol, n); info != 0 {
@@ -245,7 +245,7 @@ func TestPpsvx(t *testing.T) {
 	ap := packTri(lapack.Upper, n, a, n)
 	xTrue := testutil.RandGeneral[float64](rng, n, nrhs, n)
 	b := make([]float64, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
 	afp := make([]float64, len(ap))
 	x := make([]float64, n*nrhs)
 	res := lapack.Ppsvx(lapack.FactNone, lapack.Upper, n, nrhs, ap, afp, b, n, x, n)
@@ -294,7 +294,7 @@ func testPbsv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n, kd int) {
 	ab := bandFromSPD(uplo, n, kd, a, n, ldab)
 	xTrue := testutil.RandGeneral[T](rng, n, nrhs, n)
 	b := make([]T, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
 	abf := append([]T(nil), ab...)
 	sol := append([]T(nil), b...)
 	if info := lapack.Pbsv(uplo, n, kd, nrhs, abf, ldab, sol, n); info != 0 {
@@ -349,7 +349,7 @@ func TestPbsvx(t *testing.T) {
 	ab := bandFromSPD(lapack.Upper, n, kd, a, n, ldab)
 	xTrue := testutil.RandGeneral[float64](rng, n, nrhs, n)
 	b := make([]float64, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, 1, a, n, xTrue, n, 0, b, n)
 	afb := make([]float64, ldab*n)
 	x := make([]float64, n*nrhs)
 	res := lapack.Pbsvx(lapack.FactNone, lapack.Upper, n, kd, nrhs, ab, ldab, afb, ldab, b, n, x, n)
@@ -384,7 +384,7 @@ func testPtsv[T core.Scalar](t *testing.T, n int) {
 	}
 	xTrue := testutil.RandGeneral[T](rng, n, nrhs, n)
 	b := make([]T, n*nrhs)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, nrhs, n, core.FromFloat[T](1), a, n, xTrue, n, core.FromFloat[T](0), b, n)
 	df := append([]float64(nil), d...)
 	ef := append([]T(nil), e...)
 	sol := append([]T(nil), b...)

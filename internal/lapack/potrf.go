@@ -11,7 +11,7 @@ import (
 // (Hermitian, for complex element types) positive definite matrix:
 // A = Uᴴ·U or A = L·Lᴴ (xPOTF2). Returns i > 0 if the leading minor of
 // order i is not positive definite.
-func Potf2[T core.Scalar](uplo Uplo, n int, a []T, lda int) int {
+func Potf2[T core.Scalar](cfg *core.Config, uplo Uplo, n int, a []T, lda int) int {
 	one := core.FromFloat[T](1)
 	if uplo == Upper {
 		for j := 0; j < n; j++ {
@@ -28,7 +28,7 @@ func Potf2[T core.Scalar](uplo Uplo, n int, a []T, lda int) int {
 				// A(j, j+1:) = (A(j, j+1:) - A(0:j, j)ᴴ·A(0:j, j+1:)) / ajj
 				if j > 0 {
 					lacgv(j, a[j*lda:], 1)
-					blas.Gemv(TransT, j, n-j-1, -one, a[(j+1)*lda:], lda, a[j*lda:], 1, one, a[j+(j+1)*lda:], lda)
+					blas.Gemv(cfg, TransT, j, n-j-1, -one, a[(j+1)*lda:], lda, a[j*lda:], 1, one, a[j+(j+1)*lda:], lda)
 					lacgv(j, a[j*lda:], 1)
 				}
 				blas.ScalReal(n-j-1, 1/ajj, a[j+(j+1)*lda:], lda)
@@ -55,7 +55,7 @@ func Potf2[T core.Scalar](uplo Uplo, n int, a []T, lda int) int {
 			// A(j+1:, j) = (A(j+1:, j) - A(j+1:, 0:j)·A(j, 0:j)ᴴ) / ajj
 			if j > 0 {
 				lacgv(j, a[j:], lda)
-				blas.Gemv(NoTrans, n-j-1, j, -one, a[j+1:], lda, a[j:], lda, one, a[j+1+j*lda:], 1)
+				blas.Gemv(cfg, NoTrans, n-j-1, j, -one, a[j+1:], lda, a[j:], lda, one, a[j+1+j*lda:], 1)
 				lacgv(j, a[j:], lda)
 			}
 			blas.ScalReal(n-j-1, 1/ajj, a[j+1+j*lda:], 1)
@@ -81,27 +81,30 @@ func lacgv[T core.Scalar](n int, x []T, incX int) {
 // Herk operands as square as possible, so nearly all flops reach the packed
 // GEMM engine at its favourite shapes instead of as rank-nb updates.
 // Semantics are identical to Potf2.
-func Potrf[T core.Scalar](uplo Uplo, n int, a []T, lda int) int {
-	nb := Ilaenv(1, "POTRF", n, -1, -1, -1)
+func Potrf[T core.Scalar](cfg *core.Config, uplo Uplo, n int, a []T, lda int) int {
+	nb := Ilaenv(cfg, 1, "POTRF", n, -1, -1, -1)
 	if nb <= 1 || n <= nb {
-		return Potf2(uplo, n, a, lda)
+		return Potf2(cfg, uplo, n, a, lda)
 	}
+	// Cancellation checkpoint: once per recursion node, between the
+	// half-sized factorizations and their Level-3 updates.
+	cfg.Checkpoint()
 	one := core.FromFloat[T](1)
 	n1 := n / 2
 	n2 := n - n1
-	if info := Potrf(uplo, n1, a, lda); info != 0 {
+	if info := Potrf(cfg, uplo, n1, a, lda); info != 0 {
 		return info
 	}
 	if uplo == Upper {
 		// A12 := U11⁻ᴴ·A12; A22 := A22 − A12ᴴ·A12.
-		blas.Trsm(Left, Upper, ConjTrans, NonUnit, n1, n2, one, a, lda, a[n1*lda:], lda)
-		blas.Herk(Upper, ConjTrans, n2, n1, -1, a[n1*lda:], lda, 1, a[n1+n1*lda:], lda)
+		blas.Trsm(cfg, Left, Upper, ConjTrans, NonUnit, n1, n2, one, a, lda, a[n1*lda:], lda)
+		blas.Herk(cfg, Upper, ConjTrans, n2, n1, -1, a[n1*lda:], lda, 1, a[n1+n1*lda:], lda)
 	} else {
 		// A21 := A21·L11⁻ᴴ; A22 := A22 − A21·A21ᴴ.
-		blas.Trsm(Right, Lower, ConjTrans, NonUnit, n2, n1, one, a, lda, a[n1:], lda)
-		blas.Herk(Lower, NoTrans, n2, n1, -1, a[n1:], lda, 1, a[n1+n1*lda:], lda)
+		blas.Trsm(cfg, Right, Lower, ConjTrans, NonUnit, n2, n1, one, a, lda, a[n1:], lda)
+		blas.Herk(cfg, Lower, NoTrans, n2, n1, -1, a[n1:], lda, 1, a[n1+n1*lda:], lda)
 	}
-	if info := Potrf(uplo, n2, a[n1+n1*lda:], lda); info != 0 {
+	if info := Potrf(cfg, uplo, n2, a[n1+n1*lda:], lda); info != 0 {
 		return info + n1
 	}
 	return 0
@@ -109,34 +112,34 @@ func Potrf[T core.Scalar](uplo Uplo, n int, a []T, lda int) int {
 
 // Potrs solves A·X = B using the Cholesky factorization from Potrf
 // (xPOTRS). B is overwritten with the solution.
-func Potrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, b []T, ldb int) {
+func Potrs[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, a []T, lda int, b []T, ldb int) {
 	if n == 0 || nrhs == 0 {
 		return
 	}
 	one := core.FromFloat[T](1)
 	if uplo == Upper {
-		blas.Trsm(Left, Upper, ConjTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
-		blas.Trsm(Left, Upper, NoTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+		blas.Trsm(cfg, Left, Upper, ConjTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+		blas.Trsm(cfg, Left, Upper, NoTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
 	} else {
-		blas.Trsm(Left, Lower, NoTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
-		blas.Trsm(Left, Lower, ConjTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+		blas.Trsm(cfg, Left, Lower, NoTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
+		blas.Trsm(cfg, Left, Lower, ConjTrans, NonUnit, n, nrhs, one, a, lda, b, ldb)
 	}
 }
 
 // Posv solves A·X = B for a symmetric/Hermitian positive definite matrix
 // (the xPOSV driver). On exit a holds the Cholesky factor and b the
 // solution.
-func Posv[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, b []T, ldb int) int {
-	info := Potrf(uplo, n, a, lda)
+func Posv[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, a []T, lda int, b []T, ldb int) int {
+	info := Potrf(cfg, uplo, n, a, lda)
 	if info == 0 {
-		Potrs(uplo, n, nrhs, a, lda, b, ldb)
+		Potrs(cfg, uplo, n, nrhs, a, lda, b, ldb)
 	}
 	return info
 }
 
 // Pocon estimates the reciprocal 1-norm condition number of a positive
 // definite matrix from its Cholesky factorization (xPOCON).
-func Pocon[T core.Scalar](uplo Uplo, n int, a []T, lda int, anorm float64) float64 {
+func Pocon[T core.Scalar](cfg *core.Config, uplo Uplo, n int, a []T, lda int, anorm float64) float64 {
 	if n == 0 {
 		return 1
 	}
@@ -145,7 +148,7 @@ func Pocon[T core.Scalar](uplo Uplo, n int, a []T, lda int, anorm float64) float
 	}
 	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
 		// A is Hermitian: both products are the same solve.
-		Potrs(uplo, n, 1, a, lda, x, n)
+		Potrs(cfg, uplo, n, 1, a, lda, x, n)
 	})
 	return rcondFromEst(ainvnm, anorm)
 }
@@ -200,7 +203,7 @@ func absSymv[T core.Scalar](uplo Uplo, n int, a []T, lda int, xa, y []float64) {
 
 // Porfs iteratively refines the solution of A·X = B for a positive definite
 // matrix and returns error bounds (xPORFS).
-func Porfs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+func Porfs[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
 	rfs(NoTrans, n, nrhs,
 		func(_ Trans, alpha T, x []T, beta T, y []T) {
 			if core.IsComplex[T]() {
@@ -210,7 +213,7 @@ func Porfs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf i
 			}
 		},
 		func(_ Trans, xa, y []float64) { absSymv(uplo, n, a, lda, xa, y) },
-		func(_ Trans, r []T) { Potrs(uplo, n, 1, af, ldaf, r, n) },
+		func(_ Trans, r []T) { Potrs(cfg, uplo, n, 1, af, ldaf, r, n) },
 		b, ldb, x, ldx, ferr, berr)
 }
 
@@ -227,7 +230,7 @@ type PosvxResult struct {
 // Posvx is the expert driver for positive definite systems (xPOSVX):
 // optional equilibration, Cholesky factorization, solve, refinement, and
 // condition estimation.
-func Posvx[T core.Scalar](fact Fact, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, b []T, ldb int, x []T, ldx int) PosvxResult {
+func Posvx[T core.Scalar](cfg *core.Config, fact Fact, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, b []T, ldb int, x []T, ldx int) PosvxResult {
 	res := PosvxResult{
 		Equed: EquedNone,
 		S:     make([]float64, n),
@@ -268,16 +271,16 @@ func Posvx[T core.Scalar](fact Fact, uplo Uplo, n, nrhs int, a []T, lda int, af 
 	}
 	if fact != FactFact {
 		Lacpy('A', n, n, a, lda, af, ldaf)
-		res.Info = Potrf(uplo, n, af, ldaf)
+		res.Info = Potrf(cfg, uplo, n, af, ldaf)
 	}
 	if res.Info > 0 {
 		return res
 	}
 	anorm := Lansy(OneNorm, uplo, n, a, lda)
-	res.RCond = Pocon(uplo, n, af, ldaf, anorm)
+	res.RCond = Pocon(cfg, uplo, n, af, ldaf, anorm)
 	Lacpy('A', n, nrhs, b, ldb, x, ldx)
-	Potrs(uplo, n, nrhs, af, ldaf, x, ldx)
-	Porfs(uplo, n, nrhs, a, lda, af, ldaf, b, ldb, x, ldx, res.Ferr, res.Berr)
+	Potrs(cfg, uplo, n, nrhs, af, ldaf, x, ldx)
+	Porfs(cfg, uplo, n, nrhs, a, lda, af, ldaf, b, ldb, x, ldx, res.Ferr, res.Berr)
 	if res.Equed == EquedBoth {
 		for j := 0; j < nrhs; j++ {
 			for i := 0; i < n; i++ {

@@ -11,7 +11,7 @@ import (
 // (xGEQPF). jpvt has length n; on entry jpvt[j] >= 0 marks a free column
 // (this implementation treats all columns as free). On exit jpvt[j] is the
 // 0-based index of the original column that became column j of A·P.
-func Geqpf[T core.Scalar](m, n int, a []T, lda int, jpvt []int, tau []T) {
+func Geqpf[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, jpvt []int, tau []T) {
 	mn := min(m, n)
 	for j := 0; j < n; j++ {
 		jpvt[j] = j
@@ -44,7 +44,7 @@ func Geqpf[T core.Scalar](m, n int, a []T, lda int, jpvt []int, tau []T) {
 		if i < n-1 {
 			aii := a[i+i*lda]
 			a[i+i*lda] = core.FromFloat[T](1)
-			Larf(Left, m-i, n-i-1, a[i+i*lda:], 1, core.Conj(tau[i]), a[i+(i+1)*lda:], lda, work)
+			Larf(cfg, Left, m-i, n-i-1, a[i+i*lda:], 1, core.Conj(tau[i]), a[i+(i+1)*lda:], lda, work)
 			a[i+i*lda] = aii
 		}
 		// Downdate the column norms (xGEQP3 recipe with recompute guard).
@@ -71,7 +71,7 @@ func Geqpf[T core.Scalar](m, n int, a []T, lda int, jpvt []int, tau []T) {
 // to an m×n matrix C from the given side (xLARZ). For side == Right the
 // implicit 1 multiplies column 0 of C and v the last l columns; for Left,
 // row 0 and the last l rows.
-func Larz[T core.Scalar](side Side, m, n, l int, v []T, incV int, tau T, c []T, ldc int, work []T) {
+func Larz[T core.Scalar](cfg *core.Config, side Side, m, n, l int, v []T, incV int, tau T, c []T, ldc int, work []T) {
 	if tau == 0 {
 		return
 	}
@@ -82,7 +82,7 @@ func Larz[T core.Scalar](side Side, m, n, l int, v []T, incV int, tau T, c []T, 
 			work[j] = core.Conj(c[j*ldc])
 		}
 		// work += C(m-l:m, :)ᴴ·v
-		blas.Gemv(ConjTrans, l, n, one, c[m-l:], ldc, v, incV, one, work, 1)
+		blas.Gemv(cfg, ConjTrans, l, n, one, c[m-l:], ldc, v, incV, one, work, 1)
 		// C(0,:) -= τ·conj(work) ; C(m-l:m,:) -= τ·v·workᵀ (unconjugated).
 		for j := 0; j < n; j++ {
 			c[j*ldc] -= tau * core.Conj(work[j])
@@ -94,7 +94,7 @@ func Larz[T core.Scalar](side Side, m, n, l int, v []T, incV int, tau T, c []T, 
 	for i := 0; i < m; i++ {
 		work[i] = c[i]
 	}
-	blas.Gemv(NoTrans, m, l, one, c[(n-l)*ldc:], ldc, v, incV, one, work, 1)
+	blas.Gemv(cfg, NoTrans, m, l, one, c[(n-l)*ldc:], ldc, v, incV, one, work, 1)
 	for i := 0; i < m; i++ {
 		c[i] -= tau * work[i]
 	}
@@ -104,7 +104,7 @@ func Larz[T core.Scalar](side Side, m, n, l int, v []T, incV int, tau T, c []T, 
 // Latrz reduces an upper trapezoidal m×n matrix (m <= n) to the form
 // [R 0] by unitary transformations from the right: A = [R 0]·Z (xLATRZ).
 // The reflectors are stored in the last n−m columns and tau.
-func Latrz[T core.Scalar](m, n int, a []T, lda int, tau []T) {
+func Latrz[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, tau []T) {
 	l := n - m
 	if l == 0 || m == 0 {
 		for i := 0; i < m; i++ {
@@ -122,21 +122,21 @@ func Latrz[T core.Scalar](m, n int, a []T, lda int, tau []T) {
 		tau[i] = core.Conj(tau[i])
 		// Apply H from the right to rows 0..i-1.
 		if i > 0 {
-			Larz(Right, i, n-i, l, a[i+m*lda:], lda, core.Conj(tau[i]), a[i*lda:], lda, work)
+			Larz(cfg, Right, i, n-i, l, a[i+m*lda:], lda, core.Conj(tau[i]), a[i*lda:], lda, work)
 		}
 	}
 }
 
 // Tzrzf computes the RZ factorization of an upper trapezoidal matrix
 // (xTZRZF; delegates to the unblocked Latrz).
-func Tzrzf[T core.Scalar](m, n int, a []T, lda int, tau []T) {
-	Latrz(m, n, a, lda, tau)
+func Tzrzf[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, tau []T) {
+	Latrz(cfg, m, n, a, lda, tau)
 }
 
 // Ormrz multiplies C by Z or Zᴴ from an RZ factorization (xORMRZ/xUNMRZ),
 // where the k reflectors of length l are stored in the last l columns of
 // rows 0..k-1 of a.
-func Ormrz[T core.Scalar](side Side, trans Trans, m, n, k, l int, a []T, lda int, tau []T, c []T, ldc int) {
+func Ormrz[T core.Scalar](cfg *core.Config, side Side, trans Trans, m, n, k, l int, a []T, lda int, tau []T, c []T, ldc int) {
 	if m == 0 || n == 0 || k == 0 {
 		return
 	}
@@ -164,10 +164,10 @@ func Ormrz[T core.Scalar](side Side, trans Trans, m, n, k, l int, a []T, lda int
 		if side == Left {
 			// Rows i and m-l..m of C.
 			sub := c[i:]
-			Larz(Left, m-i, n, l, a[i+ja*lda:], lda, taui, sub, ldc, work)
+			Larz(cfg, Left, m-i, n, l, a[i+ja*lda:], lda, taui, sub, ldc, work)
 		} else {
 			sub := c[i*ldc:]
-			Larz(Right, m, n-i, l, a[i+ja*lda:], lda, taui, sub, ldc, work)
+			Larz(cfg, Right, m, n-i, l, a[i+ja*lda:], lda, taui, sub, ldc, work)
 		}
 	}
 }

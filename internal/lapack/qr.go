@@ -53,7 +53,7 @@ func Larfg[T core.Scalar](n int, alpha *T, x []T, incX int) T {
 
 // Larf applies the elementary reflector H = I − τ·v·vᴴ to an m×n matrix C
 // from the given side (xLARF). work must have length n (Left) or m (Right).
-func Larf[T core.Scalar](side Side, m, n int, v []T, incV int, tau T, c []T, ldc int, work []T) {
+func Larf[T core.Scalar](cfg *core.Config, side Side, m, n int, v []T, incV int, tau T, c []T, ldc int, work []T) {
 	if tau == 0 {
 		return
 	}
@@ -61,24 +61,24 @@ func Larf[T core.Scalar](side Side, m, n int, v []T, incV int, tau T, c []T, ldc
 	zero := core.FromFloat[T](0)
 	if side == Left {
 		// w = Cᴴ·v; C -= τ·v·wᴴ.
-		blas.Gemv(ConjTrans, m, n, one, c, ldc, v, incV, zero, work, 1)
+		blas.Gemv(cfg, ConjTrans, m, n, one, c, ldc, v, incV, zero, work, 1)
 		blas.Gerc(m, n, -tau, v, incV, work, 1, c, ldc)
 		return
 	}
 	// w = C·v; C -= τ·w·vᴴ.
-	blas.Gemv(NoTrans, m, n, one, c, ldc, v, incV, zero, work, 1)
+	blas.Gemv(cfg, NoTrans, m, n, one, c, ldc, v, incV, zero, work, 1)
 	blas.Gerc(m, n, -tau, work, 1, v, incV, c, ldc)
 }
 
 // Geqr2 computes the unblocked QR factorization A = Q·R (xGEQR2). tau must
 // have length min(m, n); work length at least n.
-func Geqr2[T core.Scalar](m, n int, a []T, lda int, tau []T, work []T) {
+func Geqr2[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, tau []T, work []T) {
 	for i := 0; i < min(m, n); i++ {
 		tau[i] = Larfg(m-i, &a[i+i*lda], a[min(i+1, m-1)+i*lda:], 1)
 		if i < n-1 {
 			aii := a[i+i*lda]
 			a[i+i*lda] = core.FromFloat[T](1)
-			Larf(Left, m-i, n-i-1, a[i+i*lda:], 1, core.Conj(tau[i]), a[i+(i+1)*lda:], lda, work)
+			Larf(cfg, Left, m-i, n-i-1, a[i+i*lda:], 1, core.Conj(tau[i]), a[i+(i+1)*lda:], lda, work)
 			a[i+i*lda] = aii
 		}
 	}
@@ -86,20 +86,20 @@ func Geqr2[T core.Scalar](m, n int, a []T, lda int, tau []T, work []T) {
 
 // Geqrf computes the QR factorization of an m×n matrix (xGEQRF), using
 // blocked Level-3 updates above the ILAENV crossover.
-func Geqrf[T core.Scalar](m, n int, a []T, lda int, tau []T) {
-	nb := Ilaenv(1, "GEQRF", m, n, -1, -1)
-	if nb > 1 && min(m, n) > Ilaenv(3, "GEQRF", m, n, -1, -1) {
-		geqrfBlocked(m, n, a, lda, tau, nb)
+func Geqrf[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, tau []T) {
+	nb := Ilaenv(cfg, 1, "GEQRF", m, n, -1, -1)
+	if nb > 1 && min(m, n) > Ilaenv(cfg, 3, "GEQRF", m, n, -1, -1) {
+		geqrfBlocked(cfg, m, n, a, lda, tau, nb)
 		return
 	}
 	work := blas.GetScratch[T](max(1, n))
 	defer blas.PutScratch(work)
-	Geqr2(m, n, a, lda, tau, work)
+	Geqr2(cfg, m, n, a, lda, tau, work)
 }
 
 // Org2r generates the first k columns of the unitary matrix Q from the
 // reflectors returned by Geqr2 (xORG2R/xUNG2R). a is m×n with n <= m.
-func Org2r[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
+func Org2r[T core.Scalar](cfg *core.Config, m, n, k int, a []T, lda int, tau []T) {
 	if n <= 0 {
 		return
 	}
@@ -115,7 +115,7 @@ func Org2r[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
 	for i := k - 1; i >= 0; i-- {
 		if i < n-1 {
 			a[i+i*lda] = core.FromFloat[T](1)
-			Larf(Left, m-i, n-i-1, a[i+i*lda:], 1, tau[i], a[i+(i+1)*lda:], lda, work)
+			Larf(cfg, Left, m-i, n-i-1, a[i+i*lda:], 1, tau[i], a[i+(i+1)*lda:], lda, work)
 		}
 		if i < m-1 {
 			blas.Scal(m-i-1, -tau[i], a[i+1+i*lda:], 1)
@@ -130,26 +130,26 @@ func Org2r[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
 // Orgqr generates the first k columns of Q from a QR factorization
 // (xORGQR/xUNGQR), applying block reflectors when k exceeds the ILAENV
 // crossover.
-func Orgqr[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
-	nb := Ilaenv(1, "ORGQR", m, n, k, -1)
-	if nb > 1 && k > Ilaenv(3, "ORGQR", m, n, k, -1) {
-		orgqrBlocked(m, n, k, a, lda, tau, nb)
+func Orgqr[T core.Scalar](cfg *core.Config, m, n, k int, a []T, lda int, tau []T) {
+	nb := Ilaenv(cfg, 1, "ORGQR", m, n, k, -1)
+	if nb > 1 && k > Ilaenv(cfg, 3, "ORGQR", m, n, k, -1) {
+		orgqrBlocked(cfg, m, n, k, a, lda, tau, nb)
 		return
 	}
-	Org2r(m, n, k, a, lda, tau)
+	Org2r(cfg, m, n, k, a, lda, tau)
 }
 
 // Ormqr multiplies C by Q or Qᴴ from a QR factorization (xORMQR/xUNMQR):
 // C := op(Q)·C (Left) or C·op(Q) (Right), where a holds the k reflectors in
 // its first k columns. trans must be NoTrans or ConjTrans (use ConjTrans
 // for Qᵀ in real arithmetic).
-func Ormqr[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, tau []T, c []T, ldc int) {
+func Ormqr[T core.Scalar](cfg *core.Config, side Side, trans Trans, m, n, k int, a []T, lda int, tau []T, c []T, ldc int) {
 	if m == 0 || n == 0 || k == 0 {
 		return
 	}
-	nb := Ilaenv(1, "ORMQR", m, n, k, -1)
-	if nb > 1 && k > Ilaenv(3, "ORMQR", m, n, k, -1) {
-		ormqrBlocked(side, trans, m, n, k, a, lda, tau, c, ldc, nb)
+	nb := Ilaenv(cfg, 1, "ORMQR", m, n, k, -1)
+	if nb > 1 && k > Ilaenv(cfg, 3, "ORMQR", m, n, k, -1) {
+		ormqrBlocked(cfg, side, trans, m, n, k, a, lda, tau, c, ldc, nb)
 		return
 	}
 	wlen := n
@@ -172,9 +172,9 @@ func Ormqr[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, t
 		aii := a[i+i*lda]
 		a[i+i*lda] = core.FromFloat[T](1)
 		if side == Left {
-			Larf(Left, m-i, n, a[i+i*lda:], 1, taui, c[i:], ldc, work)
+			Larf(cfg, Left, m-i, n, a[i+i*lda:], 1, taui, c[i:], ldc, work)
 		} else {
-			Larf(Right, m, n-i, a[i+i*lda:], 1, taui, c[i*ldc:], ldc, work)
+			Larf(cfg, Right, m, n-i, a[i+i*lda:], 1, taui, c[i*ldc:], ldc, work)
 		}
 		a[i+i*lda] = aii
 	}
@@ -182,14 +182,14 @@ func Ormqr[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, t
 
 // Gelq2 computes the unblocked LQ factorization A = L·Q (xGELQ2). tau must
 // have length min(m, n); work length at least m.
-func Gelq2[T core.Scalar](m, n int, a []T, lda int, tau []T, work []T) {
+func Gelq2[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, tau []T, work []T) {
 	for i := 0; i < min(m, n); i++ {
 		lacgv(n-i, a[i+i*lda:], lda)
 		tau[i] = Larfg(n-i, &a[i+i*lda], a[i+min(i+1, n-1)*lda:], lda)
 		if i < m-1 {
 			aii := a[i+i*lda]
 			a[i+i*lda] = core.FromFloat[T](1)
-			Larf(Right, m-i-1, n-i, a[i+i*lda:], lda, tau[i], a[i+1+i*lda:], lda, work)
+			Larf(cfg, Right, m-i-1, n-i, a[i+i*lda:], lda, tau[i], a[i+1+i*lda:], lda, work)
 			a[i+i*lda] = aii
 		}
 		lacgv(n-i, a[i+i*lda:], lda)
@@ -198,20 +198,20 @@ func Gelq2[T core.Scalar](m, n int, a []T, lda int, tau []T, work []T) {
 
 // Gelqf computes the LQ factorization of an m×n matrix (xGELQF), using
 // blocked Level-3 updates above the ILAENV crossover.
-func Gelqf[T core.Scalar](m, n int, a []T, lda int, tau []T) {
-	nb := Ilaenv(1, "GELQF", m, n, -1, -1)
-	if nb > 1 && min(m, n) > Ilaenv(3, "GELQF", m, n, -1, -1) {
-		gelqfBlocked(m, n, a, lda, tau, nb)
+func Gelqf[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, tau []T) {
+	nb := Ilaenv(cfg, 1, "GELQF", m, n, -1, -1)
+	if nb > 1 && min(m, n) > Ilaenv(cfg, 3, "GELQF", m, n, -1, -1) {
+		gelqfBlocked(cfg, m, n, a, lda, tau, nb)
 		return
 	}
 	work := blas.GetScratch[T](max(1, m))
 	defer blas.PutScratch(work)
-	Gelq2(m, n, a, lda, tau, work)
+	Gelq2(cfg, m, n, a, lda, tau, work)
 }
 
 // Orgl2 generates the first k rows of the unitary matrix Q from the
 // reflectors returned by Gelq2 (xORGL2/xUNGL2). a is m×n with m <= n.
-func Orgl2[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
+func Orgl2[T core.Scalar](cfg *core.Config, m, n, k int, a []T, lda int, tau []T) {
 	if m <= 0 {
 		return
 	}
@@ -228,7 +228,7 @@ func Orgl2[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
 			lacgv(n-i-1, a[i+(i+1)*lda:], lda)
 			if i < m-1 {
 				a[i+i*lda] = core.FromFloat[T](1)
-				Larf(Right, m-i-1, n-i, a[i+i*lda:], lda, core.Conj(tau[i]), a[i+1+i*lda:], lda, work)
+				Larf(cfg, Right, m-i-1, n-i, a[i+i*lda:], lda, core.Conj(tau[i]), a[i+1+i*lda:], lda, work)
 			}
 			blas.Scal(n-i-1, -tau[i], a[i+(i+1)*lda:], lda)
 			lacgv(n-i-1, a[i+(i+1)*lda:], lda)
@@ -242,13 +242,13 @@ func Orgl2[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
 
 // Orglq generates the first k rows of Q from an LQ factorization
 // (xORGLQ/xUNGLQ).
-func Orglq[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
-	Orgl2(m, n, k, a, lda, tau)
+func Orglq[T core.Scalar](cfg *core.Config, m, n, k int, a []T, lda int, tau []T) {
+	Orgl2(cfg, m, n, k, a, lda, tau)
 }
 
 // Ormlq multiplies C by Q or Qᴴ from an LQ factorization (xORMLQ/xUNMLQ).
 // trans must be NoTrans or ConjTrans.
-func Ormlq[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, tau []T, c []T, ldc int) {
+func Ormlq[T core.Scalar](cfg *core.Config, side Side, trans Trans, m, n, k int, a []T, lda int, tau []T, c []T, ldc int) {
 	if m == 0 || n == 0 || k == 0 {
 		return
 	}
@@ -287,9 +287,9 @@ func Ormlq[T core.Scalar](side Side, trans Trans, m, n, k int, a []T, lda int, t
 			v = append(v, core.Conj(a[i+(i+j)*lda]))
 		}
 		if side == Left {
-			Larf(Left, m-i, n, v, 1, taui, c[i:], ldc, work)
+			Larf(cfg, Left, m-i, n, v, 1, taui, c[i:], ldc, work)
 		} else {
-			Larf(Right, m, n-i, v, 1, taui, c[i*ldc:], ldc, work)
+			Larf(cfg, Right, m, n-i, v, 1, taui, c[i*ldc:], ldc, work)
 		}
 	}
 }

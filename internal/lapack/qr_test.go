@@ -17,12 +17,12 @@ func testQR[T core.Scalar](t *testing.T, m, n int) {
 	af := append([]T(nil), a...)
 	mn := min(m, n)
 	tau := make([]T, mn)
-	lapack.Geqrf(m, n, af, m, tau)
+	lapack.Geqrf(tcfg(), m, n, af, m, tau)
 
 	// Build Q (m×mn) and check orthogonality.
 	q := make([]T, m*mn)
 	lapack.Lacpy('A', m, mn, af, m, q, m)
-	lapack.Orgqr(m, mn, mn, q, m, tau)
+	lapack.Orgqr(tcfg(), m, mn, mn, q, m, tau)
 	if r := testutil.OrthoResidual(m, mn, q, m); r > thresh {
 		t.Fatalf("QR orthogonality %v", r)
 	}
@@ -34,7 +34,7 @@ func testQR[T core.Scalar](t *testing.T, m, n int) {
 		}
 	}
 	rec := make([]T, m*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), q, m, r, mn, core.FromFloat[T](0), rec, m)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), q, m, r, mn, core.FromFloat[T](0), rec, m)
 	if d := testutil.MaxDiff(rec, a); d > 1e4*core.Eps[T]() {
 		t.Fatalf("QR reconstruction diff %v", d)
 	}
@@ -43,9 +43,9 @@ func testQR[T core.Scalar](t *testing.T, m, n int) {
 	nrhs := 3
 	c := testutil.RandGeneral[T](rng, m, nrhs, m)
 	viaOrm := append([]T(nil), c...)
-	lapack.Ormqr(lapack.Left, lapack.ConjTrans, m, nrhs, mn, af, m, tau, viaOrm, m)
+	lapack.Ormqr(tcfg(), lapack.Left, lapack.ConjTrans, m, nrhs, mn, af, m, tau, viaOrm, m)
 	explicit := make([]T, mn*nrhs)
-	blas.Gemm(blas.ConjTrans, blas.NoTrans, mn, nrhs, m, core.FromFloat[T](1), q, m, c, m, core.FromFloat[T](0), explicit, mn)
+	blas.Gemm(tcfg(), blas.ConjTrans, blas.NoTrans, mn, nrhs, m, core.FromFloat[T](1), q, m, c, m, core.FromFloat[T](0), explicit, mn)
 	for j := 0; j < nrhs; j++ {
 		for i := 0; i < mn; i++ {
 			if core.Abs(viaOrm[i+j*m]-explicit[i+j*mn]) > 1e4*core.Eps[T]() {
@@ -71,12 +71,12 @@ func testLQ[T core.Scalar](t *testing.T, m, n int) {
 	af := append([]T(nil), a...)
 	mn := min(m, n)
 	tau := make([]T, mn)
-	lapack.Gelqf(m, n, af, m, tau)
+	lapack.Gelqf(tcfg(), m, n, af, m, tau)
 
 	// Build Q (mn×n rows orthonormal): Qᴴ has orthonormal columns.
 	q := make([]T, mn*n)
 	lapack.Lacpy('A', mn, n, af, m, q, mn)
-	lapack.Orglq(mn, n, mn, q, mn, tau)
+	lapack.Orglq(tcfg(), mn, n, mn, q, mn, tau)
 	qh := make([]T, n*mn)
 	for i := 0; i < mn; i++ {
 		for j := 0; j < n; j++ {
@@ -94,7 +94,7 @@ func testLQ[T core.Scalar](t *testing.T, m, n int) {
 		}
 	}
 	rec := make([]T, m*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), l, m, q, mn, core.FromFloat[T](0), rec, m)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), l, m, q, mn, core.FromFloat[T](0), rec, m)
 	if d := testutil.MaxDiff(rec, a); d > 1e4*core.Eps[T]() {
 		t.Fatalf("LQ reconstruction diff %v", d)
 	}
@@ -102,14 +102,14 @@ func testLQ[T core.Scalar](t *testing.T, m, n int) {
 	// Ormlq: applying Qᴴ from the left to Q-rows should give identity-ish.
 	c := testutil.RandGeneral[T](rng, n, 2, n)
 	viaOrm := append([]T(nil), c...)
-	lapack.Ormlq(lapack.Left, lapack.NoTrans, n, 2, mn, af, m, tau, viaOrm, n)
+	lapack.Ormlq(tcfg(), lapack.Left, lapack.NoTrans, n, 2, mn, af, m, tau, viaOrm, n)
 	explicit := make([]T, n*2)
 	// Q acts on length-n vectors: Q·c means (mn×n)·(n×2) but Ormlq applies
 	// the full n×n Q; compare against qfull = H(k)..H(1) built from qh.
 	qfull := make([]T, n*n)
 	lapack.Laset('A', n, n, core.FromFloat[T](0), core.FromFloat[T](1), qfull, n)
-	lapack.Ormlq(lapack.Left, lapack.NoTrans, n, n, mn, af, m, tau, qfull, n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, 2, n, core.FromFloat[T](1), qfull, n, c, n, core.FromFloat[T](0), explicit, n)
+	lapack.Ormlq(tcfg(), lapack.Left, lapack.NoTrans, n, n, mn, af, m, tau, qfull, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, 2, n, core.FromFloat[T](1), qfull, n, c, n, core.FromFloat[T](0), explicit, n)
 	if d := testutil.MaxDiff(viaOrm, explicit); d > 1e4*core.Eps[T]() {
 		t.Fatalf("ormlq mismatch %v", d)
 	}
@@ -138,7 +138,7 @@ func testGeqpf[T core.Scalar](t *testing.T, m, n int) {
 	mn := min(m, n)
 	tau := make([]T, mn)
 	jpvt := make([]int, n)
-	lapack.Geqpf(m, n, af, m, jpvt, tau)
+	lapack.Geqpf(tcfg(), m, n, af, m, jpvt, tau)
 	// |R(i,i)| must be non-increasing.
 	for i := 1; i < mn; i++ {
 		if core.Abs(af[i+i*m]) > core.Abs(af[(i-1)+(i-1)*m])*(1+1e-10) {
@@ -148,7 +148,7 @@ func testGeqpf[T core.Scalar](t *testing.T, m, n int) {
 	// Reconstruct A·P = Q·R.
 	q := make([]T, m*mn)
 	lapack.Lacpy('A', m, mn, af, m, q, m)
-	lapack.Orgqr(m, mn, mn, q, m, tau)
+	lapack.Orgqr(tcfg(), m, mn, mn, q, m, tau)
 	r := make([]T, mn*n)
 	for j := 0; j < n; j++ {
 		for i := 0; i <= min(j, mn-1); i++ {
@@ -156,7 +156,7 @@ func testGeqpf[T core.Scalar](t *testing.T, m, n int) {
 		}
 	}
 	qr := make([]T, m*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), q, m, r, mn, core.FromFloat[T](0), qr, m)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), q, m, r, mn, core.FromFloat[T](0), qr, m)
 	for j := 0; j < n; j++ {
 		for i := 0; i < m; i++ {
 			if core.Abs(qr[i+j*m]-a[i+jpvt[j]*m]) > 1e4*core.Eps[T]() {
@@ -188,7 +188,7 @@ func testGels[T core.Scalar](t *testing.T, m, n int, trans lapack.Trans) {
 	lapack.Larnv(2, rng, rows, b[ldb:])
 	b0 := append([]T(nil), b...)
 	af := append([]T(nil), a...)
-	if info := lapack.Gels(trans, m, n, nrhs, af, m, b, ldb); info != 0 {
+	if info := lapack.Gels(tcfg(), trans, m, n, nrhs, af, m, b, ldb); info != 0 {
 		t.Fatalf("gels info=%d", info)
 	}
 	if rows >= cols {
@@ -198,13 +198,13 @@ func testGels[T core.Scalar](t *testing.T, m, n int, trans lapack.Trans) {
 			res := make([]T, rows)
 			copy(res, b0[j*ldb:j*ldb+rows])
 			one := core.FromFloat[T](1)
-			blas.Gemv(blas.Trans(trans), m, n, -one, a, m, b[j*ldb:], 1, one, res, 1)
+			blas.Gemv(tcfg(), blas.Trans(trans), m, n, -one, a, m, b[j*ldb:], 1, one, res, 1)
 			g := make([]T, cols)
 			tr := lapack.ConjTrans
 			if trans != lapack.NoTrans {
 				tr = lapack.NoTrans
 			}
-			blas.Gemv(blas.Trans(tr), m, n, one, a, m, res, 1, core.FromFloat[T](0), g, 1)
+			blas.Gemv(tcfg(), blas.Trans(tr), m, n, one, a, m, res, 1, core.FromFloat[T](0), g, 1)
 			if nrm := blas.Nrm2(cols, g, 1); nrm > 1e5*core.Eps[T]() {
 				t.Fatalf("normal equations residual %v", nrm)
 			}
@@ -217,7 +217,7 @@ func testGels[T core.Scalar](t *testing.T, m, n int, trans lapack.Trans) {
 			res := make([]T, rows)
 			copy(res, b0[j*ldb:j*ldb+rows])
 			one := core.FromFloat[T](1)
-			blas.Gemv(blas.Trans(trans), m, n, -one, a, m, b[j*ldb:], 1, one, res, 1)
+			blas.Gemv(tcfg(), blas.Trans(trans), m, n, -one, a, m, b[j*ldb:], 1, one, res, 1)
 			if nrm := blas.Nrm2(rows, res, 1); nrm > 1e5*core.Eps[T]() {
 				t.Fatalf("underdetermined solve residual %v", nrm)
 			}
@@ -243,11 +243,11 @@ func TestGelsxFullRank(t *testing.T) {
 	ldb := max(m, n)
 	b := make([]float64, ldb*nrhs)
 	for j := 0; j < nrhs; j++ {
-		blas.Gemv(blas.NoTrans, m, n, 1, a, m, xTrue[j*n:], 1, 0, b[j*ldb:], 1)
+		blas.Gemv(tcfg(), blas.NoTrans, m, n, 1, a, m, xTrue[j*n:], 1, 0, b[j*ldb:], 1)
 	}
 	af := append([]float64(nil), a...)
 	jpvt := make([]int, n)
-	rank := lapack.Gelsx(m, n, nrhs, af, m, jpvt, 1e-10, b, ldb)
+	rank := lapack.Gelsx(tcfg(), m, n, nrhs, af, m, jpvt, 1e-10, b, ldb)
 	if rank != n {
 		t.Fatalf("rank = %d, want %d", rank, n)
 	}
@@ -268,21 +268,21 @@ func TestGelsxRankDeficient(t *testing.T) {
 	u := testutil.RandGeneral[float64](rng, m, r, m)
 	v := testutil.RandGeneral[float64](rng, r, n, r)
 	a := make([]float64, m*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, r, 1, u, m, v, r, 0, a, m)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, r, 1, u, m, v, r, 0, a, m)
 	b := make([]float64, max(m, n))
 	lapack.Larnv(2, rng, m, b)
 	b0 := append([]float64(nil), b...)
 	af := append([]float64(nil), a...)
 	jpvt := make([]int, n)
-	rank := lapack.Gelsx(m, n, 1, af, m, jpvt, 1e-8, b, max(m, n))
+	rank := lapack.Gelsx(tcfg(), m, n, 1, af, m, jpvt, 1e-8, b, max(m, n))
 	if rank != r {
 		t.Fatalf("rank = %d, want %d", rank, r)
 	}
 	// Normal equations: Aᵀ(b − A·x) = 0.
 	res := append([]float64(nil), b0[:m]...)
-	blas.Gemv(blas.NoTrans, m, n, -1, a, m, b, 1, 1, res, 1)
+	blas.Gemv(tcfg(), blas.NoTrans, m, n, -1, a, m, b, 1, 1, res, 1)
 	g := make([]float64, n)
-	blas.Gemv(blas.TransT, m, n, 1, a, m, res, 1, 0, g, 1)
+	blas.Gemv(tcfg(), blas.TransT, m, n, 1, a, m, res, 1, 0, g, 1)
 	if nrm := blas.Nrm2(n, g, 1); nrm > 1e-8 {
 		t.Fatalf("normal equations residual %v", nrm)
 	}
@@ -308,12 +308,12 @@ func TestGglse(t *testing.T) {
 	x := make([]float64, n)
 	ac := append([]float64(nil), a...)
 	bc := append([]float64(nil), b...)
-	if info := lapack.Gglse(m, n, p, ac, m, bc, p, c, d, x); info != 0 {
+	if info := lapack.Gglse(tcfg(), m, n, p, ac, m, bc, p, c, d, x); info != 0 {
 		t.Fatalf("gglse info=%d", info)
 	}
 	// Constraint: Bx = d.
 	bd := make([]float64, p)
-	blas.Gemv(blas.NoTrans, p, n, 1, b, p, x, 1, 0, bd, 1)
+	blas.Gemv(tcfg(), blas.NoTrans, p, n, 1, b, p, x, 1, 0, bd, 1)
 	for i := 0; i < p; i++ {
 		if math.Abs(bd[i]-d[i]) > 1e-10 {
 			t.Fatalf("constraint violated at %d: %v vs %v", i, bd[i], d[i])
@@ -323,8 +323,8 @@ func TestGglse(t *testing.T) {
 	// Project g onto null(B) via QR of Bᵀ and check it vanishes.
 	g := make([]float64, n)
 	res := append([]float64(nil), c...)
-	blas.Gemv(blas.NoTrans, m, n, 1, a, m, x, 1, -1, res, 1) // res = Ax - c
-	blas.Gemv(blas.TransT, m, n, 1, a, m, res, 1, 0, g, 1)
+	blas.Gemv(tcfg(), blas.NoTrans, m, n, 1, a, m, x, 1, -1, res, 1) // res = Ax - c
+	blas.Gemv(tcfg(), blas.TransT, m, n, 1, a, m, res, 1, 0, g, 1)
 	bt := make([]float64, n*p)
 	for i := 0; i < p; i++ {
 		for j := 0; j < n; j++ {
@@ -332,9 +332,9 @@ func TestGglse(t *testing.T) {
 		}
 	}
 	tau := make([]float64, p)
-	lapack.Geqrf(n, p, bt, n, tau)
+	lapack.Geqrf(tcfg(), n, p, bt, n, tau)
 	// gq = Qᵀ g; its last n-p entries are the null-space component.
-	lapack.Ormqr(lapack.Left, lapack.ConjTrans, n, 1, p, bt, n, tau, g, n)
+	lapack.Ormqr(tcfg(), lapack.Left, lapack.ConjTrans, n, 1, p, bt, n, tau, g, n)
 	if nrm := blas.Nrm2(n-p, g[p:], 1); nrm > 1e-9 {
 		t.Fatalf("KKT violated: null-space gradient %v", nrm)
 	}
@@ -352,13 +352,13 @@ func TestGgglm(t *testing.T) {
 	y := make([]float64, p)
 	ac := append([]float64(nil), a...)
 	bc := append([]float64(nil), b...)
-	if info := lapack.Ggglm(n, m, p, ac, n, bc, n, d, x, y); info != 0 {
+	if info := lapack.Ggglm(tcfg(), n, m, p, ac, n, bc, n, d, x, y); info != 0 {
 		t.Fatalf("ggglm info=%d", info)
 	}
 	// Feasibility: Ax + By = d.
 	r := append([]float64(nil), d...)
-	blas.Gemv(blas.NoTrans, n, m, -1, a, n, x, 1, 1, r, 1)
-	blas.Gemv(blas.NoTrans, n, p, -1, b, n, y, 1, 1, r, 1)
+	blas.Gemv(tcfg(), blas.NoTrans, n, m, -1, a, n, x, 1, 1, r, 1)
+	blas.Gemv(tcfg(), blas.NoTrans, n, p, -1, b, n, y, 1, 1, r, 1)
 	if nrm := blas.Nrm2(n, r, 1); nrm > 1e-10 {
 		t.Fatalf("GLM equation residual %v", nrm)
 	}
@@ -376,11 +376,11 @@ func TestTzrzf(t *testing.T) {
 	}
 	af := append([]float64(nil), a...)
 	tau := make([]float64, m)
-	lapack.Tzrzf(m, n, af, m, tau)
+	lapack.Tzrzf(tcfg(), m, n, af, m, tau)
 	// Build Z explicitly by applying Zᴴ to the identity: rows of Z.
 	z := make([]float64, n*n)
 	lapack.Laset('A', n, n, 0, 1, z, n)
-	lapack.Ormrz(lapack.Left, lapack.NoTrans, n, n, m, n-m, af, m, tau, z, n)
+	lapack.Ormrz(tcfg(), lapack.Left, lapack.NoTrans, n, n, m, n-m, af, m, tau, z, n)
 	// Reconstruct [R 0]·Z.
 	rz := make([]float64, m*n)
 	r := make([]float64, m*m)
@@ -389,7 +389,7 @@ func TestTzrzf(t *testing.T) {
 			r[i+j*m] = af[i+j*m]
 		}
 	}
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, m, 1, r, m, z, n, 0, rz, m)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, m, 1, r, m, z, n, 0, rz, m)
 	if d := testutil.MaxDiff(rz, a); d > 1e-11 {
 		t.Fatalf("tzrzf reconstruction diff %v", d)
 	}
@@ -412,9 +412,9 @@ func TestGeqrfBlockedMatchesUnblocked(t *testing.T) {
 				au := append([]float64(nil), a...)
 				taub := make([]float64, min(m, n))
 				tauu := make([]float64, min(m, n))
-				lapack.Geqrf(m, n, ab, m, taub) // blocked (above crossover)
+				lapack.Geqrf(tcfg(), m, n, ab, m, taub) // blocked (above crossover)
 				work := make([]float64, n)
-				lapack.Geqr2(m, n, au, m, tauu, work)
+				lapack.Geqr2(tcfg(), m, n, au, m, tauu, work)
 				// Compare the R factors up to sign conventions — the same
 				// Householder construction is used, so they must agree
 				// essentially exactly.
@@ -434,12 +434,12 @@ func TestGeqrfBlockedMatchesUnblocked(t *testing.T) {
 				a := testutil.RandGeneral[complex128](rng, m, n, m)
 				ab := append([]complex128(nil), a...)
 				taub := make([]complex128, min(m, n))
-				lapack.Geqrf(m, n, ab, m, taub)
+				lapack.Geqrf(tcfg(), m, n, ab, m, taub)
 				// Verify the full QR contract instead of elementwise compare.
 				mn2 := min(m, n)
 				q := make([]complex128, m*mn2)
 				lapack.Lacpy('A', m, mn2, ab, m, q, m)
-				lapack.Orgqr(m, mn2, mn2, q, m, taub)
+				lapack.Orgqr(tcfg(), m, mn2, mn2, q, m, taub)
 				if r := testutil.OrthoResidual(m, mn2, q, m); r > thresh {
 					t.Fatalf("blocked complex QR orthogonality %v", r)
 				}
@@ -450,7 +450,7 @@ func TestGeqrfBlockedMatchesUnblocked(t *testing.T) {
 					}
 				}
 				rec := make([]complex128, m*n)
-				blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, mn2, 1, q, m, rr, mn2, 0, rec, m)
+				blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, mn2, 1, q, m, rr, mn2, 0, rec, m)
 				if d := testutil.MaxDiff(rec, a); d > 1e-11*float64(m) {
 					t.Fatalf("blocked complex QR reconstruction %v", d)
 				}

@@ -54,7 +54,7 @@ func buildGen[T core.Scalar](rng *lapack.Rng, m, n, lda int, kind matKind) []T {
 		g := testutil.RandGeneral[T](rng, m, r, m)
 		h := testutil.RandGeneral[T](rng, r, n, r)
 		a := make([]T, lda*n)
-		blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, r, core.FromFloat[T](1),
+		blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, r, core.FromFloat[T](1),
 			g, m, h, r, core.FromFloat[T](0), a, lda)
 		return a
 	default:
@@ -70,7 +70,7 @@ func buildSym[T core.Scalar](rng *lapack.Rng, n, lda int, kind matKind) []T {
 		r := max(1, n/4)
 		g := testutil.RandGeneral[T](rng, n, r, n)
 		a = make([]T, lda*n)
-		blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, r, core.FromFloat[T](1),
+		blas.Gemm(tcfg(), blas.NoTrans, blas.ConjTrans, n, n, r, core.FromFloat[T](1),
 			g, n, g, n, core.FromFloat[T](0), a, lda)
 	} else {
 		g := buildGen[T](rng, n, n, lda, kind)
@@ -112,7 +112,7 @@ func testSytrdProp[T core.Scalar](t *testing.T, n int, uplo lapack.Uplo, kind ma
 	d1 := make([]float64, n)
 	e1 := make([]float64, max(0, n-1))
 	tau1 := make([]T, max(0, n-1))
-	lapack.Sytrd(uplo, n, ab, lda, d1, e1, tau1)
+	lapack.Sytrd(tcfg(), uplo, n, ab, lda, d1, e1, tau1)
 
 	au := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, au, lda)
@@ -124,13 +124,13 @@ func testSytrdProp[T core.Scalar](t *testing.T, n int, uplo lapack.Uplo, kind ma
 	// Spectra of the two tridiagonal matrices.
 	w1 := append([]float64(nil), d1...)
 	f1 := append([]float64(nil), e1...)
-	if info := lapack.Sterf(n, w1, f1); info != 0 {
-		t.Fatalf("Sterf(blocked) info=%d", info)
+	if info := lapack.Sterf(tcfg(), n, w1, f1); info != 0 {
+		t.Fatalf("Sterf(tcfg(), blocked) info=%d", info)
 	}
 	w2 := append([]float64(nil), d2...)
 	f2 := append([]float64(nil), e2...)
-	if info := lapack.Sterf(n, w2, f2); info != 0 {
-		t.Fatalf("Sterf(unblocked) info=%d", info)
+	if info := lapack.Sterf(tcfg(), n, w2, f2); info != 0 {
+		t.Fatalf("Sterf(tcfg(), unblocked) info=%d", info)
 	}
 	scale := math.Max(maxAbsF(w1), maxAbsF(w2))
 	tol := 50 * float64(n) * core.Eps[T]() * scale
@@ -143,13 +143,13 @@ func testSytrdProp[T core.Scalar](t *testing.T, n int, uplo lapack.Uplo, kind ma
 	// Full eigendecomposition from the blocked factorization.
 	q := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, ab, lda, q, lda)
-	lapack.Orgtr(uplo, n, q, lda, tau1)
+	lapack.Orgtr(tcfg(), uplo, n, q, lda, tau1)
 	if r := testutil.OrthoResidual(n, n, q, lda); r > thresh {
 		t.Fatalf("Orgtr ortho residual %v > %v", r, thresh)
 	}
 	wz := append([]float64(nil), d1...)
 	fz := append([]float64(nil), e1...)
-	if info := lapack.Steqr(n, wz, fz, q, lda); info != 0 {
+	if info := lapack.Steqr(tcfg(), n, wz, fz, q, lda); info != 0 {
 		t.Fatalf("Steqr info=%d", info)
 	}
 	if r := testutil.EigResidual(n, a, lda, wz, q, lda); r > thresh {
@@ -186,7 +186,7 @@ func testGebrdProp[T core.Scalar](t *testing.T, m, n int, kind matKind) {
 	e1 := make([]float64, max(0, n-1))
 	tq1 := make([]T, n)
 	tp1 := make([]T, n)
-	lapack.Gebrd(m, n, ab, lda, d1, e1, tq1, tp1)
+	lapack.Gebrd(tcfg(), m, n, ab, lda, d1, e1, tq1, tp1)
 
 	au := make([]T, lda*n)
 	lapack.Lacpy('A', m, n, a, lda, au, lda)
@@ -194,17 +194,17 @@ func testGebrdProp[T core.Scalar](t *testing.T, m, n int, kind matKind) {
 	e2 := make([]float64, max(0, n-1))
 	tq2 := make([]T, n)
 	tp2 := make([]T, n)
-	lapack.Gebd2(m, n, au, lda, d2, e2, tq2, tp2)
+	lapack.Gebd2(tcfg(), m, n, au, lda, d2, e2, tq2, tp2)
 
 	s1 := append([]float64(nil), d1...)
 	f1 := append([]float64(nil), e1...)
-	if info := lapack.Bdsqr[T](n, s1, f1, nil, 1, 0, nil, 1, 0); info != 0 {
-		t.Fatalf("Bdsqr(blocked) info=%d", info)
+	if info := lapack.Bdsqr[T](tcfg(), n, s1, f1, nil, 1, 0, nil, 1, 0); info != 0 {
+		t.Fatalf("Bdsqr(tcfg(), blocked) info=%d", info)
 	}
 	s2 := append([]float64(nil), d2...)
 	f2 := append([]float64(nil), e2...)
-	if info := lapack.Bdsqr[T](n, s2, f2, nil, 1, 0, nil, 1, 0); info != 0 {
-		t.Fatalf("Bdsqr(unblocked) info=%d", info)
+	if info := lapack.Bdsqr[T](tcfg(), n, s2, f2, nil, 1, 0, nil, 1, 0); info != 0 {
+		t.Fatalf("Bdsqr(tcfg(), unblocked) info=%d", info)
 	}
 	scale := math.Max(maxAbsF(s1), maxAbsF(s2))
 	tol := 50 * float64(max(m, n)) * core.Eps[T]() * scale
@@ -217,22 +217,22 @@ func testGebrdProp[T core.Scalar](t *testing.T, m, n int, kind matKind) {
 	// Reconstruction: R = Qᴴ·A·P − B must vanish relative to ‖A‖.
 	q := make([]T, lda*n)
 	lapack.Lacpy('A', m, n, ab, lda, q, lda)
-	lapack.Orgbr('Q', m, n, n, q, lda, tq1)
+	lapack.Orgbr(tcfg(), 'Q', m, n, n, q, lda, tq1)
 	if r := testutil.OrthoResidual(m, n, q, lda); r > thresh {
-		t.Fatalf("Orgbr(Q) ortho residual %v > %v", r, thresh)
+		t.Fatalf("Orgbr(tcfg(), Q) ortho residual %v > %v", r, thresh)
 	}
 	pt := make([]T, n*n)
 	lapack.Lacpy('A', n, n, ab, lda, pt, n)
-	lapack.Orgbr('P', n, n, n, pt, n, tp1)
+	lapack.Orgbr(tcfg(), 'P', n, n, n, pt, n, tp1)
 	if r := testutil.OrthoResidual(n, n, pt, n); r > thresh {
-		t.Fatalf("Orgbr(P) ortho residual %v > %v", r, thresh)
+		t.Fatalf("Orgbr(tcfg(), P) ortho residual %v > %v", r, thresh)
 	}
 	one := core.FromFloat[T](1)
 	zero := core.FromFloat[T](0)
 	t1 := make([]T, n*n)
-	blas.Gemm(blas.ConjTrans, blas.NoTrans, n, n, m, one, q, lda, a, lda, zero, t1, n)
+	blas.Gemm(tcfg(), blas.ConjTrans, blas.NoTrans, n, n, m, one, q, lda, a, lda, zero, t1, n)
 	r2 := make([]T, n*n)
-	blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, one, t1, n, pt, n, zero, r2, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.ConjTrans, n, n, n, one, t1, n, pt, n, zero, r2, n)
 	for i := 0; i < n; i++ {
 		r2[i+i*n] -= core.FromFloat[T](d1[i])
 		if i+1 < n {
@@ -274,12 +274,12 @@ func testGehrdProp[T core.Scalar](t *testing.T, n int, kind matKind) {
 	ab := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, ab, lda)
 	tau1 := make([]T, max(0, n-1))
-	lapack.Gehrd(n, 0, n-1, ab, lda, tau1)
+	lapack.Gehrd(tcfg(), n, 0, n-1, ab, lda, tau1)
 
 	au := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, a, lda, au, lda)
 	tau2 := make([]T, max(0, n-1))
-	lapack.Gehd2(n, 0, n-1, au, lda, tau2)
+	lapack.Gehd2(tcfg(), n, 0, n-1, au, lda, tau2)
 
 	if kind == kindRandom {
 		maxh := 0.0
@@ -297,14 +297,14 @@ func testGehrdProp[T core.Scalar](t *testing.T, n int, kind matKind) {
 	// Similarity residual of the blocked reduction.
 	q := make([]T, lda*n)
 	lapack.Lacpy('A', n, n, ab, lda, q, lda)
-	lapack.Orghr(n, 0, n-1, q, lda, tau1)
+	lapack.Orghr(tcfg(), n, 0, n-1, q, lda, tau1)
 	if r := testutil.OrthoResidual(n, n, q, lda); r > thresh {
 		t.Fatalf("Orghr ortho residual %v > %v", r, thresh)
 	}
 	one := core.FromFloat[T](1)
 	zero := core.FromFloat[T](0)
 	aq := make([]T, n*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, one, a, lda, q, lda, zero, aq, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, n, n, one, a, lda, q, lda, zero, aq, n)
 	// aq −= Q·H, with H the Hessenberg part of the factored matrix.
 	h := make([]T, n*n)
 	for j := 0; j < n; j++ {
@@ -312,7 +312,7 @@ func testGehrdProp[T core.Scalar](t *testing.T, n int, kind matKind) {
 			h[i+j*n] = ab[i+j*lda]
 		}
 	}
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, -one, q, lda, h, n, one, aq, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, n, n, -one, q, lda, h, n, one, aq, n)
 	anorm := lapack.Lange(lapack.OneNorm, n, n, a, lda)
 	if anorm == 0 {
 		anorm = 1
@@ -351,8 +351,8 @@ func TestSyevThreadedBitIdentical(t *testing.T) {
 		ac := make([]float64, lda*n)
 		lapack.Lacpy('A', n, n, a, lda, ac, lda)
 		w := make([]float64, n)
-		if info := lapack.Syev(false, lapack.Lower, n, ac, lda, w); info != 0 {
-			t.Fatalf("Syev(threads=%d) info=%d", threads, info)
+		if info := lapack.Syev(tcfg(), false, lapack.Lower, n, ac, lda, w); info != 0 {
+			t.Fatalf("Syev(tcfg(), threads=%d) info=%d", threads, info)
 		}
 		return w
 	}

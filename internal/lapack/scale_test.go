@@ -151,7 +151,7 @@ func TestHouseholderQRNearOverflow(t *testing.T) {
 	}
 	anrm := lapack.Lange(lapack.FrobeniusNorm, m, n, a, m)
 	tau := make([]float64, n)
-	lapack.Geqrf(m, n, a, m, tau)
+	lapack.Geqrf(tcfg(), m, n, a, m, tau)
 	for i, v := range a {
 		if math.IsInf(v, 0) || math.IsNaN(v) {
 			t.Fatalf("QR factor element %d non-finite: %v", i, v)
@@ -204,7 +204,7 @@ func TestSyevExtremeScale(t *testing.T) {
 	}
 	wRef := make([]float64, n)
 	refA := append([]float64(nil), base...)
-	if info := lapack.Syev[float64](false, lapack.Upper, n, refA, n, wRef); info != 0 {
+	if info := lapack.Syev[float64](tcfg(), false, lapack.Upper, n, refA, n, wRef); info != 0 {
 		t.Fatalf("reference Syev info=%d", info)
 	}
 	for _, sigma := range []float64{1e300, 1e-290} {
@@ -213,7 +213,7 @@ func TestSyevExtremeScale(t *testing.T) {
 			a[i] = base[i] * sigma
 		}
 		w := make([]float64, n)
-		if info := lapack.Syev[float64](true, lapack.Upper, n, a, n, w); info != 0 {
+		if info := lapack.Syev[float64](tcfg(), true, lapack.Upper, n, a, n, w); info != 0 {
 			t.Fatalf("sigma=%g Syev info=%d", sigma, info)
 		}
 		for i := range w {
@@ -272,7 +272,7 @@ func TestGetrfSubnormalPivot(t *testing.T) {
 		}
 	}
 	check("Getrf", func(n int, a []float64, ipiv []int) int {
-		return lapack.Getrf(n, n, a, n, ipiv)
+		return lapack.Getrf(tcfg(), n, n, a, n, ipiv)
 	})
 	check("Getf2", func(n int, a []float64, ipiv []int) int {
 		return lapack.Getf2(n, n, a, n, ipiv)
@@ -283,7 +283,7 @@ func TestGetrfSubnormalPivot(t *testing.T) {
 		zc[i] = complex(-1e-300, 1e-300)
 	}
 	zpiv := make([]int, 3)
-	if info := lapack.Getrf(3, 3, zc, 3, zpiv); info == 0 {
+	if info := lapack.Getrf(tcfg(), 3, 3, zc, 3, zpiv); info == 0 {
 		t.Error("complex rank-1 matrix reported nonsingular")
 	}
 	for i, v := range zc {

@@ -36,8 +36,8 @@ const smallAxpyMin = 16
 // smallLUOK reports whether the m×n factorization should take the
 // small-matrix path: the pack-free kernel regime is enabled and the whole
 // problem sits under its crossover.
-func smallLUOK(m, n int) bool {
-	d := blas.GemmSmallDim()
+func smallLUOK(cfg *core.Config, m, n int) bool {
+	d := core.Cfg(cfg).GemmSmallDim
 	return d > 0 && m <= d && n <= d
 }
 
@@ -47,12 +47,12 @@ func smallLUOK(m, n int) bool {
 // contiguous rank-1 sweeps, pivot interchanges outside the panel are applied
 // in one deferred Laswp pass per panel, and the trailing matrix absorbs one
 // pack-free Gemm per panel.
-func getrfSmall[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
+func getrfSmall[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, ipiv []int) int {
 	if af, ok := any(a).([]float64); ok {
 		// float64 carries the batched-solver acceptance target; its panels
 		// run a hand-specialized path that keeps every inner loop free of
 		// generic dispatch.
-		return getrfSmallF64(m, n, af, lda, ipiv)
+		return getrfSmallF64(cfg, m, n, af, lda, ipiv)
 	}
 	info := 0
 	one := core.FromFloat[T](1)
@@ -99,10 +99,10 @@ func getrfSmall[T core.Scalar](m, n int, a []T, lda int, ipiv []int) int {
 		if jend < n {
 			Laswp(n-jend, a[jend*lda:], lda, j0, jend, ipiv)
 			// U block row, then the pack-free trailing update.
-			blas.Trsm(Left, Lower, NoTrans, Unit, jb, n-jend, one,
+			blas.Trsm(cfg, Left, Lower, NoTrans, Unit, jb, n-jend, one,
 				a[j0+j0*lda:], lda, a[j0+jend*lda:], lda)
 			if jend < m {
-				blas.Gemm(NoTrans, NoTrans, m-jend, n-jend, jb, -one,
+				blas.Gemm(cfg, NoTrans, NoTrans, m-jend, n-jend, jb, -one,
 					a[jend+j0*lda:], lda, a[j0+jend*lda:], lda, one,
 					a[jend+jend*lda:], lda)
 			}
@@ -152,7 +152,7 @@ func getrsSmall[T core.Scalar](n, nrhs int, a []T, lda int, ipiv []int, b []T, l
 // column-major so the eight-wide TRSM kernel runs full-register FMA
 // eliminations; columns past the kernel's groups of four solve in scalar
 // registers.
-func getrfSmallF64(m, n int, a []float64, lda int, ipiv []int) int {
+func getrfSmallF64(cfg *core.Config, m, n int, a []float64, lda int, ipiv []int) int {
 	info := 0
 	mn := min(m, n)
 	for j0 := 0; j0 < mn; j0 += smallLUNB {
@@ -307,7 +307,7 @@ func getrfSmallF64(m, n int, a []float64, lda int, ipiv []int) int {
 				}
 			}
 			if jend < m {
-				blas.Gemm(blas.NoTrans, blas.NoTrans, m-jend, n-jend, jb, -1,
+				blas.Gemm(cfg, blas.NoTrans, blas.NoTrans, m-jend, n-jend, jb, -1,
 					a[jend+j0*lda:], lda, a[j0+jend*lda:], lda, 1,
 					a[jend+jend*lda:], lda)
 			}
@@ -355,7 +355,7 @@ func getrfSmallF64(m, n int, a []float64, lda int, ipiv []int) int {
 		}
 		// Pack-free trailing update A22 -= L21·U12.
 		if jend < m {
-			blas.Gemm(blas.NoTrans, blas.NoTrans, m-jend, n-jend, jb, -1,
+			blas.Gemm(cfg, blas.NoTrans, blas.NoTrans, m-jend, n-jend, jb, -1,
 				a[jend+j0*lda:], lda, a[j0+jend*lda:], lda, 1,
 				a[jend+jend*lda:], lda)
 		}

@@ -52,24 +52,24 @@ func Sptrf[T core.Scalar](uplo Uplo, n int, ap []T, ipiv []int) int {
 }
 
 // Sptrs solves A·X = B using the packed factorization from Sptrf (xSPTRS).
-func Sptrs[T core.Scalar](uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) {
+func Sptrs[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) {
 	a := unpackTri(uplo, n, ap)
-	Sytrs(uplo, n, nrhs, a, n, ipiv, b, ldb)
+	Sytrs(cfg, uplo, n, nrhs, a, n, ipiv, b, ldb)
 }
 
 // Spsv solves A·X = B for a symmetric indefinite matrix in packed storage
 // (the xSPSV driver).
-func Spsv[T core.Scalar](uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) int {
+func Spsv[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) int {
 	info := Sptrf(uplo, n, ap, ipiv)
 	if info == 0 {
-		Sptrs(uplo, n, nrhs, ap, ipiv, b, ldb)
+		Sptrs(cfg, uplo, n, nrhs, ap, ipiv, b, ldb)
 	}
 	return info
 }
 
 // Spcon estimates the reciprocal 1-norm condition number from the packed
 // factorization (xSPCON).
-func Spcon[T core.Scalar](uplo Uplo, n int, ap []T, ipiv []int, anorm float64) float64 {
+func Spcon[T core.Scalar](cfg *core.Config, uplo Uplo, n int, ap []T, ipiv []int, anorm float64) float64 {
 	if n == 0 {
 		return 1
 	}
@@ -77,19 +77,19 @@ func Spcon[T core.Scalar](uplo Uplo, n int, ap []T, ipiv []int, anorm float64) f
 		return 0
 	}
 	a := unpackTri(uplo, n, ap)
-	return Sycon(uplo, n, a, n, ipiv, anorm)
+	return Sycon(cfg, uplo, n, a, n, ipiv, anorm)
 }
 
 // Sprfs iteratively refines the solution of a packed symmetric indefinite
 // system (xSPRFS).
-func Sprfs[T core.Scalar](uplo Uplo, n, nrhs int, ap, afp []T, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+func Sprfs[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, ap, afp []T, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
 	af := unpackTri(uplo, n, afp)
 	rfs(NoTrans, n, nrhs,
 		func(_ Trans, alpha T, x []T, beta T, y []T) {
 			blas.Spmv(uplo, n, alpha, ap, x, 1, beta, y, 1)
 		},
 		func(_ Trans, xa, y []float64) { absSpmv(uplo, n, ap, xa, y) },
-		func(_ Trans, r []T) { Sytrs(uplo, n, 1, af, n, ipiv, r, n) },
+		func(_ Trans, r []T) { Sytrs(cfg, uplo, n, 1, af, n, ipiv, r, n) },
 		b, ldb, x, ldx, ferr, berr)
 }
 
@@ -104,24 +104,24 @@ func Hptrf[T core.Scalar](uplo Uplo, n int, ap []T, ipiv []int) int {
 
 // Hptrs solves A·X = B using the packed Hermitian factorization from Hptrf
 // (xHPTRS).
-func Hptrs[T core.Scalar](uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) {
+func Hptrs[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) {
 	a := unpackTri(uplo, n, ap)
-	Hetrs(uplo, n, nrhs, a, n, ipiv, b, ldb)
+	Hetrs(cfg, uplo, n, nrhs, a, n, ipiv, b, ldb)
 }
 
 // Hpsv solves A·X = B for a Hermitian indefinite matrix in packed storage
 // (the xHPSV driver).
-func Hpsv[T core.Scalar](uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) int {
+func Hpsv[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, ap []T, ipiv []int, b []T, ldb int) int {
 	info := Hptrf(uplo, n, ap, ipiv)
 	if info == 0 {
-		Hptrs(uplo, n, nrhs, ap, ipiv, b, ldb)
+		Hptrs(cfg, uplo, n, nrhs, ap, ipiv, b, ldb)
 	}
 	return info
 }
 
 // Hpcon estimates the reciprocal 1-norm condition number from the packed
 // Hermitian factorization (xHPCON).
-func Hpcon[T core.Scalar](uplo Uplo, n int, ap []T, ipiv []int, anorm float64) float64 {
+func Hpcon[T core.Scalar](cfg *core.Config, uplo Uplo, n int, ap []T, ipiv []int, anorm float64) float64 {
 	if n == 0 {
 		return 1
 	}
@@ -129,18 +129,18 @@ func Hpcon[T core.Scalar](uplo Uplo, n int, ap []T, ipiv []int, anorm float64) f
 		return 0
 	}
 	a := unpackTri(uplo, n, ap)
-	return Hecon(uplo, n, a, n, ipiv, anorm)
+	return Hecon(cfg, uplo, n, a, n, ipiv, anorm)
 }
 
 // Hprfs iteratively refines the solution of a packed Hermitian indefinite
 // system (xHPRFS).
-func Hprfs[T core.Scalar](uplo Uplo, n, nrhs int, ap, afp []T, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+func Hprfs[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, ap, afp []T, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
 	af := unpackTri(uplo, n, afp)
 	rfs(NoTrans, n, nrhs,
 		func(_ Trans, alpha T, x []T, beta T, y []T) {
 			blas.Hpmv(uplo, n, alpha, ap, x, 1, beta, y, 1)
 		},
 		func(_ Trans, xa, y []float64) { absSpmv(uplo, n, ap, xa, y) },
-		func(_ Trans, r []T) { Hetrs(uplo, n, 1, af, n, ipiv, r, n) },
+		func(_ Trans, r []T) { Hetrs(cfg, uplo, n, 1, af, n, ipiv, r, n) },
 		b, ldb, x, ldx, ferr, berr)
 }

@@ -12,7 +12,7 @@ import (
 // (n-1) receive the real diagonal and super-diagonal; tauq/taup the column
 // and row reflector scalars. Only the m >= n path is implemented; Gesvd
 // handles wide matrices by conjugate transposition (see DESIGN.md).
-func Gebd2[T core.Scalar](m, n int, a []T, lda int, d, e []float64, tauq, taup []T) {
+func Gebd2[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, d, e []float64, tauq, taup []T) {
 	if m < n {
 		panic("lapack: Gebd2 requires m >= n")
 	}
@@ -25,7 +25,7 @@ func Gebd2[T core.Scalar](m, n int, a []T, lda int, d, e []float64, tauq, taup [
 		d[i] = core.Re(alpha)
 		a[i+i*lda] = one
 		if i < n-1 {
-			Larf(Left, m-i, n-i-1, a[i+i*lda:], 1, core.Conj(tauq[i]), a[i+(i+1)*lda:], lda, work)
+			Larf(cfg, Left, m-i, n-i-1, a[i+i*lda:], 1, core.Conj(tauq[i]), a[i+(i+1)*lda:], lda, work)
 		}
 		a[i+i*lda] = core.FromFloat[T](d[i])
 		if i < n-1 {
@@ -35,7 +35,7 @@ func Gebd2[T core.Scalar](m, n int, a []T, lda int, d, e []float64, tauq, taup [
 			taup[i] = Larfg(n-i-1, &alpha, a[i+min(i+2, n-1)*lda:], lda)
 			e[i] = core.Re(alpha)
 			a[i+(i+1)*lda] = one
-			Larf(Right, m-i-1, n-i-1, a[i+(i+1)*lda:], lda, taup[i], a[i+1+(i+1)*lda:], lda, work)
+			Larf(cfg, Right, m-i-1, n-i-1, a[i+(i+1)*lda:], lda, taup[i], a[i+1+(i+1)*lda:], lda, work)
 			// Conjugate back so the stored row follows the LQ convention
 			// expected by Orgbr('P')/Orglq.
 			lacgv(n-i-1, a[i+(i+1)*lda:], lda)
@@ -54,7 +54,7 @@ func Gebd2[T core.Scalar](m, n int, a []T, lda int, d, e []float64, tauq, taup [
 // The diagonal and superdiagonal entries inside the panel are left holding
 // reflector heads; the blocked Gebrd restores them after the trailing
 // update, exactly as in LAPACK.
-func Labrd[T core.Scalar](m, n, nb int, a []T, lda int, d, e []float64, tauq, taup []T, x []T, ldx int, y []T, ldy int) {
+func Labrd[T core.Scalar](cfg *core.Config, m, n, nb int, a []T, lda int, d, e []float64, tauq, taup []T, x []T, ldx int, y []T, ldy int) {
 	if m < n {
 		panic("lapack: Labrd requires m >= n")
 	}
@@ -63,9 +63,9 @@ func Labrd[T core.Scalar](m, n, nb int, a []T, lda int, d, e []float64, tauq, ta
 	for i := 0; i < nb; i++ {
 		// Update A(i:m, i) with the previous reflectors.
 		lacgv(i, y[i:], ldy)
-		blas.Gemv(NoTrans, m-i, i, -one, a[i:], lda, y[i:], ldy, one, a[i+i*lda:], 1)
+		blas.Gemv(cfg, NoTrans, m-i, i, -one, a[i:], lda, y[i:], ldy, one, a[i+i*lda:], 1)
 		lacgv(i, y[i:], ldy)
-		blas.Gemv(NoTrans, m-i, i, -one, x[i:], ldx, a[i*lda:], 1, one, a[i+i*lda:], 1)
+		blas.Gemv(cfg, NoTrans, m-i, i, -one, x[i:], ldx, a[i*lda:], 1, one, a[i+i*lda:], 1)
 		// Column reflector Q(i) annihilating A(i+1:m, i).
 		alpha := a[i+i*lda]
 		tauq[i] = Larfg(m-i, &alpha, a[min(i+1, m-1)+i*lda:], 1)
@@ -76,22 +76,22 @@ func Labrd[T core.Scalar](m, n, nb int, a []T, lda int, d, e []float64, tauq, ta
 		}
 		a[i+i*lda] = one
 		// Y(i+1:n, i), with Y(0:i, i) as the temporary.
-		blas.Gemv(ConjTrans, m-i, n-i-1, one, a[i+(i+1)*lda:], lda, a[i+i*lda:], 1,
+		blas.Gemv(cfg, ConjTrans, m-i, n-i-1, one, a[i+(i+1)*lda:], lda, a[i+i*lda:], 1,
 			zero, y[i+1+i*ldy:], 1)
-		blas.Gemv(ConjTrans, m-i, i, one, a[i:], lda, a[i+i*lda:], 1, zero, y[i*ldy:], 1)
-		blas.Gemv(NoTrans, n-i-1, i, -one, y[i+1:], ldy, y[i*ldy:], 1, one, y[i+1+i*ldy:], 1)
-		blas.Gemv(ConjTrans, m-i, i, one, x[i:], ldx, a[i+i*lda:], 1, zero, y[i*ldy:], 1)
-		blas.Gemv(ConjTrans, i, n-i-1, -one, a[(i+1)*lda:], lda, y[i*ldy:], 1,
+		blas.Gemv(cfg, ConjTrans, m-i, i, one, a[i:], lda, a[i+i*lda:], 1, zero, y[i*ldy:], 1)
+		blas.Gemv(cfg, NoTrans, n-i-1, i, -one, y[i+1:], ldy, y[i*ldy:], 1, one, y[i+1+i*ldy:], 1)
+		blas.Gemv(cfg, ConjTrans, m-i, i, one, x[i:], ldx, a[i+i*lda:], 1, zero, y[i*ldy:], 1)
+		blas.Gemv(cfg, ConjTrans, i, n-i-1, -one, a[(i+1)*lda:], lda, y[i*ldy:], 1,
 			one, y[i+1+i*ldy:], 1)
 		blas.Scal(n-i-1, tauq[i], y[i+1+i*ldy:], 1)
 		// Update row A(i, i+1:n); the row works in conjugated form until the
 		// final conjugate-back, matching Gebd2.
 		lacgv(n-i-1, a[i+(i+1)*lda:], lda)
 		lacgv(i+1, a[i:], lda)
-		blas.Gemv(NoTrans, n-i-1, i+1, -one, y[i+1:], ldy, a[i:], lda, one, a[i+(i+1)*lda:], lda)
+		blas.Gemv(cfg, NoTrans, n-i-1, i+1, -one, y[i+1:], ldy, a[i:], lda, one, a[i+(i+1)*lda:], lda)
 		lacgv(i+1, a[i:], lda)
 		lacgv(i, x[i:], ldx)
-		blas.Gemv(ConjTrans, i, n-i-1, -one, a[(i+1)*lda:], lda, x[i:], ldx,
+		blas.Gemv(cfg, ConjTrans, i, n-i-1, -one, a[(i+1)*lda:], lda, x[i:], ldx,
 			one, a[i+(i+1)*lda:], lda)
 		lacgv(i, x[i:], ldx)
 		// Row reflector P(i) annihilating A(i, i+2:n).
@@ -100,15 +100,15 @@ func Labrd[T core.Scalar](m, n, nb int, a []T, lda int, d, e []float64, tauq, ta
 		e[i] = core.Re(alpha)
 		a[i+(i+1)*lda] = one
 		// X(i+1:m, i), with X(0:i+1, i) as the temporary.
-		blas.Gemv(NoTrans, m-i-1, n-i-1, one, a[i+1+(i+1)*lda:], lda,
+		blas.Gemv(cfg, NoTrans, m-i-1, n-i-1, one, a[i+1+(i+1)*lda:], lda,
 			a[i+(i+1)*lda:], lda, zero, x[i+1+i*ldx:], 1)
-		blas.Gemv(ConjTrans, n-i-1, i+1, one, y[i+1:], ldy, a[i+(i+1)*lda:], lda,
+		blas.Gemv(cfg, ConjTrans, n-i-1, i+1, one, y[i+1:], ldy, a[i+(i+1)*lda:], lda,
 			zero, x[i*ldx:], 1)
-		blas.Gemv(NoTrans, m-i-1, i+1, -one, a[i+1:], lda, x[i*ldx:], 1,
+		blas.Gemv(cfg, NoTrans, m-i-1, i+1, -one, a[i+1:], lda, x[i*ldx:], 1,
 			one, x[i+1+i*ldx:], 1)
-		blas.Gemv(NoTrans, i, n-i-1, one, a[(i+1)*lda:], lda, a[i+(i+1)*lda:], lda,
+		blas.Gemv(cfg, NoTrans, i, n-i-1, one, a[(i+1)*lda:], lda, a[i+(i+1)*lda:], lda,
 			zero, x[i*ldx:], 1)
-		blas.Gemv(NoTrans, m-i-1, i, -one, x[i+1:], ldx, x[i*ldx:], 1,
+		blas.Gemv(cfg, NoTrans, m-i-1, i, -one, x[i+1:], ldx, x[i*ldx:], 1,
 			one, x[i+1+i*ldx:], 1)
 		blas.Scal(m-i-1, taup[i], x[i+1+i*ldx:], 1)
 		lacgv(n-i-1, a[i+(i+1)*lda:], lda)
@@ -122,11 +122,11 @@ func Labrd[T core.Scalar](m, n, nb int, a []T, lda int, d, e []float64, tauq, ta
 // packed Level-3 engine. Below the crossover (or when m < n, which only
 // Gebd2's panic path handles) the unblocked Gebd2 runs directly. The
 // floating-point schedule is worker-count independent.
-func Gebrd[T core.Scalar](m, n int, a []T, lda int, d, e []float64, tauq, taup []T) {
-	nb := Ilaenv(1, "GEBRD", m, n, -1, -1)
-	nx := max(nb, Ilaenv(3, "GEBRD", m, n, -1, -1))
+func Gebrd[T core.Scalar](cfg *core.Config, m, n int, a []T, lda int, d, e []float64, tauq, taup []T) {
+	nb := Ilaenv(cfg, 1, "GEBRD", m, n, -1, -1)
+	nx := max(nb, Ilaenv(cfg, 3, "GEBRD", m, n, -1, -1))
 	if m < n || n <= nx || nb <= 1 {
-		Gebd2(m, n, a, lda, d, e, tauq, taup)
+		Gebd2(cfg, m, n, a, lda, d, e, tauq, taup)
 		return
 	}
 	one := core.FromFloat[T](1)
@@ -137,13 +137,13 @@ func Gebrd[T core.Scalar](m, n int, a []T, lda int, d, e []float64, tauq, taup [
 	defer blas.PutScratch(y)
 	var i int
 	for i = 0; i < n-nx; i += nb {
-		Labrd(m-i, n-i, nb, a[i+i*lda:], lda, d[i:], e[i:], tauq[i:], taup[i:],
+		Labrd(cfg, m-i, n-i, nb, a[i+i*lda:], lda, d[i:], e[i:], tauq[i:], taup[i:],
 			x, ldx, y, ldy)
 		// Trailing update A(i+nb:m, i+nb:n) −= V·Yᴴ + X·Uᴴ, where V/U are the
 		// panel's column/row reflectors still stored in A.
-		blas.Gemm(NoTrans, ConjTrans, m-i-nb, n-i-nb, nb, -one,
+		blas.Gemm(cfg, NoTrans, ConjTrans, m-i-nb, n-i-nb, nb, -one,
 			a[i+nb+i*lda:], lda, y[nb:], ldy, one, a[i+nb+(i+nb)*lda:], lda)
-		blas.Gemm(NoTrans, NoTrans, m-i-nb, n-i-nb, nb, -one,
+		blas.Gemm(cfg, NoTrans, NoTrans, m-i-nb, n-i-nb, nb, -one,
 			x[nb:], ldx, a[i+(i+nb)*lda:], lda, one, a[i+nb+(i+nb)*lda:], lda)
 		// Put the bidiagonal entries back over the reflector heads.
 		for j := i; j < i+nb; j++ {
@@ -151,16 +151,16 @@ func Gebrd[T core.Scalar](m, n int, a []T, lda int, d, e []float64, tauq, taup [
 			a[j+(j+1)*lda] = core.FromFloat[T](e[j])
 		}
 	}
-	Gebd2(m-i, n-i, a[i+i*lda:], lda, d[i:], e[i:], tauq[i:], taup[i:])
+	Gebd2(cfg, m-i, n-i, a[i+i*lda:], lda, d[i:], e[i:], tauq[i:], taup[i:])
 }
 
 // Orgbr generates the unitary matrices determined by Gebrd (xORGBR/xUNGBR,
 // tall case): vect 'Q' overwrites a (m×ncols) with the first ncols columns
 // of Q; vect 'P' overwrites a (n×n) with Pᴴ. k is the number of reflectors
 // (n for 'Q', the bidiagonal order for 'P').
-func Orgbr[T core.Scalar](vect byte, m, n, k int, a []T, lda int, tau []T) {
+func Orgbr[T core.Scalar](cfg *core.Config, vect byte, m, n, k int, a []T, lda int, tau []T) {
 	if vect == 'Q' {
-		Orgqr(m, n, k, a, lda, tau)
+		Orgqr(cfg, m, n, k, a, lda, tau)
 		return
 	}
 	// Pᴴ of order n from the row reflectors stored in the rows of a above
@@ -177,7 +177,7 @@ func Orgbr[T core.Scalar](vect byte, m, n, k int, a []T, lda int, tau []T) {
 		a[i] = 0
 	}
 	if n > 1 {
-		Orglq(n-1, n-1, min(k, n-1), a[1+lda:], lda, tau)
+		Orglq(cfg, n-1, n-1, min(k, n-1), a[1+lda:], lda, tau)
 	}
 }
 
@@ -189,7 +189,7 @@ func Orgbr[T core.Scalar](vect byte, m, n, k int, a []T, lda int, tau []T) {
 // accumulated left rotations are applied to the nru×n matrix u and the
 // right rotations to the n×ncvt matrix vt (either may be nil). Returns the
 // number of unconverged superdiagonals (0 on success).
-func Bdsqr[T core.Scalar](n int, d, e []float64, vt []T, ldvt, ncvt int, u []T, ldu, nru int) int {
+func Bdsqr[T core.Scalar](cfg *core.Config, n int, d, e []float64, vt []T, ldvt, ncvt int, u []T, ldu, nru int) int {
 	if n == 0 {
 		return 0
 	}
@@ -230,6 +230,8 @@ func Bdsqr[T core.Scalar](n int, d, e []float64, vt []T, ldvt, ncvt int, u []T, 
 	for k := n - 1; k >= 0; k-- {
 		converged := false
 		for its := 0; its < maxit; its++ {
+			// Cancellation checkpoint: once per implicit-QR sweep.
+			cfg.Checkpoint()
 			// Test for splitting.
 			var l int
 			flag := true
@@ -362,7 +364,7 @@ const (
 // descending order. Depending on jobu/jobvt, u (m×m or m×min(m,n)) and vt
 // (n×n or min(m,n)×n) receive the singular vectors. a is destroyed.
 // Returns the Bdsqr failure count (0 on success).
-func Gesvd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
+func Gesvd[T core.Scalar](cfg *core.Config, jobu, jobvt SVDJob, m, n int, a []T, lda int, s []float64, u []T, ldu int, vt []T, ldvt int) int {
 	mn := min(m, n)
 	if mn == 0 {
 		return 0
@@ -394,7 +396,7 @@ func Gesvd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []floa
 			vtp = make([]T, rows*m)
 			ldvtp = rows
 		}
-		info := Gesvd(jobvt, jobu, n, m, ah, n, s, up, ldup, vtp, ldvtp)
+		info := Gesvd(cfg, jobvt, jobu, n, m, ah, n, s, up, ldup, vtp, ldvtp)
 		// U of A = (V'ᴴ)ᴴ.
 		if jobu != SVDNone {
 			cols := mn
@@ -416,14 +418,14 @@ func Gesvd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []floa
 	if svdQRCross(m, n) {
 		// Tall fast path at the same 5n/3 crossover as Gesdd: blocked QR
 		// first, QR-iteration SVD of the n×n R, U = Q·U_R by one GEMM.
-		return svdTallQRFirst(Gesvd[T], jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
+		return svdTallQRFirst(cfg, Gesvd[T], jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt)
 	}
 	// Tall case: bidiagonalize.
 	d := make([]float64, mn)
 	e := make([]float64, max(0, mn-1))
 	tauq := make([]T, mn)
 	taup := make([]T, mn)
-	Gebrd(m, n, a, lda, d, e, tauq, taup)
+	Gebrd(cfg, m, n, a, lda, d, e, tauq, taup)
 	// Form the requested parts of Q and Pᴴ.
 	var uw []T
 	nru := 0
@@ -433,7 +435,7 @@ func Gesvd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []floa
 			ucols = m
 		}
 		Lacpy('L', m, n, a, lda, u, ldu)
-		Orgbr('Q', m, ucols, n, u, ldu, tauq)
+		Orgbr(cfg, 'Q', m, ucols, n, u, ldu, tauq)
 		uw = u
 		nru = m
 	}
@@ -441,11 +443,11 @@ func Gesvd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []floa
 	ncvt := 0
 	if jobvt != SVDNone {
 		Lacpy('U', min(m, n), n, a, lda, vt, ldvt)
-		Orgbr('P', n, n, n, vt, ldvt, taup)
+		Orgbr(cfg, 'P', n, n, n, vt, ldvt, taup)
 		vtw = vt
 		ncvt = n
 	}
-	info := Bdsqr(mn, d, e, vtw, ldvt, ncvt, uw, ldu, nru)
+	info := Bdsqr(cfg, mn, d, e, vtw, ldvt, ncvt, uw, ldu, nru)
 	copy(s[:mn], d)
 	return info
 }
@@ -454,7 +456,7 @@ func Gesvd[T core.Scalar](jobu, jobvt SVDJob, m, n int, a []T, lda int, s []floa
 // least squares problem min ‖b − A·x‖₂ using the SVD (the xGELSS driver).
 // B is max(m, n)×nrhs and is overwritten with the solution. s receives the
 // singular values; rank is determined by rcond (σᵢ > rcond·σ₀).
-func Gelss[T core.Scalar](m, n, nrhs int, a []T, lda int, b []T, ldb int, s []float64, rcond float64) (rank, info int) {
+func Gelss[T core.Scalar](cfg *core.Config, m, n, nrhs int, a []T, lda int, b []T, ldb int, s []float64, rcond float64) (rank, info int) {
 	mn := min(m, n)
 	if mn == 0 {
 		return 0, 0
@@ -464,7 +466,7 @@ func Gelss[T core.Scalar](m, n, nrhs int, a []T, lda int, b []T, ldb int, s []fl
 	}
 	u := make([]T, m*mn)
 	vt := make([]T, mn*n)
-	info = Gesvd(SVDSome, SVDSome, m, n, a, lda, s, u, m, vt, mn)
+	info = Gesvd(cfg, SVDSome, SVDSome, m, n, a, lda, s, u, m, vt, mn)
 	if info != 0 {
 		return 0, info
 	}
@@ -479,7 +481,7 @@ func Gelss[T core.Scalar](m, n, nrhs int, a []T, lda int, b []T, ldb int, s []fl
 	w := make([]T, mn)
 	for j := 0; j < nrhs; j++ {
 		bj := b[j*ldb:]
-		blas.Gemv(ConjTrans, m, mn, one, u, m, bj, 1, zero, w, 1)
+		blas.Gemv(cfg, ConjTrans, m, mn, one, u, m, bj, 1, zero, w, 1)
 		for i := 0; i < rank; i++ {
 			w[i] = core.FromFloat[T](1/s[i]) * w[i]
 		}
@@ -487,7 +489,7 @@ func Gelss[T core.Scalar](m, n, nrhs int, a []T, lda int, b []T, ldb int, s []fl
 			w[i] = 0
 		}
 		x := make([]T, n)
-		blas.Gemv(ConjTrans, rank, n, one, vt, mn, w, 1, zero, x, 1)
+		blas.Gemv(cfg, ConjTrans, rank, n, one, vt, mn, w, 1, zero, x, 1)
 		copy(bj[:n], x)
 	}
 	return rank, 0

@@ -19,7 +19,7 @@ func testGesvd[T core.Scalar](t *testing.T, m, n int) {
 	s := make([]float64, mn)
 	u := make([]T, m*mn)
 	vt := make([]T, mn*n)
-	if info := lapack.Gesvd(lapack.SVDSome, lapack.SVDSome, m, n, ac, m, s, u, m, vt, mn); info != 0 {
+	if info := lapack.Gesvd(tcfg(), lapack.SVDSome, lapack.SVDSome, m, n, ac, m, s, u, m, vt, mn); info != 0 {
 		t.Fatalf("gesvd info=%d", info)
 	}
 	// Descending, non-negative singular values.
@@ -53,7 +53,7 @@ func testGesvd[T core.Scalar](t *testing.T, m, n int) {
 		}
 	}
 	rec := make([]T, m*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), us, m, vt, mn, core.FromFloat[T](0), rec, m)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), us, m, vt, mn, core.FromFloat[T](0), rec, m)
 	if d := testutil.MaxDiff(rec, a); d > 1e4*float64(max(m, n))*core.Eps[T]() {
 		t.Fatalf("SVD reconstruction diff %v", d)
 	}
@@ -86,7 +86,7 @@ func TestGesvdKnownValues(t *testing.T) {
 	a := make([]float64, m*n)
 	a[0], a[1+m], a[2+2*m] = 3, -2, 1
 	s := make([]float64, n)
-	if info := lapack.Gesvd(lapack.SVDNone, lapack.SVDNone, m, n, a, m, s, nil, 0, nil, 0); info != 0 {
+	if info := lapack.Gesvd(tcfg(), lapack.SVDNone, lapack.SVDNone, m, n, a, m, s, nil, 0, nil, 0); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	want := []float64{3, 2, 1}
@@ -105,7 +105,7 @@ func TestGesvdFullU(t *testing.T) {
 	s := make([]float64, n)
 	u := make([]float64, m*m)
 	vt := make([]float64, n*n)
-	if info := lapack.Gesvd(lapack.SVDAll, lapack.SVDAll, m, n, ac, m, s, u, m, vt, n); info != 0 {
+	if info := lapack.Gesvd(tcfg(), lapack.SVDAll, lapack.SVDAll, m, n, ac, m, s, u, m, vt, n); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	if r := testutil.OrthoResidual(m, m, u, m); r > thresh {
@@ -121,7 +121,7 @@ func TestBdsqrDiagonal(t *testing.T) {
 	n := 4
 	d := []float64{1, 3, 2, 5}
 	e := []float64{0, 0, 0}
-	if info := lapack.Bdsqr[float64](n, d, e, nil, 0, 0, nil, 0, 0); info != 0 {
+	if info := lapack.Bdsqr[float64](tcfg(), n, d, e, nil, 0, 0, nil, 0, 0); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	want := []float64{5, 3, 2, 1}
@@ -144,7 +144,7 @@ func testGelss[T core.Scalar](t *testing.T, m, n int) {
 	b0 := append([]T(nil), b...)
 	ac := append([]T(nil), a...)
 	s := make([]float64, min(m, n))
-	rank, info := lapack.Gelss(m, n, nrhs, ac, m, b, ldb, s, -1)
+	rank, info := lapack.Gelss(tcfg(), m, n, nrhs, ac, m, b, ldb, s, -1)
 	if info != 0 {
 		t.Fatalf("gelss info=%d", info)
 	}
@@ -156,9 +156,9 @@ func testGelss[T core.Scalar](t *testing.T, m, n int) {
 	for j := 0; j < nrhs; j++ {
 		res := make([]T, m)
 		copy(res, b0[j*ldb:j*ldb+m])
-		blas.Gemv(blas.NoTrans, m, n, -one, a, m, b[j*ldb:], 1, one, res, 1)
+		blas.Gemv(tcfg(), blas.NoTrans, m, n, -one, a, m, b[j*ldb:], 1, one, res, 1)
 		g := make([]T, n)
-		blas.Gemv(blas.ConjTrans, m, n, one, a, m, res, 1, core.FromFloat[T](0), g, 1)
+		blas.Gemv(tcfg(), blas.ConjTrans, m, n, one, a, m, res, 1, core.FromFloat[T](0), g, 1)
 		if nrm := blas.Nrm2(n, g, 1); nrm > 2e5*core.Eps[T]() {
 			t.Fatalf("gelss normal equations %v", nrm)
 		}
@@ -180,21 +180,21 @@ func TestGelssRankDeficient(t *testing.T) {
 	uu := testutil.RandGeneral[float64](rng, m, r, m)
 	vv := testutil.RandGeneral[float64](rng, r, n, r)
 	a := make([]float64, m*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, r, 1, uu, m, vv, r, 0, a, m)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, m, n, r, 1, uu, m, vv, r, 0, a, m)
 	b := make([]float64, max(m, n))
 	lapack.Larnv(2, rng, m, b)
 
 	ac := append([]float64(nil), a...)
 	bss := append([]float64(nil), b...)
 	s := make([]float64, n)
-	rank, info := lapack.Gelss(m, n, 1, ac, m, bss, max(m, n), s, 1e-8)
+	rank, info := lapack.Gelss(tcfg(), m, n, 1, ac, m, bss, max(m, n), s, 1e-8)
 	if info != 0 || rank != r {
 		t.Fatalf("gelss rank=%d info=%d", rank, info)
 	}
 	ac2 := append([]float64(nil), a...)
 	bsx := append([]float64(nil), b...)
 	jpvt := make([]int, n)
-	rank2 := lapack.Gelsx(m, n, 1, ac2, m, jpvt, 1e-8, bsx, max(m, n))
+	rank2 := lapack.Gelsx(tcfg(), m, n, 1, ac2, m, jpvt, 1e-8, bsx, max(m, n))
 	if rank2 != r {
 		t.Fatalf("gelsx rank=%d", rank2)
 	}

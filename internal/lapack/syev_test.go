@@ -19,10 +19,10 @@ func testSytrd[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int) {
 	d := make([]float64, n)
 	e := make([]float64, max(0, n-1))
 	tau := make([]T, max(0, n-1))
-	lapack.Sytrd(uplo, n, af, n, d, e, tau)
+	lapack.Sytrd(tcfg(), uplo, n, af, n, d, e, tau)
 	// Build Q and check Qᴴ·A·Q = T.
 	q := append([]T(nil), af...)
-	lapack.Orgtr(uplo, n, q, n, tau)
+	lapack.Orgtr(tcfg(), uplo, n, q, n, tau)
 	if r := testutil.OrthoResidual(n, n, q, n); r > thresh {
 		t.Fatalf("orgtr orthogonality %v", r)
 	}
@@ -30,8 +30,8 @@ func testSytrd[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int) {
 	zero := core.FromFloat[T](0)
 	tmp := make([]T, n*n)
 	tmat := make([]T, n*n)
-	blas.Gemm(blas.ConjTrans, blas.NoTrans, n, n, n, one, q, n, a, n, zero, tmp, n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, one, tmp, n, q, n, zero, tmat, n)
+	blas.Gemm(tcfg(), blas.ConjTrans, blas.NoTrans, n, n, n, one, q, n, a, n, zero, tmp, n)
+	blas.Gemm(tcfg(), blas.NoTrans, blas.NoTrans, n, n, n, one, tmp, n, q, n, zero, tmat, n)
 	for j := 0; j < n; j++ {
 		for i := 0; i < n; i++ {
 			var want float64
@@ -63,7 +63,7 @@ func testSyev[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int) {
 	a := randHerm[T](rng, n, n)
 	z := append([]T(nil), a...)
 	w := make([]float64, n)
-	if info := lapack.Syev[T](true, uplo, n, z, n, w); info != 0 {
+	if info := lapack.Syev[T](tcfg(), true, uplo, n, z, n, w); info != 0 {
 		t.Fatalf("syev info=%d", info)
 	}
 	// Ascending eigenvalues.
@@ -81,7 +81,7 @@ func testSyev[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int) {
 	// Eigenvalues-only path must agree.
 	a2 := symFull(uplo, n, a, n)
 	w2 := make([]float64, n)
-	if info := lapack.Syev[T](false, lapack.Upper, n, a2, n, w2); info != 0 {
+	if info := lapack.Syev[T](tcfg(), false, lapack.Upper, n, a2, n, w2); info != 0 {
 		t.Fatalf("syev(N) info=%d", info)
 	}
 	for i := range w {
@@ -122,7 +122,7 @@ func TestSyevDiagonal(t *testing.T) {
 	n := 3
 	a := []float64{5, 0, 0, 0, -3, 0, 0, 0, 1}
 	w := make([]float64, n)
-	if info := lapack.Syev[float64](true, lapack.Upper, n, a, n, w); info != 0 {
+	if info := lapack.Syev[float64](tcfg(), true, lapack.Upper, n, a, n, w); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	want := []float64{-3, 1, 5}
@@ -137,7 +137,7 @@ func TestSyevKnown2x2(t *testing.T) {
 	// [[2 1],[1 2]] has eigenvalues 1 and 3 with vectors (1,∓1)/√2.
 	a := []float64{2, 1, 1, 2}
 	w := make([]float64, 2)
-	if info := lapack.Syev[float64](true, lapack.Upper, 2, a, 2, w); info != 0 {
+	if info := lapack.Syev[float64](tcfg(), true, lapack.Upper, 2, a, 2, w); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	if math.Abs(w[0]-1) > 1e-14 || math.Abs(w[1]-3) > 1e-14 {
@@ -172,7 +172,7 @@ func TestStev(t *testing.T) {
 	z := make([]float64, n*n)
 	dd := append([]float64(nil), d...)
 	ee := append([]float64(nil), e...)
-	if info := lapack.Stev(n, dd, ee, z, n); info != 0 {
+	if info := lapack.Stev(tcfg(), n, dd, ee, z, n); info != 0 {
 		t.Fatalf("stev info=%d", info)
 	}
 	if r := testutil.EigResidual(n, a, n, dd, z, n); r > thresh {
@@ -237,12 +237,12 @@ func testSyevx[T core.Scalar](t *testing.T, n int) {
 	// Reference: full spectrum via Syev.
 	ref := append([]T(nil), full...)
 	wref := make([]float64, n)
-	lapack.Syev[T](false, lapack.Upper, n, ref, n, wref)
+	lapack.Syev[T](tcfg(), false, lapack.Upper, n, ref, n, wref)
 	// Syevx with an index range.
 	il, iu := 2, min(n, 5)
 	ac := append([]T(nil), a...)
 	z := make([]T, n*(iu-il+1))
-	res := lapack.Syevx(true, lapack.RangeIndex, lapack.Upper, n, ac, n, 0, 0, il, iu, 0, z, n)
+	res := lapack.Syevx(tcfg(), true, lapack.RangeIndex, lapack.Upper, n, ac, n, 0, 0, il, iu, 0, z, n)
 	if res.M != iu-il+1 {
 		t.Fatalf("m=%d want %d", res.M, iu-il+1)
 	}
@@ -255,7 +255,7 @@ func testSyevx[T core.Scalar](t *testing.T, n int) {
 	for k := 0; k < res.M; k++ {
 		r := make([]T, n)
 		one := core.FromFloat[T](1)
-		blas.Gemv(blas.NoTrans, n, n, one, full, n, z[k*n:], 1, core.FromFloat[T](0), r, 1)
+		blas.Gemv(tcfg(), blas.NoTrans, n, n, one, full, n, z[k*n:], 1, core.FromFloat[T](0), r, 1)
 		blas.Axpy(n, core.FromFloat[T](-res.W[k]), z[k*n:], 1, r, 1)
 		if nrm := blas.Nrm2(n, r, 1); nrm > 1e-6 {
 			t.Fatalf("syevx residual for pair %d: %v", k, nrm)
@@ -278,16 +278,16 @@ func TestSyevClusteredEigenvalues(t *testing.T) {
 	// Random orthogonal Q via QR of a random matrix.
 	g := testutil.RandGeneral[float64](rng, n, n, n)
 	tau := make([]float64, n)
-	lapack.Geqrf(n, n, g, n, tau)
+	lapack.Geqrf(tcfg(), n, n, g, n, tau)
 	q := append([]float64(nil), g...)
-	lapack.Orgqr(n, n, n, q, n, tau)
+	lapack.Orgqr(tcfg(), n, n, n, q, n, tau)
 	a := make([]float64, n*n)
 	for k := 0; k < n; k++ {
 		blas.Ger(n, n, vals[k], q[k*n:], 1, q[k*n:], 1, a, n)
 	}
 	w := make([]float64, n)
 	z := append([]float64(nil), a...)
-	if info := lapack.Syev[float64](true, lapack.Upper, n, z, n, w); info != 0 {
+	if info := lapack.Syev[float64](tcfg(), true, lapack.Upper, n, z, n, w); info != 0 {
 		t.Fatalf("info=%d", info)
 	}
 	if math.Abs(w[3]-5) > 1e-12 || math.Abs(w[0]-1) > 1e-12 {

@@ -90,15 +90,15 @@ func Sygst[T core.Scalar](itype int, uplo Uplo, n int, a []T, lda int, b []T, ld
 // jobz) and w the eigenvalues; b holds the Cholesky factor of B. Returns
 // the LAPACK info convention: 0, i <= n for a Syev failure, or n+i if the
 // leading minor of order i of B is not positive definite.
-func Sygv[T core.Scalar](itype int, jobz bool, uplo Uplo, n int, a []T, lda int, b []T, ldb int, w []float64) int {
+func Sygv[T core.Scalar](cfg *core.Config, itype int, jobz bool, uplo Uplo, n int, a []T, lda int, b []T, ldb int, w []float64) int {
 	if n == 0 {
 		return 0
 	}
-	if info := Potrf(uplo, n, b, ldb); info != 0 {
+	if info := Potrf(cfg, uplo, n, b, ldb); info != 0 {
 		return n + info
 	}
 	Sygst(itype, uplo, n, a, lda, b, ldb)
-	if info := Syev[T](jobz, uplo, n, a, lda, w); info != 0 {
+	if info := Syev[T](cfg, jobz, uplo, n, a, lda, w); info != 0 {
 		return info
 	}
 	if jobz {
@@ -109,7 +109,7 @@ func Sygv[T core.Scalar](itype int, jobz bool, uplo Uplo, n int, a []T, lda int,
 			if uplo == Lower {
 				tr = ConjTrans
 			}
-			blas.Trsm(Left, uplo, tr, NonUnit, n, n, one, b, ldb, a, lda)
+			blas.Trsm(cfg, Left, uplo, tr, NonUnit, n, n, one, b, ldb, a, lda)
 		} else {
 			// x = Uᴴ·y or L·y.
 			if uplo == Upper {
@@ -123,8 +123,8 @@ func Sygv[T core.Scalar](itype int, jobz bool, uplo Uplo, n int, a []T, lda int,
 }
 
 // Hegv is the Hermitian name for Sygv (xHEGV).
-func Hegv[T core.Scalar](itype int, jobz bool, uplo Uplo, n int, a []T, lda int, b []T, ldb int, w []float64) int {
-	return Sygv(itype, jobz, uplo, n, a, lda, b, ldb, w)
+func Hegv[T core.Scalar](cfg *core.Config, itype int, jobz bool, uplo Uplo, n int, a []T, lda int, b []T, ldb int, w []float64) int {
+	return Sygv(cfg, itype, jobz, uplo, n, a, lda, b, ldb, w)
 }
 
 // Spgv computes all eigenvalues and, optionally, eigenvectors of a
@@ -132,10 +132,10 @@ func Hegv[T core.Scalar](itype int, jobz bool, uplo Uplo, n int, a []T, lda int,
 // xSPGV/xHPGV driver, via dense expansion — see DESIGN.md). z (n×n)
 // receives the eigenvectors when jobz is true; bp is overwritten with the
 // packed Cholesky factor.
-func Spgv[T core.Scalar](itype int, jobz bool, uplo Uplo, n int, ap, bp []T, w []float64, z []T, ldz int) int {
+func Spgv[T core.Scalar](cfg *core.Config, itype int, jobz bool, uplo Uplo, n int, ap, bp []T, w []float64, z []T, ldz int) int {
 	a := unpackTri(uplo, n, ap)
 	b := unpackTri(uplo, n, bp)
-	info := Sygv(itype, jobz, uplo, n, a, n, b, n, w)
+	info := Sygv(cfg, itype, jobz, uplo, n, a, n, b, n, w)
 	repackTri(uplo, n, b, bp)
 	repackTri(uplo, n, a, ap)
 	if jobz && info == 0 {
@@ -148,10 +148,10 @@ func Spgv[T core.Scalar](itype int, jobz bool, uplo Uplo, n int, ap, bp []T, w [
 // generalized symmetric-definite banded eigenproblem (the xSBGV/xHBGV
 // driver, via dense expansion — see DESIGN.md). ab/bb are in symmetric
 // band storage with ka/kb off-diagonals.
-func Sbgv[T core.Scalar](jobz bool, uplo Uplo, n, ka, kb int, ab []T, ldab int, bb []T, ldbb int, w []float64, z []T, ldz int) int {
+func Sbgv[T core.Scalar](cfg *core.Config, jobz bool, uplo Uplo, n, ka, kb int, ab []T, ldab int, bb []T, ldbb int, w []float64, z []T, ldz int) int {
 	a := expandSymBand(uplo, n, ka, ab, ldab)
 	b := expandSymBand(uplo, n, kb, bb, ldbb)
-	info := Sygv(1, jobz, uplo, n, a, n, b, n, w)
+	info := Sygv(cfg, 1, jobz, uplo, n, a, n, b, n, w)
 	if jobz && info == 0 {
 		Lacpy('A', n, n, a, n, z, ldz)
 	}

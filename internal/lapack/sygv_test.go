@@ -23,7 +23,7 @@ func testSygv[T core.Scalar](t *testing.T, itype int, uplo lapack.Uplo, n int) {
 	af := append([]T(nil), a...)
 	bf := append([]T(nil), b...)
 	w := make([]float64, n)
-	if info := lapack.Sygv(itype, true, uplo, n, af, n, bf, n, w); info != 0 {
+	if info := lapack.Sygv(tcfg(), itype, true, uplo, n, af, n, bf, n, w); info != 0 {
 		t.Fatalf("sygv info=%d", info)
 	}
 	// Residual per eigenpair depends on itype:
@@ -38,17 +38,17 @@ func testSygv[T core.Scalar](t *testing.T, itype int, uplo lapack.Uplo, n int) {
 		rhs := make([]T, n)
 		switch itype {
 		case 1:
-			blas.Gemv(blas.NoTrans, n, n, one, fullA, n, x, 1, zero, lhs, 1)
-			blas.Gemv(blas.NoTrans, n, n, core.FromFloat[T](w[j]), fullB, n, x, 1, zero, rhs, 1)
+			blas.Gemv(tcfg(), blas.NoTrans, n, n, one, fullA, n, x, 1, zero, lhs, 1)
+			blas.Gemv(tcfg(), blas.NoTrans, n, n, core.FromFloat[T](w[j]), fullB, n, x, 1, zero, rhs, 1)
 		case 2:
 			tmp := make([]T, n)
-			blas.Gemv(blas.NoTrans, n, n, one, fullB, n, x, 1, zero, tmp, 1)
-			blas.Gemv(blas.NoTrans, n, n, one, fullA, n, tmp, 1, zero, lhs, 1)
+			blas.Gemv(tcfg(), blas.NoTrans, n, n, one, fullB, n, x, 1, zero, tmp, 1)
+			blas.Gemv(tcfg(), blas.NoTrans, n, n, one, fullA, n, tmp, 1, zero, lhs, 1)
 			blas.Axpy(n, core.FromFloat[T](w[j]), x, 1, rhs, 1)
 		case 3:
 			tmp := make([]T, n)
-			blas.Gemv(blas.NoTrans, n, n, one, fullA, n, x, 1, zero, tmp, 1)
-			blas.Gemv(blas.NoTrans, n, n, one, fullB, n, tmp, 1, zero, lhs, 1)
+			blas.Gemv(tcfg(), blas.NoTrans, n, n, one, fullA, n, x, 1, zero, tmp, 1)
+			blas.Gemv(tcfg(), blas.NoTrans, n, n, one, fullB, n, tmp, 1, zero, lhs, 1)
 			blas.Axpy(n, core.FromFloat[T](w[j]), x, 1, rhs, 1)
 		}
 		res := 0.0
@@ -80,7 +80,7 @@ func TestSygvNotPD(t *testing.T) {
 	b := make([]float64, n*n)
 	b[0], b[1+n], b[2+2*n] = 1, -1, 1 // indefinite B
 	w := make([]float64, n)
-	if info := lapack.Sygv(1, false, lapack.Upper, n, a, n, b, n, w); info != n+2 {
+	if info := lapack.Sygv(tcfg(), 1, false, lapack.Upper, n, a, n, b, n, w); info != n+2 {
 		t.Fatalf("info=%d, want %d", info, n+2)
 	}
 }
@@ -94,13 +94,13 @@ func TestSpgvSbgv(t *testing.T) {
 	aRef := append([]float64(nil), a...)
 	bRef := append([]float64(nil), b...)
 	wRef := make([]float64, n)
-	lapack.Sygv(1, false, lapack.Upper, n, aRef, n, bRef, n, wRef)
+	lapack.Sygv(tcfg(), 1, false, lapack.Upper, n, aRef, n, bRef, n, wRef)
 
 	ap := packTri(lapack.Upper, n, a, n)
 	bp := packTri(lapack.Upper, n, b, n)
 	w := make([]float64, n)
 	z := make([]float64, n*n)
-	if info := lapack.Spgv(1, true, lapack.Upper, n, ap, bp, w, z, n); info != 0 {
+	if info := lapack.Spgv(tcfg(), 1, true, lapack.Upper, n, ap, bp, w, z, n); info != 0 {
 		t.Fatalf("spgv info=%d", info)
 	}
 	for i := range w {
@@ -123,7 +123,7 @@ func TestSpgvSbgv(t *testing.T) {
 	}
 	wb := make([]float64, n)
 	zb := make([]float64, n*n)
-	if info := lapack.Sbgv(true, lapack.Upper, n, kd, kd, ab, kd+1, bb, kd+1, wb, zb, n); info != 0 {
+	if info := lapack.Sbgv(tcfg(), true, lapack.Upper, n, kd, kd, ab, kd+1, bb, kd+1, wb, zb, n); info != 0 {
 		t.Fatalf("sbgv info=%d", info)
 	}
 	// Spot-check the generalized residual for the extreme pair.
@@ -164,12 +164,12 @@ func TestSpevSbev(t *testing.T) {
 	// Dense reference.
 	aRef := append([]complex128(nil), a...)
 	wRef := make([]float64, n)
-	lapack.Syev[complex128](false, lapack.Upper, n, aRef, n, wRef)
+	lapack.Syev[complex128](tcfg(), false, lapack.Upper, n, aRef, n, wRef)
 
 	ap := packTri(lapack.Upper, n, a, n)
 	w := make([]float64, n)
 	z := make([]complex128, n*n)
-	if info := lapack.Spev(true, lapack.Upper, n, ap, w, z, n); info != 0 {
+	if info := lapack.Spev(tcfg(), true, lapack.Upper, n, ap, w, z, n); info != 0 {
 		t.Fatalf("spev info=%d", info)
 	}
 	for i := range w {
@@ -183,7 +183,7 @@ func TestSpevSbev(t *testing.T) {
 	// Spevx on an index range agrees with the full spectrum.
 	ap2 := packTri(lapack.Upper, n, a, n)
 	zx := make([]complex128, n*3)
-	res := lapack.Spevx(true, lapack.RangeIndex, lapack.Upper, n, ap2, 0, 0, 2, 4, 0, zx, n)
+	res := lapack.Spevx(tcfg(), true, lapack.RangeIndex, lapack.Upper, n, ap2, 0, 0, 2, 4, 0, zx, n)
 	if res.M != 3 {
 		t.Fatalf("spevx m=%d", res.M)
 	}
@@ -210,10 +210,10 @@ func TestSpevSbev(t *testing.T) {
 	}
 	wRefB := make([]float64, n)
 	dRef := append([]complex128(nil), dense...)
-	lapack.Syev[complex128](false, lapack.Upper, n, dRef, n, wRefB)
+	lapack.Syev[complex128](tcfg(), false, lapack.Upper, n, dRef, n, wRefB)
 	wb := make([]float64, n)
 	zb := make([]complex128, n*n)
-	if info := lapack.Sbev(true, lapack.Upper, n, kd, ab, ldab, wb, zb, n); info != 0 {
+	if info := lapack.Sbev(tcfg(), true, lapack.Upper, n, kd, ab, ldab, wb, zb, n); info != 0 {
 		t.Fatalf("sbev info=%d", info)
 	}
 	for i := range wb {

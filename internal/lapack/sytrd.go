@@ -75,7 +75,7 @@ func Sytd2[T core.Scalar](uplo Uplo, n int, a []T, lda int, d, e []float64, tau 
 // The trailing update A := A − V·Wᴴ − W·Vᴴ is NOT applied here — the
 // blocked Sytrd issues it as one rank-2k update through the Level-3 engine.
 // e, tau index as in Sytd2; w is n×nb with leading dimension ldw.
-func Latrd[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, e []float64, tau []T, w []T, ldw int) {
+func Latrd[T core.Scalar](cfg *core.Config, uplo Uplo, n, nb int, a []T, lda int, e []float64, tau []T, w []T, ldw int) {
 	if n <= 0 {
 		return
 	}
@@ -91,11 +91,11 @@ func Latrd[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, e []float64, tau
 				//              + W(0:c+1, iw+1:nb)·conj(A(c, c+1:n)).
 				a[c+c*lda] = core.FromFloat[T](core.Re(a[c+c*lda]))
 				lacgv(n-1-c, w[c+(iw+1)*ldw:], ldw)
-				blas.Gemv(NoTrans, c+1, n-1-c, -one, a[(c+1)*lda:], lda,
+				blas.Gemv(cfg, NoTrans, c+1, n-1-c, -one, a[(c+1)*lda:], lda,
 					w[c+(iw+1)*ldw:], ldw, one, a[c*lda:], 1)
 				lacgv(n-1-c, w[c+(iw+1)*ldw:], ldw)
 				lacgv(n-1-c, a[c+(c+1)*lda:], lda)
-				blas.Gemv(NoTrans, c+1, n-1-c, -one, w[(iw+1)*ldw:], ldw,
+				blas.Gemv(cfg, NoTrans, c+1, n-1-c, -one, w[(iw+1)*ldw:], ldw,
 					a[c+(c+1)*lda:], lda, one, a[c*lda:], 1)
 				lacgv(n-1-c, a[c+(c+1)*lda:], lda)
 				a[c+c*lda] = core.FromFloat[T](core.Re(a[c+c*lda]))
@@ -109,13 +109,13 @@ func Latrd[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, e []float64, tau
 				// W(0:c, iw) = τ·(A·v − V·(Wᴴv) − W·(Vᴴv) − ½τ(wᴴv)v).
 				blas.Hemv(Upper, c, one, a, lda, a[c*lda:], 1, zero, w[iw*ldw:], 1)
 				if c < n-1 {
-					blas.Gemv(ConjTrans, c, n-1-c, one, w[(iw+1)*ldw:], ldw,
+					blas.Gemv(cfg, ConjTrans, c, n-1-c, one, w[(iw+1)*ldw:], ldw,
 						a[c*lda:], 1, zero, w[c+1+iw*ldw:], 1)
-					blas.Gemv(NoTrans, c, n-1-c, -one, a[(c+1)*lda:], lda,
+					blas.Gemv(cfg, NoTrans, c, n-1-c, -one, a[(c+1)*lda:], lda,
 						w[c+1+iw*ldw:], 1, one, w[iw*ldw:], 1)
-					blas.Gemv(ConjTrans, c, n-1-c, one, a[(c+1)*lda:], lda,
+					blas.Gemv(cfg, ConjTrans, c, n-1-c, one, a[(c+1)*lda:], lda,
 						a[c*lda:], 1, zero, w[c+1+iw*ldw:], 1)
-					blas.Gemv(NoTrans, c, n-1-c, -one, w[(iw+1)*ldw:], ldw,
+					blas.Gemv(cfg, NoTrans, c, n-1-c, -one, w[(iw+1)*ldw:], ldw,
 						w[c+1+iw*ldw:], 1, one, w[iw*ldw:], 1)
 				}
 				blas.Scal(c, tau[c-1], w[iw*ldw:], 1)
@@ -130,10 +130,10 @@ func Latrd[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, e []float64, tau
 		// A(i:n, i) -= A(i:n, 0:i)·conj(W(i, 0:i)) + W(i:n, 0:i)·conj(A(i, 0:i)).
 		a[i+i*lda] = core.FromFloat[T](core.Re(a[i+i*lda]))
 		lacgv(i, w[i:], ldw)
-		blas.Gemv(NoTrans, n-i, i, -one, a[i:], lda, w[i:], ldw, one, a[i+i*lda:], 1)
+		blas.Gemv(cfg, NoTrans, n-i, i, -one, a[i:], lda, w[i:], ldw, one, a[i+i*lda:], 1)
 		lacgv(i, w[i:], ldw)
 		lacgv(i, a[i:], lda)
-		blas.Gemv(NoTrans, n-i, i, -one, w[i:], ldw, a[i:], lda, one, a[i+i*lda:], 1)
+		blas.Gemv(cfg, NoTrans, n-i, i, -one, w[i:], ldw, a[i:], lda, one, a[i+i*lda:], 1)
 		lacgv(i, a[i:], lda)
 		a[i+i*lda] = core.FromFloat[T](core.Re(a[i+i*lda]))
 		if i < n-1 {
@@ -146,13 +146,13 @@ func Latrd[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, e []float64, tau
 			blas.Hemv(Lower, n-i-1, one, a[i+1+(i+1)*lda:], lda, a[i+1+i*lda:], 1,
 				zero, w[i+1+i*ldw:], 1)
 			if i > 0 {
-				blas.Gemv(ConjTrans, n-i-1, i, one, w[i+1:], ldw, a[i+1+i*lda:], 1,
+				blas.Gemv(cfg, ConjTrans, n-i-1, i, one, w[i+1:], ldw, a[i+1+i*lda:], 1,
 					zero, w[i*ldw:], 1)
-				blas.Gemv(NoTrans, n-i-1, i, -one, a[i+1:], lda, w[i*ldw:], 1,
+				blas.Gemv(cfg, NoTrans, n-i-1, i, -one, a[i+1:], lda, w[i*ldw:], 1,
 					one, w[i+1+i*ldw:], 1)
-				blas.Gemv(ConjTrans, n-i-1, i, one, a[i+1:], lda, a[i+1+i*lda:], 1,
+				blas.Gemv(cfg, ConjTrans, n-i-1, i, one, a[i+1:], lda, a[i+1+i*lda:], 1,
 					zero, w[i*ldw:], 1)
-				blas.Gemv(NoTrans, n-i-1, i, -one, w[i+1:], ldw, w[i*ldw:], 1,
+				blas.Gemv(cfg, NoTrans, n-i-1, i, -one, w[i+1:], ldw, w[i*ldw:], 1,
 					one, w[i+1+i*ldw:], 1)
 			}
 			blas.Scal(n-i-1, tau[i], w[i+1+i*ldw:], 1)
@@ -172,9 +172,9 @@ func Latrd[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, e []float64, tau
 // convention, and the floating-point schedule is independent of the worker
 // count (the Level-3 engine is deterministic), so threaded runs are
 // bit-identical to serial ones.
-func Sytrd[T core.Scalar](uplo Uplo, n int, a []T, lda int, d, e []float64, tau []T) {
-	nb := Ilaenv(1, "SYTRD", n, -1, -1, -1)
-	nx := max(nb, Ilaenv(3, "SYTRD", n, -1, -1, -1))
+func Sytrd[T core.Scalar](cfg *core.Config, uplo Uplo, n int, a []T, lda int, d, e []float64, tau []T) {
+	nb := Ilaenv(cfg, 1, "SYTRD", n, -1, -1, -1)
+	nx := max(nb, Ilaenv(cfg, 3, "SYTRD", n, -1, -1, -1))
 	if n <= nx || nb <= 1 {
 		Sytd2(uplo, n, a, lda, d, e, tau)
 		return
@@ -188,8 +188,9 @@ func Sytrd[T core.Scalar](uplo Uplo, n int, a []T, lda int, d, e []float64, tau 
 		// unblocked finish (kk > 0 because n > nx >= nb).
 		kk := n - ((n-nx+nb-1)/nb)*nb
 		for i1 := n - nb; i1 >= kk; i1 -= nb {
-			Latrd(Upper, i1+nb, nb, a, lda, e, tau, w, ldw)
-			blas.Her2k(Upper, NoTrans, i1, nb, -one, a[i1*lda:], lda, w, ldw, 1, a, lda)
+			cfg.Checkpoint() // once per panel
+			Latrd(cfg, Upper, i1+nb, nb, a, lda, e, tau, w, ldw)
+			blas.Her2k(cfg, Upper, NoTrans, i1, nb, -one, a[i1*lda:], lda, w, ldw, 1, a, lda)
 			// Restore the superdiagonal overwritten by the reflectors and
 			// record the diagonal of the reduced columns.
 			for j := i1; j < i1+nb; j++ {
@@ -202,8 +203,9 @@ func Sytrd[T core.Scalar](uplo Uplo, n int, a []T, lda int, d, e []float64, tau 
 	}
 	var i1 int
 	for i1 = 0; i1 < n-nx; i1 += nb {
-		Latrd(Lower, n-i1, nb, a[i1+i1*lda:], lda, e[i1:], tau[i1:], w, ldw)
-		blas.Her2k(Lower, NoTrans, n-i1-nb, nb, -one, a[i1+nb+i1*lda:], lda,
+		cfg.Checkpoint() // once per panel
+		Latrd(cfg, Lower, n-i1, nb, a[i1+i1*lda:], lda, e[i1:], tau[i1:], w, ldw)
+		blas.Her2k(cfg, Lower, NoTrans, n-i1-nb, nb, -one, a[i1+nb+i1*lda:], lda,
 			w[nb:], ldw, 1, a[i1+nb+(i1+nb)*lda:], lda)
 		for j := i1; j < i1+nb; j++ {
 			a[j+1+j*lda] = core.FromFloat[T](e[j])
@@ -215,14 +217,14 @@ func Sytrd[T core.Scalar](uplo Uplo, n int, a []T, lda int, d, e []float64, tau 
 
 // Hetrd is the Hermitian driver name for Sytrd (xHETRD); the generic Sytrd
 // already performs the Hermitian reduction for complex element types.
-func Hetrd[T core.Scalar](uplo Uplo, n int, a []T, lda int, d, e []float64, tau []T) {
-	Sytrd(uplo, n, a, lda, d, e, tau)
+func Hetrd[T core.Scalar](cfg *core.Config, uplo Uplo, n int, a []T, lda int, d, e []float64, tau []T) {
+	Sytrd(cfg, uplo, n, a, lda, d, e, tau)
 }
 
 // Org2l generates the last n columns of the unitary matrix Q defined as a
 // product of k reflectors stored column-wise QL-style (xORG2L/xUNG2L). a
 // is m×n with n <= m and the reflectors in its last k columns.
-func Org2l[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
+func Org2l[T core.Scalar](cfg *core.Config, m, n, k int, a []T, lda int, tau []T) {
 	if n <= 0 {
 		return
 	}
@@ -238,7 +240,7 @@ func Org2l[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
 		ii := n - k + i
 		// Apply H(i) to A(0:m-n+ii+1, 0:ii) from the left.
 		a[m-n+ii+ii*lda] = core.FromFloat[T](1)
-		Larf(Left, m-n+ii+1, ii, a[ii*lda:], 1, tau[i], a, lda, work)
+		Larf(cfg, Left, m-n+ii+1, ii, a[ii*lda:], 1, tau[i], a, lda, work)
 		blas.Scal(m-n+ii, -tau[i], a[ii*lda:], 1)
 		a[m-n+ii+ii*lda] = core.FromFloat[T](1) - tau[i]
 		for l := m - n + ii + 1; l < m; l++ {
@@ -249,7 +251,7 @@ func Org2l[T core.Scalar](m, n, k int, a []T, lda int, tau []T) {
 
 // Orgtr generates the unitary matrix Q from the reduction computed by
 // Sytrd (xORGTR/xUNGTR), overwriting a with the n×n Q.
-func Orgtr[T core.Scalar](uplo Uplo, n int, a []T, lda int, tau []T) {
+func Orgtr[T core.Scalar](cfg *core.Config, uplo Uplo, n int, a []T, lda int, tau []T) {
 	if n == 0 {
 		return
 	}
@@ -266,7 +268,7 @@ func Orgtr[T core.Scalar](uplo Uplo, n int, a []T, lda int, tau []T) {
 			a[i+(n-1)*lda] = 0
 		}
 		a[n-1+(n-1)*lda] = core.FromFloat[T](1)
-		Org2l(n-1, n-1, n-1, a, lda, tau)
+		Org2l(cfg, n-1, n-1, n-1, a, lda, tau)
 		return
 	}
 	// Lower: Q = H(0)…H(n-2) with reflector i in A(i+2:n, i): shift right.
@@ -281,21 +283,21 @@ func Orgtr[T core.Scalar](uplo Uplo, n int, a []T, lda int, tau []T) {
 		a[i] = 0
 	}
 	if n > 1 {
-		Org2r(n-1, n-1, n-1, a[1+lda:], lda, tau)
+		Org2r(cfg, n-1, n-1, n-1, a[1+lda:], lda, tau)
 	}
 }
 
 // Ormtr multiplies C by the unitary Q from Sytrd or its conjugate
 // transpose (xORMTR/xUNMTR). Only side == Left is needed by this library's
 // drivers and implemented.
-func Ormtr[T core.Scalar](uplo Uplo, trans Trans, m, n int, a []T, lda int, tau []T, c []T, ldc int) {
+func Ormtr[T core.Scalar](cfg *core.Config, uplo Uplo, trans Trans, m, n int, a []T, lda int, tau []T, c []T, ldc int) {
 	if m <= 1 {
 		return
 	}
 	if uplo == Lower {
 		// Q = H(0)…H(m-2), reflectors stored below the first subdiagonal:
 		// exactly the QR layout on the shifted submatrix.
-		Ormqr(Left, trans, m-1, n, m-1, a[1:], lda, tau, c[1:], ldc)
+		Ormqr(cfg, Left, trans, m-1, n, m-1, a[1:], lda, tau, c[1:], ldc)
 		return
 	}
 	// Upper: QL-style reflectors in A(0:i, i+1). Apply each explicitly.
@@ -320,7 +322,7 @@ func Ormtr[T core.Scalar](uplo Uplo, trans Trans, m, n int, a []T, lda int, tau 
 			v[j] = a[j+(i+1)*lda]
 		}
 		v[i] = core.FromFloat[T](1)
-		Larf(Left, i+1, n, v, 1, taui, c, ldc, work)
+		Larf(cfg, Left, i+1, n, v, 1, taui, c, ldc, work)
 	}
 }
 
@@ -329,7 +331,7 @@ func Ormtr[T core.Scalar](uplo Uplo, trans Trans, m, n int, a []T, lda int, tau 
 // driver). If jobz is true, a is overwritten with the orthonormal
 // eigenvectors; w receives the eigenvalues in ascending order. Returns the
 // Steqr failure count (0 on success).
-func Syev[T core.Scalar](jobz bool, uplo Uplo, n int, a []T, lda int, w []float64) int {
+func Syev[T core.Scalar](cfg *core.Config, jobz bool, uplo Uplo, n int, a []T, lda int, w []float64) int {
 	if n == 0 {
 		return 0
 	}
@@ -356,13 +358,13 @@ func Syev[T core.Scalar](jobz bool, uplo Uplo, n int, a []T, lda int, w []float6
 	}
 	e := make([]float64, max(0, n-1))
 	tau := make([]T, max(0, n-1))
-	Sytrd(uplo, n, a, lda, w, e, tau)
+	Sytrd(cfg, uplo, n, a, lda, w, e, tau)
 	info := 0
 	if !jobz {
-		info = Sterf(n, w, e)
+		info = Sterf(cfg, n, w, e)
 	} else {
-		Orgtr(uplo, n, a, lda, tau)
-		info = Steqr(n, w, e, a, lda)
+		Orgtr(cfg, uplo, n, a, lda, tau)
+		info = Steqr(cfg, n, w, e, a, lda)
 	}
 	if sigma != 1 {
 		for i := range w {
@@ -374,20 +376,20 @@ func Syev[T core.Scalar](jobz bool, uplo Uplo, n int, a []T, lda int, w []float6
 
 // Heev is the Hermitian driver name for Syev (xHEEV); for complex element
 // types Syev already performs the Hermitian reduction.
-func Heev[T core.Scalar](jobz bool, uplo Uplo, n int, a []T, lda int, w []float64) int {
-	return Syev(jobz, uplo, n, a, lda, w)
+func Heev[T core.Scalar](cfg *core.Config, jobz bool, uplo Uplo, n int, a []T, lda int, w []float64) int {
+	return Syev(cfg, jobz, uplo, n, a, lda, w)
 }
 
 // Stev computes all eigenvalues and, optionally, eigenvectors of a real
 // symmetric tridiagonal matrix (the xSTEV driver). If z is non-nil it is
 // overwritten with the eigenvectors (ldz stride).
-func Stev[T core.Scalar](n int, d, e []float64, z []T, ldz int) int {
+func Stev[T core.Scalar](cfg *core.Config, n int, d, e []float64, z []T, ldz int) int {
 	if n == 0 {
 		return 0
 	}
 	if z == nil {
-		return Sterf(n, d, e)
+		return Sterf(cfg, n, d, e)
 	}
 	Laset('A', n, n, core.FromFloat[T](0), core.FromFloat[T](1), z, ldz)
-	return Steqr(n, d, e, z, ldz)
+	return Steqr(cfg, n, d, e, z, ldz)
 }

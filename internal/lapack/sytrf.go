@@ -194,7 +194,7 @@ func Sytf2[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
 // U·D or L·D); kb is the number of columns actually factored — possibly
 // nb-1, and one less than requested when the last pivot turned out 2×2.
 // Pivots in ipiv and the info return follow Sytf2.
-func lasyf[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []T, ldw int) (kb, info int) {
+func lasyf[T core.Scalar](cfg *core.Config, uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []T, ldw int) (kb, info int) {
 	one := core.FromFloat[T](1)
 	if uplo == Upper {
 		// Factor columns n-1 down to at most n-nb+1, storing updated
@@ -207,7 +207,7 @@ func lasyf[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 			// factored in this panel.
 			blas.Copy(k+1, a[k*lda:], 1, w[kw*ldw:], 1)
 			if k < n-1 {
-				blas.Gemv(NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
+				blas.Gemv(cfg, NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
 					w[k+(kw+1)*ldw:], ldw, one, w[kw*ldw:], 1)
 			}
 			kstep := 1
@@ -232,7 +232,7 @@ func lasyf[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 						w[j+(kw-1)*ldw] = a[imax+j*lda]
 					}
 					if k < n-1 {
-						blas.Gemv(NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
+						blas.Gemv(cfg, NoTrans, k+1, n-1-k, -one, a[(k+1)*lda:], lda,
 							w[imax+(kw+1)*ldw:], ldw, one, w[(kw-1)*ldw:], 1)
 					}
 					jmax := imax + 1 + blas.Iamax(k-imax, w[imax+1+(kw-1)*ldw:], 1)
@@ -307,13 +307,14 @@ func lasyf[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 		kRem := k + 1
 		kwr := nb - n + kRem
 		for j0 := ((kRem - 1) / nb) * nb; j0 >= 0; j0 -= nb {
+			cfg.Checkpoint() // once per panel
 			jb := min(nb, kRem-j0)
 			for jj := j0; jj < j0+jb; jj++ {
-				blas.Gemv(NoTrans, jj-j0+1, n-kRem, -one, a[j0+kRem*lda:], lda,
+				blas.Gemv(cfg, NoTrans, jj-j0+1, n-kRem, -one, a[j0+kRem*lda:], lda,
 					w[jj+kwr*ldw:], ldw, one, a[j0+jj*lda:], 1)
 			}
 			if j0 > 0 {
-				blas.Gemm(NoTrans, TransT, j0, jb, n-kRem, -one, a[kRem*lda:], lda,
+				blas.Gemm(cfg, NoTrans, TransT, j0, jb, n-kRem, -one, a[kRem*lda:], lda,
 					w[j0+kwr*ldw:], ldw, one, a[j0*lda:], lda)
 			}
 		}
@@ -339,7 +340,7 @@ func lasyf[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 	for !((k >= nb-1 && nb < n) || k >= n) {
 		blas.Copy(n-k, a[k+k*lda:], 1, w[k+k*ldw:], 1)
 		if k > 0 {
-			blas.Gemv(NoTrans, n-k, k, -one, a[k:], lda, w[k:], ldw, one, w[k+k*ldw:], 1)
+			blas.Gemv(cfg, NoTrans, n-k, k, -one, a[k:], lda, w[k:], ldw, one, w[k+k*ldw:], 1)
 		}
 		kstep := 1
 		absakk := core.Abs1(w[k+k*ldw])
@@ -362,7 +363,7 @@ func lasyf[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 				}
 				blas.Copy(n-imax, a[imax+imax*lda:], 1, w[imax+(k+1)*ldw:], 1)
 				if k > 0 {
-					blas.Gemv(NoTrans, n-k, k, -one, a[k:], lda, w[imax:], ldw,
+					blas.Gemv(cfg, NoTrans, n-k, k, -one, a[k:], lda, w[imax:], ldw,
 						one, w[k+(k+1)*ldw:], 1)
 				}
 				jmax := k + blas.Iamax(imax-k, w[k+(k+1)*ldw:], 1)
@@ -429,13 +430,14 @@ func lasyf[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 	}
 	// Level-3 update of the trailing block A(k:n, k:n) -= L21·(D·L21ᵀ).
 	for j0 := k; j0 < n; j0 += nb {
+		cfg.Checkpoint() // once per panel
 		jb := min(nb, n-j0)
 		for jj := j0; jj < j0+jb; jj++ {
-			blas.Gemv(NoTrans, j0+jb-jj, k, -one, a[jj:], lda, w[jj:], ldw,
+			blas.Gemv(cfg, NoTrans, j0+jb-jj, k, -one, a[jj:], lda, w[jj:], ldw,
 				one, a[jj+jj*lda:], 1)
 		}
 		if j0+jb < n {
-			blas.Gemm(NoTrans, TransT, n-j0-jb, jb, k, -one, a[j0+jb:], lda,
+			blas.Gemm(cfg, NoTrans, TransT, n-j0-jb, jb, k, -one, a[j0+jb:], lda,
 				w[j0:], ldw, one, a[j0+jb+j0*lda:], lda)
 		}
 	}
@@ -459,8 +461,8 @@ func lasyf[T core.Scalar](uplo Uplo, n, nb int, a []T, lda int, ipiv []int, w []
 // (xSYTRF): panels are factored with lasyf so the bulk of the update flops
 // run as Level-3 Gemm calls, with an unblocked Sytf2 cleanup on the last
 // sub-panel block.
-func Sytrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
-	nb := Ilaenv(1, "SYTRF", n, -1, -1, -1)
+func Sytrf[T core.Scalar](cfg *core.Config, uplo Uplo, n int, a []T, lda int, ipiv []int) int {
+	nb := Ilaenv(cfg, 1, "SYTRF", n, -1, -1, -1)
 	if nb <= 1 || nb >= n {
 		return Sytf2(uplo, n, a, lda, ipiv)
 	}
@@ -475,7 +477,7 @@ func Sytrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
 				}
 				break
 			}
-			kb, iinfo := lasyf(Upper, k, nb, a, lda, ipiv, w, n)
+			kb, iinfo := lasyf(cfg, Upper, k, nb, a, lda, ipiv, w, n)
 			if iinfo != 0 && info == 0 {
 				info = iinfo
 			}
@@ -502,7 +504,7 @@ func Sytrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
 			adjust(k, n, k)
 			break
 		}
-		kb, iinfo := lasyf(Lower, n-k, nb, a[k+k*lda:], lda, ipiv[k:], w, n-k)
+		kb, iinfo := lasyf(cfg, Lower, n-k, nb, a[k+k*lda:], lda, ipiv[k:], w, n-k)
 		if iinfo != 0 && info == 0 {
 			info = iinfo + k
 		}
@@ -513,7 +515,7 @@ func Sytrf[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int) int {
 }
 
 // Sytrs solves A·X = B using the factorization from Sytrf (xSYTRS).
-func Sytrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) {
+func Sytrs[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) {
 	if n == 0 || nrhs == 0 {
 		return
 	}
@@ -551,14 +553,14 @@ func Sytrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b 
 		// Then multiply by inv(Uᵀ), walking the blocks from the top.
 		for k := 0; k < n; {
 			if ipiv[k] >= 0 {
-				blas.Gemv(TransT, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
+				blas.Gemv(cfg, TransT, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
 				if kp := ipiv[k]; kp != k {
 					blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
 				}
 				k++
 			} else {
-				blas.Gemv(TransT, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
-				blas.Gemv(TransT, k, nrhs, -one, b, ldb, a[(k+1)*lda:], 1, one, b[k+1:], ldb)
+				blas.Gemv(cfg, TransT, k, nrhs, -one, b, ldb, a[k*lda:], 1, one, b[k:], ldb)
+				blas.Gemv(cfg, TransT, k, nrhs, -one, b, ldb, a[(k+1)*lda:], 1, one, b[k+1:], ldb)
 				if kp := -ipiv[k] - 1; kp != k {
 					blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
 				}
@@ -603,7 +605,7 @@ func Sytrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b 
 	for k := n - 1; k >= 0; {
 		if ipiv[k] >= 0 {
 			if k < n-1 {
-				blas.Gemv(TransT, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
+				blas.Gemv(cfg, TransT, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
 			}
 			if kp := ipiv[k]; kp != k {
 				blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
@@ -612,8 +614,8 @@ func Sytrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b 
 		} else {
 			// 2×2 block occupying rows k-1 and k.
 			if k < n-1 {
-				blas.Gemv(TransT, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
-				blas.Gemv(TransT, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+(k-1)*lda:], 1, one, b[k-1:], ldb)
+				blas.Gemv(cfg, TransT, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+k*lda:], 1, one, b[k:], ldb)
+				blas.Gemv(cfg, TransT, n-k-1, nrhs, -one, b[k+1:], ldb, a[k+1+(k-1)*lda:], 1, one, b[k-1:], ldb)
 			}
 			if kp := -ipiv[k] - 1; kp != k {
 				blas.Swap(nrhs, b[k:], ldb, b[kp:], ldb)
@@ -624,17 +626,17 @@ func Sytrs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b 
 }
 
 // Sysv solves A·X = B for a symmetric indefinite matrix (the xSYSV driver).
-func Sysv[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) int {
-	info := Sytrf(uplo, n, a, lda, ipiv)
+func Sysv[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, a []T, lda int, ipiv []int, b []T, ldb int) int {
+	info := Sytrf(cfg, uplo, n, a, lda, ipiv)
 	if info == 0 {
-		Sytrs(uplo, n, nrhs, a, lda, ipiv, b, ldb)
+		Sytrs(cfg, uplo, n, nrhs, a, lda, ipiv, b, ldb)
 	}
 	return info
 }
 
 // Sycon estimates the reciprocal 1-norm condition number of a symmetric
 // indefinite matrix from its Bunch–Kaufman factorization (xSYCON).
-func Sycon[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int, anorm float64) float64 {
+func Sycon[T core.Scalar](cfg *core.Config, uplo Uplo, n int, a []T, lda int, ipiv []int, anorm float64) float64 {
 	if n == 0 {
 		return 1
 	}
@@ -642,20 +644,20 @@ func Sycon[T core.Scalar](uplo Uplo, n int, a []T, lda int, ipiv []int, anorm fl
 		return 0
 	}
 	ainvnm := Lacn2(n, func(conjTrans bool, x []T) {
-		Sytrs(uplo, n, 1, a, lda, ipiv, x, n)
+		Sytrs(cfg, uplo, n, 1, a, lda, ipiv, x, n)
 	})
 	return rcondFromEst(ainvnm, anorm)
 }
 
 // Syrfs iteratively refines the solution of a symmetric indefinite system
 // and returns error bounds (xSYRFS).
-func Syrfs[T core.Scalar](uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
+func Syrfs[T core.Scalar](cfg *core.Config, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int, ferr, berr []float64) {
 	rfs(NoTrans, n, nrhs,
 		func(_ Trans, alpha T, x []T, beta T, y []T) {
 			blas.Symv(uplo, n, alpha, a, lda, x, 1, beta, y, 1)
 		},
 		func(_ Trans, xa, y []float64) { absSymv(uplo, n, a, lda, xa, y) },
-		func(_ Trans, r []T) { Sytrs(uplo, n, 1, af, ldaf, ipiv, r, n) },
+		func(_ Trans, r []T) { Sytrs(cfg, uplo, n, 1, af, ldaf, ipiv, r, n) },
 		b, ldb, x, ldx, ferr, berr)
 }
 
@@ -668,20 +670,20 @@ type SysvxResult struct {
 }
 
 // Sysvx is the expert driver for symmetric indefinite systems (xSYSVX).
-func Sysvx[T core.Scalar](fact Fact, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int) SysvxResult {
+func Sysvx[T core.Scalar](cfg *core.Config, fact Fact, uplo Uplo, n, nrhs int, a []T, lda int, af []T, ldaf int, ipiv []int, b []T, ldb int, x []T, ldx int) SysvxResult {
 	res := SysvxResult{Ferr: make([]float64, nrhs), Berr: make([]float64, nrhs)}
 	if fact != FactFact {
 		Lacpy('A', n, n, a, lda, af, ldaf)
-		res.Info = Sytrf(uplo, n, af, ldaf, ipiv)
+		res.Info = Sytrf(cfg, uplo, n, af, ldaf, ipiv)
 	}
 	if res.Info > 0 {
 		return res
 	}
 	anorm := Lansy(OneNorm, uplo, n, a, lda)
-	res.RCond = Sycon(uplo, n, af, ldaf, ipiv, anorm)
+	res.RCond = Sycon(cfg, uplo, n, af, ldaf, ipiv, anorm)
 	Lacpy('A', n, nrhs, b, ldb, x, ldx)
-	Sytrs(uplo, n, nrhs, af, ldaf, ipiv, x, ldx)
-	Syrfs(uplo, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, res.Ferr, res.Berr)
+	Sytrs(cfg, uplo, n, nrhs, af, ldaf, ipiv, x, ldx)
+	Syrfs(cfg, uplo, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, res.Ferr, res.Berr)
 	if res.RCond < core.Eps[T]() {
 		res.Info = n + 1
 	}

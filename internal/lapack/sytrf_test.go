@@ -41,9 +41,9 @@ func randHerm[T core.Scalar](rng *lapack.Rng, n, lda int) []T {
 
 func symMul[T core.Scalar](uplo lapack.Uplo, herm bool, n, nrhs int, a []T, lda int, x []T, ldx int, b []T, ldb int) {
 	if herm {
-		blas.Hemm(blas.Left, blas.Uplo(uplo), n, nrhs, core.FromFloat[T](1), a, lda, x, ldx, core.FromFloat[T](0), b, ldb)
+		blas.Hemm(tcfg(), blas.Left, blas.Uplo(uplo), n, nrhs, core.FromFloat[T](1), a, lda, x, ldx, core.FromFloat[T](0), b, ldb)
 	} else {
-		blas.Symm(blas.Left, blas.Uplo(uplo), n, nrhs, core.FromFloat[T](1), a, lda, x, ldx, core.FromFloat[T](0), b, ldb)
+		blas.Symm(tcfg(), blas.Left, blas.Uplo(uplo), n, nrhs, core.FromFloat[T](1), a, lda, x, ldx, core.FromFloat[T](0), b, ldb)
 	}
 }
 
@@ -60,7 +60,7 @@ func testSysv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int) {
 	lapack.Lacpy('A', n, n, a, lda, af, lda)
 	ipiv := make([]int, n)
 	sol := append([]T(nil), b...)
-	if info := lapack.Sysv(uplo, n, nrhs, af, lda, ipiv, sol, n); info != 0 {
+	if info := lapack.Sysv(tcfg(), uplo, n, nrhs, af, lda, ipiv, sol, n); info != 0 {
 		t.Fatalf("sysv info=%d", info)
 	}
 	if r := testutil.SolveResidual(n, nrhs, symFullSym(uplo, n, a, lda), n, sol, n, b, n); r > thresh {
@@ -68,12 +68,12 @@ func testSysv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int) {
 	}
 	// Condition estimate and refinement.
 	anorm := lapack.Lansy(lapack.OneNorm, uplo, n, a, lda)
-	if rc := lapack.Sycon(uplo, n, af, lda, ipiv, anorm); rc <= 0 || rc > 1.000001 {
+	if rc := lapack.Sycon(tcfg(), uplo, n, af, lda, ipiv, anorm); rc <= 0 || rc > 1.000001 {
 		t.Fatalf("sycon rcond=%v", rc)
 	}
 	ferr := make([]float64, nrhs)
 	berr := make([]float64, nrhs)
-	lapack.Syrfs(uplo, n, nrhs, a, lda, af, lda, ipiv, b, n, sol, n, ferr, berr)
+	lapack.Syrfs(tcfg(), uplo, n, nrhs, a, lda, af, lda, ipiv, b, n, sol, n, ferr, berr)
 	for j := 0; j < nrhs; j++ {
 		if berr[j] > 100*core.Eps[T]() {
 			t.Fatalf("syrfs berr=%v", berr[j])
@@ -104,14 +104,14 @@ func testHesv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int) {
 	lapack.Lacpy('A', n, n, a, lda, af, lda)
 	ipiv := make([]int, n)
 	sol := append([]T(nil), b...)
-	if info := lapack.Hesv(uplo, n, nrhs, af, lda, ipiv, sol, n); info != 0 {
+	if info := lapack.Hesv(tcfg(), uplo, n, nrhs, af, lda, ipiv, sol, n); info != 0 {
 		t.Fatalf("hesv info=%d", info)
 	}
 	if r := testutil.SolveResidual(n, nrhs, symFull(uplo, n, a, lda), n, sol, n, b, n); r > thresh {
 		t.Fatalf("hesv residual %v", r)
 	}
 	anorm := lapack.Lansy(lapack.OneNorm, uplo, n, a, lda)
-	if rc := lapack.Hecon(uplo, n, af, lda, ipiv, anorm); rc <= 0 || rc > 1.000001 {
+	if rc := lapack.Hecon(tcfg(), uplo, n, af, lda, ipiv, anorm); rc <= 0 || rc > 1.000001 {
 		t.Fatalf("hecon rcond=%v", rc)
 	}
 }
@@ -146,7 +146,7 @@ func TestSysvForces2x2Pivots(t *testing.T) {
 	blas.Symv(blas.Upper, n, 1, a, n, xTrue, 1, 0, b, 1)
 	af := append([]float64(nil), a...)
 	ipiv := make([]int, n)
-	if info := lapack.Sysv(lapack.Upper, n, 1, af, n, ipiv, b, n); info != 0 {
+	if info := lapack.Sysv(tcfg(), lapack.Upper, n, 1, af, n, ipiv, b, n); info != 0 {
 		t.Fatalf("sysv info=%d", info)
 	}
 	has2x2 := false
@@ -168,7 +168,7 @@ func TestSysvSingular(t *testing.T) {
 	a := make([]float64, n*n) // zero matrix
 	ipiv := make([]int, n)
 	b := make([]float64, n)
-	if info := lapack.Sysv(lapack.Upper, n, 1, a, n, ipiv, b, n); info <= 0 {
+	if info := lapack.Sysv(tcfg(), lapack.Upper, n, 1, a, n, ipiv, b, n); info <= 0 {
 		t.Fatalf("expected positive info, got %d", info)
 	}
 }
@@ -183,7 +183,7 @@ func TestSysvx(t *testing.T) {
 	af := make([]float64, n*n)
 	ipiv := make([]int, n)
 	x := make([]float64, n*nrhs)
-	res := lapack.Sysvx(lapack.FactNone, lapack.Upper, n, nrhs, a, n, af, n, ipiv, b, n, x, n)
+	res := lapack.Sysvx(tcfg(), lapack.FactNone, lapack.Upper, n, nrhs, a, n, af, n, ipiv, b, n, x, n)
 	if res.Info != 0 {
 		t.Fatalf("sysvx info=%d", res.Info)
 	}
@@ -202,7 +202,7 @@ func TestHesvx(t *testing.T) {
 	af := make([]complex128, n*n)
 	ipiv := make([]int, n)
 	x := make([]complex128, n*nrhs)
-	res := lapack.Hesvx(lapack.FactNone, lapack.Lower, n, nrhs, a, n, af, n, ipiv, b, n, x, n)
+	res := lapack.Hesvx(tcfg(), lapack.FactNone, lapack.Lower, n, nrhs, a, n, af, n, ipiv, b, n, x, n)
 	if res.Info != 0 {
 		t.Fatalf("hesvx info=%d", res.Info)
 	}
@@ -230,9 +230,9 @@ func testSpsv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int, herm bool) {
 	sol := append([]T(nil), b...)
 	var info int
 	if herm {
-		info = lapack.Hpsv(uplo, n, nrhs, apf, ipiv, sol, n)
+		info = lapack.Hpsv(tcfg(), uplo, n, nrhs, apf, ipiv, sol, n)
 	} else {
-		info = lapack.Spsv(uplo, n, nrhs, apf, ipiv, sol, n)
+		info = lapack.Spsv(tcfg(), uplo, n, nrhs, apf, ipiv, sol, n)
 	}
 	if info != 0 {
 		t.Fatalf("sp/hpsv info=%d", info)
@@ -247,9 +247,9 @@ func testSpsv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int, herm bool) {
 	anorm := lapack.Lansp(lapack.OneNorm, uplo, n, ap)
 	var rc float64
 	if herm {
-		rc = lapack.Hpcon(uplo, n, apf, ipiv, anorm)
+		rc = lapack.Hpcon(tcfg(), uplo, n, apf, ipiv, anorm)
 	} else {
-		rc = lapack.Spcon(uplo, n, apf, ipiv, anorm)
+		rc = lapack.Spcon(tcfg(), uplo, n, apf, ipiv, anorm)
 	}
 	if rc <= 0 || rc > 1.000001 {
 		t.Fatalf("sp/hpcon rcond=%v", rc)
@@ -258,9 +258,9 @@ func testSpsv[T core.Scalar](t *testing.T, uplo lapack.Uplo, n int, herm bool) {
 	ferr := make([]float64, nrhs)
 	berr := make([]float64, nrhs)
 	if herm {
-		lapack.Hprfs(uplo, n, nrhs, ap, apf, ipiv, b, n, sol, n, ferr, berr)
+		lapack.Hprfs(tcfg(), uplo, n, nrhs, ap, apf, ipiv, b, n, sol, n, ferr, berr)
 	} else {
-		lapack.Sprfs(uplo, n, nrhs, ap, apf, ipiv, b, n, sol, n, ferr, berr)
+		lapack.Sprfs(tcfg(), uplo, n, nrhs, ap, apf, ipiv, b, n, sol, n, ferr, berr)
 	}
 	for j := 0; j < nrhs; j++ {
 		if berr[j] > 100*core.Eps[T]() {

@@ -136,7 +136,7 @@ func lasrRV[T core.Scalar](direct byte, m, z int, c, s []float64, a []T, lda int
 // or the orthogonal reduction matrix from Orgtr to get those of the
 // original dense matrix. Returns the number of unconverged off-diagonal
 // elements (0 on success).
-func Steqr[T core.Scalar](n int, d, e []float64, z []T, ldz int) int {
+func Steqr[T core.Scalar](cfg *core.Config, n int, d, e []float64, z []T, ldz int) int {
 	if n <= 1 {
 		return 0
 	}
@@ -151,6 +151,8 @@ func Steqr[T core.Scalar](n int, d, e []float64, z []T, ldz int) int {
 	jtot := 0
 	l1 := 0
 	for {
+		// Cancellation checkpoint: once per unreduced-block iteration.
+		cfg.Checkpoint()
 		if l1 > n-1 {
 			break
 		}
@@ -380,6 +382,6 @@ func Steqr[T core.Scalar](n int, d, e []float64, z []T, ldz int) int {
 
 // Sterf computes all eigenvalues of a symmetric tridiagonal matrix
 // (xSTERF semantics; implemented via the no-vectors path of Steqr).
-func Sterf(n int, d, e []float64) int {
-	return Steqr[float64](n, d, e, nil, 0)
+func Sterf(cfg *core.Config, n int, d, e []float64) int {
+	return Steqr[float64](cfg, n, d, e, nil, 0)
 }

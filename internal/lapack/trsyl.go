@@ -3,12 +3,14 @@ package lapack
 import (
 	"math"
 	"math/cmplx"
+
+	"repro/internal/core"
 )
 
 // lasy2g solves the small Sylvester equation TL·X + isgn·X·TR = B for
 // n1×n2 blocks with n1, n2 ∈ {1, 2} (the general-sign xLASY2), by the same
 // Kronecker assembly as lasy2.
-func lasy2g(isgn int, n1, n2 int, tl []float64, ldtl int, tr []float64, ldtr int, b []float64, ldb int) (x [4]float64, xnorm float64) {
+func lasy2g(cfg *core.Config, isgn int, n1, n2 int, tl []float64, ldtl int, tr []float64, ldtr int, b []float64, ldb int) (x [4]float64, xnorm float64) {
 	nn := n1 * n2
 	var m [16]float64
 	var rhs [4]float64
@@ -38,11 +40,11 @@ func lasy2g(isgn int, n1, n2 int, tl []float64, ldtl int, tr []float64, ldtr int
 	}
 	smin := math.Max(core64eps*mnorm, math.SmallestNonzeroFloat64*0x1p52)
 	ipiv := make([]int, nn)
-	if info := Getrf(nn, nn, m[:nn*nn], nn, ipiv); info != 0 {
+	if info := Getrf(cfg, nn, nn, m[:nn*nn], nn, ipiv); info != 0 {
 		k := info - 1
 		m[k+k*nn] = smin
 	}
-	Getrs(NoTrans, nn, 1, m[:nn*nn], nn, ipiv, rhs[:nn], nn)
+	Getrs(cfg, NoTrans, nn, 1, m[:nn*nn], nn, ipiv, rhs[:nn], nn)
 	for i := 0; i < nn; i++ {
 		x[i] = rhs[i]
 		xnorm = math.Max(xnorm, math.Abs(rhs[i]))
@@ -75,7 +77,7 @@ func schurBlocks(n int, t []float64, ldt int) []int {
 // by X. The solve is blockwise with the xLASY2 kernel; near-singular small
 // systems are perturbed rather than scaled, so the scale factor of the
 // reference interface is always reported as 1 (see DESIGN.md).
-func Trsyl(trans bool, isgn, m, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) float64 {
+func Trsyl(cfg *core.Config, trans bool, isgn, m, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) float64 {
 	if m == 0 || n == 0 {
 		return 1
 	}
@@ -110,7 +112,7 @@ func Trsyl(trans bool, isgn, m, n int, a []float64, lda int, b []float64, ldb in
 						rhs[(i-k1)+(j-l1)*(k2-k1)] = s
 					}
 				}
-				x, _ := lasy2g(isgn, k2-k1, l2-l1, a[k1+k1*lda:], lda, b[l1+l1*ldb:], ldb, rhs[:], k2-k1)
+				x, _ := lasy2g(cfg, isgn, k2-k1, l2-l1, a[k1+k1*lda:], lda, b[l1+l1*ldb:], ldb, rhs[:], k2-k1)
 				for j := l1; j < l2; j++ {
 					for i := k1; i < k2; i++ {
 						c[i+j*ldc] = x[(i-k1)+(j-l1)*(k2-k1)]
@@ -154,7 +156,7 @@ func Trsyl(trans bool, isgn, m, n int, a []float64, lda int, b []float64, ldb in
 					trt[i+j*nl] = b[l1+j+(l1+i)*ldb]
 				}
 			}
-			x, _ := lasy2g(isgn, nk, nl, tlt[:], nk, trt[:], nl, rhs[:], nk)
+			x, _ := lasy2g(cfg, isgn, nk, nl, tlt[:], nk, trt[:], nl, rhs[:], nk)
 			for j := l1; j < l2; j++ {
 				for i := k1; i < k2; i++ {
 					c[i+j*ldc] = x[(i-k1)+(j-l1)*nk]

@@ -17,7 +17,7 @@ import (
 // U·A·V (side 'B'), where U and V are random orthogonal/unitary matrices
 // (xLAROR semantics, implemented by applying n random Householder
 // reflectors).
-func Laror[T core.Scalar](side byte, rng *lapack.Rng, m, n int, a []T, lda int) {
+func Laror[T core.Scalar](cfg *core.Config, side byte, rng *lapack.Rng, m, n int, a []T, lda int) {
 	work := make([]T, max(m, n))
 	if side == 'L' || side == 'B' {
 		v := make([]T, m)
@@ -25,7 +25,7 @@ func Laror[T core.Scalar](side byte, rng *lapack.Rng, m, n int, a []T, lda int) 
 			lapack.Larnv(3, rng, m-k, v)
 			tau := lapack.Larfg(m-k, &v[0], v[1:], 1)
 			v[0] = core.FromFloat[T](1)
-			lapack.Larf(lapack.Left, m-k, n, v, 1, tau, a[k:], lda, work)
+			lapack.Larf(cfg, lapack.Left, m-k, n, v, 1, tau, a[k:], lda, work)
 		}
 	}
 	if side == 'R' || side == 'B' {
@@ -34,7 +34,7 @@ func Laror[T core.Scalar](side byte, rng *lapack.Rng, m, n int, a []T, lda int) 
 			lapack.Larnv(3, rng, n-k, v)
 			tau := lapack.Larfg(n-k, &v[0], v[1:], 1)
 			v[0] = core.FromFloat[T](1)
-			lapack.Larf(lapack.Right, m, n-k, v, 1, core.Conj(tau), a[k*lda:], lda, work)
+			lapack.Larf(cfg, lapack.Right, m, n-k, v, 1, core.Conj(tau), a[k*lda:], lda, work)
 		}
 	}
 }
@@ -45,12 +45,12 @@ func Laror[T core.Scalar](side byte, rng *lapack.Rng, m, n int, a []T, lda int) 
 // outside the band (a documented simplification of the reference's
 // bandwidth-reduction chase: the band profile is exact, the spectrum then
 // only approximate — see DESIGN.md).
-func Lagge[T core.Scalar](rng *lapack.Rng, m, n, kl, ku int, d []float64, a []T, lda int) {
+func Lagge[T core.Scalar](cfg *core.Config, rng *lapack.Rng, m, n, kl, ku int, d []float64, a []T, lda int) {
 	lapack.Laset('A', m, n, core.FromFloat[T](0), core.FromFloat[T](0), a, lda)
 	for i := 0; i < min(m, n); i++ {
 		a[i+i*lda] = core.FromFloat[T](d[i])
 	}
-	Laror('B', rng, m, n, a, lda)
+	Laror(cfg, 'B', rng, m, n, a, lda)
 	if kl < m-1 || ku < n-1 {
 		for j := 0; j < n; j++ {
 			for i := 0; i < m; i++ {
@@ -100,27 +100,27 @@ func SingularValues(mode, n int, cond float64) []float64 {
 // Latms generates an n×n random matrix with condition number approximately
 // cond (1-norm condition within a modest factor), using a geometric
 // singular value distribution (xLATMS-lite).
-func Latms[T core.Scalar](rng *lapack.Rng, n int, cond float64, a []T, lda int) {
+func Latms[T core.Scalar](cfg *core.Config, rng *lapack.Rng, n int, cond float64, a []T, lda int) {
 	d := SingularValues(3, n, cond)
-	Lagge(rng, n, n, n-1, n-1, d, a, lda)
+	Lagge(cfg, rng, n, n, n-1, n-1, d, a, lda)
 }
 
 // RandOrtho fills the n×n matrix q with a Haar-ish random orthogonal
 // (unitary) matrix via QR of a Gaussian matrix.
-func RandOrtho[T core.Scalar](rng *lapack.Rng, n int, q []T, ldq int) {
+func RandOrtho[T core.Scalar](cfg *core.Config, rng *lapack.Rng, n int, q []T, ldq int) {
 	g := make([]T, n*n)
 	lapack.Larnv(3, rng, n*n, g)
 	tau := make([]T, n)
-	lapack.Geqrf(n, n, g, n, tau)
-	lapack.Orgqr(n, n, n, g, n, tau)
+	lapack.Geqrf(cfg, n, n, g, n, tau)
+	lapack.Orgqr(cfg, n, n, n, g, n, tau)
 	lapack.Lacpy('A', n, n, g, n, q, ldq)
 }
 
 // RandSPDWithCond generates a symmetric (Hermitian) positive definite
 // matrix with 2-norm condition number cond: Q·diag(λ)·Qᴴ with geometric λ.
-func RandSPDWithCond[T core.Scalar](rng *lapack.Rng, n int, cond float64, a []T, lda int) {
+func RandSPDWithCond[T core.Scalar](cfg *core.Config, rng *lapack.Rng, n int, cond float64, a []T, lda int) {
 	q := make([]T, n*n)
-	RandOrtho(rng, n, q, n)
+	RandOrtho(cfg, rng, n, q, n)
 	d := SingularValues(3, n, cond)
 	// A = Q·D·Qᴴ.
 	qd := make([]T, n*n)
@@ -130,7 +130,7 @@ func RandSPDWithCond[T core.Scalar](rng *lapack.Rng, n int, cond float64, a []T,
 			qd[i+j*n] = q[i+j*n] * dj
 		}
 	}
-	blas.Gemm(blas.NoTrans, blas.ConjTrans, n, n, n, core.FromFloat[T](1), qd, n, q, n, core.FromFloat[T](0), a, lda)
+	blas.Gemm(cfg, blas.NoTrans, blas.ConjTrans, n, n, n, core.FromFloat[T](1), qd, n, q, n, core.FromFloat[T](0), a, lda)
 	// Force exact Hermitian symmetry.
 	for j := 0; j < n; j++ {
 		a[j+j*lda] = core.FromFloat[T](core.Re(a[j+j*lda]))

@@ -1,6 +1,8 @@
 package matgen
 
 import (
+	"repro/internal/core"
+
 	"math"
 	"testing"
 
@@ -13,9 +15,9 @@ func TestLaggeSingularValues(t *testing.T) {
 	rng := lapack.NewRng([4]int{1, 2, 3, 4})
 	d := SingularValues(3, n, 100)
 	a := make([]float64, m*n)
-	Lagge(rng, m, n, m-1, n-1, d, a, m)
+	Lagge(core.Default(), rng, m, n, m-1, n-1, d, a, m)
 	s := make([]float64, n)
-	if info := lapack.Gesvd(lapack.SVDNone, lapack.SVDNone, m, n, a, m, s, nil, 0, nil, 0); info != 0 {
+	if info := lapack.Gesvd(core.Default(), lapack.SVDNone, lapack.SVDNone, m, n, a, m, s, nil, 0, nil, 0); info != 0 {
 		t.Fatalf("gesvd info=%d", info)
 	}
 	for i := range d {
@@ -30,9 +32,9 @@ func TestLatmsCondition(t *testing.T) {
 	rng := lapack.NewRng([4]int{9, 9, 9, 9})
 	cond := 1e4
 	a := make([]float64, n*n)
-	Latms(rng, n, cond, a, n)
+	Latms(core.Default(), rng, n, cond, a, n)
 	s := make([]float64, n)
-	lapack.Gesvd(lapack.SVDNone, lapack.SVDNone, n, n, a, n, s, nil, 0, nil, 0)
+	lapack.Gesvd(core.Default(), lapack.SVDNone, lapack.SVDNone, n, n, a, n, s, nil, 0, nil, 0)
 	got := s[0] / s[n-1]
 	if math.Abs(got-cond) > 1e-4*cond {
 		t.Fatalf("condition %v, want %v", got, cond)
@@ -43,7 +45,7 @@ func TestRandOrtho(t *testing.T) {
 	n := 15
 	rng := lapack.NewRng([4]int{3, 1, 4, 1})
 	q := make([]float64, n*n)
-	RandOrtho(rng, n, q, n)
+	RandOrtho(core.Default(), rng, n, q, n)
 	// QᵀQ = I.
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -62,7 +64,7 @@ func TestRandOrtho(t *testing.T) {
 	}
 	// Complex variant.
 	qc := make([]complex128, n*n)
-	RandOrtho(rng, n, qc, n)
+	RandOrtho(core.Default(), rng, n, qc, n)
 	for i := 0; i < n; i++ {
 		s := complex(0, 0)
 		for k := 0; k < n; k++ {
@@ -80,10 +82,10 @@ func TestRandSPDWithCond(t *testing.T) {
 	rng := lapack.NewRng([4]int{7, 7, 1, 1})
 	cond := 500.0
 	a := make([]float64, n*n)
-	RandSPDWithCond(rng, n, cond, a, n)
+	RandSPDWithCond(core.Default(), rng, n, cond, a, n)
 	w := make([]float64, n)
 	ac := append([]float64(nil), a...)
-	if info := lapack.Syev[float64](false, lapack.Upper, n, ac, n, w); info != 0 {
+	if info := lapack.Syev[float64](core.Default(), false, lapack.Upper, n, ac, n, w); info != 0 {
 		t.Fatalf("syev info=%d", info)
 	}
 	if w[0] <= 0 {
@@ -99,7 +101,7 @@ func TestLaggeBanded(t *testing.T) {
 	rng := lapack.NewRng([4]int{2, 2, 2, 2})
 	d := SingularValues(4, n, 10)
 	a := make([]float64, m*n)
-	Lagge(rng, m, n, kl, ku, d, a, m)
+	Lagge(core.Default(), rng, m, n, kl, ku, d, a, m)
 	for j := 0; j < n; j++ {
 		for i := 0; i < m; i++ {
 			if (i-j > kl || j-i > ku) && a[i+j*m] != 0 {

@@ -28,7 +28,7 @@ func RandGeneral[T core.Scalar](rng *lapack.Rng, m, n, lda int) []T {
 func RandSPD[T core.Scalar](rng *lapack.Rng, n, lda int) []T {
 	b := RandGeneral[T](rng, n, n, n)
 	a := make([]T, lda*n)
-	blas.Herk(blas.Upper, blas.NoTrans, n, n, 1, b, n, 0, a, lda)
+	blas.Herk(nil, blas.Upper, blas.NoTrans, n, n, 1, b, n, 0, a, lda)
 	for j := 0; j < n; j++ {
 		a[j+j*lda] += core.FromFloat[T](float64(n))
 		for i := 0; i < j; i++ {
@@ -48,7 +48,7 @@ func SolveResidual[T core.Scalar](n, nrhs int, a []T, lda int, x []T, ldx int, b
 	r := make([]T, n*nrhs)
 	lapack.Lacpy('A', n, nrhs, b, ldb, r, n)
 	one := core.FromFloat[T](1)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, nrhs, n, -one, a, lda, x, ldx, one, r, n)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, n, nrhs, n, -one, a, lda, x, ldx, one, r, n)
 	anorm := lapack.Lange(lapack.OneNorm, n, n, a, lda)
 	xnorm := lapack.Lange(lapack.OneNorm, n, nrhs, x, ldx)
 	rnorm := lapack.Lange(lapack.OneNorm, n, nrhs, r, n)
@@ -83,7 +83,7 @@ func LUResidual[T core.Scalar](m, n int, a []T, lda int, af []T, ldaf int, ipiv 
 	}
 	// R = L·U, then apply P (undo the row interchanges).
 	r := make([]T, m*n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), l, m, u, mn, core.FromFloat[T](0), r, m)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, m, n, mn, core.FromFloat[T](1), l, m, u, mn, core.FromFloat[T](0), r, m)
 	lapack.LaswpInv(n, r, m, 0, mn, ipiv)
 	for j := 0; j < n; j++ {
 		for i := 0; i < m; i++ {
@@ -155,7 +155,7 @@ func CholeskyResidual[T core.Scalar](uplo blas.Uplo, n int, a []T, lda int, af [
 // orthonormal columns.
 func OrthoResidual[T core.Scalar](m, n int, q []T, ldq int) float64 {
 	r := make([]T, n*n)
-	blas.Gemm(blas.ConjTrans, blas.NoTrans, n, n, m, core.FromFloat[T](1), q, ldq, q, ldq, core.FromFloat[T](0), r, n)
+	blas.Gemm(nil, blas.ConjTrans, blas.NoTrans, n, n, m, core.FromFloat[T](1), q, ldq, q, ldq, core.FromFloat[T](0), r, n)
 	for i := 0; i < n; i++ {
 		r[i+i*n] -= core.FromFloat[T](1)
 	}
@@ -170,7 +170,7 @@ func EigResidual[T core.Scalar](n int, a []T, lda int, w []float64, z []T, ldz i
 	}
 	r := make([]T, n*n)
 	one := core.FromFloat[T](1)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, n, n, n, one, a, lda, z, ldz, core.FromFloat[T](0), r, n)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, n, n, n, one, a, lda, z, ldz, core.FromFloat[T](0), r, n)
 	for j := 0; j < n; j++ {
 		wj := core.FromFloat[T](w[j])
 		for i := 0; i < n; i++ {

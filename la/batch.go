@@ -63,6 +63,7 @@ func BatchGesv[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ipivs [][]int, errs 
 		return nil, nil, erinfo(routine, -2, "batch slice lengths differ")
 	}
 	o := apply(opts)
+	cfg := o.cfg
 	errs = make([]error, len(as))
 	ipivs = make([][]int, len(as))
 	// One flat pivot backing for the whole batch; invalid items get an
@@ -88,7 +89,7 @@ func BatchGesv[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ipivs [][]int, errs 
 		ipivs[i] = flat[off : off+a.Rows : off+a.Rows]
 		off += a.Rows
 	}
-	blas.BatchRange(len(as), func(i int) {
+	blas.BatchRange(cfg, len(as), func(i int) {
 		if errs[i] != nil {
 			return
 		}
@@ -99,7 +100,7 @@ func BatchGesv[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ipivs [][]int, errs 
 				return
 			}
 		}
-		info := lapack.Gesv(a.Rows, b.Cols, a.Data, a.Stride, ipivs[i], b.Data, b.Stride)
+		info := lapack.Gesv(cfg, a.Rows, b.Cols, a.Data, a.Stride, ipivs[i], b.Data, b.Stride)
 		errs[i] = erinfo(routine, info, "matrix is exactly singular")
 	}, func(i int, pe *blas.PanicError) {
 		errs[i] = batchItemError(routine, pe)
@@ -119,8 +120,9 @@ func BatchPosv[T Scalar](as, bs []*Matrix[T], opts ...Opt) (errs []error, err er
 		return nil, erinfo(routine, -2, "batch slice lengths differ")
 	}
 	o := apply(opts)
+	cfg := o.cfg
 	errs = make([]error, len(as))
-	blas.BatchRange(len(as), func(i int) {
+	blas.BatchRange(cfg, len(as), func(i int) {
 		a, b := as[i], bs[i]
 		if !square(a) {
 			errs[i] = erinfo(routine, -1, "")
@@ -136,7 +138,7 @@ func BatchPosv[T Scalar](as, bs []*Matrix[T], opts ...Opt) (errs []error, err er
 				return
 			}
 		}
-		info := lapack.Posv(o.uplo, a.Rows, b.Cols, a.Data, a.Stride, b.Data, b.Stride)
+		info := lapack.Posv(cfg, o.uplo, a.Rows, b.Cols, a.Data, a.Stride, b.Data, b.Stride)
 		errs[i] = erinfo(routine, info, "matrix is not positive definite")
 	}, func(i int, pe *blas.PanicError) {
 		errs[i] = batchItemError(routine, pe)
@@ -154,6 +156,7 @@ func BatchSyev[T Scalar](as []*Matrix[T], opts ...Opt) (ws [][]float64, errs []e
 	const routine = "LA_SYEV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	errs = make([]error, len(as))
 	ws = make([][]float64, len(as))
 	total := 0
@@ -173,7 +176,7 @@ func BatchSyev[T Scalar](as []*Matrix[T], opts ...Opt) (ws [][]float64, errs []e
 		ws[i] = flat[off : off+a.Rows : off+a.Rows]
 		off += a.Rows
 	}
-	blas.BatchRange(len(as), func(i int) {
+	blas.BatchRange(cfg, len(as), func(i int) {
 		if errs[i] != nil {
 			return
 		}
@@ -184,7 +187,7 @@ func BatchSyev[T Scalar](as []*Matrix[T], opts ...Opt) (ws [][]float64, errs []e
 				return
 			}
 		}
-		info := lapack.Syev[T](o.vectors, o.uplo, a.Rows, a.Data, a.Stride, ws[i])
+		info := lapack.Syev[T](cfg, o.vectors, o.uplo, a.Rows, a.Data, a.Stride, ws[i])
 		errs[i] = erdiag(routine, info, "the QL/QR iteration failed to converge", DiagNotConverged)
 	}, func(i int, pe *blas.PanicError) {
 		errs[i] = batchItemError(routine, pe)
@@ -205,8 +208,9 @@ func BatchGemm[T Scalar](alpha T, as, bs []*Matrix[T], beta T, cs []*Matrix[T], 
 		return nil, erinfo(routine, -2, "batch slice lengths differ")
 	}
 	o := apply(opts)
+	cfg := o.cfg
 	errs = make([]error, len(as))
-	blas.BatchRange(len(as), func(i int) {
+	blas.BatchRange(cfg, len(as), func(i int) {
 		a, b, c := as[i], bs[i], cs[i]
 		if !matOK(a) {
 			errs[i] = erinfo(routine, -2, "")
@@ -246,7 +250,7 @@ func BatchGemm[T Scalar](alpha T, as, bs []*Matrix[T], beta T, cs []*Matrix[T], 
 				return
 			}
 		}
-		blas.Gemm(o.trans, o.transB, m, n, k, alpha,
+		blas.Gemm(cfg, o.trans, o.transB, m, n, k, alpha,
 			a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
 	}, func(i int, pe *blas.PanicError) {
 		errs[i] = batchItemError(routine, pe)

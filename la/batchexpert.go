@@ -31,9 +31,10 @@ func BatchGesvx[T Scalar](as, bs []*Matrix[T], opts ...Opt) (results []*ExpertRe
 		return nil, nil, erinfo(routine, -2, "batch slice lengths differ")
 	}
 	o := apply(opts)
+	cfg := o.cfg
 	results = make([]*ExpertResult[T], len(as))
 	errs = make([]error, len(as))
-	blas.BatchRange(len(as), func(i int) {
+	blas.BatchRange(cfg, len(as), func(i int) {
 		a, b := as[i], bs[i]
 		if !square(a) {
 			errs[i] = erinfo(routine, -1, "")
@@ -53,7 +54,7 @@ func BatchGesvx[T Scalar](as, bs []*Matrix[T], opts ...Opt) (results []*ExpertRe
 		af := NewMatrix[T](n, n)
 		x := NewMatrix[T](n, nrhs)
 		ipiv := make([]int, n)
-		res := lapack.Gesvx(o.fact, o.trans, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride)
+		res := lapack.Gesvx(cfg, o.fact, o.trans, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride)
 		results[i] = &ExpertResult[T]{
 			X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr,
 			Equed: byte(res.Equed), R: res.R, C: res.C, RPvGrw: res.RPvGrw, IPiv: ipiv,
@@ -76,9 +77,10 @@ func BatchPosvx[T Scalar](as, bs []*Matrix[T], opts ...Opt) (results []*ExpertRe
 		return nil, nil, erinfo(routine, -2, "batch slice lengths differ")
 	}
 	o := apply(opts)
+	cfg := o.cfg
 	results = make([]*ExpertResult[T], len(as))
 	errs = make([]error, len(as))
-	blas.BatchRange(len(as), func(i int) {
+	blas.BatchRange(cfg, len(as), func(i int) {
 		a, b := as[i], bs[i]
 		if !square(a) {
 			errs[i] = erinfo(routine, -1, "")
@@ -97,7 +99,7 @@ func BatchPosvx[T Scalar](as, bs []*Matrix[T], opts ...Opt) (results []*ExpertRe
 		n, nrhs := a.Rows, b.Cols
 		af := NewMatrix[T](n, n)
 		x := NewMatrix[T](n, nrhs)
-		res := lapack.Posvx(o.fact, o.uplo, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, b.Data, b.Stride, x.Data, x.Stride)
+		res := lapack.Posvx(cfg, o.fact, o.uplo, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, b.Data, b.Stride, x.Data, x.Stride)
 		results[i] = &ExpertResult[T]{
 			X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr,
 			Equed: byte(res.Equed), S: res.S,

@@ -1,0 +1,120 @@
+package la_test
+
+// Cooperative cancellation tests for WithContext: a canceled context must
+// surface as a *la.Error whose Unwrap chain reaches ctx.Err() (so both
+// errors.Is(err, la.ErrCanceled) and errors.Is(err, context.Canceled)
+// hold), must return promptly rather than running the call to completion,
+// and must join every worker goroutine on the way out.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/la"
+)
+
+// wantCanceled asserts err is the canonical cancellation error shape.
+func wantCanceled(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("canceled call returned nil error")
+	}
+	var le *la.Error
+	if !errors.As(err, &le) {
+		t.Fatalf("canceled call returned %T, want *la.Error: %v", err, err)
+	}
+	if le.Info != la.InfoCanceled {
+		t.Errorf("Info = %d, want InfoCanceled (%d)", le.Info, la.InfoCanceled)
+	}
+	if !errors.Is(err, la.ErrCanceled) {
+		t.Errorf("errors.Is(err, la.ErrCanceled) = false, want true: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false, want true: %v", err)
+	}
+}
+
+// TestPreCanceledContext checks the fast exit: a context that is already
+// done when the driver is entered fires the first checkpoint, before any
+// substantial work.
+func TestPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const n = 256
+	a := randMat[float64](41, n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	b := randMat[float64](42, n, 1)
+	_, err := la.GESV(a, b, la.WithContext(ctx))
+	wantCanceled(t, err)
+}
+
+// TestCancelMidGESVD cancels a large SVD mid-flight and checks the three
+// contract points at once: the call returns a cancellation *la.Error, it
+// returns promptly (bounded by a fraction of the full decomposition time),
+// and no worker goroutine outlives it.
+func TestCancelMidGESVD(t *testing.T) {
+	const n = 1024
+	a := randMat[float64](43, n, n)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := la.GESVD(a, la.WithContext(ctx), la.WithThreads(4))
+		errc <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+
+	var err error
+	select {
+	case err = <-errc:
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled GESVD did not return within 30s of cancellation")
+	}
+	if err == nil {
+		t.Fatal("GESVD(n=1024) completed before the 30ms cancellation — cancellation never observed")
+	}
+	wantCanceled(t, err)
+
+	// Worker goroutines must have been joined before the driver returned;
+	// allow the runtime a moment to retire exited goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after canceled GESVD: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancelDeadline checks that a deadline context unwraps to
+// context.DeadlineExceeded through the same *la.Error shape.
+func TestCancelDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure the deadline has passed
+	const n = 256
+	a := spdMat[float64](44, n)
+	b := randMat[float64](45, n, 1)
+	err := la.POSV(a, b, la.WithContext(ctx))
+	if err == nil {
+		t.Fatal("deadline-expired POSV returned nil error")
+	}
+	if !errors.Is(err, la.ErrCanceled) {
+		t.Errorf("errors.Is(err, la.ErrCanceled) = false: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(err, context.DeadlineExceeded) = false: %v", err)
+	}
+}

@@ -22,29 +22,21 @@ package la
 
 import (
 	"fmt"
-	"os"
 	"runtime/debug"
-	"sync/atomic"
 
 	"repro/internal/blas"
 	"repro/internal/core"
 )
 
-// checkInputs is the process-wide default for non-finite input screening;
-// WithCheck enables it for a single call.
-var checkInputs atomic.Bool
-
-func init() {
-	if s := os.Getenv("LA90_CHECK_INPUTS"); s != "" && s != "0" {
-		checkInputs.Store(true)
-	}
-}
-
 // SetCheckInputs sets the process-wide default for non-finite input
 // screening and returns the previous setting. The initial default is false
 // unless the LA90_CHECK_INPUTS environment variable is set to a non-empty,
-// non-"0" value. Safe to call concurrently.
-func SetCheckInputs(on bool) bool { return checkInputs.Swap(on) }
+// non-"0" value (parsed once by core.FromEnv). Safe to call concurrently;
+// calls in flight keep the setting captured at their API boundary.
+func SetCheckInputs(on bool) bool {
+	old := core.UpdateDefault(func(c *core.Config) { c.CheckInputs = on })
+	return old.CheckInputs
+}
 
 // WithCheck enables non-finite input screening for this call: matrix and
 // vector arguments are scanned for NaN/Inf before any computation, and an
@@ -78,7 +70,15 @@ func recoveredError(routine string, r any) *Error {
 	switch v := r.(type) {
 	case *Error:
 		return v
+	case *core.CancelError:
+		return canceledError(routine, v)
 	case *blas.PanicError:
+		if ce, ok := v.Value.(*core.CancelError); ok {
+			// A checkpoint fired on a worker goroutine; the pool has already
+			// drained every worker before re-raising, so this is an orderly
+			// cancellation, not a contained fault.
+			return canceledError(routine, ce)
+		}
 		return &Error{
 			Routine: routine,
 			Info:    InfoPanic,
@@ -147,6 +147,20 @@ func firstErr(errs ...error) error {
 		}
 	}
 	return nil
+}
+
+// canceledError is the ERINFO report for a call that unwound at a
+// cancellation checkpoint: Info is the out-of-band InfoCanceled and Err the
+// context's ctx.Err(), so errors.Is(err, la.ErrCanceled) and
+// errors.Is(err, context.Canceled) both hold.
+func canceledError(routine string, ce *core.CancelError) *Error {
+	return &Error{
+		Routine: routine,
+		Info:    InfoCanceled,
+		Detail:  fmt.Sprintf("call canceled: %v", ce.Err),
+		Diag:    DiagCanceled,
+		Err:     ce.Err,
+	}
 }
 
 func nonFinite(routine string, arg int, name string) error {

@@ -1,6 +1,8 @@
 package la
 
 import (
+	"repro/internal/core"
+
 	"repro/internal/lapack"
 	"repro/internal/matgen"
 )
@@ -14,6 +16,7 @@ func GETRF[T Scalar](a *Matrix[T], opts ...Opt) (ipiv []int, rcond float64, err 
 	const routine = "LA_GETRF"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if a == nil {
 		return nil, 0, erinfo(routine, -1, "")
 	}
@@ -29,9 +32,9 @@ func GETRF[T Scalar](a *Matrix[T], opts ...Opt) (ipiv []int, rcond float64, err 
 		anorm = lapack.Lange(norm, m, n, a.Data, a.Stride)
 	}
 	ipiv = make([]int, min(m, n))
-	info := lapack.Getrf(m, n, a.Data, a.Stride, ipiv)
+	info := lapack.Getrf(cfg, m, n, a.Data, a.Stride, ipiv)
 	if m == n && info == 0 {
-		rcond = lapack.Gecon(norm, n, a.Data, a.Stride, ipiv, anorm)
+		rcond = lapack.Gecon(cfg, norm, n, a.Data, a.Stride, ipiv, anorm)
 	}
 	return ipiv, rcond, erinfo(routine, info, "U(i,i) is exactly zero: the factor U is singular")
 }
@@ -42,6 +45,7 @@ func GETRS[T Scalar](a *Matrix[T], ipiv []int, b *Matrix[T], opts ...Opt) (err e
 	const routine = "LA_GETRS"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return erinfo(routine, -1, "")
 	}
@@ -51,7 +55,7 @@ func GETRS[T Scalar](a *Matrix[T], ipiv []int, b *Matrix[T], opts ...Opt) (err e
 	if !rhsMatch(a.Rows, b) {
 		return erinfo(routine, -3, "")
 	}
-	lapack.Getrs(o.trans, a.Rows, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
+	lapack.Getrs(cfg, o.trans, a.Rows, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
 	return nil
 }
 
@@ -59,6 +63,7 @@ func GETRS[T Scalar](a *Matrix[T], ipiv []int, b *Matrix[T], opts ...Opt) (err e
 // paper's LA_GETRI; its workspace query through ILAENV happens
 // internally, as in the paper's Appendix C listing).
 func GETRI[T Scalar](a *Matrix[T], ipiv []int) (err error) {
+	cfg := core.Default()
 	const routine = "LA_GETRI"
 	defer guard(routine, &err)
 	if !square(a) {
@@ -68,10 +73,10 @@ func GETRI[T Scalar](a *Matrix[T], ipiv []int) (err error) {
 		return erinfo(routine, -2, "")
 	}
 	n := a.Rows
-	nb := lapack.Ilaenv(1, "GETRI", n, -1, -1, -1)
+	nb := lapack.Ilaenv(cfg, 1, "GETRI", n, -1, -1, -1)
 	lwork := max(workSize(routine, n, nb), 1)
 	work := make([]T, lwork)
-	info := lapack.Getri(n, a.Data, a.Stride, ipiv, work)
+	info := lapack.Getri(cfg, n, a.Data, a.Stride, ipiv, work)
 	return erinfo(routine, info, "U(i,i) is exactly zero: the matrix is singular")
 }
 
@@ -82,6 +87,7 @@ func GERFS[T Scalar](a, af *Matrix[T], ipiv []int, b, x *Matrix[T], opts ...Opt)
 	const routine = "LA_GERFS"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, nil, erinfo(routine, -1, "")
 	}
@@ -94,7 +100,7 @@ func GERFS[T Scalar](a, af *Matrix[T], ipiv []int, b, x *Matrix[T], opts ...Opt)
 	nrhs := b.Cols
 	ferr = make([]float64, nrhs)
 	berr = make([]float64, nrhs)
-	lapack.Gerfs(o.trans, a.Rows, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride, ferr, berr)
+	lapack.Gerfs(cfg, o.trans, a.Rows, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride, ferr, berr)
 	return ferr, berr, nil
 }
 
@@ -120,6 +126,7 @@ func POTRF[T Scalar](a *Matrix[T], opts ...Opt) (rcond float64, err error) {
 	const routine = "LA_POTRF"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return 0, erinfo(routine, -1, "")
 	}
@@ -130,9 +137,9 @@ func POTRF[T Scalar](a *Matrix[T], opts ...Opt) (rcond float64, err error) {
 	}
 	n := a.Rows
 	anorm := lapack.Lansy(lapack.OneNorm, o.uplo, n, a.Data, a.Stride)
-	info := lapack.Potrf(o.uplo, n, a.Data, a.Stride)
+	info := lapack.Potrf(cfg, o.uplo, n, a.Data, a.Stride)
 	if info == 0 {
-		rcond = lapack.Pocon(o.uplo, n, a.Data, a.Stride, anorm)
+		rcond = lapack.Pocon(cfg, o.uplo, n, a.Data, a.Stride, anorm)
 	}
 	return rcond, erinfo(routine, info, "the matrix is not positive definite")
 }
@@ -145,6 +152,7 @@ func SYTRD[T Scalar](a *Matrix[T], opts ...Opt) (d, e []float64, tau []T, err er
 	const routine = "LA_SYTRD"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, nil, nil, erinfo(routine, -1, "")
 	}
@@ -152,7 +160,7 @@ func SYTRD[T Scalar](a *Matrix[T], opts ...Opt) (d, e []float64, tau []T, err er
 	d = make([]float64, n)
 	e = make([]float64, max(0, n-1))
 	tau = make([]T, max(0, n-1))
-	lapack.Sytrd(o.uplo, n, a.Data, a.Stride, d, e, tau)
+	lapack.Sytrd(cfg, o.uplo, n, a.Data, a.Stride, d, e, tau)
 	return d, e, tau, nil
 }
 
@@ -167,13 +175,14 @@ func ORGTR[T Scalar](a *Matrix[T], tau []T, opts ...Opt) (err error) {
 	const routine = "LA_ORGTR"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return erinfo(routine, -1, "")
 	}
 	if len(tau) != max(0, a.Rows-1) {
 		return erinfo(routine, -2, "")
 	}
-	lapack.Orgtr(o.uplo, a.Rows, a.Data, a.Stride, tau)
+	lapack.Orgtr(cfg, o.uplo, a.Rows, a.Data, a.Stride, tau)
 	return nil
 }
 
@@ -228,6 +237,7 @@ func LANGE[T Scalar](a *Matrix[T], opts ...Opt) (v float64, err error) {
 // restrict the bandwidth and WithSeed fixes the random stream (the
 // paper's ISEED).
 func LAGGE[T Scalar](a *Matrix[T], d []float64, opts ...Opt) (err error) {
+	cfg := core.Default()
 	const routine = "LA_LAGGE"
 	defer guard(routine, &err)
 	o := apply(opts)
@@ -250,6 +260,6 @@ func LAGGE[T Scalar](a *Matrix[T], d []float64, opts ...Opt) (err error) {
 		seed = o.iseed
 	}
 	rng := lapack.NewRng(seed)
-	matgen.Lagge(rng, a.Rows, a.Cols, kl, ku, d, a.Data, a.Stride)
+	matgen.Lagge(cfg, rng, a.Rows, a.Cols, kl, ku, d, a.Data, a.Stride)
 	return nil
 }

@@ -1,0 +1,245 @@
+package la_test
+
+// Tests for the per-call execution contexts (la/config.go): capture-once
+// isolation under concurrent default-store churn, bit-identity of the
+// default configuration across every way of spelling it, and bit-identity
+// of serial versus multi-worker execution. The concurrency test is the
+// designated -race workload for the atomic default-config store: four-plus
+// drivers run simultaneously with distinct thread budgets and block sizes
+// while another goroutine rewrites the process-wide defaults.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/la"
+)
+
+// bitsEqual reports whether a and b are equal bit for bit (NaN == NaN,
+// +0 != -0), which is the contract the execution-context refactor promises
+// for default-config and any-thread-count runs.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// The four driver workloads. Each builds its inputs from a fixed seed, runs
+// one la driver with the given per-call options, and returns a flat
+// signature of every output so runs can be compared bitwise. Sizes sit well
+// above the blocked-path crossovers so the block-size knobs actually bind.
+
+func gesvSig(t *testing.T, opts ...la.Opt) []float64 {
+	t.Helper()
+	const n = 130
+	a := randMat[float64](31, n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	b := randMat[float64](32, n, 3)
+	ipiv, err := la.GESV(a, b, opts...)
+	if err != nil {
+		t.Fatalf("GESV: %v", err)
+	}
+	sig := append([]float64(nil), b.Data...)
+	sig = append(sig, a.Data...)
+	for _, p := range ipiv {
+		sig = append(sig, float64(p))
+	}
+	return sig
+}
+
+func posvSig(t *testing.T, opts ...la.Opt) []float64 {
+	t.Helper()
+	const n = 130
+	a := spdMat[float64](33, n)
+	b := randMat[float64](34, n, 2)
+	if err := la.POSV(a, b, opts...); err != nil {
+		t.Fatalf("POSV: %v", err)
+	}
+	sig := append([]float64(nil), b.Data...)
+	return append(sig, a.Data...)
+}
+
+func syevSig(t *testing.T, opts ...la.Opt) []float64 {
+	t.Helper()
+	const n = 90
+	a := spdMat[float64](35, n)
+	w, err := la.SYEV(a, append(opts, la.WithVectors())...)
+	if err != nil {
+		t.Fatalf("SYEV: %v", err)
+	}
+	sig := append([]float64(nil), w...)
+	return append(sig, a.Data...)
+}
+
+func gesvdSig(t *testing.T, opts ...la.Opt) []float64 {
+	t.Helper()
+	a := randMat[float64](36, 100, 70)
+	res, err := la.GESVD(a, opts...)
+	if err != nil {
+		t.Fatalf("GESVD: %v", err)
+	}
+	sig := append([]float64(nil), res.S...)
+	sig = append(sig, res.U.Data...)
+	return append(sig, res.VT.Data...)
+}
+
+// TestDefaultConfigBitIdentical checks that the default execution context is
+// the same object no matter how it is spelled: no options at all, an empty
+// WithConfig overlay (every field inherits), an overlay of the full default
+// snapshot, and an explicit WithThreads at the default budget must all
+// produce bit-identical outputs for GESV, POSV, SYEV and GESVD.
+func TestDefaultConfigBitIdentical(t *testing.T) {
+	drivers := []struct {
+		name string
+		sig  func(*testing.T, ...la.Opt) []float64
+	}{
+		{"GESV", gesvSig}, {"POSV", posvSig}, {"SYEV", syevSig}, {"GESVD", gesvdSig},
+	}
+	spellings := []struct {
+		name string
+		opts []la.Opt
+	}{
+		{"zero overlay", []la.Opt{la.WithConfig(la.Config{})}},
+		{"default snapshot", []la.Opt{la.WithConfig(la.DefaultConfig())}},
+		{"explicit default threads", []la.Opt{la.WithThreads(la.DefaultConfig().Threads)}},
+	}
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			want := d.sig(t) // no options: the plain default path
+			for _, s := range spellings {
+				if got := d.sig(t, s.opts...); !bitsEqual(got, want) {
+					t.Errorf("%s with %s differs bitwise from the optionless run", d.name, s.name)
+				}
+			}
+		})
+	}
+}
+
+// TestThreadsBitIdentical checks the per-call version of the engine's core
+// determinism contract: WithThreads(n) produces bit-identical results for
+// every budget, because the worker count never changes any summation order.
+func TestThreadsBitIdentical(t *testing.T) {
+	drivers := []struct {
+		name string
+		sig  func(*testing.T, ...la.Opt) []float64
+	}{
+		{"GESV", gesvSig}, {"POSV", posvSig}, {"SYEV", syevSig}, {"GESVD", gesvdSig},
+	}
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			serial := d.sig(t, la.WithThreads(1))
+			for _, n := range []int{2, 4, 7} {
+				if got := d.sig(t, la.WithThreads(n)); !bitsEqual(got, serial) {
+					t.Errorf("%s with %d workers differs bitwise from serial", d.name, n)
+				}
+			}
+		})
+	}
+}
+
+// fullPin returns a Config that pins every numerics-affecting knob, so a job
+// carrying it is completely insulated from concurrent default-store churn:
+// nothing is left to inherit. base chooses the block-size family so distinct
+// jobs exercise distinct cache blockings.
+func fullPin(threads, base int) la.Config {
+	return la.Config{
+		Threads:            threads,
+		GemmMC:             base,
+		GemmKC:             base,
+		GemmNC:             4 * base,
+		GemmSmallDim:       -1, // pack-free path off: one fixed kernel family
+		GemmParallelMinVol: 1 << 18,
+		GemvParallelMinVol: 1 << 15,
+		NBGetrf:            base / 2,
+		NBPotrf:            base / 2,
+		NBGeqrf:            base / 4,
+		NBSytrf:            base / 4,
+		NXGeqrf:            base,
+		NBGetrf2:           16,
+		NBSytrd:            base / 4,
+		NBGebrd:            base / 4,
+		NBGehrd:            base / 4,
+		MixedIterMax:       30,
+	}
+}
+
+// TestConcurrentPerCallConfigs runs five drivers simultaneously, each with
+// its own thread budget and fully pinned block sizes, while a sixth
+// goroutine hammers the process-wide default store (SetThreads,
+// SetBlockSizes, SetGemmSmall). Every concurrent result must match the
+// job's own serial baseline bit for bit: per-call configs are captured once
+// at the API boundary and never see mid-flight default changes. Run under
+// -race this is also the data-race gate for the atomic default store.
+func TestConcurrentPerCallConfigs(t *testing.T) {
+	jobs := []struct {
+		name string
+		opts []la.Opt
+		sig  func(*testing.T, ...la.Opt) []float64
+	}{
+		{"GESV/t1/b64", []la.Opt{la.WithConfig(fullPin(1, 64))}, gesvSig},
+		{"POSV/t2/b96", []la.Opt{la.WithConfig(fullPin(2, 96))}, posvSig},
+		{"SYEV/t3/b128", []la.Opt{la.WithConfig(fullPin(3, 128))}, syevSig},
+		{"GESVD/t4/b64", []la.Opt{la.WithConfig(fullPin(4, 64))}, gesvdSig},
+		{"GESV/t2/b32", []la.Opt{la.WithConfig(fullPin(2, 32))}, gesvSig},
+	}
+
+	// Serial baselines, computed before any default-store churn.
+	want := make([][]float64, len(jobs))
+	for i, j := range jobs {
+		want[i] = j.sig(t, j.opts...)
+	}
+
+	origThreads := blas.Threads()
+	origMC, origKC, origNC := blas.SetBlockSizes(0, 0, 0)
+	origSmall := blas.SetGemmSmall(-1)
+	defer func() {
+		blas.SetThreads(origThreads)
+		blas.SetBlockSizes(origMC, origKC, origNC)
+		blas.SetGemmSmall(origSmall)
+	}()
+
+	const iters = 3
+	done := make(chan struct{})
+	churned := make(chan struct{})
+	// The churn goroutine: rewrites the shared defaults as fast as it can
+	// until every driver job has finished.
+	go func() {
+		defer close(churned)
+		for k := 0; ; k++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			blas.SetThreads(1 + k%8)
+			blas.SetBlockSizes(32+32*(k%4), 32+32*((k+1)%4), 256+128*(k%3))
+			blas.SetGemmSmall(8 * (k % 5))
+		}
+	}()
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, name string, opts []la.Opt, sig func(*testing.T, ...la.Opt) []float64) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				if got := sig(t, opts...); !bitsEqual(got, want[i]) {
+					t.Errorf("%s: concurrent run %d differs bitwise from its serial baseline", name, it)
+					return
+				}
+			}
+		}(i, j.name, j.opts, j.sig)
+	}
+	wg.Wait()
+	close(done)
+	<-churned
+}

@@ -11,6 +11,7 @@ func SYEV[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
 	const routine = "LA_SYEV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -20,7 +21,7 @@ func SYEV[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
 		}
 	}
 	w = make([]float64, a.Rows)
-	info := lapack.Syev[T](o.vectors, o.uplo, a.Rows, a.Data, a.Stride, w)
+	info := lapack.Syev[T](cfg, o.vectors, o.uplo, a.Rows, a.Data, a.Stride, w)
 	return w, erdiag(routine, info, "the QL/QR iteration failed to converge", DiagNotConverged)
 }
 
@@ -36,6 +37,7 @@ func SYEVD[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
 	const routine = "LA_SYEVD"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -45,7 +47,7 @@ func SYEVD[T Scalar](a *Matrix[T], opts ...Opt) (w []float64, err error) {
 		}
 	}
 	w = make([]float64, a.Rows)
-	info := lapack.Syevd[T](o.vectors, o.uplo, a.Rows, a.Data, a.Stride, w)
+	info := lapack.Syevd[T](cfg, o.vectors, o.uplo, a.Rows, a.Data, a.Stride, w)
 	return w, erinfo(routine, info, "the divide & conquer iteration failed")
 }
 
@@ -72,6 +74,7 @@ func SYEVX[T Scalar](a *Matrix[T], opts ...Opt) (result *EigXResult[T], err erro
 	const routine = "LA_SYEVX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -88,7 +91,7 @@ func SYEVX[T Scalar](a *Matrix[T], opts ...Opt) (result *EigXResult[T], err erro
 		zdata = z.Data
 		ldz = z.Stride
 	}
-	res := lapack.Syevx(o.vectors, o.rng, o.uplo, n, a.Data, a.Stride, o.vl, o.vu, o.il, iu, o.abstol, zdata, ldz)
+	res := lapack.Syevx(cfg, o.vectors, o.rng, o.uplo, n, a.Data, a.Stride, o.vl, o.vu, o.il, iu, o.abstol, zdata, ldz)
 	out := &EigXResult[T]{M: res.M, W: res.W, Z: z, IFail: res.IFail}
 	if z != nil {
 		z.Cols = res.M
@@ -108,6 +111,7 @@ func SPEV[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error) 
 	const routine = "LA_SPEV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	n := packedOrder(len(ap))
 	if n < 0 {
 		return nil, nil, erinfo(routine, -1, "")
@@ -120,7 +124,7 @@ func SPEV[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error) 
 		zdata = z.Data
 		ldz = z.Stride
 	}
-	info := lapack.Spev(o.vectors, o.uplo, n, ap, w, zdata, ldz)
+	info := lapack.Spev(cfg, o.vectors, o.uplo, n, ap, w, zdata, ldz)
 	return w, z, erdiag(routine, info, "the QL/QR iteration failed to converge", DiagNotConverged)
 }
 
@@ -135,6 +139,7 @@ func SPEVD[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error)
 	const routine = "LA_SPEVD"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	n := packedOrder(len(ap))
 	if n < 0 {
 		return nil, nil, erinfo(routine, -1, "")
@@ -142,7 +147,7 @@ func SPEVD[T Scalar](ap []T, opts ...Opt) (w []float64, z *Matrix[T], err error)
 	a := NewMatrix[T](n, n)
 	unpackInto(o.uplo, n, ap, a)
 	w = make([]float64, n)
-	info := lapack.Syevd[T](o.vectors, o.uplo, n, a.Data, a.Stride, w)
+	info := lapack.Syevd[T](cfg, o.vectors, o.uplo, n, a.Data, a.Stride, w)
 	if o.vectors {
 		z = a
 	}
@@ -160,6 +165,7 @@ func SPEVX[T Scalar](ap []T, opts ...Opt) (result *EigXResult[T], err error) {
 	const routine = "LA_SPEVX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	n := packedOrder(len(ap))
 	if n < 0 {
 		return nil, erinfo(routine, -1, "")
@@ -176,7 +182,7 @@ func SPEVX[T Scalar](ap []T, opts ...Opt) (result *EigXResult[T], err error) {
 		zdata = z.Data
 		ldz = z.Stride
 	}
-	res := lapack.Spevx(o.vectors, o.rng, o.uplo, n, ap, o.vl, o.vu, o.il, iu, o.abstol, zdata, ldz)
+	res := lapack.Spevx(cfg, o.vectors, o.rng, o.uplo, n, ap, o.vl, o.vu, o.il, iu, o.abstol, zdata, ldz)
 	out := &EigXResult[T]{M: res.M, W: res.W, Z: z, IFail: res.IFail}
 	if z != nil {
 		z.Cols = res.M
@@ -196,6 +202,7 @@ func SBEV[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err 
 	const routine = "LA_SBEV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if ab == nil || ab.Rows < 1 {
 		return nil, nil, erinfo(routine, -1, "")
 	}
@@ -209,7 +216,7 @@ func SBEV[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err 
 		zdata = z.Data
 		ldz = z.Stride
 	}
-	info := lapack.Sbev(o.vectors, o.uplo, n, kd, ab.Data, ab.Stride, w, zdata, ldz)
+	info := lapack.Sbev(cfg, o.vectors, o.uplo, n, kd, ab.Data, ab.Stride, w, zdata, ldz)
 	return w, z, erdiag(routine, info, "the QL/QR iteration failed to converge", DiagNotConverged)
 }
 
@@ -224,6 +231,7 @@ func SBEVD[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err
 	const routine = "LA_SBEVD"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if ab == nil || ab.Rows < 1 {
 		return nil, nil, erinfo(routine, -1, "")
 	}
@@ -232,7 +240,7 @@ func SBEVD[T Scalar](ab *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], err
 	a := NewMatrix[T](n, n)
 	expandBandInto(o.uplo, n, kd, ab, a)
 	w = make([]float64, n)
-	info := lapack.Syevd[T](o.vectors, o.uplo, n, a.Data, a.Stride, w)
+	info := lapack.Syevd[T](cfg, o.vectors, o.uplo, n, a.Data, a.Stride, w)
 	if o.vectors {
 		z = a
 	}
@@ -250,6 +258,7 @@ func SBEVX[T Scalar](ab *Matrix[T], opts ...Opt) (result *EigXResult[T], err err
 	const routine = "LA_SBEVX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if ab == nil || ab.Rows < 1 {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -267,7 +276,7 @@ func SBEVX[T Scalar](ab *Matrix[T], opts ...Opt) (result *EigXResult[T], err err
 		zdata = z.Data
 		ldz = z.Stride
 	}
-	res := lapack.Sbevx(o.vectors, o.rng, o.uplo, n, kd, ab.Data, ab.Stride, o.vl, o.vu, o.il, iu, o.abstol, zdata, ldz)
+	res := lapack.Sbevx(cfg, o.vectors, o.rng, o.uplo, n, kd, ab.Data, ab.Stride, o.vl, o.vu, o.il, iu, o.abstol, zdata, ldz)
 	out := &EigXResult[T]{M: res.M, W: res.W, Z: z, IFail: res.IFail}
 	if z != nil {
 		z.Cols = res.M
@@ -287,6 +296,7 @@ func STEV[T Scalar](d, e []float64, opts ...Opt) (z *Matrix[T], err error) {
 	const routine = "LA_STEV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	n := len(d)
 	if n > 0 && len(e) != n-1 {
 		return nil, erinfo(routine, -2, "")
@@ -298,7 +308,7 @@ func STEV[T Scalar](d, e []float64, opts ...Opt) (z *Matrix[T], err error) {
 		zdata = z.Data
 		ldz = z.Stride
 	}
-	info := lapack.Stev(n, d, e, zdata, ldz)
+	info := lapack.Stev(cfg, n, d, e, zdata, ldz)
 	return z, erdiag(routine, info, "the QL/QR iteration failed to converge", DiagNotConverged)
 }
 
@@ -307,6 +317,7 @@ func STEVD[T Scalar](d, e []float64, opts ...Opt) (z *Matrix[T], err error) {
 	const routine = "LA_STEVD"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	n := len(d)
 	if n > 0 && len(e) != n-1 {
 		return nil, erinfo(routine, -2, "")
@@ -318,7 +329,7 @@ func STEVD[T Scalar](d, e []float64, opts ...Opt) (z *Matrix[T], err error) {
 		zdata = z.Data
 		ldz = z.Stride
 	}
-	info := lapack.Stevd[T](n, d, e, zdata, ldz)
+	info := lapack.Stevd[T](cfg, n, d, e, zdata, ldz)
 	return z, erinfo(routine, info, "the divide & conquer iteration failed")
 }
 
@@ -401,6 +412,7 @@ func SYGV[T Scalar](a, b *Matrix[T], opts ...Opt) (w []float64, err error) {
 	const routine = "LA_SYGV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -413,7 +425,7 @@ func SYGV[T Scalar](a, b *Matrix[T], opts ...Opt) (w []float64, err error) {
 		}
 	}
 	w = make([]float64, a.Rows)
-	info := lapack.Sygv(o.itype, o.vectors, o.uplo, a.Rows, a.Data, a.Stride, b.Data, b.Stride, w)
+	info := lapack.Sygv(cfg, o.itype, o.vectors, o.uplo, a.Rows, a.Data, a.Stride, b.Data, b.Stride, w)
 	return w, erinfo(routine, info, "B is not positive definite or the reduction failed")
 }
 
@@ -430,6 +442,7 @@ func SPGV[T Scalar](ap, bp []T, opts ...Opt) (w []float64, z *Matrix[T], err err
 	const routine = "LA_SPGV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	n := packedOrder(len(ap))
 	if n < 0 {
 		return nil, nil, erinfo(routine, -1, "")
@@ -445,7 +458,7 @@ func SPGV[T Scalar](ap, bp []T, opts ...Opt) (w []float64, z *Matrix[T], err err
 		zdata = z.Data
 		ldz = z.Stride
 	}
-	info := lapack.Spgv(o.itype, o.vectors, o.uplo, n, ap, bp, w, zdata, ldz)
+	info := lapack.Spgv(cfg, o.itype, o.vectors, o.uplo, n, ap, bp, w, zdata, ldz)
 	return w, z, erinfo(routine, info, "B is not positive definite or the reduction failed")
 }
 
@@ -461,6 +474,7 @@ func SBGV[T Scalar](ab, bb *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], 
 	const routine = "LA_SBGV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if ab == nil || ab.Rows < 1 {
 		return nil, nil, erinfo(routine, -1, "")
 	}
@@ -476,7 +490,7 @@ func SBGV[T Scalar](ab, bb *Matrix[T], opts ...Opt) (w []float64, z *Matrix[T], 
 		zdata = z.Data
 		ldz = z.Stride
 	}
-	info := lapack.Sbgv(o.vectors, o.uplo, n, ab.Rows-1, bb.Rows-1, ab.Data, ab.Stride, bb.Data, bb.Stride, w, zdata, ldz)
+	info := lapack.Sbgv(cfg, o.vectors, o.uplo, n, ab.Rows-1, bb.Rows-1, ab.Data, ab.Stride, bb.Data, bb.Stride, w, zdata, ldz)
 	return w, z, erinfo(routine, info, "B is not positive definite or the reduction failed")
 }
 

@@ -30,6 +30,7 @@ func GESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 	const routine = "LA_GESVX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -45,7 +46,7 @@ func GESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 	af := NewMatrix[T](n, n)
 	x := NewMatrix[T](n, nrhs)
 	ipiv := make([]int, n)
-	res := lapack.Gesvx(o.fact, o.trans, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride)
+	res := lapack.Gesvx(cfg, o.fact, o.trans, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride)
 	out := &ExpertResult[T]{
 		X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr,
 		Equed: byte(res.Equed), R: res.R, C: res.C, RPvGrw: res.RPvGrw, IPiv: ipiv,
@@ -134,6 +135,7 @@ func POSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 	const routine = "LA_POSVX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -148,7 +150,7 @@ func POSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 	n, nrhs := a.Rows, b.Cols
 	af := NewMatrix[T](n, n)
 	x := NewMatrix[T](n, nrhs)
-	res := lapack.Posvx(o.fact, o.uplo, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, b.Data, b.Stride, x.Data, x.Stride)
+	res := lapack.Posvx(cfg, o.fact, o.uplo, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, b.Data, b.Stride, x.Data, x.Stride)
 	out := &ExpertResult[T]{
 		X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr,
 		Equed: byte(res.Equed), S: res.S,
@@ -252,6 +254,7 @@ func SYSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 	const routine = "LA_SYSVX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -267,7 +270,7 @@ func SYSVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 	af := NewMatrix[T](n, n)
 	ipiv := make([]int, n)
 	x := NewMatrix[T](n, nrhs)
-	res := lapack.Sysvx(o.fact, o.uplo, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride)
+	res := lapack.Sysvx(cfg, o.fact, o.uplo, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride)
 	out := &ExpertResult[T]{X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr, IPiv: ipiv}
 	return out, erexpert(routine, res.Info, n, res.RCond, 0, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
@@ -278,6 +281,7 @@ func HESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 	const routine = "LA_HESVX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -293,7 +297,7 @@ func HESVX[T Scalar](a, b *Matrix[T], opts ...Opt) (result *ExpertResult[T], err
 	af := NewMatrix[T](n, n)
 	ipiv := make([]int, n)
 	x := NewMatrix[T](n, nrhs)
-	res := lapack.Hesvx(o.fact, o.uplo, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride)
+	res := lapack.Hesvx(cfg, o.fact, o.uplo, n, nrhs, a.Data, a.Stride, af.Data, af.Stride, ipiv, b.Data, b.Stride, x.Data, x.Stride)
 	out := &ExpertResult[T]{X: x, RCond: res.RCond, Ferr: res.Ferr, Berr: res.Berr, IPiv: ipiv}
 	return out, erexpert(routine, res.Info, n, res.RCond, 0, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
@@ -305,6 +309,7 @@ func SPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T]
 	const routine = "LA_SPSVX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	n := packedOrder(len(ap))
 	if n < 0 {
 		return nil, erinfo(routine, -1, "")
@@ -326,10 +331,10 @@ func SPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T]
 		return out, erdiag(routine, info, "D(i,i) is exactly zero", DiagSingular)
 	}
 	anorm := lapack.Lansp(lapack.OneNorm, o.uplo, n, ap)
-	out.RCond = lapack.Spcon(o.uplo, n, afp, ipiv, anorm)
+	out.RCond = lapack.Spcon(cfg, o.uplo, n, afp, ipiv, anorm)
 	lapack.Lacpy('A', n, nrhs, b.Data, b.Stride, out.X.Data, out.X.Stride)
-	lapack.Sptrs(o.uplo, n, nrhs, afp, ipiv, out.X.Data, out.X.Stride)
-	lapack.Sprfs(o.uplo, n, nrhs, ap, afp, ipiv, b.Data, b.Stride, out.X.Data, out.X.Stride, out.Ferr, out.Berr)
+	lapack.Sptrs(cfg, o.uplo, n, nrhs, afp, ipiv, out.X.Data, out.X.Stride)
+	lapack.Sprfs(cfg, o.uplo, n, nrhs, ap, afp, ipiv, b.Data, b.Stride, out.X.Data, out.X.Stride, out.Ferr, out.Berr)
 	if out.RCond < epsFor[T]() {
 		info = n + 1
 	}
@@ -342,6 +347,7 @@ func HPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T]
 	const routine = "LA_HPSVX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	n := packedOrder(len(ap))
 	if n < 0 {
 		return nil, erinfo(routine, -1, "")
@@ -363,10 +369,10 @@ func HPSVX[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (result *ExpertResult[T]
 		return out, erdiag(routine, info, "D(i,i) is exactly zero", DiagSingular)
 	}
 	anorm := lapack.Lansp(lapack.OneNorm, o.uplo, n, ap)
-	out.RCond = lapack.Hpcon(o.uplo, n, afp, ipiv, anorm)
+	out.RCond = lapack.Hpcon(cfg, o.uplo, n, afp, ipiv, anorm)
 	lapack.Lacpy('A', n, nrhs, b.Data, b.Stride, out.X.Data, out.X.Stride)
-	lapack.Hptrs(o.uplo, n, nrhs, afp, ipiv, out.X.Data, out.X.Stride)
-	lapack.Hprfs(o.uplo, n, nrhs, ap, afp, ipiv, b.Data, b.Stride, out.X.Data, out.X.Stride, out.Ferr, out.Berr)
+	lapack.Hptrs(cfg, o.uplo, n, nrhs, afp, ipiv, out.X.Data, out.X.Stride)
+	lapack.Hprfs(cfg, o.uplo, n, nrhs, ap, afp, ipiv, b.Data, b.Stride, out.X.Data, out.X.Stride, out.Ferr, out.Berr)
 	if out.RCond < epsFor[T]() {
 		info = n + 1
 	}

@@ -1,6 +1,9 @@
 package la
 
-import "repro/internal/lapack"
+import (
+	"repro/internal/core"
+	"repro/internal/lapack"
+)
 
 // GegResult carries the outputs of LA_GEGS/LA_GEGV: the generalized
 // eigenvalues λᵢ = Alpha[i]/Beta[i] (the paper's ALPHAR/ALPHAI/BETA or
@@ -15,6 +18,7 @@ type GegResult struct {
 // holds T; vsl and vsr receive Q and Z. Requires B nonsingular (the
 // QZ-lite route; see DESIGN.md).
 func GEGS[T Scalar](a, b *Matrix[T]) (res *GegResult, vsl, vsr *Matrix[T], err error) {
+	cfg := core.Default()
 	const routine = "LA_GEGS"
 	defer guard(routine, &err)
 	if !square(a) {
@@ -31,7 +35,7 @@ func GEGS[T Scalar](a, b *Matrix[T]) (res *GegResult, vsl, vsr *Matrix[T], err e
 	switch ad := any(a.Data).(type) {
 	case []float32:
 		ar, ai, be := make([]float64, n), make([]float64, n), make([]float64, n)
-		info = lapack.Gegs[float32](n, ad, a.Stride, any(b.Data).([]float32), b.Stride, ar, ai, be,
+		info = lapack.Gegs[float32](cfg, n, ad, a.Stride, any(b.Data).([]float32), b.Stride, ar, ai, be,
 			any(vsl.Data).([]float32), vsl.Stride, any(vsr.Data).([]float32), vsr.Stride)
 		for i := 0; i < n; i++ {
 			res.Alpha[i] = complex(ar[i], ai[i])
@@ -39,17 +43,17 @@ func GEGS[T Scalar](a, b *Matrix[T]) (res *GegResult, vsl, vsr *Matrix[T], err e
 		}
 	case []float64:
 		ar, ai, be := make([]float64, n), make([]float64, n), make([]float64, n)
-		info = lapack.Gegs[float64](n, ad, a.Stride, any(b.Data).([]float64), b.Stride, ar, ai, be,
+		info = lapack.Gegs[float64](cfg, n, ad, a.Stride, any(b.Data).([]float64), b.Stride, ar, ai, be,
 			any(vsl.Data).([]float64), vsl.Stride, any(vsr.Data).([]float64), vsr.Stride)
 		for i := 0; i < n; i++ {
 			res.Alpha[i] = complex(ar[i], ai[i])
 			res.Beta[i] = complex(be[i], 0)
 		}
 	case []complex64:
-		info = lapack.GegsC[complex64](n, ad, a.Stride, any(b.Data).([]complex64), b.Stride, res.Alpha, res.Beta,
+		info = lapack.GegsC[complex64](cfg, n, ad, a.Stride, any(b.Data).([]complex64), b.Stride, res.Alpha, res.Beta,
 			any(vsl.Data).([]complex64), vsl.Stride, any(vsr.Data).([]complex64), vsr.Stride)
 	case []complex128:
-		info = lapack.GegsC[complex128](n, ad, a.Stride, any(b.Data).([]complex128), b.Stride, res.Alpha, res.Beta,
+		info = lapack.GegsC[complex128](cfg, n, ad, a.Stride, any(b.Data).([]complex128), b.Stride, res.Alpha, res.Beta,
 			any(vsl.Data).([]complex128), vsl.Stride, any(vsr.Data).([]complex128), vsr.Stride)
 	}
 	return res, vsl, vsr, erinfo(routine, info, "B is singular or the QR iteration failed")
@@ -63,6 +67,7 @@ func GEGV[T Scalar](a, b *Matrix[T], opts ...Opt) (res *GegResult, vl, vr *Matri
 	const routine = "LA_GEGV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, nil, nil, erinfo(routine, -1, "")
 	}
@@ -83,7 +88,7 @@ func GEGV[T Scalar](a, b *Matrix[T], opts ...Opt) (res *GegResult, vl, vr *Matri
 		ar, ai, be := make([]float64, n), make([]float64, n), make([]float64, n)
 		vld, lvl := matData[float32](vl)
 		vrd, lvr := matData[float32](vr)
-		info = lapack.Gegv[float32](o.left, o.right, n, ad, a.Stride, any(b.Data).([]float32), b.Stride, ar, ai, be, vld, lvl, vrd, lvr)
+		info = lapack.Gegv[float32](cfg, o.left, o.right, n, ad, a.Stride, any(b.Data).([]float32), b.Stride, ar, ai, be, vld, lvl, vrd, lvr)
 		for i := 0; i < n; i++ {
 			res.Alpha[i] = complex(ar[i], ai[i])
 			res.Beta[i] = complex(be[i], 0)
@@ -92,7 +97,7 @@ func GEGV[T Scalar](a, b *Matrix[T], opts ...Opt) (res *GegResult, vl, vr *Matri
 		ar, ai, be := make([]float64, n), make([]float64, n), make([]float64, n)
 		vld, lvl := matData[float64](vl)
 		vrd, lvr := matData[float64](vr)
-		info = lapack.Gegv[float64](o.left, o.right, n, ad, a.Stride, any(b.Data).([]float64), b.Stride, ar, ai, be, vld, lvl, vrd, lvr)
+		info = lapack.Gegv[float64](cfg, o.left, o.right, n, ad, a.Stride, any(b.Data).([]float64), b.Stride, ar, ai, be, vld, lvl, vrd, lvr)
 		for i := 0; i < n; i++ {
 			res.Alpha[i] = complex(ar[i], ai[i])
 			res.Beta[i] = complex(be[i], 0)
@@ -100,11 +105,11 @@ func GEGV[T Scalar](a, b *Matrix[T], opts ...Opt) (res *GegResult, vl, vr *Matri
 	case []complex64:
 		vld, lvl := matData[complex64](vl)
 		vrd, lvr := matData[complex64](vr)
-		info = lapack.GegvC[complex64](o.left, o.right, n, ad, a.Stride, any(b.Data).([]complex64), b.Stride, res.Alpha, res.Beta, vld, lvl, vrd, lvr)
+		info = lapack.GegvC[complex64](cfg, o.left, o.right, n, ad, a.Stride, any(b.Data).([]complex64), b.Stride, res.Alpha, res.Beta, vld, lvl, vrd, lvr)
 	case []complex128:
 		vld, lvl := matData[complex128](vl)
 		vrd, lvr := matData[complex128](vr)
-		info = lapack.GegvC[complex128](o.left, o.right, n, ad, a.Stride, any(b.Data).([]complex128), b.Stride, res.Alpha, res.Beta, vld, lvl, vrd, lvr)
+		info = lapack.GegvC[complex128](cfg, o.left, o.right, n, ad, a.Stride, any(b.Data).([]complex128), b.Stride, res.Alpha, res.Beta, vld, lvl, vrd, lvr)
 	}
 	return res, vl, vr, erinfo(routine, info, "B is singular or the QR iteration failed")
 }
@@ -125,6 +130,7 @@ type GGSVDResult[T Scalar] struct {
 // (A, B) (the paper's LA_GGSVD): A = U·diag(Alpha)·R·Qᴴ and
 // B = V·diag(Beta)·R·Qᴴ with Alpha² + Beta² = 1. A and B are destroyed.
 func GGSVD[T Scalar](a, b *Matrix[T]) (result *GGSVDResult[T], err error) {
+	cfg := core.Default()
 	const routine = "LA_GGSVD"
 	defer guard(routine, &err)
 	if a == nil {
@@ -141,7 +147,7 @@ func GGSVD[T Scalar](a, b *Matrix[T]) (result *GGSVDResult[T], err error) {
 	v := NewMatrix[T](p, n)
 	q := NewMatrix[T](n, n)
 	r := NewMatrix[T](n, n)
-	res := lapack.Ggsvd(m, p, n, a.Data, a.Stride, b.Data, b.Stride,
+	res := lapack.Ggsvd(cfg, m, p, n, a.Data, a.Stride, b.Data, b.Stride,
 		u.Data, u.Stride, v.Data, v.Stride, q.Data, q.Stride, r.Data, r.Stride)
 	out := &GGSVDResult[T]{K: res.K, L: res.L, Alpha: res.Alpha, Beta: res.Beta, U: u, V: v, Q: q, R: r}
 	return out, erinfo(routine, res.Info, "the stacked matrix is rank deficient or the SVD failed")
@@ -164,6 +170,7 @@ func GEESX[T Scalar](a *Matrix[T], opts ...Opt) (result *SchurXResult[T], err er
 	const routine = "LA_GEESX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -174,25 +181,25 @@ func GEESX[T Scalar](a *Matrix[T], opts ...Opt) (result *SchurXResult[T], err er
 	switch ad := any(a.Data).(type) {
 	case []float32:
 		wr, wi := make([]float64, n), make([]float64, n)
-		res := lapack.Geesx[float32](true, o.selReal, n, ad, a.Stride, wr, wi, any(vs.Data).([]float32), vs.Stride)
+		res := lapack.Geesx[float32](cfg, true, o.selReal, n, ad, a.Stride, wr, wi, any(vs.Data).([]float32), vs.Stride)
 		for i := range out.W {
 			out.W[i] = complex(wr[i], wi[i])
 		}
 		out.SDim, out.RCondE, out.RCondV, info = res.SDim, res.RCondE, res.RCondV, res.Info
 	case []float64:
 		wr, wi := make([]float64, n), make([]float64, n)
-		res := lapack.Geesx[float64](true, o.selReal, n, ad, a.Stride, wr, wi, any(vs.Data).([]float64), vs.Stride)
+		res := lapack.Geesx[float64](cfg, true, o.selReal, n, ad, a.Stride, wr, wi, any(vs.Data).([]float64), vs.Stride)
 		for i := range out.W {
 			out.W[i] = complex(wr[i], wi[i])
 		}
 		out.SDim, out.RCondE, out.RCondV, info = res.SDim, res.RCondE, res.RCondV, res.Info
 	case []complex64:
 		sel := selC(o)
-		res := lapack.GeesxC[complex64](true, sel, n, ad, a.Stride, out.W, any(vs.Data).([]complex64), vs.Stride)
+		res := lapack.GeesxC[complex64](cfg, true, sel, n, ad, a.Stride, out.W, any(vs.Data).([]complex64), vs.Stride)
 		out.SDim, out.RCondE, out.RCondV, info = res.SDim, res.RCondE, res.RCondV, res.Info
 	case []complex128:
 		sel := selC(o)
-		res := lapack.GeesxC[complex128](true, sel, n, ad, a.Stride, out.W, any(vs.Data).([]complex128), vs.Stride)
+		res := lapack.GeesxC[complex128](cfg, true, sel, n, ad, a.Stride, out.W, any(vs.Data).([]complex128), vs.Stride)
 		out.SDim, out.RCondE, out.RCondV, info = res.SDim, res.RCondE, res.RCondV, res.Info
 	}
 	out.VS = vs
@@ -228,6 +235,7 @@ func GEEVX[T Scalar](a *Matrix[T], opts ...Opt) (result *EigenXResult[T], err er
 	const routine = "LA_GEEVX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -245,7 +253,7 @@ func GEEVX[T Scalar](a *Matrix[T], opts ...Opt) (result *EigenXResult[T], err er
 		wr, wi := make([]float64, n), make([]float64, n)
 		vld, lvl := matData[float32](out.VL)
 		vrd, lvr := matData[float32](out.VR)
-		res := lapack.Geevx[float32](o.left, o.right, n, ad, a.Stride, wr, wi, vld, lvl, vrd, lvr)
+		res := lapack.Geevx[float32](cfg, o.left, o.right, n, ad, a.Stride, wr, wi, vld, lvl, vrd, lvr)
 		for i := range out.W {
 			out.W[i] = complex(wr[i], wi[i])
 		}
@@ -255,7 +263,7 @@ func GEEVX[T Scalar](a *Matrix[T], opts ...Opt) (result *EigenXResult[T], err er
 		wr, wi := make([]float64, n), make([]float64, n)
 		vld, lvl := matData[float64](out.VL)
 		vrd, lvr := matData[float64](out.VR)
-		res := lapack.Geevx[float64](o.left, o.right, n, ad, a.Stride, wr, wi, vld, lvl, vrd, lvr)
+		res := lapack.Geevx[float64](cfg, o.left, o.right, n, ad, a.Stride, wr, wi, vld, lvl, vrd, lvr)
 		for i := range out.W {
 			out.W[i] = complex(wr[i], wi[i])
 		}
@@ -264,13 +272,13 @@ func GEEVX[T Scalar](a *Matrix[T], opts ...Opt) (result *EigenXResult[T], err er
 	case []complex64:
 		vld, lvl := matData[complex64](out.VL)
 		vrd, lvr := matData[complex64](out.VR)
-		res := lapack.GeevxC[complex64](o.left, o.right, n, ad, a.Stride, out.W, vld, lvl, vrd, lvr)
+		res := lapack.GeevxC[complex64](cfg, o.left, o.right, n, ad, a.Stride, out.W, vld, lvl, vrd, lvr)
 		out.ILo, out.IHi, out.Scale, out.ABNrm = res.ILo, res.IHi, res.Scale, res.ABNrm
 		out.RCondE, out.RCondV, info = res.RCondE, res.RCondV, res.Info
 	case []complex128:
 		vld, lvl := matData[complex128](out.VL)
 		vrd, lvr := matData[complex128](out.VR)
-		res := lapack.GeevxC[complex128](o.left, o.right, n, ad, a.Stride, out.W, vld, lvl, vrd, lvr)
+		res := lapack.GeevxC[complex128](cfg, o.left, o.right, n, ad, a.Stride, out.W, vld, lvl, vrd, lvr)
 		out.ILo, out.IHi, out.Scale, out.ABNrm = res.ILo, res.IHi, res.Scale, res.ABNrm
 		out.RCondE, out.RCondV, info = res.RCondE, res.RCondV, res.Info
 	}

@@ -172,6 +172,7 @@ type Error struct {
 	RCond   float64   // reciprocal condition estimate, when Diag derives from one
 	Equed   byte      // equilibration applied before the diagnosis ('N' if none, 0 if n/a)
 	Stack   []byte    // worker stack for faults recovered from the parallel engine
+	Err     error     // underlying cause, when one exists (ctx.Err() for canceled calls)
 }
 
 // Diagnosis classifies a driver's numerical failure so callers can branch
@@ -201,6 +202,11 @@ const (
 	// DiagContainedFault: the error is a panic contained at the API
 	// boundary (Info == InfoPanic), not a numerical report.
 	DiagContainedFault
+	// DiagCanceled: the call's context (WithContext) was canceled and the
+	// computation unwound at a cooperative checkpoint; no result was
+	// delivered. Err carries ctx.Err(), so errors.Is reaches
+	// context.Canceled / context.DeadlineExceeded.
+	DiagCanceled
 )
 
 // String names the diagnosis for logs and error text.
@@ -216,6 +222,8 @@ func (d Diagnosis) String() string {
 		return "did not converge"
 	case DiagContainedFault:
 		return "contained fault"
+	case DiagCanceled:
+		return "canceled"
 	}
 	return "unclassified"
 }
@@ -227,6 +235,7 @@ var (
 	ErrNotPositiveDefinite        = errors.New("la: matrix is not positive definite")
 	ErrNotConverged               = errors.New("la: iteration did not converge")
 	ErrContainedFault             = errors.New("la: internal fault contained")
+	ErrCanceled                   = errors.New("la: call canceled")
 )
 
 // Is reports whether target is the sentinel for this error's diagnosis,
@@ -243,9 +252,16 @@ func (e *Error) Is(target error) bool {
 		return e.Diag == DiagNotConverged
 	case ErrContainedFault:
 		return e.Diag == DiagContainedFault || e.Info == InfoPanic
+	case ErrCanceled:
+		return e.Diag == DiagCanceled
 	}
 	return false
 }
+
+// Unwrap exposes the underlying cause, letting errors.Is walk past the
+// ERINFO report to, e.g., context.Canceled for a call canceled through
+// WithContext.
+func (e *Error) Unwrap() error { return e.Err }
 
 // InfoPanic is the out-of-band INFO value reported when a driver's error was
 // recovered from an internal panic rather than produced by the ERINFO
@@ -254,7 +270,15 @@ func (e *Error) Is(target error) bool {
 // contained fault from a numerical failure.
 const InfoPanic = -1 << 30
 
+// InfoCanceled is the out-of-band INFO value reported when a driver was
+// canceled through its WithContext context rather than completing. Like
+// InfoPanic it is far outside the range of legitimate INFO codes.
+const InfoCanceled = InfoPanic + 1
+
 func (e *Error) Error() string {
+	if e.Info == InfoCanceled {
+		return fmt.Sprintf("%s: %s (INFO = %d)", e.Routine, e.Detail, e.Info)
+	}
 	if e.Info == InfoPanic {
 		return fmt.Sprintf("%s: internal fault contained: %s (INFO = %d)", e.Routine, e.Detail, e.Info)
 	}
@@ -387,13 +411,23 @@ type options struct {
 	check       bool // screen inputs for non-finite values (WithCheck / LA90_CHECK_INPUTS)
 	mixed       bool // factor in reduced precision, refine to full (WithMixed / LA90_MIXED)
 	qrIteration bool // classic QR-iteration SVD instead of D&C (WithQRIteration / LA90_NO_DC)
+
+	// cfg is the execution context of the call: the process-wide default
+	// configuration captured exactly once, here at the API boundary, then
+	// refined by WithThreads / WithConfig / WithContext and passed explicitly
+	// through every lapack driver into the blas engines. Nothing below the
+	// boundary re-reads ambient state, so concurrent calls with different
+	// contexts never observe each other.
+	cfg *core.Config
 }
 
 func defaults() options {
+	cfg := core.Default()
 	return options{
-		check:       checkInputs.Load(),
-		mixed:       mixedDefault.Load(),
-		qrIteration: qrIterationSVD.Load(),
+		cfg:         cfg,
+		check:       cfg.CheckInputs,
+		mixed:       cfg.Mixed,
+		qrIteration: cfg.QRIterationSVD,
 		uplo:        Upper,
 		trans:       None,
 		transB:      None,

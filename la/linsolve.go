@@ -14,6 +14,7 @@ func GESV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_GESV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -28,11 +29,11 @@ func GESV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	n := a.Rows
 	ipiv = make([]int, n)
 	if o.mixed {
-		if _, info, ok := mixedGesv(a, b, ipiv); ok {
+		if _, info, ok := mixedGesv(cfg, a, b, ipiv); ok {
 			return ipiv, erdiag(routine, info, "matrix is exactly singular", DiagSingular)
 		}
 	}
-	info := lapack.Gesv(n, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
+	info := lapack.Gesv(cfg, n, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
 	return ipiv, erdiag(routine, info, "matrix is exactly singular", DiagSingular)
 }
 
@@ -42,6 +43,7 @@ func GESV1[T Scalar](a *Matrix[T], b []T, opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_GESV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -57,11 +59,11 @@ func GESV1[T Scalar](a *Matrix[T], b []T, opts ...Opt) (ipiv []int, err error) {
 	ipiv = make([]int, n)
 	if o.mixed {
 		bm := &Matrix[T]{Rows: n, Cols: 1, Stride: max(1, n), Data: b}
-		if _, info, ok := mixedGesv(a, bm, ipiv); ok {
+		if _, info, ok := mixedGesv(cfg, a, bm, ipiv); ok {
 			return ipiv, erdiag(routine, info, "matrix is exactly singular", DiagSingular)
 		}
 	}
-	info := lapack.Gesv(n, 1, a.Data, a.Stride, ipiv, b, max(1, n))
+	info := lapack.Gesv(cfg, n, 1, a.Data, a.Stride, ipiv, b, max(1, n))
 	return ipiv, erdiag(routine, info, "matrix is exactly singular", DiagSingular)
 }
 
@@ -152,6 +154,7 @@ func POSV[T Scalar](a, b *Matrix[T], opts ...Opt) (err error) {
 	const routine = "LA_POSV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return erinfo(routine, -1, "")
 	}
@@ -164,11 +167,11 @@ func POSV[T Scalar](a, b *Matrix[T], opts ...Opt) (err error) {
 		}
 	}
 	if o.mixed {
-		if _, info, ok := mixedPosv(o.uplo, a, b); ok {
+		if _, info, ok := mixedPosv(cfg, o.uplo, a, b); ok {
 			return erdiag(routine, info, "matrix is not positive definite", DiagNotPositiveDefinite)
 		}
 	}
-	info := lapack.Posv(o.uplo, a.Rows, b.Cols, a.Data, a.Stride, b.Data, b.Stride)
+	info := lapack.Posv(cfg, o.uplo, a.Rows, b.Cols, a.Data, a.Stride, b.Data, b.Stride)
 	return erdiag(routine, info, "matrix is not positive definite", DiagNotPositiveDefinite)
 }
 
@@ -294,6 +297,7 @@ func SYSV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_SYSV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -306,7 +310,7 @@ func SYSV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 		}
 	}
 	ipiv = make([]int, a.Rows)
-	info := lapack.Sysv(o.uplo, a.Rows, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
+	info := lapack.Sysv(cfg, o.uplo, a.Rows, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
 	return ipiv, erdiag(routine, info, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
 
@@ -322,6 +326,7 @@ func HESV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_HESV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -334,7 +339,7 @@ func HESV[T Scalar](a, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 		}
 	}
 	ipiv = make([]int, a.Rows)
-	info := lapack.Hesv(o.uplo, a.Rows, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
+	info := lapack.Hesv(cfg, o.uplo, a.Rows, b.Cols, a.Data, a.Stride, ipiv, b.Data, b.Stride)
 	return ipiv, erdiag(routine, info, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
 
@@ -350,6 +355,7 @@ func SPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_SPSV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	n := packedOrder(len(ap))
 	if n < 0 {
 		return nil, erinfo(routine, -1, "")
@@ -363,7 +369,7 @@ func SPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 		}
 	}
 	ipiv = make([]int, n)
-	info := lapack.Spsv(o.uplo, n, b.Cols, ap, ipiv, b.Data, b.Stride)
+	info := lapack.Spsv(cfg, o.uplo, n, b.Cols, ap, ipiv, b.Data, b.Stride)
 	return ipiv, erdiag(routine, info, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
 
@@ -379,6 +385,7 @@ func HPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 	const routine = "LA_HPSV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	n := packedOrder(len(ap))
 	if n < 0 {
 		return nil, erinfo(routine, -1, "")
@@ -392,7 +399,7 @@ func HPSV[T Scalar](ap []T, b *Matrix[T], opts ...Opt) (ipiv []int, err error) {
 		}
 	}
 	ipiv = make([]int, n)
-	info := lapack.Hpsv(o.uplo, n, b.Cols, ap, ipiv, b.Data, b.Stride)
+	info := lapack.Hpsv(cfg, o.uplo, n, b.Cols, ap, ipiv, b.Data, b.Stride)
 	return ipiv, erdiag(routine, info, "D(i,i) is exactly zero; the factorization is singular", DiagSingular)
 }
 

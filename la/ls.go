@@ -13,6 +13,7 @@ func GELS[T Scalar](a, b *Matrix[T], opts ...Opt) (err error) {
 	const routine = "LA_GELS"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if a == nil {
 		return erinfo(routine, -1, "")
 	}
@@ -24,7 +25,7 @@ func GELS[T Scalar](a, b *Matrix[T], opts ...Opt) (err error) {
 			return err
 		}
 	}
-	info := lapack.Gels(o.trans, a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride)
+	info := lapack.Gels(cfg, o.trans, a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride)
 	return erinfo(routine, info, "the triangular factor is exactly singular: A does not have full rank")
 }
 
@@ -44,6 +45,7 @@ func GELSX[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, jpvt []int, err er
 	const routine = "LA_GELSX"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if a == nil {
 		return 0, nil, erinfo(routine, -1, "")
 	}
@@ -60,7 +62,7 @@ func GELSX[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, jpvt []int, err er
 		rcond = epsFor[T]()
 	}
 	jpvt = make([]int, a.Cols)
-	rank = lapack.Gelsx(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, jpvt, rcond, b.Data, b.Stride)
+	rank = lapack.Gelsx(cfg, a.Rows, a.Cols, b.Cols, a.Data, a.Stride, jpvt, rcond, b.Data, b.Stride)
 	return rank, jpvt, nil
 }
 
@@ -74,6 +76,7 @@ func GELSS[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, s []float64, err e
 	const routine = "LA_GELSS"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if a == nil {
 		return 0, nil, erinfo(routine, -1, "")
 	}
@@ -88,9 +91,9 @@ func GELSS[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, s []float64, err e
 	s = make([]float64, min(a.Rows, a.Cols))
 	var info int
 	if o.qrIteration {
-		rank, info = lapack.Gelss(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
+		rank, info = lapack.Gelss(cfg, a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
 	} else {
-		rank, info = lapack.Gelsd(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
+		rank, info = lapack.Gelsd(cfg, a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
 	}
 	return rank, s, erdiag(routine, info, "the SVD iteration failed to converge", DiagNotConverged)
 }
@@ -103,6 +106,7 @@ func GGLSE[T Scalar](a, b *Matrix[T], c, d []T, opts ...Opt) (x []T, err error) 
 	const routine = "LA_GGLSE"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if a == nil {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -128,7 +132,7 @@ func GGLSE[T Scalar](a, b *Matrix[T], c, d []T, opts ...Opt) (x []T, err error) 
 		}
 	}
 	x = make([]T, n)
-	info := lapack.Gglse(m, n, p, a.Data, a.Stride, b.Data, b.Stride, c, d, x)
+	info := lapack.Gglse(cfg, m, n, p, a.Data, a.Stride, b.Data, b.Stride, c, d, x)
 	return x, erinfo(routine, info, "the constraint matrix or the reduced system is rank deficient")
 }
 
@@ -140,6 +144,7 @@ func GGGLM[T Scalar](a, b *Matrix[T], d []T, opts ...Opt) (x, y []T, err error) 
 	const routine = "LA_GGGLM"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if a == nil {
 		return nil, nil, erinfo(routine, -1, "")
 	}
@@ -163,6 +168,6 @@ func GGGLM[T Scalar](a, b *Matrix[T], d []T, opts ...Opt) (x, y []T, err error) 
 	}
 	x = make([]T, m)
 	y = make([]T, p)
-	info := lapack.Ggglm(n, m, p, a.Data, a.Stride, b.Data, b.Stride, d, x, y)
+	info := lapack.Ggglm(cfg, n, m, p, a.Data, a.Stride, b.Data, b.Stride, d, x, y)
 	return x, y, erinfo(routine, info, "the model matrices are rank deficient")
 }

@@ -22,31 +22,24 @@ package la
 // lower precision to factor in; they silently use the plain path.
 
 import (
-	"sync/atomic"
-
 	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/lapack"
 )
 
-// mixedDefault is the process-wide default for the mixed-precision solve
-// path; WithMixed enables it for a single call.
-var mixedDefault atomic.Bool
-
-func init() {
-	if core.EnvInt("LA90_MIXED", 0, 0, 1) == 1 {
-		mixedDefault.Store(true)
-	}
-}
-
 // SetMixed sets the process-wide default for the mixed-precision solve path
 // and returns the previous setting. The initial default is false unless the
 // LA90_MIXED environment variable parses to 1 (any other value, including
-// garbage, keeps the default off). Safe to call concurrently.
-func SetMixed(on bool) bool { return mixedDefault.Swap(on) }
+// garbage, keeps the default off; parsed once by core.FromEnv). Safe to
+// call concurrently; calls in flight keep the setting captured at their API
+// boundary.
+func SetMixed(on bool) bool {
+	old := core.UpdateDefault(func(c *core.Config) { c.Mixed = on })
+	return old.Mixed
+}
 
 // Mixed reports the current process-wide mixed-precision default.
-func Mixed() bool { return mixedDefault.Load() }
+func Mixed() bool { return core.Default().Mixed }
 
 // WithMixed enables the mixed-precision path for this call: factor in
 // float32/complex64, refine the solution to full precision, silently fall
@@ -57,17 +50,17 @@ func WithMixed() Opt { return func(o *options) { o.mixed = true } }
 // has a lower-precision partner, writing the solution back into b.
 // ok == false means the element type has no mixed route (float32/complex64)
 // and the caller should run the plain path.
-func mixedGesv[T Scalar](a, b *Matrix[T], ipiv []int) (iter, info int, ok bool) {
+func mixedGesv[T Scalar](cfg *core.Config, a, b *Matrix[T], ipiv []int) (iter, info int, ok bool) {
 	n, nrhs := a.Rows, b.Cols
 	x := blas.GetScratch[T](n * nrhs)
 	defer blas.PutScratch(x)
 	ldx := max(1, n)
 	switch ad := any(a.Data).(type) {
 	case []float64:
-		iter, info = lapack.GesvMixed(n, nrhs, ad, a.Stride, ipiv,
+		iter, info = lapack.GesvMixed(cfg, n, nrhs, ad, a.Stride, ipiv,
 			any(b.Data).([]float64), b.Stride, any(x).([]float64), ldx)
 	case []complex128:
-		iter, info = lapack.GesvMixed(n, nrhs, ad, a.Stride, ipiv,
+		iter, info = lapack.GesvMixed(cfg, n, nrhs, ad, a.Stride, ipiv,
 			any(b.Data).([]complex128), b.Stride, any(x).([]complex128), ldx)
 	default:
 		return 0, 0, false
@@ -79,17 +72,17 @@ func mixedGesv[T Scalar](a, b *Matrix[T], ipiv []int) (iter, info int, ok bool) 
 }
 
 // mixedPosv is mixedGesv for the Cholesky driver.
-func mixedPosv[T Scalar](uplo UpLo, a, b *Matrix[T]) (iter, info int, ok bool) {
+func mixedPosv[T Scalar](cfg *core.Config, uplo UpLo, a, b *Matrix[T]) (iter, info int, ok bool) {
 	n, nrhs := a.Rows, b.Cols
 	x := blas.GetScratch[T](n * nrhs)
 	defer blas.PutScratch(x)
 	ldx := max(1, n)
 	switch ad := any(a.Data).(type) {
 	case []float64:
-		iter, info = lapack.PosvMixed(uplo, n, nrhs, ad, a.Stride,
+		iter, info = lapack.PosvMixed(cfg, uplo, n, nrhs, ad, a.Stride,
 			any(b.Data).([]float64), b.Stride, any(x).([]float64), ldx)
 	case []complex128:
-		iter, info = lapack.PosvMixed(uplo, n, nrhs, ad, a.Stride,
+		iter, info = lapack.PosvMixed(cfg, uplo, n, nrhs, ad, a.Stride,
 			any(b.Data).([]complex128), b.Stride, any(x).([]complex128), ldx)
 	default:
 		return 0, 0, false
@@ -128,6 +121,7 @@ func BatchGesvMixed[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ipivs [][]int, 
 		return nil, nil, nil, erinfo(routine, -2, "batch slice lengths differ")
 	}
 	o := apply(opts)
+	cfg := o.cfg
 	errs = make([]error, len(as))
 	iters = make([]int, len(as))
 	ipivs = make([][]int, len(as))
@@ -152,7 +146,7 @@ func BatchGesvMixed[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ipivs [][]int, 
 		ipivs[i] = flat[off : off+a.Rows : off+a.Rows]
 		off += a.Rows
 	}
-	blas.BatchRange(len(as), func(i int) {
+	blas.BatchRange(cfg, len(as), func(i int) {
 		if errs[i] != nil {
 			return
 		}
@@ -163,9 +157,9 @@ func BatchGesvMixed[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ipivs [][]int, 
 				return
 			}
 		}
-		iter, info, ok := mixedGesv(a, b, ipivs[i])
+		iter, info, ok := mixedGesv(cfg, a, b, ipivs[i])
 		if !ok {
-			info = lapack.Gesv(a.Rows, b.Cols, a.Data, a.Stride, ipivs[i], b.Data, b.Stride)
+			info = lapack.Gesv(cfg, a.Rows, b.Cols, a.Data, a.Stride, ipivs[i], b.Data, b.Stride)
 			iter = 0
 		}
 		iters[i] = iter

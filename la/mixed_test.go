@@ -7,6 +7,8 @@ package la_test
 // single-call loop, and per-item fault containment.
 
 import (
+	"repro/internal/core"
+
 	"fmt"
 	"math"
 	"os"
@@ -162,7 +164,7 @@ func TestGESVMixedFloat32Passthrough(t *testing.T) {
 	// And the solution solves the system.
 	r := make([]float32, n)
 	copy(r, b0.Data)
-	blas.Gemv(blas.NoTrans, n, n, float32(-1), a0.Data, n, b.Data, 1, float32(1), r, 1)
+	blas.Gemv(core.Default(), blas.NoTrans, n, n, float32(-1), a0.Data, n, b.Data, 1, float32(1), r, 1)
 	for i, v := range r {
 		if math.Abs(float64(v)) > 1e-3 {
 			t.Fatalf("float32 residual too large at %d: %g", i, v)

@@ -18,6 +18,7 @@ func GEES[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vs *Matrix[T], s
 	const routine = "LA_GEES"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, nil, 0, erinfo(routine, -1, "")
 	}
@@ -46,7 +47,7 @@ func GEES[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vs *Matrix[T], s
 			vsd = make([]float32, n*n)
 			ldvs = max(1, n)
 		}
-		sdim, info = lapack.Gees[float32](true, o.selReal, n, data, a.Stride, wr, wi, vsd, ldvs)
+		sdim, info = lapack.Gees[float32](cfg, true, o.selReal, n, data, a.Stride, wr, wi, vsd, ldvs)
 		for i := range w {
 			w[i] = complex(wr[i], wi[i])
 		}
@@ -62,7 +63,7 @@ func GEES[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vs *Matrix[T], s
 			vsd = make([]float64, n*n)
 			ldvs = max(1, n)
 		}
-		sdim, info = lapack.Gees[float64](true, o.selReal, n, data, a.Stride, wr, wi, vsd, ldvs)
+		sdim, info = lapack.Gees[float64](cfg, true, o.selReal, n, data, a.Stride, wr, wi, vsd, ldvs)
 		for i := range w {
 			w[i] = complex(wr[i], wi[i])
 		}
@@ -81,7 +82,7 @@ func GEES[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vs *Matrix[T], s
 			vsd = make([]complex64, n*n)
 			ldvs = max(1, n)
 		}
-		sdim, info = lapack.GeesC[complex64](true, sel, n, data, a.Stride, w, vsd, ldvs)
+		sdim, info = lapack.GeesC[complex64](cfg, true, sel, n, data, a.Stride, w, vsd, ldvs)
 	case []complex128:
 		sel := o.selCmplx
 		if sel == nil && o.selReal != nil {
@@ -97,7 +98,7 @@ func GEES[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vs *Matrix[T], s
 			vsd = make([]complex128, n*n)
 			ldvs = max(1, n)
 		}
-		sdim, info = lapack.GeesC[complex128](true, sel, n, data, a.Stride, w, vsd, ldvs)
+		sdim, info = lapack.GeesC[complex128](cfg, true, sel, n, data, a.Stride, w, vsd, ldvs)
 	}
 	return w, vs, sdim, erdiag(routine, info, "the QR algorithm failed to converge", DiagNotConverged)
 }
@@ -115,6 +116,7 @@ func GEEV[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vl, vr *Matrix[T
 	const routine = "LA_GEEV"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if !square(a) {
 		return nil, nil, nil, erinfo(routine, -1, "")
 	}
@@ -138,7 +140,7 @@ func GEEV[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vl, vr *Matrix[T
 		wi := make([]float64, n)
 		vld, lvl := matData[float32](vl)
 		vrd, lvr := matData[float32](vr)
-		info = lapack.Geev[float32](o.left, o.right, n, data, a.Stride, wr, wi, vld, lvl, vrd, lvr)
+		info = lapack.Geev[float32](cfg, o.left, o.right, n, data, a.Stride, wr, wi, vld, lvl, vrd, lvr)
 		for i := range w {
 			w[i] = complex(wr[i], wi[i])
 		}
@@ -147,18 +149,18 @@ func GEEV[T Scalar](a *Matrix[T], opts ...Opt) (w []complex128, vl, vr *Matrix[T
 		wi := make([]float64, n)
 		vld, lvl := matData[float64](vl)
 		vrd, lvr := matData[float64](vr)
-		info = lapack.Geev[float64](o.left, o.right, n, data, a.Stride, wr, wi, vld, lvl, vrd, lvr)
+		info = lapack.Geev[float64](cfg, o.left, o.right, n, data, a.Stride, wr, wi, vld, lvl, vrd, lvr)
 		for i := range w {
 			w[i] = complex(wr[i], wi[i])
 		}
 	case []complex64:
 		vld, lvl := matData[complex64](vl)
 		vrd, lvr := matData[complex64](vr)
-		info = lapack.GeevC[complex64](o.left, o.right, n, data, a.Stride, w, vld, lvl, vrd, lvr)
+		info = lapack.GeevC[complex64](cfg, o.left, o.right, n, data, a.Stride, w, vld, lvl, vrd, lvr)
 	case []complex128:
 		vld, lvl := matData[complex128](vl)
 		vrd, lvr := matData[complex128](vr)
-		info = lapack.GeevC[complex128](o.left, o.right, n, data, a.Stride, w, vld, lvl, vrd, lvr)
+		info = lapack.GeevC[complex128](cfg, o.left, o.right, n, data, a.Stride, w, vld, lvl, vrd, lvr)
 	}
 	return w, vl, vr, erdiag(routine, info, "the QR algorithm failed to converge", DiagNotConverged)
 }
@@ -188,6 +190,7 @@ func GESVD[T Scalar](a *Matrix[T], opts ...Opt) (result *SVDResult[T], err error
 	const routine = "LA_GESVD"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if a == nil {
 		return nil, erinfo(routine, -1, "")
 	}
@@ -220,9 +223,9 @@ func GESVD[T Scalar](a *Matrix[T], opts ...Opt) (result *SVDResult[T], err error
 	}
 	var info int
 	if o.qrIteration {
-		info = lapack.Gesvd(o.jobU, o.jobVT, m, n, a.Data, a.Stride, res.S, udata, ldu, vtdata, ldvt)
+		info = lapack.Gesvd(cfg, o.jobU, o.jobVT, m, n, a.Data, a.Stride, res.S, udata, ldu, vtdata, ldvt)
 	} else {
-		info = lapack.Gesdd(o.jobU, o.jobVT, m, n, a.Data, a.Stride, res.S, udata, ldu, vtdata, ldvt)
+		info = lapack.Gesdd(cfg, o.jobU, o.jobVT, m, n, a.Data, a.Stride, res.S, udata, ldu, vtdata, ldvt)
 	}
 	res.U, res.VT = u, vt
 	return res, erdiag(routine, info, "the SVD iteration failed to converge", DiagNotConverged)

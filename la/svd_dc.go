@@ -13,32 +13,24 @@ package la
 // classic Bdsqr results bit-identically.
 
 import (
-	"sync/atomic"
-
 	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/lapack"
 )
 
-// qrIterationSVD is the process-wide default for routing LA_GESVD/LA_GELSS
-// through the QR-iteration path instead of divide & conquer.
-var qrIterationSVD atomic.Bool
-
-func init() {
-	if core.EnvInt("LA90_NO_DC", 0, 0, 1) == 1 {
-		qrIterationSVD.Store(true)
-	}
-}
-
 // SetQRIterationSVD sets the process-wide default for the SVD algorithm
 // choice — true routes LA_GESVD/LA_GELSS through the classic QR-iteration
 // path — and returns the previous setting. The initial default is false
 // (divide & conquer) unless the LA90_NO_DC environment variable parses
-// to 1. Safe to call concurrently.
-func SetQRIterationSVD(on bool) bool { return qrIterationSVD.Swap(on) }
+// to 1 (parsed once by core.FromEnv). Safe to call concurrently; calls in
+// flight keep the setting captured at their API boundary.
+func SetQRIterationSVD(on bool) bool {
+	old := core.UpdateDefault(func(c *core.Config) { c.QRIterationSVD = on })
+	return old.QRIterationSVD
+}
 
 // QRIterationSVD reports the current process-wide SVD algorithm default.
-func QRIterationSVD() bool { return qrIterationSVD.Load() }
+func QRIterationSVD() bool { return core.Default().QRIterationSVD }
 
 // WithQRIteration routes this call's SVD through the classic QR-iteration
 // path (xGESVD/xGELSS) instead of divide & conquer — the kill-switch for
@@ -54,6 +46,7 @@ func GELSD[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, s []float64, err e
 	const routine = "LA_GELSD"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	if a == nil {
 		return 0, nil, erinfo(routine, -1, "")
 	}
@@ -66,7 +59,7 @@ func GELSD[T Scalar](a, b *Matrix[T], opts ...Opt) (rank int, s []float64, err e
 		}
 	}
 	s = make([]float64, min(a.Rows, a.Cols))
-	rank, info := lapack.Gelsd(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
+	rank, info := lapack.Gelsd(cfg, a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, s, o.rcond)
 	return rank, s, erdiag(routine, info, "the SVD failed to converge", DiagNotConverged)
 }
 
@@ -81,6 +74,7 @@ func BatchGesdd[T Scalar](as []*Matrix[T], opts ...Opt) (res []*SVDResult[T], er
 	const routine = "LA_GESVD"
 	defer guard(routine, &err)
 	o := apply(opts)
+	cfg := o.cfg
 	errs = make([]error, len(as))
 	res = make([]*SVDResult[T], len(as))
 	// One flat backing for all the singular value slices.
@@ -102,7 +96,7 @@ func BatchGesdd[T Scalar](as []*Matrix[T], opts ...Opt) (res []*SVDResult[T], er
 		res[i] = &SVDResult[T]{S: flat[off : off+mn : off+mn]}
 		off += mn
 	}
-	blas.BatchRange(len(as), func(i int) {
+	blas.BatchRange(cfg, len(as), func(i int) {
 		if errs[i] != nil {
 			return
 		}
@@ -135,9 +129,9 @@ func BatchGesdd[T Scalar](as []*Matrix[T], opts ...Opt) (res []*SVDResult[T], er
 		}
 		var info int
 		if o.qrIteration {
-			info = lapack.Gesvd(o.jobU, o.jobVT, m, n, a.Data, a.Stride, res[i].S, udata, ldu, vtdata, ldvt)
+			info = lapack.Gesvd(cfg, o.jobU, o.jobVT, m, n, a.Data, a.Stride, res[i].S, udata, ldu, vtdata, ldvt)
 		} else {
-			info = lapack.Gesdd(o.jobU, o.jobVT, m, n, a.Data, a.Stride, res[i].S, udata, ldu, vtdata, ldvt)
+			info = lapack.Gesdd(cfg, o.jobU, o.jobVT, m, n, a.Data, a.Stride, res[i].S, udata, ldu, vtdata, ldvt)
 		}
 		errs[i] = erdiag(routine, info, "the SVD failed to converge", DiagNotConverged)
 	}, func(i int, pe *blas.PanicError) {
@@ -160,6 +154,7 @@ func BatchGelsd[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ranks []int, ss [][
 		return nil, nil, nil, erinfo(routine, -2, "batch slice lengths differ")
 	}
 	o := apply(opts)
+	cfg := o.cfg
 	errs = make([]error, len(as))
 	ranks = make([]int, len(as))
 	ss = make([][]float64, len(as))
@@ -185,7 +180,7 @@ func BatchGelsd[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ranks []int, ss [][
 		ss[i] = flat[off : off+mn : off+mn]
 		off += mn
 	}
-	blas.BatchRange(len(as), func(i int) {
+	blas.BatchRange(cfg, len(as), func(i int) {
 		if errs[i] != nil {
 			return
 		}
@@ -198,9 +193,9 @@ func BatchGelsd[T Scalar](as, bs []*Matrix[T], opts ...Opt) (ranks []int, ss [][
 		}
 		var info int
 		if o.qrIteration {
-			ranks[i], info = lapack.Gelss(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, ss[i], o.rcond)
+			ranks[i], info = lapack.Gelss(cfg, a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, ss[i], o.rcond)
 		} else {
-			ranks[i], info = lapack.Gelsd(a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, ss[i], o.rcond)
+			ranks[i], info = lapack.Gelsd(cfg, a.Rows, a.Cols, b.Cols, a.Data, a.Stride, b.Data, b.Stride, ss[i], o.rcond)
 		}
 		errs[i] = erdiag(routine, info, "the SVD failed to converge", DiagNotConverged)
 	}, func(i int, pe *blas.PanicError) {

@@ -1,6 +1,8 @@
 package la_test
 
 import (
+	"repro/internal/core"
+
 	"errors"
 	"math"
 	"strings"
@@ -26,7 +28,7 @@ func TestGESVDKillSwitch(t *testing.T) {
 		sref := make([]float64, mn)
 		uref := make([]float64, m*mn)
 		vtref := make([]float64, mn*n)
-		if info := lapack.Gesvd(lapack.SVDSome, lapack.SVDSome, m, n, aref.Data, aref.Stride, sref, uref, m, vtref, mn); info != 0 {
+		if info := lapack.Gesvd(core.Default(), lapack.SVDSome, lapack.SVDSome, m, n, aref.Data, aref.Stride, sref, uref, m, vtref, mn); info != 0 {
 			t.Fatalf("gesvd info=%d", info)
 		}
 
